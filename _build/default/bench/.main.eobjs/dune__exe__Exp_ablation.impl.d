@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Constraints Diam_mine Gen Graph List Printf Skinny_mine Spm_core Spm_graph Spm_gspan Util

@@ -1,0 +1,1 @@
+bench/exp_constraints.ml: Diameter_index Disjoint_support Gen Graph List Printf Skinny_mine Spm_core Spm_graph Util

@@ -1,0 +1,1 @@
+bench/exp_effectiveness.ml: Bfs Canon Gen Graph List Pattern Printf Settings Seus Skinny_mine Spider_mine Spm_baselines Spm_core Spm_graph Spm_gspan Spm_pattern Spm_workload Subdue Util

@@ -1,0 +1,1 @@
+bench/exp_real.ml: Dblp_like Graph Int List Printf Skinny_mine Spm_core Spm_graph Spm_pattern Spm_workload String Util Weibo_like

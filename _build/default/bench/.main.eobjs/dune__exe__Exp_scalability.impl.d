@@ -1,0 +1,1 @@
+bench/exp_scalability.ml: Diameter_index Gen Graph List Printf Skinny_mine Spider_mine Spm_baselines Spm_core Spm_graph Spm_gspan Subdue Util

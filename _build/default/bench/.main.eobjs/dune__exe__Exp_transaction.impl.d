@@ -1,0 +1,1 @@
+bench/exp_transaction.ml: Bfs Gen Graph List Origami Printf Settings Skinny_mine Spider_mine Spm_baselines Spm_core Spm_graph Spm_pattern Spm_workload Util

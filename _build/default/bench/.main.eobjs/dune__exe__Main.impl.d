@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_constraints Exp_effectiveness Exp_real Exp_scalability Exp_transaction List Micro Printf Spm_workload Sys Util

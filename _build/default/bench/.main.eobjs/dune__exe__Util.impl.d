@@ -1,0 +1,1 @@
+bench/util.ml: Hashtbl List Option Printf Spm_core Spm_graph String Sys

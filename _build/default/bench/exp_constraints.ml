@@ -1,0 +1,98 @@
+(* Constraint experiments: Figures 16-17 (DiamMine / LevelGrow runtime and
+   pattern counts as the diameter constraint l varies — the reducibility and
+   continuity demonstrations) and Figures 18-19 (LevelGrow runtime and
+   largest pattern size as the skinniness bound delta varies). *)
+
+open Spm_graph
+open Spm_core
+
+let constraint_graph ~seed ~n ~f =
+  let st = Gen.rng (seed + 0xc0) in
+  let bg = Gen.erdos_renyi st ~n ~avg_degree:3.0 ~num_labels:f in
+  let b = Graph.Builder.of_graph bg in
+  (* A few long skinny patterns so long diameters exist. *)
+  for _ = 1 to 3 do
+    let p = Gen.random_skinny_pattern st ~backbone:10 ~delta:2 ~twigs:3 ~num_labels:f in
+    ignore (Gen.inject st b ~pattern:p ~copies:2 ())
+  done;
+  Graph.Builder.freeze b
+
+let figures_16_17 ~seed ~n ~f ~l_values () =
+  Util.section
+    (Printf.sprintf
+       "Figures 16-17: runtime of the two stages vs the diameter constraint \
+        l (|V| = %d, deg = 3, f = %d, sigma = 2, delta = 2)"
+       n f);
+  let g = constraint_graph ~seed ~n ~f in
+  let l_max = List.fold_left max 1 l_values in
+  (* Support = greedy vertex-disjoint embeddings, which reproduces the
+     paper's curve shapes (see Disjoint_support and EXPERIMENTS.md). *)
+  let idx, build_t =
+    Util.time (fun () ->
+        Diameter_index.build ~path_support:Disjoint_support.paths g ~sigma:2
+          ~l_max)
+  in
+  Printf.printf "(power-of-2 index built once in %.3fs; per-l times below \
+                 include only the merge/growth work)\n%!" build_t;
+  Util.print_row_header
+    [ (5, "l"); (14, "DiamMine(s)"); (10, "#paths"); (15, "LevelGrow(s)");
+      (12, "#patterns") ];
+  List.iter
+    (fun l ->
+      let entries, diam_t = Util.time (fun () -> Diameter_index.entries idx ~l) in
+      let result, grow_t =
+        Util.time (fun () ->
+            Diameter_index.request ~support:Disjoint_support.maps
+              ~max_patterns:20000 idx ~l ~delta:2)
+      in
+      let count = List.length result.Skinny_mine.patterns in
+      Printf.printf "%-5d%-14s%-10d%-15s%-12s\n%!" l (Util.fmt_time diam_t)
+        (List.length entries) (Util.fmt_time grow_t)
+        (if count >= 20000 then string_of_int count ^ "(cap)"
+         else string_of_int count))
+    l_values
+
+let figures_18_19 ~seed ~n ~f ~l ~deltas () =
+  Util.section
+    (Printf.sprintf
+       "Figures 18-19: LevelGrow runtime and largest pattern vs skinniness \
+        delta (|V| = %d, l = %d, sigma = 2)"
+       n l);
+  let st = Gen.rng (seed + 0xd1) in
+  let bg = Gen.erdos_renyi st ~n ~avg_degree:3.0 ~num_labels:f in
+  let b = Graph.Builder.of_graph bg in
+  (* Injected patterns are full delta = max-delta skinny patterns so the
+     sweep has something to find at every delta. *)
+  let dmax = List.fold_left max 0 deltas in
+  for _ = 1 to 8 do
+    let p =
+      Gen.random_skinny_pattern st ~backbone:l ~delta:dmax
+        ~twigs:(3 * max 1 dmax) ~num_labels:f
+    in
+    ignore (Gen.inject st b ~pattern:p ~copies:2 ())
+  done;
+  let g = Graph.Builder.freeze b in
+  let idx, build_t =
+    Util.time (fun () ->
+        Diameter_index.build ~path_support:Disjoint_support.paths g ~sigma:2
+          ~l_max:l)
+  in
+  Printf.printf "(DiamMine stage shared across deltas: %.3fs)\n%!" build_t;
+  Util.print_row_header
+    [ (7, "delta"); (15, "LevelGrow(s)"); (12, "#patterns"); (14, "max |E|") ];
+  List.iter
+    (fun delta ->
+      let result, grow_t =
+        Util.time (fun () ->
+            Diameter_index.request ~support:Disjoint_support.maps
+              ~max_patterns:20000 idx ~l ~delta)
+      in
+      let max_e =
+        List.fold_left
+          (fun acc m -> max acc (Graph.m m.Skinny_mine.pattern))
+          0 result.Skinny_mine.patterns
+      in
+      Printf.printf "%-7d%-15s%-12d%-14d\n%!" delta (Util.fmt_time grow_t)
+        (List.length result.Skinny_mine.patterns)
+        max_e)
+    deltas

@@ -1,0 +1,139 @@
+(* Effectiveness experiments: Figures 4-8 (pattern-size distributions per
+   miner on GID 1-5), Table 3 (the skinniness probe), Figure 20 (runtime
+   comparison table with timeouts). *)
+
+open Spm_graph
+open Spm_pattern
+open Spm_core
+open Spm_baselines
+open Spm_workload
+
+type gid_run = {
+  gid : int;
+  skinny_orders : int list;
+  spider_orders : int list;
+  subdue_orders : int list;
+  seus_orders : int list;
+  skinny_time : float;
+  spider_time : float;
+  subdue_time : float;
+  seus_time : float;
+  moss_time : float; (* negative = timed out *)
+  injected_found : int;
+  injected_total : int;
+}
+
+let run_gid ~scale ~seed ~moss_cap gid =
+  let d = Settings.gid ~scale ~seed gid in
+  let g = d.Settings.graph in
+  let ld =
+    match d.Settings.long_patterns with
+    | inj :: _ -> Bfs.diameter inj.Settings.pattern
+    | [] -> 4
+  in
+  let sigma = 2 in
+  let skinny, skinny_time =
+    Util.time (fun () -> Skinny_mine.mine ~closed_growth:true g ~l:ld ~delta:2 ~sigma)
+  in
+  let injected_found =
+    List.length
+      (List.filter
+         (fun inj ->
+           List.exists
+             (fun m -> Canon.iso m.Skinny_mine.pattern inj.Settings.pattern)
+             skinny.Skinny_mine.patterns)
+         d.Settings.long_patterns)
+  in
+  let spider, spider_time =
+    Util.time (fun () ->
+        Spider_mine.mine ~rng:(Gen.rng (seed + gid)) ~seeds:100 ~graph:g ~sigma
+          ~k:5 ())
+  in
+  let subdue, subdue_time = Util.time (fun () -> Subdue.mine ~graph:g ()) in
+  let seus, seus_time = Util.time (fun () -> Seus.mine ~graph:g ~sigma ()) in
+  let moss_out, moss_elapsed =
+    Util.time (fun () ->
+        Spm_gspan.Moss.mine ~deadline:moss_cap ~max_edges:(2 * ld) ~graph:g ~sigma ())
+  in
+  let moss_time =
+    if moss_out.Spm_gspan.Engine.complete then moss_elapsed else -1.0
+  in
+  {
+    gid;
+    skinny_orders = Util.orders_of_skinny skinny;
+    spider_orders =
+      List.map (fun (p, _) -> Graph.n p) spider.Spider_mine.patterns;
+    subdue_orders =
+      List.map (fun s -> Pattern.order s.Subdue.pattern) subdue.Subdue.best;
+    seus_orders = List.map (fun (p, _) -> Graph.n p) seus.Seus.patterns;
+    skinny_time;
+    spider_time;
+    subdue_time;
+    seus_time;
+    moss_time;
+    injected_found;
+    injected_total = List.length d.Settings.long_patterns;
+  }
+
+let figures_4_to_8 ~scale ~seed ~moss_cap () =
+  Util.section "Figures 4-8: pattern-size distributions on GID 1-5";
+  Printf.printf
+    "(Each histogram entry c:|V|=o means c patterns with o vertices.)\n";
+  let runs = List.map (run_gid ~scale ~seed ~moss_cap) [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun r ->
+      Util.subsection
+        (Printf.sprintf "Figure %d: GID %d (%s)" (r.gid + 3) r.gid
+           (Settings.gid_description r.gid));
+      Util.print_histogram ~name:"SUBDUE" r.subdue_orders;
+      Util.print_histogram ~name:"SEuS" r.seus_orders;
+      Util.print_histogram ~name:"SpiderMine" r.spider_orders;
+      Util.print_histogram ~name:"SkinnyMine" r.skinny_orders;
+      Printf.printf "  SkinnyMine recovered %d/%d injected long patterns\n%!"
+        r.injected_found r.injected_total)
+    runs;
+  runs
+
+let figure_20 runs =
+  Util.section "Figure 20: runtime comparison (seconds; t/o = deadline hit)";
+  Util.print_row_header
+    [ (6, "GID"); (12, "SkinnyMine"); (12, "SpiderMine"); (10, "SUBDUE");
+      (10, "SEuS"); (10, "MoSS") ];
+  List.iter
+    (fun r ->
+      Printf.printf "%-6d%-12s%-12s%-10s%-10s%-10s\n%!" r.gid
+        (Util.fmt_time r.skinny_time)
+        (Util.fmt_time r.spider_time)
+        (Util.fmt_time r.subdue_time)
+        (Util.fmt_time r.seus_time)
+        (Util.fmt_time r.moss_time))
+    runs
+
+let table_3 ~scale ~seed () =
+  Util.section "Table 3: skinniness probe (which PIDs each miner captures)";
+  let probe = Settings.skinniness_probe ~scale ~seed () in
+  let g = probe.Settings.dataset.Settings.graph in
+  let sigma = 2 in
+  Util.print_row_header
+    [ (5, "PID"); (6, "|V|"); (10, "diameter"); (12, "SkinnyMine"); (12, "SpiderMine") ];
+  (* SkinnyMine: one request per distinct injected diameter. *)
+  let spider =
+    Spider_mine.mine ~rng:(Gen.rng (seed + 99)) ~seeds:150 ~d_max:4 ~graph:g
+      ~sigma ~k:10 ()
+  in
+  List.iter2
+    (fun (pid, order, diam) inj ->
+      let p = inj.Settings.pattern in
+      let mined = Skinny_mine.mine ~closed_growth:true g ~l:diam ~delta:4 ~sigma in
+      let sk =
+        List.exists
+          (fun m -> Canon.iso m.Skinny_mine.pattern p)
+          mined.Skinny_mine.patterns
+      in
+      let sp =
+        List.exists (fun (q, _) -> Canon.iso q p) spider.Spider_mine.patterns
+      in
+      Printf.printf "%-5d%-6d%-10d%-12s%-12s\n%!" pid order diam
+        (if sk then "yes" else "-")
+        (if sp then "yes" else "-"))
+    probe.Settings.pids probe.Settings.dataset.Settings.long_patterns

@@ -1,0 +1,89 @@
+(* Scalability experiments: Figures 11-13 (runtime vs |V| against MoSS,
+   SUBDUE, SpiderMine) and Figures 14-15 (stage-wise runtime and pattern
+   counts on larger graphs). *)
+
+open Spm_graph
+open Spm_core
+open Spm_baselines
+
+(* A sweep graph: ER background with one injected skinny pattern so the
+   mining task is non-trivial at every size. *)
+let sweep_graph ~seed ~n ~deg ~f ~l =
+  let st = Gen.rng (seed + n) in
+  let bg = Gen.erdos_renyi st ~n ~avg_degree:deg ~num_labels:f in
+  let b = Graph.Builder.of_graph bg in
+  let pat = Gen.random_skinny_pattern st ~backbone:l ~delta:1 ~twigs:2 ~num_labels:f in
+  ignore (Gen.inject st b ~pattern:pat ~copies:2 ());
+  Graph.Builder.freeze b
+
+let figure_11 ~seed ~sizes ~moss_cap () =
+  Util.section "Figure 11: runtime vs MoSS (deg = 2, f = 70)";
+  Util.print_row_header [ (8, "|V|"); (10, "MoSS"); (12, "SkinnyMine") ];
+  List.iter
+    (fun n ->
+      let g = sweep_graph ~seed ~n ~deg:2.0 ~f:70 ~l:4 in
+      let moss, mt =
+        Util.time (fun () ->
+            Spm_gspan.Moss.mine ~deadline:moss_cap ~max_edges:8 ~graph:g ~sigma:2 ())
+      in
+      let mt = if moss.Spm_gspan.Engine.complete then mt else -1.0 in
+      let _, st = Util.time (fun () ->
+            Skinny_mine.mine ~closed_growth:true g ~l:4 ~delta:2 ~sigma:2) in
+      Printf.printf "%-8d%-10s%-12s\n%!" n (Util.fmt_time mt) (Util.fmt_time st))
+    sizes
+
+let figure_12 ~seed ~sizes () =
+  Util.section "Figure 12: runtime vs SUBDUE (deg = 3, f = 100)";
+  Util.print_row_header [ (8, "|V|"); (10, "SUBDUE"); (12, "SkinnyMine") ];
+  List.iter
+    (fun n ->
+      let g = sweep_graph ~seed:(seed + 1) ~n ~deg:3.0 ~f:100 ~l:5 in
+      let _, bt = Util.time (fun () -> Subdue.mine ~iterations:40 ~graph:g ()) in
+      let _, st = Util.time (fun () ->
+            Skinny_mine.mine ~closed_growth:true g ~l:5 ~delta:2 ~sigma:2) in
+      Printf.printf "%-8d%-10s%-12s\n%!" n (Util.fmt_time bt) (Util.fmt_time st))
+    sizes
+
+let figure_13 ~seed ~sizes () =
+  Util.section "Figure 13: runtime vs SpiderMine (deg = 3, f = 100, K = 10)";
+  Util.print_row_header [ (8, "|V|"); (12, "SpiderMine"); (12, "SkinnyMine") ];
+  List.iter
+    (fun n ->
+      let g = sweep_graph ~seed:(seed + 2) ~n ~deg:3.0 ~f:100 ~l:5 in
+      let _, bt =
+        Util.time (fun () ->
+            Spider_mine.mine ~rng:(Gen.rng (seed + n)) ~seeds:100 ~graph:g
+              ~sigma:2 ~k:10 ())
+      in
+      let _, st = Util.time (fun () ->
+            Skinny_mine.mine ~closed_growth:true g ~l:5 ~delta:2 ~sigma:2) in
+      Printf.printf "%-8d%-12s%-12s\n%!" n (Util.fmt_time bt) (Util.fmt_time st))
+    sizes
+
+let figures_14_15 ~seed ~sizes () =
+  Util.section
+    "Figures 14-15: stage runtimes and pattern counts on larger graphs (l in \
+     4..6, delta = 3, sigma = 2, deg = 3, f = 80)";
+  Util.print_row_header
+    [ (9, "|V|"); (14, "I: DiamMine"); (14, "II: LevelGrow"); (10, "patterns") ];
+  List.iter
+    (fun n ->
+      let g = sweep_graph ~seed:(seed + 3) ~n ~deg:3.0 ~f:80 ~l:6 in
+      let idx, diam_t =
+        Util.time (fun () -> Diameter_index.build g ~sigma:2 ~l_max:6)
+      in
+      let results, grow_t =
+        Util.time (fun () ->
+            List.map
+              (fun l ->
+                Diameter_index.request ~closed_growth:true idx ~l ~delta:3)
+              [ 4; 5; 6 ])
+      in
+      let count =
+        List.fold_left
+          (fun acc r -> acc + List.length r.Skinny_mine.patterns)
+          0 results
+      in
+      Printf.printf "%-9d%-14s%-14s%-10d\n%!" n (Util.fmt_time diam_t)
+        (Util.fmt_time grow_t) count)
+    sizes

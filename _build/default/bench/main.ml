@@ -1,0 +1,125 @@
+(* The full experiment harness: one section per table/figure of the paper's
+   evaluation (§6), plus the ablations of DESIGN.md §6 and Bechamel micro
+   benchmarks. Sizes are scaled so the whole run finishes in minutes; pass
+   --full for paper-scale sizes (see EXPERIMENTS.md for expectations). *)
+
+let usage =
+  "usage: main.exe [--quick|--full] [--seed N] [--skip SECTION]...\n\
+   sections: effectiveness table3 transaction scalability constraints real \
+   ablation micro"
+
+type config = {
+  scale : float;
+  probe_scale : float;
+  tx_scale : float;
+  sweep_sizes : int list;
+  large_sizes : int list;
+  l_values : int list;
+  deltas : int list;
+  constraint_n : int;
+  moss_cap : float;
+  seed : int;
+  skip : string list;
+}
+
+let quick =
+  {
+    scale = 0.3;
+    probe_scale = 0.2;
+    tx_scale = 0.1;
+    sweep_sizes = [ 100; 200; 300; 400 ];
+    large_sizes = [ 500; 1000; 2000 ];
+    l_values = [ 2; 3; 4; 5; 6; 7; 8 ];
+    deltas = [ 0; 1; 2; 3 ];
+    constraint_n = 800;
+    moss_cap = 5.0;
+    seed = 2013;
+    skip = [];
+  }
+
+let full =
+  {
+    quick with
+    scale = 1.0;
+    probe_scale = 1.0;
+    tx_scale = 1.0;
+    sweep_sizes = [ 500; 1500; 3000; 4500; 6000 ];
+    large_sizes = [ 10000; 50000; 100000; 200000; 300000 ];
+    l_values = [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ];
+    deltas = [ 0; 1; 2; 3; 4; 5; 6 ];
+    constraint_n = 10000;
+    moss_cap = 60.0;
+  }
+
+let parse_args () =
+  let cfg = ref quick in
+  let rec loop = function
+    | [] -> ()
+    | "--full" :: rest ->
+      cfg := { full with skip = !cfg.skip; seed = !cfg.seed };
+      loop rest
+    | "--quick" :: rest -> loop rest
+    | "--seed" :: n :: rest ->
+      cfg := { !cfg with seed = int_of_string n };
+      loop rest
+    | "--skip" :: s :: rest ->
+      cfg := { !cfg with skip = s :: !cfg.skip };
+      loop rest
+    | "--help" :: _ ->
+      print_endline usage;
+      exit 0
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n%s\n%!" arg usage;
+      exit 2
+  in
+  loop (List.tl (Array.to_list Sys.argv));
+  !cfg
+
+let () =
+  let cfg = parse_args () in
+  let enabled name = not (List.mem name cfg.skip) in
+  Printf.printf
+    "SkinnyMine reproduction harness (SIGMOD'13) — scale %.2f, seed %d\n%!"
+    cfg.scale cfg.seed;
+  Util.section "Tables 1-2: data settings";
+  List.iter
+    (fun g ->
+      Printf.printf "  GID %d: %s\n%!" g (Spm_workload.Settings.gid_description g))
+    [ 1; 2; 3; 4; 5 ];
+  if enabled "effectiveness" then begin
+    let runs =
+      Exp_effectiveness.figures_4_to_8 ~scale:cfg.scale ~seed:cfg.seed
+        ~moss_cap:cfg.moss_cap ()
+    in
+    Exp_effectiveness.figure_20 runs
+  end;
+  if enabled "table3" then
+    Exp_effectiveness.table_3 ~scale:cfg.probe_scale ~seed:cfg.seed ();
+  if enabled "transaction" then begin
+    Exp_transaction.figure_9 ~scale:cfg.tx_scale ~seed:cfg.seed ();
+    Exp_transaction.figure_10 ~scale:cfg.tx_scale ~seed:cfg.seed ()
+  end;
+  if enabled "scalability" then begin
+    Exp_scalability.figure_11 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
+      ~moss_cap:cfg.moss_cap ();
+    Exp_scalability.figure_12 ~seed:cfg.seed ~sizes:cfg.sweep_sizes ();
+    Exp_scalability.figure_13 ~seed:cfg.seed ~sizes:cfg.sweep_sizes ();
+    Exp_scalability.figures_14_15 ~seed:cfg.seed ~sizes:cfg.large_sizes ()
+  end;
+  if enabled "constraints" then begin
+    Exp_constraints.figures_16_17 ~seed:cfg.seed ~n:cfg.constraint_n ~f:25
+      ~l_values:cfg.l_values ();
+    Exp_constraints.figures_18_19 ~seed:cfg.seed ~n:cfg.constraint_n ~f:40
+      ~l:8 ~deltas:cfg.deltas ()
+  end;
+  if enabled "real" then begin
+    Exp_real.dblp ~seed:cfg.seed ~num_authors:60 ~l:10 ();
+    Exp_real.weibo ~seed:cfg.seed ~num_conversations:20 ~chain:9 ~l:8 ()
+  end;
+  if enabled "ablation" then begin
+    Exp_ablation.diam_mine_pruning ~seed:cfg.seed ~n:400 ();
+    Exp_ablation.constraint_maintenance ~seed:cfg.seed ~n:400 ();
+    Exp_ablation.direct_vs_enumerate ~seed:cfg.seed ~n:300 ~cap:cfg.moss_cap ()
+  end;
+  if enabled "micro" then Micro.run ~scale:cfg.scale ();
+  Printf.printf "\nAll requested experiment sections completed.\n%!"

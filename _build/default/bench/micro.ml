@@ -1,0 +1,61 @@
+(* Bechamel micro-benchmarks: one Test per reproduced table/figure workload,
+   timing the core operation that experiment stresses. *)
+
+open Bechamel
+open Toolkit
+open Spm_graph
+open Spm_core
+open Spm_workload
+
+let make_graph ~seed ~n ~deg ~f =
+  let st = Gen.rng seed in
+  let bg = Gen.erdos_renyi st ~n ~avg_degree:deg ~num_labels:f in
+  let b = Graph.Builder.of_graph bg in
+  let p = Gen.random_skinny_pattern st ~backbone:5 ~delta:1 ~twigs:2 ~num_labels:f in
+  ignore (Gen.inject st b ~pattern:p ~copies:2 ());
+  Graph.Builder.freeze b
+
+let tests ~scale =
+  let g = make_graph ~seed:11 ~n:120 ~deg:2.0 ~f:30 in
+  let gid1 = (Settings.gid ~scale:(min scale 0.2) ~seed:5 1).Settings.graph in
+  let small_pattern = Gen.random_skinny_pattern (Gen.rng 3) ~backbone:4 ~delta:1 ~twigs:2 ~num_labels:5 in
+  [
+    Test.make ~name:"fig4-8/skinnymine-gid1"
+      (Staged.stage (fun () ->
+           Skinny_mine.mine ~closed_growth:true gid1 ~l:4 ~delta:2 ~sigma:2));
+    Test.make ~name:"fig16/diam-mine-l5"
+      (Staged.stage (fun () -> Diam_mine.mine g ~l:5 ~sigma:2));
+    Test.make ~name:"fig17/level-grow-l5-d2"
+      (Staged.stage (fun () -> Skinny_mine.mine g ~l:5 ~delta:2 ~sigma:2));
+    Test.make ~name:"fig20/canonical-diameter"
+      (Staged.stage (fun () -> Canonical_diameter.compute small_pattern));
+    Test.make ~name:"fig20/min-dfs-code"
+      (Staged.stage (fun () -> Spm_pattern.Dfs_code.min_code small_pattern));
+    Test.make ~name:"fig14/diameter-index-build"
+      (Staged.stage (fun () -> Diameter_index.build g ~sigma:2 ~l_max:5));
+  ]
+
+let run ~scale () =
+  Util.section "Bechamel micro-benchmarks (monotonic clock, ns/run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:10 ~quota:(Time.second 0.25) ~stabilize:false
+      ~start:1 ()
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ x ] -> Printf.sprintf "%12.0f ns/run" x
+            | _ -> "(no estimate)"
+          in
+          Printf.printf "  %-32s %s\n" name est)
+        results)
+    (tests ~scale)

@@ -1,0 +1,53 @@
+(* Shared helpers for the experiment harness: wall-clock timing, pattern-size
+   histograms, and paper-style table printing. *)
+
+let time f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let subsection title =
+  Printf.printf "\n-- %s --\n%!" title
+
+(* Histogram of pattern sizes (vertex counts, as in Figures 4-10). *)
+let size_histogram orders =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun o -> Hashtbl.replace tbl o (1 + Option.value ~default:0 (Hashtbl.find_opt tbl o)))
+    orders;
+  Hashtbl.fold (fun o c acc -> (o, c) :: acc) tbl [] |> List.sort compare
+
+let print_histogram ~name orders =
+  let hist = size_histogram orders in
+  if hist = [] then Printf.printf "  %-12s (no patterns)\n%!" name
+  else begin
+    Printf.printf "  %-12s" name;
+    List.iter (fun (o, c) -> Printf.printf " %d:|V|=%d" c o) hist;
+    print_newline ();
+    flush stdout
+  end
+
+let print_row_header cols =
+  List.iter (fun (w, h) -> Printf.printf "%-*s" w h) cols;
+  print_newline ();
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 cols in
+  Printf.printf "%s\n" (String.make total '-')
+
+let fmt_time s =
+  if s < 0.0 then "  t/o  " else Printf.sprintf "%7.3f" s
+
+(* Run a closure with a crude wall-clock cap by checking inside the miners'
+   own deadline support where available; for miners without one, we just run
+   them on sizes where they finish. *)
+let orders_of_skinny (r : Spm_core.Skinny_mine.result) =
+  List.map
+    (fun m -> Spm_graph.Graph.n m.Spm_core.Skinny_mine.pattern)
+    r.Spm_core.Skinny_mine.patterns
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,191 @@
+(* skinnymine — command-line front end.
+
+   Subcommands:
+     generate   synthesize a data graph (ER background + injected patterns)
+     stats      print basic statistics of a graph file
+     paths      Stage I only: mine frequent simple paths of a given length
+     mine       full (l, delta)-SPM mining
+     baseline   run one of the reimplemented baselines
+*)
+
+open Cmdliner
+open Spm_graph
+open Spm_core
+
+(* --- common args --- *)
+
+let graph_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"Graph file (v/e format).")
+
+let sigma =
+  Arg.(value & opt int 2 & info [ "s"; "sigma" ] ~doc:"Support threshold.")
+
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let n = Arg.(value & opt int 500 & info [ "n" ] ~doc:"Background vertices.") in
+  let deg = Arg.(value & opt float 3.0 & info [ "deg" ] ~doc:"Average degree.") in
+  let labels = Arg.(value & opt int 20 & info [ "labels" ] ~doc:"Label universe size.") in
+  let inject_l = Arg.(value & opt int 0 & info [ "inject-l" ] ~doc:"Backbone length of injected skinny patterns (0 = none).") in
+  let inject_delta = Arg.(value & opt int 2 & info [ "inject-delta" ] ~doc:"Skinniness of injected patterns.") in
+  let inject_copies = Arg.(value & opt int 2 & info [ "copies" ] ~doc:"Copies per injected pattern.") in
+  let inject_count = Arg.(value & opt int 3 & info [ "count" ] ~doc:"Number of distinct injected patterns.") in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.") in
+  let run n deg labels inject_l inject_delta inject_copies inject_count seed out =
+    let st = Gen.rng seed in
+    let bg = Gen.erdos_renyi st ~n ~avg_degree:deg ~num_labels:labels in
+    let b = Graph.Builder.of_graph bg in
+    if inject_l > 0 then
+      for _ = 1 to inject_count do
+        let p =
+          Gen.random_skinny_pattern st ~backbone:inject_l ~delta:inject_delta
+            ~twigs:(2 * inject_delta) ~num_labels:labels
+        in
+        ignore (Gen.inject st b ~pattern:p ~copies:inject_copies ())
+      done;
+    let g = Graph.Builder.freeze b in
+    Io.write_file out g;
+    Printf.printf "wrote %s: %d vertices, %d edges\n" out (Graph.n g) (Graph.m g)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a data graph.")
+    Term.(
+      const run $ n $ deg $ labels $ inject_l $ inject_delta $ inject_copies
+      $ inject_count $ seed $ out)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run file =
+    let g = Io.read_file file in
+    Printf.printf "vertices: %d\nedges:    %d\nlabels:   %d\n" (Graph.n g)
+      (Graph.m g) (Graph.num_labels g);
+    let _, k = Bfs.components g in
+    Printf.printf "components: %d\n" k;
+    let degs = Array.init (Graph.n g) (fun v -> Graph.degree g v) in
+    let maxd = Array.fold_left max 0 degs in
+    let avg =
+      2.0 *. float_of_int (Graph.m g) /. float_of_int (max 1 (Graph.n g))
+    in
+    Printf.printf "avg degree: %.2f, max degree: %d\n" avg maxd
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print graph statistics.") Term.(const run $ graph_file)
+
+(* --- paths (Stage I) --- *)
+
+let paths_cmd =
+  let l = Arg.(value & opt int 4 & info [ "l"; "length" ] ~doc:"Path length (edges).") in
+  let run file l sigma =
+    let g = Io.read_file file in
+    let r = Diam_mine.mine g ~l ~sigma in
+    Printf.printf "%d frequent simple paths of length %d (sigma = %d):\n"
+      (List.length r.Diam_mine.entries) l sigma;
+    List.iter
+      (fun e ->
+        Printf.printf "  [%d embeddings] labels %s\n"
+          (Diam_mine.entry_support e)
+          (String.concat "-"
+             (Array.to_list (Array.map string_of_int e.Diam_mine.labels))))
+      r.Diam_mine.entries
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Mine frequent simple paths (Stage I, DiamMine).")
+    Term.(const run $ graph_file $ l $ sigma)
+
+(* --- mine --- *)
+
+let mine_cmd =
+  let l = Arg.(value & opt int 4 & info [ "l"; "length" ] ~doc:"Diameter length constraint.") in
+  let delta = Arg.(value & opt int 2 & info [ "d"; "delta" ] ~doc:"Skinniness bound.") in
+  let closed = Arg.(value & flag & info [ "closed" ] ~doc:"Closed-pattern growth (collapse support-preserving extensions).") in
+  let dot = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write the largest pattern as Graphviz to this file.") in
+  let run file l delta sigma closed dot =
+    let g = Io.read_file file in
+    let r = Skinny_mine.mine ~closed_growth:closed g ~l ~delta ~sigma in
+    Printf.printf
+      "%d %s%d-long %d-skinny patterns (sigma = %d) in %.2fs (%d diameters, \
+       stage II %.2fs)\n"
+      (List.length r.Skinny_mine.patterns)
+      (if closed then "closed " else "")
+      l delta sigma r.Skinny_mine.stats.Skinny_mine.total_seconds
+      r.Skinny_mine.stats.Skinny_mine.num_diameters
+      r.Skinny_mine.stats.Skinny_mine.grow_seconds;
+    List.iteri
+      (fun i m ->
+        if i < 20 then
+          Printf.printf "  #%d: |V|=%d |E|=%d support=%d\n" (i + 1)
+            (Graph.n m.Skinny_mine.pattern)
+            (Graph.m m.Skinny_mine.pattern)
+            m.Skinny_mine.support)
+      r.Skinny_mine.patterns;
+    if List.length r.Skinny_mine.patterns > 20 then
+      Printf.printf "  ... (%d more)\n" (List.length r.Skinny_mine.patterns - 20);
+    match dot with
+    | None -> ()
+    | Some path -> (
+      match
+        List.sort
+          (fun a b ->
+            Int.compare (Graph.m b.Skinny_mine.pattern) (Graph.m a.Skinny_mine.pattern))
+          r.Skinny_mine.patterns
+      with
+      | [] -> ()
+      | m :: _ ->
+        let oc = open_out path in
+        output_string oc (Io.to_dot m.Skinny_mine.pattern);
+        close_out oc;
+        Printf.printf "largest pattern written to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "mine" ~doc:"Mine all l-long delta-skinny frequent patterns.")
+    Term.(const run $ graph_file $ l $ delta $ sigma $ closed $ dot)
+
+(* --- baseline --- *)
+
+let baseline_cmd =
+  let which =
+    Arg.(
+      required
+      & opt (some (enum [ ("spidermine", `Spider); ("subdue", `Subdue); ("seus", `Seus); ("moss", `Moss) ])) None
+      & info [ "a"; "algorithm" ] ~doc:"One of spidermine, subdue, seus, moss.")
+  in
+  let run file which sigma seed =
+    let g = Io.read_file file in
+    match which with
+    | `Spider ->
+      let r =
+        Spm_baselines.Spider_mine.mine ~rng:(Gen.rng seed) ~graph:g ~sigma ~k:10 ()
+      in
+      Printf.printf "SpiderMine: %d spiders, top patterns:\n" r.Spm_baselines.Spider_mine.spiders_mined;
+      List.iter
+        (fun (p, s) -> Printf.printf "  |V|=%d |E|=%d support=%d\n" (Graph.n p) (Graph.m p) s)
+        r.Spm_baselines.Spider_mine.patterns
+    | `Subdue ->
+      let r = Spm_baselines.Subdue.mine ~graph:g () in
+      List.iter
+        (fun s ->
+          Printf.printf "  |V|=%d instances=%d compression=%.1f\n"
+            (Graph.n s.Spm_baselines.Subdue.pattern)
+            s.Spm_baselines.Subdue.instances s.Spm_baselines.Subdue.compression)
+        r.Spm_baselines.Subdue.best
+    | `Seus ->
+      let r = Spm_baselines.Seus.mine ~graph:g ~sigma () in
+      Printf.printf "SEuS: %d candidates, %d verified, %d frequent\n"
+        r.Spm_baselines.Seus.candidates r.Spm_baselines.Seus.verified
+        (List.length r.Spm_baselines.Seus.patterns)
+    | `Moss ->
+      let r = Spm_gspan.Moss.mine ~deadline:30.0 ~graph:g ~sigma () in
+      Printf.printf "MoSS: %d patterns%s\n"
+        (List.length r.Spm_gspan.Engine.results)
+        (if r.Spm_gspan.Engine.complete then "" else " (timed out)")
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Run a baseline miner.")
+    Term.(const run $ graph_file $ which $ sigma $ seed)
+
+let () =
+  let doc = "SkinnyMine: direct mining of l-long delta-skinny graph patterns" in
+  let info = Cmd.info "skinnymine" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; paths_cmd; mine_cmd; baseline_cmd ]))

@@ -1,0 +1,1 @@
+examples/dblp_collaboration.ml: Array Canonical_diameter Dblp_like Graph Int List Printf Skinny_mine Spm_core Spm_graph Spm_workload String

@@ -1,0 +1,1 @@
+examples/framework_demo.ml: Array Canon Framework Gen Graph Hashtbl Int List Pattern Printf Skinny_mine Spm_baselines Spm_core Spm_graph Spm_pattern

@@ -1,0 +1,1 @@
+examples/framework_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Canonical_diameter Diameter_index Graph List Printf Skinny_mine Spm_core Spm_graph String

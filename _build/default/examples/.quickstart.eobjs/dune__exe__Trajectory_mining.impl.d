@@ -1,0 +1,1 @@
+examples/trajectory_mining.ml: Array Canonical_diameter Gen Graph Int List Printf Random Skinny_mine Spm_core Spm_graph String

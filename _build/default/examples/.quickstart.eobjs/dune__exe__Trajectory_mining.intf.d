@@ -1,0 +1,1 @@
+examples/trajectory_mining.mli:

@@ -1,0 +1,1 @@
+examples/weibo_diffusion.ml: Array Canonical_diameter Graph Int List Printf Skinny_mine Spm_core Spm_graph Spm_pattern Spm_workload String Weibo_like

@@ -1,0 +1,1 @@
+examples/weibo_diffusion.mli:

@@ -1,0 +1,99 @@
+(* Mobile data mining (the paper's first motivating application, §1):
+   trajectories from a location-based service form a large single graph —
+   venues as vertices labeled by category, consecutive check-ins as edges.
+   Skinny patterns capture popular routes (the backbone) together with the
+   venue categories visited along the way (the twigs).
+
+   Run with: dune exec examples/trajectory_mining.exe *)
+
+open Spm_graph
+open Spm_core
+
+(* Venue categories. *)
+let categories = [| "home"; "transit"; "office"; "food"; "gym"; "shop"; "bar" |]
+
+let transit = 1
+
+(* Synthesize a city: a transit backbone grid plus venues, then simulate
+   commuters whose trajectories repeatedly trace home -> transit* -> office
+   with stops — the frequent route we expect to recover. *)
+let build_city seed =
+  let st = Gen.rng seed in
+  let b = Graph.Builder.create () in
+  (* Transit lines: three paths of 8 stations. *)
+  let lines =
+    Array.init 3 (fun _ ->
+        Array.init 8 (fun _ -> Graph.Builder.add_vertex b transit))
+  in
+  Array.iter
+    (fun line ->
+      Array.iteri
+        (fun i v -> if i > 0 then Graph.Builder.add_edge b line.(i - 1) v)
+        line)
+    lines;
+  (* Interchanges. *)
+  Graph.Builder.add_edge b lines.(0).(4) lines.(1).(2);
+  Graph.Builder.add_edge b lines.(1).(6) lines.(2).(1);
+  (* Venues hang off stations. *)
+  let venue label station =
+    let v = Graph.Builder.add_vertex b label in
+    Graph.Builder.add_edge b station v;
+    v
+  in
+  Array.iter
+    (fun line ->
+      Array.iter
+        (fun s ->
+          if Random.State.int st 3 = 0 then
+            ignore (venue (2 + Random.State.int st 5) s))
+        line)
+    lines;
+  (* The popular commute: home - 4 stations of line 0 - office, with a food
+     stop at the middle station: inject it twice more via fresh venues so it
+     is frequent. *)
+  let commute () =
+    let home = venue 0 lines.(0).(0) in
+    let office = venue 2 lines.(0).(4) in
+    let lunch = venue 3 lines.(0).(2) in
+    ignore (home, office, lunch)
+  in
+  commute ();
+  commute ();
+  commute ();
+  Graph.Builder.freeze b
+
+let () =
+  let g = build_city 42 in
+  Printf.printf "City graph: %d venues/stations, %d links\n" (Graph.n g)
+    (Graph.m g);
+  (* Routes spanning 6 hops with at most 1 hop of detour, seen >= 2 times. *)
+  let result = Skinny_mine.mine ~closed_growth:true g ~l:6 ~delta:1 ~sigma:2 in
+  Printf.printf "%d frequent 6-hop route patterns\n"
+    (List.length result.Skinny_mine.patterns);
+  let describe p =
+    let cd = Canonical_diameter.compute p in
+    let backbone =
+      Array.to_list cd
+      |> List.map (fun v -> categories.(Graph.label p v))
+      |> String.concat " > "
+    in
+    let twigs =
+      let levels = Canonical_diameter.levels p ~diameter:cd in
+      List.init (Graph.n p) (fun v -> v)
+      |> List.filter (fun v -> levels.(v) > 0)
+      |> List.map (fun v -> categories.(Graph.label p v))
+    in
+    Printf.sprintf "route: %s%s" backbone
+      (match twigs with
+      | [] -> ""
+      | ts -> Printf.sprintf "  (stops: %s)" (String.concat ", " ts))
+  in
+  (* Show the richest patterns (most stops). *)
+  List.sort
+    (fun a b ->
+      Int.compare (Graph.m b.Skinny_mine.pattern) (Graph.m a.Skinny_mine.pattern))
+    result.Skinny_mine.patterns
+  |> List.filteri (fun i _ -> i < 5)
+  |> List.iter (fun m ->
+         Printf.printf "  [support %d] %s\n" m.Skinny_mine.support
+           (describe m.Skinny_mine.pattern))

@@ -1,0 +1,1 @@
+lib/baselines/grow_util.ml: Array Canon Embedding Graph Hashtbl Label List Option Pattern Spm_graph Spm_pattern

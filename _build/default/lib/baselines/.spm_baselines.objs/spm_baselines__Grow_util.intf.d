@@ -1,0 +1,1 @@
+lib/baselines/grow_util.mli: Spm_graph Spm_pattern

@@ -1,0 +1,1 @@
+lib/baselines/origami.ml: Array Canon Gen Graph Hashtbl Int List Option Pattern Spm_graph Spm_pattern Subiso Support Sys

@@ -1,0 +1,1 @@
+lib/baselines/origami.mli: Spm_graph Spm_pattern

@@ -1,0 +1,1 @@
+lib/baselines/seus.ml: Canon Graph Hashtbl Int List Option Pattern Spm_graph Spm_pattern Support Sys

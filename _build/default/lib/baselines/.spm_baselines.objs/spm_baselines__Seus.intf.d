@@ -1,0 +1,1 @@
+lib/baselines/seus.mli: Hashtbl Spm_graph Spm_pattern

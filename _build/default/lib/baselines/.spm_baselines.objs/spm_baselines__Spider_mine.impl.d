@@ -1,0 +1,1 @@
+lib/baselines/spider_mine.ml: Array Bfs Canon Gen Graph Grow_util Hashtbl Int List Pattern Random Spm_graph Spm_pattern Subiso Support Sys

@@ -1,0 +1,1 @@
+lib/baselines/spider_mine.mli: Spm_graph Spm_pattern

@@ -1,0 +1,1 @@
+lib/baselines/subdue.ml: Float Grow_util Hashtbl List Pattern Spm_pattern Sys

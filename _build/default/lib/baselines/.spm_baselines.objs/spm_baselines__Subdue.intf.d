@@ -1,0 +1,1 @@
+lib/baselines/subdue.mli: Spm_graph Spm_pattern

@@ -1,0 +1,83 @@
+open Spm_graph
+open Spm_pattern
+
+type state = { pattern : Pattern.t; maps : int array list }
+
+type desc = NL of int * Label.t | CE of int * int
+
+let vertex_seeds g =
+  let by_label = Hashtbl.create 16 in
+  Graph.iter_vertices
+    (fun v ->
+      let l = Graph.label g v in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_label l) in
+      Hashtbl.replace by_label l ([| v |] :: cur))
+    g;
+  Hashtbl.fold
+    (fun l maps acc ->
+      (l, { pattern = Graph.of_edges ~labels:[| l |] []; maps }) :: acc)
+    by_label []
+  |> List.sort compare
+
+let edge_seeds g =
+  let by_pair = Hashtbl.create 16 in
+  Graph.iter_edges
+    (fun u v ->
+      let lu = Graph.label g u and lv = Graph.label g v in
+      let push a b x y =
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_pair (a, b)) in
+        Hashtbl.replace by_pair (a, b) ([| x; y |] :: cur)
+      in
+      if lu <= lv then push lu lv u v;
+      if lv <= lu then push lv lu v u)
+    g;
+  Hashtbl.fold
+    (fun (a, b) maps acc ->
+      { pattern = Pattern.singleton_edge a b; maps } :: acc)
+    by_pair []
+
+let extensions g st =
+  let by_desc : (desc, int array list ref) Hashtbl.t = Hashtbl.create 32 in
+  let add desc m =
+    match Hashtbl.find_opt by_desc desc with
+    | Some l -> l := m :: !l
+    | None -> Hashtbl.add by_desc desc (ref [ m ])
+  in
+  let np = Graph.n st.pattern in
+  List.iter
+    (fun m ->
+      let image = Hashtbl.create np in
+      Array.iteri (fun pv tv -> Hashtbl.add image tv pv) m;
+      for pv = 0 to np - 1 do
+        Array.iter
+          (fun w ->
+            if not (Hashtbl.mem image w) then
+              add (NL (pv, Graph.label g w)) (Array.append m [| w |]))
+          (Graph.adj g m.(pv))
+      done;
+      for pv = 0 to np - 1 do
+        for pu = 0 to pv - 1 do
+          if
+            (not (Graph.has_edge st.pattern pu pv))
+            && Graph.has_edge g m.(pu) m.(pv)
+          then add (CE (pu, pv)) m
+        done
+      done)
+    st.maps;
+  Hashtbl.fold
+    (fun desc maps acc ->
+      let pattern =
+        match desc with
+        | NL (host, label) -> Pattern.extend_new_vertex st.pattern ~host ~label
+        | CE (u, v) -> Pattern.extend_close_edge st.pattern u v
+      in
+      { pattern; maps = !maps } :: acc)
+    by_desc []
+
+let support g st =
+  if Pattern.size st.pattern = 0 then
+    List.length (List.sort_uniq compare (List.map (fun m -> m.(0)) st.maps))
+  else
+    Embedding.count_distinct ~data_n:(Graph.n g) ~pattern:st.pattern st.maps
+
+let key st = Canon.key st.pattern

@@ -1,0 +1,25 @@
+(** Shared embedding-list pattern growth used by the baseline miners.
+
+    A state is a pattern plus the complete list of its mappings into the data
+    graph; one-edge extensions are derived from the mappings exactly as in
+    the core miner, but without any diameter machinery. *)
+
+type state = { pattern : Spm_pattern.Pattern.t; maps : int array list }
+
+val vertex_seeds : Spm_graph.Graph.t -> (Spm_graph.Label.t * state) list
+(** One single-vertex state per label present in the graph, with all its
+    image vertices. *)
+
+val edge_seeds : Spm_graph.Graph.t -> state list
+(** One two-vertex state per frequent label pair (all orientations). *)
+
+val extensions : Spm_graph.Graph.t -> state -> state list
+(** All one-edge extensions (new-vertex and closing), one state per distinct
+    descriptor, each with the filtered mapping list. *)
+
+val support : Spm_graph.Graph.t -> state -> int
+(** Distinct embedding subgraphs (distinct images for single-vertex
+    patterns). *)
+
+val key : state -> string
+(** Canonical key of the state's pattern. *)

@@ -1,0 +1,127 @@
+open Spm_graph
+open Spm_pattern
+
+type result = {
+  patterns : (Pattern.t * int) list;
+  walks : int;
+  maximal_found : int;
+  elapsed : float;
+}
+
+let edge_features p =
+  let feats = Hashtbl.create 16 in
+  Graph.iter_edges
+    (fun u v ->
+      let a = Graph.label p u and b = Graph.label p v in
+      let key = (min a b, max a b) in
+      Hashtbl.replace feats key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt feats key)))
+    p;
+  feats
+
+let similarity p q =
+  let fp = edge_features p and fq = edge_features q in
+  let inter = ref 0 and union = ref 0 in
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) fp;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) fq;
+  Hashtbl.iter
+    (fun k () ->
+      let a = Option.value ~default:0 (Hashtbl.find_opt fp k) in
+      let b = Option.value ~default:0 (Hashtbl.find_opt fq k) in
+      inter := !inter + min a b;
+      union := !union + max a b)
+    keys;
+  if !union = 0 then 1.0 else float_of_int !inter /. float_of_int !union
+
+(* One-edge extensions of a pattern that stay frequent in the database. *)
+let frequent_extensions db ~sigma p =
+  let candidates = Canon.Set.create () in
+  let out = ref [] in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun m ->
+          let image = Hashtbl.create 8 in
+          Array.iteri (fun pv tv -> Hashtbl.add image tv pv) m;
+          for pv = 0 to Graph.n p - 1 do
+            Array.iter
+              (fun w ->
+                if not (Hashtbl.mem image w) then begin
+                  let p' =
+                    Pattern.extend_new_vertex p ~host:pv ~label:(Graph.label g w)
+                  in
+                  if Canon.Set.add candidates p' then out := p' :: !out
+                end)
+              (Graph.adj g m.(pv))
+          done;
+          for pv = 0 to Graph.n p - 1 do
+            for pu = 0 to pv - 1 do
+              if
+                (not (Graph.has_edge p pu pv))
+                && Graph.has_edge g m.(pu) m.(pv)
+              then begin
+                let p' = Pattern.extend_close_edge p pu pv in
+                if Canon.Set.add candidates p' then out := p' :: !out
+              end
+            done
+          done)
+        (Subiso.mappings ~pattern:p ~target:g))
+    db;
+  List.filter (fun p' -> Support.is_frequent_transaction p' db ~sigma) !out
+
+let mine ?rng ?(walks = 50) ?(alpha = 0.5) ?(max_edges = 30) ~db ~sigma () =
+  let t0 = Sys.time () in
+  let st = match rng with Some r -> r | None -> Gen.rng 0x0219a41 in
+  (* Frequent seed edges. *)
+  let seed_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      Graph.iter_edges
+        (fun u v ->
+          let a = Graph.label g u and b = Graph.label g v in
+          Hashtbl.replace seed_tbl (min a b, max a b) ())
+        g)
+    db;
+  let seeds =
+    Hashtbl.fold (fun (a, b) () acc -> Pattern.singleton_edge a b :: acc) seed_tbl []
+    |> List.filter (fun p -> Support.is_frequent_transaction p db ~sigma)
+    |> Array.of_list
+  in
+  let maximal = Canon.Set.create () in
+  let collected = ref [] in
+  if Array.length seeds > 0 then
+    for _ = 1 to walks do
+      let p = ref (Gen.pick st seeds) in
+      let continue = ref true in
+      while !continue && Pattern.size !p < max_edges do
+        match frequent_extensions db ~sigma !p with
+        | [] -> continue := false
+        | exts ->
+          let arr = Array.of_list exts in
+          p := Gen.pick st arr
+      done;
+      if Canon.Set.add maximal !p then
+        collected := (!p, Support.transaction !p db) :: !collected
+    done;
+  (* Greedy alpha-orthogonal filter, largest first. *)
+  let sorted =
+    List.sort
+      (fun (p1, _) (p2, _) -> Int.compare (Pattern.size p2) (Pattern.size p1))
+      !collected
+  in
+  let orthogonal =
+    List.fold_left
+      (fun acc (p, sup) ->
+        if List.for_all (fun (q, _) -> similarity p q <= alpha) acc then
+          (p, sup) :: acc
+        else acc)
+      [] sorted
+    |> List.rev
+  in
+  {
+    patterns = orthogonal;
+    walks;
+    maximal_found = Canon.Set.cardinal maximal;
+    elapsed = Sys.time () -. t0;
+  }

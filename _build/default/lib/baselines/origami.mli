@@ -1,0 +1,33 @@
+(** ORIGAMI (Hasan, Chaoji, Salem, Besson, Zaki — ICDM 2007): α-orthogonal
+    β-representative maximal pattern sampling in the graph-transaction
+    setting.
+
+    Random walks over the pattern lattice: start from a random frequent
+    edge, repeatedly apply a random frequent one-edge extension until the
+    pattern is maximal (no frequent extension), collect the endpoint;
+    finally keep a greedy α-orthogonal subset (pairwise similarity <= α over
+    label-pair feature vectors). The published consequence the paper's
+    Figures 9–10 show: the output is a sparse sample of the output space —
+    mostly small/medium patterns, missing most of the injected large ones. *)
+
+type result = {
+  patterns : (Spm_pattern.Pattern.t * int) list;
+      (** orthogonal sample with transaction supports *)
+  walks : int;
+  maximal_found : int;
+  elapsed : float;
+}
+
+val similarity : Spm_pattern.Pattern.t -> Spm_pattern.Pattern.t -> float
+(** Jaccard similarity of (label, label) edge multisets. *)
+
+val mine :
+  ?rng:Spm_graph.Gen.rng ->
+  ?walks:int ->
+  ?alpha:float ->
+  ?max_edges:int ->
+  db:Spm_graph.Graph.t list ->
+  sigma:int ->
+  unit ->
+  result
+(** Defaults: [walks = 50], [alpha = 0.5]. *)

@@ -1,0 +1,90 @@
+open Spm_graph
+open Spm_pattern
+
+type result = {
+  patterns : (Pattern.t * int) list;
+  candidates : int;
+  verified : int;
+  elapsed : float;
+}
+
+let summary g =
+  let tbl = Hashtbl.create 64 in
+  Graph.iter_edges
+    (fun u v ->
+      let a = Graph.label g u and b = Graph.label g v in
+      let key = (min a b, max a b) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    g;
+  tbl
+
+(* Enumerate connected label-patterns over the summary: patterns whose every
+   edge is a summary edge; the estimate is the min summary weight over the
+   pattern's edges (an upper bound on data support). *)
+let mine ?(max_edges = 3) ~graph ~sigma () =
+  let t0 = Sys.time () in
+  let s = summary graph in
+  let summary_edges =
+    Hashtbl.fold (fun k w acc -> (k, w) :: acc) s [] |> List.sort compare
+  in
+  let candidates = ref 0 in
+  let verified = ref 0 in
+  let out = ref [] in
+  let seen = Canon.Set.create () in
+  (* Grow label patterns: state = pattern over labels; extensions attach a
+     summary edge at any vertex, or close between two vertices. *)
+  let estimate p =
+    Graph.fold_edges
+      (fun u v acc ->
+        let a = Graph.label p u and b = Graph.label p v in
+        min acc
+          (Option.value ~default:0 (Hashtbl.find_opt s (min a b, max a b))))
+      p max_int
+  in
+  let verify p =
+    incr verified;
+    let sup = Support.single_graph p graph in
+    if sup >= sigma && Canon.Set.add seen p then out := (p, sup) :: !out
+  in
+  let visited = Canon.Set.create () in
+  let rec extend p =
+    if Canon.Set.add visited p then extend_fresh p
+  and extend_fresh p =
+    incr candidates;
+    if estimate p >= sigma then begin
+      verify p;
+      if Pattern.size p < max_edges then begin
+        (* Attach each summary edge at each compatible vertex. *)
+        List.iter
+          (fun ((a, b), _) ->
+            for v = 0 to Graph.n p - 1 do
+              let lv = Graph.label p v in
+              if lv = a then extend (Pattern.extend_new_vertex p ~host:v ~label:b);
+              if lv = b && a <> b then
+                extend (Pattern.extend_new_vertex p ~host:v ~label:a)
+            done)
+          summary_edges;
+        (* Close compatible vertex pairs. *)
+        for v = 0 to Graph.n p - 1 do
+          for u = 0 to v - 1 do
+            if not (Graph.has_edge p u v) then begin
+              let a = Graph.label p u and b = Graph.label p v in
+              if Hashtbl.mem s (min a b, max a b) then
+                extend (Pattern.extend_close_edge p u v)
+            end
+          done
+        done
+      end
+    end
+  in
+  List.iter (fun ((a, b), _) -> extend (Pattern.singleton_edge a b)) summary_edges;
+  {
+    patterns =
+      List.sort
+        (fun (p1, _) (p2, _) -> Int.compare (Pattern.size p1) (Pattern.size p2))
+        !out;
+    candidates = !candidates;
+    verified = !verified;
+    elapsed = Sys.time () -. t0;
+  }

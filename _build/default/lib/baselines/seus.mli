@@ -1,0 +1,30 @@
+(** SEuS (Ghazizadeh & Chawathe — DS 2002): frequent structures via a
+    collapsed summary graph.
+
+    The data graph is summarized by collapsing all vertices with the same
+    label into one summary node; summary edge weights count the data edges
+    between label classes. Candidate patterns are enumerated over the summary
+    (weights give a cheap support upper bound) and only promising candidates
+    are verified against the data graph. The published weakness the paper
+    leans on: with many distinct low-frequency structures the summary's
+    estimates collapse, and SEuS reports mostly very small patterns. *)
+
+type result = {
+  patterns : (Spm_pattern.Pattern.t * int) list;  (** verified support *)
+  candidates : int;  (** summary-level candidates enumerated *)
+  verified : int;  (** candidates that survived estimation and were checked *)
+  elapsed : float;
+}
+
+val summary :
+  Spm_graph.Graph.t -> (Spm_graph.Label.t * Spm_graph.Label.t, int) Hashtbl.t
+(** Edge counts between label classes ([la <= lb]). *)
+
+val mine :
+  ?max_edges:int ->
+  graph:Spm_graph.Graph.t ->
+  sigma:int ->
+  unit ->
+  result
+(** Defaults: [max_edges = 3] (the summary blows up quickly beyond that,
+    matching the published behaviour of |V| <= 3 outputs). *)

@@ -1,0 +1,159 @@
+open Spm_graph
+open Spm_pattern
+
+type result = {
+  patterns : (Pattern.t * int) list;
+  spiders_mined : int;
+  merges_done : int;
+  elapsed : float;
+}
+
+(* Frequent r-spiders: grow patterns keeping every vertex within distance r
+   of vertex 0 (the head), pruning by embedding-count support. *)
+let mine_spiders g ~sigma ~r ~max_edges =
+  let out = ref [] in
+  let seen = Hashtbl.create 256 in
+  (* A pattern is an r-spider if some vertex (the head) reaches every other
+     vertex within r hops. *)
+  let radius_ok (st : Grow_util.state) =
+    let p = st.Grow_util.pattern in
+    let rec try_head h =
+      h < Graph.n p
+      && (Array.for_all (fun d -> d >= 0 && d <= r) (Bfs.distances p h)
+         || try_head (h + 1))
+    in
+    try_head 0
+  in
+  let rec walk st =
+    Grow_util.extensions g st
+    |> List.iter (fun st' ->
+           let key = Grow_util.key st' in
+           if
+             (not (Hashtbl.mem seen key))
+             && Pattern.size st'.Grow_util.pattern <= max_edges
+             && radius_ok st'
+           then begin
+             Hashtbl.replace seen key ();
+             if Grow_util.support g st' >= sigma then begin
+               out := st' :: !out;
+               walk st'
+             end
+           end)
+  in
+  List.iter
+    (fun st ->
+      if Grow_util.support g st >= sigma then begin
+        let key = Grow_util.key st in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          out := st :: !out;
+          walk st
+        end
+      end)
+    (Grow_util.edge_seeds g);
+  !out
+
+(* Merge two spiders along overlapping data embeddings: take the union of
+   the two image subgraphs and lift it back to a pattern. *)
+let merge_states g (a : Grow_util.state) (b : Grow_util.state) =
+  let pairs = ref [] in
+  let count = ref 0 in
+  (try
+     List.iter
+       (fun ma ->
+         let set = Hashtbl.create 16 in
+         Array.iter (fun v -> Hashtbl.replace set v ()) ma;
+         List.iter
+           (fun mb ->
+             if Array.exists (fun v -> Hashtbl.mem set v) mb then begin
+               pairs := (ma, mb) :: !pairs;
+               incr count;
+               if !count > 200 then raise Exit
+             end)
+           b.Grow_util.maps)
+       a.Grow_util.maps
+   with Exit -> ());
+  match !pairs with
+  | [] -> None
+  | (ma, mb) :: _ ->
+    (* Union of the two embeddings' vertex sets; induced pattern edges are
+       the union of the two patterns' image edges. *)
+    let vs =
+      Array.to_list ma @ Array.to_list mb |> List.sort_uniq Int.compare
+    in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.add index v i) vs;
+    let labels = Array.of_list (List.map (fun v -> Graph.label g v) vs) in
+    let es = ref [] in
+    let add_edges (st : Grow_util.state) m =
+      Graph.iter_edges
+        (fun pu pv ->
+          let x = Hashtbl.find index m.(pu) and y = Hashtbl.find index m.(pv) in
+          es := (min x y, max x y) :: !es)
+        st.Grow_util.pattern
+    in
+    add_edges a ma;
+    add_edges b mb;
+    let pattern = Graph.of_edges ~labels (List.sort_uniq compare !es) in
+    if Bfs.is_connected pattern then Some pattern else None
+
+let mine ?rng ?(r = 1) ?(d_max = 4) ?(seeds = 200) ?(rounds = 3)
+    ?(max_spider_edges = 8) ~graph ~sigma ~k () =
+  let t0 = Sys.time () in
+  let st = match rng with Some r -> r | None -> Gen.rng 0xdeed in
+  let spiders = mine_spiders graph ~sigma ~r ~max_edges:max_spider_edges in
+  let spiders_arr = Array.of_list spiders in
+  let merges = ref 0 in
+  let best : (string, Pattern.t * int) Hashtbl.t = Hashtbl.create 64 in
+  let consider pattern =
+    let key = Canon.key pattern in
+    if not (Hashtbl.mem best key) then begin
+      let support = Support.single_graph ~limit:(max sigma 2) pattern graph in
+      if support >= sigma && Bfs.diameter pattern <= d_max then
+        Hashtbl.replace best key (pattern, support)
+    end
+  in
+  if Array.length spiders_arr > 0 then begin
+    (* Random seed draws. *)
+    let picked =
+      Array.init (min seeds (4 * Array.length spiders_arr)) (fun _ ->
+          Gen.pick st spiders_arr)
+    in
+    Array.iter (fun s -> consider s.Grow_util.pattern) picked;
+    (* Merge rounds: current pool of states, pairwise overlap merges. *)
+    let pool = ref (Array.to_list picked) in
+    for _ = 1 to rounds do
+      let additions = ref [] in
+      let arr = Array.of_list !pool in
+      let n = Array.length arr in
+      let tries = min 400 (n * 4) in
+      for _ = 1 to tries do
+        let a = arr.(Random.State.int st n) in
+        let b = arr.(Random.State.int st n) in
+        if a != b then
+          match merge_states graph a b with
+          | None -> ()
+          | Some pattern ->
+            if Bfs.diameter pattern <= d_max then begin
+              incr merges;
+              consider pattern;
+              let maps = Subiso.mappings ~pattern ~target:graph in
+              if maps <> [] then
+                additions := { Grow_util.pattern; maps } :: !additions
+            end
+      done;
+      pool := !additions @ !pool
+    done
+  end;
+  let patterns =
+    Hashtbl.fold (fun _ pv acc -> pv :: acc) best []
+    |> List.sort (fun (p1, _) (p2, _) ->
+           Int.compare (Pattern.size p2) (Pattern.size p1))
+    |> List.filteri (fun i _ -> i < k)
+  in
+  {
+    patterns;
+    spiders_mined = List.length spiders;
+    merges_done = !merges;
+    elapsed = Sys.time () -. t0;
+  }

@@ -1,0 +1,84 @@
+open Spm_pattern
+
+type scored = { pattern : Pattern.t; instances : int; compression : float }
+
+type result = { best : scored list; expanded : int; elapsed : float }
+
+(* MDL proxy: a pattern occurrence costs (order + size) description units;
+   replacing all instances by supervertices keeps one copy of the pattern
+   plus a half-unit pointer per instance, so the saving is
+   (instances - 1) * (order + size) - instances/2 - (order + size).
+   Monotone in instances at every size, and size-frequency balanced the way
+   published SUBDUE behaves (small very-frequent substructures win). *)
+let compression_of ~size ~order ~instances =
+  if instances <= 1 then 0.0
+  else
+    let dl = float_of_int (order + size) in
+    (float_of_int (instances - 1) *. dl)
+    -. (0.5 *. float_of_int instances)
+    -. dl
+
+let score g (st : Grow_util.state) =
+  let instances = Grow_util.support g st in
+  {
+    pattern = st.Grow_util.pattern;
+    instances;
+    compression =
+      compression_of ~size:(Pattern.size st.Grow_util.pattern)
+        ~order:(Pattern.order st.Grow_util.pattern)
+        ~instances;
+  }
+
+let mine ?(beam = 4) ?(max_edges = 10) ?(limit_best = 10) ?(iterations = 30)
+    ~graph () =
+  let t0 = Sys.time () in
+  let expanded = ref 0 in
+  let seen = Hashtbl.create 256 in
+  let best : scored list ref = ref [] in
+  let push_best s =
+    best :=
+      s :: !best
+      |> List.sort (fun a b -> Float.compare b.compression a.compression)
+      |> List.filteri (fun i _ -> i < limit_best)
+  in
+  let frontier =
+    ref
+      (Grow_util.vertex_seeds graph
+      |> List.map (fun (_, st) -> st)
+      |> List.map (fun st -> (st, score graph st)))
+  in
+  List.iter (fun (_, s) -> push_best s) !frontier;
+  let round = ref 0 in
+  while !round < iterations && !frontier <> [] do
+    incr round;
+    (* Keep the [beam] best frontier states by compression. *)
+    let top =
+      List.sort (fun (_, a) (_, b) -> Float.compare b.compression a.compression)
+        !frontier
+      |> List.filteri (fun i _ -> i < beam)
+    in
+    let children =
+      List.concat_map
+        (fun (st, _) ->
+          incr expanded;
+          Grow_util.extensions graph st
+          |> List.filter_map (fun st' ->
+                 let key = Grow_util.key st' in
+                 if
+                   Hashtbl.mem seen key
+                   || Pattern.size st'.Grow_util.pattern > max_edges
+                 then None
+                 else begin
+                   Hashtbl.replace seen key ();
+                   let s = score graph st' in
+                   if s.instances >= 1 then begin
+                     push_best s;
+                     Some (st', s)
+                   end
+                   else None
+                 end))
+        top
+    in
+    frontier := children
+  done;
+  { best = !best; expanded = !expanded; elapsed = Sys.time () -. t0 }

@@ -1,0 +1,29 @@
+(** SUBDUE (Holder, Cook, Djoko — KDD 1994): beam search for the
+    substructures that best compress the graph under an MDL score.
+
+    Starting from single-vertex substructures, the best [beam] candidates are
+    repeatedly extended by one edge; each is scored by the description-length
+    saving of replacing its instances with a supervertex. The published bias
+    the SkinnyMine paper relies on (Figures 4–8): compression favors small
+    substructures with high frequency, so SUBDUE's output shifts toward
+    small patterns as small-pattern support rises. *)
+
+type scored = {
+  pattern : Spm_pattern.Pattern.t;
+  instances : int;  (** distinct embedding subgraphs *)
+  compression : float;
+      (** DL(G) - (DL(P) + DL(G|P)), in edge-count units; higher is better *)
+}
+
+type result = { best : scored list; expanded : int; elapsed : float }
+
+val mine :
+  ?beam:int ->
+  ?max_edges:int ->
+  ?limit_best:int ->
+  ?iterations:int ->
+  graph:Spm_graph.Graph.t ->
+  unit ->
+  result
+(** Defaults: [beam = 4], [limit_best = 10], [iterations = 30]. There is no
+    support threshold — SUBDUE ranks by compression alone, as published. *)

@@ -1,0 +1,1 @@
+lib/core/canonical_diameter.ml: Array Bfs Graph Hashtbl Int Label List Paths Spm_graph

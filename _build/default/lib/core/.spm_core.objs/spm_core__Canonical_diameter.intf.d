@@ -1,0 +1,1 @@
+lib/core/canonical_diameter.mli: Spm_pattern

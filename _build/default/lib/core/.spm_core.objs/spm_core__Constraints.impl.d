@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Array Bfs Canonical_diameter Distance_index Graph Spm_graph

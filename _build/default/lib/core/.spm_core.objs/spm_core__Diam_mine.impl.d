@@ -1,0 +1,1 @@
+lib/core/diam_mine.ml: Array Graph Hashtbl Label List Option Path_pattern Printf Spm_graph Sys

@@ -1,0 +1,1 @@
+lib/core/diam_mine.mli: Path_pattern Spm_graph

@@ -1,0 +1,1 @@
+lib/core/diameter_index.ml: Diam_mine Hashtbl List Skinny_mine Spm_graph Sys

@@ -1,0 +1,1 @@
+lib/core/diameter_index.mli: Constraints Diam_mine Skinny_mine Spm_graph Spm_pattern

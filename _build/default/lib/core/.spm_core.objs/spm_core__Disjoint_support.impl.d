@@ -1,0 +1,1 @@
+lib/core/disjoint_support.ml: Array Hashtbl Int List

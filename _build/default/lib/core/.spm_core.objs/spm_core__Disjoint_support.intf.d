@@ -1,0 +1,1 @@
+lib/core/disjoint_support.mli: Spm_pattern

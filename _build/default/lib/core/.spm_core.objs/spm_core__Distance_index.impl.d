@@ -1,0 +1,1 @@
+lib/core/distance_index.ml: Array Bfs Format Graph Queue Spm_graph String

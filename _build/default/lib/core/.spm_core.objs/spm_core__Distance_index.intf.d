@@ -1,0 +1,1 @@
+lib/core/distance_index.mli: Format Spm_pattern

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array Bfs Canon Diam_mine Graph Hashtbl Int Level_grow List Pattern Spm_graph Spm_pattern

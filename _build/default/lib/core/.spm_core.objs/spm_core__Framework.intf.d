@@ -1,0 +1,1 @@
+lib/core/framework.mli: Spm_graph Spm_pattern

@@ -1,0 +1,1 @@
+lib/core/level_grow.ml: Array Canon Constraints Diam_mine Distance_index Embedding Graph Hashtbl Label List Path_pattern Pattern Queue Spm_graph Spm_pattern Sys

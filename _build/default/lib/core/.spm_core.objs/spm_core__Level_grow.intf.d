@@ -1,0 +1,1 @@
+lib/core/level_grow.mli: Constraints Diam_mine Path_pattern Spm_graph Spm_pattern

@@ -1,0 +1,1 @@
+lib/core/path_pattern.ml: Array Format Graph Hashtbl Int Label List Paths Spm_graph String

@@ -1,0 +1,1 @@
+lib/core/path_pattern.mli: Format Spm_graph Spm_pattern

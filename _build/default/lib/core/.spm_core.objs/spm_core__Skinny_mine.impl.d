@@ -1,0 +1,1 @@
+lib/core/skinny_mine.ml: Array Canonical_diameter Diam_mine Graph Hashtbl Level_grow List Path_pattern Pattern Spm_graph Spm_pattern Subiso Sys

@@ -1,0 +1,1 @@
+lib/core/skinny_mine.mli: Constraints Diam_mine Level_grow Path_pattern Spm_graph Spm_pattern

@@ -1,0 +1,148 @@
+open Spm_graph
+
+let realizing_paths p =
+  let n = Graph.n p in
+  if n = 0 then invalid_arg "Canonical_diameter: empty pattern";
+  if not (Bfs.is_connected p) then
+    invalid_arg "Canonical_diameter: pattern must be connected";
+  let dm = Bfs.dist_matrix p in
+  let d = ref 0 in
+  Array.iter (fun row -> Array.iter (fun x -> if x > !d then d := x) row) dm;
+  let d = !d in
+  if d = 0 then List.init n (fun v -> [| v |])
+  else begin
+    let acc = ref [] in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v && dm.(u).(v) = d then
+          acc := List.rev_append (Paths.shortest_paths_between p u v) !acc
+      done
+    done;
+    !acc
+  end
+
+let compare_paths p a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec labels i =
+      if i >= la then 0
+      else
+        let c = Label.compare (Graph.label p a.(i)) (Graph.label p b.(i)) in
+        if c <> 0 then c else labels (i + 1)
+    in
+    let c = labels 0 in
+    if c <> 0 then c
+    else
+      let rec ids i =
+        if i >= la then 0
+        else
+          let c = Int.compare a.(i) b.(i) in
+          if c <> 0 then c else ids (i + 1)
+      in
+      ids 0
+  end
+
+let compute p =
+  match realizing_paths p with
+  | [] -> invalid_arg "Canonical_diameter.compute: no realizing path"
+  | first :: rest ->
+    List.fold_left
+      (fun best cand -> if compare_paths p cand best < 0 then cand else best)
+      first rest
+
+let diameter = Bfs.diameter
+
+let is_canonical_diameter p path = compute p = path
+
+(* Fast check that the identity path [0..l] is the canonical diameter.
+   After confirming D(p) = l and dist(0, l) = l (which also rules out chords
+   among diameter vertices), the only way the identity loses is to a
+   realizing path with a strictly smaller label sequence: the identity wins
+   every id tiebreak because at the first difference the rival's vertex id
+   is necessarily larger. So we search each realizing source's shortest-path
+   DAG only along label-equal prefixes, failing as soon as a strictly
+   smaller label appears. *)
+let identity_preserved p ~l =
+  let n = Graph.n p in
+  if n < l + 1 then invalid_arg "identity_preserved: too few vertices";
+  let rec edges_ok i =
+    i >= l || (Graph.has_edge p i (i + 1) && edges_ok (i + 1))
+  in
+  if not (edges_ok 0) then false
+  else begin
+    let dm = Array.init n (fun v -> Bfs.distances p v) in
+    let diameter_ok =
+      let d = ref 0 in
+      Array.iter (fun row -> Array.iter (fun x -> if x > !d then d := x) row) dm;
+      !d = l
+    in
+    if (not diameter_ok) || dm.(0).(l) <> l then false
+    else begin
+      let lbl v = Graph.label p v in
+      let llabel i = lbl i in
+      (* DFS from x toward any realizing sink, along label-equal prefixes of
+         the identity; a strictly smaller label at any position is a strictly
+         smaller realizing path. *)
+      let exception Smaller in
+      let check_source x =
+        let dist_x = dm.(x) in
+        (* Realizing sinks for x. *)
+        let has_sink = Array.exists (fun d -> d = l) dist_x in
+        if has_sink then begin
+          if Label.compare (lbl x) (llabel 0) < 0 then raise Smaller;
+          if Label.compare (lbl x) (llabel 0) = 0 then begin
+            let visited = Hashtbl.create 32 in
+            let rec dfs v pos =
+              (* Invariant: labels of the prefix equal L[0..pos]. *)
+              if pos < l && not (Hashtbl.mem visited (v, pos)) then begin
+                Hashtbl.add visited (v, pos) ();
+                Array.iter
+                  (fun w ->
+                    (* Stay on a shortest path from x of full length l: w is
+                       at x-distance pos+1 and can still reach a vertex at
+                       distance l - need dist from w: l - pos - 1 more
+                       steps to some sink y with dist_x y = l. Using
+                       dm.(w): exists y, dm.(w).(y) = l - pos - 1 and
+                       dist_x.(y) = l. *)
+                    if dist_x.(w) = pos + 1 then begin
+                      let reaches_sink =
+                        let ok = ref false in
+                        Array.iteri
+                          (fun y dwy ->
+                            if dwy = l - pos - 1 && dist_x.(y) = l then
+                              ok := true)
+                          dm.(w);
+                        !ok
+                      in
+                      if reaches_sink then begin
+                        let c = Label.compare (lbl w) (llabel (pos + 1)) in
+                        if c < 0 then raise Smaller
+                        else if c = 0 then dfs w (pos + 1)
+                      end
+                    end)
+                  (Graph.adj p v)
+              end
+            in
+            dfs x 0
+          end
+        end
+      in
+      try
+        for x = 0 to n - 1 do
+          check_source x
+        done;
+        true
+      with Smaller -> false
+    end
+  end
+
+let levels p ~diameter =
+  Bfs.distances_from_set p (Array.to_list diameter)
+
+let is_skinny p ~delta =
+  let l = compute p in
+  Array.for_all (fun d -> d >= 0 && d <= delta) (levels p ~diameter:l)
+
+let is_l_long_delta_skinny p ~l ~delta =
+  Bfs.diameter p = l && is_skinny p ~delta

@@ -1,0 +1,47 @@
+(** Canonical diameters (Definitions 3–7).
+
+    Every connected graph has a unique canonical diameter: among all simple
+    paths of diameter length that realize the diameter (their endpoints are at
+    that shortest distance), the minimum under the total path order — label
+    sequence first (Definition 2), physical vertex-id sequence as tiebreak
+    (Definition 3). This module is the *reference* implementation used for
+    correctness checks and tests; the miner maintains canonicity
+    incrementally through {!Constraints} without recomputation. *)
+
+type pattern := Spm_pattern.Pattern.t
+
+val realizing_paths : pattern -> int array list
+(** All directed simple paths of length D(G) whose endpoints are at distance
+    exactly D(G) — both orientations of each. For a single-vertex graph, the
+    trivial paths [[|v|]]. The pattern must be connected. *)
+
+val compare_paths : pattern -> int array -> int array -> int
+(** The total path order of Definition 3: length, then labels, then vertex
+    ids. *)
+
+val compute : pattern -> int array
+(** The canonical diameter as a directed vertex sequence. *)
+
+val diameter : pattern -> int
+
+val is_canonical_diameter : pattern -> int array -> bool
+(** Whether the given path is exactly the canonical diameter. *)
+
+val identity_preserved : pattern -> l:int -> bool
+(** Fast equivalent of [compute p = [|0; 1; ...; l|]], the check the miner
+    performs after every extension. Instead of enumerating every realizing
+    path it searches the shortest-path DAGs only along prefixes whose labels
+    tie with the identity path, pruning any branch that is already
+    lexicographically larger; identity wins every id tiebreak because
+    diameter vertices carry the smallest ids, so only strictly smaller label
+    sequences can dethrone it. *)
+
+val levels : pattern -> diameter:int array -> int array
+(** Vertex levels (Definition 5): per-vertex distance to the diameter path. *)
+
+val is_skinny : pattern -> delta:int -> bool
+(** δ-skinny (Definition 6): every vertex within [delta] of the canonical
+    diameter. *)
+
+val is_l_long_delta_skinny : pattern -> l:int -> delta:int -> bool
+(** Definition 7. *)

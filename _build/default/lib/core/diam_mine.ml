@@ -1,0 +1,288 @@
+open Spm_graph
+
+type entry = { labels : Path_pattern.t; embeddings : int array list }
+
+let entry_support e = List.length e.embeddings
+
+type stats = {
+  per_power : (int * int * float) list;
+  merge_seconds : float;
+  total_seconds : float;
+}
+
+type result = { entries : entry list; stats : stats }
+
+(* Directed path table: label sequence -> directed embeddings (deduped as
+   directed sequences). The table is closed under reversal: every path is
+   stored in both reading directions so concatenation and merging can join
+   freely. *)
+type dir_set = (Label.t array, (int array, unit) Hashtbl.t) Hashtbl.t
+
+let add_emb (set : dir_set) labels emb =
+  let tbl =
+    match Hashtbl.find_opt set labels with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 16 in
+      Hashtbl.add set labels t;
+      t
+  in
+  Hashtbl.replace tbl emb ()
+
+let embs_of tbl = Hashtbl.fold (fun e () acc -> e :: acc) tbl []
+
+(* Support of the undirected pattern with canonical label sequence [c]: the
+   directed embeddings under [c], deduped as subgraphs (only palindromic
+   sequences ever hold both orientations of one subgraph), then measured by
+   [support] — by default their count, i.e. |E[P]|. *)
+let canonical_support ~support (set : dir_set) c =
+  match Hashtbl.find_opt set c with
+  | None -> 0
+  | Some tbl -> support (Path_pattern.Emb.dedup_subgraphs (embs_of tbl))
+
+(* Keep only paths whose undirected pattern meets sigma. *)
+let frequency_filter ~support (set : dir_set) ~sigma =
+  let out : dir_set = Hashtbl.create (Hashtbl.length set) in
+  Hashtbl.iter
+    (fun labels tbl ->
+      let c = Path_pattern.canonical labels in
+      if canonical_support ~support set c >= sigma then
+        Hashtbl.replace out labels tbl)
+    set;
+  out
+
+let count_canonical (set : dir_set) =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun labels _ -> Hashtbl.replace seen (Path_pattern.canonical labels) ())
+    set;
+  Hashtbl.length seen
+
+let edges_set g =
+  let out : dir_set = Hashtbl.create 64 in
+  Graph.iter_edges
+    (fun u v ->
+      let lu = Graph.label g u and lv = Graph.label g v in
+      add_emb out [| lu; lv |] [| u; v |];
+      add_emb out [| lv; lu |] [| v; u |])
+    g;
+  out
+
+let disjoint_from ~except_first emb (vs : (int, unit) Hashtbl.t) =
+  let n = Array.length emb in
+  let rec loop i = i >= n || ((not (Hashtbl.mem vs emb.(i))) && loop (i + 1)) in
+  loop except_first
+
+(* Concatenate two directed paths of equal length at a shared junction
+   vertex (CheckConcat of Algorithm 2, embedding-level). *)
+let concat_step (set : dir_set) =
+  let out : dir_set = Hashtbl.create 64 in
+  (* Index every directed embedding by its head vertex; the junction label
+     condition is implied by vertex equality. *)
+  let by_head : (int, (Label.t array * int array) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  Hashtbl.iter
+    (fun labels tbl ->
+      Hashtbl.iter
+        (fun emb () ->
+          let h = emb.(0) in
+          match Hashtbl.find_opt by_head h with
+          | Some l -> l := (labels, emb) :: !l
+          | None -> Hashtbl.add by_head h (ref [ (labels, emb) ]))
+        tbl)
+    set;
+  Hashtbl.iter
+    (fun a_labels tbl ->
+      Hashtbl.iter
+        (fun a () ->
+          let la = Array.length a in
+          let tail = a.(la - 1) in
+          match Hashtbl.find_opt by_head tail with
+          | None -> ()
+          | Some candidates ->
+            let a_verts = Hashtbl.create la in
+            Array.iter (fun v -> Hashtbl.replace a_verts v ()) a;
+            List.iter
+              (fun (b_labels, b) ->
+                if disjoint_from ~except_first:1 b a_verts then begin
+                  let lb = Array.length b in
+                  let labels =
+                    Array.append a_labels (Array.sub b_labels 1 (lb - 1))
+                  in
+                  let emb = Array.append a (Array.sub b 1 (lb - 1)) in
+                  add_emb out labels emb
+                end)
+              !candidates)
+        tbl)
+    set;
+  out
+
+(* Merge two directed paths of length 2^k overlapping in [ov] edges to form a
+   path of length 2^{k+1} - ov (CheckMergeHead/CheckMergeTail, over all
+   ordered pairs). *)
+let merge_step (set : dir_set) ~ov =
+  let out : dir_set = Hashtbl.create 64 in
+  let ov_verts = ov + 1 in
+  (* Index embeddings by their first ov+1 vertices. *)
+  let by_prefix : (int list, (Label.t array * int array) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  Hashtbl.iter
+    (fun labels tbl ->
+      Hashtbl.iter
+        (fun emb () ->
+          let key = Array.to_list (Array.sub emb 0 ov_verts) in
+          match Hashtbl.find_opt by_prefix key with
+          | Some l -> l := (labels, emb) :: !l
+          | None -> Hashtbl.add by_prefix key (ref [ (labels, emb) ]))
+        tbl)
+    set;
+  Hashtbl.iter
+    (fun a_labels tbl ->
+      Hashtbl.iter
+        (fun a () ->
+          let la = Array.length a in
+          let key = Array.to_list (Array.sub a (la - ov_verts) ov_verts) in
+          match Hashtbl.find_opt by_prefix key with
+          | None -> ()
+          | Some candidates ->
+            let a_verts = Hashtbl.create la in
+            Array.iter (fun v -> Hashtbl.replace a_verts v ()) a;
+            List.iter
+              (fun (b_labels, b) ->
+                if disjoint_from ~except_first:ov_verts b a_verts then begin
+                  let lb = Array.length b in
+                  let labels =
+                    Array.append a_labels
+                      (Array.sub b_labels ov_verts (lb - ov_verts))
+                  in
+                  let emb =
+                    Array.append a (Array.sub b ov_verts (lb - ov_verts))
+                  in
+                  add_emb out labels emb
+                end)
+              !candidates)
+        tbl)
+    set;
+  out
+
+let entries_of_set ~support (set : dir_set) ~sigma =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.fold
+    (fun labels tbl acc ->
+      let c = Path_pattern.canonical labels in
+      if Hashtbl.mem seen c then acc
+      else begin
+        Hashtbl.add seen c ();
+        (* Read embeddings in the canonical direction. *)
+        let ctbl = if labels = c then tbl else Hashtbl.find set c in
+        let embs = Path_pattern.Emb.dedup_subgraphs (embs_of ctbl) in
+        if support embs >= sigma then { labels = c; embeddings = embs } :: acc
+        else acc
+      end)
+    set []
+
+module Powers = struct
+  type t = {
+    sigma : int;
+    prune : bool;
+    support : int array list -> int;
+    levels : (int * dir_set) list; (* ascending lengths 1, 2, 4, ... *)
+    stats_per_power : (int * int * float) list;
+    build_seconds : float;
+  }
+
+  let build ?(prune_intermediate = true) ?(support = List.length) g ~sigma
+      ~up_to =
+    let t0 = Sys.time () in
+    let stats = ref [] in
+    let rec grow set len acc =
+      let acc = (len, set) :: acc in
+      if 2 * len > up_to then List.rev acc
+      else begin
+        let t = Sys.time () in
+        let next = concat_step set in
+        let next =
+          if prune_intermediate then frequency_filter ~support next ~sigma
+          else next
+        in
+        stats := (2 * len, count_canonical next, Sys.time () -. t) :: !stats;
+        grow next (2 * len) acc
+      end
+    in
+    let levels =
+      if up_to < 1 then []
+      else begin
+        let t = Sys.time () in
+        let s1 = edges_set g in
+        let s1 =
+          if prune_intermediate then frequency_filter ~support s1 ~sigma
+          else s1
+        in
+        stats := (1, count_canonical s1, Sys.time () -. t) :: !stats;
+        grow s1 1 []
+      end
+    in
+    {
+      sigma;
+      prune = prune_intermediate;
+      support;
+      levels;
+      stats_per_power = List.rev !stats;
+      build_seconds = Sys.time () -. t0;
+    }
+
+  let max_power t =
+    List.fold_left (fun acc (len, _) -> max acc len) 0 t.levels
+
+  let set_of_length t len = List.assoc_opt len t.levels
+
+  let paths_of_length t ~l ~sigma =
+    if l < 1 then invalid_arg "Diam_mine: l must be >= 1";
+    let support = t.support in
+    match set_of_length t l with
+    | Some set -> entries_of_set ~support set ~sigma
+    | None ->
+      (* l is not a materialized power: merge two paths of length p, the
+         largest materialized power below l, overlapping in 2p - l edges. *)
+      let p =
+        List.fold_left
+          (fun acc (len, _) -> if len <= l then max acc len else acc)
+          0 t.levels
+      in
+      if p = 0 || l >= 2 * p then
+        invalid_arg
+          (Printf.sprintf
+             "Diam_mine.Powers.paths_of_length: l=%d not servable (largest \
+              usable power %d)"
+             l p);
+      let set = Option.get (set_of_length t p) in
+      let ov = (2 * p) - l in
+      let merged = merge_step set ~ov in
+      entries_of_set ~support merged ~sigma
+
+  let stats t =
+    {
+      per_power = t.stats_per_power;
+      merge_seconds = 0.0;
+      total_seconds = t.build_seconds;
+    }
+end
+
+let mine ?(prune_intermediate = true) ?support g ~l ~sigma =
+  if l < 1 then invalid_arg "Diam_mine.mine: l must be >= 1";
+  let t0 = Sys.time () in
+  let powers = Powers.build ~prune_intermediate ?support g ~sigma ~up_to:l in
+  let tm = Sys.time () in
+  let entries = Powers.paths_of_length powers ~l ~sigma in
+  let merge_seconds = Sys.time () -. tm in
+  {
+    entries;
+    stats =
+      {
+        per_power = powers.Powers.stats_per_power;
+        merge_seconds;
+        total_seconds = Sys.time () -. t0;
+      };
+  }

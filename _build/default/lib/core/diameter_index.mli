@@ -1,0 +1,51 @@
+(** The direct-mining index (Figure 2): pre-compute the minimal
+    constraint-satisfying patterns — frequent paths — once, then serve mining
+    requests for any diameter length l (or range) without touching the
+    pattern space below l.
+
+    Powers of two are materialized eagerly; requested lengths are merged on
+    demand and cached. *)
+
+type t
+
+val build :
+  ?prune_intermediate:bool ->
+  ?path_support:(int array list -> int) ->
+  Spm_graph.Graph.t ->
+  sigma:int ->
+  l_max:int ->
+  t
+(** Index able to serve any l in [1, l_max] (provided l_max >= 1 and either
+    l is at most twice the largest materialized power minus one, which holds
+    for every l <= l_max by construction). *)
+
+val graph : t -> Spm_graph.Graph.t
+
+val sigma : t -> int
+
+val entries : t -> l:int -> Diam_mine.entry list
+(** Frequent length-l paths with embeddings; cached after the first call. *)
+
+val request :
+  ?mode:Constraints.mode ->
+  ?closed_growth:bool ->
+  ?support:(Spm_pattern.Pattern.t -> int array list -> int) ->
+  ?closed_only:bool ->
+  ?max_patterns:int ->
+  t ->
+  l:int ->
+  delta:int ->
+  Skinny_mine.result
+(** Serve one (l, δ) mining request from the index: Stage II only. *)
+
+val request_range :
+  ?mode:Constraints.mode ->
+  t ->
+  l_min:int ->
+  l_max:int ->
+  delta:int ->
+  Skinny_mine.result
+(** All patterns with diameter length in [l_min, l_max] — the "between l1 and
+    l2 without visiting shorter or longer diameters" use case of §1. *)
+
+val build_seconds : t -> float

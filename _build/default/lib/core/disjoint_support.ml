@@ -1,0 +1,32 @@
+let greedy embs =
+  let used = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc (e : int array) ->
+      if Array.exists (fun v -> Hashtbl.mem used v) e then acc
+      else begin
+        Array.iter (fun v -> Hashtbl.replace used v ()) e;
+        acc + 1
+      end)
+    0 embs
+
+let paths embs = greedy embs
+
+let maps pattern ms =
+  (* Dedup mappings to one per subgraph, then greedily pick disjoint ones.
+     Keying by sorted vertex set is enough here: two mappings with the same
+     vertex set are never disjoint anyway. *)
+  ignore pattern;
+  let seen = Hashtbl.create 64 in
+  let distinct =
+    List.filter
+      (fun (m : int array) ->
+        let key = Array.copy m in
+        Array.sort Int.compare key;
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      ms
+  in
+  greedy distinct

@@ -1,0 +1,20 @@
+(** Greedy vertex-disjoint embedding support.
+
+    The paper's |E[P]| counts distinct embedding subgraphs, which inflates on
+    overlapping embeddings: two length-l paths sharing l-1 edges are two
+    embeddings, so in a branchy background the number of "frequent" long
+    paths *grows* with l — the opposite of the paper's Figure 16 curve. A
+    maximum-independent-set style support (count only pairwise
+    vertex-disjoint embeddings, as in GREW and the MIS measure MoSS
+    discusses) removes the inflation; we use the standard greedy
+    approximation. It is used by the constraint-sweep experiments to
+    reproduce the paper's reported curve shapes, and is available as a
+    drop-in [~support] for the miners. *)
+
+val paths : int array list -> int
+(** Greedy count of pairwise vertex-disjoint path embeddings (input: one
+    directed embedding per subgraph, as {!Diam_mine} supplies). *)
+
+val maps : Spm_pattern.Pattern.t -> int array list -> int
+(** Greedy count of pairwise vertex-disjoint pattern embeddings, deduping
+    mappings to subgraphs first. *)

@@ -1,0 +1,136 @@
+open Spm_graph
+open Spm_pattern
+
+module type CONSTRAINT = sig
+  type request
+  type seed
+
+  val name : string
+  val minimal_patterns : Graph.t -> sigma:int -> request -> seed list
+  val grow : Graph.t -> sigma:int -> request -> seed -> (Pattern.t * int) list
+end
+
+module Make (C : CONSTRAINT) = struct
+  let mine g ~sigma request =
+    let seeds = C.minimal_patterns g ~sigma request in
+    let seen = Canon.Set.create () in
+    List.concat_map (fun seed -> C.grow g ~sigma request seed) seeds
+    |> List.filter (fun (p, _) -> Canon.Set.add seen p)
+end
+
+module Skinny = struct
+  type request = { l : int; delta : int }
+  type seed = Diam_mine.entry
+
+  let name = "l-long delta-skinny"
+
+  let minimal_patterns g ~sigma { l; delta = _ } =
+    (Diam_mine.mine g ~l ~sigma).Diam_mine.entries
+
+  let grow g ~sigma { delta; _ } seed =
+    let mined, _stats = Level_grow.grow ~data:g ~sigma ~delta ~entry:seed () in
+    List.map
+      (fun m -> (m.Level_grow.pattern, m.Level_grow.support))
+      mined
+
+  let mine g ~sigma request =
+    let module M = Make (struct
+      type nonrec request = request
+      type nonrec seed = seed
+
+      let name = name
+      let minimal_patterns = minimal_patterns
+      let grow = grow
+    end) in
+    M.mine g ~sigma request
+end
+
+(* --- Property checkers --------------------------------------------------- *)
+
+let pattern_minus_edge p (u, v) =
+  let es = List.filter (fun e -> e <> (u, v)) (Graph.edges p) in
+  let keep =
+    (* Drop endpoints this deletion isolates; keep everything else. *)
+    List.init (Graph.n p) (fun w -> w)
+    |> List.filter (fun w ->
+           List.exists (fun (a, b) -> a = w || b = w) es
+           || (w <> u && w <> v && Graph.degree p w = 0))
+  in
+  let keep = Array.of_list keep in
+  let idx = Hashtbl.create 8 in
+  Array.iteri (fun i w -> Hashtbl.add idx w i) keep;
+  let labels = Array.map (fun w -> Graph.label p w) keep in
+  let es' = List.map (fun (a, b) -> (Hashtbl.find idx a, Hashtbl.find idx b)) es in
+  Graph.of_edges ~labels es'
+
+let single_vertex p w = Graph.of_edges ~labels:[| Graph.label p w |] []
+
+let immediate_subpatterns p =
+  let seen = Canon.Set.create () in
+  if Pattern.size p = 0 then []
+  else if Pattern.size p = 1 then begin
+    (* Removing the only edge leaves single vertices. *)
+    List.filter
+      (fun q -> Canon.Set.add seen q)
+      [ single_vertex p 0; single_vertex p 1 ]
+  end
+  else
+    Graph.edges p
+    |> List.filter_map (fun e ->
+           let q = pattern_minus_edge p e in
+           if Bfs.is_connected q && Canon.Set.add seen q then Some q else None)
+
+let rec is_minimal_satisfying ~pred p =
+  pred p
+  && List.for_all
+       (fun q -> not (satisfies_somewhere ~pred q))
+       (immediate_subpatterns p)
+
+and satisfies_somewhere ~pred p =
+  pred p
+  || List.exists (fun q -> satisfies_somewhere ~pred q) (immediate_subpatterns p)
+
+let reducible_witnesses ~pred ~universe =
+  List.filter
+    (fun p -> Pattern.size p >= 1 && is_minimal_satisfying ~pred p)
+    universe
+
+let is_reducible ~pred ~universe = reducible_witnesses ~pred ~universe <> []
+
+let is_continuous ~pred ~universe =
+  List.for_all
+    (fun p ->
+      (not (pred p))
+      || is_minimal_satisfying ~pred p
+      || List.exists pred (immediate_subpatterns p))
+    universe
+
+let connected_patterns_upto g ~max_edges =
+  let seen = Canon.Set.create () in
+  let out = ref [] in
+  let add p = if Canon.Set.add seen p then out := p :: !out in
+  Graph.iter_vertices (fun v -> add (single_vertex g v)) g;
+  let all_edges = Array.of_list (Graph.edges g) in
+  let m = Array.length all_edges in
+  let consider chosen =
+    let es = List.map (fun i -> all_edges.(i)) chosen in
+    let vs =
+      List.concat_map (fun (u, v) -> [ u; v ]) es
+      |> List.sort_uniq Int.compare |> Array.of_list
+    in
+    let idx = Hashtbl.create 8 in
+    Array.iteri (fun i v -> Hashtbl.add idx v i) vs;
+    let labels = Array.map (fun v -> Graph.label g v) vs in
+    let es' = List.map (fun (u, v) -> (Hashtbl.find idx u, Hashtbl.find idx v)) es in
+    let p = Graph.of_edges ~labels es' in
+    if Bfs.is_connected p then add p
+  in
+  let rec choose i chosen size =
+    if size > 0 then consider chosen;
+    if i < m && size < max_edges then begin
+      choose (i + 1) (i :: chosen) (size + 1);
+      choose (i + 1) chosen size
+    end
+  in
+  choose 0 [] 0;
+  List.rev !out

@@ -1,0 +1,77 @@
+(** The general direct-mining framework (§5) and executable checkers for the
+    two qualifying properties of constraints.
+
+    A qualified constraint is mined in two stages: (1) generate the minimal
+    constraint-satisfying patterns (possible when the constraint is
+    {e reducible} — Property 1); (2) grow each minimal pattern while
+    preserving the constraint (complete when the constraint is {e continuous}
+    — Property 2). The functor {!Make} packages the two stages; {!Skinny} is
+    the (l,δ)-SPM instance built from {!Diam_mine} and {!Level_grow}. *)
+
+type pattern := Spm_pattern.Pattern.t
+
+module type CONSTRAINT = sig
+  type request
+  (** A concrete mining request (e.g. (l, δ) for skinny patterns). *)
+
+  type seed
+  (** A minimal constraint-satisfying pattern plus whatever state growth
+      needs (e.g. its embeddings). *)
+
+  val name : string
+
+  val minimal_patterns :
+    Spm_graph.Graph.t -> sigma:int -> request -> seed list
+
+  val grow :
+    Spm_graph.Graph.t -> sigma:int -> request -> seed -> (pattern * int) list
+  (** Constraint-preserving growth: every pattern in the seed's cluster with
+      its support. *)
+end
+
+module Make (C : CONSTRAINT) : sig
+  val mine : Spm_graph.Graph.t -> sigma:int -> C.request -> (pattern * int) list
+  (** Two-stage direct mining; results deduplicated up to isomorphism. *)
+end
+
+module Skinny : sig
+  type request = { l : int; delta : int }
+
+  include CONSTRAINT with type request := request
+
+  val mine :
+    Spm_graph.Graph.t -> sigma:int -> request -> (pattern * int) list
+end
+
+(** {1 Property checkers}
+
+    Executable over a finite universe of candidate patterns (e.g. all
+    connected subgraphs of a small graph); used to demonstrate the paper's
+    §5.2/§5.3 examples: MaxDegree ≤ K is not reducible, "all degrees equal"
+    is not continuous. *)
+
+val immediate_subpatterns : pattern -> pattern list
+(** All connected patterns obtained by deleting one edge (dropping a vertex
+    it isolates), deduplicated up to isomorphism. Single vertices count. *)
+
+val is_minimal_satisfying : pred:(pattern -> bool) -> pattern -> bool
+(** No proper connected subpattern (of any size) satisfies [pred], but the
+    pattern does. Exponential — small patterns only. *)
+
+val reducible_witnesses :
+  pred:(pattern -> bool) -> universe:pattern list -> pattern list
+(** Minimal satisfying patterns with at least one edge found in the
+    universe. *)
+
+val is_reducible : pred:(pattern -> bool) -> universe:pattern list -> bool
+(** Property 1 restricted to the universe: some non-trivial minimal
+    satisfying pattern exists. *)
+
+val is_continuous : pred:(pattern -> bool) -> universe:pattern list -> bool
+(** Property 2 restricted to the universe: every satisfying pattern is
+    minimal or has a satisfying immediate subpattern. *)
+
+val connected_patterns_upto :
+  Spm_graph.Graph.t -> max_edges:int -> pattern list
+(** Universe helper: all connected subgraph patterns (up to isomorphism)
+    with 1..max_edges edges, plus single-vertex patterns. Exponential. *)

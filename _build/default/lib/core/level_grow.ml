@@ -1,0 +1,273 @@
+open Spm_graph
+open Spm_pattern
+
+type mined = {
+  pattern : Pattern.t;
+  support : int;
+  levels : int array;
+  diameter_labels : Path_pattern.t;
+}
+
+type stats = {
+  extensions_tried : int;
+  constraint_rejected : int;
+  infrequent : int;
+  emitted : int;
+  seconds : float;
+}
+
+(* Extension descriptor: NL (host, new label) creates a twig; CE (u, v)
+   closes an edge between existing vertices. *)
+type desc = NL of int * Label.t | CE of int * int
+
+let compare_desc a b =
+  match (a, b) with
+  | NL (h1, l1), NL (h2, l2) -> compare (h1, l1) (h2, l2)
+  | CE (u1, v1), CE (u2, v2) -> compare (u1, v1) (u2, v2)
+  | NL _, CE _ -> -1
+  | CE _, NL _ -> 1
+
+type pstate = {
+  pattern : Pattern.t;
+  levels : int array; (* true distance to the diameter path [0..l] *)
+  idx : Distance_index.t;
+  maps : int array list; (* all mappings pattern vertex -> data vertex *)
+  support : int;
+}
+
+let default_support data pattern maps =
+  Embedding.count_distinct ~data_n:(Graph.n data) ~pattern maps
+
+(* Levels (distance to the diameter) maintained exactly: a fresh leaf sits
+   one above its host; a closing edge can only lower levels, propagated by a
+   decrease-only relaxation. *)
+let relax_levels pattern' levels u v =
+  let queue = Queue.create () in
+  let try_improve a b =
+    if levels.(b) > levels.(a) + 1 then begin
+      levels.(b) <- levels.(a) + 1;
+      Queue.add b queue
+    end
+  in
+  try_improve u v;
+  try_improve v u;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    Array.iter (fun y -> try_improve x y) (Graph.adj pattern' x)
+  done
+
+(* Enumerate extension candidates for one state, grouped by descriptor with
+   per-descriptor mapping lists. Twigs may hang off any vertex whose level
+   leaves room under delta; closing edges may join any non-adjacent pair
+   whose images are adjacent in the data graph. *)
+let candidates data st ~delta =
+  let by_desc : (desc, int array list ref) Hashtbl.t = Hashtbl.create 32 in
+  let add desc m =
+    match Hashtbl.find_opt by_desc desc with
+    | Some l -> l := m :: !l
+    | None -> Hashtbl.add by_desc desc (ref [ m ])
+  in
+  let np = Graph.n st.pattern in
+  List.iter
+    (fun m ->
+      let image = Hashtbl.create np in
+      Array.iteri (fun pv tv -> Hashtbl.add image tv pv) m;
+      for pv = 0 to np - 1 do
+        if st.levels.(pv) <= delta - 1 then
+          Array.iter
+            (fun w ->
+              if not (Hashtbl.mem image w) then
+                add (NL (pv, Graph.label data w)) (Array.append m [| w |]))
+            (Graph.adj data m.(pv))
+      done;
+      for pv = 0 to np - 1 do
+        for pu = 0 to pv - 1 do
+          if
+            (not (Graph.has_edge st.pattern pu pv))
+            && Graph.has_edge data m.(pu) m.(pv)
+          then add (CE (pu, pv)) m
+        done
+      done)
+    st.maps;
+  Hashtbl.fold (fun d ms acc -> (d, !ms) :: acc) by_desc []
+  |> List.sort (fun (d1, _) (d2, _) -> compare_desc d1 d2)
+
+let apply_desc st desc =
+  match desc with
+  | NL (host, label) ->
+    let pattern = Pattern.extend_new_vertex st.pattern ~host ~label in
+    let idx = Distance_index.extend_new_vertex st.idx ~host in
+    let levels = Array.append st.levels [| st.levels.(host) + 1 |] in
+    (pattern, idx, levels, Constraints.New_leaf { host })
+  | CE (u, v) ->
+    let pattern = Pattern.extend_close_edge st.pattern u v in
+    let idx = Distance_index.extend_close_edge pattern st.idx u v in
+    let levels = Array.copy st.levels in
+    relax_levels pattern levels u v;
+    (pattern, idx, levels, Constraints.Close (u, v))
+
+(* A descriptor is "universal" for a state when every embedding of the
+   pattern supports it — extending by it cannot reduce the support, so every
+   closed superpattern contains it. Closed growth applies such extensions
+   eagerly without branching (the item-merging jump of closed-pattern
+   mining), collapsing the twig powerset the complete semantics enumerates. *)
+let universal_descs st cands =
+  let total = List.length st.maps in
+  List.filter
+    (fun (desc, maps) ->
+      match desc with
+      | CE _ -> List.length maps = total
+      | NL _ ->
+        (* Forward maps extend parents; count distinct parents covered. *)
+        let parents = Hashtbl.create total in
+        List.iter
+          (fun (m : int array) ->
+            Hashtbl.replace parents (Array.sub m 0 (Array.length m - 1)) ())
+          maps;
+        Hashtbl.length parents = total)
+    cands
+
+let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
+    ?max_patterns ~data ~sigma ~delta ~(entry : Diam_mine.entry) () =
+  let t0 = Sys.time () in
+  let support_fn =
+    match support with Some f -> f | None -> default_support data
+  in
+  let l = Path_pattern.length entry.Diam_mine.labels in
+  let diameter_pattern = Path_pattern.to_pattern entry.Diam_mine.labels in
+  let tried = ref 0 and rejected = ref 0 and infreq = ref 0 in
+  let init_maps =
+    let embs = entry.Diam_mine.embeddings in
+    if Path_pattern.is_palindrome entry.Diam_mine.labels then
+      List.concat_map
+        (fun e ->
+          let r = Array.init (Array.length e) (fun k -> e.(Array.length e - 1 - k)) in
+          [ e; r ])
+        embs
+    else embs
+  in
+  let init =
+    {
+      pattern = diameter_pattern;
+      levels = Array.make (l + 1) 0;
+      idx = Distance_index.init diameter_pattern ~head:0 ~tail:l;
+      maps = init_maps;
+      support = support_fn diameter_pattern init_maps;
+    }
+  in
+  (* Unique generation: every pattern whose key is in [decided] has been
+     judged exactly once (accepted or infrequent); verdicts are
+     derivation-independent, so re-derivations are skipped. *)
+  let decided : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let out = ref [] in
+  let emitted_count = ref 0 in
+  let full = ref false in
+  let emit st =
+    if not !full then begin
+      out :=
+        {
+          pattern = st.pattern;
+          support = st.support;
+          levels = st.levels;
+          diameter_labels = entry.Diam_mine.labels;
+        }
+        :: !out;
+      incr emitted_count;
+      match max_patterns with
+      | Some cap when !emitted_count >= cap -> full := true
+      | Some _ | None -> ()
+    end
+  in
+  Hashtbl.replace decided (Canon.key init.pattern) ();
+  (* Build one child; [`Dup] = pattern already judged elsewhere. *)
+  let build_child st (desc, maps) =
+    incr tried;
+    let pattern', idx', levels', ext = apply_desc st desc in
+    (* Constraints first: rejections are by far the most common outcome and
+       must not pay for canonicalization. (Verdicts depend on WHICH vertices
+       carry the diameter — two isomorphic constructions can differ, e.g. a
+       paw built as triangle-on-the-diameter vs triangle-on-a-twig — so a
+       rejection must NOT be memoized; only acceptance and infrequency are
+       pattern-intrinsic.) *)
+    if
+      not (Constraints.check ~mode ~pattern':pattern' ~idx:st.idx ~idx':idx' ~l ext)
+    then begin
+      incr rejected;
+      `Rejected
+    end
+    else begin
+      let key = Canon.key pattern' in
+      if Hashtbl.mem decided key then `Dup
+      else begin
+        Hashtbl.replace decided key ();
+        let support = support_fn pattern' maps in
+        if support < sigma then begin
+          incr infreq;
+          `Infrequent
+        end
+        else
+          `Child { pattern = pattern'; levels = levels'; idx = idx'; maps; support }
+      end
+    end
+  in
+  let rec closure frontier =
+    match frontier with
+    | [] -> ()
+    | st :: rest when not !full ->
+      let cands = candidates data st ~delta in
+      if closed_growth then begin
+        (* Eager phase: the first applicable support-preserving extension
+           replaces the state without emitting it (the parent cannot be
+           closed); universal children whose support grows are kept as
+           ordinary branches. A duplicate universal means an isomorphic
+           continuation is handled elsewhere. *)
+        let rec eager stash = function
+          | [] -> `NoUniversal stash
+          | cand :: more -> (
+            match build_child st cand with
+            | `Child st' when st'.support = st.support -> `Jump (st', stash)
+            | `Child st' -> eager (st' :: stash) more
+            | `Dup -> `Covered stash
+            | `Rejected | `Infrequent -> eager stash more)
+        in
+        match eager [] (universal_descs st cands) with
+        | `Jump (st', stash) -> closure ((st' :: stash) @ rest)
+        | `Covered stash -> closure (stash @ rest)
+        | `NoUniversal stash ->
+          emit st;
+          let children =
+            List.filter_map
+              (fun cand ->
+                match build_child st cand with
+                | `Child st' -> Some st'
+                | `Dup | `Rejected | `Infrequent -> None)
+              cands
+          in
+          closure (stash @ children @ rest)
+      end
+      else begin
+        let children =
+          List.filter_map
+            (fun cand ->
+              match build_child st cand with
+              | `Child st' ->
+                emit st';
+                Some st'
+              | `Dup | `Rejected | `Infrequent -> None)
+            cands
+        in
+        closure (children @ rest)
+      end
+    | _ :: _ -> ()
+  in
+  if not closed_growth then emit init;
+  if delta >= 0 then closure [ init ];
+  let result = List.rev !out in
+  ( result,
+    {
+      extensions_tried = !tried;
+      constraint_rejected = !rejected;
+      infrequent = !infreq;
+      emitted = List.length result;
+      seconds = Sys.time () -. t0;
+    } )

@@ -1,0 +1,70 @@
+open Spm_graph
+
+type t = Label.t array
+
+let length p = Array.length p - 1
+
+let rev p =
+  let n = Array.length p in
+  Array.init n (fun i -> p.(n - 1 - i))
+
+let compare_labels (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec loop i =
+      if i >= la then 0
+      else
+        let c = Label.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let canonical p =
+  let r = rev p in
+  if compare_labels p r <= 0 then p else r
+
+let is_canonical p = compare_labels p (rev p) <= 0
+
+let is_palindrome p = compare_labels p (rev p) = 0
+
+let to_pattern p =
+  let n = Array.length p in
+  Graph.of_edges ~labels:p (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let of_vertex_path g path = Array.map (fun v -> Graph.label g v) path
+
+let pp ppf p =
+  Format.fprintf ppf "@[<h>[%s]@]"
+    (String.concat "-" (Array.to_list (Array.map string_of_int p)))
+
+module Emb = struct
+  type t = int array
+
+  let reads g labels emb =
+    Array.length emb = Array.length labels
+    && Paths.is_simple_path g emb
+    && Array.for_all2 (fun v l -> Graph.label g v = l)
+         emb labels
+
+  let canonical_orientation emb =
+    let r =
+      let n = Array.length emb in
+      Array.init n (fun i -> emb.(n - 1 - i))
+    in
+    if emb <= r then emb else r
+
+  let dedup_subgraphs embs =
+    let seen = Hashtbl.create (List.length embs) in
+    List.filter
+      (fun e ->
+        let k = canonical_orientation e in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      embs
+
+  let support embs = List.length (dedup_subgraphs embs)
+end

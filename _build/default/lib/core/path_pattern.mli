@@ -1,0 +1,56 @@
+(** Path patterns: label sequences and their directed embeddings.
+
+    A path pattern of length l is a sequence of l+1 vertex labels. Its
+    identity as an (undirected) pattern is the {!canonical} orientation —
+    the lexicographically smaller of the sequence and its reverse, realizing
+    the paper's lexicographic path order (Definition 2) restricted to paths
+    of equal length. An embedding is a directed vertex sequence in the data
+    graph reading the labels in order; as a *subgraph* (Definition of E[P]) a
+    path and its reverse are the same embedding, so support counting
+    normalizes orientation. *)
+
+type t = Spm_graph.Label.t array
+(** l+1 labels; length of the path = [Array.length - 1] edges. *)
+
+val length : t -> int
+(** Number of edges. *)
+
+val rev : t -> t
+
+val compare_labels : t -> t -> int
+(** Lexicographic path order of Definition 2: shorter first, then label
+    sequence. *)
+
+val canonical : t -> t
+(** [min seq (rev seq)] under {!compare_labels}. *)
+
+val is_canonical : t -> bool
+
+val is_palindrome : t -> bool
+
+val to_pattern : t -> Spm_pattern.Pattern.t
+(** The path graph with these labels (vertex i = position i). *)
+
+val of_vertex_path : Spm_graph.Graph.t -> int array -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Directed embeddings. *)
+module Emb : sig
+  type path := t
+
+  type t = int array
+  (** Vertex sequence in the data graph. *)
+
+  val reads : Spm_graph.Graph.t -> path -> t -> bool
+  (** The embedding is a simple path whose labels spell the pattern. *)
+
+  val canonical_orientation : t -> t
+  (** Subgraph identity: smaller of the sequence and its reverse. *)
+
+  val support : t list -> int
+  (** Number of distinct subgraphs among directed embeddings. *)
+
+  val dedup_subgraphs : t list -> t list
+  (** One directed representative per subgraph (first seen). *)
+end

@@ -1,0 +1,157 @@
+open Spm_graph
+open Spm_pattern
+
+type mined = Level_grow.mined = {
+  pattern : Pattern.t;
+  support : int;
+  levels : int array;
+  diameter_labels : Path_pattern.t;
+}
+
+type stats = {
+  diam_stats : Diam_mine.stats;
+  num_diameters : int;
+  grow_seconds : float;
+  grow_stats : Level_grow.stats list;
+  total_seconds : float;
+}
+
+type result = { patterns : mined list; stats : stats }
+
+let empty_diam_stats =
+  { Diam_mine.per_power = []; merge_seconds = 0.0; total_seconds = 0.0 }
+
+(* Closedness (Algorithm 3 line 12): drop P if some reported super-pattern
+   has the same support. Comparisons stay within one diameter cluster. *)
+let closed_filter patterns =
+  let arr = Array.of_list patterns in
+  let keep p =
+    not
+      (Array.exists
+         (fun q ->
+           q != p
+           && q.support = p.support
+           && Pattern.size q.pattern > Pattern.size p.pattern
+           && q.diameter_labels = p.diameter_labels
+           && Subiso.exists ~pattern:p.pattern ~target:q.pattern)
+         arr)
+  in
+  List.filter keep patterns
+
+let grow_all ?mode ?closed_growth ?support ?(closed_only = false)
+    ?max_patterns data ~entries ~delta ~sigma =
+  let t0 = Sys.time () in
+  let patterns = ref [] and stats = ref [] in
+  let count = ref 0 in
+  (try
+     List.iter
+       (fun entry ->
+         let budget =
+           match max_patterns with
+           | Some cap ->
+             let left = cap - !count in
+             if left <= 0 then raise Exit else Some left
+           | None -> None
+         in
+         let mined, st =
+           Level_grow.grow ?mode ?closed_growth ?support ?max_patterns:budget
+             ~data ~sigma ~delta ~entry ()
+         in
+         count := !count + List.length mined;
+         patterns := List.rev_append mined !patterns;
+         stats := st :: !stats)
+       entries
+   with Exit -> ());
+  let patterns = List.rev !patterns in
+  let patterns = if closed_only then closed_filter patterns else patterns in
+  (patterns, List.rev !stats, Sys.time () -. t0)
+
+let mine ?mode ?closed_growth ?(prune_intermediate = true) ?closed_only
+    ?max_patterns g ~l ~delta ~sigma =
+  let t0 = Sys.time () in
+  let diam = Diam_mine.mine ~prune_intermediate g ~l ~sigma in
+  let patterns, grow_stats, grow_seconds =
+    grow_all ?mode ?closed_growth ?closed_only ?max_patterns g
+      ~entries:diam.Diam_mine.entries ~delta ~sigma
+  in
+  {
+    patterns;
+    stats =
+      {
+        diam_stats = diam.Diam_mine.stats;
+        num_diameters = List.length diam.Diam_mine.entries;
+        grow_seconds;
+        grow_stats;
+        total_seconds = Sys.time () -. t0;
+      };
+  }
+
+let mine_with_entries ?mode ?closed_growth ?support ?closed_only
+    ?max_patterns g ~entries ~delta ~sigma =
+  let t0 = Sys.time () in
+  let patterns, grow_stats, grow_seconds =
+    grow_all ?mode ?closed_growth ?support ?closed_only ?max_patterns g
+      ~entries ~delta ~sigma
+  in
+  {
+    patterns;
+    stats =
+      {
+        diam_stats = empty_diam_stats;
+        num_diameters = List.length entries;
+        grow_seconds;
+        grow_stats;
+        total_seconds = Sys.time () -. t0;
+      };
+  }
+
+let disjoint_union gs =
+  let b = Graph.Builder.create () in
+  let tx_of = ref [] in
+  List.iteri
+    (fun tx g ->
+      let offset = Graph.Builder.n b in
+      Graph.iter_vertices
+        (fun v ->
+          ignore (Graph.Builder.add_vertex b (Graph.label g v));
+          tx_of := tx :: !tx_of)
+        g;
+      Graph.iter_edges
+        (fun u v -> Graph.Builder.add_edge b (offset + u) (offset + v))
+        g)
+    gs;
+  let tx = Array.of_list (List.rev !tx_of) in
+  (Graph.Builder.freeze b, tx)
+
+let mine_transactions ?mode ?closed_growth gs ~l ~delta ~sigma =
+  let t0 = Sys.time () in
+  let union, tx = disjoint_union gs in
+  (* Transaction support: distinct transactions among embedding images. *)
+  let tx_support_paths embs =
+    let seen = Hashtbl.create 8 in
+    List.iter (fun (e : int array) -> Hashtbl.replace seen tx.(e.(0)) ()) embs;
+    Hashtbl.length seen
+  in
+  let tx_support_maps _pattern maps =
+    let seen = Hashtbl.create 8 in
+    List.iter (fun (m : int array) -> Hashtbl.replace seen tx.(m.(0)) ()) maps;
+    Hashtbl.length seen
+  in
+  let diam = Diam_mine.mine ~support:tx_support_paths union ~l ~sigma in
+  let patterns, grow_stats, grow_seconds =
+    grow_all ?mode ?closed_growth ~support:tx_support_maps union
+      ~entries:diam.Diam_mine.entries ~delta ~sigma
+  in
+  {
+    patterns;
+    stats =
+      {
+        diam_stats = diam.Diam_mine.stats;
+        num_diameters = List.length diam.Diam_mine.entries;
+        grow_seconds;
+        grow_stats;
+        total_seconds = Sys.time () -. t0;
+      };
+  }
+
+let is_target p ~l ~delta = Canonical_diameter.is_l_long_delta_skinny p ~l ~delta

@@ -1,0 +1,69 @@
+(** SkinnyMine (Algorithm 1): the complete (l,δ)-SPM miner.
+
+    Stage I mines all frequent simple paths of length l (the canonical
+    diameters = minimal constraint-satisfying patterns); Stage II grows each
+    into its disjoint cluster of l-long δ-skinny patterns while preserving
+    the canonical diameter. The union over clusters is the complete result
+    (Theorem 4), with unique generation per pattern. *)
+
+type mined = Level_grow.mined = {
+  pattern : Spm_pattern.Pattern.t;
+  support : int;
+  levels : int array;
+  diameter_labels : Path_pattern.t;
+}
+
+type stats = {
+  diam_stats : Diam_mine.stats;
+  num_diameters : int;
+  grow_seconds : float;
+  grow_stats : Level_grow.stats list;  (** one per diameter cluster *)
+  total_seconds : float;
+}
+
+type result = { patterns : mined list; stats : stats }
+
+val mine :
+  ?mode:Constraints.mode ->
+  ?closed_growth:bool ->
+  ?prune_intermediate:bool ->
+  ?closed_only:bool ->
+  ?max_patterns:int ->
+  Spm_graph.Graph.t ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  result
+(** All l-long δ-skinny patterns P of the graph with |E[P]| >= sigma.
+    [closed_only] post-filters to patterns with no reported super-pattern of
+    equal support (Algorithm 3 line 12). *)
+
+val mine_with_entries :
+  ?mode:Constraints.mode ->
+  ?closed_growth:bool ->
+  ?support:(Spm_pattern.Pattern.t -> int array list -> int) ->
+  ?closed_only:bool ->
+  ?max_patterns:int ->
+  Spm_graph.Graph.t ->
+  entries:Diam_mine.entry list ->
+  delta:int ->
+  sigma:int ->
+  result
+(** Stage II only, from precomputed Stage-I entries (the direct-mining server
+    path: entries come from {!Diameter_index}). [diam_stats] is zeroed. *)
+
+val mine_transactions :
+  ?mode:Constraints.mode ->
+  ?closed_growth:bool ->
+  Spm_graph.Graph.t list ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  result
+(** Graph-transaction adaptation (§6.2.1 "Graph-Transaction Setting"): the
+    database is combined into one disjoint-union graph; a pattern qualifies
+    if it appears in at least [sigma] distinct transactions. *)
+
+val is_target : Spm_pattern.Pattern.t -> l:int -> delta:int -> bool
+(** The (l,δ) constraint predicate itself (Definition 7), usable with
+    {!Framework} checkers and enumerate-and-check baselines. *)

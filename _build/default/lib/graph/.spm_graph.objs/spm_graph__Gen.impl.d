@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Bfs Graph Hashtbl List Option Random

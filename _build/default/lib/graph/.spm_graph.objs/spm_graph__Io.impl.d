@@ -1,0 +1,1 @@
+lib/graph/io.ml: Array Buffer Fun Graph In_channel Label List Printf String

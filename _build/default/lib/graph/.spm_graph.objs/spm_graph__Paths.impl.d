@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Bfs Graph Hashtbl Int List

@@ -1,0 +1,116 @@
+let distances_from_set g sources =
+  let nv = Graph.n g in
+  let dist = Array.make nv (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = dist.(u) in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- du + 1;
+          Queue.add v queue
+        end)
+      (Graph.adj g u)
+  done;
+  dist
+
+let distances g s = distances_from_set g [ s ]
+
+let distance g s t =
+  if s = t then 0
+  else begin
+    let nv = Graph.n g in
+    let dist = Array.make nv (-1) in
+    let queue = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s queue;
+    let result = ref (-1) in
+    (try
+       while not (Queue.is_empty queue) do
+         let u = Queue.pop queue in
+         let du = dist.(u) in
+         Array.iter
+           (fun v ->
+             if dist.(v) < 0 then begin
+               dist.(v) <- du + 1;
+               if v = t then begin
+                 result := du + 1;
+                 raise Exit
+               end;
+               Queue.add v queue
+             end)
+           (Graph.adj g u)
+       done
+     with Exit -> ());
+    !result
+  end
+
+let eccentricity g v = Array.fold_left max 0 (distances g v)
+
+let diameter g =
+  let d = ref 0 in
+  Graph.iter_vertices (fun v -> d := max !d (eccentricity g v)) g;
+  !d
+
+let diameter_endpoints g =
+  let best = ref (0, 0, -1) in
+  Graph.iter_vertices
+    (fun u ->
+      let dist = distances g u in
+      Array.iteri
+        (fun v d ->
+          let _, _, bd = !best in
+          if u <= v && d > bd then best := (u, v, d))
+        dist)
+    g;
+  let u, v, d = !best in
+  (u, v, max d 0)
+
+let dist_matrix g = Array.init (Graph.n g) (fun v -> distances g v)
+
+let components g =
+  let nv = Graph.n g in
+  let comp = Array.make nv (-1) in
+  let k = ref 0 in
+  for s = 0 to nv - 1 do
+    if comp.(s) < 0 then begin
+      let id = !k in
+      incr k;
+      let queue = Queue.create () in
+      comp.(s) <- id;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun v ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Queue.add v queue
+            end)
+          (Graph.adj g u)
+      done
+    end
+  done;
+  (comp, !k)
+
+let is_connected g =
+  Graph.n g = 0
+  ||
+  let dist = distances g 0 in
+  Array.for_all (fun d -> d >= 0) dist
+
+let component_of g v =
+  let dist = distances g v in
+  let acc = ref [] in
+  for u = Graph.n g - 1 downto 0 do
+    if dist.(u) >= 0 then acc := u :: !acc
+  done;
+  Array.of_list !acc

@@ -1,0 +1,42 @@
+(** Breadth-first search utilities: distances, eccentricities, diameters,
+    connectivity.
+
+    The paper's diameter D(G) is the maximum over shortest distances between
+    all vertex pairs (§2); vertex levels (Definition 5) are distances to the
+    canonical diameter, computed here as multi-source BFS distances. *)
+
+val distances : Graph.t -> int -> int array
+(** [distances g s] maps each vertex to its shortest distance from [s];
+    unreachable vertices get [-1]. O(n + m). *)
+
+val distances_from_set : Graph.t -> int list -> int array
+(** Multi-source BFS: distance to the nearest of the sources. *)
+
+val distance : Graph.t -> int -> int -> int
+(** Pairwise shortest distance, [-1] if disconnected. Early-exits once the
+    target is dequeued. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Max finite distance from the vertex. *)
+
+val diameter : Graph.t -> int
+(** Maximum over shortest distances between all pairs in the same component
+    (the paper assumes connected graphs; on a disconnected graph this is the
+    max within components). O(n·(n+m)) — meant for patterns, not huge data
+    graphs. *)
+
+val diameter_endpoints : Graph.t -> int * int * int
+(** [(u, v, d)] realizing the diameter, smallest such pair in lexicographic
+    (u, v) order with [u <= v]. *)
+
+val dist_matrix : Graph.t -> int array array
+(** All-pairs shortest distances by n BFS runs; [-1] when disconnected.
+    For small graphs (patterns). *)
+
+val is_connected : Graph.t -> bool
+
+val components : Graph.t -> int array * int
+(** [(comp, k)]: component id per vertex and component count. *)
+
+val component_of : Graph.t -> int -> int array
+(** Vertices of the component containing the given vertex, sorted. *)

@@ -1,0 +1,150 @@
+type rng = Random.State.t
+
+let rng seed = Random.State.make [| seed; 0x5ee5; 0x1dea |]
+
+let random_labels st ~n ~num_labels =
+  if num_labels <= 0 then invalid_arg "Gen.random_labels: num_labels <= 0";
+  Array.init n (fun _ -> Random.State.int st num_labels)
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let pick st a =
+  if Array.length a = 0 then invalid_arg "Gen.pick: empty array";
+  a.(Random.State.int st (Array.length a))
+
+let erdos_renyi_gnp st ~n ~p ~num_labels =
+  let labels = random_labels st ~n ~num_labels in
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~labels !es
+
+let erdos_renyi st ~n ~avg_degree ~num_labels =
+  if n < 2 then Graph.of_edges ~labels:(random_labels st ~n ~num_labels) []
+  else begin
+    let labels = random_labels st ~n ~num_labels in
+    let target = int_of_float (float_of_int n *. avg_degree /. 2.0) in
+    let target = min target (n * (n - 1) / 2) in
+    let seen = Hashtbl.create (2 * target) in
+    let es = ref [] in
+    let count = ref 0 in
+    while !count < target do
+      let u = Random.State.int st n and v = Random.State.int st n in
+      if u <> v then begin
+        let key = if u < v then (u, v) else (v, u) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          es := key :: !es;
+          incr count
+        end
+      end
+    done;
+    Graph.of_edges ~labels !es
+  end
+
+let path_graph labels =
+  let n = Array.length labels in
+  let es = List.init (max 0 (n - 1)) (fun i -> (i, i + 1)) in
+  Graph.of_edges ~labels es
+
+let cycle_graph labels =
+  let n = Array.length labels in
+  if n < 3 then invalid_arg "Gen.cycle_graph: need >= 3 vertices";
+  let es = (0, n - 1) :: List.init (n - 1) (fun i -> (i, i + 1)) in
+  Graph.of_edges ~labels es
+
+let star_graph ~center leaves =
+  let labels = Array.append [| center |] leaves in
+  let es = List.init (Array.length leaves) (fun i -> (0, i + 1)) in
+  Graph.of_edges ~labels es
+
+let random_tree st ~n ~num_labels =
+  let labels = random_labels st ~n ~num_labels in
+  let es = List.init (max 0 (n - 1)) (fun i ->
+      let v = i + 1 in
+      (Random.State.int st v, v))
+  in
+  Graph.of_edges ~labels es
+
+(* Rejection-sampled twig attachment: tentatively attach a new leaf, keep the
+   candidate only if [accept] holds. The default acceptance keeps the diameter
+   equal to the backbone, keeps the backbone a shortest path between its
+   endpoints, and keeps every vertex within [delta] of the backbone path.
+   The true δ-skinny predicate (distance to the *canonical* diameter,
+   Definitions 4–6) lives in the core library; workload generators pass it in
+   via [accept] to be exact. Patterns are small, so BFS checks are cheap. *)
+let random_skinny_pattern ?accept st ~backbone ~delta ~twigs ~num_labels =
+  if backbone < 1 then invalid_arg "Gen.random_skinny_pattern: backbone < 1";
+  let backbone_vertices = List.init (backbone + 1) (fun i -> i) in
+  let default_accept g =
+    Bfs.diameter g = backbone
+    && Bfs.distance g 0 backbone = backbone
+    &&
+    let dist = Bfs.distances_from_set g backbone_vertices in
+    Array.for_all (fun d -> d >= 0 && d <= delta) dist
+  in
+  let accept = Option.value accept ~default:default_accept in
+  let base_labels =
+    Array.init (backbone + 1) (fun _ -> Random.State.int st num_labels)
+  in
+  let start = path_graph base_labels in
+  let try_attach g =
+    let host = Random.State.int st (Graph.n g) in
+    let lbl = Random.State.int st num_labels in
+    let v = Graph.n g in
+    let labels = Array.append (Graph.labels g) [| lbl |] in
+    let candidate = Graph.of_edges ~labels ((host, v) :: Graph.edges g) in
+    if accept candidate then Some candidate else None
+  in
+  let rec loop g attached attempts =
+    if attached >= twigs || attempts >= 30 * (twigs + 1) then g
+    else
+      match try_attach g with
+      | Some g' -> loop g' (attached + 1) (attempts + 1)
+      | None -> loop g attached (attempts + 1)
+  in
+  loop start 0 0
+
+let random_connected_pattern st ~n ~extra_edges ~num_labels =
+  let tree = random_tree st ~n ~num_labels in
+  let b = Graph.Builder.of_graph tree in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_edges && !attempts < 20 * (extra_edges + 1) do
+    incr attempts;
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if u <> v && not (Graph.Builder.has_edge b u v) then begin
+      Graph.Builder.add_edge b u v;
+      incr added
+    end
+  done;
+  Graph.Builder.freeze b
+
+let inject st b ~pattern ~copies ?(bridges = 1) () =
+  let maps = ref [] in
+  for _ = 1 to copies do
+    let existing = Graph.Builder.n b in
+    let map =
+      Array.init (Graph.n pattern) (fun pv ->
+          Graph.Builder.add_vertex b (Graph.label pattern pv))
+    in
+    Graph.iter_edges (fun u v -> Graph.Builder.add_edge b map.(u) map.(v))
+      pattern;
+    if existing > 0 then
+      for _ = 1 to bridges do
+        let host = Random.State.int st existing in
+        let pv = map.(Random.State.int st (Array.length map)) in
+        Graph.Builder.add_edge b host pv
+      done;
+    maps := map :: !maps
+  done;
+  Array.of_list (List.rev !maps)

@@ -1,0 +1,71 @@
+(** Random graph generation and pattern injection.
+
+    The paper's synthetic data (§6.2) is an Erdős–Rényi background graph with
+    uniformly random labels from a universe of [f] labels, into which skinny
+    and/or small patterns are explicitly embedded a prescribed number of
+    times. Every generator takes an explicit RNG so experiments are
+    reproducible. *)
+
+type rng = Random.State.t
+
+val rng : int -> rng
+(** Seeded RNG. *)
+
+val random_labels : rng -> n:int -> num_labels:int -> Label.t array
+
+val erdos_renyi_gnp : rng -> n:int -> p:float -> num_labels:int -> Graph.t
+(** G(n, p) with uniform labels in [0, num_labels). *)
+
+val erdos_renyi : rng -> n:int -> avg_degree:float -> num_labels:int -> Graph.t
+(** G(n, m)-style: [n * avg_degree / 2] distinct random edges. Matches the
+    paper's "|V| vertices, average degree deg" parameterization. *)
+
+val path_graph : Label.t array -> Graph.t
+(** Path whose i-th vertex has the i-th label. *)
+
+val cycle_graph : Label.t array -> Graph.t
+
+val star_graph : center:Label.t -> Label.t array -> Graph.t
+
+val random_tree : rng -> n:int -> num_labels:int -> Graph.t
+
+val random_skinny_pattern :
+  ?accept:(Graph.t -> bool) ->
+  rng ->
+  backbone:int ->
+  delta:int ->
+  twigs:int ->
+  num_labels:int ->
+  Graph.t
+(** A connected pattern built from a length-[backbone] path (vertices
+    [0..backbone]) by rejection-sampled twig attachment: each of up to [twigs]
+    extra leaves is kept only when [accept] holds on the candidate. The
+    default acceptance keeps the diameter exactly [backbone], keeps the
+    backbone a shortest path between its endpoints, and keeps all vertices
+    within [delta] of the backbone. Pass the core library's exact δ-skinny
+    predicate as [accept] for a guarantee w.r.t. the canonical diameter.
+    Requires [backbone >= 1]. *)
+
+val random_connected_pattern :
+  rng -> n:int -> extra_edges:int -> num_labels:int -> Graph.t
+(** Random tree plus [extra_edges] random chords — the "fat" patterns used to
+    contrast with skinny ones. *)
+
+val inject :
+  rng ->
+  Graph.Builder.t ->
+  pattern:Graph.t ->
+  copies:int ->
+  ?bridges:int ->
+  unit ->
+  int array array
+(** Embed [copies] fresh copies of [pattern] into the graph being built, each
+    connected to [bridges] (default 1) uniformly random pre-existing vertices
+    by bridge edges (so injected structure is part of one connected data
+    graph, as in the paper's setup). Returns, per copy, the data-vertex id of
+    each pattern vertex. If the builder is empty, no bridges are added. *)
+
+val shuffle : rng -> 'a array -> unit
+
+val pick : rng -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

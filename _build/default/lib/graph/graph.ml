@@ -1,0 +1,165 @@
+type t = { labels : Label.t array; adj : int array array; m : int }
+
+let n g = Array.length g.labels
+let m g = g.m
+let label g v = g.labels.(v)
+let labels g = g.labels
+let adj g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let mem_sorted a x =
+  let rec loop lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let y = a.(mid) in
+      if y = x then true else if y < x then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 (Array.length a)
+
+let has_edge g u v = mem_sorted g.adj.(u) v
+
+let iter_edges f g =
+  Array.iteri
+    (fun u nbrs -> Array.iter (fun v -> if u < v then f u v) nbrs)
+    g.adj
+
+let fold_edges f g acc =
+  let acc = ref acc in
+  iter_edges (fun u v -> acc := f u v !acc) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+
+let iter_vertices f g =
+  for v = 0 to n g - 1 do
+    f v
+  done
+
+let max_label g = Array.fold_left max (-1) g.labels
+let num_labels g = max_label g + 1
+
+let sort_dedup a =
+  Array.sort Int.compare a;
+  let len = Array.length a in
+  if len <= 1 then a
+  else begin
+    let w = ref 1 in
+    for r = 1 to len - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    if !w = len then a else Array.sub a 0 !w
+  end
+
+let of_edges ~labels es =
+  let nv = Array.length labels in
+  let check v =
+    if v < 0 || v >= nv then invalid_arg "Graph.of_edges: vertex out of range"
+  in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u = v then invalid_arg "Graph.of_edges: self-loop")
+    es;
+  let deg = Array.make nv 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    es;
+  let adj = Array.init nv (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make nv 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    es;
+  let adj = Array.map sort_dedup adj in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { labels = Array.copy labels; adj; m }
+
+let induced g vs =
+  let nv = Array.length vs in
+  let index = Hashtbl.create nv in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem index v then invalid_arg "Graph.induced: duplicate vertex";
+      Hashtbl.add index v i)
+    vs;
+  let labels = Array.map (fun v -> g.labels.(v)) vs in
+  let es = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when i < j -> es := (i, j) :: !es
+          | Some _ | None -> ())
+        g.adj.(v))
+    vs;
+  of_edges ~labels !es
+
+let equal_structure g1 g2 =
+  g1.labels = g2.labels && g1.adj = g2.adj
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d vertices, %d edges@," (n g) (m g);
+  iter_vertices
+    (fun v -> Format.fprintf ppf "v %d %a@," v Label.pp (label g v))
+    g;
+  iter_edges (fun u v -> Format.fprintf ppf "e %d %d@," u v) g;
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type t = { mutable bl : Label.t Vec.t; nbrs : int Vec.t Vec.t }
+
+  let create () = { bl = Vec.create (); nbrs = Vec.create () }
+
+  let add_vertex b l =
+    let v = Vec.length b.bl in
+    Vec.push b.bl l;
+    Vec.push b.nbrs (Vec.create ~capacity:4 ());
+    v
+
+  let n b = Vec.length b.bl
+
+  let label b v = Vec.get b.bl v
+
+  let check b v =
+    if v < 0 || v >= n b then invalid_arg "Graph.Builder: unknown vertex"
+
+  let has_edge b u v =
+    check b u;
+    check b v;
+    Vec.exists (fun w -> w = v) (Vec.get b.nbrs u)
+
+  let add_edge b u v =
+    check b u;
+    check b v;
+    if u = v then invalid_arg "Graph.Builder.add_edge: self-loop";
+    if not (has_edge b u v) then begin
+      Vec.push (Vec.get b.nbrs u) v;
+      Vec.push (Vec.get b.nbrs v) u
+    end
+
+  let freeze b =
+    let nv = n b in
+    let labels = Vec.to_array b.bl in
+    let adj =
+      Array.init nv (fun v -> sort_dedup (Vec.to_array (Vec.get b.nbrs v)))
+    in
+    let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+    { labels; adj; m }
+
+  let of_graph g =
+    let b = create () in
+    Array.iter (fun l -> ignore (add_vertex b l)) g.labels;
+    iter_edges (fun u v -> add_edge b u v) g;
+    b
+end

@@ -1,0 +1,88 @@
+(** Immutable vertex-labeled, undirected, simple graphs.
+
+    This is the data-graph substrate for all miners: the single input graph
+    of the (l,δ)-SPM problem (Definition 8) and the members of a
+    graph-transaction database. Vertices are dense integers [0..n-1];
+    adjacency lists are sorted arrays so membership tests are O(log deg). *)
+
+type t
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val label : t -> int -> Label.t
+
+val labels : t -> Label.t array
+(** The label array itself — do not mutate. *)
+
+val adj : t -> int -> int array
+(** Sorted neighbor array of a vertex — do not mutate. *)
+
+val degree : t -> int -> int
+
+val has_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int) list
+(** All edges as [(u, v)] with [u < v], in increasing order. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** Iterate each undirected edge once, with [u < v]. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_vertices : (int -> unit) -> t -> unit
+
+val max_label : t -> Label.t
+(** Largest label present; [-1] for the empty graph. *)
+
+val num_labels : t -> int
+(** [max_label g + 1] — the size of a dense label universe. *)
+
+val of_edges : labels:Label.t array -> (int * int) list -> t
+(** Build from a label array (index = vertex id) and an edge list. Duplicate
+    edges are merged; self-loops are rejected.
+    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+
+val induced : t -> int array -> t
+(** [induced g vs] is the subgraph induced by the distinct vertices [vs];
+    vertex [i] of the result corresponds to [vs.(i)]. *)
+
+val equal_structure : t -> t -> bool
+(** Identity on (labels, edge set) with the same vertex numbering — NOT
+    isomorphism (see {!Spm_pattern.Canon} for that). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Builder : sig
+  (** Mutable construction; [freeze] to obtain the immutable graph. *)
+
+  type graph := t
+
+  type t
+
+  val create : unit -> t
+
+  val add_vertex : t -> Label.t -> int
+  (** Returns the fresh vertex id. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Idempotent; rejects self-loops and unknown endpoints.
+      @raise Invalid_argument on self-loop or out-of-range endpoint. *)
+
+  val has_edge : t -> int -> int -> bool
+  (** O(deg) membership test on the partially built graph. *)
+
+  val n : t -> int
+
+  val label : t -> int -> Label.t
+
+  val freeze : t -> graph
+  (** O(n + m log m). The builder remains usable afterwards. *)
+
+  val of_graph : graph -> t
+  (** Builder pre-seeded with an existing graph (used for pattern
+      injection). *)
+end

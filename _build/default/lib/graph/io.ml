@@ -1,0 +1,134 @@
+let to_buffer buf g =
+  Graph.iter_vertices
+    (fun v -> Buffer.add_string buf (Printf.sprintf "v %d %d\n" v (Graph.label g v)))
+    g;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
+    g
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  to_buffer buf g;
+  Buffer.contents buf
+
+let db_to_string gs =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i g ->
+      Buffer.add_string buf (Printf.sprintf "t %d\n" i);
+      to_buffer buf g)
+    gs;
+  Buffer.contents buf
+
+type accum = { mutable vl : (int * int) list; mutable es : (int * int) list }
+
+let finish acc =
+  let vl = List.rev acc.vl in
+  let n = List.length vl in
+  let labels = Array.make n (-1) in
+  List.iter
+    (fun (v, l) ->
+      if v < 0 || v >= n then failwith "Io: vertex ids must be dense 0..n-1";
+      labels.(v) <- l)
+    vl;
+  if Array.exists (fun l -> l < 0) labels then
+    failwith "Io: duplicate or missing vertex id";
+  Graph.of_edges ~labels (List.rev acc.es)
+
+let parse_lines lines =
+  let graphs = ref [] in
+  let acc = ref None in
+  let get_acc () =
+    match !acc with
+    | Some a -> a
+    | None ->
+      let a = { vl = []; es = [] } in
+      acc := Some a;
+      a
+  in
+  let flush () =
+    match !acc with
+    | Some a ->
+      graphs := finish a :: !graphs;
+      acc := None
+    | None -> ()
+  in
+  List.iteri
+    (fun lineno line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      let fail msg = failwith (Printf.sprintf "Io: line %d: %s" (lineno + 1) msg) in
+      let int w = match int_of_string_opt w with
+        | Some i -> i
+        | None -> fail (Printf.sprintf "bad integer %S" w)
+      in
+      match words with
+      | [] -> ()
+      | "t" :: _ -> flush ()
+      | [ "v"; v; l ] ->
+        let a = get_acc () in
+        a.vl <- (int v, int l) :: a.vl
+      | [ "e"; u; v ] ->
+        let a = get_acc () in
+        a.es <- (int u, int v) :: a.es
+      | w :: _ -> fail (Printf.sprintf "unknown directive %S" w))
+    lines;
+  flush ();
+  List.rev !graphs
+
+let db_of_string s = parse_lines (String.split_on_char '\n' s)
+
+let of_string s =
+  match db_of_string s with
+  | [ g ] -> g
+  | [] -> failwith "Io.of_string: empty input"
+  | _ -> failwith "Io.of_string: multiple graphs; use db_of_string"
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      of_string (In_channel.input_all ic))
+
+let write_db path gs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (db_to_string gs))
+
+let read_db path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      db_of_string (In_channel.input_all ic))
+
+let to_dot ?names ?(highlight = []) g =
+  let name l =
+    match names with
+    | Some t -> Label.Table.name t l
+    | None -> string_of_int l
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  Graph.iter_vertices
+    (fun v ->
+      let extra =
+        if List.mem v highlight then " style=filled fillcolor=lightblue" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"%s\"%s];\n" v (name (Graph.label g v)) extra))
+    g;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

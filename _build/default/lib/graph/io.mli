@@ -1,0 +1,28 @@
+(** Text serialization of graphs and graph-transaction databases.
+
+    Format (one item per line, [#] comments allowed):
+    {v
+    t <graph-index>          # starts a new graph (databases only)
+    v <vertex-id> <label>    # vertex ids must be dense 0..n-1 per graph
+    e <u> <v>                # undirected edge
+    v} *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Failure on malformed input. *)
+
+val db_to_string : Graph.t list -> string
+
+val db_of_string : string -> Graph.t list
+
+val write_file : string -> Graph.t -> unit
+
+val read_file : string -> Graph.t
+
+val write_db : string -> Graph.t list -> unit
+
+val read_db : string -> Graph.t list
+
+val to_dot : ?names:Label.Table.t -> ?highlight:int list -> Graph.t -> string
+(** Graphviz rendering; [highlight] vertices are drawn filled. *)

@@ -1,0 +1,33 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf l = Format.fprintf ppf "%d" l
+
+module Table = struct
+  type t = { by_name : (string, int) Hashtbl.t; names : string Vec.t }
+
+  let create () = { by_name = Hashtbl.create 16; names = Vec.create () }
+
+  let intern t name =
+    match Hashtbl.find_opt t.by_name name with
+    | Some l -> l
+    | None ->
+      let l = Vec.length t.names in
+      Hashtbl.add t.by_name name l;
+      Vec.push t.names name;
+      l
+
+  let name t l =
+    if l >= 0 && l < Vec.length t.names then Vec.get t.names l
+    else Printf.sprintf "L%d" l
+
+  let find t name = Hashtbl.find_opt t.by_name name
+
+  let size t = Vec.length t.names
+
+  let of_names names =
+    let t = create () in
+    List.iter (fun n -> ignore (intern t n)) names;
+    t
+end

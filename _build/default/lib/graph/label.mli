@@ -1,0 +1,41 @@
+(** Vertex labels.
+
+    Labels are small integers for speed; a {!Table} interns human-readable
+    names so example applications and IO can speak strings. The lexicographic
+    order among labels required by the paper's path orders (Definitions 2–3)
+    is the integer order; tables intern names in a caller-controlled order so
+    callers decide the lexicographic rank of each name. *)
+
+type t = int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+module Table : sig
+  (** Bidirectional label-name interning. *)
+
+  type label := t
+
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> string -> label
+  (** [intern tbl name] returns the label for [name], allocating the next
+      integer id on first sight. Label order therefore follows interning
+      order. *)
+
+  val name : t -> label -> string
+  (** Human-readable name; falls back to ["L<i>"] for labels interned
+      elsewhere. *)
+
+  val find : t -> string -> label option
+
+  val size : t -> int
+
+  val of_names : string list -> t
+  (** Table interning the given names in list order. *)
+end

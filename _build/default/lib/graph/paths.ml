@@ -1,0 +1,90 @@
+let is_simple_path g path =
+  let k = Array.length path in
+  if k = 0 then false
+  else begin
+    let seen = Hashtbl.create k in
+    let ok = ref true in
+    Array.iter
+      (fun v ->
+        if Hashtbl.mem seen v then ok := false else Hashtbl.add seen v ())
+      path;
+    if !ok then
+      for i = 0 to k - 2 do
+        if not (Graph.has_edge g path.(i) path.(i + 1)) then ok := false
+      done;
+    !ok
+  end
+
+let reverse_path path =
+  let k = Array.length path in
+  Array.init k (fun i -> path.(k - 1 - i))
+
+let compare_id_seq a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let canonical_orientation path =
+  let rev = reverse_path path in
+  if compare_id_seq path rev <= 0 then path else rev
+
+let iter_simple_paths g ~length f =
+  if length < 0 then invalid_arg "Paths.iter_simple_paths: negative length";
+  let nv = Graph.n g in
+  let path = Array.make (length + 1) 0 in
+  let on_path = Array.make nv false in
+  (* Emit each undirected path once: start <= end vertex id. *)
+  let rec extend depth =
+    if depth = length then begin
+      if path.(0) <= path.(length) then f path
+    end
+    else begin
+      let u = path.(depth) in
+      Array.iter
+        (fun v ->
+          if not on_path.(v) then begin
+            path.(depth + 1) <- v;
+            on_path.(v) <- true;
+            extend (depth + 1);
+            on_path.(v) <- false
+          end)
+        (Graph.adj g u)
+    end
+  in
+  for s = 0 to nv - 1 do
+    path.(0) <- s;
+    on_path.(s) <- true;
+    extend 0;
+    on_path.(s) <- false
+  done
+
+let simple_paths_of_length g ~length =
+  let acc = ref [] in
+  iter_simple_paths g ~length (fun p -> acc := Array.copy p :: !acc);
+  List.rev !acc
+
+let shortest_paths_between g s t =
+  let dist = Bfs.distances g s in
+  if t < 0 || t >= Graph.n g || dist.(t) < 0 then []
+  else begin
+    (* Walk backwards from t through the BFS DAG; collect reversed paths. *)
+    let acc = ref [] in
+    let rec back v suffix =
+      if v = s then acc := Array.of_list (s :: suffix) :: !acc
+      else
+        Array.iter
+          (fun u -> if dist.(u) = dist.(v) - 1 then back u (v :: suffix))
+          (Graph.adj g v)
+    in
+    back t [];
+    List.rev !acc
+  end
+
+let labels_of_path g path = Array.map (fun v -> Graph.label g v) path

@@ -1,0 +1,30 @@
+(** Simple-path utilities.
+
+    A path is a vertex-id array [ [|v0; ...; vk|] ] of length k (= number of
+    edges, per the paper's convention). All paths here are simple. The
+    exhaustive enumerators are exponential and exist as reference baselines
+    for tests and for the enumerate-and-check ablation; the mining algorithms
+    never call them on large graphs. *)
+
+val is_simple_path : Graph.t -> int array -> bool
+(** Vertices distinct and consecutive pairs adjacent; a single vertex is a
+    (trivial) simple path. *)
+
+val canonical_orientation : int array -> int array
+(** Of a path and its reversal, the one with the numerically smaller vertex-id
+    sequence — the identity of the path as a *subgraph*. *)
+
+val iter_simple_paths : Graph.t -> length:int -> (int array -> unit) -> unit
+(** Enumerate every simple path with exactly [length] edges, each undirected
+    path exactly once (in canonical orientation). The callback's array is
+    reused — copy if retained. Exponential; test/reference use. *)
+
+val simple_paths_of_length : Graph.t -> length:int -> int array list
+(** Materialized {!iter_simple_paths}, fresh arrays. *)
+
+val shortest_paths_between : Graph.t -> int -> int -> int array list
+(** All shortest paths from [s] to [t] as vertex sequences starting at [s].
+    Empty if disconnected. Shortest paths are always simple. *)
+
+val labels_of_path : Graph.t -> int array -> Label.t array
+(** Label sequence of a path in the graph. *)

@@ -1,0 +1,67 @@
+type 'a t = { mutable data : 'a array; mutable len : int; initial : int }
+
+let create ?(capacity = 8) () = { data = [||]; len = 0; initial = max 1 capacity }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+(* The element being pushed seeds the fresh array, so no unsafe dummy value is
+   ever needed (important for float arrays). *)
+let ensure_room v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let data = Array.make (max v.initial (2 * cap)) x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure_room v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let clear v = v.len <- 0
+
+let is_empty v = v.len = 0
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.len - 1) []
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let of_list xs =
+  let v = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (push v) xs;
+  v
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0

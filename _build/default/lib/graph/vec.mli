@@ -1,0 +1,37 @@
+(** Growable integer-friendly vectors (OCaml 5.1 has no [Dynarray]).
+
+    A tiny resizable-array used by graph builders and mining frontiers. All
+    operations are amortized O(1) unless stated otherwise. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. @raise Invalid_argument if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Remove and return the last element. @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+
+val is_empty : 'a t -> bool
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the current contents, O(n). *)
+
+val to_list : 'a t -> 'a list
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val of_list : 'a list -> 'a t
+
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,1 @@
+lib/gspan/engine.ml: Array Dfs_code Embedding Graph Hashtbl List Pattern Spm_graph Spm_pattern Sys

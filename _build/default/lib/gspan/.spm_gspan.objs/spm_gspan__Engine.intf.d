@@ -1,0 +1,1 @@
+lib/gspan/engine.mli: Spm_graph Spm_pattern

@@ -1,0 +1,1 @@
+lib/gspan/gspan.ml: Engine List

@@ -1,0 +1,1 @@
+lib/gspan/gspan.mli: Engine Spm_graph Spm_pattern

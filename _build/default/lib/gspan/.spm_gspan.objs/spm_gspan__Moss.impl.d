@@ -1,0 +1,1 @@
+lib/gspan/moss.ml: Engine

@@ -1,0 +1,1 @@
+lib/gspan/moss.mli: Engine Spm_graph

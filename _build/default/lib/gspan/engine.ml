@@ -1,0 +1,238 @@
+open Spm_graph
+open Spm_pattern
+
+type support_measure = Transactions | Embedding_count | Mni
+
+type config = {
+  sigma : int;
+  measure : support_measure;
+  max_edges : int option;
+  max_vertices : int option;
+  max_patterns : int option;
+  deadline : float option;
+  min_report_edges : int;
+}
+
+let default ~sigma ~measure =
+  {
+    sigma;
+    measure;
+    max_edges = None;
+    max_vertices = None;
+    max_patterns = None;
+    deadline = None;
+    min_report_edges = 1;
+  }
+
+type result = { pattern : Pattern.t; support : int }
+
+type outcome = {
+  results : result list;
+  complete : bool;
+  elapsed : float;
+  visited : int;
+}
+
+(* A projected embedding: which database graph, and the mapping
+   dfs-id -> data vertex. *)
+type projected = { gid : int; map : int array }
+
+exception Stop
+
+(* Extension descriptor: where the new code edge attaches and the new
+   endpoint label. Forward carries (origin dfs id, new label); backward
+   carries (rightmost id, ancestor id). *)
+type ext = B of int * int | F of int * int
+
+let support_of ~measure ~db ~pattern (projs : projected list) =
+  match measure with
+  | Transactions ->
+    let seen = Hashtbl.create 8 in
+    List.iter (fun p -> Hashtbl.replace seen p.gid ()) projs;
+    Hashtbl.length seen
+  | Embedding_count ->
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun p ->
+        let g = db.(p.gid) in
+        let key =
+          Embedding.key_of_mapping ~data_n:(Graph.n g) ~pattern p.map
+        in
+        Hashtbl.replace seen (p.gid, key) ())
+      projs;
+    Hashtbl.length seen
+  | Mni ->
+    (* Per graph, min over pattern vertices of distinct images; summed over
+       graphs that contain the pattern at all. *)
+    let np = Graph.n pattern in
+    let per_graph = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        let images =
+          match Hashtbl.find_opt per_graph p.gid with
+          | Some a -> a
+          | None ->
+            let a = Array.init np (fun _ -> Hashtbl.create 8) in
+            Hashtbl.add per_graph p.gid a;
+            a
+        in
+        Array.iteri (fun pv tv -> Hashtbl.replace images.(pv) tv ()) p.map)
+      projs;
+    Hashtbl.fold
+      (fun _ images acc ->
+        acc
+        + Array.fold_left (fun m h -> min m (Hashtbl.length h)) max_int images)
+      per_graph 0
+
+let mine config db_list =
+  let db = Array.of_list db_list in
+  let t0 = Sys.time () in
+  let results = ref [] in
+  let nresults = ref 0 in
+  let visited = ref 0 in
+  let complete = ref true in
+  let check_budget () =
+    (match config.max_patterns with
+    | Some cap when !nresults >= cap ->
+      complete := false;
+      raise Stop
+    | Some _ | None -> ());
+    match config.deadline with
+    | Some limit when Sys.time () -. t0 > limit ->
+      complete := false;
+      raise Stop
+    | Some _ | None -> ()
+  in
+  let report pattern support =
+    if Pattern.size pattern >= config.min_report_edges then begin
+      results := { pattern; support } :: !results;
+      incr nresults
+    end
+  in
+  let in_map map w = Array.exists (fun x -> x = w) map in
+  (* Collect candidate extensions of a code given its projected embeddings. *)
+  let extensions code (projs : projected list) =
+    let by_ext : (ext, projected list ref) Hashtbl.t = Hashtbl.create 32 in
+    let push ext p =
+      match Hashtbl.find_opt by_ext ext with
+      | Some l -> l := p :: !l
+      | None -> Hashtbl.add by_ext ext (ref [ p ])
+    in
+    let bslots = Dfs_code.backward_slots code in
+    let fslots = Dfs_code.forward_slots code in
+    List.iter
+      (fun p ->
+        let g = db.(p.gid) in
+        List.iter
+          (fun (r, jd) ->
+            if Graph.has_edge g p.map.(r) p.map.(jd) then
+              push (B (r, jd)) p)
+          bslots;
+        List.iter
+          (fun idd ->
+            Array.iter
+              (fun w ->
+                if not (in_map p.map w) then
+                  push
+                    (F (idd, Graph.label g w))
+                    { gid = p.gid; map = Array.append p.map [| w |] })
+              (Graph.adj g p.map.(idd)))
+          fslots)
+      projs;
+    by_ext
+  in
+  let edge_of_ext code ext =
+    let nv =
+      Array.fold_left (fun acc e -> max acc (max e.Dfs_code.i e.Dfs_code.j)) 0 code + 1
+    in
+    let label_of id =
+      let found = ref (-1) in
+      Array.iter
+        (fun e ->
+          if e.Dfs_code.i = id then found := e.Dfs_code.li
+          else if e.Dfs_code.j = id then found := e.Dfs_code.lj)
+        code;
+      !found
+    in
+    match ext with
+    | B (i, j) -> { Dfs_code.i; j; li = label_of i; le = 0; lj = label_of j }
+    | F (i, lj) -> { Dfs_code.i; j = nv; li = label_of i; le = 0; lj }
+  in
+  let rec grow code pattern projs =
+    check_budget ();
+    incr visited;
+    let stop_size =
+      (match config.max_edges with
+      | Some me -> Pattern.size pattern >= me
+      | None -> false)
+      ||
+      match config.max_vertices with
+      | Some mv -> Pattern.order pattern >= mv
+      | None -> false
+    in
+    if not stop_size then begin
+      let by_ext = extensions code projs in
+      (* Deterministic order: sort candidate edges by the code-edge order. *)
+      let cands =
+        Hashtbl.fold (fun ext projs acc -> (edge_of_ext code ext, !projs) :: acc) by_ext []
+        |> List.sort (fun (e1, _) (e2, _) -> Dfs_code.compare_edge e1 e2)
+      in
+      List.iter
+        (fun (edge, projs') ->
+          let code' = Array.append code [| edge |] in
+          if Dfs_code.is_min code' then begin
+            let pattern' = Dfs_code.graph_of_code code' in
+            let support =
+              support_of ~measure:config.measure ~db ~pattern:pattern' projs'
+            in
+            if support >= config.sigma then begin
+              report pattern' support;
+              grow code' pattern' projs'
+            end
+          end)
+        cands
+    end
+  in
+  (try
+     (* Seeds: frequent single-edge patterns. *)
+     let seed_projs : (int * int, projected list ref) Hashtbl.t =
+       Hashtbl.create 32
+     in
+     let add_seed a b gid u v =
+       let key = (a, b) in
+       let p = { gid; map = [| u; v |] } in
+       match Hashtbl.find_opt seed_projs key with
+       | Some l -> l := p :: !l
+       | None -> Hashtbl.add seed_projs key (ref [ p ])
+     in
+     Array.iteri
+       (fun gid g ->
+         Graph.iter_edges
+           (fun u v ->
+             let lu = Graph.label g u and lv = Graph.label g v in
+             if lu <= lv then add_seed lu lv gid u v;
+             if lv <= lu then add_seed lv lu gid v u)
+           g)
+       db;
+     let seeds =
+       Hashtbl.fold (fun (a, b) projs acc -> ((a, b), !projs) :: acc) seed_projs []
+       |> List.sort compare
+     in
+     List.iter
+       (fun ((a, b), projs) ->
+         check_budget ();
+         let code = [| { Dfs_code.i = 0; j = 1; li = a; le = 0; lj = b } |] in
+         let pattern = Dfs_code.graph_of_code code in
+         let support = support_of ~measure:config.measure ~db ~pattern projs in
+         if support >= config.sigma then begin
+           report pattern support;
+           grow code pattern projs
+         end)
+       seeds
+   with Stop -> ());
+  {
+    results = List.rev !results;
+    complete = !complete;
+    elapsed = Sys.time () -. t0;
+    visited = !visited;
+  }

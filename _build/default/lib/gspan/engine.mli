@@ -1,0 +1,45 @@
+(** Shared gSpan-style pattern-growth engine.
+
+    Grows patterns by rightmost extension of DFS codes with minimal-code
+    pruning (each pattern is generated from exactly one parent), maintaining
+    embedding lists incrementally. Both the transaction-setting miner
+    ({!Gspan}) and the single-graph complete miner ({!Moss}) instantiate this
+    engine with different support measures.
+
+    Note on support semantics: the paper's single-graph measure |E[P]| (count
+    of distinct embedding subgraphs) is not anti-monotone, so pruning on it —
+    which is what the paper's algorithms do — is a growth-based semantics:
+    a pattern is reported iff it is reachable from a frequent single edge
+    through frequent intermediate patterns. MNI support is anti-monotone and
+    lossless. *)
+
+type support_measure =
+  | Transactions  (** number of database graphs containing the pattern *)
+  | Embedding_count
+      (** total number of distinct embedding subgraphs across the database
+          (|E[P]| of Definition 8 when the database is a single graph) *)
+  | Mni  (** minimum image-based support, summed across database graphs *)
+
+type config = {
+  sigma : int;  (** support threshold (>= 1) *)
+  measure : support_measure;
+  max_edges : int option;  (** stop growing past this pattern size *)
+  max_vertices : int option;
+  max_patterns : int option;  (** stop after reporting this many *)
+  deadline : float option;  (** wall-clock budget in seconds *)
+  min_report_edges : int;  (** report only patterns with at least this size *)
+}
+
+val default : sigma:int -> measure:support_measure -> config
+
+type result = { pattern : Spm_pattern.Pattern.t; support : int }
+
+type outcome = {
+  results : result list;
+  complete : bool;
+      (** false if a cap or the deadline cut the search short *)
+  elapsed : float;
+  visited : int;  (** number of search-tree nodes expanded *)
+}
+
+val mine : config -> Spm_graph.Graph.t list -> outcome

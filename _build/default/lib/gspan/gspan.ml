@@ -1,0 +1,16 @@
+let mine ?max_edges ?max_patterns ?deadline ?(min_report_edges = 1) ~db ~sigma
+    () =
+  let config =
+    {
+      (Engine.default ~sigma ~measure:Engine.Transactions) with
+      max_edges;
+      max_patterns;
+      deadline;
+      min_report_edges;
+    }
+  in
+  Engine.mine config db
+
+let frequent_patterns ~db ~sigma =
+  (mine ~db ~sigma ()).Engine.results
+  |> List.map (fun r -> r.Engine.pattern)

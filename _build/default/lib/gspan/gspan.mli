@@ -1,0 +1,18 @@
+(** gSpan (Yan & Han, ICDM 2002): complete frequent-subgraph mining in the
+    graph-transaction setting, with DFS-code canonical pruning. *)
+
+val mine :
+  ?max_edges:int ->
+  ?max_patterns:int ->
+  ?deadline:float ->
+  ?min_report_edges:int ->
+  db:Spm_graph.Graph.t list ->
+  sigma:int ->
+  unit ->
+  Engine.outcome
+(** All connected patterns contained in at least [sigma] database graphs.
+    Caps, if given, may truncate the result ([outcome.complete] = false). *)
+
+val frequent_patterns :
+  db:Spm_graph.Graph.t list -> sigma:int -> Spm_pattern.Pattern.t list
+(** Convenience: just the patterns of an uncapped run. *)

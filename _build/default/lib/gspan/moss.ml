@@ -1,0 +1,13 @@
+let mine ?(measure = Engine.Embedding_count) ?max_edges ?max_vertices
+    ?max_patterns ?deadline ?(min_report_edges = 1) ~graph ~sigma () =
+  let config =
+    {
+      (Engine.default ~sigma ~measure) with
+      max_edges;
+      max_vertices;
+      max_patterns;
+      deadline;
+      min_report_edges;
+    }
+  in
+  Engine.mine config [ graph ]

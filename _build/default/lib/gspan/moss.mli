@@ -1,0 +1,19 @@
+(** MoSS-style complete mining in a single graph (Fiedler & Borgelt, MLG'07).
+
+    The paper uses MoSS as the "mine the complete pattern set in one graph"
+    baseline that cannot finish on denser settings (Figures 11 and 20). Here
+    it is the gSpan growth engine instantiated on a one-graph database with
+    the paper's |E[P]| embedding-count support (or MNI on request). *)
+
+val mine :
+  ?measure:Engine.support_measure ->
+  ?max_edges:int ->
+  ?max_vertices:int ->
+  ?max_patterns:int ->
+  ?deadline:float ->
+  ?min_report_edges:int ->
+  graph:Spm_graph.Graph.t ->
+  sigma:int ->
+  unit ->
+  Engine.outcome
+(** Default measure is [Embedding_count], matching Definition 8. *)

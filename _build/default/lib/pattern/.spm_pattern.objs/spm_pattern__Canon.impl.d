@@ -1,0 +1,1 @@
+lib/pattern/canon.ml: Array Bfs Dfs_code Graph Hashtbl Int List Pattern Spm_graph String

@@ -1,0 +1,1 @@
+lib/pattern/canon.mli: Pattern

@@ -1,0 +1,1 @@
+lib/pattern/dfs_code.ml: Array Bfs Buffer Format Graph Hashtbl Int List Option Printf Spm_graph Stdlib

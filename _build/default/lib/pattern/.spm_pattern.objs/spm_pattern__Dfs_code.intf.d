@@ -1,0 +1,1 @@
+lib/pattern/dfs_code.mli: Format Pattern

@@ -1,0 +1,1 @@
+lib/pattern/embedding.ml: Array Graph Hashtbl Int List Spm_graph

@@ -1,0 +1,1 @@
+lib/pattern/embedding.mli: Pattern

@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Bfs Graph List Spm_graph

@@ -1,0 +1,1 @@
+lib/pattern/subiso.ml: Array Graph Hashtbl List Option Queue Spm_graph

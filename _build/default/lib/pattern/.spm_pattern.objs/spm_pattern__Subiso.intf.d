@@ -1,0 +1,1 @@
+lib/pattern/subiso.mli: Pattern Spm_graph

@@ -1,0 +1,1 @@
+lib/pattern/support.ml: Array Embedding Graph Hashtbl List Spm_graph Subiso

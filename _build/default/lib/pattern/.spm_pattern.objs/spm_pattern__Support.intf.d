@@ -1,0 +1,1 @@
+lib/pattern/support.mli: Pattern Spm_graph

@@ -1,0 +1,60 @@
+open Spm_graph
+
+let component_key g =
+  if Graph.m g = 0 then begin
+    (* Single vertex (or empty). *)
+    let ls = Array.to_list (Graph.labels g) |> List.sort Int.compare in
+    "v:" ^ String.concat "," (List.map string_of_int ls)
+  end
+  else "c:" ^ Dfs_code.to_string (Dfs_code.min_code g)
+
+let key p =
+  if Graph.n p = 0 then "empty"
+  else begin
+    let comp, k = Bfs.components p in
+    if k = 1 then component_key p
+    else begin
+      let keys =
+        List.init k (fun c ->
+            let vs =
+              Array.to_list (Array.init (Graph.n p) (fun v -> v))
+              |> List.filter (fun v -> comp.(v) = c)
+              |> Array.of_list
+            in
+            component_key (Graph.induced p vs))
+      in
+      String.concat "|" (List.sort String.compare keys)
+    end
+  end
+
+let label_multiset p =
+  let ls = Array.copy (Graph.labels p) in
+  Array.sort Int.compare ls;
+  ls
+
+let iso p q =
+  Graph.n p = Graph.n q
+  && Graph.m p = Graph.m q
+  && label_multiset p = label_multiset q
+  && String.equal (key p) (key q)
+
+module Set = struct
+  type t = { tbl : (string, unit) Hashtbl.t; mutable items : Pattern.t list }
+
+  let create () = { tbl = Hashtbl.create 64; items = [] }
+
+  let mem t p = Hashtbl.mem t.tbl (key p)
+
+  let add t p =
+    let k = key p in
+    if Hashtbl.mem t.tbl k then false
+    else begin
+      Hashtbl.add t.tbl k ();
+      t.items <- p :: t.items;
+      true
+    end
+
+  let cardinal t = Hashtbl.length t.tbl
+
+  let to_list t = List.rev t.items
+end

@@ -1,0 +1,29 @@
+(** Canonical keys for patterns — isomorphism-invariant identity.
+
+    Built on {!Dfs_code.min_code} for connected patterns with edges; isolated
+    vertices and disconnected patterns are handled by per-component keying.
+    Two patterns are isomorphic iff their keys are equal. *)
+
+val key : Pattern.t -> string
+
+val iso : Pattern.t -> Pattern.t -> bool
+(** Isomorphism test with cheap pre-checks (sizes, label multisets) before
+    comparing keys. *)
+
+module Set : sig
+  (** A set of patterns up to isomorphism. *)
+
+  type t
+
+  val create : unit -> t
+
+  val add : t -> Pattern.t -> bool
+  (** [true] if the pattern was not already present (up to isomorphism). *)
+
+  val mem : t -> Pattern.t -> bool
+
+  val cardinal : t -> int
+
+  val to_list : t -> Pattern.t list
+  (** Insertion order. *)
+end

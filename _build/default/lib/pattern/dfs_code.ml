@@ -1,0 +1,302 @@
+open Spm_graph
+
+type edge = { i : int; j : int; li : int; le : int; lj : int }
+
+type t = edge array
+
+let is_forward e = e.i < e.j
+
+let compare_labels a b =
+  let c = Int.compare a.li b.li in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.le b.le in
+    if c <> 0 then c else Int.compare a.lj b.lj
+
+(* The gSpan linear order on code edges occurring at the same position. *)
+let compare_edge a b =
+  match (is_forward a, is_forward b) with
+  | true, true ->
+    if a.j <> b.j then Int.compare a.j b.j
+    else if a.i <> b.i then Int.compare b.i a.i (* deeper origin is smaller *)
+    else compare_labels a b
+  | false, false ->
+    if a.i <> b.i then Int.compare a.i b.i
+    else if a.j <> b.j then Int.compare a.j b.j
+    else compare_labels a b
+  | false, true -> if a.i < b.j then -1 else 1
+  | true, false -> if a.j <= b.i then -1 else 1
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop k =
+    if k >= la && k >= lb then 0
+    else if k >= la then -1
+    else if k >= lb then 1
+    else
+      let c = compare_edge a.(k) b.(k) in
+      if c <> 0 then c else loop (k + 1)
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+
+(* --- Minimal code construction ----------------------------------------- *)
+
+(* Level-synchronized greedy search: keep the pool of all partial DFS
+   traversals realizing the (unique) minimal code prefix; at each step every
+   state proposes its own minimal admissible next edge, the pool keeps only
+   the states matching the global minimum, extended. Because a state's own
+   minimal choice is always "all backward edges first, then forward from the
+   deepest rightmost-path vertex", surviving states are genuine DFS-traversal
+   prefixes and thus always completable — greedy is exact. *)
+
+type state = {
+  map : int array; (* dfs id -> graph vertex *)
+  ids : int array; (* graph vertex -> dfs id, -1 if unmapped *)
+  nmapped : int;
+  rpath : int list; (* dfs ids, rightmost first, down to 0 *)
+  used : bool array; (* per edge index *)
+  nused : int;
+}
+
+let min_code g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  if n = 0 || m = 0 then invalid_arg "Dfs_code.min_code: need at least one edge";
+  if not (Bfs.is_connected g) then
+    invalid_arg "Dfs_code.min_code: pattern must be connected";
+  (* Edge indexing for the used-set. *)
+  let edge_index = Hashtbl.create (2 * m) in
+  let next = ref 0 in
+  Graph.iter_edges
+    (fun u v ->
+      Hashtbl.add edge_index (u, v) !next;
+      Hashtbl.add edge_index (v, u) !next;
+      incr next)
+    g;
+  let eid u v = Hashtbl.find edge_index (u, v) in
+  let lbl v = Graph.label g v in
+  (* Initial states: all ordered adjacent pairs realizing the minimal
+     (l_u, l_v). *)
+  let best_pair = ref None in
+  Graph.iter_edges
+    (fun u v ->
+      let consider a b =
+        let cand = (lbl a, lbl b) in
+        match !best_pair with
+        | None -> best_pair := Some cand
+        | Some p -> if cand < p then best_pair := Some cand
+      in
+      consider u v;
+      consider v u)
+    g;
+  let la0, lb0 = Option.get !best_pair in
+  let init_state u v =
+    let map = Array.make n (-1) and ids = Array.make n (-1) in
+    map.(0) <- u;
+    map.(1) <- v;
+    ids.(u) <- 0;
+    ids.(v) <- 1;
+    let used = Array.make m false in
+    used.(eid u v) <- true;
+    { map; ids; nmapped = 2; rpath = [ 1; 0 ]; used; nused = 1 }
+  in
+  let states = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      if lbl u = la0 && lbl v = lb0 then states := init_state u v :: !states;
+      if lbl v = la0 && lbl u = lb0 then states := init_state v u :: !states)
+    g;
+  let code = ref [ { i = 0; j = 1; li = la0; le = 0; lj = lb0 } ] in
+  (* One extension step. Returns (min edge, extended states). *)
+  let min_candidates st =
+    let r = st.nmapped - 1 in
+    let vr = st.map.(r) in
+    (* Backward: smallest ancestor id with an unused graph edge to vr.
+       st.rpath is rightmost-first; ancestors ascend toward the end, so scan
+       from the tail for the smallest id. The parent edge is already used. *)
+    let backs =
+      List.filter_map
+        (fun jd ->
+          if jd = r then None
+          else
+            let vj = st.map.(jd) in
+            if Graph.has_edge g vr vj && not st.used.(eid vr vj) then
+              Some ({ i = r; j = jd; li = lbl vr; le = 0; lj = lbl vj }, `Back vj)
+            else None)
+        st.rpath
+    in
+    match backs with
+    | _ :: _ ->
+      (* Minimal backward = smallest jd; collect the unique minimum. *)
+      let min_e, _ =
+        List.fold_left
+          (fun (me, mx) (e, x) -> if compare_edge e me < 0 then (e, x) else (me, mx))
+          (List.hd backs |> fun (e, x) -> (e, x))
+          (List.tl backs)
+      in
+      let tied = List.filter (fun (e, _) -> compare_edge e min_e = 0) backs in
+      Some (min_e, tied)
+    | [] ->
+      (* Forward from the deepest rightmost-path vertex with an unvisited
+         neighbor; among its unvisited neighbors, minimal label wins. *)
+      let rec deepest = function
+        | [] -> None
+        | idd :: rest ->
+          let vi = st.map.(idd) in
+          let nbrs =
+            Array.to_list (Graph.adj g vi)
+            |> List.filter (fun w -> st.ids.(w) < 0)
+          in
+          if nbrs = [] then deepest rest
+          else begin
+            let minl =
+              List.fold_left (fun acc w -> min acc (lbl w)) max_int nbrs
+            in
+            let targets = List.filter (fun w -> lbl w = minl) nbrs in
+            let e =
+              { i = idd; j = st.nmapped; li = lbl vi; le = 0; lj = minl }
+            in
+            Some (e, List.map (fun w -> (e, `Fwd (idd, w))) targets)
+          end
+      in
+      deepest st.rpath
+  in
+  let extend st action =
+    match action with
+    | `Back vj ->
+      let used = Array.copy st.used in
+      let r = st.nmapped - 1 in
+      used.(eid st.map.(r) vj) <- true;
+      { st with used; nused = st.nused + 1 }
+    | `Fwd (idd, w) ->
+      let map = Array.copy st.map and ids = Array.copy st.ids in
+      let used = Array.copy st.used in
+      let j = st.nmapped in
+      map.(j) <- w;
+      ids.(w) <- j;
+      used.(eid st.map.(idd) w) <- true;
+      (* New rightmost path: j, then idd and its ancestors. *)
+      let rec chop = function
+        | [] -> []
+        | x :: rest -> if x = idd then x :: rest else chop rest
+      in
+      {
+        map;
+        ids;
+        nmapped = j + 1;
+        rpath = j :: chop st.rpath;
+        used;
+        nused = st.nused + 1;
+      }
+  in
+  let rec loop () =
+    let some = List.hd !states in
+    if some.nused = m then ()
+    else begin
+      let proposals =
+        List.filter_map
+          (fun st ->
+            match min_candidates st with
+            | None -> None
+            | Some (e, tied) -> Some (st, e, tied))
+          !states
+      in
+      match proposals with
+      | [] -> invalid_arg "Dfs_code.min_code: internal: dead search"
+      | (_, e0, _) :: rest ->
+        let gmin =
+          List.fold_left
+            (fun acc (_, e, _) -> if compare_edge e acc < 0 then e else acc)
+            e0 rest
+        in
+        let next_states =
+          List.concat_map
+            (fun (st, e, tied) ->
+              if compare_edge e gmin = 0 then
+                List.map (fun (_, action) -> extend st action) tied
+              else [])
+            proposals
+        in
+        code := gmin :: !code;
+        states := next_states;
+        loop ()
+    end
+  in
+  loop ();
+  Array.of_list (List.rev !code)
+
+(* --- Code utilities ----------------------------------------------------- *)
+
+let graph_of_code (code : t) =
+  if Array.length code = 0 then invalid_arg "Dfs_code.graph_of_code: empty";
+  let nv =
+    Array.fold_left (fun acc e -> max acc (max e.i e.j)) 0 code + 1
+  in
+  let labels = Array.make nv (-1) in
+  let set v l =
+    if labels.(v) >= 0 && labels.(v) <> l then
+      invalid_arg "Dfs_code.graph_of_code: inconsistent labels";
+    labels.(v) <- l
+  in
+  let es =
+    Array.to_list code
+    |> List.map (fun e ->
+           set e.i e.li;
+           set e.j e.lj;
+           (min e.i e.j, max e.i e.j))
+  in
+  if Array.exists (fun l -> l < 0) labels then
+    invalid_arg "Dfs_code.graph_of_code: unlabeled vertex";
+  Graph.of_edges ~labels es
+
+let is_min code =
+  Array.length code > 0 && equal code (min_code (graph_of_code code))
+
+let rightmost_path (code : t) =
+  (* Rebuild the DFS-tree parent relation from forward edges, then climb from
+     the rightmost (max id) vertex. *)
+  let nv =
+    Array.fold_left (fun acc e -> max acc (max e.i e.j)) 0 code + 1
+  in
+  let parent = Array.make nv (-1) in
+  Array.iter (fun e -> if is_forward e then parent.(e.j) <- e.i) code;
+  let rec climb v acc = if v < 0 then acc else climb parent.(v) (v :: acc) in
+  List.rev (climb (nv - 1) [])
+
+let backward_slots (code : t) =
+  match Array.length code with
+  | 0 -> []
+  | _ ->
+    let rp = rightmost_path code in
+    let r = List.hd rp in
+    let present = Hashtbl.create 16 in
+    Array.iter
+      (fun e ->
+        Hashtbl.replace present (min e.i e.j, max e.i e.j) ())
+      code;
+    List.filter_map
+      (fun jd ->
+        if jd = r then None
+        else if Hashtbl.mem present (min r jd, max r jd) then None
+        else Some (r, jd))
+      (List.tl rp)
+    |> List.sort Stdlib.compare
+
+let forward_slots (code : t) =
+  match Array.length code with 0 -> [ 0 ] | _ -> rightmost_path code
+
+let to_string (code : t) =
+  let buf = Buffer.create (Array.length code * 12) in
+  Array.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "%d,%d,%d,%d,%d;" e.i e.j e.li e.le e.lj))
+    code;
+  Buffer.contents buf
+
+let pp ppf code =
+  Format.fprintf ppf "@[<h>";
+  Array.iter
+    (fun e -> Format.fprintf ppf "(%d,%d,%d,%d,%d)" e.i e.j e.li e.le e.lj)
+    code;
+  Format.fprintf ppf "@]"

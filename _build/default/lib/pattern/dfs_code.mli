@@ -1,0 +1,52 @@
+(** gSpan-style DFS codes and minimal-code canonicalization.
+
+    A DFS code is the edge sequence of a depth-first traversal, each edge a
+    5-tuple (i, j, l_i, l_e, l_j) over DFS discovery ids: forward edges have
+    [i < j] (j freshly discovered), backward edges [j < i] (to an ancestor on
+    the rightmost path). The *minimal* DFS code under the gSpan linear order
+    is a canonical form: two connected labeled graphs are isomorphic iff their
+    minimal codes are equal (Yan & Han, ICDM'02). SkinnyMine reuses this both
+    to deduplicate grown patterns and, in the ablation baselines, to drive a
+    complete gSpan/MoSS miner. *)
+
+type edge = { i : int; j : int; li : int; le : int; lj : int }
+
+type t = edge array
+
+val is_forward : edge -> bool
+
+val compare_edge : edge -> edge -> int
+(** The gSpan total order on code edges (used position-wise). *)
+
+val compare : t -> t -> int
+(** Lexicographic by {!compare_edge}; a proper prefix is smaller. *)
+
+val equal : t -> t -> bool
+
+val min_code : Pattern.t -> t
+(** Minimal DFS code of a connected pattern with at least one edge.
+    @raise Invalid_argument if the pattern is empty, edgeless, or
+    disconnected. *)
+
+val graph_of_code : t -> Pattern.t
+(** Rebuild the pattern a code describes (vertex k gets DFS id k).
+    @raise Invalid_argument on malformed codes. *)
+
+val is_min : t -> bool
+(** Whether the code equals the minimal code of its graph. *)
+
+val rightmost_path : t -> int list
+(** DFS ids of the rightmost path, rightmost vertex first, ending at 0.
+    For the empty code, [[0]]. *)
+
+val backward_slots : t -> (int * int) list
+(** [(i, j)] pairs for admissible backward extensions (rightmost id, ancestor
+    id), excluding edges already in the code and the parent edge. *)
+
+val forward_slots : t -> int list
+(** Rightmost-path ids from which a forward edge may grow, deepest first. *)
+
+val to_string : t -> string
+(** Compact serialization; injective on codes, suitable as a hash key. *)
+
+val pp : Format.formatter -> t -> unit

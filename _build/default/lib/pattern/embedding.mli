@@ -1,0 +1,41 @@
+(** Embeddings as subgraphs.
+
+    The paper defines E[P] as the set of *subgraphs* of G isomorphic to P
+    (§2), so two mappings whose images are the same edge set count once.
+    This module normalizes mappings to canonical subgraph keys and
+    deduplicates. *)
+
+type key
+(** Canonical identity of an embedding's image subgraph. *)
+
+val key_of_mapping : data_n:int -> pattern:Pattern.t -> int array -> key
+(** Key of the image of a mapping: the sorted image edge set, each edge packed
+    as [u * data_n + v] with [u < v]. Requires [data_n * data_n] within native
+    int range (always true for graphs that fit in memory). *)
+
+val compare_key : key -> key -> int
+
+val equal_key : key -> key -> bool
+
+val hash_key : key -> int
+
+module Key_set : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> key -> bool
+  (** [true] if the key was new. *)
+
+  val mem : t -> key -> bool
+
+  val cardinal : t -> int
+end
+
+val dedup_mappings :
+  data_n:int -> pattern:Pattern.t -> int array list -> int array list
+(** Keep one mapping per distinct image subgraph, preserving first-seen
+    order. *)
+
+val count_distinct :
+  data_n:int -> pattern:Pattern.t -> int array list -> int

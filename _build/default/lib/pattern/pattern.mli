@@ -1,0 +1,33 @@
+(** Graph patterns.
+
+    A pattern is just a small labeled graph ({!Spm_graph.Graph.t}); this
+    module adds the operations miners need: single-edge construction,
+    one-edge extension (the pattern-growth step of Lemma 4), and size
+    accessors following the paper's convention that the size |P| of a pattern
+    is its number of edges. *)
+
+type t = Spm_graph.Graph.t
+
+val singleton_edge : Spm_graph.Label.t -> Spm_graph.Label.t -> t
+(** Two vertices 0, 1 with the given labels and one edge. *)
+
+val of_path_labels : Spm_graph.Label.t array -> t
+(** Path pattern; vertex i carries the i-th label. *)
+
+val extend_new_vertex : t -> host:int -> label:Spm_graph.Label.t -> t
+(** Add a fresh vertex (id [n]) with [label] and the edge [(host, n)] —
+    a "forward" extension. *)
+
+val extend_close_edge : t -> int -> int -> t
+(** Add the edge between two existing vertices — a "backward" extension.
+    @raise Invalid_argument if the edge already exists or is a self-loop. *)
+
+val size : t -> int
+(** Number of edges, written |P| in the paper. *)
+
+val order : t -> int
+(** Number of vertices. *)
+
+val is_connected : t -> bool
+
+val pp : Format.formatter -> t -> unit

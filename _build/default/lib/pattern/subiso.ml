@@ -1,0 +1,135 @@
+open Spm_graph
+
+(* Search order: start at a vertex whose label is rarest in the target, then
+   BFS so every later vertex has a mapped neighbor. *)
+let search_order pattern target =
+  let np = Graph.n pattern in
+  if np = 0 then invalid_arg "Subiso: empty pattern";
+  let freq = Hashtbl.create 16 in
+  Graph.iter_vertices
+    (fun v ->
+      let l = Graph.label target v in
+      Hashtbl.replace freq l (1 + Option.value ~default:0 (Hashtbl.find_opt freq l)))
+    target;
+  let rarity v =
+    Option.value ~default:0 (Hashtbl.find_opt freq (Graph.label pattern v))
+  in
+  let root = ref 0 in
+  Graph.iter_vertices
+    (fun v -> if rarity v < rarity !root then root := v)
+    pattern;
+  let order = Array.make np (-1) in
+  let placed = Array.make np false in
+  let queue = Queue.create () in
+  Queue.add !root queue;
+  placed.(!root) <- true;
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!k) <- v;
+    incr k;
+    Array.iter
+      (fun w ->
+        if not placed.(w) then begin
+          placed.(w) <- true;
+          Queue.add w queue
+        end)
+      (Graph.adj pattern v)
+  done;
+  if !k <> np then invalid_arg "Subiso: pattern must be connected";
+  order
+
+let run ?anchor ~pattern ~target ~stop f =
+  let np = Graph.n pattern in
+  let order = search_order pattern target in
+  let order =
+    (* If anchored, make the anchored pattern vertex the root. *)
+    match anchor with
+    | None -> order
+    | Some (pv, _) ->
+      let rest = Array.to_list order |> List.filter (fun v -> v <> pv) in
+      (* Re-BFS from pv to keep connectivity of the prefix. *)
+      let placed = Array.make np false in
+      placed.(pv) <- true;
+      let out = ref [ pv ] in
+      let pending = ref rest in
+      let progress = ref true in
+      while !pending <> [] && !progress do
+        progress := false;
+        let next, still =
+          List.partition
+            (fun v ->
+              Array.exists (fun w -> placed.(w)) (Graph.adj pattern v))
+            !pending
+        in
+        if next <> [] then begin
+          progress := true;
+          List.iter (fun v -> placed.(v) <- true) next;
+          out := List.rev_append next !out
+        end;
+        pending := still
+      done;
+      Array.of_list (List.rev !out)
+  in
+  let map = Array.make np (-1) in
+  let used = Hashtbl.create 64 in
+  let stopped = ref false in
+  let rec place depth =
+    if !stopped then ()
+    else if depth = np then begin
+      f map;
+      if stop () then stopped := true
+    end
+    else begin
+      let pv = order.(depth) in
+      let lbl = Graph.label pattern pv in
+      let mapped_nbrs =
+        Array.to_list (Graph.adj pattern pv)
+        |> List.filter (fun w -> map.(w) >= 0)
+      in
+      let try_candidate tv =
+        if
+          (not (Hashtbl.mem used tv))
+          && Graph.label target tv = lbl
+          && Graph.degree target tv >= Graph.degree pattern pv
+          && List.for_all (fun w -> Graph.has_edge target map.(w) tv) mapped_nbrs
+        then begin
+          map.(pv) <- tv;
+          Hashtbl.add used tv ();
+          place (depth + 1);
+          Hashtbl.remove used tv;
+          map.(pv) <- -1
+        end
+      in
+      match (anchor, mapped_nbrs) with
+      | Some (apv, atv), _ when apv = pv -> try_candidate atv
+      | _, w :: _ ->
+        (* Candidates restricted to neighbors of one mapped image. *)
+        Array.iter try_candidate (Graph.adj target map.(w))
+      | _, [] ->
+        Graph.iter_vertices try_candidate target
+    end
+  in
+  place 0
+
+let iter_mappings ~pattern ~target f =
+  run ~pattern ~target ~stop:(fun () -> false) f
+
+let mappings ~pattern ~target =
+  let acc = ref [] in
+  iter_mappings ~pattern ~target (fun m -> acc := Array.copy m :: !acc);
+  List.rev !acc
+
+let exists ~pattern ~target =
+  let found = ref false in
+  run ~pattern ~target ~stop:(fun () -> true) (fun _ -> found := true);
+  !found
+
+let count_mappings ?limit ~pattern ~target () =
+  let count = ref 0 in
+  let stop () = match limit with Some l -> !count >= l | None -> false in
+  run ~pattern ~target ~stop (fun _ -> incr count);
+  !count
+
+let iter_mappings_anchored ~pattern ~target ~anchor f =
+  run ~anchor ~pattern ~target ~stop:(fun () -> false) f

@@ -1,0 +1,34 @@
+(** Subgraph-isomorphism search (VF2-flavored backtracking).
+
+    An embedding of a pattern P in a data graph G is, per the paper (§2), a
+    subgraph G' of G isomorphic to P — i.e. the *image* of an injective,
+    label-preserving, edge-preserving (non-induced) mapping. This module
+    enumerates the mappings; {!Embedding} normalizes mappings to subgraphs.
+
+    The matcher orders pattern vertices by a connected search order rooted at
+    the rarest label and filters candidates by label, adjacency to all mapped
+    pattern neighbors, and degree. *)
+
+val iter_mappings :
+  pattern:Pattern.t -> target:Spm_graph.Graph.t -> (int array -> unit) -> unit
+(** Call the function on every injective label/edge-preserving mapping
+    (pattern vertex index -> target vertex id). The array is reused between
+    calls — copy if retained. The pattern must be connected and non-empty. *)
+
+val mappings : pattern:Pattern.t -> target:Spm_graph.Graph.t -> int array list
+
+val exists : pattern:Pattern.t -> target:Spm_graph.Graph.t -> bool
+(** Early-exits at the first mapping. *)
+
+val count_mappings :
+  ?limit:int -> pattern:Pattern.t -> target:Spm_graph.Graph.t -> unit -> int
+(** Number of mappings, stopping at [limit] if given. *)
+
+val iter_mappings_anchored :
+  pattern:Pattern.t ->
+  target:Spm_graph.Graph.t ->
+  anchor:int * int ->
+  (int array -> unit) ->
+  unit
+(** Mappings with pattern vertex [fst anchor] pinned to target vertex
+    [snd anchor]. *)

@@ -1,0 +1,43 @@
+open Spm_graph
+
+let single_graph ?limit p g =
+  let data_n = Graph.n g in
+  let seen = Embedding.Key_set.create () in
+  (try
+     Subiso.iter_mappings ~pattern:p ~target:g (fun m ->
+         ignore
+           (Embedding.Key_set.add seen (Embedding.key_of_mapping ~data_n ~pattern:p m));
+         match limit with
+         | Some l when Embedding.Key_set.cardinal seen >= l -> raise Exit
+         | Some _ | None -> ())
+   with Exit -> ());
+  Embedding.Key_set.cardinal seen
+
+let is_frequent_single p g ~sigma = single_graph ~limit:sigma p g >= sigma
+
+let transaction p gs =
+  List.fold_left
+    (fun acc g -> if Subiso.exists ~pattern:p ~target:g then acc + 1 else acc)
+    0 gs
+
+let is_frequent_transaction p gs ~sigma =
+  let rec loop remaining count gs =
+    count >= sigma
+    ||
+    match gs with
+    | [] -> false
+    | g :: rest ->
+      if count + remaining < sigma then false
+      else if Subiso.exists ~pattern:p ~target:g then
+        loop (remaining - 1) (count + 1) rest
+      else loop (remaining - 1) count rest
+  in
+  loop (List.length gs) 0 gs
+
+let mni p g =
+  let np = Graph.n p in
+  let images = Array.init np (fun _ -> Hashtbl.create 16) in
+  Subiso.iter_mappings ~pattern:p ~target:g (fun m ->
+      Array.iteri (fun pv tv -> Hashtbl.replace images.(pv) tv ()) m);
+  Array.fold_left (fun acc h -> min acc (Hashtbl.length h)) max_int images
+  |> fun x -> if x = max_int then 0 else x

@@ -1,0 +1,27 @@
+(** Support measures.
+
+    - {!single_graph}: |E[P]| — the number of distinct embedding subgraphs in
+      one data graph, the measure of Definition 8.
+    - {!transaction}: number of database graphs containing P — the classical
+      graph-transaction support the paper derives as the easy variant.
+    - {!mni}: minimum-image-based support (Bringmann & Nijssen), the standard
+      anti-monotone single-graph measure, provided for comparison because
+      embedding-count support is not anti-monotone in general. *)
+
+val single_graph :
+  ?limit:int -> Pattern.t -> Spm_graph.Graph.t -> int
+(** Distinct embedding subgraphs; stops counting at [limit] if given (the
+    count may then undershoot the true value but is ≥ [limit] iff the true
+    value is). *)
+
+val is_frequent_single : Pattern.t -> Spm_graph.Graph.t -> sigma:int -> bool
+(** [single_graph ~limit:sigma p g >= sigma], with early exit. *)
+
+val transaction : Pattern.t -> Spm_graph.Graph.t list -> int
+
+val is_frequent_transaction :
+  Pattern.t -> Spm_graph.Graph.t list -> sigma:int -> bool
+
+val mni : Pattern.t -> Spm_graph.Graph.t -> int
+(** Minimum over pattern vertices of the number of distinct data vertices in
+    that position across all mappings. *)

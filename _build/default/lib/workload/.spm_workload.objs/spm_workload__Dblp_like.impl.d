@@ -1,0 +1,1 @@
+lib/workload/dblp_like.ml: Array Gen Graph List Printf Random Spm_graph

@@ -1,0 +1,1 @@
+lib/workload/dblp_like.mli: Spm_graph

@@ -1,0 +1,1 @@
+lib/workload/settings.ml: Array Gen Graph List Printf Spm_core Spm_graph

@@ -1,0 +1,1 @@
+lib/workload/settings.mli: Spm_graph

@@ -1,0 +1,1 @@
+lib/workload/weibo_like.ml: Array Gen Graph List Printf Random Spm_graph Vec

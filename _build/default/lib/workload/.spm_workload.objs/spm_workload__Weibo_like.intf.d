@@ -1,0 +1,1 @@
+lib/workload/weibo_like.mli: Spm_graph

@@ -1,0 +1,80 @@
+open Spm_graph
+
+let year_label = 0
+
+let cls_index = function
+  | 'B' -> 0
+  | 'J' -> 1
+  | 'S' -> 2
+  | 'P' -> 3
+  | c -> invalid_arg (Printf.sprintf "Dblp_like: class %c" c)
+
+let collab_label ~cls ~level =
+  if level < 1 || level > 3 then invalid_arg "Dblp_like: level in 1..3";
+  1 + (cls_index cls * 3) + (level - 1)
+
+let label_name l =
+  if l = year_label then "YEAR"
+  else begin
+    let l = l - 1 in
+    let cls = [| 'B'; 'J'; 'S'; 'P' |].(l / 3) in
+    Printf.sprintf "%c%d" cls ((l mod 3) + 1)
+  end
+
+type author = { graph : Graph.t; career_years : int; archetype : int }
+
+(* Career stage of year [y] in a career of [n] years: 0..3 ~ B..P. *)
+let stage y n = min 3 (4 * y / max 1 n)
+
+(* Per-archetype collaboration profile: class and level of attached nodes as
+   a function of career progress. *)
+let collab_profile st archetype y n =
+  let classes = [| 'B'; 'J'; 'S'; 'P' |] in
+  match archetype with
+  | 1 ->
+    (* Rising: co-author class tracks the author's own stage; level grows. *)
+    let s = stage y n in
+    let level = 1 + (2 * y / max 1 n) in
+    [ (classes.(s), level) ]
+  | 2 ->
+    (* Early-prolific: S/P collaborators from the start, level ~2. *)
+    let cls = if Random.State.bool st then 'S' else 'P' in
+    [ (cls, 2) ]
+  | _ ->
+    (* Noise: 0-2 random attachments. *)
+    List.init (Random.State.int st 3) (fun _ ->
+        (classes.(Random.State.int st 4), 1 + Random.State.int st 3))
+
+let build_author st archetype years =
+  let b = Graph.Builder.create () in
+  let timeline =
+    Array.init years (fun _ -> Graph.Builder.add_vertex b year_label)
+  in
+  for y = 0 to years - 2 do
+    Graph.Builder.add_edge b timeline.(y) timeline.(y + 1)
+  done;
+  for y = 0 to years - 1 do
+    List.iter
+      (fun (cls, level) ->
+        let v = Graph.Builder.add_vertex b (collab_label ~cls ~level) in
+        Graph.Builder.add_edge b timeline.(y) v)
+      (collab_profile st archetype y years)
+  done;
+  { graph = Graph.Builder.freeze b; career_years = years; archetype }
+
+let generate ?(num_authors = 120) ?(min_years = 10) ?(max_years = 30) ~seed ()
+    =
+  let st = Gen.rng (seed + 0xdb1b) in
+  List.init num_authors (fun i ->
+      let years = min_years + Random.State.int st (max_years - min_years + 1) in
+      let archetype = i mod 3 in
+      build_author st archetype years)
+
+let timeline_of a =
+  (* Year nodes were allocated first and only they carry year_label in a
+     consecutive prefix. *)
+  let acc = ref [] in
+  Graph.iter_vertices
+    (fun v -> if Graph.label a.graph v = year_label then acc := v :: !acc)
+    a.graph;
+  List.rev !acc

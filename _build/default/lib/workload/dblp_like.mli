@@ -1,0 +1,40 @@
+(** A faithful synthetic stand-in for the paper's DBLP experiment (§6.3).
+
+    The paper turns each author's publication history into a heterogeneous
+    timeline graph: a path of year nodes, each year connected to at most four
+    collaboration nodes labeled "Xk" with X ∈ {P, S, J, B} (prolific /
+    senior / junior / beginner co-author class) and k ∈ {1, 2, 3} (how many
+    such co-authors that year). The real crawl is unavailable, so we generate
+    career trajectories from a small set of archetypes — the two published
+    pattern examples (Figures 21–22) are seeded as archetypes: "collaborates
+    with increasingly productive authors over the career" and "collaborates
+    with productive authors from the start" — plus noise authors, so the
+    archetypes emerge as frequent skinny patterns over the timeline
+    backbone. *)
+
+val year_label : Spm_graph.Label.t
+(** Label of timeline (year) nodes: 0. *)
+
+val collab_label : cls:char -> level:int -> Spm_graph.Label.t
+(** Label of a collaboration node, [cls] in P/S/J/B, [level] in 1..3. *)
+
+val label_name : Spm_graph.Label.t -> string
+
+type author = {
+  graph : Spm_graph.Graph.t;
+  career_years : int;
+  archetype : int;  (** 0 = noise, 1 = rising, 2 = early-prolific *)
+}
+
+val generate :
+  ?num_authors:int ->
+  ?min_years:int ->
+  ?max_years:int ->
+  seed:int ->
+  unit ->
+  author list
+(** Default 120 authors with 10–30 year careers; roughly a third per
+    archetype. *)
+
+val timeline_of : author -> int list
+(** Vertex ids of the year nodes, in career order. *)

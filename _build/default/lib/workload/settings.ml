@@ -1,0 +1,169 @@
+open Spm_graph
+
+type injected = {
+  pattern : Graph.t;
+  copies : int;
+  placements : int array array;
+}
+
+type dataset = {
+  graph : Graph.t;
+  long_patterns : injected list;
+  short_patterns : injected list;
+  name : string;
+}
+
+let skinny_accept ~l ~delta g =
+  Spm_core.Canonical_diameter.is_l_long_delta_skinny g ~l ~delta
+
+(* A skinny pattern with [order] vertices whose diameter is exactly
+   [diameter]; twigs are rejection-sampled under the exact predicate. *)
+let make_skinny st ~order ~diameter ~delta ~num_labels =
+  let twigs = max 0 (order - diameter - 1) in
+  Gen.random_skinny_pattern
+    ~accept:(skinny_accept ~l:diameter ~delta)
+    st ~backbone:diameter ~delta ~twigs ~num_labels
+
+let scaled scale x = max 2 (int_of_float (float_of_int x *. scale))
+
+type spec = {
+  v : int;
+  f : int;
+  deg : float;
+  vl : int;
+  ld : int;
+  ls : int;
+  n_short : int;
+  vs : int;
+  sd : int;
+  ss : int;
+}
+
+let table1 = function
+  | 1 -> { v = 500; f = 80; deg = 2.0; vl = 40; ld = 18; ls = 2; n_short = 5; vs = 4; sd = 2; ss = 2 }
+  | 2 -> { v = 500; f = 80; deg = 4.0; vl = 40; ld = 18; ls = 2; n_short = 5; vs = 4; sd = 2; ss = 2 }
+  | 3 -> { v = 1000; f = 240; deg = 2.0; vl = 40; ld = 18; ls = 2; n_short = 5; vs = 4; sd = 2; ss = 20 }
+  | 4 -> { v = 1000; f = 240; deg = 4.0; vl = 40; ld = 18; ls = 2; n_short = 5; vs = 4; sd = 2; ss = 20 }
+  | 5 -> { v = 600; f = 150; deg = 4.0; vl = 40; ld = 18; ls = 2; n_short = 20; vs = 4; sd = 2; ss = 2 }
+  | g -> invalid_arg (Printf.sprintf "Settings.gid: unknown GID %d" g)
+
+let gid_description = function
+  | 1 -> "baseline setting"
+  | 2 -> "GID 2 doubles the average degree"
+  | 3 -> "GID 3 increases the support of short patterns"
+  | 4 -> "GID 4 doubles the average degree of GID 3"
+  | 5 -> "GID 5 increases the number of short patterns"
+  | g -> invalid_arg (Printf.sprintf "Settings.gid_description: %d" g)
+
+let inject_patterns st b patterns ~copies =
+  List.map
+    (fun pattern ->
+      let placements = Gen.inject st b ~pattern ~copies () in
+      { pattern; copies; placements })
+    patterns
+
+let gid ?(scale = 1.0) ~seed g =
+  let s = table1 g in
+  let st = Gen.rng (seed + (g * 7919)) in
+  let v = scaled scale s.v in
+  let vl = scaled scale s.vl in
+  let ld = max 4 (scaled scale s.ld) in
+  let background = Gen.erdos_renyi st ~n:v ~avg_degree:s.deg ~num_labels:s.f in
+  let b = Graph.Builder.of_graph background in
+  let m_long = 5 in
+  let longs =
+    List.init m_long (fun _ ->
+        make_skinny st ~order:vl ~diameter:ld ~delta:2 ~num_labels:s.f)
+  in
+  let shorts =
+    List.init s.n_short (fun _ ->
+        make_skinny st ~order:s.vs ~diameter:s.sd ~delta:1 ~num_labels:s.f)
+  in
+  let long_patterns = inject_patterns st b longs ~copies:s.ls in
+  let short_patterns = inject_patterns st b shorts ~copies:s.ss in
+  {
+    graph = Graph.Builder.freeze b;
+    long_patterns;
+    short_patterns;
+    name = Printf.sprintf "GID %d (%s)" g (gid_description g);
+  }
+
+type probe = { dataset : dataset; pids : (int * int * int) list }
+
+let skinniness_probe ?(scale = 1.0) ~seed () =
+  let st = Gen.rng (seed + 31337) in
+  let v = scaled scale 2000 in
+  let background = Gen.erdos_renyi st ~n:v ~avg_degree:3.0 ~num_labels:100 in
+  let b = Graph.Builder.of_graph background in
+  (* Table 3: PIDs 1-5 are 60-vertex patterns of decreasing diameter; PIDs
+     6-10 are 8-diameter patterns of increasing order. *)
+  let specs =
+    [
+      (1, 60, 50); (2, 60, 45); (3, 60, 40); (4, 60, 35); (5, 60, 30);
+      (6, 20, 8); (7, 30, 8); (8, 40, 8); (9, 50, 8); (10, 60, 8);
+    ]
+    |> List.map (fun (pid, order, diam) ->
+           (pid, scaled scale order, max 4 (scaled scale diam)))
+  in
+  let injected =
+    List.map
+      (fun (_, order, diam) ->
+        (* Fatter patterns get a looser skinniness budget. *)
+        let delta = if diam >= order / 2 then 2 else 4 in
+        make_skinny st ~order ~diameter:diam ~delta ~num_labels:100)
+      specs
+  in
+  let long_patterns = inject_patterns st b injected ~copies:2 in
+  {
+    dataset =
+      {
+        graph = Graph.Builder.freeze b;
+        long_patterns;
+        short_patterns = [];
+        name = "Table 3 skinniness probe";
+      };
+    pids = specs;
+  }
+
+type transaction_db = {
+  transactions : Graph.t list;
+  injected_long : Graph.t list;
+  injected_small : Graph.t list;
+}
+
+let transaction_setting ?(scale = 1.0) ?(extra_small = 0) ~seed () =
+  let st = Gen.rng (seed + 777) in
+  let num_tx = 10 in
+  let v = scaled scale 800 in
+  let f = 80 in
+  let longs =
+    List.init 5 (fun _ ->
+        make_skinny st
+          ~order:(scaled scale 40)
+          ~diameter:(max 4 (scaled scale 20))
+          ~delta:2 ~num_labels:f)
+  in
+  let smalls =
+    List.init extra_small (fun _ ->
+        make_skinny st ~order:5 ~diameter:2 ~delta:1 ~num_labels:f)
+  in
+  let builders =
+    Array.init num_tx (fun _ ->
+        Graph.Builder.of_graph
+          (Gen.erdos_renyi st ~n:v ~avg_degree:5.0 ~num_labels:f))
+  in
+  (* Each pattern goes into 5 distinct random transactions. *)
+  let place pattern =
+    let order = Array.init num_tx (fun i -> i) in
+    Gen.shuffle st order;
+    for i = 0 to min 4 (num_tx - 1) do
+      ignore (Gen.inject st builders.(order.(i)) ~pattern ~copies:1 ())
+    done
+  in
+  List.iter place longs;
+  List.iter place smalls;
+  {
+    transactions = Array.to_list (Array.map Graph.Builder.freeze builders);
+    injected_long = longs;
+    injected_small = smalls;
+  }

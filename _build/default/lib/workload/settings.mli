@@ -1,0 +1,61 @@
+(** The paper's synthetic data settings (§6.2, Tables 1–3 and the
+    graph-transaction setup of Figures 9–10).
+
+    Every constructor takes a seed and an optional [scale] in (0, 1] that
+    shrinks vertex counts proportionally (pattern shapes are preserved) so
+    the full harness can run quickly; [scale = 1.0] reproduces the paper's
+    sizes exactly. *)
+
+type injected = {
+  pattern : Spm_graph.Graph.t;
+  copies : int;
+  placements : int array array;  (** per copy, data id of each pattern vertex *)
+}
+
+type dataset = {
+  graph : Spm_graph.Graph.t;
+  long_patterns : injected list;
+  short_patterns : injected list;
+  name : string;
+}
+
+val gid : ?scale:float -> seed:int -> int -> dataset
+(** Table 1 settings, [gid] in 1..5:
+    {v
+    GID |V|   f   deg |VL| Ld Ls n  |VS| Sd Ss
+    1   500   80  2   40   18 2  5  4    2  2
+    2   500   80  4   40   18 2  5  4    2  2
+    3   1000  240 2   40   18 2  5  4    2  20
+    4   1000  240 4   40   18 2  5  4    2  20
+    5   600   150 4   40   18 2  20 4    2  2
+    v}
+    (m = 5 injected long patterns in all settings). *)
+
+val gid_description : int -> string
+(** Table 2's "difference in setting" text. *)
+
+type probe = { dataset : dataset; pids : (int * int * int) list }
+(** [(pid, target_order, diameter)] for the ten Table 3 patterns. *)
+
+val skinniness_probe : ?scale:float -> seed:int -> unit -> probe
+(** Table 3: a 2000-vertex (scaled) background with ten injected patterns of
+    decreasing skinniness — PIDs 1–5: 60 vertices with diameters
+    50,45,40,35,30; PIDs 6–10: 8-diameter patterns with 20..60 vertices;
+    support 2 each. *)
+
+type transaction_db = {
+  transactions : Spm_graph.Graph.t list;
+  injected_long : Spm_graph.Graph.t list;
+  injected_small : Spm_graph.Graph.t list;
+}
+
+val transaction_setting :
+  ?scale:float -> ?extra_small:int -> seed:int -> unit -> transaction_db
+(** Figures 9–10: ten ER graphs (800 vertices, deg 5, f = 80), five skinny
+    patterns (40 vertices, diameter 20) each placed in five transactions;
+    [extra_small] additional 5-vertex patterns with support 5 (120 in
+    Figure 10). *)
+
+val skinny_accept : l:int -> delta:int -> Spm_graph.Graph.t -> bool
+(** The exact acceptance predicate handed to
+    {!Spm_graph.Gen.random_skinny_pattern}. *)

@@ -1,0 +1,78 @@
+open Spm_graph
+
+let root_label = 0
+let follower_label = 1
+let followee_label = 2
+let other_label = 3
+
+let label_name = function
+  | 0 -> "ROOT"
+  | 1 -> "FOLLOWER"
+  | 2 -> "FOLLOWEE"
+  | 3 -> "OTHER"
+  | l -> Printf.sprintf "L%d" l
+
+type conversation = { graph : Graph.t; has_motif : bool; root : int }
+
+(* Figure 24: a diffusion backbone alternating follower/other relays, with
+   the root user re-engaging every few hops (its re-engagement nodes are the
+   twigs, plus small audience fans). *)
+let diffusion_motif ~chain =
+  let b = Graph.Builder.create () in
+  let root = Graph.Builder.add_vertex b root_label in
+  let prev = ref root in
+  let backbone = ref [ root ] in
+  for i = 1 to chain do
+    let lbl = if i mod 2 = 1 then follower_label else other_label in
+    let v = Graph.Builder.add_vertex b lbl in
+    Graph.Builder.add_edge b !prev v;
+    prev := v;
+    backbone := v :: !backbone
+  done;
+  (* Root re-engagements: a ROOT twig every 4 hops, each with one audience
+     follower hanging off it (level 2). *)
+  let backbone = Array.of_list (List.rev !backbone) in
+  Array.iteri
+    (fun i v ->
+      if i > 0 && i mod 4 = 0 && i < chain then begin
+        let re = Graph.Builder.add_vertex b root_label in
+        Graph.Builder.add_edge b v re;
+        let fan = Graph.Builder.add_vertex b follower_label in
+        Graph.Builder.add_edge b re fan
+      end)
+    backbone;
+  Graph.Builder.freeze b
+
+let generate ?(num_conversations = 40) ?(size = 120) ?(motif_fraction = 0.3)
+    ?(chain = 13) ~seed () =
+  let st = Gen.rng (seed + 0x3e1b0) in
+  List.init num_conversations (fun ci ->
+      let b = Graph.Builder.create () in
+      let root = Graph.Builder.add_vertex b root_label in
+      (* Endpoint multiset: each edge pushes both endpoints, so sampling from
+         it is degree-proportional (preferential attachment). *)
+      let endpoints = Vec.create () in
+      Vec.push endpoints root;
+      let add_user () =
+        let r = Random.State.float st 1.0 in
+        let lbl =
+          if r < 0.45 then follower_label
+          else if r < 0.6 then followee_label
+          else if r < 0.9 then other_label
+          else root_label (* the root re-appearing in its own thread *)
+        in
+        let target = Vec.get endpoints (Random.State.int st (Vec.length endpoints)) in
+        let v = Graph.Builder.add_vertex b lbl in
+        Graph.Builder.add_edge b target v;
+        Vec.push endpoints target;
+        Vec.push endpoints v
+      in
+      for _ = 1 to size - 1 do
+        add_user ()
+      done;
+      let has_motif = float_of_int (ci mod 10) < motif_fraction *. 10.0 in
+      if has_motif then begin
+        let motif = diffusion_motif ~chain in
+        ignore (Gen.inject st b ~pattern:motif ~copies:1 ())
+      end;
+      { graph = Graph.Builder.freeze b; has_motif; root })

@@ -1,0 +1,40 @@
+(** A synthetic stand-in for the paper's Sina Weibo experiment (§6.3).
+
+    The real dataset (1.8M users, 230M tweets) is unavailable. We generate
+    retweet/comment conversation graphs with the paper's schema: vertices are
+    users labeled Root / Follower / Followee / Other; each retweet or comment
+    adds an edge from the acting user to the target user; a user may appear
+    several times in one conversation. Conversations grow by preferential
+    attachment, and a fraction of them carry the published Figure-24 motif —
+    a long diffusion chain in which the root repeatedly re-engages, each
+    re-engagement fanning the tweet out further — so that long skinny
+    diffusion patterns are frequent across the corpus. *)
+
+val root_label : Spm_graph.Label.t
+val follower_label : Spm_graph.Label.t
+val followee_label : Spm_graph.Label.t
+val other_label : Spm_graph.Label.t
+
+val label_name : Spm_graph.Label.t -> string
+
+type conversation = {
+  graph : Spm_graph.Graph.t;
+  has_motif : bool;
+  root : int;  (** vertex id of the first root occurrence *)
+}
+
+val diffusion_motif : chain:int -> Spm_graph.Graph.t
+(** The Figure-24 pattern: a length-[chain] retweet backbone alternating
+    follower/other relays with root re-engagements hanging off it (a
+    [chain]-long 3-skinny pattern for chain >= 4). *)
+
+val generate :
+  ?num_conversations:int ->
+  ?size:int ->
+  ?motif_fraction:float ->
+  ?chain:int ->
+  seed:int ->
+  unit ->
+  conversation list
+(** Defaults: 40 conversations of ~120 users, 30% carrying the chain-13
+    motif. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bfs Canon Gen Graph Grow_util Hashtbl List Origami Pattern Printf Seus Spider_mine Spm_baselines Spm_graph Spm_pattern Subdue Subiso Support

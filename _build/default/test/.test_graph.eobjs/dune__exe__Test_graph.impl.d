@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Gen Graph Hashtbl Io Label List Option Paths Printf QCheck QCheck_alcotest Spm_graph Vec

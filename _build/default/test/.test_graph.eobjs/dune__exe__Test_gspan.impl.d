@@ -1,0 +1,1 @@
+test/test_gspan.ml: Alcotest Array Bfs Canon Engine Gen Graph Gspan Hashtbl Int List Moss Pattern Printf QCheck QCheck_alcotest Spm_graph Spm_gspan Spm_pattern String Subiso Support

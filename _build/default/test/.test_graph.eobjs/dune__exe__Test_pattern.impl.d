@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Canon Dfs_code Embedding Gen Graph List Pattern QCheck QCheck_alcotest Spm_graph Spm_pattern String Subiso Support

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bfs Dblp_like Graph List Settings Spm_core Spm_graph Spm_pattern Spm_workload Weibo_like

@@ -1,0 +1,346 @@
+(* Tests for the graph substrate: construction, BFS, paths, generators, IO. *)
+
+open Spm_graph
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Path a-b-c-d plus a chord (0,2). *)
+let small () =
+  Graph.of_edges ~labels:[| 0; 1; 2; 3 |] [ (0, 1); (1, 2); (2, 3); (0, 2) ]
+
+let test_of_edges () =
+  let g = small () in
+  check "n" 4 (Graph.n g);
+  check "m" 4 (Graph.m g);
+  check "deg0" 2 (Graph.degree g 0);
+  check "deg2" 3 (Graph.degree g 2);
+  check_bool "edge 0-2" true (Graph.has_edge g 0 2);
+  check_bool "edge 2-0" true (Graph.has_edge g 2 0);
+  check_bool "no edge 0-3" false (Graph.has_edge g 0 3);
+  check "label" 2 (Graph.label g 2)
+
+let test_of_edges_dedup () =
+  let g = Graph.of_edges ~labels:[| 0; 0 |] [ (0, 1); (1, 0); (0, 1) ] in
+  check "m dedup" 1 (Graph.m g)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop")
+    (fun () -> ignore (Graph.of_edges ~labels:[| 0 |] [ (0, 0) ]))
+
+let test_edges_list () =
+  let g = small () in
+  Alcotest.(check (list (pair int int)))
+    "edges sorted" [ (0, 1); (0, 2); (1, 2); (2, 3) ] (Graph.edges g)
+
+let test_induced () =
+  let g = small () in
+  let h = Graph.induced g [| 0; 2; 3 |] in
+  check "ind n" 3 (Graph.n h);
+  check "ind m" 2 (Graph.m h);
+  check "ind label of old 2" 2 (Graph.label h 1);
+  check_bool "0-2 kept" true (Graph.has_edge h 0 1);
+  check_bool "2-3 kept" true (Graph.has_edge h 1 2)
+
+let test_builder () =
+  let b = Graph.Builder.create () in
+  let a = Graph.Builder.add_vertex b 7 in
+  let c = Graph.Builder.add_vertex b 8 in
+  Graph.Builder.add_edge b a c;
+  Graph.Builder.add_edge b a c;
+  let g = Graph.Builder.freeze b in
+  check "builder n" 2 (Graph.n g);
+  check "builder m (idempotent)" 1 (Graph.m g);
+  (* Builder remains usable after freeze. *)
+  let d = Graph.Builder.add_vertex b 9 in
+  Graph.Builder.add_edge b c d;
+  let g2 = Graph.Builder.freeze b in
+  check "extended n" 3 (Graph.n g2);
+  check "extended m" 2 (Graph.m g2);
+  check "first freeze untouched" 2 (Graph.n g)
+
+let test_bfs_distances () =
+  let g = small () in
+  let d = Bfs.distances g 3 in
+  Alcotest.(check (array int)) "dist from 3" [| 2; 2; 1; 0 |] d
+
+let test_bfs_distance_pair () =
+  let g = small () in
+  check "d(0,3)" 2 (Bfs.distance g 0 3);
+  check "d(3,3)" 0 (Bfs.distance g 3 3)
+
+let test_bfs_disconnected () =
+  let g = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1) ] in
+  let d = Bfs.distances g 0 in
+  check "unreachable" (-1) d.(2);
+  check_bool "not connected" false (Bfs.is_connected g);
+  let _, k = Bfs.components g in
+  check "2 components" 2 k
+
+let test_diameter () =
+  let g = small () in
+  check "diameter" 2 (Bfs.diameter g);
+  let path = Gen.path_graph [| 0; 1; 2; 3; 4 |] in
+  check "path diameter" 4 (Bfs.diameter path);
+  let u, v, d = Bfs.diameter_endpoints path in
+  check "endpoints d" 4 d;
+  check "endpoint u" 0 u;
+  check "endpoint v" 4 v
+
+let test_multi_source () =
+  let path = Gen.path_graph [| 0; 0; 0; 0; 0 |] in
+  let d = Bfs.distances_from_set path [ 0; 4 ] in
+  Alcotest.(check (array int)) "multi source" [| 0; 1; 2; 1; 0 |] d
+
+let test_dist_matrix () =
+  let g = small () in
+  let dm = Bfs.dist_matrix g in
+  check "dm 0 3" 2 dm.(0).(3);
+  check "dm 3 0" 2 dm.(3).(0);
+  check "dm diag" 0 dm.(1).(1)
+
+(* --- Paths --- *)
+
+let test_simple_path_check () =
+  let g = small () in
+  check_bool "good path" true (Paths.is_simple_path g [| 3; 2; 0; 1 |]);
+  check_bool "revisit" false (Paths.is_simple_path g [| 0; 1; 2; 0 |]);
+  check_bool "non-edge" false (Paths.is_simple_path g [| 0; 3 |])
+
+let test_simple_paths_count () =
+  (* Triangle with distinct labels: 3 undirected paths of length 2. *)
+  let tri = Graph.of_edges ~labels:[| 0; 1; 2 |] [ (0, 1); (1, 2); (0, 2) ] in
+  check "len2 in triangle" 3 (List.length (Paths.simple_paths_of_length tri ~length:2));
+  check "len1 in triangle" 3 (List.length (Paths.simple_paths_of_length tri ~length:1));
+  (* Path graph 0-1-2-3: exactly one simple path of length 3. *)
+  let p = Gen.path_graph [| 5; 6; 7; 8 |] in
+  check "len3 in path" 1 (List.length (Paths.simple_paths_of_length p ~length:3))
+
+let test_paths_canonical_orientation () =
+  let p = [| 4; 2; 9 |] in
+  Alcotest.(check (array int)) "orient" [| 4; 2; 9 |] (Paths.canonical_orientation p);
+  let q = [| 9; 2; 4 |] in
+  Alcotest.(check (array int)) "orient rev" [| 4; 2; 9 |] (Paths.canonical_orientation q)
+
+let test_shortest_paths_between () =
+  (* 4-cycle: two shortest paths between opposite corners. *)
+  let c4 = Gen.cycle_graph [| 0; 1; 2; 3 |] in
+  let sps = Paths.shortest_paths_between c4 0 2 in
+  check "two shortest" 2 (List.length sps);
+  List.iter (fun p -> check "len 2" 3 (Array.length p)) sps;
+  check "none disconnected" 0
+    (List.length
+       (Paths.shortest_paths_between
+          (Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1) ])
+          0 2))
+
+(* --- Generators --- *)
+
+let test_erdos_renyi () =
+  let st = Gen.rng 42 in
+  let g = Gen.erdos_renyi st ~n:200 ~avg_degree:3.0 ~num_labels:5 in
+  check "er n" 200 (Graph.n g);
+  check "er m" 300 (Graph.m g);
+  check_bool "labels in range" true
+    (Array.for_all (fun l -> l >= 0 && l < 5) (Graph.labels g))
+
+let test_gnp () =
+  let st = Gen.rng 1 in
+  let g = Gen.erdos_renyi_gnp st ~n:50 ~p:1.0 ~num_labels:2 in
+  check "complete" (50 * 49 / 2) (Graph.m g)
+
+let test_random_tree () =
+  let st = Gen.rng 7 in
+  let t = Gen.random_tree st ~n:30 ~num_labels:3 in
+  check "tree edges" 29 (Graph.m t);
+  check_bool "tree connected" true (Bfs.is_connected t)
+
+let test_random_skinny_pattern () =
+  let st = Gen.rng 11 in
+  for backbone = 3 to 8 do
+    let p = Gen.random_skinny_pattern st ~backbone ~delta:2 ~twigs:4 ~num_labels:4 in
+    check (Printf.sprintf "diam %d" backbone) backbone (Bfs.diameter p);
+    check_bool "connected" true (Bfs.is_connected p);
+    let dist = Bfs.distances_from_set p (List.init (backbone + 1) (fun i -> i)) in
+    check_bool "within delta of backbone" true
+      (Array.for_all (fun d -> d >= 0 && d <= 2) dist)
+  done
+
+let test_inject () =
+  let st = Gen.rng 3 in
+  let bg = Gen.erdos_renyi st ~n:50 ~avg_degree:2.0 ~num_labels:3 in
+  let b = Graph.Builder.of_graph bg in
+  let pat = Gen.path_graph [| 0; 1; 2 |] in
+  let maps = Gen.inject st b ~pattern:pat ~copies:4 () in
+  let g = Graph.Builder.freeze b in
+  check "injected vertices" (50 + 12) (Graph.n g);
+  check "copies" 4 (Array.length maps);
+  Array.iter
+    (fun map ->
+      Array.iteri (fun pv tv -> check "label preserved" (Graph.label pat pv) (Graph.label g tv)) map;
+      Graph.iter_edges (fun u v -> check_bool "edge present" true (Graph.has_edge g map.(u) map.(v))) pat)
+    maps
+
+let test_star_and_cycle () =
+  let s = Gen.star_graph ~center:9 [| 1; 2; 3 |] in
+  check "star m" 3 (Graph.m s);
+  check "star diameter" 2 (Bfs.diameter s);
+  let c = Gen.cycle_graph [| 0; 1; 2; 3; 4 |] in
+  check "cycle m" 5 (Graph.m c);
+  check "cycle diameter" 2 (Bfs.diameter c)
+
+(* --- IO --- *)
+
+let test_io_roundtrip () =
+  let g = small () in
+  let g' = Io.of_string (Io.to_string g) in
+  check_bool "roundtrip" true (Graph.equal_structure g g')
+
+let test_io_db_roundtrip () =
+  let st = Gen.rng 5 in
+  let gs = List.init 3 (fun i -> Gen.erdos_renyi st ~n:(10 + i) ~avg_degree:2.0 ~num_labels:3) in
+  let gs' = Io.db_of_string (Io.db_to_string gs) in
+  check "db size" 3 (List.length gs');
+  List.iter2
+    (fun a b -> check_bool "each graph" true (Graph.equal_structure a b))
+    gs gs'
+
+let test_io_comments_and_errors () =
+  let g = Io.of_string "# header\nv 0 5\nv 1 6 # trailing\ne 0 1\n" in
+  check "parsed n" 2 (Graph.n g);
+  check "parsed label" 5 (Graph.label g 0);
+  (try
+     ignore (Io.of_string "v 0 1\nq 3\n");
+     Alcotest.fail "expected failure"
+   with Failure _ -> ())
+
+let test_label_table () =
+  let t = Label.Table.of_names [ "A"; "B" ] in
+  check "A" 0 (Option.get (Label.Table.find t "A"));
+  check "B" 1 (Label.Table.find t "B" |> Option.get);
+  check "intern existing" 0 (Label.Table.intern t "A");
+  check "intern new" 2 (Label.Table.intern t "C");
+  Alcotest.(check string) "name" "B" (Label.Table.name t 1);
+  Alcotest.(check string) "unknown name" "L9" (Label.Table.name t 9)
+
+let test_vec () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do Vec.push v i done;
+  check "len" 100 (Vec.length v);
+  check "get" 37 (Vec.get v 37);
+  Vec.set v 37 (-1);
+  check "set" (-1) (Vec.get v 37);
+  check "pop" 99 (Vec.pop v);
+  check "len after pop" 99 (Vec.length v);
+  check "fold" (Vec.fold_left ( + ) 0 v) (List.fold_left ( + ) 0 (Vec.to_list v));
+  Vec.clear v;
+  check "cleared" 0 (Vec.length v)
+
+(* --- Properties --- *)
+
+let prop_er_connected_labels =
+  QCheck.Test.make ~name:"generated labels always in range" ~count:50
+    QCheck.(pair (int_range 2 60) (int_range 1 8))
+    (fun (n, f) ->
+      let st = Gen.rng (n * 131 + f) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:f in
+      Array.for_all (fun l -> l >= 0 && l < f) (Graph.labels g))
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"bfs distances satisfy triangle inequality over edges"
+    ~count:40
+    QCheck.(int_range 3 40)
+    (fun n ->
+      let st = Gen.rng (n * 7) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:3.0 ~num_labels:3 in
+      let d = Bfs.distances g 0 in
+      Graph.fold_edges
+        (fun u v acc ->
+          acc
+          && (d.(u) < 0 || d.(v) < 0 || abs (d.(u) - d.(v)) <= 1))
+        g true)
+
+let prop_simple_paths_are_simple =
+  QCheck.Test.make ~name:"enumerated simple paths are simple and unique" ~count:25
+    QCheck.(pair (int_range 3 12) (int_range 1 3))
+    (fun (n, len) ->
+      let st = Gen.rng (n + (len * 1000)) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.5 ~num_labels:2 in
+      let ps = Paths.simple_paths_of_length g ~length:len in
+      let keys = Hashtbl.create 16 in
+      List.for_all
+        (fun p ->
+          let ok = Paths.is_simple_path g p && Array.length p = len + 1 in
+          let k = Array.to_list (Paths.canonical_orientation p) in
+          let fresh = not (Hashtbl.mem keys k) in
+          Hashtbl.add keys k ();
+          ok && fresh)
+        ps)
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"io roundtrip preserves structure" ~count:30
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let st = Gen.rng (n * 977) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:4 in
+      Graph.equal_structure g (Io.of_string (Io.to_string g)))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "of_edges" `Quick test_of_edges;
+          Alcotest.test_case "dedup" `Quick test_of_edges_dedup;
+          Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+          Alcotest.test_case "edges list" `Quick test_edges_list;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "builder" `Quick test_builder;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "distances" `Quick test_bfs_distances;
+          Alcotest.test_case "pair distance" `Quick test_bfs_distance_pair;
+          Alcotest.test_case "disconnected" `Quick test_bfs_disconnected;
+          Alcotest.test_case "diameter" `Quick test_diameter;
+          Alcotest.test_case "multi source" `Quick test_multi_source;
+          Alcotest.test_case "dist matrix" `Quick test_dist_matrix;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "is_simple_path" `Quick test_simple_path_check;
+          Alcotest.test_case "enumeration counts" `Quick test_simple_paths_count;
+          Alcotest.test_case "canonical orientation" `Quick test_paths_canonical_orientation;
+          Alcotest.test_case "shortest paths between" `Quick test_shortest_paths_between;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "erdos renyi" `Quick test_erdos_renyi;
+          Alcotest.test_case "gnp complete" `Quick test_gnp;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "skinny pattern" `Quick test_random_skinny_pattern;
+          Alcotest.test_case "inject" `Quick test_inject;
+          Alcotest.test_case "star and cycle" `Quick test_star_and_cycle;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "db roundtrip" `Quick test_io_db_roundtrip;
+          Alcotest.test_case "comments and errors" `Quick test_io_comments_and_errors;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "label table" `Quick test_label_table;
+          Alcotest.test_case "vec" `Quick test_vec;
+        ] );
+      qsuite "props"
+        [
+          prop_er_connected_labels;
+          prop_bfs_triangle_inequality;
+          prop_simple_paths_are_simple;
+          prop_io_roundtrip;
+        ];
+    ]

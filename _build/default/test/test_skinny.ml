@@ -1,0 +1,554 @@
+(* End-to-end tests for LevelGrow / SkinnyMine / Diameter_index / Framework:
+   soundness against ground-truth predicates, agreement of the three
+   constraint-maintenance modes, unique generation, cluster disjointness,
+   injected-pattern recovery, and the direct-mining framework checkers. *)
+
+open Spm_graph
+open Spm_pattern
+open Spm_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let keys_of patterns =
+  List.map (fun m -> Canon.key m.Skinny_mine.pattern) patterns
+  |> List.sort_uniq String.compare
+
+(* Brute force: all connected subgraph patterns (up to iso) of [g] that are
+   l-long delta-skinny with support >= sigma. Exponential. *)
+let brute_force_targets g ~l ~delta ~sigma ~max_edges =
+  Framework.connected_patterns_upto g ~max_edges
+  |> List.filter (fun p ->
+         Pattern.size p >= 1
+         && Skinny_mine.is_target p ~l ~delta
+         && Support.single_graph p g >= sigma)
+  |> List.map Canon.key |> List.sort_uniq String.compare
+
+(* --- LevelGrow on a hand-built graph --- *)
+
+let test_level_grow_bare_path () =
+  (* Data = a single path; only pattern grown is the diameter itself. *)
+  let g = Gen.path_graph [| 0; 1; 2; 3 |] in
+  let r = Skinny_mine.mine g ~l:3 ~delta:2 ~sigma:1 in
+  check "one pattern" 1 (List.length r.Skinny_mine.patterns);
+  let m = List.hd r.Skinny_mine.patterns in
+  check "support" 1 m.Skinny_mine.support;
+  check "size" 3 (Pattern.size m.Skinny_mine.pattern)
+
+let test_level_grow_with_twig () =
+  (* Path 0-1-2-3-4 plus twig on middle vertex; delta=1, sigma=1. *)
+  let g =
+    Graph.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 5) ]
+  in
+  let r = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in
+  (* Diameter path + path-with-twig. *)
+  check "two patterns" 2 (List.length r.Skinny_mine.patterns);
+  List.iter
+    (fun m ->
+      check_bool "is target" true
+        (Skinny_mine.is_target m.Skinny_mine.pattern ~l:4 ~delta:1))
+    r.Skinny_mine.patterns;
+  (* delta=0 keeps only the bare diameter. *)
+  let r0 = Skinny_mine.mine g ~l:4 ~delta:0 ~sigma:1 in
+  check "delta=0" 1 (List.length r0.Skinny_mine.patterns)
+
+let test_level_grow_multi_edge_twig () =
+  (* Twig vertex 5 connected to diameter positions 1 and 2: reachable via a
+     leaf extension plus a closing edge in the same level iteration. *)
+  let g =
+    Graph.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (1, 5); (2, 5) ]
+  in
+  let r = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in
+  let sizes =
+    List.map (fun m -> Pattern.size m.Skinny_mine.pattern) r.Skinny_mine.patterns
+    |> List.sort compare
+  in
+  (* Four length-4 paths exist (the main diameter and three routes through
+     the twig vertex), each a cluster of its own; the main cluster grows the
+     two single-twig-edge patterns and the both-edges pattern. *)
+  Alcotest.(check (list int)) "pattern sizes" [ 4; 4; 4; 4; 5; 5; 6 ] sizes
+
+(* --- Soundness on random graphs --- *)
+
+let prop_skinny_mine_sound =
+  QCheck.Test.make ~name:"every mined pattern is a frequent target pattern"
+    ~count:20
+    QCheck.(pair (int_range 8 14) (int_range 2 4))
+    (fun (n, l) ->
+      let st = Gen.rng ((n * 271) + l) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let r = Skinny_mine.mine g ~l ~delta:2 ~sigma:2 in
+      List.for_all
+        (fun m ->
+          Skinny_mine.is_target m.Skinny_mine.pattern ~l ~delta:2
+          && Support.single_graph m.Skinny_mine.pattern g
+             = m.Skinny_mine.support
+          && m.Skinny_mine.support >= 2)
+        r.Skinny_mine.patterns)
+
+let prop_skinny_mine_unique_generation =
+  QCheck.Test.make ~name:"no two mined patterns are isomorphic" ~count:20
+    QCheck.(pair (int_range 8 14) (int_range 2 4))
+    (fun (n, l) ->
+      let st = Gen.rng ((n * 17) + (l * 5)) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.2 ~num_labels:2 in
+      let r = Skinny_mine.mine g ~l ~delta:2 ~sigma:1 in
+      let keys = List.map (fun m -> Canon.key m.Skinny_mine.pattern) r.Skinny_mine.patterns in
+      List.length keys = List.length (List.sort_uniq String.compare keys))
+
+let prop_skinny_clusters_canonical =
+  QCheck.Test.make
+    ~name:"each pattern's canonical diameter matches its cluster" ~count:20
+    QCheck.(pair (int_range 8 13) (int_range 2 4))
+    (fun (n, l) ->
+      let st = Gen.rng ((n * 37) + (l * 11)) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let r = Skinny_mine.mine g ~l ~delta:2 ~sigma:1 in
+      List.for_all
+        (fun m ->
+          let p = m.Skinny_mine.pattern in
+          let cd = Canonical_diameter.compute p in
+          let cd_labels =
+            Path_pattern.canonical (Path_pattern.of_vertex_path p cd)
+          in
+          cd_labels = m.Skinny_mine.diameter_labels)
+        r.Skinny_mine.patterns)
+
+let prop_modes_agree =
+  QCheck.Test.make
+    ~name:"Naive and Exact constraint modes mine identical pattern sets"
+    ~count:15
+    QCheck.(pair (int_range 8 13) (int_range 2 4))
+    (fun (n, l) ->
+      let st = Gen.rng ((n * 301) + l) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.2 ~num_labels:2 in
+      let run mode =
+        keys_of (Skinny_mine.mine ~mode g ~l ~delta:2 ~sigma:1).Skinny_mine.patterns
+      in
+      run Constraints.Naive = run Constraints.Exact)
+
+(* The literal Theorem-3 trigger of the paper (new diameters can only end at
+   the head or tail, §3.4.3) is incomplete: a new same-length realizing path
+   between two *twig* vertices can be lexicographically smaller than L
+   without touching vH/vT, so Paper mode keeps patterns under a diameter
+   that is no longer canonical — an over-acceptance that breaks cluster
+   disjointness. We document it on an instance where it shows. *)
+let test_paper_trigger_gap_documented () =
+  let st = Gen.rng ((13 * 301) + 4) in
+  let g = Gen.erdos_renyi st ~n:13 ~avg_degree:2.2 ~num_labels:2 in
+  let run mode =
+    keys_of (Skinny_mine.mine ~mode g ~l:4 ~delta:2 ~sigma:1).Skinny_mine.patterns
+  in
+  let naive = run Constraints.Naive in
+  let paper = run Constraints.Paper in
+  check_bool "paper accepts a superset here" true
+    (List.for_all (fun k -> List.mem k paper) naive);
+  check_bool "paper over-accepts (documented gap)" true
+    (List.length paper > List.length naive);
+  (* The extra patterns are exactly those whose canonical diameter is NOT
+     the cluster diameter. *)
+  let full = Skinny_mine.mine ~mode:Constraints.Paper g ~l:4 ~delta:2 ~sigma:1 in
+  let bogus =
+    List.filter
+      (fun m ->
+        let p = m.Skinny_mine.pattern in
+        let cd = Canonical_diameter.compute p in
+        Path_pattern.canonical (Path_pattern.of_vertex_path p cd)
+        <> m.Skinny_mine.diameter_labels)
+      full.Skinny_mine.patterns
+  in
+  check_bool "the extras are non-canonical cluster members" true
+    (List.length bogus > 0)
+
+(* --- Completeness against the specification semantics --- *)
+
+(* The specification run explores EVERY extension order (no Panchor pruning)
+   with naive full-recomputation constraint checks. The optimized default
+   (anchored, Exact mode, incremental indices) must produce exactly the same
+   pattern sets. *)
+let test_spec_equivalence () =
+  List.iteri
+    (fun i (n, l) ->
+      let st = Gen.rng (1000 + (i * 31)) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let optimized =
+        keys_of
+          (Skinny_mine.mine ~prune_intermediate:false g ~l ~delta:2 ~sigma:1)
+            .Skinny_mine.patterns
+      in
+      let spec =
+        keys_of
+          (Skinny_mine.mine ~mode:Constraints.Naive
+             ~prune_intermediate:false g ~l ~delta:2 ~sigma:1)
+            .Skinny_mine.patterns
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "case %d (n=%d l=%d)" i n l)
+        spec optimized)
+    [ (7, 2); (8, 2); (8, 3); (9, 3); (9, 4); (10, 4); (10, 3); (7, 3) ]
+
+(* Brute-force subgraph enumeration is a strict superset of what single-edge
+   constraint-preserving growth can reach: the 4-cycle at l=2 needs its
+   fourth vertex attached by two edges at once, every intermediate violating
+   the diameter bound. This documents that the paper's Lemma 4
+   (weak anti-monotonicity) fails on C4 — fC(C4)=1 at (l=2, delta=1) but
+   every 3-edge subgraph of C4 is a 3-long path. SkinnyMine (the paper's and
+   ours) therefore cannot mine it; the gap is inherent to the growth
+   paradigm, not to our optimizations (the specification run misses it
+   identically). *)
+let test_c4_gap_documented () =
+  let c4 = Gen.cycle_graph [| 0; 0; 0; 0 |] in
+  check_bool "C4 is 2-long 1-skinny" true
+    (Skinny_mine.is_target c4 ~l:2 ~delta:1);
+  (* All 3-edge subpatterns of C4 are 3-long paths: Lemma 4 fails. *)
+  List.iter
+    (fun q ->
+      check_bool "no 3-edge sub satisfies" false
+        (Skinny_mine.is_target q ~l:2 ~delta:1))
+    (Framework.immediate_subpatterns c4);
+  (* Mining a data graph that IS a C4 at l=2: C4 itself is absent. *)
+  let mined = Skinny_mine.mine c4 ~l:2 ~delta:1 ~sigma:1 in
+  check_bool "C4 not minable (documented gap)" false
+    (List.exists
+       (fun m -> Canon.iso m.Skinny_mine.pattern c4)
+       mined.Skinny_mine.patterns);
+  let spec =
+    Skinny_mine.mine ~mode:Constraints.Naive c4 ~l:2 ~delta:1 ~sigma:1
+  in
+  check_bool "specification run misses it identically" false
+    (List.exists
+       (fun m -> Canon.iso m.Skinny_mine.pattern c4)
+       spec.Skinny_mine.patterns)
+
+(* Mined patterns are always a subset of the brute-force target set, and on
+   these instances the only brute-force targets ever missed are in the C4
+   class (some vertex only attachable by >= 2 simultaneous edges). *)
+let test_completeness_vs_brute_force () =
+  List.iteri
+    (fun i (n, l) ->
+      let st = Gen.rng (4000 + (i * 13)) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let delta = 2 in
+      let mined =
+        keys_of
+          (Skinny_mine.mine ~prune_intermediate:false g ~l ~delta ~sigma:1)
+            .Skinny_mine.patterns
+      in
+      let expected = brute_force_targets g ~l ~delta ~sigma:1 ~max_edges:(Graph.m g) in
+      List.iter
+        (fun k ->
+          if not (List.mem k expected) then
+            Alcotest.failf "unsound pattern mined (case %d)" i)
+        mined;
+      (* Every missed pattern must be unreachable in principle: no immediate
+         subpattern is a target with the same diameter length. *)
+      let universe = Framework.connected_patterns_upto g ~max_edges:(Graph.m g) in
+      let missed =
+        List.filter (fun k -> not (List.mem k mined)) expected
+        |> List.filter_map (fun k ->
+               List.find_opt (fun p -> Canon.key p = k) universe)
+      in
+      let diam_labels q =
+        let cd = Canonical_diameter.compute q in
+        Path_pattern.canonical (Path_pattern.of_vertex_path q cd)
+      in
+      (* Misses are expected: the growth paradigm cannot reach patterns whose
+         every same-diameter edge-deletion chain passes through a
+         constraint-violating intermediate (the C4 class; see the C4 test and
+         EXPERIMENTS.md). We bound the damage instead of asserting equality:
+         every l-long path must be present (they are the Stage-I seeds), and
+         every missed pattern must itself sit on a chain of missed
+         same-diameter parents (no "orphan" miss directly above a mined
+         pattern is allowed — that would be a bug, not a paradigm gap). *)
+      List.iter
+        (fun p ->
+          let is_path =
+            Pattern.size p = l && Graph.n p = l + 1 && Bfs.diameter p = l
+          in
+          if is_path then
+            Alcotest.failf "case %d: missed a seed path" i;
+          let mined_same_diam_parent =
+            List.exists
+              (fun q ->
+                Skinny_mine.is_target q ~l ~delta
+                && diam_labels q = diam_labels p
+                && List.mem (Canon.key q) mined)
+              (Framework.immediate_subpatterns p)
+          in
+          if mined_same_diam_parent then
+            Alcotest.failf
+              "case %d: missed a pattern one valid step above a mined one" i)
+        missed)
+    [ (7, 2); (8, 2); (8, 3); (9, 3); (9, 4) ]
+
+(* --- Closed growth --- *)
+
+let test_closed_growth_collapses_powerset () =
+  (* A diameter path with k twigs appearing in two disjoint copies: complete
+     semantics enumerates the 2^k twig subsets; closed growth reports only
+     the maximal pattern. *)
+  let pat =
+    Graph.of_edges ~labels:[| 0; 1; 2; 3; 4; 5; 6; 7 |]
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (1, 5); (2, 6); (3, 7) ]
+  in
+  let b = Graph.Builder.create () in
+  let st = Gen.rng 1 in
+  ignore (Gen.inject st b ~pattern:pat ~copies:2 ());
+  let g = Graph.Builder.freeze b in
+  let complete = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:2 in
+  let closed = Skinny_mine.mine ~closed_growth:true g ~l:4 ~delta:1 ~sigma:2 in
+  (* The main cluster alone contributes its 2^3 twig subsets to the complete
+     answer (other length-4 paths through twigs seed further clusters). *)
+  let complete_keys = keys_of complete.Skinny_mine.patterns in
+  let subsets =
+    (* All patterns obtained from pat by deleting a subset of its twigs. *)
+    let twig_sets =
+      [ []; [ 5 ]; [ 6 ]; [ 7 ]; [ 5; 6 ]; [ 5; 7 ]; [ 6; 7 ]; [ 5; 6; 7 ] ]
+    in
+    List.map
+      (fun drop ->
+        let keep =
+          List.init 8 (fun v -> v) |> List.filter (fun v -> not (List.mem v drop))
+        in
+        Graph.induced pat (Array.of_list keep))
+      twig_sets
+  in
+  check "complete contains the whole twig powerset" 8
+    (List.length
+       (List.filter (fun q -> List.mem (Canon.key q) complete_keys) subsets));
+  (* Closed growth collapses each cluster to its maximal members: the full
+     pattern is present, the proper subsets are not, and the total is far
+     smaller than the complete answer. *)
+  check_bool "closed is a strict subset" true
+    (List.length closed.Skinny_mine.patterns
+    < List.length complete.Skinny_mine.patterns);
+  check_bool "closed contains the full pattern" true
+    (List.exists
+       (fun m -> Canon.iso m.Skinny_mine.pattern pat)
+       closed.Skinny_mine.patterns);
+  check "no proper twig subset survives closed growth" 1
+    (List.length
+       (List.filter
+          (fun q ->
+            List.exists
+              (fun m -> Canon.iso m.Skinny_mine.pattern q)
+              closed.Skinny_mine.patterns)
+          subsets))
+
+let prop_closed_growth_sound_and_subset =
+  QCheck.Test.make
+    ~name:"closed-growth output is a subset of complete output" ~count:15
+    QCheck.(pair (int_range 8 13) (int_range 2 4))
+    (fun (n, l) ->
+      let st = Gen.rng ((n * 83) + l) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let complete = keys_of (Skinny_mine.mine g ~l ~delta:2 ~sigma:1).Skinny_mine.patterns in
+      let closed =
+        (Skinny_mine.mine ~closed_growth:true g ~l ~delta:2 ~sigma:1)
+          .Skinny_mine.patterns
+      in
+      List.for_all
+        (fun m ->
+          List.mem (Canon.key m.Skinny_mine.pattern) complete
+          && Skinny_mine.is_target m.Skinny_mine.pattern ~l ~delta:2)
+        closed)
+
+(* --- Injected patterns (sigma = 2) --- *)
+
+let test_injection_recovery () =
+  let st = Gen.rng 4242 in
+  let bg = Gen.erdos_renyi st ~n:80 ~avg_degree:1.5 ~num_labels:10 in
+  let b = Graph.Builder.of_graph bg in
+  let pat = Gen.random_skinny_pattern st ~backbone:6 ~delta:1 ~twigs:3 ~num_labels:10 in
+  ignore (Gen.inject st b ~pattern:pat ~copies:3 ());
+  let g = Graph.Builder.freeze b in
+  let r = Skinny_mine.mine g ~l:6 ~delta:2 ~sigma:2 in
+  check_bool "injected pattern recovered" true
+    (List.exists
+       (fun m -> Canon.iso m.Skinny_mine.pattern pat)
+       r.Skinny_mine.patterns)
+
+let test_closed_only_filter () =
+  (* Path + twig with equal support: the bare path is not closed. *)
+  let g =
+    Graph.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 5) ]
+  in
+  let all = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in
+  let closed = Skinny_mine.mine ~closed_only:true g ~l:4 ~delta:1 ~sigma:1 in
+  check "all" 2 (List.length all.Skinny_mine.patterns);
+  check "closed" 1 (List.length closed.Skinny_mine.patterns);
+  check "closed is the larger" 5
+    (Pattern.size (List.hd closed.Skinny_mine.patterns).Skinny_mine.pattern)
+
+let test_max_patterns_cap () =
+  let st = Gen.rng 17 in
+  let g = Gen.erdos_renyi st ~n:30 ~avg_degree:3.0 ~num_labels:1 in
+  let r = Skinny_mine.mine ~max_patterns:5 g ~l:2 ~delta:2 ~sigma:1 in
+  check_bool "cap respected" true (List.length r.Skinny_mine.patterns <= 5)
+
+(* --- Transactions --- *)
+
+let test_transaction_setting () =
+  let st = Gen.rng 7 in
+  let pat = Gen.path_graph [| 2; 3; 4; 5 |] in
+  let make_tx with_pat =
+    let bg = Gen.erdos_renyi st ~n:20 ~avg_degree:1.5 ~num_labels:6 in
+    if with_pat then begin
+      let b = Graph.Builder.of_graph bg in
+      ignore (Gen.inject st b ~pattern:pat ~copies:1 ());
+      Graph.Builder.freeze b
+    end
+    else bg
+  in
+  let db = [ make_tx true; make_tx true; make_tx true; make_tx false ] in
+  let r = Skinny_mine.mine_transactions db ~l:3 ~delta:1 ~sigma:3 in
+  let found =
+    List.find_opt
+      (fun m -> Canon.iso m.Skinny_mine.pattern pat)
+      r.Skinny_mine.patterns
+  in
+  (match found with
+  | Some m -> check "transaction support" 3 m.Skinny_mine.support
+  | None -> Alcotest.fail "injected path not found across transactions");
+  (* Every reported support counts transactions, hence <= 4. *)
+  List.iter
+    (fun m -> check_bool "support <= #tx" true (m.Skinny_mine.support <= 4))
+    r.Skinny_mine.patterns
+
+(* --- Diameter index --- *)
+
+let test_diameter_index_requests () =
+  let st = Gen.rng 3 in
+  let g = Gen.erdos_renyi st ~n:25 ~avg_degree:2.5 ~num_labels:2 in
+  let idx = Diameter_index.build g ~sigma:2 ~l_max:6 in
+  List.iter
+    (fun l ->
+      let direct = keys_of (Skinny_mine.mine g ~l ~delta:2 ~sigma:2).Skinny_mine.patterns in
+      let served = keys_of (Diameter_index.request idx ~l ~delta:2).Skinny_mine.patterns in
+      Alcotest.(check (list string))
+        (Printf.sprintf "index request l=%d" l)
+        direct served)
+    [ 2; 3; 4; 5; 6 ];
+  (* Range request = union of individual requests. *)
+  let range = keys_of (Diameter_index.request_range idx ~l_min:3 ~l_max:5 ~delta:2).Skinny_mine.patterns in
+  let union =
+    List.concat_map
+      (fun l -> keys_of (Diameter_index.request idx ~l ~delta:2).Skinny_mine.patterns)
+      [ 3; 4; 5 ]
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "range = union" union range
+
+(* --- Framework --- *)
+
+let test_framework_skinny_agrees () =
+  let st = Gen.rng 19 in
+  let g = Gen.erdos_renyi st ~n:20 ~avg_degree:2.2 ~num_labels:2 in
+  let via_framework =
+    Framework.Skinny.mine g ~sigma:2 { Framework.Skinny.l = 3; delta = 2 }
+    |> List.map (fun (p, _) -> Canon.key p)
+    |> List.sort_uniq String.compare
+  in
+  let direct = keys_of (Skinny_mine.mine g ~l:3 ~delta:2 ~sigma:2).Skinny_mine.patterns in
+  Alcotest.(check (list string)) "functor = direct" direct via_framework
+
+let test_framework_properties () =
+  let st = Gen.rng 23 in
+  let g = Gen.erdos_renyi st ~n:8 ~avg_degree:2.5 ~num_labels:2 in
+  let universe = Framework.connected_patterns_upto g ~max_edges:4 in
+  check_bool "universe non-trivial" true (List.length universe > 5);
+  (* MaxDegree <= K satisfies everything downward: not reducible (§5.2). *)
+  let max_degree_pred p =
+    Graph.n p = 0
+    || Array.for_all (fun v -> v <= 3)
+         (Array.init (Graph.n p) (fun v -> Graph.degree p v))
+  in
+  check_bool "MaxDegree not reducible" false
+    (Framework.is_reducible ~pred:max_degree_pred ~universe);
+  (* "All degrees equal" is not continuous (§5.3): a triangle qualifies but
+     no 2-edge subpattern does... include a triangle in the universe. *)
+  let tri = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let universe_t = tri :: universe in
+  let equal_degree_pred p =
+    Graph.n p > 0
+    &&
+    let d0 = Graph.degree p 0 in
+    Array.for_all (fun v -> Graph.degree p v = d0)
+      (Array.init (Graph.n p) (fun v -> v))
+    && Graph.m p >= 1
+  in
+  check_bool "equal-degree not continuous" false
+    (Framework.is_continuous ~pred:equal_degree_pred ~universe:universe_t);
+  (* The skinny constraint is reducible (paths of length l are minimal). *)
+  let skinny_pred p = Skinny_mine.is_target p ~l:2 ~delta:1 in
+  check_bool "skinny reducible" true
+    (Framework.is_reducible ~pred:skinny_pred ~universe);
+  (* Continuity holds on cycle-free universes... *)
+  let st2 = Gen.rng 29 in
+  let tree = Gen.random_tree st2 ~n:8 ~num_labels:2 in
+  let tree_universe = Framework.connected_patterns_upto tree ~max_edges:4 in
+  check_bool "skinny continuous on a tree universe" true
+    (Framework.is_continuous ~pred:skinny_pred ~universe:tree_universe);
+  (* ...but FAILS as soon as the universe contains a 4-cycle: C4 is 2-long
+     1-skinny, yet all its 3-edge subpatterns are 3-long paths. This
+     contradicts the paper's Lemma 4 / continuity claim for the skinny
+     constraint — a reproduction finding documented in EXPERIMENTS.md. *)
+  let c4 = Gen.cycle_graph [| 0; 0; 0; 0 |] in
+  check_bool "skinny NOT continuous once C4 is in the universe" false
+    (Framework.is_continuous ~pred:skinny_pred ~universe:(c4 :: universe))
+
+let test_immediate_subpatterns () =
+  let tri = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
+  (* Removing any triangle edge leaves the same 2-edge path. *)
+  check "triangle subs" 1 (List.length (Framework.immediate_subpatterns tri));
+  let edge = Pattern.singleton_edge 0 1 in
+  check "edge subs" 2 (List.length (Framework.immediate_subpatterns edge));
+  let same = Pattern.singleton_edge 0 0 in
+  check "uniform edge subs" 1 (List.length (Framework.immediate_subpatterns same))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "skinny"
+    [
+      ( "level_grow",
+        [
+          Alcotest.test_case "bare path" `Quick test_level_grow_bare_path;
+          Alcotest.test_case "with twig" `Quick test_level_grow_with_twig;
+          Alcotest.test_case "multi-edge twig" `Quick test_level_grow_multi_edge_twig;
+        ] );
+      ( "skinny_mine",
+        [
+          Alcotest.test_case "spec equivalence" `Slow test_spec_equivalence;
+          Alcotest.test_case "C4 gap documented" `Quick test_c4_gap_documented;
+          Alcotest.test_case "paper trigger gap documented" `Quick
+            test_paper_trigger_gap_documented;
+          Alcotest.test_case "completeness vs brute force" `Slow
+            test_completeness_vs_brute_force;
+          Alcotest.test_case "injection recovery" `Quick test_injection_recovery;
+          Alcotest.test_case "closed growth powerset" `Quick
+            test_closed_growth_collapses_powerset;
+          Alcotest.test_case "closed-only" `Quick test_closed_only_filter;
+          Alcotest.test_case "max patterns cap" `Quick test_max_patterns_cap;
+          Alcotest.test_case "transactions" `Quick test_transaction_setting;
+        ] );
+      ( "diameter_index",
+        [ Alcotest.test_case "requests" `Quick test_diameter_index_requests ] );
+      ( "framework",
+        [
+          Alcotest.test_case "skinny functor" `Quick test_framework_skinny_agrees;
+          Alcotest.test_case "property checkers" `Quick test_framework_properties;
+          Alcotest.test_case "immediate subpatterns" `Quick test_immediate_subpatterns;
+        ] );
+      qsuite "props"
+        [
+          prop_skinny_mine_sound;
+          prop_skinny_mine_unique_generation;
+          prop_skinny_clusters_canonical;
+          prop_modes_agree;
+          prop_closed_growth_sound_and_subset;
+        ];
+    ]

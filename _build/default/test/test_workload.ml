@@ -1,0 +1,146 @@
+(* Tests for the workload generators: Table 1/3 settings, the transaction
+   setup, and the DBLP-like / Weibo-like synthetic data. *)
+
+open Spm_graph
+open Spm_workload
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_gid_settings () =
+  List.iter
+    (fun g ->
+      let d = Settings.gid ~scale:0.2 ~seed:7 g in
+      check_bool "graph non-empty" true (Graph.n d.Settings.graph > 50);
+      check "five long patterns" 5 (List.length d.Settings.long_patterns);
+      List.iter
+        (fun inj ->
+          let p = inj.Settings.pattern in
+          check_bool "injected long is skinny" true
+            (Spm_core.Canonical_diameter.is_skinny p ~delta:2);
+          check "placements = copies" inj.Settings.copies
+            (Array.length inj.Settings.placements);
+          (* Each placement is a genuine embedding. *)
+          Array.iter
+            (fun map ->
+              Graph.iter_edges
+                (fun u v ->
+                  check_bool "edge placed" true
+                    (Graph.has_edge d.Settings.graph map.(u) map.(v)))
+                p)
+            inj.Settings.placements)
+        d.Settings.long_patterns)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_gid_differences () =
+  let d1 = Settings.gid ~scale:0.2 ~seed:3 1 in
+  let d2 = Settings.gid ~scale:0.2 ~seed:3 2 in
+  let avg_deg d =
+    2.0 *. float_of_int (Graph.m d.Settings.graph)
+    /. float_of_int (Graph.n d.Settings.graph)
+  in
+  check_bool "GID2 denser than GID1" true (avg_deg d2 > avg_deg d1 +. 0.5);
+  let d5 = Settings.gid ~scale:0.2 ~seed:3 5 in
+  check "GID5 has 20 short patterns" 20 (List.length d5.Settings.short_patterns)
+
+let test_skinniness_probe () =
+  let p = Settings.skinniness_probe ~scale:0.2 ~seed:5 () in
+  check "ten pids" 10 (List.length p.Settings.pids);
+  check "ten injected" 10 (List.length p.Settings.dataset.Settings.long_patterns);
+  (* PIDs 1-5 have strictly decreasing diameters; 6-10 share a diameter. *)
+  let diams = List.map (fun (_, _, d) -> d) p.Settings.pids in
+  let first5 = List.filteri (fun i _ -> i < 5) diams in
+  let rec strictly_decreasing = function
+    | a :: (b :: _ as rest) -> a > b && strictly_decreasing rest
+    | _ -> true
+  in
+  check_bool "decreasing skinniness" true (strictly_decreasing first5)
+
+let test_transaction_setting () =
+  let t = Settings.transaction_setting ~scale:0.1 ~extra_small:12 ~seed:11 () in
+  check "ten transactions" 10 (List.length t.Settings.transactions);
+  check "five long" 5 (List.length t.Settings.injected_long);
+  check "extra small" 12 (List.length t.Settings.injected_small);
+  (* Every long pattern appears in at least 5 transactions. *)
+  List.iter
+    (fun p ->
+      let cnt = Spm_pattern.Support.transaction p t.Settings.transactions in
+      check_bool "support >= 5" true (cnt >= 5))
+    t.Settings.injected_long
+
+let test_dblp_like () =
+  let authors = Dblp_like.generate ~num_authors:30 ~seed:2 () in
+  check "thirty authors" 30 (List.length authors);
+  List.iter
+    (fun a ->
+      let tl = Dblp_like.timeline_of a in
+      check "timeline length" a.Dblp_like.career_years (List.length tl);
+      (* The timeline is a path: consecutive years adjacent. *)
+      let arr = Array.of_list tl in
+      for i = 0 to Array.length arr - 2 do
+        check_bool "consecutive years adjacent" true
+          (Graph.has_edge a.Dblp_like.graph arr.(i) arr.(i + 1))
+      done;
+      (* Collaboration nodes are leaves attached to years. *)
+      Graph.iter_vertices
+        (fun v ->
+          if Graph.label a.Dblp_like.graph v <> Dblp_like.year_label then begin
+            check "collab degree 1" 1 (Graph.degree a.Dblp_like.graph v);
+            let nbr = (Graph.adj a.Dblp_like.graph v).(0) in
+            check "attached to a year" Dblp_like.year_label
+              (Graph.label a.Dblp_like.graph nbr)
+          end)
+        a.Dblp_like.graph)
+    authors
+
+let test_dblp_labels () =
+  check "P3" 12 (Dblp_like.collab_label ~cls:'P' ~level:3);
+  check "B1" 1 (Dblp_like.collab_label ~cls:'B' ~level:1);
+  Alcotest.(check string) "name" "S2" (Dblp_like.label_name (Dblp_like.collab_label ~cls:'S' ~level:2));
+  Alcotest.(check string) "year" "YEAR" (Dblp_like.label_name Dblp_like.year_label)
+
+let test_weibo_like () =
+  let convs = Weibo_like.generate ~num_conversations:10 ~size:60 ~seed:4 () in
+  check "ten conversations" 10 (List.length convs);
+  let motif = Weibo_like.diffusion_motif ~chain:13 in
+  check_bool "motif is 13-long 3-skinny" true
+    (Spm_core.Canonical_diameter.is_l_long_delta_skinny motif ~l:13 ~delta:3
+    || Spm_core.Canonical_diameter.is_skinny motif ~delta:3);
+  List.iter
+    (fun c ->
+      check_bool "conversation connected" true (Bfs.is_connected c.Weibo_like.graph);
+      check "root label" Weibo_like.root_label
+        (Graph.label c.Weibo_like.graph c.Weibo_like.root);
+      if c.Weibo_like.has_motif then
+        check_bool "motif embedded" true
+          (Spm_pattern.Subiso.exists ~pattern:motif ~target:c.Weibo_like.graph))
+    convs
+
+let test_weibo_motif_frequency () =
+  let convs = Weibo_like.generate ~num_conversations:10 ~size:50 ~motif_fraction:0.5 ~seed:6 () in
+  let motif = Weibo_like.diffusion_motif ~chain:9 in
+  ignore motif;
+  let with_motif = List.filter (fun c -> c.Weibo_like.has_motif) convs in
+  check "half carry the motif" 5 (List.length with_motif)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "settings",
+        [
+          Alcotest.test_case "gid datasets" `Quick test_gid_settings;
+          Alcotest.test_case "gid differences" `Quick test_gid_differences;
+          Alcotest.test_case "skinniness probe" `Quick test_skinniness_probe;
+          Alcotest.test_case "transaction setting" `Quick test_transaction_setting;
+        ] );
+      ( "dblp",
+        [
+          Alcotest.test_case "career graphs" `Quick test_dblp_like;
+          Alcotest.test_case "labels" `Quick test_dblp_labels;
+        ] );
+      ( "weibo",
+        [
+          Alcotest.test_case "conversations" `Quick test_weibo_like;
+          Alcotest.test_case "motif frequency" `Quick test_weibo_motif_frequency;
+        ] );
+    ]
