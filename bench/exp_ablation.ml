@@ -52,10 +52,16 @@ let constraint_maintenance ~seed ~n () =
   Util.print_row_header
     [ (8, "mode"); (12, "time (s)"); (12, "#patterns"); (26, "note") ];
   let run mode name note =
+    let config =
+      {
+        Skinny_mine.Config.default with
+        mode;
+        closed_growth = true;
+        max_patterns = Some 50000;
+      }
+    in
     let r, t =
-      Util.time (fun () ->
-          Skinny_mine.mine ~mode ~closed_growth:true ~max_patterns:50000 g
-            ~l:6 ~delta:2 ~sigma:2)
+      Util.time (fun () -> Skinny_mine.mine ~config g ~l:6 ~delta:2 ~sigma:2)
     in
     Printf.printf "%-8s%-12s%-12d%-26s\n%!" name (Util.fmt_time t)
       (List.length r.Skinny_mine.patterns)

@@ -42,8 +42,14 @@ let figures_16_17 ~seed ~n ~f ~l_values () =
       let entries, diam_t = Util.time (fun () -> Diameter_index.entries idx ~l) in
       let result, grow_t =
         Util.time (fun () ->
-            Diameter_index.request ~support:Disjoint_support.maps
-              ~max_patterns:20000 idx ~l ~delta:2)
+            Diameter_index.request
+              ~config:
+                {
+                  Skinny_mine.Config.default with
+                  support = Some Disjoint_support.maps;
+                  max_patterns = Some 20000;
+                }
+              idx ~l ~delta:2)
       in
       let count = List.length result.Skinny_mine.patterns in
       Printf.printf "%-5d%-14s%-10d%-15s%-12s\n%!" l (Util.fmt_time diam_t)
@@ -84,8 +90,14 @@ let figures_18_19 ~seed ~n ~f ~l ~deltas () =
     (fun delta ->
       let result, grow_t =
         Util.time (fun () ->
-            Diameter_index.request ~support:Disjoint_support.maps
-              ~max_patterns:20000 idx ~l ~delta)
+            Diameter_index.request
+              ~config:
+                {
+                  Skinny_mine.Config.default with
+                  support = Some Disjoint_support.maps;
+                  max_patterns = Some 20000;
+                }
+              idx ~l ~delta)
       in
       let max_e =
         List.fold_left

@@ -23,7 +23,10 @@ type gid_run = {
   injected_total : int;
 }
 
-let run_gid ~scale ~seed ~moss_cap gid =
+let closed ~jobs =
+  { Skinny_mine.Config.default with closed_growth = true; jobs }
+
+let run_gid ~scale ~seed ~moss_cap ~jobs gid =
   let d = Settings.gid ~scale ~seed gid in
   let g = d.Settings.graph in
   let ld =
@@ -33,7 +36,8 @@ let run_gid ~scale ~seed ~moss_cap gid =
   in
   let sigma = 2 in
   let skinny, skinny_time =
-    Util.time (fun () -> Skinny_mine.mine ~closed_growth:true g ~l:ld ~delta:2 ~sigma)
+    Util.time (fun () ->
+        Skinny_mine.mine ~config:(closed ~jobs) g ~l:ld ~delta:2 ~sigma)
   in
   let injected_found =
     List.length
@@ -75,11 +79,11 @@ let run_gid ~scale ~seed ~moss_cap gid =
     injected_total = List.length d.Settings.long_patterns;
   }
 
-let figures_4_to_8 ~scale ~seed ~moss_cap () =
+let figures_4_to_8 ~scale ~seed ~moss_cap ?(jobs = 1) () =
   Util.section "Figures 4-8: pattern-size distributions on GID 1-5";
   Printf.printf
     "(Each histogram entry c:|V|=o means c patterns with o vertices.)\n";
-  let runs = List.map (run_gid ~scale ~seed ~moss_cap) [ 1; 2; 3; 4; 5 ] in
+  let runs = List.map (run_gid ~scale ~seed ~moss_cap ~jobs) [ 1; 2; 3; 4; 5 ] in
   List.iter
     (fun r ->
       Util.subsection
@@ -109,7 +113,7 @@ let figure_20 runs =
         (Util.fmt_time r.moss_time))
     runs
 
-let table_3 ~scale ~seed () =
+let table_3 ~scale ~seed ?(jobs = 1) () =
   Util.section "Table 3: skinniness probe (which PIDs each miner captures)";
   let probe = Settings.skinniness_probe ~scale ~seed () in
   let g = probe.Settings.dataset.Settings.graph in
@@ -124,7 +128,7 @@ let table_3 ~scale ~seed () =
   List.iter2
     (fun (pid, order, diam) inj ->
       let p = inj.Settings.pattern in
-      let mined = Skinny_mine.mine ~closed_growth:true g ~l:diam ~delta:4 ~sigma in
+      let mined = Skinny_mine.mine ~config:(closed ~jobs) g ~l:diam ~delta:4 ~sigma in
       let sk =
         List.exists
           (fun m -> Canon.iso m.Skinny_mine.pattern p)

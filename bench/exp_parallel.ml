@@ -1,0 +1,73 @@
+(* Multicore engine experiment: the same mining problem at increasing [jobs],
+   verifying the determinism guarantee (identical pattern sets) and
+   reporting wall-clock scaling. This is the bench backing the engine layer
+   of DESIGN.md; run with a large -n (e.g. 50000) for meaningful numbers. *)
+
+open Spm_graph
+open Spm_pattern
+open Spm_core
+
+let sweep_graph ~seed ~n ~deg ~f ~l =
+  let st = Gen.rng (seed + n) in
+  let bg = Gen.erdos_renyi st ~n ~avg_degree:deg ~num_labels:f in
+  let b = Graph.Builder.of_graph bg in
+  for _ = 1 to 3 do
+    let pat =
+      Gen.random_skinny_pattern st ~backbone:l ~delta:1 ~twigs:2 ~num_labels:f
+    in
+    ignore (Gen.inject st b ~pattern:pat ~copies:3 ())
+  done;
+  Graph.Builder.freeze b
+
+let signature r =
+  List.map
+    (fun m -> (Canon.key m.Skinny_mine.pattern, m.Skinny_mine.support))
+    r.Skinny_mine.patterns
+
+let run ~seed ~n ?(jobs_list = [ 1; 2; 4 ]) () =
+  Util.section
+    (Printf.sprintf
+       "Parallel engine: jobs sweep on a %d-vertex graph (l = 5, delta = 2, \
+        sigma = 2, closed growth)"
+       n);
+  let g = sweep_graph ~seed ~n ~deg:2.0 ~f:70 ~l:5 in
+  Printf.printf "  graph: %d vertices, %d edges; %d core(s) available\n%!"
+    (Graph.n g) (Graph.m g)
+    (Domain.recommended_domain_count ());
+  Util.print_row_header
+    [ (7, "jobs"); (10, "total"); (10, "stage I"); (10, "stage II");
+      (10, "patterns"); (9, "speedup") ];
+  let baseline = ref None in
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let config =
+        { Skinny_mine.Config.default with closed_growth = true; jobs }
+      in
+      let r = Skinny_mine.mine ~config g ~l:5 ~delta:2 ~sigma:2 in
+      let s = r.Skinny_mine.stats in
+      let total = s.Skinny_mine.total_seconds in
+      if !baseline = None then baseline := Some total;
+      let speedup = Option.get !baseline /. total in
+      (* Determinism check: every jobs setting must reproduce the
+         sequential (pattern, support) list exactly. *)
+      let sg = signature r in
+      (match !reference with
+      | None -> reference := Some sg
+      | Some expected ->
+        if sg <> expected then
+          Printf.printf "  !! jobs=%d diverged from the sequential result\n%!"
+            jobs);
+      Printf.printf "%-7d%-10s%-10s%-10s%-10d%.2fx\n%!" jobs
+        (Util.fmt_time total)
+        (Util.fmt_time s.Skinny_mine.diam_stats.Diam_mine.total_seconds)
+        (Util.fmt_time s.Skinny_mine.grow_seconds)
+        (List.length r.Skinny_mine.patterns)
+        speedup;
+      if jobs = List.nth jobs_list (List.length jobs_list - 1) then
+        Format.printf "  @[<v 2>stats at jobs=%d:@,%a@]@." jobs
+          Skinny_mine.Stats.pp s)
+    jobs_list;
+  Printf.printf "  determinism: %s\n%!"
+    (if !reference <> None then "all jobs settings bit-identical"
+     else "n/a")

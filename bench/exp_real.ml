@@ -19,7 +19,10 @@ let render_dblp_pattern p =
   in
   String.concat " " (List.rev parts)
 
-let dblp ~seed ~num_authors ~l () =
+let closed ~jobs =
+  { Spm_core.Skinny_mine.Config.default with closed_growth = true; jobs }
+
+let dblp ~seed ~num_authors ~l ?(jobs = 1) () =
   Util.section
     (Printf.sprintf
        "DBLP analogue: %d-year temporal collaboration patterns over %d \
@@ -29,7 +32,7 @@ let dblp ~seed ~num_authors ~l () =
   let db = List.map (fun a -> a.Dblp_like.graph) authors in
   let result, t =
     Util.time (fun () ->
-        Skinny_mine.mine_transactions ~closed_growth:true db ~l ~delta:1
+        Skinny_mine.mine_transactions ~config:(closed ~jobs) db ~l ~delta:1
           ~sigma:2)
   in
   Printf.printf
@@ -51,7 +54,7 @@ let dblp ~seed ~num_authors ~l () =
         (render_dblp_pattern m.Skinny_mine.pattern))
     biggest
 
-let weibo ~seed ~num_conversations ~chain ~l () =
+let weibo ~seed ~num_conversations ~chain ~l ?(jobs = 1) () =
   Util.section
     (Printf.sprintf
        "Weibo analogue: diffusion patterns with backbone >= %d over %d \
@@ -63,7 +66,7 @@ let weibo ~seed ~num_conversations ~chain ~l () =
   let db = List.map (fun c -> c.Weibo_like.graph) convs in
   let result, t =
     Util.time (fun () ->
-        Skinny_mine.mine_transactions ~closed_growth:true db ~l ~delta:2
+        Skinny_mine.mine_transactions ~config:(closed ~jobs) db ~l ~delta:2
           ~sigma:4)
   in
   Printf.printf "found %d frequent skinny diffusion patterns in %.2fs\n%!"

@@ -16,7 +16,10 @@ let sweep_graph ~seed ~n ~deg ~f ~l =
   ignore (Gen.inject st b ~pattern:pat ~copies:2 ());
   Graph.Builder.freeze b
 
-let figure_11 ~seed ~sizes ~moss_cap () =
+let closed ~jobs =
+  { Skinny_mine.Config.default with closed_growth = true; jobs }
+
+let figure_11 ~seed ~sizes ~moss_cap ?(jobs = 1) () =
   Util.section "Figure 11: runtime vs MoSS (deg = 2, f = 70)";
   Util.print_row_header [ (8, "|V|"); (10, "MoSS"); (12, "SkinnyMine") ];
   List.iter
@@ -28,11 +31,11 @@ let figure_11 ~seed ~sizes ~moss_cap () =
       in
       let mt = if moss.Spm_gspan.Engine.complete then mt else -1.0 in
       let _, st = Util.time (fun () ->
-            Skinny_mine.mine ~closed_growth:true g ~l:4 ~delta:2 ~sigma:2) in
+            Skinny_mine.mine ~config:(closed ~jobs) g ~l:4 ~delta:2 ~sigma:2) in
       Printf.printf "%-8d%-10s%-12s\n%!" n (Util.fmt_time mt) (Util.fmt_time st))
     sizes
 
-let figure_12 ~seed ~sizes () =
+let figure_12 ~seed ~sizes ?(jobs = 1) () =
   Util.section "Figure 12: runtime vs SUBDUE (deg = 3, f = 100)";
   Util.print_row_header [ (8, "|V|"); (10, "SUBDUE"); (12, "SkinnyMine") ];
   List.iter
@@ -40,11 +43,11 @@ let figure_12 ~seed ~sizes () =
       let g = sweep_graph ~seed:(seed + 1) ~n ~deg:3.0 ~f:100 ~l:5 in
       let _, bt = Util.time (fun () -> Subdue.mine ~iterations:40 ~graph:g ()) in
       let _, st = Util.time (fun () ->
-            Skinny_mine.mine ~closed_growth:true g ~l:5 ~delta:2 ~sigma:2) in
+            Skinny_mine.mine ~config:(closed ~jobs) g ~l:5 ~delta:2 ~sigma:2) in
       Printf.printf "%-8d%-10s%-12s\n%!" n (Util.fmt_time bt) (Util.fmt_time st))
     sizes
 
-let figure_13 ~seed ~sizes () =
+let figure_13 ~seed ~sizes ?(jobs = 1) () =
   Util.section "Figure 13: runtime vs SpiderMine (deg = 3, f = 100, K = 10)";
   Util.print_row_header [ (8, "|V|"); (12, "SpiderMine"); (12, "SkinnyMine") ];
   List.iter
@@ -56,11 +59,11 @@ let figure_13 ~seed ~sizes () =
               ~sigma:2 ~k:10 ())
       in
       let _, st = Util.time (fun () ->
-            Skinny_mine.mine ~closed_growth:true g ~l:5 ~delta:2 ~sigma:2) in
+            Skinny_mine.mine ~config:(closed ~jobs) g ~l:5 ~delta:2 ~sigma:2) in
       Printf.printf "%-8d%-12s%-12s\n%!" n (Util.fmt_time bt) (Util.fmt_time st))
     sizes
 
-let figures_14_15 ~seed ~sizes () =
+let figures_14_15 ~seed ~sizes ?(jobs = 1) () =
   Util.section
     "Figures 14-15: stage runtimes and pattern counts on larger graphs (l in \
      4..6, delta = 3, sigma = 2, deg = 3, f = 80)";
@@ -70,13 +73,13 @@ let figures_14_15 ~seed ~sizes () =
     (fun n ->
       let g = sweep_graph ~seed:(seed + 3) ~n ~deg:3.0 ~f:80 ~l:6 in
       let idx, diam_t =
-        Util.time (fun () -> Diameter_index.build g ~sigma:2 ~l_max:6)
+        Util.time (fun () -> Diameter_index.build ~jobs g ~sigma:2 ~l_max:6)
       in
       let results, grow_t =
         Util.time (fun () ->
             List.map
               (fun l ->
-                Diameter_index.request ~closed_growth:true idx ~l ~delta:3)
+                Diameter_index.request ~config:(closed ~jobs) idx ~l ~delta:3)
               [ 4; 5; 6 ])
       in
       let count =

@@ -7,7 +7,7 @@ open Spm_core
 open Spm_baselines
 open Spm_workload
 
-let run ~scale ~seed ~extra_small ~figure () =
+let run ~scale ~seed ~extra_small ~figure ?(jobs = 1) () =
   Util.section
     (Printf.sprintf
        "Figure %d: transaction setting (%d extra small patterns injected)"
@@ -22,8 +22,9 @@ let run ~scale ~seed ~extra_small ~figure () =
   let sigma = 4 in
   let skinny, sk_t =
     Util.time (fun () ->
-        Skinny_mine.mine_transactions ~closed_growth:true db ~l:ld ~delta:2
-          ~sigma)
+        Skinny_mine.mine_transactions
+          ~config:{ Skinny_mine.Config.default with closed_growth = true; jobs }
+          db ~l:ld ~delta:2 ~sigma)
   in
   let union =
     let b = Graph.Builder.create () in
@@ -67,8 +68,9 @@ let run ~scale ~seed ~extra_small ~figure () =
     (List.length t.Settings.injected_long)
     sk_t sp_t or_t
 
-let figure_9 ~scale ~seed () = run ~scale ~seed ~extra_small:0 ~figure:9 ()
+let figure_9 ~scale ~seed ?(jobs = 1) () =
+  run ~scale ~seed ~extra_small:0 ~figure:9 ~jobs ()
 
-let figure_10 ~scale ~seed () =
+let figure_10 ~scale ~seed ?(jobs = 1) () =
   run ~scale ~seed ~extra_small:(max 12 (int_of_float (120.0 *. scale)))
-    ~figure:10 ()
+    ~figure:10 ~jobs ()

@@ -4,9 +4,9 @@
    --full for paper-scale sizes (see EXPERIMENTS.md for expectations). *)
 
 let usage =
-  "usage: main.exe [--quick|--full] [--seed N] [--skip SECTION]...\n\
+  "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation micro"
+   ablation parallel micro"
 
 type config = {
   scale : float;
@@ -17,8 +17,10 @@ type config = {
   l_values : int list;
   deltas : int list;
   constraint_n : int;
+  parallel_n : int;
   moss_cap : float;
   seed : int;
+  jobs : int;
   skip : string list;
 }
 
@@ -32,8 +34,10 @@ let quick =
     l_values = [ 2; 3; 4; 5; 6; 7; 8 ];
     deltas = [ 0; 1; 2; 3 ];
     constraint_n = 800;
+    parallel_n = 3000;
     moss_cap = 5.0;
     seed = 2013;
+    jobs = Spm_engine.Pool.default_jobs ();
     skip = [];
   }
 
@@ -48,6 +52,7 @@ let full =
     l_values = [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ];
     deltas = [ 0; 1; 2; 3; 4; 5; 6 ];
     constraint_n = 10000;
+    parallel_n = 50000;
     moss_cap = 60.0;
   }
 
@@ -56,11 +61,14 @@ let parse_args () =
   let rec loop = function
     | [] -> ()
     | "--full" :: rest ->
-      cfg := { full with skip = !cfg.skip; seed = !cfg.seed };
+      cfg := { full with skip = !cfg.skip; seed = !cfg.seed; jobs = !cfg.jobs };
       loop rest
     | "--quick" :: rest -> loop rest
     | "--seed" :: n :: rest ->
       cfg := { !cfg with seed = int_of_string n };
+      loop rest
+    | "--jobs" :: n :: rest ->
+      cfg := { !cfg with jobs = max 1 (int_of_string n) };
       loop rest
     | "--skip" :: s :: rest ->
       cfg := { !cfg with skip = s :: !cfg.skip };
@@ -79,8 +87,8 @@ let () =
   let cfg = parse_args () in
   let enabled name = not (List.mem name cfg.skip) in
   Printf.printf
-    "SkinnyMine reproduction harness (SIGMOD'13) — scale %.2f, seed %d\n%!"
-    cfg.scale cfg.seed;
+    "SkinnyMine reproduction harness (SIGMOD'13) — scale %.2f, seed %d, jobs %d\n%!"
+    cfg.scale cfg.seed cfg.jobs;
   Util.section "Tables 1-2: data settings";
   List.iter
     (fun g ->
@@ -89,22 +97,26 @@ let () =
   if enabled "effectiveness" then begin
     let runs =
       Exp_effectiveness.figures_4_to_8 ~scale:cfg.scale ~seed:cfg.seed
-        ~moss_cap:cfg.moss_cap ()
+        ~moss_cap:cfg.moss_cap ~jobs:cfg.jobs ()
     in
     Exp_effectiveness.figure_20 runs
   end;
   if enabled "table3" then
-    Exp_effectiveness.table_3 ~scale:cfg.probe_scale ~seed:cfg.seed ();
+    Exp_effectiveness.table_3 ~scale:cfg.probe_scale ~seed:cfg.seed
+      ~jobs:cfg.jobs ();
   if enabled "transaction" then begin
-    Exp_transaction.figure_9 ~scale:cfg.tx_scale ~seed:cfg.seed ();
-    Exp_transaction.figure_10 ~scale:cfg.tx_scale ~seed:cfg.seed ()
+    Exp_transaction.figure_9 ~scale:cfg.tx_scale ~seed:cfg.seed ~jobs:cfg.jobs ();
+    Exp_transaction.figure_10 ~scale:cfg.tx_scale ~seed:cfg.seed ~jobs:cfg.jobs ()
   end;
   if enabled "scalability" then begin
     Exp_scalability.figure_11 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
-      ~moss_cap:cfg.moss_cap ();
-    Exp_scalability.figure_12 ~seed:cfg.seed ~sizes:cfg.sweep_sizes ();
-    Exp_scalability.figure_13 ~seed:cfg.seed ~sizes:cfg.sweep_sizes ();
-    Exp_scalability.figures_14_15 ~seed:cfg.seed ~sizes:cfg.large_sizes ()
+      ~moss_cap:cfg.moss_cap ~jobs:cfg.jobs ();
+    Exp_scalability.figure_12 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
+      ~jobs:cfg.jobs ();
+    Exp_scalability.figure_13 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
+      ~jobs:cfg.jobs ();
+    Exp_scalability.figures_14_15 ~seed:cfg.seed ~sizes:cfg.large_sizes
+      ~jobs:cfg.jobs ()
   end;
   if enabled "constraints" then begin
     Exp_constraints.figures_16_17 ~seed:cfg.seed ~n:cfg.constraint_n ~f:25
@@ -113,13 +125,16 @@ let () =
       ~l:8 ~deltas:cfg.deltas ()
   end;
   if enabled "real" then begin
-    Exp_real.dblp ~seed:cfg.seed ~num_authors:60 ~l:10 ();
-    Exp_real.weibo ~seed:cfg.seed ~num_conversations:20 ~chain:9 ~l:8 ()
+    Exp_real.dblp ~seed:cfg.seed ~num_authors:60 ~l:10 ~jobs:cfg.jobs ();
+    Exp_real.weibo ~seed:cfg.seed ~num_conversations:20 ~chain:9 ~l:8
+      ~jobs:cfg.jobs ()
   end;
   if enabled "ablation" then begin
     Exp_ablation.diam_mine_pruning ~seed:cfg.seed ~n:400 ();
     Exp_ablation.constraint_maintenance ~seed:cfg.seed ~n:400 ();
     Exp_ablation.direct_vs_enumerate ~seed:cfg.seed ~n:300 ~cap:cfg.moss_cap ()
   end;
+  if enabled "parallel" then
+    Exp_parallel.run ~seed:cfg.seed ~n:cfg.parallel_n ();
   if enabled "micro" then Micro.run ~scale:cfg.scale ();
   Printf.printf "\nAll requested experiment sections completed.\n%!"

@@ -22,7 +22,9 @@ let tests ~scale =
   [
     Test.make ~name:"fig4-8/skinnymine-gid1"
       (Staged.stage (fun () ->
-           Skinny_mine.mine ~closed_growth:true gid1 ~l:4 ~delta:2 ~sigma:2));
+           Skinny_mine.mine
+             ~config:{ Skinny_mine.Config.default with closed_growth = true }
+             gid1 ~l:4 ~delta:2 ~sigma:2));
     Test.make ~name:"fig16/diam-mine-l5"
       (Staged.stage (fun () -> Diam_mine.mine g ~l:5 ~sigma:2));
     Test.make ~name:"fig17/level-grow-l5-d2"

@@ -1,10 +1,9 @@
 (* Shared helpers for the experiment harness: wall-clock timing, pattern-size
    histograms, and paper-style table printing. *)
 
-let time f =
-  let t0 = Sys.time () in
-  let x = f () in
-  (x, Sys.time () -. t0)
+(* Wall clock, not CPU time: parallel runs burn CPU seconds on every domain
+   but should report elapsed time. *)
+let time = Spm_engine.Clock.time
 
 let section title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')

@@ -22,6 +22,17 @@ let sigma =
 
 let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ]
+        ~env:(Cmd.Env.info "SKINNY_JOBS")
+        ~doc:
+          "Worker domains. Defaults to the number of available cores \
+           (overridable via $(b,SKINNY_JOBS)). Output is identical for \
+           every value.")
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -77,9 +88,12 @@ let stats_cmd =
 
 let paths_cmd =
   let l = Arg.(value & opt int 4 & info [ "l"; "length" ] ~doc:"Path length (edges).") in
-  let run file l sigma =
+  let run file l sigma jobs =
     let g = Io.read_file file in
-    let r = Diam_mine.mine g ~l ~sigma in
+    let r =
+      Spm_engine.Pool.with_pool ~jobs (fun pool ->
+          Diam_mine.mine ~pool g ~l ~sigma)
+    in
     Printf.printf "%d frequent simple paths of length %d (sigma = %d):\n"
       (List.length r.Diam_mine.entries) l sigma;
     List.iter
@@ -92,7 +106,7 @@ let paths_cmd =
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Mine frequent simple paths (Stage I, DiamMine).")
-    Term.(const run $ graph_file $ l $ sigma)
+    Term.(const run $ graph_file $ l $ sigma $ jobs)
 
 (* --- mine --- *)
 
@@ -101,27 +115,33 @@ let mine_cmd =
   let delta = Arg.(value & opt int 2 & info [ "d"; "delta" ] ~doc:"Skinniness bound.") in
   let closed = Arg.(value & flag & info [ "closed" ] ~doc:"Closed-pattern growth (collapse support-preserving extensions).") in
   let dot = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write the largest pattern as Graphviz to this file.") in
-  let run file l delta sigma closed dot =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print mining statistics as one JSON object.") in
+  let run file l delta sigma closed dot json jobs =
     let g = Io.read_file file in
-    let r = Skinny_mine.mine ~closed_growth:closed g ~l ~delta ~sigma in
-    Printf.printf
-      "%d %s%d-long %d-skinny patterns (sigma = %d) in %.2fs (%d diameters, \
-       stage II %.2fs)\n"
-      (List.length r.Skinny_mine.patterns)
-      (if closed then "closed " else "")
-      l delta sigma r.Skinny_mine.stats.Skinny_mine.total_seconds
-      r.Skinny_mine.stats.Skinny_mine.num_diameters
-      r.Skinny_mine.stats.Skinny_mine.grow_seconds;
-    List.iteri
-      (fun i m ->
-        if i < 20 then
-          Printf.printf "  #%d: |V|=%d |E|=%d support=%d\n" (i + 1)
-            (Graph.n m.Skinny_mine.pattern)
-            (Graph.m m.Skinny_mine.pattern)
-            m.Skinny_mine.support)
-      r.Skinny_mine.patterns;
-    if List.length r.Skinny_mine.patterns > 20 then
-      Printf.printf "  ... (%d more)\n" (List.length r.Skinny_mine.patterns - 20);
+    let config =
+      { Skinny_mine.Config.default with closed_growth = closed; jobs }
+    in
+    let r = Skinny_mine.mine ~config g ~l ~delta ~sigma in
+    (* --json emits the statistics object alone so stdout parses as JSON. *)
+    if json then print_endline (Skinny_mine.Stats.to_json r.Skinny_mine.stats)
+    else begin
+      Printf.printf "%d %s%d-long %d-skinny patterns (sigma = %d, jobs = %d)\n"
+        (List.length r.Skinny_mine.patterns)
+        (if closed then "closed " else "")
+        l delta sigma jobs;
+      Format.printf "%a@." Skinny_mine.Stats.pp r.Skinny_mine.stats;
+      List.iteri
+        (fun i m ->
+          if i < 20 then
+            Printf.printf "  #%d: |V|=%d |E|=%d support=%d\n" (i + 1)
+              (Graph.n m.Skinny_mine.pattern)
+              (Graph.m m.Skinny_mine.pattern)
+              m.Skinny_mine.support)
+        r.Skinny_mine.patterns;
+      if List.length r.Skinny_mine.patterns > 20 then
+        Printf.printf "  ... (%d more)\n"
+          (List.length r.Skinny_mine.patterns - 20)
+    end;
     match dot with
     | None -> ()
     | Some path -> (
@@ -140,7 +160,7 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Mine all l-long delta-skinny frequent patterns.")
-    Term.(const run $ graph_file $ l $ delta $ sigma $ closed $ dot)
+    Term.(const run $ graph_file $ l $ delta $ sigma $ closed $ dot $ json $ jobs)
 
 (* --- baseline --- *)
 
@@ -151,8 +171,13 @@ let baseline_cmd =
       & opt (some (enum [ ("spidermine", `Spider); ("subdue", `Subdue); ("seus", `Seus); ("moss", `Moss) ])) None
       & info [ "a"; "algorithm" ] ~doc:"One of spidermine, subdue, seus, moss.")
   in
-  let run file which sigma seed =
+  let run file which sigma seed jobs =
     let g = Io.read_file file in
+    if jobs > 1 then
+      Printf.eprintf
+        "note: the reimplemented baselines are single-threaded; --jobs %d is \
+         ignored here\n%!"
+        jobs;
     match which with
     | `Spider ->
       let r =
@@ -183,7 +208,7 @@ let baseline_cmd =
   in
   Cmd.v
     (Cmd.info "baseline" ~doc:"Run a baseline miner.")
-    Term.(const run $ graph_file $ which $ sigma $ seed)
+    Term.(const run $ graph_file $ which $ sigma $ seed $ jobs)
 
 let () =
   let doc = "SkinnyMine: direct mining of l-long delta-skinny graph patterns" in

@@ -16,7 +16,11 @@ let () =
 
   (* Patterns spanning 12 consecutive years (the backbone), with the
      collaboration classes of each year as twigs, shared by >= 3 authors. *)
-  let result = Skinny_mine.mine_transactions ~closed_growth:true db ~l:12 ~delta:1 ~sigma:3 in
+  let result =
+    Skinny_mine.mine_transactions
+      ~config:{ Skinny_mine.Config.default with closed_growth = true }
+      db ~l:12 ~delta:1 ~sigma:3
+  in
   Printf.printf "%d temporal collaboration patterns across 12-year spans\n"
     (List.length result.Skinny_mine.patterns);
 

@@ -67,7 +67,11 @@ let () =
   Printf.printf "City graph: %d venues/stations, %d links\n" (Graph.n g)
     (Graph.m g);
   (* Routes spanning 6 hops with at most 1 hop of detour, seen >= 2 times. *)
-  let result = Skinny_mine.mine ~closed_growth:true g ~l:6 ~delta:1 ~sigma:2 in
+  let result =
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with closed_growth = true }
+      g ~l:6 ~delta:1 ~sigma:2
+  in
   Printf.printf "%d frequent 6-hop route patterns\n"
     (List.length result.Skinny_mine.patterns);
   let describe p =

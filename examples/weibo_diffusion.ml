@@ -19,7 +19,11 @@ let () =
      chain, appearing in at least 4 conversations. (With only four vertex
      labels the pattern space is dense; closed growth plus a firm support
      threshold keeps the complete answer small.) *)
-  let result = Skinny_mine.mine_transactions ~closed_growth:true db ~l:8 ~delta:2 ~sigma:4 in
+  let result =
+    Skinny_mine.mine_transactions
+      ~config:{ Skinny_mine.Config.default with closed_growth = true }
+      db ~l:8 ~delta:2 ~sigma:4
+  in
   Printf.printf "%d frequent diffusion patterns with an 8-hop backbone\n"
     (List.length result.Skinny_mine.patterns);
 

@@ -1,4 +1,6 @@
 open Spm_graph
+module Pool = Spm_engine.Pool
+module Clock = Spm_engine.Clock
 
 type entry = { labels : Path_pattern.t; embeddings : int array list }
 
@@ -31,6 +33,45 @@ let add_emb (set : dir_set) labels emb =
 
 let embs_of tbl = Hashtbl.fold (fun e () acc -> e :: acc) tbl []
 
+(* Parallelization scaffolding: the extension steps below iterate over every
+   directed path, probing read-only indices built up front. The iteration is
+   flattened into an array, chunked into more slices than domains (dynamic
+   scheduling absorbs skew), each slice fills a worker-local table, and the
+   locals are merged on the caller. Tables hold set semantics, so the merged
+   content is identical to the sequential run regardless of [jobs]; final
+   ordering is normalized in [entries_of_set]. *)
+
+let oversplit pool = 4 * Pool.jobs pool
+
+let flatten_paths (set : dir_set) =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun labels tbl ->
+      Hashtbl.iter (fun emb () -> acc := (labels, emb) :: !acc) tbl)
+    set;
+  Array.of_list !acc
+
+let merge_into (dst : dir_set) (src : dir_set) =
+  Hashtbl.iter
+    (fun labels tbl ->
+      match Hashtbl.find_opt dst labels with
+      | None -> Hashtbl.add dst labels tbl
+      | Some d -> Hashtbl.iter (fun e () -> Hashtbl.replace d e ()) tbl)
+    src
+
+let fan_out pool work body =
+  let parts =
+    Pool.map pool
+      (fun slice ->
+        let out : dir_set = Hashtbl.create 64 in
+        Array.iter (body out) slice;
+        out)
+      (Pool.slices work ~pieces:(oversplit pool))
+  in
+  let out : dir_set = Hashtbl.create 64 in
+  Array.iter (merge_into out) parts;
+  out
+
 (* Support of the undirected pattern with canonical label sequence [c]: the
    directed embeddings under [c], deduped as subgraphs (only palindromic
    sequences ever hold both orientations of one subgraph), then measured by
@@ -40,15 +81,30 @@ let canonical_support ~support (set : dir_set) c =
   | None -> 0
   | Some tbl -> support (Path_pattern.Emb.dedup_subgraphs (embs_of tbl))
 
-(* Keep only paths whose undirected pattern meets sigma. *)
-let frequency_filter ~support (set : dir_set) ~sigma =
+(* Keep only paths whose undirected pattern meets sigma. [set] is only read,
+   so the per-sequence support checks run on the pool. *)
+let frequency_filter ?(pool = Pool.serial) ~support (set : dir_set) ~sigma =
+  let work =
+    Array.of_list (Hashtbl.fold (fun labels tbl acc -> (labels, tbl) :: acc) set [])
+  in
+  let parts =
+    Pool.map pool
+      (fun slice ->
+        let out : dir_set = Hashtbl.create 64 in
+        Array.iter
+          (fun (labels, tbl) ->
+            let c = Path_pattern.canonical labels in
+            if canonical_support ~support set c >= sigma then
+              Hashtbl.replace out labels tbl)
+          slice;
+        out)
+      (Pool.slices work ~pieces:(oversplit pool))
+  in
+  (* Top-level keys are unique across slices: plain adds suffice. *)
   let out : dir_set = Hashtbl.create (Hashtbl.length set) in
-  Hashtbl.iter
-    (fun labels tbl ->
-      let c = Path_pattern.canonical labels in
-      if canonical_support ~support set c >= sigma then
-        Hashtbl.replace out labels tbl)
-    set;
+  Array.iter
+    (fun part -> Hashtbl.iter (fun labels tbl -> Hashtbl.add out labels tbl) part)
+    parts;
   out
 
 let count_canonical (set : dir_set) =
@@ -74,9 +130,9 @@ let disjoint_from ~except_first emb (vs : (int, unit) Hashtbl.t) =
   loop except_first
 
 (* Concatenate two directed paths of equal length at a shared junction
-   vertex (CheckConcat of Algorithm 2, embedding-level). *)
-let concat_step (set : dir_set) =
-  let out : dir_set = Hashtbl.create 64 in
+   vertex (CheckConcat of Algorithm 2, embedding-level). The head index is
+   built once, then candidate paths are partitioned across the pool. *)
+let concat_step ?(pool = Pool.serial) (set : dir_set) =
   (* Index every directed embedding by its head vertex; the junction label
      condition is implied by vertex equality. *)
   let by_head : (int, (Label.t array * int array) list ref) Hashtbl.t =
@@ -92,37 +148,30 @@ let concat_step (set : dir_set) =
           | None -> Hashtbl.add by_head h (ref [ (labels, emb) ]))
         tbl)
     set;
-  Hashtbl.iter
-    (fun a_labels tbl ->
-      Hashtbl.iter
-        (fun a () ->
-          let la = Array.length a in
-          let tail = a.(la - 1) in
-          match Hashtbl.find_opt by_head tail with
-          | None -> ()
-          | Some candidates ->
-            let a_verts = Hashtbl.create la in
-            Array.iter (fun v -> Hashtbl.replace a_verts v ()) a;
-            List.iter
-              (fun (b_labels, b) ->
-                if disjoint_from ~except_first:1 b a_verts then begin
-                  let lb = Array.length b in
-                  let labels =
-                    Array.append a_labels (Array.sub b_labels 1 (lb - 1))
-                  in
-                  let emb = Array.append a (Array.sub b 1 (lb - 1)) in
-                  add_emb out labels emb
-                end)
-              !candidates)
-        tbl)
-    set;
-  out
+  fan_out pool (flatten_paths set) (fun out (a_labels, a) ->
+      let la = Array.length a in
+      let tail = a.(la - 1) in
+      match Hashtbl.find_opt by_head tail with
+      | None -> ()
+      | Some candidates ->
+        let a_verts = Hashtbl.create la in
+        Array.iter (fun v -> Hashtbl.replace a_verts v ()) a;
+        List.iter
+          (fun (b_labels, b) ->
+            if disjoint_from ~except_first:1 b a_verts then begin
+              let lb = Array.length b in
+              let labels =
+                Array.append a_labels (Array.sub b_labels 1 (lb - 1))
+              in
+              let emb = Array.append a (Array.sub b 1 (lb - 1)) in
+              add_emb out labels emb
+            end)
+          !candidates)
 
 (* Merge two directed paths of length 2^k overlapping in [ov] edges to form a
    path of length 2^{k+1} - ov (CheckMergeHead/CheckMergeTail, over all
    ordered pairs). *)
-let merge_step (set : dir_set) ~ov =
-  let out : dir_set = Hashtbl.create 64 in
+let merge_step ?(pool = Pool.serial) (set : dir_set) ~ov =
   let ov_verts = ov + 1 in
   (* Index embeddings by their first ov+1 vertices. *)
   let by_prefix : (int list, (Label.t array * int array) list ref) Hashtbl.t =
@@ -138,50 +187,62 @@ let merge_step (set : dir_set) ~ov =
           | None -> Hashtbl.add by_prefix key (ref [ (labels, emb) ]))
         tbl)
     set;
-  Hashtbl.iter
-    (fun a_labels tbl ->
-      Hashtbl.iter
-        (fun a () ->
-          let la = Array.length a in
-          let key = Array.to_list (Array.sub a (la - ov_verts) ov_verts) in
-          match Hashtbl.find_opt by_prefix key with
-          | None -> ()
-          | Some candidates ->
-            let a_verts = Hashtbl.create la in
-            Array.iter (fun v -> Hashtbl.replace a_verts v ()) a;
-            List.iter
-              (fun (b_labels, b) ->
-                if disjoint_from ~except_first:ov_verts b a_verts then begin
-                  let lb = Array.length b in
-                  let labels =
-                    Array.append a_labels
-                      (Array.sub b_labels ov_verts (lb - ov_verts))
-                  in
-                  let emb =
-                    Array.append a (Array.sub b ov_verts (lb - ov_verts))
-                  in
-                  add_emb out labels emb
-                end)
-              !candidates)
-        tbl)
-    set;
-  out
+  fan_out pool (flatten_paths set) (fun out (a_labels, a) ->
+      let la = Array.length a in
+      let key = Array.to_list (Array.sub a (la - ov_verts) ov_verts) in
+      match Hashtbl.find_opt by_prefix key with
+      | None -> ()
+      | Some candidates ->
+        let a_verts = Hashtbl.create la in
+        Array.iter (fun v -> Hashtbl.replace a_verts v ()) a;
+        List.iter
+          (fun (b_labels, b) ->
+            if disjoint_from ~except_first:ov_verts b a_verts then begin
+              let lb = Array.length b in
+              let labels =
+                Array.append a_labels
+                  (Array.sub b_labels ov_verts (lb - ov_verts))
+              in
+              let emb =
+                Array.append a (Array.sub b ov_verts (lb - ov_verts))
+              in
+              add_emb out labels emb
+            end)
+          !candidates)
 
+(* Entry extraction is normalized so the result is a pure function of the
+   set's *content*: entries sorted by canonical labels, embeddings sorted,
+   and palindromic embeddings read in their canonical orientation. This is
+   what makes mining output bit-identical across [jobs] settings (the
+   parallel steps produce the same sets in different insertion orders). *)
 let entries_of_set ~support (set : dir_set) ~sigma =
   let seen = Hashtbl.create 64 in
-  Hashtbl.fold
-    (fun labels tbl acc ->
-      let c = Path_pattern.canonical labels in
-      if Hashtbl.mem seen c then acc
-      else begin
-        Hashtbl.add seen c ();
-        (* Read embeddings in the canonical direction. *)
-        let ctbl = if labels = c then tbl else Hashtbl.find set c in
-        let embs = Path_pattern.Emb.dedup_subgraphs (embs_of ctbl) in
-        if support embs >= sigma then { labels = c; embeddings = embs } :: acc
-        else acc
-      end)
-    set []
+  let entries =
+    Hashtbl.fold
+      (fun labels tbl acc ->
+        let c = Path_pattern.canonical labels in
+        if Hashtbl.mem seen c then acc
+        else begin
+          Hashtbl.add seen c ();
+          (* Read embeddings in the canonical direction. *)
+          let ctbl = if labels = c then tbl else Hashtbl.find set c in
+          let embs = embs_of ctbl in
+          let embs =
+            if Path_pattern.is_palindrome c then
+              List.map Path_pattern.Emb.canonical_orientation embs
+            else embs
+          in
+          let embs =
+            List.sort compare (Path_pattern.Emb.dedup_subgraphs embs)
+          in
+          if support embs >= sigma then { labels = c; embeddings = embs } :: acc
+          else acc
+        end)
+      set []
+  in
+  List.sort
+    (fun a b -> Path_pattern.compare_labels a.labels b.labels)
+    entries
 
 module Powers = struct
   type t = {
@@ -193,34 +254,35 @@ module Powers = struct
     build_seconds : float;
   }
 
-  let build ?(prune_intermediate = true) ?(support = List.length) g ~sigma
-      ~up_to =
-    let t0 = Sys.time () in
+  let build ?(prune_intermediate = true) ?(support = List.length) ?pool g
+      ~sigma ~up_to =
+    let t0 = Clock.now () in
     let stats = ref [] in
     let rec grow set len acc =
       let acc = (len, set) :: acc in
       if 2 * len > up_to then List.rev acc
       else begin
-        let t = Sys.time () in
-        let next = concat_step set in
+        let t = Clock.now () in
+        let next = concat_step ?pool set in
         let next =
-          if prune_intermediate then frequency_filter ~support next ~sigma
+          if prune_intermediate then
+            frequency_filter ?pool ~support next ~sigma
           else next
         in
-        stats := (2 * len, count_canonical next, Sys.time () -. t) :: !stats;
+        stats := (2 * len, count_canonical next, Clock.now () -. t) :: !stats;
         grow next (2 * len) acc
       end
     in
     let levels =
       if up_to < 1 then []
       else begin
-        let t = Sys.time () in
+        let t = Clock.now () in
         let s1 = edges_set g in
         let s1 =
-          if prune_intermediate then frequency_filter ~support s1 ~sigma
+          if prune_intermediate then frequency_filter ?pool ~support s1 ~sigma
           else s1
         in
-        stats := (1, count_canonical s1, Sys.time () -. t) :: !stats;
+        stats := (1, count_canonical s1, Clock.now () -. t) :: !stats;
         grow s1 1 []
       end
     in
@@ -230,7 +292,7 @@ module Powers = struct
       support;
       levels;
       stats_per_power = List.rev !stats;
-      build_seconds = Sys.time () -. t0;
+      build_seconds = Clock.now () -. t0;
     }
 
   let max_power t =
@@ -238,7 +300,7 @@ module Powers = struct
 
   let set_of_length t len = List.assoc_opt len t.levels
 
-  let paths_of_length t ~l ~sigma =
+  let paths_of_length ?pool t ~l ~sigma =
     if l < 1 then invalid_arg "Diam_mine: l must be >= 1";
     let support = t.support in
     match set_of_length t l with
@@ -259,7 +321,7 @@ module Powers = struct
              l p);
       let set = Option.get (set_of_length t p) in
       let ov = (2 * p) - l in
-      let merged = merge_step set ~ov in
+      let merged = merge_step ?pool set ~ov in
       entries_of_set ~support merged ~sigma
 
   let stats t =
@@ -270,19 +332,19 @@ module Powers = struct
     }
 end
 
-let mine ?(prune_intermediate = true) ?support g ~l ~sigma =
+let mine ?(prune_intermediate = true) ?support ?pool g ~l ~sigma =
   if l < 1 then invalid_arg "Diam_mine.mine: l must be >= 1";
-  let t0 = Sys.time () in
-  let powers = Powers.build ~prune_intermediate ?support g ~sigma ~up_to:l in
-  let tm = Sys.time () in
-  let entries = Powers.paths_of_length powers ~l ~sigma in
-  let merge_seconds = Sys.time () -. tm in
+  let t0 = Clock.now () in
+  let powers = Powers.build ~prune_intermediate ?support ?pool g ~sigma ~up_to:l in
+  let tm = Clock.now () in
+  let entries = Powers.paths_of_length ?pool powers ~l ~sigma in
+  let merge_seconds = Clock.now () -. tm in
   {
     entries;
     stats =
       {
         per_power = powers.Powers.stats_per_power;
         merge_seconds;
-        total_seconds = Sys.time () -. t0;
+        total_seconds = Clock.now () -. t0;
       };
   }

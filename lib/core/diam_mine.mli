@@ -37,6 +37,7 @@ type result = { entries : entry list; stats : stats }
 val mine :
   ?prune_intermediate:bool ->
   ?support:(int array list -> int) ->
+  ?pool:Spm_engine.Pool.t ->
   Spm_graph.Graph.t ->
   l:int ->
   sigma:int ->
@@ -44,7 +45,13 @@ val mine :
 (** All frequent simple paths of length exactly [l] (>= 1). [support] maps a
     list of subgraph-deduped embeddings to a support value; the default is
     their count (|E[P]|). The transaction adaptation passes a distinct-
-    transaction counter. *)
+    transaction counter.
+
+    [pool] (default {!Spm_engine.Pool.serial}) parallelizes the candidate
+    extension loops: each concat/merge/frequency step partitions the
+    directed-path table across the pool's domains. Entries are returned in
+    canonical order (sorted labels, sorted embeddings), so the result is
+    bit-identical whatever the pool size. *)
 
 (** The reusable power-of-2 table, for serving many values of l from one
     precomputation (the direct-mining index of Figure 2). *)
@@ -54,17 +61,20 @@ module Powers : sig
   val build :
     ?prune_intermediate:bool ->
     ?support:(int array list -> int) ->
+    ?pool:Spm_engine.Pool.t ->
     Spm_graph.Graph.t ->
     sigma:int ->
     up_to:int ->
     t
   (** Frequent paths of lengths 1, 2, 4, …, up to the largest power of 2 that
-      is <= [up_to] (or, if [up_to] < 1, nothing). *)
+      is <= [up_to] (or, if [up_to] < 1, nothing). [pool] parallelizes each
+      power-of-2 extension step. *)
 
   val max_power : t -> int
   (** Largest power length materialized. *)
 
-  val paths_of_length : t -> l:int -> sigma:int -> entry list
+  val paths_of_length :
+    ?pool:Spm_engine.Pool.t -> t -> l:int -> sigma:int -> entry list
   (** Frequent paths of length exactly [l] ([l] <= 2 * max_power is required
       unless [l] is itself a materialized power). *)
 

@@ -1,25 +1,34 @@
+module Pool = Spm_engine.Pool
+module Clock = Spm_engine.Clock
+
 type t = {
   graph : Spm_graph.Graph.t;
   sigma : int;
+  jobs : int;
   powers : Diam_mine.Powers.t;
   cache : (int, Diam_mine.entry list) Hashtbl.t;
   build_seconds : float;
 }
 
-let build ?prune_intermediate ?path_support g ~sigma ~l_max =
-  let t0 = Sys.time () in
+let with_jobs_pool jobs f =
+  if jobs <= 1 then f Pool.serial else Pool.with_pool ~jobs f
+
+let build ?prune_intermediate ?path_support ?(jobs = 1) g ~sigma ~l_max =
+  let t0 = Clock.now () in
   (* Materialize powers up to l_max; a non-power l <= l_max is served by
      merging from the largest power below it. *)
   let powers =
-    Diam_mine.Powers.build ?prune_intermediate ?support:path_support g ~sigma
-      ~up_to:l_max
+    with_jobs_pool jobs (fun pool ->
+        Diam_mine.Powers.build ?prune_intermediate ?support:path_support ~pool
+          g ~sigma ~up_to:l_max)
   in
   {
     graph = g;
     sigma;
+    jobs;
     powers;
     cache = Hashtbl.create 16;
-    build_seconds = Sys.time () -. t0;
+    build_seconds = Clock.now () -. t0;
   }
 
 let graph t = t.graph
@@ -30,20 +39,22 @@ let entries t ~l =
   match Hashtbl.find_opt t.cache l with
   | Some e -> e
   | None ->
-    let e = Diam_mine.Powers.paths_of_length t.powers ~l ~sigma:t.sigma in
+    let e =
+      with_jobs_pool t.jobs (fun pool ->
+          Diam_mine.Powers.paths_of_length ~pool t.powers ~l ~sigma:t.sigma)
+    in
     Hashtbl.add t.cache l e;
     e
 
-let request ?mode ?closed_growth ?support ?closed_only ?max_patterns t ~l
-    ~delta =
-  Skinny_mine.mine_with_entries ?mode ?closed_growth ?support ?closed_only
-    ?max_patterns t.graph
-    ~entries:(entries t ~l) ~delta ~sigma:t.sigma
+let request ?config t ~l ~delta =
+  Skinny_mine.mine_with_entries ?config t.graph ~entries:(entries t ~l) ~delta
+    ~sigma:t.sigma
 
-let request_range ?mode t ~l_min ~l_max ~delta =
-  let t0 = Sys.time () in
+let request_range ?config t ~l_min ~l_max ~delta =
+  let t0 = Clock.now () in
   let results =
-    List.init (l_max - l_min + 1) (fun i -> request ?mode t ~l:(l_min + i) ~delta)
+    List.init (l_max - l_min + 1) (fun i ->
+        request ?config t ~l:(l_min + i) ~delta)
   in
   let patterns = List.concat_map (fun r -> r.Skinny_mine.patterns) results in
   let grow_stats =
@@ -59,8 +70,8 @@ let request_range ?mode t ~l_min ~l_max ~delta =
           List.fold_left
             (fun acc r -> acc + r.Skinny_mine.stats.Skinny_mine.num_diameters)
             0 results;
-        grow_seconds = Sys.time () -. t0;
+        grow_seconds = Clock.now () -. t0;
         grow_stats;
-        total_seconds = Sys.time () -. t0;
+        total_seconds = Clock.now () -. t0;
       };
   }

@@ -11,13 +11,17 @@ type t
 val build :
   ?prune_intermediate:bool ->
   ?path_support:(int array list -> int) ->
+  ?jobs:int ->
   Spm_graph.Graph.t ->
   sigma:int ->
   l_max:int ->
   t
 (** Index able to serve any l in [1, l_max] (provided l_max >= 1 and either
     l is at most twice the largest materialized power minus one, which holds
-    for every l <= l_max by construction). *)
+    for every l <= l_max by construction). [jobs] (default 1) parallelizes
+    the power-of-2 construction and later on-demand merges; request-time
+    Stage-II parallelism is configured per request via
+    [config.Skinny_mine.Config.jobs]. *)
 
 val graph : t -> Spm_graph.Graph.t
 
@@ -27,19 +31,16 @@ val entries : t -> l:int -> Diam_mine.entry list
 (** Frequent length-l paths with embeddings; cached after the first call. *)
 
 val request :
-  ?mode:Constraints.mode ->
-  ?closed_growth:bool ->
-  ?support:(Spm_pattern.Pattern.t -> int array list -> int) ->
-  ?closed_only:bool ->
-  ?max_patterns:int ->
+  ?config:Skinny_mine.Config.t ->
   t ->
   l:int ->
   delta:int ->
   Skinny_mine.result
-(** Serve one (l, δ) mining request from the index: Stage II only. *)
+(** Serve one (l, δ) mining request from the index: Stage II only, under
+    [config] (default {!Skinny_mine.Config.default}). *)
 
 val request_range :
-  ?mode:Constraints.mode ->
+  ?config:Skinny_mine.Config.t ->
   t ->
   l_min:int ->
   l_max:int ->

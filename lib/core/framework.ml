@@ -11,10 +11,19 @@ module type CONSTRAINT = sig
 end
 
 module Make (C : CONSTRAINT) = struct
-  let mine g ~sigma request =
-    let seeds = C.minimal_patterns g ~sigma request in
+  (* Stage II (one C.grow per seed) fans out over the pool; results are
+     concatenated and deduplicated in seed order, so the output does not
+     depend on [jobs]. *)
+  let mine ?(jobs = 1) g ~sigma request =
+    let seeds = Array.of_list (C.minimal_patterns g ~sigma request) in
+    let per_seed =
+      if jobs <= 1 then Array.map (fun seed -> C.grow g ~sigma request seed) seeds
+      else
+        Spm_engine.Pool.with_pool ~jobs (fun pool ->
+            Spm_engine.Pool.map pool (fun seed -> C.grow g ~sigma request seed) seeds)
+    in
     let seen = Canon.Set.create () in
-    List.concat_map (fun seed -> C.grow g ~sigma request seed) seeds
+    List.concat (Array.to_list per_seed)
     |> List.filter (fun (p, _) -> Canon.Set.add seen p)
 end
 
@@ -33,7 +42,7 @@ module Skinny = struct
       (fun m -> (m.Level_grow.pattern, m.Level_grow.support))
       mined
 
-  let mine g ~sigma request =
+  let mine ?jobs g ~sigma request =
     let module M = Make (struct
       type nonrec request = request
       type nonrec seed = seed
@@ -42,7 +51,7 @@ module Skinny = struct
       let minimal_patterns = minimal_patterns
       let grow = grow
     end) in
-    M.mine g ~sigma request
+    M.mine ?jobs g ~sigma request
 end
 
 (* --- Property checkers --------------------------------------------------- *)

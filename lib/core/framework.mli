@@ -30,8 +30,12 @@ module type CONSTRAINT = sig
 end
 
 module Make (C : CONSTRAINT) : sig
-  val mine : Spm_graph.Graph.t -> sigma:int -> C.request -> (pattern * int) list
-  (** Two-stage direct mining; results deduplicated up to isomorphism. *)
+  val mine :
+    ?jobs:int -> Spm_graph.Graph.t -> sigma:int -> C.request ->
+    (pattern * int) list
+  (** Two-stage direct mining; results deduplicated up to isomorphism.
+      [jobs] (default 1) runs one [C.grow] per seed across that many
+      domains; the result list is identical for every [jobs] value. *)
 end
 
 module Skinny : sig
@@ -40,7 +44,8 @@ module Skinny : sig
   include CONSTRAINT with type request := request
 
   val mine :
-    Spm_graph.Graph.t -> sigma:int -> request -> (pattern * int) list
+    ?jobs:int -> Spm_graph.Graph.t -> sigma:int -> request ->
+    (pattern * int) list
 end
 
 (** {1 Property checkers}

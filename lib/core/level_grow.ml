@@ -129,7 +129,7 @@ let universal_descs st cands =
 
 let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
     ?max_patterns ~data ~sigma ~delta ~(entry : Diam_mine.entry) () =
-  let t0 = Sys.time () in
+  let t0 = Spm_engine.Clock.now () in
   let support_fn =
     match support with Some f -> f | None -> default_support data
   in
@@ -269,5 +269,5 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
       constraint_rejected = !rejected;
       infrequent = !infreq;
       emitted = List.length result;
-      seconds = Sys.time () -. t0;
+      seconds = Spm_engine.Clock.now () -. t0;
     } )

@@ -1,5 +1,7 @@
 open Spm_graph
 open Spm_pattern
+module Pool = Spm_engine.Pool
+module Clock = Spm_engine.Clock
 
 type mined = Level_grow.mined = {
   pattern : Pattern.t;
@@ -17,6 +19,119 @@ type stats = {
 }
 
 type result = { patterns : mined list; stats : stats }
+
+module Config = struct
+  type t = {
+    mode : Constraints.mode;
+    closed_growth : bool;
+    prune_intermediate : bool;
+    closed_only : bool;
+    max_patterns : int option;
+    support : (Pattern.t -> int array list -> int) option;
+    jobs : int;
+  }
+
+  let default =
+    {
+      mode = Constraints.Exact;
+      closed_growth = false;
+      prune_intermediate = true;
+      closed_only = false;
+      max_patterns = None;
+      support = None;
+      jobs = 1;
+    }
+
+  let with_mode mode t = { t with mode }
+  let with_closed_growth closed_growth t = { t with closed_growth }
+
+  let with_prune_intermediate prune_intermediate t =
+    { t with prune_intermediate }
+
+  let with_closed_only closed_only t = { t with closed_only }
+  let with_max_patterns max_patterns t = { t with max_patterns }
+  let with_support support t = { t with support }
+  let with_jobs jobs t = { t with jobs = max 1 jobs }
+  let parallel () = { default with jobs = Pool.default_jobs () }
+end
+
+module Stats = struct
+  type t = stats
+
+  let sum_grow f stats = List.fold_left (fun acc s -> acc + f s) 0 stats
+
+  let pp ppf s =
+    Format.fprintf ppf "@[<v>stage I (DiamMine): %.3fs"
+      s.diam_stats.Diam_mine.total_seconds;
+    if s.diam_stats.Diam_mine.per_power <> [] then begin
+      Format.fprintf ppf " [";
+      List.iteri
+        (fun i (len, count, secs) ->
+          Format.fprintf ppf "%sl=%d: %d paths (%.3fs)"
+            (if i > 0 then "; " else "")
+            len count secs)
+        s.diam_stats.Diam_mine.per_power;
+      Format.fprintf ppf "]"
+    end;
+    Format.fprintf ppf ", merge %.3fs@," s.diam_stats.Diam_mine.merge_seconds;
+    Format.fprintf ppf
+      "stage II (LevelGrow): %.3fs over %d diameter cluster(s)@," s.grow_seconds
+      s.num_diameters;
+    Format.fprintf ppf
+      "  extensions tried %d, constraint-rejected %d, infrequent %d, emitted \
+       %d@,"
+      (sum_grow (fun g -> g.Level_grow.extensions_tried) s.grow_stats)
+      (sum_grow (fun g -> g.Level_grow.constraint_rejected) s.grow_stats)
+      (sum_grow (fun g -> g.Level_grow.infrequent) s.grow_stats)
+      (sum_grow (fun g -> g.Level_grow.emitted) s.grow_stats);
+    Format.fprintf ppf "total: %.3fs@]" s.total_seconds
+
+  let to_json s =
+    let b = Buffer.create 256 in
+    let field first name v =
+      if not first then Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf "%S:%s" name v)
+    in
+    Buffer.add_string b "{";
+    field true "total_seconds" (Printf.sprintf "%.6f" s.total_seconds);
+    field false "num_diameters" (string_of_int s.num_diameters);
+    field false "grow_seconds" (Printf.sprintf "%.6f" s.grow_seconds);
+    field false "diam_total_seconds"
+      (Printf.sprintf "%.6f" s.diam_stats.Diam_mine.total_seconds);
+    field false "diam_merge_seconds"
+      (Printf.sprintf "%.6f" s.diam_stats.Diam_mine.merge_seconds);
+    field false "per_power"
+      (Printf.sprintf "[%s]"
+         (String.concat ","
+            (List.map
+               (fun (len, count, secs) ->
+                 Printf.sprintf
+                   "{\"length\":%d,\"paths\":%d,\"seconds\":%.6f}" len count
+                   secs)
+               s.diam_stats.Diam_mine.per_power)));
+    field false "extensions_tried"
+      (string_of_int (sum_grow (fun g -> g.Level_grow.extensions_tried) s.grow_stats));
+    field false "constraint_rejected"
+      (string_of_int
+         (sum_grow (fun g -> g.Level_grow.constraint_rejected) s.grow_stats));
+    field false "infrequent"
+      (string_of_int (sum_grow (fun g -> g.Level_grow.infrequent) s.grow_stats));
+    field false "emitted"
+      (string_of_int (sum_grow (fun g -> g.Level_grow.emitted) s.grow_stats));
+    field false "clusters"
+      (Printf.sprintf "[%s]"
+         (String.concat ","
+            (List.map
+               (fun (g : Level_grow.stats) ->
+                 Printf.sprintf
+                   "{\"tried\":%d,\"rejected\":%d,\"infrequent\":%d,\"emitted\":%d,\"seconds\":%.6f}"
+                   g.Level_grow.extensions_tried g.Level_grow.constraint_rejected
+                   g.Level_grow.infrequent g.Level_grow.emitted
+                   g.Level_grow.seconds)
+               s.grow_stats)));
+    Buffer.add_string b "}";
+    Buffer.contents b
+end
 
 let empty_diam_stats =
   { Diam_mine.per_power = []; merge_seconds = 0.0; total_seconds = 0.0 }
@@ -38,72 +153,97 @@ let closed_filter patterns =
   in
   List.filter keep patterns
 
-let grow_all ?mode ?closed_growth ?support ?(closed_only = false)
-    ?max_patterns data ~entries ~delta ~sigma =
-  let t0 = Sys.time () in
-  let patterns = ref [] and stats = ref [] in
-  let count = ref 0 in
-  (try
-     List.iter
-       (fun entry ->
-         let budget =
-           match max_patterns with
-           | Some cap ->
+(* Stage II over the diameter clusters. Theorem 4 makes the clusters
+   independent, so without a [max_patterns] budget each cluster is one pool
+   task; per-cluster results and stats are merged back in Stage-I entry
+   order, so the output is bit-identical to the sequential run. With a
+   budget, the per-cluster cap depends on how many patterns earlier clusters
+   emitted — inherently sequential — so the budgeted path stays on one
+   domain. *)
+let grow_all ~(config : Config.t) ~pool data ~entries ~delta ~sigma =
+  let t0 = Clock.now () in
+  let mode = config.Config.mode
+  and closed_growth = config.Config.closed_growth
+  and support = config.Config.support in
+  let patterns, stats =
+    match config.Config.max_patterns with
+    | None ->
+      let per_cluster =
+        Pool.map pool
+          (fun entry ->
+            Level_grow.grow ~mode ~closed_growth ?support ~data ~sigma ~delta
+              ~entry ())
+          (Array.of_list entries)
+      in
+      ( List.concat_map fst (Array.to_list per_cluster),
+        List.map snd (Array.to_list per_cluster) )
+    | Some cap ->
+      let patterns = ref [] and stats = ref [] in
+      let count = ref 0 in
+      (try
+         List.iter
+           (fun entry ->
              let left = cap - !count in
-             if left <= 0 then raise Exit else Some left
-           | None -> None
-         in
-         let mined, st =
-           Level_grow.grow ?mode ?closed_growth ?support ?max_patterns:budget
-             ~data ~sigma ~delta ~entry ()
-         in
-         count := !count + List.length mined;
-         patterns := List.rev_append mined !patterns;
-         stats := st :: !stats)
-       entries
-   with Exit -> ());
-  let patterns = List.rev !patterns in
-  let patterns = if closed_only then closed_filter patterns else patterns in
-  (patterns, List.rev !stats, Sys.time () -. t0)
-
-let mine ?mode ?closed_growth ?(prune_intermediate = true) ?closed_only
-    ?max_patterns g ~l ~delta ~sigma =
-  let t0 = Sys.time () in
-  let diam = Diam_mine.mine ~prune_intermediate g ~l ~sigma in
-  let patterns, grow_stats, grow_seconds =
-    grow_all ?mode ?closed_growth ?closed_only ?max_patterns g
-      ~entries:diam.Diam_mine.entries ~delta ~sigma
+             if left <= 0 then raise Exit;
+             let mined, st =
+               Level_grow.grow ~mode ~closed_growth ?support ~max_patterns:left
+                 ~data ~sigma ~delta ~entry ()
+             in
+             count := !count + List.length mined;
+             patterns := List.rev_append mined !patterns;
+             stats := st :: !stats)
+           entries
+       with Exit -> ());
+      (List.rev !patterns, List.rev !stats)
   in
-  {
-    patterns;
-    stats =
-      {
-        diam_stats = diam.Diam_mine.stats;
-        num_diameters = List.length diam.Diam_mine.entries;
-        grow_seconds;
-        grow_stats;
-        total_seconds = Sys.time () -. t0;
-      };
-  }
-
-let mine_with_entries ?mode ?closed_growth ?support ?closed_only
-    ?max_patterns g ~entries ~delta ~sigma =
-  let t0 = Sys.time () in
-  let patterns, grow_stats, grow_seconds =
-    grow_all ?mode ?closed_growth ?support ?closed_only ?max_patterns g
-      ~entries ~delta ~sigma
+  let patterns =
+    if config.Config.closed_only then closed_filter patterns else patterns
   in
-  {
-    patterns;
-    stats =
+  (patterns, stats, Clock.now () -. t0)
+
+let with_config_pool (config : Config.t) f =
+  if config.Config.jobs <= 1 then f Pool.serial
+  else Pool.with_pool ~jobs:config.Config.jobs f
+
+let mine ?(config = Config.default) g ~l ~delta ~sigma =
+  let t0 = Clock.now () in
+  with_config_pool config (fun pool ->
+      let diam =
+        Diam_mine.mine ~prune_intermediate:config.Config.prune_intermediate
+          ~pool g ~l ~sigma
+      in
+      let patterns, grow_stats, grow_seconds =
+        grow_all ~config ~pool g ~entries:diam.Diam_mine.entries ~delta ~sigma
+      in
       {
-        diam_stats = empty_diam_stats;
-        num_diameters = List.length entries;
-        grow_seconds;
-        grow_stats;
-        total_seconds = Sys.time () -. t0;
-      };
-  }
+        patterns;
+        stats =
+          {
+            diam_stats = diam.Diam_mine.stats;
+            num_diameters = List.length diam.Diam_mine.entries;
+            grow_seconds;
+            grow_stats;
+            total_seconds = Clock.now () -. t0;
+          };
+      })
+
+let mine_with_entries ?(config = Config.default) g ~entries ~delta ~sigma =
+  let t0 = Clock.now () in
+  with_config_pool config (fun pool ->
+      let patterns, grow_stats, grow_seconds =
+        grow_all ~config ~pool g ~entries ~delta ~sigma
+      in
+      {
+        patterns;
+        stats =
+          {
+            diam_stats = empty_diam_stats;
+            num_diameters = List.length entries;
+            grow_seconds;
+            grow_stats;
+            total_seconds = Clock.now () -. t0;
+          };
+      })
 
 let disjoint_union gs =
   let b = Graph.Builder.create () in
@@ -123,8 +263,8 @@ let disjoint_union gs =
   let tx = Array.of_list (List.rev !tx_of) in
   (Graph.Builder.freeze b, tx)
 
-let mine_transactions ?mode ?closed_growth gs ~l ~delta ~sigma =
-  let t0 = Sys.time () in
+let mine_transactions ?(config = Config.default) gs ~l ~delta ~sigma =
+  let t0 = Clock.now () in
   let union, tx = disjoint_union gs in
   (* Transaction support: distinct transactions among embedding images. *)
   let tx_support_paths embs =
@@ -137,21 +277,26 @@ let mine_transactions ?mode ?closed_growth gs ~l ~delta ~sigma =
     List.iter (fun (m : int array) -> Hashtbl.replace seen tx.(m.(0)) ()) maps;
     Hashtbl.length seen
   in
-  let diam = Diam_mine.mine ~support:tx_support_paths union ~l ~sigma in
-  let patterns, grow_stats, grow_seconds =
-    grow_all ?mode ?closed_growth ~support:tx_support_maps union
-      ~entries:diam.Diam_mine.entries ~delta ~sigma
-  in
-  {
-    patterns;
-    stats =
+  let config = { config with Config.support = Some tx_support_maps } in
+  with_config_pool config (fun pool ->
+      let diam =
+        Diam_mine.mine ~prune_intermediate:config.Config.prune_intermediate
+          ~support:tx_support_paths ~pool union ~l ~sigma
+      in
+      let patterns, grow_stats, grow_seconds =
+        grow_all ~config ~pool union ~entries:diam.Diam_mine.entries ~delta
+          ~sigma
+      in
       {
-        diam_stats = diam.Diam_mine.stats;
-        num_diameters = List.length diam.Diam_mine.entries;
-        grow_seconds;
-        grow_stats;
-        total_seconds = Sys.time () -. t0;
-      };
-  }
+        patterns;
+        stats =
+          {
+            diam_stats = diam.Diam_mine.stats;
+            num_diameters = List.length diam.Diam_mine.entries;
+            grow_seconds;
+            grow_stats;
+            total_seconds = Clock.now () -. t0;
+          };
+      })
 
 let is_target p ~l ~delta = Canonical_diameter.is_l_long_delta_skinny p ~l ~delta

@@ -4,7 +4,15 @@
     diameters = minimal constraint-satisfying patterns); Stage II grows each
     into its disjoint cluster of l-long δ-skinny patterns while preserving
     the canonical diameter. The union over clusters is the complete result
-    (Theorem 4), with unique generation per pattern. *)
+    (Theorem 4), with unique generation per pattern.
+
+    All tuning knobs live in {!Config.t}; the three entry points take one
+    optional [?config] instead of a spread of optional arguments. With
+    [config.jobs > 1] both stages run on a {!Spm_engine.Pool} of that many
+    domains — Stage II schedules one task per diameter cluster (Theorem 4
+    makes clusters independent), Stage I partitions the candidate-path
+    extension loops — and the output is bit-identical to the sequential
+    run. *)
 
 type mined = Level_grow.mined = {
   pattern : Spm_pattern.Pattern.t;
@@ -18,32 +26,84 @@ type stats = {
   num_diameters : int;
   grow_seconds : float;
   grow_stats : Level_grow.stats list;  (** one per diameter cluster *)
-  total_seconds : float;
+  total_seconds : float;  (** wall clock, not CPU time *)
 }
 
 type result = { patterns : mined list; stats : stats }
 
+(** The consolidated mining configuration. Build one with record update
+    syntax ([{ Config.default with jobs = 4 }]) or the [with_*] setters
+    ([Config.(default |> with_jobs 4 |> with_closed_growth true)]). *)
+module Config : sig
+  type t = {
+    mode : Constraints.mode;
+        (** Constraint-maintenance mode (default [Exact]). *)
+    closed_growth : bool;
+        (** Closed-pattern semantics: apply support-preserving extensions
+            eagerly, collapsing the twig powerset (default [false]). *)
+    prune_intermediate : bool;
+        (** Apply the σ filter at every Stage-I power-of-2 stage (the
+            paper's behaviour, default [true]). *)
+    closed_only : bool;
+        (** Post-filter to patterns with no reported super-pattern of equal
+            support (Algorithm 3 line 12; default [false]). *)
+    max_patterns : int option;
+        (** Stop after this many patterns. Budget accounting is inherently
+            sequential, so a budgeted run ignores [jobs] (default [None]). *)
+    support : (Spm_pattern.Pattern.t -> int array list -> int) option;
+        (** Stage-II support override, e.g. a distinct-transaction counter.
+            [None] = |E[P]|, distinct embedding subgraphs.
+            {!mine_transactions} installs its own counter here. *)
+    jobs : int;
+        (** Worker domains for both stages (default 1 = sequential). For a
+            fixed input the mined [(pattern, support)] list is bit-identical
+            for every [jobs] value. *)
+  }
+
+  val default : t
+
+  val parallel : unit -> t
+  (** {!default} with [jobs] set to {!Spm_engine.Pool.default_jobs} (the
+      [SKINNY_JOBS] environment variable, or every available core). *)
+
+  val with_mode : Constraints.mode -> t -> t
+  val with_closed_growth : bool -> t -> t
+  val with_prune_intermediate : bool -> t -> t
+  val with_closed_only : bool -> t -> t
+  val with_max_patterns : int option -> t -> t
+
+  val with_support :
+    (Spm_pattern.Pattern.t -> int array list -> int) option -> t -> t
+
+  val with_jobs : int -> t -> t
+  (** Clamped to at least 1. *)
+end
+
+(** The single rendering surface for {!stats} — the CLI and the bench
+    runners both go through it. *)
+module Stats : sig
+  type t = stats
+
+  val pp : Format.formatter -> stats -> unit
+  (** Multi-line human-readable rendering (stage timings, per-power path
+      counts, aggregated Stage-II counters). *)
+
+  val to_json : stats -> string
+  (** One JSON object; per-cluster Stage-II stats under ["clusters"]. *)
+end
+
 val mine :
-  ?mode:Constraints.mode ->
-  ?closed_growth:bool ->
-  ?prune_intermediate:bool ->
-  ?closed_only:bool ->
-  ?max_patterns:int ->
+  ?config:Config.t ->
   Spm_graph.Graph.t ->
   l:int ->
   delta:int ->
   sigma:int ->
   result
-(** All l-long δ-skinny patterns P of the graph with |E[P]| >= sigma.
-    [closed_only] post-filters to patterns with no reported super-pattern of
-    equal support (Algorithm 3 line 12). *)
+(** All l-long δ-skinny patterns P of the graph with |E[P]| >= sigma,
+    mined under [config] (default {!Config.default}). *)
 
 val mine_with_entries :
-  ?mode:Constraints.mode ->
-  ?closed_growth:bool ->
-  ?support:(Spm_pattern.Pattern.t -> int array list -> int) ->
-  ?closed_only:bool ->
-  ?max_patterns:int ->
+  ?config:Config.t ->
   Spm_graph.Graph.t ->
   entries:Diam_mine.entry list ->
   delta:int ->
@@ -53,8 +113,7 @@ val mine_with_entries :
     path: entries come from {!Diameter_index}). [diam_stats] is zeroed. *)
 
 val mine_transactions :
-  ?mode:Constraints.mode ->
-  ?closed_growth:bool ->
+  ?config:Config.t ->
   Spm_graph.Graph.t list ->
   l:int ->
   delta:int ->
@@ -62,7 +121,8 @@ val mine_transactions :
   result
 (** Graph-transaction adaptation (§6.2.1 "Graph-Transaction Setting"): the
     database is combined into one disjoint-union graph; a pattern qualifies
-    if it appears in at least [sigma] distinct transactions. *)
+    if it appears in at least [sigma] distinct transactions.
+    [config.support] is overridden with the distinct-transaction counter. *)
 
 val is_target : Spm_pattern.Pattern.t -> l:int -> delta:int -> bool
 (** The (l,δ) constraint predicate itself (Definition 7), usable with

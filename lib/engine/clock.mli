@@ -1,0 +1,12 @@
+(** Wall-clock timing for the mining stages.
+
+    [Sys.time] measures process CPU time, which *grows* with the number of
+    worker domains; every speedup measurement in this repo therefore goes
+    through this module instead. *)
+
+val now : unit -> float
+(** Seconds since the epoch, wall clock. Only differences are meaningful. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
+    seconds. *)

@@ -1,0 +1,137 @@
+(* Domain pool: long-lived workers blocked on a condition variable; each
+   batch bumps a generation counter and installs a participation closure.
+   The closure owns the batch state (task array, atomic cursor, result
+   slots), so workers that miss a generation or wake late run a no-op. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable generation : int;
+  mutable batch : (unit -> unit) option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let make_handle jobs =
+  {
+    jobs;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    generation = 0;
+    batch = None;
+    stop = false;
+    workers = [];
+  }
+
+let serial = make_handle 1
+
+let default_jobs () =
+  match Sys.getenv_opt "SKINNY_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let worker_loop t =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let gen = t.generation and job = t.batch in
+      Mutex.unlock t.mutex;
+      seen := gen;
+      (match job with Some f -> f () | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let t = make_handle jobs in
+  if jobs > 1 then
+    t.workers <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  if t.workers <> [] then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.workers = [] || n = 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let error = Atomic.make None in
+    let participate () =
+      let rec pull () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (* After a failure the batch is drained without running the
+             remaining tasks, so [completed] still reaches [n]. *)
+          (if Atomic.get error = None then
+             try results.(i) <- Some (f arr.(i))
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set error None (Some (e, bt))));
+          Atomic.incr completed;
+          pull ()
+        end
+      in
+      pull ()
+    in
+    Mutex.lock t.mutex;
+    t.batch <- Some participate;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    participate ();
+    (* The cursor is exhausted; only tasks already claimed by workers are
+       still in flight, so this wait is short. The atomic read also
+       publishes the workers' writes to [results]. *)
+    while Atomic.get completed < n do
+      Domain.cpu_relax ()
+    done;
+    match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+let map_reduce t ~map:f ~combine ~init arr =
+  Array.fold_left combine init (map t f arr)
+
+let slices arr ~pieces =
+  let n = Array.length arr in
+  let pieces = max 1 (min pieces n) in
+  if n = 0 then [||]
+  else
+    Array.init pieces (fun k ->
+        let lo = k * n / pieces and hi = (k + 1) * n / pieces in
+        Array.sub arr lo (hi - lo))

@@ -1,0 +1,58 @@
+(** A from-scratch domain pool for task-parallel mining (OCaml 5 stdlib
+    [Domain]/[Atomic]/[Mutex]/[Condition] only — no Domainslib).
+
+    A pool owns [jobs - 1] long-lived worker domains; the caller's domain is
+    the [jobs]-th participant. Work is submitted as an indexed batch; every
+    participant pulls the next unclaimed index from a shared atomic cursor
+    (dynamic scheduling, so heavily skewed task sizes — e.g. diameter
+    clusters — balance automatically). Results land in a pre-sized array at
+    their task's own index, so [map] is order-preserving and the output is
+    identical to the sequential run regardless of interleaving.
+
+    Tasks must not mutate shared state: they may read shared immutable data
+    (the data graph, prebuilt indices) and write only task-local structures.
+    Exceptions raised by tasks are caught, the batch is drained, and the
+    first exception (by completion time) is re-raised in the caller with its
+    backtrace. A pool survives a failed batch and can be reused. *)
+
+type t
+
+val serial : t
+(** The always-available sequential pool: [jobs = 1], no worker domains, no
+    shutdown needed. [map serial f] is [Array.map f]. *)
+
+val default_jobs : unit -> int
+(** The [SKINNY_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** A pool of [jobs] participants ([jobs - 1] spawned worker domains).
+    [jobs] defaults to {!default_jobs}[ ()] and is clamped to at least 1.
+    Call {!shutdown} when done, or use {!with_pool}. *)
+
+val jobs : t -> int
+(** Number of participants (worker domains + the calling domain). *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent; [serial] needs none. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    also on exceptions. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel, order-preserving map with dynamic scheduling. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a array -> 'acc
+(** Parallel map followed by a {e deterministic} sequential fold in task
+    index order — the combine order never depends on [jobs]. *)
+
+val slices : 'a array -> pieces:int -> 'a array array
+(** Split an array into at most [pieces] contiguous slices of near-equal
+    length (fewer when the array is shorter); concatenation restores the
+    input. Used to chunk fine-grained work into pool tasks. *)

@@ -1,0 +1,194 @@
+(* Tests for the multicore engine: the Pool primitive itself (ordering,
+   empty batches, exception propagation, reuse after failure, map_reduce,
+   slices) and the headline determinism guarantee — for any [jobs] value the
+   miner returns the identical (pattern, support) list. *)
+
+open Spm_graph
+open Spm_pattern
+open Spm_core
+module Pool = Spm_engine.Pool
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+exception Boom of int
+
+(* --- Pool unit tests --- *)
+
+let test_pool_map_ordering () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 1000 in
+      let input = Array.init n Fun.id in
+      let out = Pool.map pool (fun i -> i * i) input in
+      Alcotest.(check (array int)) "squares in order"
+        (Array.init n (fun i -> i * i))
+        out;
+      (* map_list preserves list order too. *)
+      Alcotest.(check (list int)) "list order" [ 2; 4; 6 ]
+        (Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_pool_empty_and_singleton () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check "empty" 0 (Array.length (Pool.map pool succ [||]));
+      Alcotest.(check (array int)) "singleton" [| 8 |] (Pool.map pool succ [| 7 |]));
+  (* The serial pool needs no shutdown and behaves like Array.map. *)
+  Alcotest.(check (array int)) "serial" [| 1; 2 |] (Pool.map Pool.serial succ [| 0; 1 |])
+
+let test_pool_exception_propagation () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match Pool.map pool (fun i -> if i = 37 then raise (Boom i) else i) (Array.init 100 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 37 -> ());
+      (* The pool survives a failed batch and runs the next one correctly. *)
+      let out = Pool.map pool succ (Array.init 50 Fun.id) in
+      Alcotest.(check (array int)) "reused after failure"
+        (Array.init 50 succ) out)
+
+let test_pool_map_reduce () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 500 in
+      let sum =
+        Pool.map_reduce pool
+          ~map:(fun i -> i)
+          ~combine:( + ) ~init:0
+          (Array.init n Fun.id)
+      in
+      check "sum" (n * (n - 1) / 2) sum;
+      (* Non-commutative combine: order must be task-index order. *)
+      let cat =
+        Pool.map_reduce pool ~map:string_of_int ~combine:( ^ ) ~init:""
+          (Array.init 12 Fun.id)
+      in
+      Alcotest.(check string) "deterministic combine order" "01234567891011" cat)
+
+let test_pool_slices () =
+  let a = Array.init 10 Fun.id in
+  let s = Pool.slices a ~pieces:3 in
+  check "piece count" 3 (Array.length s);
+  Alcotest.(check (array int)) "concat restores" a
+    (Array.concat (Array.to_list s));
+  (* More pieces than elements: no empty slices beyond the elements. *)
+  let s1 = Pool.slices [| 1; 2 |] ~pieces:8 in
+  check "short input" 2 (Array.length s1);
+  check "empty input" 0 (Array.length (Pool.slices [||] ~pieces:4))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 () in
+  check "jobs" 3 (Pool.jobs pool);
+  ignore (Pool.map pool succ (Array.init 10 Fun.id));
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* serial is shutdown-free. *)
+  Pool.shutdown Pool.serial
+
+(* --- Determinism: parallel output = sequential output, bit for bit --- *)
+
+let signature r =
+  List.map
+    (fun m -> (Canon.key m.Skinny_mine.pattern, m.Skinny_mine.support))
+    r.Skinny_mine.patterns
+
+let sig_testable = Alcotest.(list (pair string int))
+
+let mine_jobs ?(closed_growth = false) g ~l ~delta ~sigma jobs =
+  Skinny_mine.mine
+    ~config:{ Skinny_mine.Config.default with closed_growth; jobs }
+    g ~l ~delta ~sigma
+
+(* Small graph, large label universe: plenty of distinct clusters for the
+   scheduler without a combinatorial twig explosion. *)
+let determinism_graph seed =
+  let st = Gen.rng seed in
+  let bg = Gen.erdos_renyi st ~n:120 ~avg_degree:2.0 ~num_labels:12 in
+  let b = Graph.Builder.of_graph bg in
+  for _ = 1 to 3 do
+    let p =
+      Gen.random_skinny_pattern st ~backbone:4 ~delta:1 ~twigs:2 ~num_labels:12
+    in
+    ignore (Gen.inject st b ~pattern:p ~copies:3 ())
+  done;
+  Graph.Builder.freeze b
+
+let test_jobs_identical () =
+  let g = determinism_graph 42 in
+  let expected = signature (mine_jobs g ~l:4 ~delta:2 ~sigma:2 1) in
+  check_bool "sequential run found something" true (expected <> []);
+  List.iter
+    (fun jobs ->
+      Alcotest.check sig_testable
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (signature (mine_jobs g ~l:4 ~delta:2 ~sigma:2 jobs)))
+    [ 2; 4 ]
+
+let test_jobs_identical_closed_growth () =
+  let g = determinism_graph 43 in
+  let expected =
+    signature (mine_jobs ~closed_growth:true g ~l:4 ~delta:2 ~sigma:2 1)
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.check sig_testable
+        (Printf.sprintf "closed jobs=%d" jobs)
+        expected
+        (signature (mine_jobs ~closed_growth:true g ~l:4 ~delta:2 ~sigma:2 jobs)))
+    [ 2; 4 ]
+
+let test_jobs_identical_transactions () =
+  let st = Gen.rng 44 in
+  let db =
+    List.init 6 (fun _ ->
+        Gen.erdos_renyi st ~n:40 ~avg_degree:2.0 ~num_labels:3)
+  in
+  let run jobs =
+    Skinny_mine.mine_transactions
+      ~config:{ Skinny_mine.Config.default with jobs }
+      db ~l:3 ~delta:1 ~sigma:2
+  in
+  let expected = signature (run 1) in
+  List.iter
+    (fun jobs ->
+      Alcotest.check sig_testable
+        (Printf.sprintf "tx jobs=%d" jobs)
+        expected (signature (run jobs)))
+    [ 2; 4 ]
+
+let prop_parallel_equals_sequential =
+  QCheck.Test.make
+    ~name:"jobs=3 mines the identical (pattern, support) list as jobs=1"
+    ~count:15
+    QCheck.(pair (int_range 8 20) (int_range 2 4))
+    (fun (n, l) ->
+      let st = Gen.rng ((n * 131) + l) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.3 ~num_labels:3 in
+      let seq = signature (mine_jobs g ~l ~delta:2 ~sigma:1 1) in
+      let par = signature (mine_jobs g ~l ~delta:2 ~sigma:1 3) in
+      seq = par)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_pool_map_ordering;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "map_reduce" `Quick test_pool_map_reduce;
+          Alcotest.test_case "slices" `Quick test_pool_slices;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs sweep" `Quick test_jobs_identical;
+          Alcotest.test_case "jobs sweep, closed growth" `Quick
+            test_jobs_identical_closed_growth;
+          Alcotest.test_case "jobs sweep, transactions" `Quick
+            test_jobs_identical_transactions;
+        ] );
+      qsuite "props" [ prop_parallel_equals_sequential ];
+    ]

@@ -110,7 +110,10 @@ let test_index_with_disjoint_support () =
        (fun e -> e.Diam_mine.labels = Path_pattern.canonical [| 1; 2; 3; 4; 5 |])
        entries);
   let r =
-    Diameter_index.request ~support:Disjoint_support.maps idx ~l:4 ~delta:1
+    Diameter_index.request
+      ~config:
+        { Skinny_mine.Config.default with support = Some Disjoint_support.maps }
+      idx ~l:4 ~delta:1
   in
   check_bool "request works" true (List.length r.Skinny_mine.patterns >= 1);
   List.iter
@@ -131,7 +134,11 @@ let test_closed_growth_support_increase_kept () =
       [ (0, 1); (2, 3); (3, 4) ]
   in
   (* Pattern 0-1 has support 2; extension by label-2 twig has support 1. *)
-  let r = Skinny_mine.mine ~closed_growth:true g ~l:1 ~delta:1 ~sigma:2 in
+  let r =
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with closed_growth = true }
+      g ~l:1 ~delta:1 ~sigma:2
+  in
   check "bare edge is closed here" 1 (List.length r.Skinny_mine.patterns);
   let m = List.hd r.Skinny_mine.patterns in
   check "its support" 2 m.Skinny_mine.support;
@@ -146,7 +153,11 @@ let test_closed_growth_transactions () =
     Graph.Builder.freeze b
   in
   let db = [ make (); make (); make () ] in
-  let r = Skinny_mine.mine_transactions ~closed_growth:true db ~l:3 ~delta:1 ~sigma:3 in
+  let r =
+    Skinny_mine.mine_transactions
+      ~config:{ Skinny_mine.Config.default with closed_growth = true }
+      db ~l:3 ~delta:1 ~sigma:3
+  in
   check_bool "injected found closed" true
     (List.exists
        (fun m -> Subiso.exists ~pattern:pat ~target:m.Skinny_mine.pattern)

@@ -125,7 +125,11 @@ let prop_modes_agree =
       let st = Gen.rng ((n * 301) + l) in
       let g = Gen.erdos_renyi st ~n ~avg_degree:2.2 ~num_labels:2 in
       let run mode =
-        keys_of (Skinny_mine.mine ~mode g ~l ~delta:2 ~sigma:1).Skinny_mine.patterns
+        keys_of
+          (Skinny_mine.mine
+             ~config:{ Skinny_mine.Config.default with mode }
+             g ~l ~delta:2 ~sigma:1)
+            .Skinny_mine.patterns
       in
       run Constraints.Naive = run Constraints.Exact)
 
@@ -139,7 +143,11 @@ let test_paper_trigger_gap_documented () =
   let st = Gen.rng ((13 * 301) + 4) in
   let g = Gen.erdos_renyi st ~n:13 ~avg_degree:2.2 ~num_labels:2 in
   let run mode =
-    keys_of (Skinny_mine.mine ~mode g ~l:4 ~delta:2 ~sigma:1).Skinny_mine.patterns
+    keys_of
+      (Skinny_mine.mine
+         ~config:{ Skinny_mine.Config.default with mode }
+         g ~l:4 ~delta:2 ~sigma:1)
+        .Skinny_mine.patterns
   in
   let naive = run Constraints.Naive in
   let paper = run Constraints.Paper in
@@ -149,7 +157,11 @@ let test_paper_trigger_gap_documented () =
     (List.length paper > List.length naive);
   (* The extra patterns are exactly those whose canonical diameter is NOT
      the cluster diameter. *)
-  let full = Skinny_mine.mine ~mode:Constraints.Paper g ~l:4 ~delta:2 ~sigma:1 in
+  let full =
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with mode = Constraints.Paper }
+      g ~l:4 ~delta:2 ~sigma:1
+  in
   let bogus =
     List.filter
       (fun m ->
@@ -175,13 +187,22 @@ let test_spec_equivalence () =
       let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
       let optimized =
         keys_of
-          (Skinny_mine.mine ~prune_intermediate:false g ~l ~delta:2 ~sigma:1)
+          (Skinny_mine.mine
+             ~config:
+               { Skinny_mine.Config.default with prune_intermediate = false }
+             g ~l ~delta:2 ~sigma:1)
             .Skinny_mine.patterns
       in
       let spec =
         keys_of
-          (Skinny_mine.mine ~mode:Constraints.Naive
-             ~prune_intermediate:false g ~l ~delta:2 ~sigma:1)
+          (Skinny_mine.mine
+             ~config:
+               {
+                 Skinny_mine.Config.default with
+                 mode = Constraints.Naive;
+                 prune_intermediate = false;
+               }
+             g ~l ~delta:2 ~sigma:1)
             .Skinny_mine.patterns
       in
       Alcotest.(check (list string))
@@ -215,7 +236,9 @@ let test_c4_gap_documented () =
        (fun m -> Canon.iso m.Skinny_mine.pattern c4)
        mined.Skinny_mine.patterns);
   let spec =
-    Skinny_mine.mine ~mode:Constraints.Naive c4 ~l:2 ~delta:1 ~sigma:1
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with mode = Constraints.Naive }
+      c4 ~l:2 ~delta:1 ~sigma:1
   in
   check_bool "specification run misses it identically" false
     (List.exists
@@ -233,7 +256,10 @@ let test_completeness_vs_brute_force () =
       let delta = 2 in
       let mined =
         keys_of
-          (Skinny_mine.mine ~prune_intermediate:false g ~l ~delta ~sigma:1)
+          (Skinny_mine.mine
+             ~config:
+               { Skinny_mine.Config.default with prune_intermediate = false }
+             g ~l ~delta ~sigma:1)
             .Skinny_mine.patterns
       in
       let expected = brute_force_targets g ~l ~delta ~sigma:1 ~max_edges:(Graph.m g) in
@@ -298,7 +324,11 @@ let test_closed_growth_collapses_powerset () =
   ignore (Gen.inject st b ~pattern:pat ~copies:2 ());
   let g = Graph.Builder.freeze b in
   let complete = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:2 in
-  let closed = Skinny_mine.mine ~closed_growth:true g ~l:4 ~delta:1 ~sigma:2 in
+  let closed =
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with closed_growth = true }
+      g ~l:4 ~delta:1 ~sigma:2
+  in
   (* The main cluster alone contributes its 2^3 twig subsets to the complete
      answer (other length-4 paths through twigs seed further clusters). *)
   let complete_keys = keys_of complete.Skinny_mine.patterns in
@@ -346,7 +376,9 @@ let prop_closed_growth_sound_and_subset =
       let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
       let complete = keys_of (Skinny_mine.mine g ~l ~delta:2 ~sigma:1).Skinny_mine.patterns in
       let closed =
-        (Skinny_mine.mine ~closed_growth:true g ~l ~delta:2 ~sigma:1)
+        (Skinny_mine.mine
+           ~config:{ Skinny_mine.Config.default with closed_growth = true }
+           g ~l ~delta:2 ~sigma:1)
           .Skinny_mine.patterns
       in
       List.for_all
@@ -377,7 +409,11 @@ let test_closed_only_filter () =
       [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 5) ]
   in
   let all = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in
-  let closed = Skinny_mine.mine ~closed_only:true g ~l:4 ~delta:1 ~sigma:1 in
+  let closed =
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with closed_only = true }
+      g ~l:4 ~delta:1 ~sigma:1
+  in
   check "all" 2 (List.length all.Skinny_mine.patterns);
   check "closed" 1 (List.length closed.Skinny_mine.patterns);
   check "closed is the larger" 5
@@ -386,7 +422,11 @@ let test_closed_only_filter () =
 let test_max_patterns_cap () =
   let st = Gen.rng 17 in
   let g = Gen.erdos_renyi st ~n:30 ~avg_degree:3.0 ~num_labels:1 in
-  let r = Skinny_mine.mine ~max_patterns:5 g ~l:2 ~delta:2 ~sigma:1 in
+  let r =
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with max_patterns = Some 5 }
+      g ~l:2 ~delta:2 ~sigma:1
+  in
   check_bool "cap respected" true (List.length r.Skinny_mine.patterns <= 5)
 
 (* --- Transactions --- *)
