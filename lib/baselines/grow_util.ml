@@ -44,16 +44,19 @@ let extensions g st =
     | None -> Hashtbl.add by_desc desc (ref [ m ])
   in
   let np = Graph.n st.pattern in
+  (* Stamp-based mark array: one stamp per embedding marks its image set, so
+     the membership test is an array probe with no per-embedding table. *)
+  let mark = Array.make (max 1 (Graph.n g)) 0 in
+  let stamp = ref 0 in
   List.iter
     (fun m ->
-      let image = Hashtbl.create np in
-      Array.iteri (fun pv tv -> Hashtbl.add image tv pv) m;
+      incr stamp;
+      let s = !stamp in
+      Array.iter (fun tv -> mark.(tv) <- s) m;
       for pv = 0 to np - 1 do
-        Array.iter
-          (fun w ->
-            if not (Hashtbl.mem image w) then
+        Graph.iter_adj g m.(pv) (fun w ->
+            if mark.(w) <> s then
               add (NL (pv, Graph.label g w)) (Array.append m [| w |]))
-          (Graph.adj g m.(pv))
       done;
       for pv = 0 to np - 1 do
         for pu = 0 to pv - 1 do

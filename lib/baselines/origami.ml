@@ -40,20 +40,21 @@ let frequent_extensions db ~sigma p =
   let out = ref [] in
   List.iter
     (fun g ->
+      let mark = Array.make (max 1 (Graph.n g)) 0 in
+      let stamp = ref 0 in
       List.iter
         (fun m ->
-          let image = Hashtbl.create 8 in
-          Array.iteri (fun pv tv -> Hashtbl.add image tv pv) m;
+          incr stamp;
+          let s = !stamp in
+          Array.iter (fun tv -> mark.(tv) <- s) m;
           for pv = 0 to Graph.n p - 1 do
-            Array.iter
-              (fun w ->
-                if not (Hashtbl.mem image w) then begin
+            Graph.iter_adj g m.(pv) (fun w ->
+                if mark.(w) <> s then begin
                   let p' =
                     Pattern.extend_new_vertex p ~host:pv ~label:(Graph.label g w)
                   in
                   if Canon.Set.add candidates p' then out := p' :: !out
                 end)
-              (Graph.adj g m.(pv))
           done;
           for pv = 0 to Graph.n p - 1 do
             for pu = 0 to pv - 1 do

@@ -97,8 +97,7 @@ let identity_preserved p ~l =
               (* Invariant: labels of the prefix equal L[0..pos]. *)
               if pos < l && not (Hashtbl.mem visited (v, pos)) then begin
                 Hashtbl.add visited (v, pos) ();
-                Array.iter
-                  (fun w ->
+                Graph.iter_adj p v (fun w ->
                     (* Stay on a shortest path from x of full length l: w is
                        at x-distance pos+1 and can still reach a vertex at
                        distance l - need dist from w: l - pos - 1 more
@@ -121,7 +120,6 @@ let identity_preserved p ~l =
                         else if c = 0 then dfs w (pos + 1)
                       end
                     end)
-                  (Graph.adj p v)
               end
             in
             dfs x 0

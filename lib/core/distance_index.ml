@@ -35,7 +35,7 @@ let relax p' dist u v =
   try_improve v u;
   while not (Queue.is_empty queue) do
     let x = Queue.pop queue in
-    Array.iter (fun y -> try_improve x y) (Graph.adj p' x)
+    Graph.iter_adj p' x (fun y -> try_improve x y)
   done
 
 let extend_close_edge p' t u v =

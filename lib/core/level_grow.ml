@@ -38,11 +38,30 @@ type pstate = {
 let default_support data pattern maps =
   Embedding.count_distinct ~data_n:(Graph.n data) ~pattern maps
 
+(* Per-grow scratch: the relaxation queue and the embedding-image mark array
+   are allocated once per [grow] call and reused across every state and
+   embedding, instead of a fresh Queue / Hashtbl per extension. The mark
+   array is stamp-based: each embedding bumps [stamp] and writes it at its
+   image vertices, so membership is one array probe and no clearing pass. *)
+type scratch = {
+  relax_queue : int Queue.t;
+  mark : int array; (* sized to the data graph *)
+  mutable stamp : int;
+}
+
+let make_scratch data =
+  {
+    relax_queue = Queue.create ();
+    mark = Array.make (max 1 (Graph.n data)) 0;
+    stamp = 0;
+  }
+
 (* Levels (distance to the diameter) maintained exactly: a fresh leaf sits
    one above its host; a closing edge can only lower levels, propagated by a
    decrease-only relaxation. *)
-let relax_levels pattern' levels u v =
-  let queue = Queue.create () in
+let relax_levels scratch pattern' levels u v =
+  let queue = scratch.relax_queue in
+  Queue.clear queue;
   let try_improve a b =
     if levels.(b) > levels.(a) + 1 then begin
       levels.(b) <- levels.(a) + 1;
@@ -53,14 +72,15 @@ let relax_levels pattern' levels u v =
   try_improve v u;
   while not (Queue.is_empty queue) do
     let x = Queue.pop queue in
-    Array.iter (fun y -> try_improve x y) (Graph.adj pattern' x)
+    Graph.iter_adj pattern' x (fun y -> try_improve x y)
   done
 
 (* Enumerate extension candidates for one state, grouped by descriptor with
    per-descriptor mapping lists. Twigs may hang off any vertex whose level
    leaves room under delta; closing edges may join any non-adjacent pair
-   whose images are adjacent in the data graph. *)
-let candidates data st ~delta =
+   whose images are adjacent in the data graph. Twig labels arrive sorted
+   per host vertex thanks to the CSR's (label, id) neighbor order. *)
+let candidates scratch data st ~delta =
   let by_desc : (desc, int array list ref) Hashtbl.t = Hashtbl.create 32 in
   let add desc m =
     match Hashtbl.find_opt by_desc desc with
@@ -70,15 +90,14 @@ let candidates data st ~delta =
   let np = Graph.n st.pattern in
   List.iter
     (fun m ->
-      let image = Hashtbl.create np in
-      Array.iteri (fun pv tv -> Hashtbl.add image tv pv) m;
+      scratch.stamp <- scratch.stamp + 1;
+      let s = scratch.stamp in
+      Array.iter (fun tv -> scratch.mark.(tv) <- s) m;
       for pv = 0 to np - 1 do
         if st.levels.(pv) <= delta - 1 then
-          Array.iter
-            (fun w ->
-              if not (Hashtbl.mem image w) then
+          Graph.iter_adj data m.(pv) (fun w ->
+              if scratch.mark.(w) <> s then
                 add (NL (pv, Graph.label data w)) (Array.append m [| w |]))
-            (Graph.adj data m.(pv))
       done;
       for pv = 0 to np - 1 do
         for pu = 0 to pv - 1 do
@@ -92,7 +111,7 @@ let candidates data st ~delta =
   Hashtbl.fold (fun d ms acc -> (d, !ms) :: acc) by_desc []
   |> List.sort (fun (d1, _) (d2, _) -> compare_desc d1 d2)
 
-let apply_desc st desc =
+let apply_desc scratch st desc =
   match desc with
   | NL (host, label) ->
     let pattern = Pattern.extend_new_vertex st.pattern ~host ~label in
@@ -103,7 +122,7 @@ let apply_desc st desc =
     let pattern = Pattern.extend_close_edge st.pattern u v in
     let idx = Distance_index.extend_close_edge pattern st.idx u v in
     let levels = Array.copy st.levels in
-    relax_levels pattern levels u v;
+    relax_levels scratch pattern levels u v;
     (pattern, idx, levels, Constraints.Close (u, v))
 
 (* A descriptor is "universal" for a state when every embedding of the
@@ -133,6 +152,7 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
   let support_fn =
     match support with Some f -> f | None -> default_support data
   in
+  let scratch = make_scratch data in
   let l = Path_pattern.length entry.Diam_mine.labels in
   let diameter_pattern = Path_pattern.to_pattern entry.Diam_mine.labels in
   let tried = ref 0 and rejected = ref 0 and infreq = ref 0 in
@@ -182,7 +202,7 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
   (* Build one child; [`Dup] = pattern already judged elsewhere. *)
   let build_child st (desc, maps) =
     incr tried;
-    let pattern', idx', levels', ext = apply_desc st desc in
+    let pattern', idx', levels', ext = apply_desc scratch st desc in
     (* Constraints first: rejections are by far the most common outcome and
        must not pay for canonicalization. (Verdicts depend on WHICH vertices
        carry the diameter — two isomorphic constructions can differ, e.g. a
@@ -214,7 +234,7 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
     match frontier with
     | [] -> ()
     | st :: rest when not !full ->
-      let cands = candidates data st ~delta in
+      let cands = candidates scratch data st ~delta in
       if closed_growth then begin
         (* Eager phase: the first applicable support-preserving extension
            replaces the state without emitting it (the parent cannot be

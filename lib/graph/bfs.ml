@@ -12,13 +12,11 @@ let distances_from_set g sources =
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     let du = dist.(u) in
-    Array.iter
-      (fun v ->
+    Graph.iter_adj g u (fun v ->
         if dist.(v) < 0 then begin
           dist.(v) <- du + 1;
           Queue.add v queue
         end)
-      (Graph.adj g u)
   done;
   dist
 
@@ -37,8 +35,7 @@ let distance g s t =
        while not (Queue.is_empty queue) do
          let u = Queue.pop queue in
          let du = dist.(u) in
-         Array.iter
-           (fun v ->
+         Graph.iter_adj g u (fun v ->
              if dist.(v) < 0 then begin
                dist.(v) <- du + 1;
                if v = t then begin
@@ -47,7 +44,6 @@ let distance g s t =
                end;
                Queue.add v queue
              end)
-           (Graph.adj g u)
        done
      with Exit -> ());
     !result
@@ -89,13 +85,11 @@ let components g =
       Queue.add s queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        Array.iter
-          (fun v ->
+        Graph.iter_adj g u (fun v ->
             if comp.(v) < 0 then begin
               comp.(v) <- id;
               Queue.add v queue
             end)
-          (Graph.adj g u)
       done
     end
   done;

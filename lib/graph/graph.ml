@@ -1,48 +1,138 @@
-type t = { labels : Label.t array; adj : int array array; m : int }
+(* Flat CSR substrate with label-indexed adjacency.
+
+   Neighbors live in one flat [nbr] array; vertex v's run is
+   nbr.[xadj.(v) .. xadj.(v+1)) and is sorted by (label of neighbor, id).
+   Per-vertex label-range offsets (lab_off / lab_keys / lab_starts) expose
+   each label's sub-run without scanning, and a graph-level label index
+   (vl_off / vl) lists the vertices carrying each label in ascending id
+   order, which doubles as a cached label-frequency table. Everything is
+   built once at construction; the graph is immutable afterwards. *)
+
+type t = {
+  labels : Label.t array;
+  xadj : int array; (* n+1 offsets into nbr *)
+  nbr : int array; (* neighbor runs, each sorted by (label, id) *)
+  lab_off : int array; (* n+1 offsets into lab_keys/lab_starts *)
+  lab_keys : Label.t array; (* distinct neighbor labels of v, ascending *)
+  lab_starts : int array; (* start of each label's sub-run in nbr *)
+  vl_off : int array; (* num_labels+1 offsets into vl *)
+  vl : int array; (* vertices grouped by label, ids ascending *)
+  m : int;
+}
 
 let n g = Array.length g.labels
 let m g = g.m
 let label g v = g.labels.(v)
 let labels g = g.labels
-let adj g v = g.adj.(v)
-let degree g v = Array.length g.adj.(v)
+let degree g v = g.xadj.(v + 1) - g.xadj.(v)
 
-let mem_sorted a x =
+let iter_adj g v f =
+  for i = g.xadj.(v) to g.xadj.(v + 1) - 1 do
+    f g.nbr.(i)
+  done
+
+let fold_adj g v f acc =
+  let acc = ref acc in
+  for i = g.xadj.(v) to g.xadj.(v + 1) - 1 do
+    acc := f g.nbr.(i) !acc
+  done;
+  !acc
+
+let adj g v =
+  let a = Array.sub g.nbr g.xadj.(v) (degree g v) in
+  Array.sort Int.compare a;
+  a
+
+(* Binary search for [l] among the distinct neighbor labels of [v]; returns
+   the [lab_keys] slot or -1. *)
+let find_label_slot g v l =
+  let rec loop lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Label.compare g.lab_keys.(mid) l in
+      if c = 0 then mid else if c < 0 then loop (mid + 1) hi else loop lo mid
+  in
+  loop g.lab_off.(v) g.lab_off.(v + 1)
+
+let label_run_bounds g v slot =
+  let stop =
+    if slot + 1 < g.lab_off.(v + 1) then g.lab_starts.(slot + 1)
+    else g.xadj.(v + 1)
+  in
+  (g.lab_starts.(slot), stop)
+
+let adj_with_label g v l f =
+  let slot = find_label_slot g v l in
+  if slot >= 0 then begin
+    let start, stop = label_run_bounds g v slot in
+    for i = start to stop - 1 do
+      f g.nbr.(i)
+    done
+  end
+
+let has_edge g u v =
+  let slot = find_label_slot g u g.labels.(v) in
+  slot >= 0
+  &&
+  let start, stop = label_run_bounds g u slot in
   let rec loop lo hi =
     if lo >= hi then false
     else
       let mid = (lo + hi) / 2 in
-      let y = a.(mid) in
-      if y = x then true else if y < x then loop (mid + 1) hi else loop lo mid
+      let w = g.nbr.(mid) in
+      if w = v then true else if w < v then loop (mid + 1) hi else loop lo mid
   in
-  loop 0 (Array.length a)
+  loop start stop
 
-let has_edge g u v = mem_sorted g.adj.(u) v
+let num_labels g = Array.length g.vl_off - 1
+let max_label g = num_labels g - 1
+
+let label_freq g l =
+  if l < 0 || l >= num_labels g then 0 else g.vl_off.(l + 1) - g.vl_off.(l)
+
+let vertices_with_label g l =
+  if l < 0 || l >= num_labels g then [||]
+  else Array.sub g.vl g.vl_off.(l) (g.vl_off.(l + 1) - g.vl_off.(l))
+
+let iter_vertices_with_label g l f =
+  if l >= 0 && l < num_labels g then
+    for i = g.vl_off.(l) to g.vl_off.(l + 1) - 1 do
+      f g.vl.(i)
+    done
 
 let iter_edges f g =
-  Array.iteri
-    (fun u nbrs -> Array.iter (fun v -> if u < v then f u v) nbrs)
-    g.adj
+  for u = 0 to n g - 1 do
+    for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+      let v = g.nbr.(i) in
+      if u < v then f u v
+    done
+  done
 
 let fold_edges f g acc =
   let acc = ref acc in
   iter_edges (fun u v -> acc := f u v !acc) g;
   !acc
 
-let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+let edges g =
+  fold_edges (fun u v acc -> (u, v) :: acc) g [] |> List.sort compare
 
 let iter_vertices f g =
   for v = 0 to n g - 1 do
     f v
   done
 
-let max_label g = Array.fold_left max (-1) g.labels
-let num_labels g = max_label g + 1
-
-let sort_dedup a =
-  Array.sort Int.compare a;
+(* Sort a neighbor scratch array by (label, id) and drop duplicate ids
+   (equal ids compare equal, so duplicates are adjacent). Returns the
+   deduplicated length; the prefix of [a] holds the result. *)
+let sort_dedup_run labels a =
+  let cmp x y =
+    let c = Label.compare labels.(x) labels.(y) in
+    if c <> 0 then c else Int.compare x y
+  in
+  Array.sort cmp a;
   let len = Array.length a in
-  if len <= 1 then a
+  if len <= 1 then len
   else begin
     let w = ref 1 in
     for r = 1 to len - 1 do
@@ -51,8 +141,68 @@ let sort_dedup a =
         incr w
       end
     done;
-    if !w = len then a else Array.sub a 0 !w
+    !w
   end
+
+(* Build the complete CSR from a label array and per-vertex neighbor scratch
+   arrays (unsorted, possibly with duplicates). O(n + m log deg_max) for the
+   runs plus O(n + L) counting sort for the label index. *)
+let build ~labels ~(scratch : int array array) =
+  let nv = Array.length labels in
+  let labels = Array.copy labels in
+  (* Sort and dedup each run in place, recording kept lengths. *)
+  let kept = Array.make nv 0 in
+  for v = 0 to nv - 1 do
+    kept.(v) <- sort_dedup_run labels scratch.(v)
+  done;
+  let xadj = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    xadj.(v + 1) <- xadj.(v) + kept.(v)
+  done;
+  let total = xadj.(nv) in
+  let nbr = Array.make total 0 in
+  for v = 0 to nv - 1 do
+    Array.blit scratch.(v) 0 nbr xadj.(v) kept.(v)
+  done;
+  (* Per-vertex label ranges: one (key, start) pair per distinct neighbor
+     label, found by scanning each sorted run once. *)
+  let lab_off = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    let distinct = ref 0 in
+    for i = xadj.(v) to xadj.(v + 1) - 1 do
+      if i = xadj.(v) || labels.(nbr.(i)) <> labels.(nbr.(i - 1)) then
+        incr distinct
+    done;
+    lab_off.(v + 1) <- lab_off.(v) + !distinct
+  done;
+  let lab_keys = Array.make lab_off.(nv) 0 in
+  let lab_starts = Array.make lab_off.(nv) 0 in
+  for v = 0 to nv - 1 do
+    let k = ref lab_off.(v) in
+    for i = xadj.(v) to xadj.(v + 1) - 1 do
+      if i = xadj.(v) || labels.(nbr.(i)) <> labels.(nbr.(i - 1)) then begin
+        lab_keys.(!k) <- labels.(nbr.(i));
+        lab_starts.(!k) <- i;
+        incr k
+      end
+    done
+  done;
+  (* Graph-level label index by counting sort (stable, so ids ascend within
+     each label). *)
+  let nl = 1 + Array.fold_left max (-1) labels in
+  let vl_off = Array.make (nl + 1) 0 in
+  Array.iter (fun l -> vl_off.(l + 1) <- vl_off.(l + 1) + 1) labels;
+  for l = 1 to nl do
+    vl_off.(l) <- vl_off.(l) + vl_off.(l - 1)
+  done;
+  let vl = Array.make nv 0 in
+  let cursor = Array.copy vl_off in
+  for v = 0 to nv - 1 do
+    let l = labels.(v) in
+    vl.(cursor.(l)) <- v;
+    cursor.(l) <- cursor.(l) + 1
+  done;
+  { labels; xadj; nbr; lab_off; lab_keys; lab_starts; vl_off; vl; m = total / 2 }
 
 let of_edges ~labels es =
   let nv = Array.length labels in
@@ -71,18 +221,16 @@ let of_edges ~labels es =
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
     es;
-  let adj = Array.init nv (fun v -> Array.make deg.(v) 0) in
+  let scratch = Array.init nv (fun v -> Array.make deg.(v) 0) in
   let fill = Array.make nv 0 in
   List.iter
     (fun (u, v) ->
-      adj.(u).(fill.(u)) <- v;
+      scratch.(u).(fill.(u)) <- v;
       fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
+      scratch.(v).(fill.(v)) <- u;
       fill.(v) <- fill.(v) + 1)
     es;
-  let adj = Array.map sort_dedup adj in
-  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
-  { labels = Array.copy labels; adj; m }
+  build ~labels ~scratch
 
 let induced g vs =
   let nv = Array.length vs in
@@ -96,24 +244,24 @@ let induced g vs =
   let es = ref [] in
   Array.iteri
     (fun i v ->
-      Array.iter
-        (fun w ->
+      iter_adj g v (fun w ->
           match Hashtbl.find_opt index w with
           | Some j when i < j -> es := (i, j) :: !es
-          | Some _ | None -> ())
-        g.adj.(v))
+          | Some _ | None -> ()))
     vs;
   of_edges ~labels !es
 
+(* The CSR arrays are canonical for a given (labels, edge set): plain field
+   equality is structural identity. *)
 let equal_structure g1 g2 =
-  g1.labels = g2.labels && g1.adj = g2.adj
+  g1.labels = g2.labels && g1.xadj = g2.xadj && g1.nbr = g2.nbr
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph: %d vertices, %d edges@," (n g) (m g);
   iter_vertices
     (fun v -> Format.fprintf ppf "v %d %a@," v Label.pp (label g v))
     g;
-  iter_edges (fun u v -> Format.fprintf ppf "e %d %d@," u v) g;
+  List.iter (fun (u, v) -> Format.fprintf ppf "e %d %d@," u v) (edges g);
   Format.fprintf ppf "@]"
 
 module Builder = struct
@@ -151,11 +299,8 @@ module Builder = struct
   let freeze b =
     let nv = n b in
     let labels = Vec.to_array b.bl in
-    let adj =
-      Array.init nv (fun v -> sort_dedup (Vec.to_array (Vec.get b.nbrs v)))
-    in
-    let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
-    { labels; adj; m }
+    let scratch = Array.init nv (fun v -> Vec.to_array (Vec.get b.nbrs v)) in
+    build ~labels ~scratch
 
   let of_graph g =
     let b = create () in

@@ -1,9 +1,17 @@
-(** Immutable vertex-labeled, undirected, simple graphs.
+(** Immutable vertex-labeled, undirected, simple graphs in CSR form.
 
     This is the data-graph substrate for all miners: the single input graph
     of the (l,δ)-SPM problem (Definition 8) and the members of a
-    graph-transaction database. Vertices are dense integers [0..n-1];
-    adjacency lists are sorted arrays so membership tests are O(log deg). *)
+    graph-transaction database. Vertices are dense integers [0..n-1].
+
+    Adjacency is one flat neighbor array with per-vertex offsets (CSR); each
+    vertex's neighbor run is sorted by [(label, id)] and carries label-range
+    offsets, so label-filtered neighbor enumeration ({!adj_with_label}) costs
+    O(log deg + answers) instead of a full O(deg) scan. A graph-level label
+    index gives the vertices and frequency of every label in O(1) lookups
+    ({!vertices_with_label}, {!label_freq}) — matchers no longer recount
+    label frequencies per query. All indices are built once at construction
+    ([of_edges] / [Builder.freeze]). *)
 
 type t
 
@@ -18,18 +26,47 @@ val label : t -> int -> Label.t
 val labels : t -> Label.t array
 (** The label array itself — do not mutate. *)
 
-val adj : t -> int -> int array
-(** Sorted neighbor array of a vertex — do not mutate. *)
-
 val degree : t -> int -> int
+(** O(1). *)
+
+val adj : t -> int -> int array
+(** Neighbors of a vertex as a freshly allocated array sorted by id
+    (ascending). O(deg log deg) — prefer {!iter_adj} / {!fold_adj} /
+    {!adj_with_label} on hot paths; they read the CSR run directly. *)
+
+val iter_adj : t -> int -> (int -> unit) -> unit
+(** Iterate the neighbors of a vertex in [(label, id)] order. O(deg), no
+    allocation. *)
+
+val fold_adj : t -> int -> (int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the neighbors of a vertex in [(label, id)] order. *)
+
+val adj_with_label : t -> int -> Label.t -> (int -> unit) -> unit
+(** [adj_with_label g v l f] calls [f] on exactly the neighbors of [v]
+    carrying label [l], in ascending id order. O(log deg + answers) via the
+    per-vertex label-range offsets. *)
 
 val has_edge : t -> int -> int -> bool
+(** O(log deg) binary search on the [(label, id)]-sorted run. *)
+
+val label_freq : t -> Label.t -> int
+(** Number of vertices carrying a label; 0 for labels outside the graph's
+    universe. O(1), cached at construction. *)
+
+val vertices_with_label : t -> Label.t -> int array
+(** Freshly allocated ascending array of the vertices carrying a label;
+    [[||]] for unknown labels. *)
+
+val iter_vertices_with_label : t -> Label.t -> (int -> unit) -> unit
+(** Iterate the vertices carrying a label in ascending id order, without
+    allocating. *)
 
 val edges : t -> (int * int) list
 (** All edges as [(u, v)] with [u < v], in increasing order. *)
 
 val iter_edges : (int -> int -> unit) -> t -> unit
-(** Iterate each undirected edge once, with [u < v]. *)
+(** Iterate each undirected edge once, with [u < v]. No order guarantee
+    beyond that — use {!edges} when a sorted list matters. *)
 
 val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
@@ -43,7 +80,7 @@ val num_labels : t -> int
 
 val of_edges : labels:Label.t array -> (int * int) list -> t
 (** Build from a label array (index = vertex id) and an edge list. Duplicate
-    edges are merged; self-loops are rejected.
+    edges are merged; self-loops are rejected. O(n + m log deg_max).
     @raise Invalid_argument on self-loops or out-of-range endpoints. *)
 
 val induced : t -> int array -> t
@@ -80,7 +117,8 @@ module Builder : sig
   val label : t -> int -> Label.t
 
   val freeze : t -> graph
-  (** O(n + m log m). The builder remains usable afterwards. *)
+  (** O(n + m log m): builds the CSR runs and both label indices. The
+      builder remains usable afterwards. *)
 
   val of_graph : graph -> t
   (** Builder pre-seeded with an existing graph (used for pattern

@@ -2,9 +2,10 @@ let to_buffer buf g =
   Graph.iter_vertices
     (fun v -> Buffer.add_string buf (Printf.sprintf "v %d %d\n" v (Graph.label g v)))
     g;
-  Graph.iter_edges
-    (fun u v -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
-    g
+  (* Sorted edge order keeps the textual form canonical per graph. *)
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
+    (Graph.edges g)
 
 let to_string g =
   let buf = Buffer.create 256 in

@@ -47,15 +47,13 @@ let iter_simple_paths g ~length f =
     end
     else begin
       let u = path.(depth) in
-      Array.iter
-        (fun v ->
+      Graph.iter_adj g u (fun v ->
           if not on_path.(v) then begin
             path.(depth + 1) <- v;
             on_path.(v) <- true;
             extend (depth + 1);
             on_path.(v) <- false
           end)
-        (Graph.adj g u)
     end
   in
   for s = 0 to nv - 1 do
@@ -79,9 +77,8 @@ let shortest_paths_between g s t =
     let rec back v suffix =
       if v = s then acc := Array.of_list (s :: suffix) :: !acc
       else
-        Array.iter
-          (fun u -> if dist.(u) = dist.(v) - 1 then back u (v :: suffix))
-          (Graph.adj g v)
+        Graph.iter_adj g v (fun u ->
+            if dist.(u) = dist.(v) - 1 then back u (v :: suffix))
     in
     back t [];
     List.rev !acc

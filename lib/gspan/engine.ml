@@ -130,13 +130,11 @@ let mine config db_list =
           bslots;
         List.iter
           (fun idd ->
-            Array.iter
-              (fun w ->
+            Graph.iter_adj g p.map.(idd) (fun w ->
                 if not (in_map p.map w) then
                   push
                     (F (idd, Graph.label g w))
-                    { gid = p.gid; map = Array.append p.map [| w |] })
-              (Graph.adj g p.map.(idd)))
+                    { gid = p.gid; map = Array.append p.map [| w |] }))
           fslots)
       projs;
     by_ext

@@ -146,8 +146,9 @@ let min_code g =
         | idd :: rest ->
           let vi = st.map.(idd) in
           let nbrs =
-            Array.to_list (Graph.adj g vi)
-            |> List.filter (fun w -> st.ids.(w) < 0)
+            Graph.fold_adj g vi
+              (fun w acc -> if st.ids.(w) < 0 then w :: acc else acc)
+              []
           in
           if nbrs = [] then deepest rest
           else begin

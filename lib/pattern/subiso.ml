@@ -1,75 +1,51 @@
 open Spm_graph
 
-(* Search order: start at a vertex whose label is rarest in the target, then
-   BFS so every later vertex has a mapped neighbor. *)
-let search_order pattern target =
+(* Connected search order: a queue BFS from [root], so every vertex after
+   the first has an already-placed neighbor when its turn comes.
+   @raise Invalid_argument if the pattern is not connected. *)
+let bfs_order pattern root =
   let np = Graph.n pattern in
-  if np = 0 then invalid_arg "Subiso: empty pattern";
-  let freq = Hashtbl.create 16 in
-  Graph.iter_vertices
-    (fun v ->
-      let l = Graph.label target v in
-      Hashtbl.replace freq l (1 + Option.value ~default:0 (Hashtbl.find_opt freq l)))
-    target;
-  let rarity v =
-    Option.value ~default:0 (Hashtbl.find_opt freq (Graph.label pattern v))
-  in
-  let root = ref 0 in
-  Graph.iter_vertices
-    (fun v -> if rarity v < rarity !root then root := v)
-    pattern;
   let order = Array.make np (-1) in
   let placed = Array.make np false in
   let queue = Queue.create () in
-  Queue.add !root queue;
-  placed.(!root) <- true;
+  Queue.add root queue;
+  placed.(root) <- true;
   let k = ref 0 in
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     order.(!k) <- v;
     incr k;
-    Array.iter
-      (fun w ->
+    Graph.iter_adj pattern v (fun w ->
         if not placed.(w) then begin
           placed.(w) <- true;
           Queue.add w queue
         end)
-      (Graph.adj pattern v)
   done;
   if !k <> np then invalid_arg "Subiso: pattern must be connected";
   order
 
+(* Root at a vertex whose label is rarest in the target; the target's label
+   frequencies are cached in the graph's label index, so no per-call
+   recount. *)
+let search_order pattern target =
+  if Graph.n pattern = 0 then invalid_arg "Subiso: empty pattern";
+  let rarity v = Graph.label_freq target (Graph.label pattern v) in
+  let root = ref 0 in
+  Graph.iter_vertices
+    (fun v -> if rarity v < rarity !root then root := v)
+    pattern;
+  bfs_order pattern !root
+
 let run ?anchor ~pattern ~target ~stop f =
   let np = Graph.n pattern in
-  let order = search_order pattern target in
   let order =
-    (* If anchored, make the anchored pattern vertex the root. *)
     match anchor with
-    | None -> order
+    | None -> search_order pattern target
     | Some (pv, _) ->
-      let rest = Array.to_list order |> List.filter (fun v -> v <> pv) in
-      (* Re-BFS from pv to keep connectivity of the prefix. *)
-      let placed = Array.make np false in
-      placed.(pv) <- true;
-      let out = ref [ pv ] in
-      let pending = ref rest in
-      let progress = ref true in
-      while !pending <> [] && !progress do
-        progress := false;
-        let next, still =
-          List.partition
-            (fun v ->
-              Array.exists (fun w -> placed.(w)) (Graph.adj pattern v))
-            !pending
-        in
-        if next <> [] then begin
-          progress := true;
-          List.iter (fun v -> placed.(v) <- true) next;
-          out := List.rev_append next !out
-        end;
-        pending := still
-      done;
-      Array.of_list (List.rev !out)
+      (* Anchored: the anchored pattern vertex is the root, so the anchor
+         pins depth 0 and connectivity of every prefix is preserved. *)
+      if np = 0 then invalid_arg "Subiso: empty pattern";
+      bfs_order pattern pv
   in
   let map = Array.make np (-1) in
   let used = Hashtbl.create 64 in
@@ -84,13 +60,16 @@ let run ?anchor ~pattern ~target ~stop f =
       let pv = order.(depth) in
       let lbl = Graph.label pattern pv in
       let mapped_nbrs =
-        Array.to_list (Graph.adj pattern pv)
-        |> List.filter (fun w -> map.(w) >= 0)
+        Graph.fold_adj pattern pv
+          (fun w acc -> if map.(w) >= 0 then w :: acc else acc)
+          []
       in
+      (* Candidates arrive pre-filtered by label (via the label-range runs
+         of the CSR), so only injectivity, degree, and adjacency to the
+         mapped pattern neighbors remain to check. *)
       let try_candidate tv =
         if
           (not (Hashtbl.mem used tv))
-          && Graph.label target tv = lbl
           && Graph.degree target tv >= Graph.degree pattern pv
           && List.for_all (fun w -> Graph.has_edge target map.(w) tv) mapped_nbrs
         then begin
@@ -102,12 +81,13 @@ let run ?anchor ~pattern ~target ~stop f =
         end
       in
       match (anchor, mapped_nbrs) with
-      | Some (apv, atv), _ when apv = pv -> try_candidate atv
+      | Some (apv, atv), _ when apv = pv ->
+        if Graph.label target atv = lbl then try_candidate atv
       | _, w :: _ ->
-        (* Candidates restricted to neighbors of one mapped image. *)
-        Array.iter try_candidate (Graph.adj target map.(w))
-      | _, [] ->
-        Graph.iter_vertices try_candidate target
+        (* Candidates restricted to the label-matching neighbors of one
+           mapped image. *)
+        Graph.adj_with_label target map.(w) lbl try_candidate
+      | _, [] -> Graph.iter_vertices_with_label target lbl try_candidate
     end
   in
   place 0

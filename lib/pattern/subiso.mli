@@ -5,9 +5,14 @@
     label-preserving, edge-preserving (non-induced) mapping. This module
     enumerates the mappings; {!Embedding} normalizes mappings to subgraphs.
 
-    The matcher orders pattern vertices by a connected search order rooted at
-    the rarest label and filters candidates by label, adjacency to all mapped
-    pattern neighbors, and degree. *)
+    The matcher orders pattern vertices by a connected queue-BFS search
+    order rooted at the vertex whose label is rarest in the target (cached
+    label frequencies — no per-call recount). Candidates are drawn directly
+    from the target's label-filtered structures: the label-range run of a
+    mapped neighbor's image ({!Spm_graph.Graph.adj_with_label}) once any
+    pattern neighbor is mapped, or the graph-level label index for the root.
+    Only injectivity, degree, and adjacency to the mapped pattern neighbors
+    remain to check per candidate. *)
 
 val iter_mappings :
   pattern:Pattern.t -> target:Spm_graph.Graph.t -> (int array -> unit) -> unit
@@ -31,4 +36,6 @@ val iter_mappings_anchored :
   (int array -> unit) ->
   unit
 (** Mappings with pattern vertex [fst anchor] pinned to target vertex
-    [snd anchor]. *)
+    [snd anchor]. The search order is a queue BFS rooted at the anchored
+    pattern vertex.
+    @raise Invalid_argument if the pattern is disconnected or empty. *)

@@ -153,6 +153,33 @@ let test_jobs_identical_transactions () =
         expected (signature (run jobs)))
     [ 2; 4 ]
 
+(* Acceptance for the CSR substrate refactor: the FULL rendered output —
+   pattern text, support, levels, diameter labels — is byte-equal across
+   jobs values, stronger than the (key, support) signature above. *)
+let render_result r =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (m : Skinny_mine.mined) ->
+      Buffer.add_string b (Io.to_string m.pattern);
+      Buffer.add_string b (Printf.sprintf "support %d\n" m.support);
+      Buffer.add_string b
+        (Printf.sprintf "levels %s\n"
+           (String.concat " "
+              (Array.to_list (Array.map string_of_int m.levels))));
+      Buffer.add_string b
+        (Printf.sprintf "diam %s\n\n"
+           (String.concat " "
+              (Array.to_list (Array.map string_of_int m.diameter_labels)))))
+    r.Skinny_mine.patterns;
+  Buffer.contents b
+
+let test_jobs_byte_equal () =
+  let g = determinism_graph 45 in
+  let render jobs = render_result (mine_jobs g ~l:4 ~delta:2 ~sigma:2 jobs) in
+  let s1 = render 1 in
+  check_bool "sequential output nonempty" true (String.length s1 > 0);
+  Alcotest.(check string) "jobs=4 byte-equal to jobs=1" s1 (render 4)
+
 let prop_parallel_equals_sequential =
   QCheck.Test.make
     ~name:"jobs=3 mines the identical (pattern, support) list as jobs=1"
@@ -189,6 +216,8 @@ let () =
             test_jobs_identical_closed_growth;
           Alcotest.test_case "jobs sweep, transactions" `Quick
             test_jobs_identical_transactions;
+          Alcotest.test_case "jobs 1 vs 4 byte-equal render" `Quick
+            test_jobs_byte_equal;
         ] );
       qsuite "props" [ prop_parallel_equals_sequential ];
     ]

@@ -286,6 +286,144 @@ let prop_io_roundtrip =
       let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:4 in
       Graph.equal_structure g (Io.of_string (Io.to_string g)))
 
+(* --- CSR substrate vs a naive edge-set model ---
+
+   Random (labels, edge list) instances — with duplicate and reversed edges
+   thrown in to exercise [of_edges] normalization — checked against a plain
+   Hashtbl edge-set model of the same input. *)
+
+let model_instance seed =
+  let st = Gen.rng seed in
+  let n = 1 + Random.State.int st 25 in
+  let num_labels = 1 + Random.State.int st 6 in
+  let labels = Array.init n (fun _ -> Random.State.int st num_labels) in
+  let m = Random.State.int st (3 * n) in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if u <> v then begin
+      edges := (u, v) :: !edges;
+      (* Every third edge also appears reversed and duplicated. *)
+      if Random.State.int st 3 = 0 then edges := (v, u) :: (u, v) :: !edges
+    end
+  done;
+  (num_labels, labels, !edges)
+
+let edge_set edges =
+  let t = Hashtbl.create 64 in
+  List.iter (fun (u, v) -> Hashtbl.replace t (min u v, max u v) ()) edges;
+  t
+
+let model_adj n edges v =
+  let set = edge_set edges in
+  List.init n (fun u -> u)
+  |> List.filter (fun u -> u <> v && Hashtbl.mem set (min u v, max u v))
+
+let prop_csr_has_edge_model =
+  QCheck.Test.make ~name:"has_edge agrees with edge-set model and is symmetric"
+    ~count:80 QCheck.small_nat (fun seed ->
+      let _, labels, edges = model_instance seed in
+      let n = Array.length labels in
+      let g = Graph.of_edges ~labels edges in
+      let set = edge_set edges in
+      let ok = ref (Graph.m g = Hashtbl.length set) in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let expect = u <> v && Hashtbl.mem set (min u v, max u v) in
+          if Graph.has_edge g u v <> expect then ok := false;
+          if Graph.has_edge g u v <> Graph.has_edge g v u then ok := false
+        done
+      done;
+      !ok)
+
+let prop_csr_adj_sorted_dupfree =
+  QCheck.Test.make
+    ~name:"adj is id-sorted, duplicate-free, equals model neighbors" ~count:80
+    QCheck.small_nat (fun seed ->
+      let _, labels, edges = model_instance seed in
+      let n = Array.length labels in
+      let g = Graph.of_edges ~labels edges in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let a = Array.to_list (Graph.adj g v) in
+        let sorted_dupfree =
+          List.sort_uniq compare a = a && List.length a = Graph.degree g v
+        in
+        if not (sorted_dupfree && a = model_adj n edges v) then ok := false
+      done;
+      !ok)
+
+let prop_csr_iter_adj_label_order =
+  QCheck.Test.make
+    ~name:"iter_adj visits the adj set in strict (label, id) order" ~count:80
+    QCheck.small_nat (fun seed ->
+      let _, labels, edges = model_instance seed in
+      let n = Array.length labels in
+      let g = Graph.of_edges ~labels edges in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let run = ref [] in
+        Graph.iter_adj g v (fun w -> run := w :: !run);
+        let run = List.rev !run in
+        let keys = List.map (fun w -> (Graph.label g w, w)) run in
+        if List.sort_uniq compare keys <> keys then ok := false;
+        if List.sort compare run <> Array.to_list (Graph.adj g v) then
+          ok := false;
+        (* fold_adj is iter_adj with an accumulator. *)
+        let folded = Graph.fold_adj g v (fun w acc -> w :: acc) [] in
+        if List.rev folded <> run then ok := false
+      done;
+      !ok)
+
+let prop_csr_adj_with_label_filter =
+  QCheck.Test.make ~name:"adj_with_label equals the label filter of adj"
+    ~count:80 QCheck.small_nat (fun seed ->
+      let num_labels, labels, edges = model_instance seed in
+      let n = Array.length labels in
+      let g = Graph.of_edges ~labels edges in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        (* Including a label beyond the graph's universe: must yield nothing. *)
+        for l = 0 to num_labels + 2 do
+          let got = ref [] in
+          Graph.adj_with_label g v l (fun w -> got := w :: !got);
+          let got = List.rev !got in
+          let expect =
+            Array.to_list (Graph.adj g v)
+            |> List.filter (fun w -> Graph.label g w = l)
+          in
+          if got <> expect then ok := false
+        done
+      done;
+      !ok)
+
+let prop_csr_label_index =
+  QCheck.Test.make
+    ~name:"label_freq and vertices_with_label recount the label array"
+    ~count:80 QCheck.small_nat (fun seed ->
+      let num_labels, labels, edges = model_instance seed in
+      let n = Array.length labels in
+      let g = Graph.of_edges ~labels edges in
+      let recount l =
+        Array.fold_left (fun acc x -> if x = l then acc + 1 else acc) 0 labels
+      in
+      let ok = ref (Graph.label_freq g (-1) = 0) in
+      let total = ref 0 in
+      for l = 0 to num_labels + 2 do
+        let vl = Graph.vertices_with_label g l in
+        total := !total + Array.length vl;
+        if Graph.label_freq g l <> recount l then ok := false;
+        if Array.length vl <> recount l then ok := false;
+        if not (Array.for_all (fun v -> Graph.label g v = l) vl) then
+          ok := false;
+        let lst = Array.to_list vl in
+        if List.sort_uniq compare lst <> lst then ok := false;
+        let iterated = ref [] in
+        Graph.iter_vertices_with_label g l (fun v -> iterated := v :: !iterated);
+        if List.rev !iterated <> lst then ok := false
+      done;
+      !ok && !total = n)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -342,5 +480,13 @@ let () =
           prop_bfs_triangle_inequality;
           prop_simple_paths_are_simple;
           prop_io_roundtrip;
+        ];
+      qsuite "csr"
+        [
+          prop_csr_has_edge_model;
+          prop_csr_adj_sorted_dupfree;
+          prop_csr_iter_adj_label_order;
+          prop_csr_adj_with_label_filter;
+          prop_csr_label_index;
         ];
     ]

@@ -116,7 +116,7 @@ let sort_mappings ms = List.sort compare (List.map Array.to_list ms)
 let prop_subiso_matches_brute_force =
   QCheck.Test.make ~name:"subiso equals brute force on random instances"
     ~count:60
-    QCheck.(pair (int_range 2 5) (int_range 4 9))
+    QCheck.(pair (int_range 2 7) (int_range 4 9))
     (fun (np, nt) ->
       let st = Gen.rng ((np * 100) + nt) in
       let pattern = Gen.random_connected_pattern st ~n:np ~extra_edges:1 ~num_labels:2 in
