@@ -6,7 +6,7 @@
 let usage =
   "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation parallel micro"
+   ablation parallel serving micro"
 
 type config = {
   scale : float;
@@ -136,5 +136,7 @@ let () =
   end;
   if enabled "parallel" then
     Exp_parallel.run ~seed:cfg.seed ~n:cfg.parallel_n ();
+  if enabled "serving" then
+    Exp_serving.run ~seed:cfg.seed ~n:(cfg.parallel_n / 10) ();
   if enabled "micro" then Micro.run ~scale:cfg.scale ();
   Printf.printf "\nAll requested experiment sections completed.\n%!"

@@ -4,13 +4,23 @@
      generate   synthesize a data graph (ER background + injected patterns)
      stats      print basic statistics of a graph file
      paths      Stage I only: mine frequent simple paths of a given length
-     mine       full (l, delta)-SPM mining
+     mine       full (l, delta)-SPM mining (optionally persisting a store)
      baseline   run one of the reimplemented baselines
-*)
+     serve      run the SkinnyServe TCP query service
+     query      talk to a running server
+
+   Exit codes: 0 success, 1 runtime failure (IO, protocol, server error),
+   2 usage error. *)
 
 open Cmdliner
 open Spm_graph
 open Spm_core
+
+let version = "1.1.0"
+
+(* Scripting (bench drivers, CI) relies on these being distinct. *)
+let exit_runtime_error = 1
+let exit_usage_error = 2
 
 (* --- common args --- *)
 
@@ -116,12 +126,31 @@ let mine_cmd =
   let closed = Arg.(value & flag & info [ "closed" ] ~doc:"Closed-pattern growth (collapse support-preserving extensions).") in
   let dot = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write the largest pattern as Graphviz to this file.") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Print mining statistics as one JSON object.") in
-  let run file l delta sigma closed dot json jobs =
+  let store_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Persist the mined result as a binary pattern store; \
+             $(b,skinnymine serve --store) FILE later answers queries \
+             against it without re-mining.")
+  in
+  let run file l delta sigma closed dot json store_out jobs =
     let g = Io.read_file file in
     let config =
       { Skinny_mine.Config.default with closed_growth = closed; jobs }
     in
     let r = Skinny_mine.mine ~config g ~l ~delta ~sigma in
+    (match store_out with
+    | None -> ()
+    | Some path ->
+      Spm_store.Store.save path
+        (Spm_store.Store.of_result ~graph:g ~l ~delta ~sigma
+           ~closed_growth:closed r);
+      if not json then
+        Printf.printf "pattern store written to %s (%d patterns)\n" path
+          (List.length r.Skinny_mine.patterns));
     (* --json emits the statistics object alone so stdout parses as JSON. *)
     if json then print_endline (Skinny_mine.Stats.to_json r.Skinny_mine.stats)
     else begin
@@ -160,7 +189,9 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Mine all l-long delta-skinny frequent patterns.")
-    Term.(const run $ graph_file $ l $ delta $ sigma $ closed $ dot $ json $ jobs)
+    Term.(
+      const run $ graph_file $ l $ delta $ sigma $ closed $ dot $ json
+      $ store_out $ jobs)
 
 (* --- baseline --- *)
 
@@ -210,7 +241,239 @@ let baseline_cmd =
     (Cmd.info "baseline" ~doc:"Run a baseline miner.")
     Term.(const run $ graph_file $ which $ sigma $ seed $ jobs)
 
+(* --- serve --- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~doc:"Address to bind/connect to.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt int Spm_server.Protocol.default_port
+    & info [ "p"; "port" ] ~doc:"TCP port (serve: 0 picks an ephemeral port).")
+
+let serve_cmd =
+  let store =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:"Pattern store to preload (written by $(b,mine --store)).")
+  in
+  let graph =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "graph" ] ~docv:"FILE"
+          ~doc:
+            "Data graph (v/e format) to serve mine queries against when no \
+             store is preloaded.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 128
+      & info [ "cache" ] ~doc:"LRU response-cache capacity (entries).")
+  in
+  let run host port store graph cache jobs =
+    let t = Spm_server.Server.create ~jobs ~cache_capacity:cache () in
+    (match store with
+    | Some path ->
+      let s = Spm_store.Store.load path in
+      Spm_server.Server.set_store t s;
+      Printf.printf
+        "loaded store %s: %d patterns (l = %d, delta = %d, sigma = %d%s)\n%!"
+        path
+        (List.length s.Spm_store.Store.patterns)
+        s.Spm_store.Store.l s.Spm_store.Store.delta s.Spm_store.Store.sigma
+        (if s.Spm_store.Store.closed_growth then ", closed" else "")
+    | None -> (
+      match graph with
+      | Some path ->
+        let g = Io.read_file path in
+        Spm_server.Server.set_graph t g;
+        Printf.printf "loaded graph %s: %d vertices, %d edges\n%!" path
+          (Graph.n g) (Graph.m g)
+      | None ->
+        Printf.printf
+          "no store or graph preloaded; clients must send a load query\n%!"));
+    let fd, actual_port = Spm_server.Server.listen ~host ~port () in
+    Printf.printf "skinnyserve: listening on %s:%d (jobs = %d)\n%!" host
+      actual_port jobs;
+    Spm_server.Server.serve t fd;
+    let s = Spm_server.Server.stats t in
+    Printf.printf
+      "skinnyserve: shut down after %d requests (%d cache hits, %d errors)\n"
+      s.Spm_server.Protocol.requests s.Spm_server.Protocol.cache_hits
+      s.Spm_server.Protocol.errors
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the SkinnyServe query service: a TCP server answering mine, \
+          lookup and containment queries over a mined pattern store.")
+    Term.(const run $ host_arg $ port_arg $ store $ graph $ cache $ jobs)
+
+(* --- query --- *)
+
+let query_cmd =
+  let action =
+    let actions =
+      [ ("ping", `Ping); ("mine", `Mine); ("lookup", `Lookup);
+        ("contains", `Contains); ("load", `Load); ("stats", `Stats);
+        ("shutdown", `Shutdown) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of $(b,ping), $(b,mine), $(b,lookup), $(b,contains), \
+             $(b,load), $(b,stats), $(b,shutdown).")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Graph file for $(b,contains); server-side store path for \
+             $(b,load).")
+  in
+  let l = Arg.(value & opt int 4 & info [ "l"; "length" ] ~doc:"Diameter length (mine, lookup filter).") in
+  let delta = Arg.(value & opt int 2 & info [ "d"; "delta" ] ~doc:"Skinniness bound (mine).") in
+  let closed = Arg.(value & flag & info [ "closed" ] ~doc:"Closed-pattern growth (mine).") in
+  let min_support =
+    Arg.(value & opt (some int) None & info [ "min-support" ] ~doc:"Lookup filter: support >= N.")
+  in
+  let max_support =
+    Arg.(value & opt (some int) None & info [ "max-support" ] ~doc:"Lookup filter: support <= N.")
+  in
+  let length_filter =
+    Arg.(value & opt (some int) None & info [ "with-length" ] ~doc:"Lookup filter: diameter length = N.")
+  in
+  let labels =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "labels" ] ~docv:"L1,L2,.."
+          ~doc:"Lookup filter: exact vertex-label multiset.")
+  in
+  let print_patterns ms =
+    Printf.printf "%d patterns\n" (List.length ms);
+    List.iteri
+      (fun i (m : Skinny_mine.mined) ->
+        if i < 20 then
+          Printf.printf "  #%d: |V|=%d |E|=%d support=%d diam-l=%d\n" (i + 1)
+            (Graph.n m.Skinny_mine.pattern)
+            (Graph.m m.Skinny_mine.pattern)
+            m.Skinny_mine.support
+            (Path_pattern.length m.Skinny_mine.diameter_labels))
+      ms;
+    if List.length ms > 20 then
+      Printf.printf "  ... (%d more)\n" (List.length ms - 20)
+  in
+  let print_meta c =
+    match Spm_server.Client.last_meta c with
+    | Some (hit, seconds) ->
+      Printf.printf "[%s, %.3f ms server time]\n"
+        (if hit then "cache hit" else "computed")
+        (1000.0 *. seconds)
+    | None -> ()
+  in
+  let need_file action = function
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "query %s requires a FILE argument" action)
+  in
+  let run host port action file l delta sigma closed min_support max_support
+      length_filter labels =
+    Spm_server.Client.with_connection ~host ~port (fun c ->
+        (match action with
+        | `Ping ->
+          Spm_server.Client.ping c;
+          print_endline "pong"
+        | `Load ->
+          let n = Spm_server.Client.load_store c (need_file "load" file) in
+          Printf.printf "server loaded %d patterns\n" n
+        | `Mine ->
+          let ms =
+            Spm_server.Client.mine c
+              { Spm_server.Protocol.l; delta; sigma; closed_growth = closed }
+          in
+          print_patterns ms
+        | `Lookup ->
+          let ms =
+            Spm_server.Client.lookup c
+              { Spm_server.Protocol.min_support; max_support;
+                length = length_filter; labels }
+          in
+          print_patterns ms
+        | `Contains ->
+          let g = Io.read_file (need_file "contains" file) in
+          let ms = Spm_server.Client.contains c g in
+          print_patterns ms
+        | `Stats ->
+          let s = Spm_server.Client.stats c in
+          Printf.printf
+            "requests:       %d\n\
+             cache hits:     %d\n\
+             errors:         %d\n\
+             store patterns: %d\n\
+             uptime:         %.1f s\n\
+             service time:   %.3f s\n"
+            s.Spm_server.Protocol.requests s.Spm_server.Protocol.cache_hits
+            s.Spm_server.Protocol.errors
+            s.Spm_server.Protocol.store_patterns
+            s.Spm_server.Protocol.uptime_seconds
+            s.Spm_server.Protocol.service_seconds
+        | `Shutdown ->
+          Spm_server.Client.shutdown c;
+          print_endline "server shutting down");
+        print_meta c)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Send one query to a running SkinnyServe server.")
+    Term.(
+      const run $ host_arg $ port_arg $ action $ file $ l $ delta $ sigma
+      $ closed $ min_support $ max_support $ length_filter $ labels)
+
 let () =
   let doc = "SkinnyMine: direct mining of l-long delta-skinny graph patterns" in
-  let info = Cmd.info "skinnymine" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; paths_cmd; mine_cmd; baseline_cmd ]))
+  let info =
+    Cmd.info "skinnymine" ~version ~doc
+      ~exits:
+        (Cmd.Exit.info exit_runtime_error ~doc:"on runtime failure."
+        :: Cmd.Exit.info exit_usage_error ~doc:"on command-line parsing errors."
+        :: Cmd.Exit.defaults)
+  in
+  let group =
+    Cmd.group info
+      [ generate_cmd; stats_cmd; paths_cmd; mine_cmd; baseline_cmd; serve_cmd;
+        query_cmd ]
+  in
+  (* [~catch:false] so runtime failures reach us: they exit 1, while
+     cmdliner's own parse errors map to 2 — scripts can tell "you called it
+     wrong" from "it broke". *)
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Failure msg | Sys_error msg ->
+      Printf.eprintf "skinnymine: error: %s\n" msg;
+      exit_runtime_error
+    | Spm_store.Codec.Corrupt msg ->
+      Printf.eprintf "skinnymine: corrupt data: %s\n" msg;
+      exit_runtime_error
+    | Spm_server.Client.Server_error msg ->
+      Printf.eprintf "skinnymine: server error: %s\n" msg;
+      exit_runtime_error
+    | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "skinnymine: %s%s: %s\n" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e);
+      exit_runtime_error
+    | Invalid_argument msg ->
+      Printf.eprintf "skinnymine: invalid argument: %s\n" msg;
+      exit_runtime_error
+  in
+  exit (if code = Cmd.Exit.cli_error then exit_usage_error else code)

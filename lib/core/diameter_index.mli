@@ -27,6 +27,28 @@ val graph : t -> Spm_graph.Graph.t
 
 val sigma : t -> int
 
+val l_max : t -> int
+(** The [l_max] the index was built (or snapshotted) for. *)
+
+(** Persistable Stage-I state: the frequent-path entries of every length the
+    index has materialized (all powers of two, plus any merged lengths served
+    so far). {!Spm_store} serializes this so Stage I survives across runs. *)
+type snapshot = {
+  snap_sigma : int;
+  snap_l_max : int;
+  lengths : (int * Diam_mine.entry list) list;
+      (** Ascending lengths, each with its frequent-path entries. *)
+}
+
+val snapshot : t -> snapshot
+
+val of_snapshot :
+  ?prune_intermediate:bool -> ?jobs:int -> Spm_graph.Graph.t -> snapshot -> t
+(** Index serving every snapshotted length without recomputation. A request
+    for a length outside the snapshot triggers a full lazy Stage-I rebuild
+    (under [prune_intermediate], default [true], with the default |E[P]|
+    path support — custom path-support functions are not serializable). *)
+
 val entries : t -> l:int -> Diam_mine.entry list
 (** Frequent length-l paths with embeddings; cached after the first call. *)
 

@@ -21,29 +21,54 @@ let db_to_string gs =
     gs;
   Buffer.contents buf
 
-type accum = { mutable vl : (int * int) list; mutable es : (int * int) list }
+(* Each vertex/edge remembers the 1-based line it came from, so structural
+   errors (duplicate ids, dangling edge endpoints) can name the offending
+   line — graph text arrives over the wire now, not just from trusted
+   files. *)
+type accum = {
+  start_line : int;
+  mutable vl : (int * int * int) list;  (* line, vertex, label *)
+  mutable es : (int * int * int) list;  (* line, u, v *)
+}
+
+let fail_at line fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "Io: line %d: %s" line s)) fmt
 
 let finish acc =
   let vl = List.rev acc.vl in
   let n = List.length vl in
   let labels = Array.make n (-1) in
   List.iter
-    (fun (v, l) ->
-      if v < 0 || v >= n then failwith "Io: vertex ids must be dense 0..n-1";
+    (fun (line, v, l) ->
+      if v < 0 || v >= n then
+        fail_at line "vertex id %d outside the dense range 0..%d" v (n - 1);
+      if l < 0 then fail_at line "negative label %d" l;
+      if labels.(v) >= 0 then fail_at line "duplicate vertex id %d" v;
       labels.(v) <- l)
     vl;
-  if Array.exists (fun l -> l < 0) labels then
-    failwith "Io: duplicate or missing vertex id";
-  Graph.of_edges ~labels (List.rev acc.es)
+  (* Every id in range and none duplicated means all of 0..n-1 are present,
+     so no separate missing-id check is needed. *)
+  let es =
+    List.rev_map
+      (fun (line, u, v) ->
+        if u < 0 || u >= n then
+          fail_at line "edge endpoint %d is not a declared vertex" u;
+        if v < 0 || v >= n then
+          fail_at line "edge endpoint %d is not a declared vertex" v;
+        if u = v then fail_at line "self-loop on vertex %d" u;
+        (u, v))
+      acc.es
+  in
+  Graph.of_edges ~labels es
 
 let parse_lines lines =
   let graphs = ref [] in
   let acc = ref None in
-  let get_acc () =
+  let get_acc line =
     match !acc with
     | Some a -> a
     | None ->
-      let a = { vl = []; es = [] } in
+      let a = { start_line = line; vl = []; es = [] } in
       acc := Some a;
       a
   in
@@ -55,31 +80,44 @@ let parse_lines lines =
     | None -> ()
   in
   List.iteri
-    (fun lineno line ->
+    (fun i line ->
+      let lineno = i + 1 in
+      (* Tolerate CRLF line endings and stray trailing whitespace: strip a
+         trailing '\r' explicitly, treat tabs as separators, and let
+         [String.trim] drop the rest. *)
+      let line =
+        let len = String.length line in
+        if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+        else line
+      in
       let line =
         match String.index_opt line '#' with
         | Some i -> String.sub line 0 i
         | None -> line
       in
       let words =
-        String.split_on_char ' ' (String.trim line)
+        String.split_on_char ' '
+          (String.trim (String.map (fun c -> if c = '\t' then ' ' else c) line))
         |> List.filter (fun w -> w <> "")
       in
-      let fail msg = failwith (Printf.sprintf "Io: line %d: %s" (lineno + 1) msg) in
-      let int w = match int_of_string_opt w with
+      let int w =
+        match int_of_string_opt w with
         | Some i -> i
-        | None -> fail (Printf.sprintf "bad integer %S" w)
+        | None -> fail_at lineno "bad integer %S" w
       in
       match words with
       | [] -> ()
       | "t" :: _ -> flush ()
       | [ "v"; v; l ] ->
-        let a = get_acc () in
-        a.vl <- (int v, int l) :: a.vl
+        let a = get_acc lineno in
+        a.vl <- (lineno, int v, int l) :: a.vl
       | [ "e"; u; v ] ->
-        let a = get_acc () in
-        a.es <- (int u, int v) :: a.es
-      | w :: _ -> fail (Printf.sprintf "unknown directive %S" w))
+        let a = get_acc lineno in
+        a.es <- (lineno, int u, int v) :: a.es
+      | "v" :: _ ->
+        fail_at lineno "malformed vertex line (expected: v <id> <label>)"
+      | "e" :: _ -> fail_at lineno "malformed edge line (expected: e <u> <v>)"
+      | w :: _ -> fail_at lineno "unknown directive %S" w)
     lines;
   flush ();
   List.rev !graphs

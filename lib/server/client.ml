@@ -1,0 +1,80 @@
+module Codec = Spm_store.Codec
+
+type t = {
+  fd : Unix.file_descr;
+  mutable meta : (bool * float) option;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+     Protocol.client_handshake fd
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd; meta = None; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let call t req =
+  Protocol.write_frame t.fd (Protocol.encode_request req);
+  match Protocol.read_frame t.fd with
+  | None -> raise (Codec.Corrupt "server closed the connection before replying")
+  | Some frame ->
+    let resp = Protocol.decode_response frame in
+    t.meta <- Some (resp.Protocol.cache_hit, resp.Protocol.seconds);
+    resp
+
+let with_connection ?host ~port f =
+  let t = connect ?host ~port () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let last_meta t = t.meta
+
+exception Server_error of string
+
+let expect_payload t req =
+  match (call t req).Protocol.payload with
+  | Protocol.Error msg -> raise (Server_error msg)
+  | p -> p
+
+let protocol_violation what =
+  raise (Codec.Corrupt ("unexpected response payload to " ^ what))
+
+let ping t =
+  match expect_payload t Protocol.Ping with
+  | Protocol.Pong -> ()
+  | _ -> protocol_violation "Ping"
+
+let load_store t path =
+  match expect_payload t (Protocol.Load_store path) with
+  | Protocol.Loaded n -> n
+  | _ -> protocol_violation "Load_store"
+
+let patterns_of what = function
+  | Protocol.Patterns ms -> ms
+  | _ -> protocol_violation what
+
+let mine t params = patterns_of "Mine" (expect_payload t (Protocol.Mine params))
+
+let lookup t params =
+  patterns_of "Lookup" (expect_payload t (Protocol.Lookup params))
+
+let contains t g =
+  patterns_of "Contains" (expect_payload t (Protocol.Contains g))
+
+let stats t =
+  match expect_payload t Protocol.Stats with
+  | Protocol.Stats_reply s -> s
+  | _ -> protocol_violation "Stats"
+
+let shutdown t =
+  match expect_payload t Protocol.Shutdown with
+  | Protocol.Bye -> ()
+  | _ -> protocol_violation "Shutdown"

@@ -1,0 +1,46 @@
+(** Blocking client for the SkinnyServe protocol — the [skinnymine query]
+    subcommand, the end-to-end tests, and the serving benchmark all go
+    through this. One request in flight per connection. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP connect + protocol handshake.
+    @raise Unix.Unix_error on connection failure.
+    @raise Spm_store.Codec.Corrupt if the peer is not a SkinnyServe server. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.request -> Protocol.response
+(** One request/response round trip.
+    @raise Spm_store.Codec.Corrupt on protocol violations (including EOF
+    before the response arrives). *)
+
+val with_connection :
+  ?host:string -> port:int -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)
+
+(** {1 Conveniences} — one call each, failing loudly on [Error] replies. *)
+
+exception Server_error of string
+(** An [Error] payload from the server, raised by the typed wrappers. *)
+
+val ping : t -> unit
+
+val load_store : t -> string -> int
+(** Pattern count of the store the server loaded. *)
+
+val mine : t -> Protocol.mine_params -> Spm_core.Skinny_mine.mined list
+
+val lookup : t -> Protocol.lookup_params -> Spm_core.Skinny_mine.mined list
+
+val contains : t -> Spm_graph.Graph.t -> Spm_core.Skinny_mine.mined list
+
+val stats : t -> Protocol.server_stats
+
+val shutdown : t -> unit
+
+val last_meta : t -> (bool * float) option
+(** [(cache_hit, server_seconds)] of the most recent response on this
+    connection — the per-request observability hook used by the benchmark
+    and the CLI. *)

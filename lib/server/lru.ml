@@ -1,0 +1,74 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* toward most-recently-used *)
+  mutable next : ('k, 'v) node option;  (* toward least-recently-used *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  let already_head = match t.head with Some h -> h == n | None -> false in
+  if not already_head then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+    promote t n;
+    Some n.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    n.value <- v;
+    promote t n
+  | None ->
+    if length t >= t.capacity then evict_lru t;
+    let n = { key = k; value = v; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.replace t.table k n
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

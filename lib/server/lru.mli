@@ -1,0 +1,23 @@
+(** A fixed-capacity LRU cache (hash table + intrusive doubly-linked recency
+    list; O(1) find/add/evict). Not thread-safe — the server guards it with
+    its own lock. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes the entry to most-recently-used on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** No promotion. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite; evicts the least-recently-used entry when full. *)
+
+val clear : ('k, 'v) t -> unit

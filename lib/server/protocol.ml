@@ -1,0 +1,237 @@
+module Codec = Spm_store.Codec
+module Store = Spm_store.Store
+
+let handshake = "SKNYSRV1"
+let max_frame = 64 * 1024 * 1024
+let default_port = 7707
+
+type mine_params = {
+  l : int;
+  delta : int;
+  sigma : int;
+  closed_growth : bool;
+}
+
+type lookup_params = {
+  min_support : int option;
+  max_support : int option;
+  length : int option;
+  labels : Spm_graph.Label.t list option;
+}
+
+type request =
+  | Ping
+  | Load_store of string
+  | Mine of mine_params
+  | Lookup of lookup_params
+  | Contains of Spm_graph.Graph.t
+  | Stats
+  | Shutdown
+
+type server_stats = {
+  requests : int;
+  cache_hits : int;
+  errors : int;
+  store_patterns : int;
+  uptime_seconds : float;
+  service_seconds : float;
+}
+
+type payload =
+  | Pong
+  | Loaded of int
+  | Patterns of Spm_core.Skinny_mine.mined list
+  | Stats_reply of server_stats
+  | Bye
+  | Error of string
+
+type response = {
+  cache_hit : bool;
+  seconds : float;
+  payload : payload;
+}
+
+let cacheable = function
+  | Mine _ | Lookup _ | Contains _ -> true
+  | Ping | Load_store _ | Stats | Shutdown -> false
+
+(* --- request codec --- *)
+
+let encode_request req =
+  let w = Codec.W.create () in
+  (match req with
+  | Ping -> Codec.W.byte w 0
+  | Load_store path ->
+    Codec.W.byte w 1;
+    Codec.W.string w path
+  | Mine { l; delta; sigma; closed_growth } ->
+    Codec.W.byte w 2;
+    Codec.W.uint w l;
+    Codec.W.uint w delta;
+    Codec.W.uint w sigma;
+    Codec.W.bool w closed_growth
+  | Lookup { min_support; max_support; length; labels } ->
+    Codec.W.byte w 3;
+    Codec.W.option w Codec.W.uint min_support;
+    Codec.W.option w Codec.W.uint max_support;
+    Codec.W.option w Codec.W.uint length;
+    Codec.W.option w (fun w ls -> Codec.W.list w Codec.W.uint ls) labels
+  | Contains g ->
+    Codec.W.byte w 4;
+    Store.write_graph w g
+  | Stats -> Codec.W.byte w 5
+  | Shutdown -> Codec.W.byte w 6);
+  Codec.W.contents w
+
+let decode_request s =
+  let r = Codec.R.of_string s in
+  match Codec.R.byte r with
+  | 0 -> Ping
+  | 1 -> Load_store (Codec.R.string r)
+  | 2 ->
+    let l = Codec.R.uint r in
+    let delta = Codec.R.uint r in
+    let sigma = Codec.R.uint r in
+    let closed_growth = Codec.R.bool r in
+    Mine { l; delta; sigma; closed_growth }
+  | 3 ->
+    let min_support = Codec.R.option r Codec.R.uint in
+    let max_support = Codec.R.option r Codec.R.uint in
+    let length = Codec.R.option r Codec.R.uint in
+    let labels = Codec.R.option r (fun r -> Codec.R.list r Codec.R.uint) in
+    Lookup { min_support; max_support; length; labels }
+  | 4 -> Contains (Store.read_graph r)
+  | 5 -> Stats
+  | 6 -> Shutdown
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
+
+(* --- response codec --- *)
+
+let encode_payload w = function
+  | Pong -> Codec.W.byte w 0
+  | Loaded n ->
+    Codec.W.byte w 1;
+    Codec.W.uint w n
+  | Patterns ms ->
+    Codec.W.byte w 2;
+    Codec.W.list w Store.write_mined ms
+  | Stats_reply s ->
+    Codec.W.byte w 3;
+    Codec.W.uint w s.requests;
+    Codec.W.uint w s.cache_hits;
+    Codec.W.uint w s.errors;
+    Codec.W.uint w s.store_patterns;
+    Codec.W.float w s.uptime_seconds;
+    Codec.W.float w s.service_seconds
+  | Bye -> Codec.W.byte w 4
+  | Error msg ->
+    Codec.W.byte w 5;
+    Codec.W.string w msg
+
+let decode_payload r =
+  match Codec.R.byte r with
+  | 0 -> Pong
+  | 1 -> Loaded (Codec.R.uint r)
+  | 2 -> Patterns (Codec.R.list r Store.read_mined)
+  | 3 ->
+    let requests = Codec.R.uint r in
+    let cache_hits = Codec.R.uint r in
+    let errors = Codec.R.uint r in
+    let store_patterns = Codec.R.uint r in
+    let uptime_seconds = Codec.R.float r in
+    let service_seconds = Codec.R.float r in
+    Stats_reply
+      { requests; cache_hits; errors; store_patterns; uptime_seconds;
+        service_seconds }
+  | 4 -> Bye
+  | 5 -> Error (Codec.R.string r)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown payload tag %d" t))
+
+let encode_response resp =
+  let w = Codec.W.create () in
+  Codec.W.bool w resp.cache_hit;
+  Codec.W.float w resp.seconds;
+  encode_payload w resp.payload;
+  Codec.W.contents w
+
+let decode_response s =
+  let r = Codec.R.of_string s in
+  let cache_hit = Codec.R.bool r in
+  let seconds = Codec.R.float r in
+  let payload = decode_payload r in
+  { cache_hit; seconds; payload }
+
+(* --- framing --- *)
+
+let really_write fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Some (Bytes.unsafe_to_string b)
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 ->
+        if off = 0 then None
+        else
+          raise
+            (Codec.Corrupt
+               (Printf.sprintf "connection closed mid-frame (%d of %d bytes)" off n))
+      | k -> go (off + k)
+  in
+  go 0
+
+let accept_handshake fd =
+  match really_read fd (String.length handshake) with
+  | Some got when String.equal got handshake ->
+    really_write fd handshake;
+    true
+  | Some _ | None -> false
+  | exception Codec.Corrupt _ -> false
+
+let client_handshake fd =
+  really_write fd handshake;
+  match really_read fd (String.length handshake) with
+  | Some got when String.equal got handshake -> ()
+  | Some got -> raise (Codec.Corrupt (Printf.sprintf "bad handshake echo %S" got))
+  | None -> raise (Codec.Corrupt "server closed the connection during handshake")
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    raise (Codec.Corrupt (Printf.sprintf "frame too large to send: %d bytes" len));
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((len lsr 24) land 0xFF);
+  Bytes.set_uint8 hdr 1 ((len lsr 16) land 0xFF);
+  Bytes.set_uint8 hdr 2 ((len lsr 8) land 0xFF);
+  Bytes.set_uint8 hdr 3 (len land 0xFF);
+  really_write fd (Bytes.unsafe_to_string hdr);
+  really_write fd payload
+
+let read_frame fd =
+  match really_read fd 4 with
+  | None -> None
+  | Some hdr ->
+    let len =
+      (Char.code hdr.[0] lsl 24)
+      lor (Char.code hdr.[1] lsl 16)
+      lor (Char.code hdr.[2] lsl 8)
+      lor Char.code hdr.[3]
+    in
+    if len > max_frame then
+      raise
+        (Codec.Corrupt
+           (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
+              max_frame));
+    (match really_read fd len with
+    | Some payload -> Some payload
+    | None ->
+      raise (Codec.Corrupt "connection closed between frame header and payload"))

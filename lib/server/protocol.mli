@@ -1,0 +1,108 @@
+(** The SkinnyServe wire protocol: length-prefixed binary frames over TCP.
+
+    Connection: after connect, the client sends the 8-byte handshake
+    {!handshake} and the server echoes it; a mismatch (old client, stray
+    scanner) closes the connection. Then each request is one frame and earns
+    exactly one response frame.
+
+    Frame: 4-byte big-endian payload length, then the payload — a
+    {!Spm_store.Codec} encoding of a {!request} or {!response}. Payloads
+    above {!max_frame} are rejected without allocation.
+
+    Responses carry a small envelope (cache hit flag, server-side service
+    seconds) so clients and benchmarks can observe per-request latency and
+    LRU effectiveness without a separate stats round trip. *)
+
+val handshake : string
+(** ["SKNYSRV1"] — protocol version is the trailing digit. *)
+
+val max_frame : int
+(** Upper bound on accepted payload sizes (64 MiB). *)
+
+val default_port : int
+
+(** {1 Messages} *)
+
+type mine_params = {
+  l : int;
+  delta : int;
+  sigma : int;
+  closed_growth : bool;
+}
+
+type lookup_params = {
+  min_support : int option;
+  max_support : int option;
+  length : int option;
+  labels : Spm_graph.Label.t list option;  (** exact label multiset *)
+}
+
+type request =
+  | Ping
+  | Load_store of string
+      (** Server-side path of a {!Spm_store} pattern-store file. *)
+  | Mine of mine_params
+      (** Mine the loaded graph; answered from the resident store when the
+          parameters match it (no re-mining). *)
+  | Lookup of lookup_params  (** Filter the resident pattern set. *)
+  | Contains of Spm_graph.Graph.t
+      (** Which resident patterns embed in this submitted graph? *)
+  | Stats
+  | Shutdown
+
+type server_stats = {
+  requests : int;
+  cache_hits : int;
+  errors : int;
+  store_patterns : int;  (** resident pattern count *)
+  uptime_seconds : float;
+  service_seconds : float;  (** total time spent inside request handling *)
+}
+
+type payload =
+  | Pong
+  | Loaded of int  (** pattern count of the newly resident store *)
+  | Patterns of Spm_core.Skinny_mine.mined list
+  | Stats_reply of server_stats
+  | Bye
+  | Error of string
+
+type response = {
+  cache_hit : bool;
+  seconds : float;  (** server-side service time for this request *)
+  payload : payload;
+}
+
+(** {1 Codec} *)
+
+val encode_request : request -> string
+
+val decode_request : string -> request
+(** @raise Spm_store.Codec.Corrupt on malformed input. *)
+
+val encode_response : response -> string
+
+val decode_response : string -> response
+
+val cacheable : request -> bool
+(** Deterministic read-only requests ([Mine], [Lookup], [Contains]) whose
+    responses the server may serve from its LRU cache. *)
+
+(** {1 Handshake} *)
+
+val accept_handshake : Unix.file_descr -> bool
+(** Server side: read 8 bytes, compare with {!handshake}, echo it back on a
+    match. [false] (no echo) on mismatch or early EOF. *)
+
+val client_handshake : Unix.file_descr -> unit
+(** Client side: send {!handshake}, read the echo.
+    @raise Spm_store.Codec.Corrupt if the server does not echo it. *)
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+
+val read_frame : Unix.file_descr -> string option
+(** [None] on orderly EOF before the first length byte.
+    @raise Spm_store.Codec.Corrupt on truncation mid-frame or oversized
+    frames. *)

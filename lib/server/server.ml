@@ -1,0 +1,235 @@
+module Graph = Spm_graph.Graph
+module Skinny_mine = Spm_core.Skinny_mine
+module Store = Spm_store.Store
+module Codec = Spm_store.Codec
+module Pool = Spm_engine.Pool
+module Clock = Spm_engine.Clock
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  cache : (string, Protocol.payload) Lru.t;
+  mutable graph : Graph.t option;
+  mutable index : Sig_index.t;
+  mutable store : Store.pattern_store option;
+  mutable requests : int;
+  mutable cache_hits : int;
+  mutable errors : int;
+  mutable service_seconds : float;
+  started : float;
+  mutable stop : bool;
+  mutable listen_addr : Unix.sockaddr option;
+}
+
+let create ?(jobs = 1) ?(cache_capacity = 128) () =
+  {
+    jobs = max 1 jobs;
+    lock = Mutex.create ();
+    cache = Lru.create ~capacity:cache_capacity;
+    graph = None;
+    index = Sig_index.build [];
+    store = None;
+    requests = 0;
+    cache_hits = 0;
+    errors = 0;
+    service_seconds = 0.0;
+    started = Clock.now ();
+    stop = false;
+    listen_addr = None;
+  }
+
+let jobs t = t.jobs
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let install_store t s =
+  t.store <- Some s;
+  t.graph <- Some s.Store.graph;
+  t.index <- Sig_index.build s.Store.patterns;
+  Lru.clear t.cache
+
+let set_store t s = locked t (fun () -> install_store t s)
+
+let set_graph t g =
+  locked t (fun () ->
+      t.store <- None;
+      t.graph <- Some g;
+      t.index <- Sig_index.build [];
+      Lru.clear t.cache)
+
+let stopping t = t.stop
+
+let stats_unlocked t =
+  {
+    Protocol.requests = t.requests;
+    cache_hits = t.cache_hits;
+    errors = t.errors;
+    store_patterns = Sig_index.size t.index;
+    uptime_seconds = Clock.now () -. t.started;
+    service_seconds = t.service_seconds;
+  }
+
+let stats t = locked t (fun () -> stats_unlocked t)
+
+let with_jobs_pool jobs f =
+  if jobs <= 1 then f Pool.serial else Pool.with_pool ~jobs f
+
+(* Wake the accept loop after [Shutdown]: a throwaway connection to our own
+   listening address makes the blocked [accept] return, and the loop then
+   observes [t.stop]. *)
+let wake_listener t =
+  match t.listen_addr with
+  | None -> ()
+  | Some addr -> (
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ -> ( try Unix.close fd with _ -> ()))
+
+let run_request t req : Protocol.payload =
+  match (req : Protocol.request) with
+  | Ping -> Pong
+  | Load_store path ->
+    let s = Store.load path in
+    install_store t s;
+    Loaded (List.length s.Store.patterns)
+  | Mine { l; delta; sigma; closed_growth } -> (
+    let matches_store =
+      match t.store with
+      | Some s ->
+        if s.Store.l = l && s.Store.delta = delta && s.Store.sigma = sigma
+           && s.Store.closed_growth = closed_growth
+        then Some s.Store.patterns
+        else None
+      | None -> None
+    in
+    match matches_store with
+    | Some patterns -> Patterns patterns (* resident store: no re-mining *)
+    | None -> (
+      match t.graph with
+      | None -> Error "no graph loaded (send Load_store first)"
+      | Some g ->
+        let config =
+          { Skinny_mine.Config.default with closed_growth; jobs = t.jobs }
+        in
+        let r = Skinny_mine.mine ~config g ~l ~delta ~sigma in
+        Patterns r.Skinny_mine.patterns))
+  | Lookup { min_support; max_support; length; labels } ->
+    Patterns
+      (Sig_index.lookup ?min_support ?max_support ?length ?labels t.index)
+  | Contains g ->
+    Patterns
+      (with_jobs_pool t.jobs (fun pool ->
+           Sig_index.contained_in ~pool t.index g))
+  | Stats -> Stats_reply (stats_unlocked t)
+  | Shutdown ->
+    t.stop <- true;
+    wake_listener t;
+    Bye
+
+let handle t req : Protocol.response =
+  let t0 = Clock.now () in
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      let key =
+        if Protocol.cacheable req then Some (Protocol.encode_request req)
+        else None
+      in
+      let cached = Option.bind key (Lru.find t.cache) in
+      let cache_hit, payload =
+        match cached with
+        | Some payload ->
+          t.cache_hits <- t.cache_hits + 1;
+          (true, payload)
+        | None ->
+          let payload =
+            try run_request t req with
+            | Codec.Corrupt msg | Failure msg | Sys_error msg ->
+              t.errors <- t.errors + 1;
+              Protocol.Error msg
+            | Invalid_argument msg ->
+              t.errors <- t.errors + 1;
+              Protocol.Error ("invalid request: " ^ msg)
+            | Unix.Unix_error (e, fn, _) ->
+              t.errors <- t.errors + 1;
+              Protocol.Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+          in
+          (match (key, payload) with
+          | Some k, (Pong | Loaded _ | Patterns _ | Stats_reply _ | Bye) ->
+            Lru.add t.cache k payload
+          | _, Protocol.Error _ | None, _ -> ());
+          (false, payload)
+      in
+      let seconds = Clock.now () -. t0 in
+      t.service_seconds <- t.service_seconds +. seconds;
+      { Protocol.cache_hit; seconds; payload })
+
+(* --- the socket surface --- *)
+
+let listen ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  (try Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.listen fd 64;
+  let actual_port =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, actual_port)
+
+let handle_connection t conn =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      if Protocol.accept_handshake conn then
+        let rec loop () =
+          match Protocol.read_frame conn with
+          | None -> ()
+          | Some frame ->
+            let req =
+              try Ok (Protocol.decode_request frame)
+              with Codec.Corrupt msg -> Error msg
+            in
+            (match req with
+            | Error msg ->
+              (* Undecodable request: report and drop the connection — the
+                 stream offset can no longer be trusted. *)
+              Protocol.write_frame conn
+                (Protocol.encode_response
+                   { cache_hit = false; seconds = 0.0; payload = Error msg })
+            | Ok req ->
+              let resp = handle t req in
+              Protocol.write_frame conn (Protocol.encode_response resp);
+              (* A served [Shutdown] ends this connection too. *)
+              if req <> Protocol.Shutdown then loop ())
+        in
+        try loop () with
+        | Codec.Corrupt _ -> ()
+        | Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ())
+
+let serve t fd =
+  t.listen_addr <- Some (Unix.getsockname fd);
+  let threads = ref [] in
+  let rec accept_loop () =
+    if not t.stop then
+      match Unix.accept fd with
+      | conn, _ ->
+        if t.stop then (try Unix.close conn with Unix.Unix_error _ -> ())
+        else
+          threads := Thread.create (fun () -> handle_connection t conn) () :: !threads;
+        accept_loop ()
+      | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ when t.stop -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      t.listen_addr <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      List.iter Thread.join !threads)
+    accept_loop

@@ -1,0 +1,51 @@
+(** SkinnyServe: the TCP query service over mined pattern stores.
+
+    One server owns a resident pattern store (graph + mined set + the
+    {!Sig_index} planner index over it), an LRU response cache keyed by the
+    encoded request bytes, and running counters. The accept loop handles
+    each connection on its own thread; request dispatch is serialized by an
+    internal lock (mining already fans out across domains via
+    {!Spm_engine.Pool}, so cross-request parallelism would oversubscribe the
+    cores — concurrency buys connection pipelining, not parallel mining).
+
+    {!handle} is the full dispatch path minus the socket, so tests and
+    benchmarks can drive the server in-process and get byte-identical
+    behaviour to the wire. *)
+
+type t
+
+val create : ?jobs:int -> ?cache_capacity:int -> unit -> t
+(** [jobs] (default 1) is the domain-pool width used for mining and
+    containment requests; [cache_capacity] (default 128) bounds the LRU
+    response cache. *)
+
+val jobs : t -> int
+
+val set_store : t -> Spm_store.Store.pattern_store -> unit
+(** Install a pattern store as the resident set: its graph becomes the mine
+    target, its patterns the lookup/containment corpus. Clears the response
+    cache. *)
+
+val set_graph : t -> Spm_graph.Graph.t -> unit
+(** Install a bare data graph (mine requests only; empty resident set).
+    Clears the response cache. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Dispatch one request: LRU lookup for {!Protocol.cacheable} requests,
+    then the query planner ({!Sig_index}) or the miner. Never raises —
+    failures become [Error] payloads and count in [stats.errors]. *)
+
+val stats : t -> Protocol.server_stats
+
+val stopping : t -> bool
+(** True once a [Shutdown] request has been handled. *)
+
+val listen : ?host:string -> port:int -> unit -> Unix.file_descr * int
+(** Bound, listening socket and its actual port (pass [port:0] for an
+    ephemeral port — how the tests and benchmarks avoid collisions). *)
+
+val serve : t -> Unix.file_descr -> unit
+(** Accept loop: one thread per connection, each running
+    handshake/read/dispatch/reply until EOF. Returns after a [Shutdown]
+    request, once every connection thread has finished; the listening
+    socket is closed on exit. *)

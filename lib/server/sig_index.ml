@@ -1,0 +1,122 @@
+module Graph = Spm_graph.Graph
+module Skinny_mine = Spm_core.Skinny_mine
+module Path_pattern = Spm_core.Path_pattern
+module Pool = Spm_engine.Pool
+
+type entry = {
+  mined : Skinny_mine.mined;
+  label_counts : (int * int) array;  (* sorted (label, count) multiset *)
+  n_vertices : int;
+  n_edges : int;
+  diam_len : int;
+}
+
+type t = {
+  entries : entry array;
+  by_signature : (string, int list) Hashtbl.t;  (* ascending entry indices *)
+  by_diameter : (int, int list) Hashtbl.t;
+}
+
+let label_counts_of g =
+  let tbl = Hashtbl.create 16 in
+  Graph.iter_vertices
+    (fun v ->
+      let l = Graph.label g v in
+      Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    g;
+  let a = Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl [] |> Array.of_list in
+  Array.sort compare a;
+  a
+
+let signature_of_counts counts =
+  String.concat ","
+    (Array.to_list (Array.map (fun (l, c) -> Printf.sprintf "%d:%d" l c) counts))
+
+let signature p = signature_of_counts (label_counts_of p)
+
+let push tbl key idx =
+  Hashtbl.replace tbl key (idx :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+
+let build mined_list =
+  let entries =
+    Array.of_list
+      (List.map
+         (fun (m : Skinny_mine.mined) ->
+           {
+             mined = m;
+             label_counts = label_counts_of m.pattern;
+             n_vertices = Graph.n m.pattern;
+             n_edges = Graph.m m.pattern;
+             diam_len = Path_pattern.length m.diameter_labels;
+           })
+         mined_list)
+  in
+  let by_signature = Hashtbl.create (Array.length entries) in
+  let by_diameter = Hashtbl.create 16 in
+  (* Build in reverse so each bucket ends up in ascending index order. *)
+  for i = Array.length entries - 1 downto 0 do
+    push by_signature (signature_of_counts entries.(i).label_counts) i;
+    push by_diameter entries.(i).diam_len i
+  done;
+  { entries; by_signature; by_diameter }
+
+let size t = Array.length t.entries
+let patterns t = Array.to_list (Array.map (fun e -> e.mined) t.entries)
+
+let bucket tbl key = Option.value ~default:[] (Hashtbl.find_opt tbl key)
+
+let normalize_multiset labels =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    labels;
+  let a = Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl [] |> Array.of_list in
+  Array.sort compare a;
+  a
+
+let lookup ?min_support ?max_support ?length ?labels t =
+  (* Start from the narrowest indexed access path, then filter. *)
+  let indices =
+    match (labels, length) with
+    | Some ls, _ ->
+      bucket t.by_signature (signature_of_counts (normalize_multiset ls))
+    | None, Some l -> bucket t.by_diameter l
+    | None, None -> List.init (Array.length t.entries) Fun.id
+  in
+  List.filter_map
+    (fun i ->
+      let e = t.entries.(i) in
+      let ok =
+        (match length with Some l -> e.diam_len = l | None -> true)
+        && (match min_support with
+           | Some s -> e.mined.support >= s
+           | None -> true)
+        && (match max_support with
+           | Some s -> e.mined.support <= s
+           | None -> true)
+      in
+      if ok then Some e.mined else None)
+    indices
+
+let dominated counts g =
+  Array.for_all (fun (l, c) -> Graph.label_freq g l >= c) counts
+
+let containment_candidates t g =
+  let n = Graph.n g and m = Graph.m g in
+  Array.to_list t.entries
+  |> List.filter_map (fun e ->
+         if e.n_vertices <= n && e.n_edges <= m && dominated e.label_counts g
+         then Some e.mined
+         else None)
+
+let contained_in ?(pool = Pool.serial) t g =
+  let candidates = containment_candidates t g in
+  let hits =
+    Pool.map_list pool
+      (fun (m : Skinny_mine.mined) ->
+        if Spm_pattern.Subiso.exists ~pattern:m.pattern ~target:g then Some m
+        else None)
+      candidates
+  in
+  List.filter_map Fun.id hits

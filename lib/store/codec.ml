@@ -1,0 +1,208 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+module W = struct
+  type t = Buffer.t
+
+  let create ?(size = 256) () = Buffer.create size
+  let byte w b = Buffer.add_char w (Char.chr (b land 0xFF))
+
+  let uint w n =
+    if n < 0 then invalid_arg "Codec.W.uint: negative";
+    let rec go n =
+      if n < 0x80 then byte w n
+      else begin
+        byte w (0x80 lor (n land 0x7F));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  (* Two's-complement LEB128: the raw 63-bit pattern, 7 bits per byte via
+     logical shifts. Non-negative small values (the common case: vertex ids,
+     labels, supports) stay 1-2 bytes; negatives take the full 9 bytes, and
+     the whole [int] range round-trips. *)
+  let int w n =
+    let rec go n =
+      if n land lnot 0x7F = 0 then byte w n
+      else begin
+        byte w (0x80 lor (n land 0x7F));
+        go (n lsr 7)
+      end
+    in
+    go n
+  let bool w b = byte w (if b then 1 else 0)
+
+  let float w f =
+    let bits = Int64.bits_of_float f in
+    for i = 0 to 7 do
+      byte w (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+    done
+
+  let string w s =
+    uint w (String.length s);
+    Buffer.add_string w s
+
+  let raw = Buffer.add_string
+
+  let int_array w a =
+    uint w (Array.length a);
+    Array.iter (int w) a
+
+  let list w f xs =
+    uint w (List.length xs);
+    List.iter (f w) xs
+
+  let option w f = function
+    | None -> bool w false
+    | Some x ->
+      bool w true;
+      f w x
+
+  let length = Buffer.length
+  let contents = Buffer.contents
+
+  let add_crc w (c : int32) =
+    for i = 0 to 3 do
+      byte w (Int32.to_int (Int32.shift_right_logical c (8 * i)) land 0xFF)
+    done
+
+  let section w ~tag f =
+    let payload = create () in
+    f payload;
+    let payload = contents payload in
+    Buffer.add_char w tag;
+    uint w (String.length payload);
+    add_crc w (crc32 payload);
+    Buffer.add_string w payload
+end
+
+module R = struct
+  type t = { src : string; stop : int; mutable pos : int }
+
+  let of_string ?(pos = 0) ?len src =
+    let stop =
+      match len with Some l -> pos + l | None -> String.length src
+    in
+    if pos < 0 || stop > String.length src then
+      invalid_arg "Codec.R.of_string: bad bounds";
+    { src; stop; pos }
+
+  let pos r = r.pos
+  let left r = r.stop - r.pos
+
+  let byte r =
+    if r.pos >= r.stop then corrupt "truncated at byte %d" r.pos;
+    let b = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    b
+
+  let uint r =
+    let rec go shift acc =
+      if shift > Sys.int_size - 1 then corrupt "varint overflow at byte %d" r.pos;
+      let b = byte r in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  (* Same accumulation as [uint], but the top group may land in the sign
+     bit, reconstructing negatives. *)
+  let int r =
+    let rec go shift acc =
+      if shift >= Sys.int_size then corrupt "varint overflow at byte %d" r.pos;
+      let b = byte r in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let bool r =
+    match byte r with
+    | 0 -> false
+    | 1 -> true
+    | b -> corrupt "bad boolean %d at byte %d" b (r.pos - 1)
+
+  let float r =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let raw r n =
+    if n < 0 || left r < n then corrupt "truncated string (%d bytes) at byte %d" n r.pos;
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let string r = raw r (uint r)
+
+  let int_array r =
+    let n = uint r in
+    if n > left r then corrupt "array length %d exceeds input at byte %d" n r.pos;
+    Array.init n (fun _ -> int r)
+
+  let list r f =
+    let n = uint r in
+    if n > left r then corrupt "list length %d exceeds input at byte %d" n r.pos;
+    List.init n (fun _ -> f r)
+
+  let option r f = if bool r then Some (f r) else None
+
+  let expect_magic r magic =
+    let here = r.pos in
+    let got = raw r (String.length magic) in
+    if not (String.equal got magic) then
+      corrupt "bad magic at byte %d: expected %S, got %S" here magic got
+
+  let read_crc r =
+    let c = ref 0l in
+    for i = 0 to 3 do
+      c := Int32.logor !c (Int32.shift_left (Int32.of_int (byte r)) (8 * i))
+    done;
+    !c
+
+  let section r =
+    if left r = 0 then None
+    else begin
+      let tag = Char.chr (byte r) in
+      let len = uint r in
+      let expected = read_crc r in
+      if left r < len then
+        corrupt "truncated section %C: %d bytes declared, %d left" tag len (left r);
+      let start = r.pos in
+      let actual = crc32 ~pos:start ~len r.src in
+      if actual <> expected then
+        corrupt "checksum mismatch in section %C (expected %08lx, got %08lx)" tag
+          expected actual;
+      r.pos <- start + len;
+      Some (tag, of_string ~pos:start ~len r.src)
+    end
+end

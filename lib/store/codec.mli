@@ -1,0 +1,99 @@
+(** Low-level binary codec primitives for the pattern store and the wire
+    protocol: LEB128 varints (two's-complement groups for signed values),
+    length-prefixed strings and arrays, IEEE-754 floats, and CRC-32 section
+    framing.
+
+    The encoding is deterministic: the same value always produces the same
+    bytes, which is what makes store files byte-stable across
+    encode/decode/encode round trips (and cacheable by content). *)
+
+exception Corrupt of string
+(** Raised by every reader on malformed input: truncation, varint overflow,
+    checksum mismatch, bad magic. The message says what and where. *)
+
+val crc32 : ?pos:int -> ?len:int -> string -> int32
+(** Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a substring. *)
+
+(** Append-only encoder over a growing buffer. *)
+module W : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+
+  val byte : t -> int -> unit
+  (** Low 8 bits of the argument. *)
+
+  val uint : t -> int -> unit
+  (** Unsigned LEB128. @raise Invalid_argument on negative input. *)
+
+  val int : t -> int -> unit
+  (** LEB128 of the two's-complement bit pattern; full [int] range,
+      compact for small non-negative values. *)
+
+  val bool : t -> bool -> unit
+
+  val float : t -> float -> unit
+  (** 8 bytes, IEEE-754 little-endian. *)
+
+  val string : t -> string -> unit
+  (** [uint] length prefix + raw bytes. *)
+
+  val raw : t -> string -> unit
+  (** Bytes verbatim, no length prefix (magic headers, pre-encoded
+      payloads). *)
+
+  val int_array : t -> int array -> unit
+  (** [uint] length prefix + each element as {!int}. *)
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** [uint] length prefix + each element via the given writer. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val length : t -> int
+
+  val contents : t -> string
+
+  val section : t -> tag:char -> (t -> unit) -> unit
+  (** [section w ~tag f] runs [f] on a fresh writer and appends one framed
+      section: tag byte, payload length ({!uint}), CRC-32 of the payload
+      (4 bytes little-endian), payload. *)
+end
+
+(** Cursor-based decoder; every read moves the cursor and raises {!Corrupt}
+    on truncated or malformed input. *)
+module R : sig
+  type t
+
+  val of_string : ?pos:int -> ?len:int -> string -> t
+
+  val byte : t -> int
+
+  val uint : t -> int
+
+  val int : t -> int
+
+  val bool : t -> bool
+
+  val float : t -> float
+
+  val string : t -> string
+
+  val int_array : t -> int array
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val option : t -> (t -> 'a) -> 'a option
+
+  val pos : t -> int
+
+  val left : t -> int
+  (** Bytes remaining. *)
+
+  val expect_magic : t -> string -> unit
+  (** Consume and compare a fixed byte string. @raise Corrupt on mismatch. *)
+
+  val section : t -> (char * t) option
+  (** Next framed section as [(tag, payload reader)], verifying the CRC;
+      [None] at end of input. The cursor advances past the section. *)
+end

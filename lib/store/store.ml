@@ -1,0 +1,182 @@
+module Graph = Spm_graph.Graph
+module Skinny_mine = Spm_core.Skinny_mine
+module Diam_mine = Spm_core.Diam_mine
+module Diameter_index = Spm_core.Diameter_index
+
+let magic = "SPMSTORE"
+let format_version = 1
+let kind_patterns = 1
+let kind_index = 2
+
+(* --- value codecs --- *)
+
+let write_graph w g =
+  Codec.W.uint w (Graph.n g);
+  Array.iter (Codec.W.uint w) (Graph.labels g);
+  let edges = Graph.edges g in
+  Codec.W.uint w (List.length edges);
+  (* Graph.edges is sorted with u < v, so the byte stream is canonical per
+     graph — the basis of the byte-stability guarantee. *)
+  List.iter
+    (fun (u, v) ->
+      Codec.W.uint w u;
+      Codec.W.uint w v)
+    edges
+
+let read_graph r =
+  let n = Codec.R.uint r in
+  if n > Codec.R.left r then
+    raise (Codec.Corrupt (Printf.sprintf "graph vertex count %d exceeds input" n));
+  let labels = Array.init n (fun _ -> Codec.R.uint r) in
+  let m = Codec.R.uint r in
+  let edges = List.init m (fun _ ->
+      let u = Codec.R.uint r in
+      let v = Codec.R.uint r in
+      (u, v))
+  in
+  match Graph.of_edges ~labels edges with
+  | g -> g
+  | exception Invalid_argument msg ->
+    raise (Codec.Corrupt ("invalid graph in store: " ^ msg))
+
+let write_mined w (m : Skinny_mine.mined) =
+  write_graph w m.pattern;
+  Codec.W.uint w m.support;
+  Codec.W.int_array w m.levels;
+  Codec.W.int_array w m.diameter_labels
+
+let read_mined r : Skinny_mine.mined =
+  let pattern = read_graph r in
+  let support = Codec.R.uint r in
+  let levels = Codec.R.int_array r in
+  let diameter_labels = Codec.R.int_array r in
+  { pattern; support; levels; diameter_labels }
+
+let write_entry w (e : Diam_mine.entry) =
+  Codec.W.int_array w e.labels;
+  Codec.W.list w Codec.W.int_array e.embeddings
+
+let read_entry r : Diam_mine.entry =
+  let labels = Codec.R.int_array r in
+  let embeddings = Codec.R.list r Codec.R.int_array in
+  { labels; embeddings }
+
+(* --- file framing --- *)
+
+let header w ~kind =
+  Codec.W.raw w magic;
+  Codec.W.uint w format_version;
+  Codec.W.uint w kind
+
+let open_reader s ~kind =
+  let r = Codec.R.of_string s in
+  Codec.R.expect_magic r magic;
+  let v = Codec.R.uint r in
+  if v <> format_version then
+    raise (Codec.Corrupt (Printf.sprintf "unsupported store version %d (this build reads %d)" v format_version));
+  let k = Codec.R.uint r in
+  if k <> kind then
+    raise (Codec.Corrupt (Printf.sprintf "wrong store kind %d (expected %d)" k kind));
+  r
+
+let sections r =
+  let rec go acc =
+    match Codec.R.section r with
+    | None -> List.rev acc
+    | Some (tag, payload) -> go ((tag, payload) :: acc)
+  in
+  go []
+
+let find_section tag secs =
+  match List.assoc_opt tag secs with
+  | Some payload -> payload
+  | None ->
+    raise (Codec.Corrupt (Printf.sprintf "missing section %C" tag))
+
+(* --- pattern stores --- *)
+
+type pattern_store = {
+  graph : Graph.t;
+  l : int;
+  delta : int;
+  sigma : int;
+  closed_growth : bool;
+  patterns : Skinny_mine.mined list;
+}
+
+let of_result ~graph ~l ~delta ~sigma ~closed_growth (r : Skinny_mine.result) =
+  { graph; l; delta; sigma; closed_growth; patterns = r.patterns }
+
+let encode s =
+  let w = Codec.W.create ~size:4096 () in
+  header w ~kind:kind_patterns;
+  Codec.W.section w ~tag:'G' (fun w -> write_graph w s.graph);
+  Codec.W.section w ~tag:'P' (fun w ->
+      Codec.W.uint w s.l;
+      Codec.W.uint w s.delta;
+      Codec.W.uint w s.sigma;
+      Codec.W.bool w s.closed_growth);
+  Codec.W.section w ~tag:'M' (fun w -> Codec.W.list w write_mined s.patterns);
+  Codec.W.contents w
+
+let decode s =
+  let r = open_reader s ~kind:kind_patterns in
+  let secs = sections r in
+  let graph = read_graph (find_section 'G' secs) in
+  let p = find_section 'P' secs in
+  let l = Codec.R.uint p in
+  let delta = Codec.R.uint p in
+  let sigma = Codec.R.uint p in
+  let closed_growth = Codec.R.bool p in
+  let patterns = Codec.R.list (find_section 'M' secs) read_mined in
+  { graph; l; delta; sigma; closed_growth; patterns }
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      In_channel.input_all ic)
+
+let save path s = write_file path (encode s)
+let load path = decode (read_file path)
+
+(* --- diameter-index snapshots --- *)
+
+let encode_index idx =
+  let snap = Diameter_index.snapshot idx in
+  let w = Codec.W.create ~size:4096 () in
+  header w ~kind:kind_index;
+  Codec.W.section w ~tag:'G' (fun w -> write_graph w (Diameter_index.graph idx));
+  Codec.W.section w ~tag:'I' (fun w ->
+      Codec.W.uint w snap.snap_sigma;
+      Codec.W.uint w snap.snap_l_max;
+      Codec.W.list w
+        (fun w (l, entries) ->
+          Codec.W.uint w l;
+          Codec.W.list w write_entry entries)
+        snap.lengths);
+  Codec.W.contents w
+
+let decode_index ?prune_intermediate ?jobs s =
+  let r = open_reader s ~kind:kind_index in
+  let secs = sections r in
+  let graph = read_graph (find_section 'G' secs) in
+  let i = find_section 'I' secs in
+  let snap_sigma = Codec.R.uint i in
+  let snap_l_max = Codec.R.uint i in
+  let lengths =
+    Codec.R.list i (fun r ->
+        let l = Codec.R.uint r in
+        let entries = Codec.R.list r read_entry in
+        (l, entries))
+  in
+  Diameter_index.of_snapshot ?prune_intermediate ?jobs graph
+    { snap_sigma; snap_l_max; lengths }
+
+let save_index path idx = write_file path (encode_index idx)
+let load_index ?prune_intermediate ?jobs path =
+  decode_index ?prune_intermediate ?jobs (read_file path)

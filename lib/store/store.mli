@@ -1,0 +1,81 @@
+(** The persistent pattern store: a versioned, checksummed binary format for
+    graphs, mined pattern sets, and Stage-I index snapshots, so mining work
+    survives the process that produced it.
+
+    File layout: an 8-byte magic ["SPMSTORE"], a format-version varint, a
+    kind varint (pattern store / index snapshot), then tagged sections each
+    carrying its own CRC-32 ({!Codec.W.section}). Readers reject bad magic,
+    unknown versions, and checksum mismatches with {!Codec.Corrupt}.
+
+    Encoding is deterministic ({!Codec}): [encode (decode (encode s))] is
+    byte-identical to [encode s], so stores can be compared and cached by
+    content. *)
+
+val format_version : int
+
+(** {1 Value codecs}
+
+    Composable writers/readers, shared with the wire protocol
+    ({!Spm_server.Protocol}). *)
+
+val write_graph : Codec.W.t -> Spm_graph.Graph.t -> unit
+
+val read_graph : Codec.R.t -> Spm_graph.Graph.t
+(** @raise Codec.Corrupt on malformed input. *)
+
+val write_mined : Codec.W.t -> Spm_core.Skinny_mine.mined -> unit
+
+val read_mined : Codec.R.t -> Spm_core.Skinny_mine.mined
+
+val write_entry : Codec.W.t -> Spm_core.Diam_mine.entry -> unit
+
+val read_entry : Codec.R.t -> Spm_core.Diam_mine.entry
+
+(** {1 Pattern stores} *)
+
+(** A mined result set together with everything needed to serve queries
+    against it: the data graph and the mining parameters. *)
+type pattern_store = {
+  graph : Spm_graph.Graph.t;
+  l : int;
+  delta : int;
+  sigma : int;
+  closed_growth : bool;
+  patterns : Spm_core.Skinny_mine.mined list;
+}
+
+val of_result :
+  graph:Spm_graph.Graph.t ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  closed_growth:bool ->
+  Spm_core.Skinny_mine.result ->
+  pattern_store
+
+val encode : pattern_store -> string
+
+val decode : string -> pattern_store
+(** @raise Codec.Corrupt on bad magic, unsupported version, wrong kind,
+    missing section, or checksum mismatch. *)
+
+val save : string -> pattern_store -> unit
+
+val load : string -> pattern_store
+(** @raise Codec.Corrupt as {!decode}; [Sys_error] on IO failure. *)
+
+(** {1 Diameter-index snapshots}
+
+    Persist Stage I: every frequent-path entry list the index has
+    materialized, so a restored index serves those lengths without
+    re-mining. *)
+
+val encode_index : Spm_core.Diameter_index.t -> string
+
+val decode_index :
+  ?prune_intermediate:bool -> ?jobs:int -> string -> Spm_core.Diameter_index.t
+
+val save_index : string -> Spm_core.Diameter_index.t -> unit
+
+val load_index :
+  ?prune_intermediate:bool -> ?jobs:int -> string -> Spm_core.Diameter_index.t

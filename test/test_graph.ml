@@ -214,6 +214,31 @@ let test_io_comments_and_errors () =
      Alcotest.fail "expected failure"
    with Failure _ -> ())
 
+(* Graph text arrives over the wire now: the parser must shrug off CRLF
+   endings, tabs and trailing whitespace, and name the 1-based offending
+   line when it does reject. *)
+let test_io_crlf_and_line_numbers () =
+  let g = Io.of_string "v 0 5\r\nv\t1 6  \r\ne 0 1 \r\n" in
+  check "crlf n" 2 (Graph.n g);
+  check "crlf m" 1 (Graph.m g);
+  check "crlf label" 6 (Graph.label g 1);
+  let expect_line line input =
+    match Io.of_string input with
+    | _ -> Alcotest.failf "expected failure on %S" input
+    | exception Failure msg ->
+      check_bool
+        (Printf.sprintf "%S names line %d (got %S)" input line msg)
+        true
+        (String.starts_with ~prefix:(Printf.sprintf "Io: line %d:" line) msg)
+  in
+  expect_line 2 "v 0 1\nv 0 2\ne 0 0\n";       (* duplicate vertex id *)
+  expect_line 2 "v 0 1\ne 0 5\n";              (* dangling edge endpoint *)
+  expect_line 2 "v 0 1\ne 0 0\n";              (* self-loop *)
+  expect_line 3 "v 0 1\nv 1 2\ne 0 x\n";       (* bad integer *)
+  expect_line 2 "v 0 1\nq 3\n";                (* unknown directive *)
+  expect_line 1 "v 0\n";                       (* malformed vertex line *)
+  expect_line 2 "v 0 1\ne 0 1 9\n"             (* malformed edge line *)
+
 let test_label_table () =
   let t = Label.Table.of_names [ "A"; "B" ] in
   check "A" 0 (Option.get (Label.Table.find t "A"));
@@ -468,6 +493,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "db roundtrip" `Quick test_io_db_roundtrip;
           Alcotest.test_case "comments and errors" `Quick test_io_comments_and_errors;
+          Alcotest.test_case "crlf and line numbers" `Quick
+            test_io_crlf_and_line_numbers;
         ] );
       ( "misc",
         [

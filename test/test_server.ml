@@ -1,0 +1,403 @@
+(* SkinnyServe: LRU unit behaviour, the query planner's pruning index,
+   protocol codec round trips, and the headline end-to-end guarantee — a
+   server on an ephemeral port answers mine/lookup/containment queries
+   bit-identically to the direct library calls, with the LRU serving
+   repeats (asserted via the per-request stats). *)
+
+open Spm_graph
+open Spm_core
+module Codec = Spm_store.Codec
+module Store = Spm_store.Store
+module Lru = Spm_server.Lru
+module Sig_index = Spm_server.Sig_index
+module Protocol = Spm_server.Protocol
+module Server = Spm_server.Server
+module Client = Spm_server.Client
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- LRU --- *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check "len" 2 (Lru.length c);
+  (* Touch "a" so "b" is the eviction victim. *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  (* Overwrite keeps the size and updates the value. *)
+  Lru.add c "c" 33;
+  check "len after overwrite" 2 (Lru.length c);
+  Alcotest.(check (option int)) "overwritten" (Some 33) (Lru.find c "c");
+  Lru.clear c;
+  check "cleared" 0 (Lru.length c)
+
+let test_lru_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c 1 "x";
+  Lru.add c 2 "y";
+  Alcotest.(check (option string)) "1 evicted" None (Lru.find c 1);
+  Alcotest.(check (option string)) "2 kept" (Some "y") (Lru.find c 2);
+  check_bool "mem does not promote" true (Lru.mem c 2)
+
+let test_lru_churn () =
+  let c = Lru.create ~capacity:8 in
+  for i = 0 to 999 do
+    Lru.add c (i mod 16) i
+  done;
+  check_bool "bounded" true (Lru.length c <= 8);
+  (* The most recent key must be present. *)
+  check_bool "recent key present" true (Lru.mem c (999 mod 16))
+
+(* --- a mined corpus to serve --- *)
+
+let serving_graph seed =
+  let st = Gen.rng seed in
+  let bg = Gen.erdos_renyi st ~n:110 ~avg_degree:2.0 ~num_labels:12 in
+  let b = Graph.Builder.of_graph bg in
+  for _ = 1 to 3 do
+    let p =
+      Gen.random_skinny_pattern st ~backbone:4 ~delta:1 ~twigs:2 ~num_labels:12
+    in
+    ignore (Gen.inject st b ~pattern:p ~copies:3 ())
+  done;
+  Graph.Builder.freeze b
+
+let corpus =
+  lazy
+    (let g = serving_graph 2013 in
+     let r = Skinny_mine.mine g ~l:4 ~delta:2 ~sigma:2 in
+     (g, r))
+
+let corpus_store () =
+  let g, r = Lazy.force corpus in
+  Store.of_result ~graph:g ~l:4 ~delta:2 ~sigma:2 ~closed_growth:false r
+
+(* Byte-level identity of a mined list: full pattern text, support, levels,
+   diameter labels — the strongest equality we can ask of the wire. *)
+let render (ms : Skinny_mine.mined list) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (m : Skinny_mine.mined) ->
+      Buffer.add_string b (Io.to_string m.pattern);
+      Buffer.add_string b (Printf.sprintf "support %d\n" m.support);
+      Buffer.add_string b
+        (Printf.sprintf "levels %s\n"
+           (String.concat " " (Array.to_list (Array.map string_of_int m.levels))));
+      Buffer.add_string b
+        (Printf.sprintf "diam %s\n\n"
+           (String.concat " "
+              (Array.to_list (Array.map string_of_int m.diameter_labels)))))
+    ms;
+  Buffer.contents b
+
+(* --- Sig_index --- *)
+
+let test_sig_index_lookup () =
+  let s = corpus_store () in
+  let idx = Sig_index.build s.Store.patterns in
+  check "size" (List.length s.Store.patterns) (Sig_index.size idx);
+  (* No filters: everything, in corpus order. *)
+  Alcotest.(check string) "identity lookup" (render s.Store.patterns)
+    (render (Sig_index.lookup idx));
+  (* Support filter agrees with the naive filter. *)
+  let naive p = List.filter p s.Store.patterns in
+  List.iter
+    (fun t ->
+      Alcotest.(check string)
+        (Printf.sprintf "min_support %d" t)
+        (render (naive (fun (m : Skinny_mine.mined) -> m.support >= t)))
+        (render (Sig_index.lookup ~min_support:t idx)))
+    [ 2; 3; 4 ];
+  (* Length filter: the corpus is all l=4. *)
+  check "length 4 keeps all" (Sig_index.size idx)
+    (List.length (Sig_index.lookup ~length:4 idx));
+  check "length 3 keeps none" 0 (List.length (Sig_index.lookup ~length:3 idx));
+  (* Exact label-multiset lookup: each pattern finds itself. *)
+  List.iter
+    (fun (m : Skinny_mine.mined) ->
+      let labels = Array.to_list (Graph.labels m.Skinny_mine.pattern) in
+      let hits = Sig_index.lookup ~labels idx in
+      check_bool "self found by own multiset" true
+        (List.exists
+           (fun (m' : Skinny_mine.mined) ->
+             render [ m' ] = render [ m ])
+           hits))
+    s.Store.patterns
+
+let test_sig_index_containment () =
+  let s = corpus_store () in
+  let idx = Sig_index.build s.Store.patterns in
+  let targets =
+    (* Each mined pattern as a target graph, plus a couple of random ones. *)
+    List.filteri (fun i _ -> i < 5)
+      (List.map (fun (m : Skinny_mine.mined) -> m.pattern) s.Store.patterns)
+    @ [ serving_graph 99; Gen.erdos_renyi (Gen.rng 5) ~n:15 ~avg_degree:2.0 ~num_labels:3 ]
+  in
+  List.iter
+    (fun target ->
+      let naive =
+        List.filter
+          (fun (m : Skinny_mine.mined) ->
+            Spm_pattern.Subiso.exists ~pattern:m.pattern ~target)
+          s.Store.patterns
+      in
+      let via_index = Sig_index.contained_in idx target in
+      Alcotest.(check string) "containment = naive subiso over corpus"
+        (render naive) (render via_index);
+      (* The pruning stage never drops a real hit. *)
+      let candidates = Sig_index.containment_candidates idx target in
+      check_bool "candidates superset of hits" true
+        (List.for_all
+           (fun (h : Skinny_mine.mined) ->
+             List.exists (fun (c : Skinny_mine.mined) -> c == h) candidates)
+           naive))
+    targets
+
+(* --- protocol codec --- *)
+
+let test_protocol_roundtrip () =
+  let g, _ = Lazy.force corpus in
+  let reqs =
+    [ Protocol.Ping; Protocol.Load_store "/tmp/x.spm";
+      Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = true };
+      Protocol.Lookup
+        { min_support = Some 3; max_support = None; length = Some 4;
+          labels = Some [ 1; 1; 2 ] };
+      Protocol.Contains g; Protocol.Stats; Protocol.Shutdown ]
+  in
+  List.iter
+    (fun req ->
+      let req' = Protocol.decode_request (Protocol.encode_request req) in
+      (* Contains carries a graph: compare textually. *)
+      match (req, req') with
+      | Protocol.Contains a, Protocol.Contains b ->
+        Alcotest.(check string) "contains graph" (Io.to_string a) (Io.to_string b)
+      | a, b -> check_bool "request round trip" true (a = b))
+    reqs;
+  let s = corpus_store () in
+  let resps =
+    [ { Protocol.cache_hit = false; seconds = 0.25; payload = Protocol.Pong };
+      { Protocol.cache_hit = true; seconds = 0.0;
+        payload = Protocol.Patterns s.Store.patterns };
+      { Protocol.cache_hit = false; seconds = 1e-6;
+        payload = Protocol.Loaded 17 };
+      { Protocol.cache_hit = false; seconds = 0.0;
+        payload =
+          Protocol.Stats_reply
+            { requests = 5; cache_hits = 2; errors = 1; store_patterns = 17;
+              uptime_seconds = 1.5; service_seconds = 0.125 } };
+      { Protocol.cache_hit = false; seconds = 0.0; payload = Protocol.Bye };
+      { Protocol.cache_hit = false; seconds = 0.0;
+        payload = Protocol.Error "boom" } ]
+  in
+  List.iter
+    (fun resp ->
+      let resp' = Protocol.decode_response (Protocol.encode_response resp) in
+      check_bool "envelope" true
+        (resp.Protocol.cache_hit = resp'.Protocol.cache_hit
+        && resp.Protocol.seconds = resp'.Protocol.seconds);
+      match (resp.Protocol.payload, resp'.Protocol.payload) with
+      | Protocol.Patterns a, Protocol.Patterns b ->
+        Alcotest.(check string) "patterns payload" (render a) (render b)
+      | a, b -> check_bool "payload round trip" true (a = b))
+    resps
+
+let test_garbage_rejected () =
+  check_bool "garbage request" true
+    (match Protocol.decode_request "\xFF\x00garbage" with
+    | _ -> false
+    | exception Codec.Corrupt _ -> true);
+  check_bool "empty response" true
+    (match Protocol.decode_response "" with
+    | _ -> false
+    | exception Codec.Corrupt _ -> true)
+
+(* --- in-process dispatch (no socket) --- *)
+
+let test_handle_dispatch () =
+  let s = corpus_store () in
+  let srv = Server.create ~jobs:1 () in
+  Server.set_store srv s;
+  (* Mine with the store's own parameters: answered from the resident set. *)
+  let mine_req =
+    Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = false }
+  in
+  (match (Server.handle srv mine_req).Protocol.payload with
+  | Protocol.Patterns ms ->
+    Alcotest.(check string) "resident store served verbatim"
+      (render s.Store.patterns) (render ms)
+  | _ -> Alcotest.fail "expected Patterns");
+  (* Identical repeat: LRU hit. *)
+  let again = Server.handle srv mine_req in
+  check_bool "second identical query is a cache hit" true again.Protocol.cache_hit;
+  (* Errors are answered, counted, and never cached. *)
+  (match (Server.handle srv (Protocol.Load_store "/no/such/file.spm")).Protocol.payload with
+  | Protocol.Error _ -> ()
+  | _ -> Alcotest.fail "expected Error");
+  let st = Server.stats srv in
+  check "requests counted" 3 st.Protocol.requests;
+  check "one hit" 1 st.Protocol.cache_hits;
+  check "one error" 1 st.Protocol.errors
+
+(* --- end to end over TCP --- *)
+
+let test_end_to_end () =
+  let g, direct = Lazy.force corpus in
+  let s = corpus_store () in
+  let srv = Server.create ~jobs:2 () in
+  Server.set_store srv s;
+  let fd, port = Server.listen ~port:0 () in
+  let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+  Fun.protect
+    ~finally:(fun () -> Thread.join server_thread)
+    (fun () ->
+      Client.with_connection ~port (fun c ->
+          Client.ping c;
+          (* Mine over the wire = direct library call, byte for byte. *)
+          let served =
+            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+          in
+          Alcotest.(check string) "wire mine = direct mine"
+            (render direct.Skinny_mine.patterns)
+            (render served);
+          (match Client.last_meta c with
+          | Some (hit, _) -> check_bool "first mine computed" false hit
+          | None -> Alcotest.fail "no meta");
+          (* The identical query again: served from the LRU. *)
+          let served2 =
+            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+          in
+          Alcotest.(check string) "cached answer identical"
+            (render served) (render served2);
+          (match Client.last_meta c with
+          | Some (hit, _) -> check_bool "repeat is a cache hit" true hit
+          | None -> Alcotest.fail "no meta");
+          (* Containment of a submitted graph = direct subiso filter. *)
+          let probe =
+            match s.Store.patterns with
+            | (m : Skinny_mine.mined) :: _ -> m.pattern
+            | [] -> Alcotest.fail "corpus empty"
+          in
+          let naive =
+            List.filter
+              (fun (m : Skinny_mine.mined) ->
+                Spm_pattern.Subiso.exists ~pattern:m.pattern ~target:probe)
+              s.Store.patterns
+          in
+          Alcotest.(check string) "wire containment = direct subiso"
+            (render naive)
+            (render (Client.contains c probe));
+          check_bool "containment found the probe itself" true (naive <> []);
+          (* The whole data graph contains every mined pattern. *)
+          check "all patterns embed in the data graph"
+            (List.length s.Store.patterns)
+            (List.length (Client.contains c g));
+          (* Lookup filters. *)
+          let looked =
+            Client.lookup c
+              { Protocol.min_support = Some 2; max_support = None;
+                length = Some 4; labels = None }
+          in
+          Alcotest.(check string) "lookup l=4 s>=2 = whole corpus"
+            (render s.Store.patterns) (render looked);
+          let st = Client.stats c in
+          check_bool "stats count this connection" true
+            (st.Protocol.requests >= 6);
+          check "exactly one cache hit" 1 st.Protocol.cache_hits;
+          check "no errors" 0 st.Protocol.errors;
+          check "resident size" (List.length s.Store.patterns)
+            st.Protocol.store_patterns);
+      (* Second connection: the cache survives across connections. *)
+      Client.with_connection ~port (fun c ->
+          let served =
+            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+          in
+          Alcotest.(check string) "hit from a fresh connection"
+            (render direct.Skinny_mine.patterns)
+            (render served);
+          match Client.last_meta c with
+          | Some (hit, _) -> check_bool "cross-connection cache hit" true hit
+          | None -> Alcotest.fail "no meta");
+      Client.with_connection ~port Client.shutdown;
+      check_bool "server marked stopping" true (Server.stopping srv))
+
+(* A store saved to disk serves a fresh server without re-mining: the mine
+   answer must come back instantly from the resident set (asserted by
+   comparing against the direct result AND by the request being answerable
+   with jobs=1 in negligible service time — no Stage I/II run). *)
+let test_end_to_end_from_saved_store () =
+  let _, direct = Lazy.force corpus in
+  let s = corpus_store () in
+  let path = Filename.temp_file "spmserve" ".spm" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save path s;
+      let srv = Server.create ~jobs:1 () in
+      let fd, port = Server.listen ~port:0 () in
+      let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+      Fun.protect
+        ~finally:(fun () -> Thread.join server_thread)
+        (fun () ->
+          Client.with_connection ~port (fun c ->
+              let n = Client.load_store c path in
+              check "loaded pattern count" (List.length s.Store.patterns) n;
+              let served =
+                Client.mine c
+                  { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+              in
+              Alcotest.(check string) "saved store serves the mined set"
+                (render direct.Skinny_mine.patterns)
+                (render served));
+          Client.with_connection ~port Client.shutdown))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let prop_lru_never_overflows =
+  QCheck.Test.make ~name:"lru never exceeds capacity" ~count:50
+    QCheck.(pair (int_range 1 6) (small_list small_nat))
+    (fun (cap, keys) ->
+      let c = Lru.create ~capacity:cap in
+      List.iter (fun k -> Lru.add c k k) keys;
+      Lru.length c <= cap
+      && List.for_all
+           (fun k -> match Lru.find c k with Some v -> v = k | None -> true)
+           keys)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "capacity one" `Quick test_lru_capacity_one;
+          Alcotest.test_case "churn" `Quick test_lru_churn;
+        ] );
+      qsuite "lru-props" [ prop_lru_never_overflows ];
+      ( "sig-index",
+        [
+          Alcotest.test_case "lookup filters" `Quick test_sig_index_lookup;
+          Alcotest.test_case "containment pruning" `Quick
+            test_sig_index_containment;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round trips" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+        ] );
+      ( "dispatch",
+        [ Alcotest.test_case "handle + cache + errors" `Quick test_handle_dispatch ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "ephemeral port server = library" `Quick
+            test_end_to_end;
+          Alcotest.test_case "saved store serves without re-mining" `Quick
+            test_end_to_end_from_saved_store;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+(* The binary pattern store: codec primitive round trips, qcheck
+   decode-encode identities for graphs / mined records / whole stores,
+   byte-stability of double encodes, whole-file corruption detection (every
+   single-byte flip must be caught), and Diameter_index snapshots serving
+   without re-mining. *)
+
+open Spm_graph
+open Spm_core
+module Codec = Spm_store.Codec
+module Store = Spm_store.Store
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- codec primitives --- *)
+
+let test_crc32 () =
+  (* The standard CRC-32 check value. *)
+  check_str "check value" "cbf43926"
+    (Printf.sprintf "%08lx" (Codec.crc32 "123456789"));
+  check_str "empty" "00000000" (Printf.sprintf "%08lx" (Codec.crc32 ""));
+  (* Substring addressing. *)
+  check_str "substring"
+    (Printf.sprintf "%08lx" (Codec.crc32 "456"))
+    (Printf.sprintf "%08lx" (Codec.crc32 ~pos:3 ~len:3 "123456789"))
+
+let rt_int n =
+  let w = Codec.W.create () in
+  Codec.W.int w n;
+  Codec.R.int (Codec.R.of_string (Codec.W.contents w))
+
+let rt_uint n =
+  let w = Codec.W.create () in
+  Codec.W.uint w n;
+  Codec.R.uint (Codec.R.of_string (Codec.W.contents w))
+
+let test_varints () =
+  List.iter
+    (fun n -> check (Printf.sprintf "int %d" n) n (rt_int n))
+    [ 0; 1; -1; 63; 64; 127; 128; -128; 65535; -65536; max_int; min_int;
+      max_int - 1; min_int + 1 ];
+  List.iter
+    (fun n -> check (Printf.sprintf "uint %d" n) n (rt_uint n))
+    [ 0; 1; 127; 128; 16384; max_int ];
+  (* Small non-negative values stay single-byte. *)
+  let w = Codec.W.create () in
+  Codec.W.int w 100;
+  check "compact small int" 1 (Codec.W.length w)
+
+let test_floats_strings () =
+  let w = Codec.W.create () in
+  Codec.W.float w 1.5;
+  Codec.W.float w (-0.0);
+  Codec.W.float w Float.pi;
+  Codec.W.string w "hello";
+  Codec.W.string w "";
+  Codec.W.int_array w [| 3; -1; 0; 999 |];
+  let r = Codec.R.of_string (Codec.W.contents w) in
+  Alcotest.(check (float 0.0)) "1.5" 1.5 (Codec.R.float r);
+  check_bool "-0.0 bits" true (Int64.equal (Int64.bits_of_float (-0.0))
+      (Int64.bits_of_float (Codec.R.float r)));
+  Alcotest.(check (float 0.0)) "pi" Float.pi (Codec.R.float r);
+  check_str "hello" "hello" (Codec.R.string r);
+  check_str "empty" "" (Codec.R.string r);
+  Alcotest.(check (array int)) "int array" [| 3; -1; 0; 999 |] (Codec.R.int_array r);
+  check "fully consumed" 0 (Codec.R.left r)
+
+let test_truncation_detected () =
+  let w = Codec.W.create () in
+  Codec.W.string w "some payload";
+  let s = Codec.W.contents w in
+  let truncated = String.sub s 0 (String.length s - 3) in
+  check_bool "truncated string raises" true
+    (match Codec.R.string (Codec.R.of_string truncated) with
+    | _ -> false
+    | exception Codec.Corrupt _ -> true)
+
+(* --- random inputs --- *)
+
+let random_graph seed =
+  let st = Gen.rng seed in
+  let n = 1 + Random.State.int st 14 in
+  Gen.erdos_renyi st ~n ~avg_degree:2.5 ~num_labels:(1 + Random.State.int st 6)
+
+let graphs_equal a b =
+  Graph.equal_structure a b && Graph.labels a = Graph.labels b
+
+(* --- qcheck round trips --- *)
+
+let prop_graph_roundtrip =
+  QCheck.Test.make ~name:"decode (encode g) = g for random graphs" ~count:100
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let w = Codec.W.create () in
+      Store.write_graph w g;
+      let g' = Store.read_graph (Codec.R.of_string (Codec.W.contents w)) in
+      graphs_equal g g')
+
+let prop_entry_roundtrip =
+  QCheck.Test.make ~name:"Diam_mine entry round trip" ~count:60
+    QCheck.small_nat (fun seed ->
+      let g = random_graph (seed + 1000) in
+      let r = Diam_mine.mine g ~l:2 ~sigma:1 in
+      List.for_all
+        (fun (e : Diam_mine.entry) ->
+          let w = Codec.W.create () in
+          Store.write_entry w e;
+          let e' = Store.read_entry (Codec.R.of_string (Codec.W.contents w)) in
+          e.labels = e'.Diam_mine.labels
+          && e.embeddings = e'.Diam_mine.embeddings)
+        r.Diam_mine.entries)
+
+let mined_store seed =
+  let st = Gen.rng seed in
+  let bg = Gen.erdos_renyi st ~n:60 ~avg_degree:2.0 ~num_labels:8 in
+  let b = Graph.Builder.of_graph bg in
+  let p = Gen.random_skinny_pattern st ~backbone:3 ~delta:1 ~twigs:2 ~num_labels:8 in
+  ignore (Gen.inject st b ~pattern:p ~copies:3 ());
+  let g = Graph.Builder.freeze b in
+  let r = Skinny_mine.mine g ~l:3 ~delta:1 ~sigma:2 in
+  Store.of_result ~graph:g ~l:3 ~delta:1 ~sigma:2 ~closed_growth:false r
+
+let mined_equal (a : Skinny_mine.mined) (b : Skinny_mine.mined) =
+  graphs_equal a.pattern b.pattern
+  && a.support = b.support && a.levels = b.levels
+  && a.diameter_labels = b.diameter_labels
+
+let stores_equal (a : Store.pattern_store) (b : Store.pattern_store) =
+  graphs_equal a.graph b.graph
+  && a.l = b.l && a.delta = b.delta && a.sigma = b.sigma
+  && a.closed_growth = b.closed_growth
+  && List.length a.patterns = List.length b.patterns
+  && List.for_all2 mined_equal a.patterns b.patterns
+
+let prop_store_roundtrip_byte_stable =
+  QCheck.Test.make
+    ~name:"pattern store: decode inverts encode; double encode is byte-stable"
+    ~count:10 QCheck.small_nat (fun seed ->
+      let s = mined_store (seed * 17) in
+      let bytes1 = Store.encode s in
+      let s' = Store.decode bytes1 in
+      let bytes2 = Store.encode s' in
+      stores_equal s s' && String.equal bytes1 bytes2)
+
+let test_mined_roundtrip () =
+  let s = mined_store 5 in
+  check_bool "store has patterns" true (s.Store.patterns <> []);
+  List.iter
+    (fun m ->
+      let w = Codec.W.create () in
+      Store.write_mined w m;
+      let m' = Store.read_mined (Codec.R.of_string (Codec.W.contents w)) in
+      check_bool "mined round trip" true (mined_equal m m'))
+    s.Store.patterns
+
+(* --- corruption: every single-byte flip must be rejected --- *)
+
+let test_every_byte_flip_detected () =
+  let s = mined_store 7 in
+  let bytes = Store.encode s in
+  check_bool "store is non-trivial" true (String.length bytes > 100);
+  let undetected = ref [] in
+  String.iteri
+    (fun i _ ->
+      let b = Bytes.of_string bytes in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+      match Store.decode (Bytes.unsafe_to_string b) with
+      | _ -> undetected := i :: !undetected
+      | exception Codec.Corrupt _ -> ())
+    bytes;
+  Alcotest.(check (list int)) "flips that slipped through" [] !undetected
+
+let test_save_load_file () =
+  let s = mined_store 11 in
+  let path = Filename.temp_file "spmstore" ".spm" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save path s;
+      let s' = Store.load path in
+      check_bool "file round trip" true (stores_equal s s'))
+
+(* --- diameter-index snapshots --- *)
+
+let entries_equal (a : Diam_mine.entry list) (b : Diam_mine.entry list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Diam_mine.entry) (y : Diam_mine.entry) ->
+         x.labels = y.labels && x.embeddings = y.embeddings)
+       a b
+
+let result_signature (r : Skinny_mine.result) =
+  List.map
+    (fun (m : Skinny_mine.mined) ->
+      (Spm_pattern.Canon.key m.pattern, m.support))
+    r.patterns
+
+let test_index_snapshot () =
+  let s = mined_store 13 in
+  let idx = Diameter_index.build s.Store.graph ~sigma:2 ~l_max:4 in
+  (* Touch a non-power length so the snapshot includes a merged cache line. *)
+  let e3 = Diameter_index.entries idx ~l:3 in
+  let bytes = Store.encode_index idx in
+  let idx' = Store.decode_index bytes in
+  check "sigma preserved" (Diameter_index.sigma idx) (Diameter_index.sigma idx');
+  check "l_max preserved" (Diameter_index.l_max idx) (Diameter_index.l_max idx');
+  check_bool "graph preserved" true
+    (graphs_equal (Diameter_index.graph idx) (Diameter_index.graph idx'));
+  List.iter
+    (fun l ->
+      check_bool
+        (Printf.sprintf "entries l=%d preserved" l)
+        true
+        (entries_equal (Diameter_index.entries idx ~l)
+           (Diameter_index.entries idx' ~l)))
+    [ 1; 2; 3; 4 ];
+  check_bool "l=3 went through the snapshot" true
+    (entries_equal e3 (Diameter_index.entries idx' ~l:3));
+  (* A request served by the restored index matches the original. *)
+  let direct = Diameter_index.request idx ~l:3 ~delta:1 in
+  let restored = Diameter_index.request idx' ~l:3 ~delta:1 in
+  Alcotest.(check (list (pair string int)))
+    "restored request = original request" (result_signature direct)
+    (result_signature restored)
+
+let test_index_snapshot_file () =
+  let s = mined_store 17 in
+  let idx = Diameter_index.build s.Store.graph ~sigma:2 ~l_max:2 in
+  let path = Filename.temp_file "spmindex" ".spx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save_index path idx;
+      let idx' = Store.load_index path in
+      check_bool "file snapshot serves l=2" true
+        (entries_equal (Diameter_index.entries idx ~l:2)
+           (Diameter_index.entries idx' ~l:2)))
+
+let test_store_kind_mismatch () =
+  let s = mined_store 19 in
+  let bytes = Store.encode s in
+  check_bool "pattern store is not an index" true
+    (match Store.decode_index bytes with
+    | _ -> false
+    | exception Codec.Corrupt _ -> true)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "crc32 check value" `Quick test_crc32;
+          Alcotest.test_case "varint round trips" `Quick test_varints;
+          Alcotest.test_case "floats, strings, arrays" `Quick
+            test_floats_strings;
+          Alcotest.test_case "truncation detected" `Quick
+            test_truncation_detected;
+        ] );
+      qsuite "roundtrip-props"
+        [
+          prop_graph_roundtrip; prop_entry_roundtrip;
+          prop_store_roundtrip_byte_stable;
+        ];
+      ( "store",
+        [
+          Alcotest.test_case "mined record round trip" `Quick
+            test_mined_roundtrip;
+          Alcotest.test_case "every byte flip detected" `Quick
+            test_every_byte_flip_detected;
+          Alcotest.test_case "file save/load" `Quick test_save_load_file;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_store_kind_mismatch;
+        ] );
+      ( "index-snapshot",
+        [
+          Alcotest.test_case "entries and requests preserved" `Quick
+            test_index_snapshot;
+          Alcotest.test_case "file snapshot" `Quick test_index_snapshot_file;
+        ] );
+    ]
