@@ -1,0 +1,95 @@
+(* Run-context costs, both directions:
+
+   1. Overhead — threading a deadline-armed Run through an uncancelled mine
+      makes every Run.check read the clock. Compare the same mine with no
+      deadline vs a far-future one.
+   2. Latency — how long past its deadline does a deadline-bounded server
+      Mine actually take to answer? Timeout responses are never cached, so
+      repeating the identical request measures a fresh cancellation each
+      time; we report request-to-Timeout p50/p95 over the real TCP path. *)
+
+open Spm_graph
+open Spm_core
+module Protocol = Spm_server.Protocol
+module Server = Spm_server.Server
+module Client = Spm_server.Client
+module Run = Spm_engine.Run
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+(* Returns a JSON fragment for the harness summary file. *)
+let run ~seed ?(overhead_n = 500) ?(requests = 8) ?(mine_timeout = 0.25) () =
+  Util.section
+    "Cancellation: Run.check overhead and request-to-Timeout latency";
+
+  (* --- 1. polling overhead on a mine nobody interrupts --- *)
+  let n = overhead_n in
+  let g =
+    Gen.erdos_renyi (Gen.rng (seed + 17)) ~n ~avg_degree:2.2 ~num_labels:12
+  in
+  (* Closed growth keeps the twig powerset collapsed: a ~1s sequential mine,
+     long enough that per-extension polling would show up, short enough to
+     repeat. *)
+  let config =
+    { Skinny_mine.Config.default with closed_growth = true; jobs = 1 }
+  in
+  let mine run =
+    ignore (Skinny_mine.mine ~config ?run g ~l:4 ~delta:2 ~sigma:2)
+  in
+  mine None;
+  (* warm-up *)
+  let best f =
+    let t = ref infinity in
+    for _ = 1 to 3 do
+      let (), dt = Util.time f in
+      t := min !t dt
+    done;
+    !t
+  in
+  let bare = best (fun () -> mine None) in
+  let armed =
+    best (fun () -> mine (Some (Run.create ~timeout:3600.0 ())))
+  in
+  let overhead_pct = 100.0 *. (armed -. bare) /. bare in
+  Printf.printf
+    "  uncancelled mine on %d vertices: %.3fs without a deadline, %.3fs with \
+     a far-future one (%+.1f%% polling overhead)\n%!"
+    n bare armed overhead_pct;
+
+  (* --- 2. request-to-Timeout latency over TCP --- *)
+  let big =
+    (* A graph whose full mine takes minutes: every request runs out its
+       budget instead of finishing early. *)
+    Gen.erdos_renyi (Gen.rng (seed + 48)) ~n:4000 ~avg_degree:3.0 ~num_labels:4
+  in
+  let srv = Server.create ~jobs:2 ~mine_timeout () in
+  Server.set_graph srv big;
+  let fd, port = Server.listen ~port:0 () in
+  let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+  let params = { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false } in
+  let timeouts = ref 0 in
+  let lats = ref [] in
+  Client.with_connection ~port (fun c ->
+      for _ = 1 to requests do
+        let resp, dt = Util.time (fun () -> Client.call c (Protocol.Mine params)) in
+        if resp.Protocol.status = Run.Timeout then incr timeouts;
+        lats := (dt -. mine_timeout) :: !lats
+      done);
+  Client.with_connection ~port Client.shutdown;
+  Thread.join server_thread;
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  let p50 = 1000.0 *. percentile sorted 0.50 in
+  let p95 = 1000.0 *. percentile sorted 0.95 in
+  Printf.printf
+    "  %d/%d deadline-bounded (%.2fs) mines answered Timeout; \
+     request-to-Timeout latency beyond the deadline: p50 %.1f ms, p95 %.1f \
+     ms\n%!"
+    !timeouts requests mine_timeout p50 p95;
+  Printf.sprintf
+    "{\"overhead_pct\": %.2f, \"timeout_latency_p50_ms\": %.2f, \
+     \"timeout_latency_p95_ms\": %.2f, \"timeouts\": %d, \"requests\": %d}"
+    overhead_pct p50 p95 !timeouts requests

@@ -6,7 +6,8 @@
 let usage =
   "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation parallel serving micro"
+   ablation parallel serving cancel micro\n\
+   a per-section timing summary is written to BENCH_run.json"
 
 type config = {
   scale : float;
@@ -83,9 +84,51 @@ let parse_args () =
   loop (List.tl (Array.to_list Sys.argv));
   !cfg
 
+(* Per-section wall-clock times plus any section-provided JSON details,
+   flushed to BENCH_run.json at the end so CI can archive one machine-readable
+   artifact per harness run. *)
+let summary : (string * float * string option) list ref = ref []
+
+let summary_json cfg =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"scale\": %.2f, \"seed\": %d, \"jobs\": %d, \"sections\": {"
+       cfg.scale cfg.seed cfg.jobs);
+  List.iteri
+    (fun i (name, seconds, details) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": {\"seconds\": %.3f%s}" name seconds
+           (match details with
+           | None -> ""
+           | Some d -> Printf.sprintf ", \"details\": %s" d)))
+    (List.rev !summary);
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let write_summary cfg =
+  let oc = open_out "BENCH_run.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (summary_json cfg);
+      output_char oc '\n');
+  Printf.printf "\nsection timing summary written to BENCH_run.json\n%!"
+
 let () =
   let cfg = parse_args () in
   let enabled name = not (List.mem name cfg.skip) in
+  let timed name f =
+    if enabled name then begin
+      let details, seconds = Util.time f in
+      summary := (name, seconds, details) :: !summary
+    end
+  in
+  let plain f () =
+    f ();
+    None
+  in
   Printf.printf
     "SkinnyMine reproduction harness (SIGMOD'13) — scale %.2f, seed %d, jobs %d\n%!"
     cfg.scale cfg.seed cfg.jobs;
@@ -94,49 +137,54 @@ let () =
     (fun g ->
       Printf.printf "  GID %d: %s\n%!" g (Spm_workload.Settings.gid_description g))
     [ 1; 2; 3; 4; 5 ];
-  if enabled "effectiveness" then begin
-    let runs =
-      Exp_effectiveness.figures_4_to_8 ~scale:cfg.scale ~seed:cfg.seed
-        ~moss_cap:cfg.moss_cap ~jobs:cfg.jobs ()
-    in
-    Exp_effectiveness.figure_20 runs
-  end;
-  if enabled "table3" then
-    Exp_effectiveness.table_3 ~scale:cfg.probe_scale ~seed:cfg.seed
-      ~jobs:cfg.jobs ();
-  if enabled "transaction" then begin
-    Exp_transaction.figure_9 ~scale:cfg.tx_scale ~seed:cfg.seed ~jobs:cfg.jobs ();
-    Exp_transaction.figure_10 ~scale:cfg.tx_scale ~seed:cfg.seed ~jobs:cfg.jobs ()
-  end;
-  if enabled "scalability" then begin
-    Exp_scalability.figure_11 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
-      ~moss_cap:cfg.moss_cap ~jobs:cfg.jobs ();
-    Exp_scalability.figure_12 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
-      ~jobs:cfg.jobs ();
-    Exp_scalability.figure_13 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
-      ~jobs:cfg.jobs ();
-    Exp_scalability.figures_14_15 ~seed:cfg.seed ~sizes:cfg.large_sizes
-      ~jobs:cfg.jobs ()
-  end;
-  if enabled "constraints" then begin
-    Exp_constraints.figures_16_17 ~seed:cfg.seed ~n:cfg.constraint_n ~f:25
-      ~l_values:cfg.l_values ();
-    Exp_constraints.figures_18_19 ~seed:cfg.seed ~n:cfg.constraint_n ~f:40
-      ~l:8 ~deltas:cfg.deltas ()
-  end;
-  if enabled "real" then begin
-    Exp_real.dblp ~seed:cfg.seed ~num_authors:60 ~l:10 ~jobs:cfg.jobs ();
-    Exp_real.weibo ~seed:cfg.seed ~num_conversations:20 ~chain:9 ~l:8
-      ~jobs:cfg.jobs ()
-  end;
-  if enabled "ablation" then begin
-    Exp_ablation.diam_mine_pruning ~seed:cfg.seed ~n:400 ();
-    Exp_ablation.constraint_maintenance ~seed:cfg.seed ~n:400 ();
-    Exp_ablation.direct_vs_enumerate ~seed:cfg.seed ~n:300 ~cap:cfg.moss_cap ()
-  end;
-  if enabled "parallel" then
-    Exp_parallel.run ~seed:cfg.seed ~n:cfg.parallel_n ();
-  if enabled "serving" then
-    Exp_serving.run ~seed:cfg.seed ~n:(cfg.parallel_n / 10) ();
-  if enabled "micro" then Micro.run ~scale:cfg.scale ();
+  timed "effectiveness"
+    (plain (fun () ->
+         let runs =
+           Exp_effectiveness.figures_4_to_8 ~scale:cfg.scale ~seed:cfg.seed
+             ~moss_cap:cfg.moss_cap ~jobs:cfg.jobs ()
+         in
+         Exp_effectiveness.figure_20 runs));
+  timed "table3"
+    (plain (fun () ->
+         Exp_effectiveness.table_3 ~scale:cfg.probe_scale ~seed:cfg.seed
+           ~jobs:cfg.jobs ()));
+  timed "transaction"
+    (plain (fun () ->
+         Exp_transaction.figure_9 ~scale:cfg.tx_scale ~seed:cfg.seed
+           ~jobs:cfg.jobs ();
+         Exp_transaction.figure_10 ~scale:cfg.tx_scale ~seed:cfg.seed
+           ~jobs:cfg.jobs ()));
+  timed "scalability"
+    (plain (fun () ->
+         Exp_scalability.figure_11 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
+           ~moss_cap:cfg.moss_cap ~jobs:cfg.jobs ();
+         Exp_scalability.figure_12 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
+           ~jobs:cfg.jobs ();
+         Exp_scalability.figure_13 ~seed:cfg.seed ~sizes:cfg.sweep_sizes
+           ~jobs:cfg.jobs ();
+         Exp_scalability.figures_14_15 ~seed:cfg.seed ~sizes:cfg.large_sizes
+           ~jobs:cfg.jobs ()));
+  timed "constraints"
+    (plain (fun () ->
+         Exp_constraints.figures_16_17 ~seed:cfg.seed ~n:cfg.constraint_n
+           ~f:25 ~l_values:cfg.l_values ();
+         Exp_constraints.figures_18_19 ~seed:cfg.seed ~n:cfg.constraint_n
+           ~f:40 ~l:8 ~deltas:cfg.deltas ()));
+  timed "real"
+    (plain (fun () ->
+         Exp_real.dblp ~seed:cfg.seed ~num_authors:60 ~l:10 ~jobs:cfg.jobs ();
+         Exp_real.weibo ~seed:cfg.seed ~num_conversations:20 ~chain:9 ~l:8
+           ~jobs:cfg.jobs ()));
+  timed "ablation"
+    (plain (fun () ->
+         Exp_ablation.diam_mine_pruning ~seed:cfg.seed ~n:400 ();
+         Exp_ablation.constraint_maintenance ~seed:cfg.seed ~n:400 ();
+         Exp_ablation.direct_vs_enumerate ~seed:cfg.seed ~n:300
+           ~cap:cfg.moss_cap ()));
+  timed "parallel" (plain (fun () -> Exp_parallel.run ~seed:cfg.seed ~n:cfg.parallel_n ()));
+  timed "serving"
+    (plain (fun () -> Exp_serving.run ~seed:cfg.seed ~n:(cfg.parallel_n / 10) ()));
+  timed "cancel" (fun () -> Some (Exp_cancel.run ~seed:cfg.seed ()));
+  timed "micro" (plain (fun () -> Micro.run ~scale:cfg.scale ()));
+  write_summary cfg;
   Printf.printf "\nAll requested experiment sections completed.\n%!"

@@ -136,12 +136,24 @@ let mine_cmd =
              $(b,skinnymine serve --store) FILE later answers queries \
              against it without re-mining.")
   in
-  let run file l delta sigma closed dot json store_out jobs =
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget for the mine. On expiry the patterns found so \
+             far are reported (and flushed to $(b,--store), marked \
+             incomplete) and the run exits with status timeout.")
+  in
+  let run file l delta sigma closed dot json store_out timeout jobs =
     let g = Io.read_file file in
     let config =
       { Skinny_mine.Config.default with closed_growth = closed; jobs }
     in
-    let r = Skinny_mine.mine ~config g ~l ~delta ~sigma in
+    let run_ctx = Spm_engine.Run.create ?timeout () in
+    let r = Skinny_mine.mine ~config ~run:run_ctx g ~l ~delta ~sigma in
+    let status = r.Skinny_mine.stats.Skinny_mine.status in
     (match store_out with
     | None -> ()
     | Some path ->
@@ -149,11 +161,15 @@ let mine_cmd =
         (Spm_store.Store.of_result ~graph:g ~l ~delta ~sigma
            ~closed_growth:closed r);
       if not json then
-        Printf.printf "pattern store written to %s (%d patterns)\n" path
-          (List.length r.Skinny_mine.patterns));
+        Printf.printf "pattern store written to %s (%d patterns%s)\n" path
+          (List.length r.Skinny_mine.patterns)
+          (if status = Spm_engine.Run.Ok then "" else ", incomplete"));
     (* --json emits the statistics object alone so stdout parses as JSON. *)
     if json then print_endline (Skinny_mine.Stats.to_json r.Skinny_mine.stats)
     else begin
+      if status <> Spm_engine.Run.Ok then
+        Printf.printf "mine stopped early (%s) — partial results below\n"
+          (Spm_engine.Run.status_to_string status);
       Printf.printf "%d %s%d-long %d-skinny patterns (sigma = %d, jobs = %d)\n"
         (List.length r.Skinny_mine.patterns)
         (if closed then "closed " else "")
@@ -191,7 +207,7 @@ let mine_cmd =
     (Cmd.info "mine" ~doc:"Mine all l-long delta-skinny frequent patterns.")
     Term.(
       const run $ graph_file $ l $ delta $ sigma $ closed $ dot $ json
-      $ store_out $ jobs)
+      $ store_out $ timeout $ jobs)
 
 (* --- baseline --- *)
 
@@ -277,8 +293,20 @@ let serve_cmd =
       value & opt int 128
       & info [ "cache" ] ~doc:"LRU response-cache capacity (entries).")
   in
-  let run host port store graph cache jobs =
-    let t = Spm_server.Server.create ~jobs ~cache_capacity:cache () in
+  let mine_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "mine-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget granted to each mine request. Overrunning \
+             mines stop cooperatively and answer with status timeout plus \
+             the patterns found so far; the server stays up.")
+  in
+  let run host port store graph cache mine_timeout jobs =
+    let t =
+      Spm_server.Server.create ~jobs ~cache_capacity:cache ?mine_timeout ()
+    in
     (match store with
     | Some path ->
       let s = Spm_store.Store.load path in
@@ -314,7 +342,9 @@ let serve_cmd =
        ~doc:
          "Run the SkinnyServe query service: a TCP server answering mine, \
           lookup and containment queries over a mined pattern store.")
-    Term.(const run $ host_arg $ port_arg $ store $ graph $ cache $ jobs)
+    Term.(
+      const run $ host_arg $ port_arg $ store $ graph $ cache $ mine_timeout
+      $ jobs)
 
 (* --- query --- *)
 
@@ -323,7 +353,7 @@ let query_cmd =
     let actions =
       [ ("ping", `Ping); ("mine", `Mine); ("lookup", `Lookup);
         ("contains", `Contains); ("load", `Load); ("stats", `Stats);
-        ("shutdown", `Shutdown) ]
+        ("progress", `Progress); ("cancel", `Cancel); ("shutdown", `Shutdown) ]
     in
     Arg.(
       required
@@ -331,7 +361,8 @@ let query_cmd =
       & info [] ~docv:"ACTION"
           ~doc:
             "One of $(b,ping), $(b,mine), $(b,lookup), $(b,contains), \
-             $(b,load), $(b,stats), $(b,shutdown).")
+             $(b,load), $(b,stats), $(b,progress), $(b,cancel), \
+             $(b,shutdown).")
   in
   let file =
     Arg.(
@@ -376,6 +407,11 @@ let query_cmd =
       Printf.printf "  ... (%d more)\n" (List.length ms - 20)
   in
   let print_meta c =
+    (match Spm_server.Client.last_status c with
+    | Some status when status <> Spm_engine.Run.Ok ->
+      Printf.printf "[truncated: %s — partial results]\n"
+        (Spm_engine.Run.status_to_string status)
+    | Some _ | None -> ());
     match Spm_server.Client.last_meta c with
     | Some (hit, seconds) ->
       Printf.printf "[%s, %.3f ms server time]\n"
@@ -428,6 +464,20 @@ let query_cmd =
             s.Spm_server.Protocol.store_patterns
             s.Spm_server.Protocol.uptime_seconds
             s.Spm_server.Protocol.service_seconds
+        | `Progress ->
+          let p = Spm_server.Client.progress c in
+          if not p.Spm_server.Protocol.running then
+            print_endline "no mine in flight"
+          else
+            Printf.printf
+              "mining for %.1f s: level %d, %d candidates, %d emitted\n"
+              p.Spm_server.Protocol.elapsed_seconds
+              p.Spm_server.Protocol.level p.Spm_server.Protocol.candidates
+              p.Spm_server.Protocol.emitted
+        | `Cancel ->
+          if Spm_server.Client.cancel c then
+            print_endline "cancellation requested"
+          else print_endline "no mine in flight"
         | `Shutdown ->
           Spm_server.Client.shutdown c;
           print_endline "server shutting down");

@@ -1,5 +1,7 @@
 open Spm_graph
 open Spm_pattern
+module Run = Spm_engine.Run
+module Clock = Spm_engine.Clock
 
 type result = {
   patterns : (Pattern.t * int) list;
@@ -71,8 +73,10 @@ let frequent_extensions db ~sigma p =
     db;
   List.filter (fun p' -> Support.is_frequent_transaction p' db ~sigma) !out
 
-let mine ?rng ?(walks = 50) ?(alpha = 0.5) ?(max_edges = 30) ~db ~sigma () =
-  let t0 = Sys.time () in
+let mine ?run ?rng ?(walks = 50) ?(alpha = 0.5) ?(max_edges = 30) ~db ~sigma
+    () =
+  let run = match run with Some r -> r | None -> Run.create () in
+  let t0 = Clock.now () in
   let st = match rng with Some r -> r | None -> Gen.rng 0x0219a41 in
   (* Frequent seed edges. *)
   let seed_tbl = Hashtbl.create 32 in
@@ -91,20 +95,29 @@ let mine ?rng ?(walks = 50) ?(alpha = 0.5) ?(max_edges = 30) ~db ~sigma () =
   in
   let maximal = Canon.Set.create () in
   let collected = ref [] in
-  if Array.length seeds > 0 then
-    for _ = 1 to walks do
-      let p = ref (Gen.pick st seeds) in
-      let continue = ref true in
-      while !continue && Pattern.size !p < max_edges do
-        match frequent_extensions db ~sigma !p with
-        | [] -> continue := false
-        | exts ->
-          let arr = Array.of_list exts in
-          p := Gen.pick st arr
-      done;
-      if Canon.Set.add maximal !p then
-        collected := (!p, Support.transaction !p db) :: !collected
-    done;
+  (* Each walk polls the run per step; an interrupted run keeps the walks
+     already collected (a truncated sample is still a sample). *)
+  (if Array.length seeds > 0 then
+     try
+       for _ = 1 to walks do
+         Run.check run;
+         let p = ref (Gen.pick st seeds) in
+         let continue = ref true in
+         while
+           !continue && Pattern.size !p < max_edges
+           && not (Run.interrupted run)
+         do
+           Run.tick run;
+           match frequent_extensions db ~sigma !p with
+           | [] -> continue := false
+           | exts ->
+             let arr = Array.of_list exts in
+             p := Gen.pick st arr
+         done;
+         if Canon.Set.add maximal !p then
+           collected := (!p, Support.transaction !p db) :: !collected
+       done
+     with Run.Cancelled _ -> ());
   (* Greedy alpha-orthogonal filter, largest first. *)
   let sorted =
     List.sort
@@ -124,5 +137,5 @@ let mine ?rng ?(walks = 50) ?(alpha = 0.5) ?(max_edges = 30) ~db ~sigma () =
     patterns = orthogonal;
     walks;
     maximal_found = Canon.Set.cardinal maximal;
-    elapsed = Sys.time () -. t0;
+    elapsed = Clock.now () -. t0;
   }

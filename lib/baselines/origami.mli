@@ -22,6 +22,7 @@ val similarity : Spm_pattern.Pattern.t -> Spm_pattern.Pattern.t -> float
 (** Jaccard similarity of (label, label) edge multisets. *)
 
 val mine :
+  ?run:Spm_engine.Run.t ->
   ?rng:Spm_graph.Gen.rng ->
   ?walks:int ->
   ?alpha:float ->
@@ -30,4 +31,5 @@ val mine :
   sigma:int ->
   unit ->
   result
-(** Defaults: [walks = 50], [alpha = 0.5]. *)
+(** Defaults: [walks = 50], [alpha = 0.5]. [run] is polled per walk step;
+    an interrupted run α-filters the walks collected so far. *)

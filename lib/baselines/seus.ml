@@ -1,5 +1,7 @@
 open Spm_graph
 open Spm_pattern
+module Run = Spm_engine.Run
+module Clock = Spm_engine.Clock
 
 type result = {
   patterns : (Pattern.t * int) list;
@@ -22,8 +24,9 @@ let summary g =
 (* Enumerate connected label-patterns over the summary: patterns whose every
    edge is a summary edge; the estimate is the min summary weight over the
    pattern's edges (an upper bound on data support). *)
-let mine ?(max_edges = 3) ~graph ~sigma () =
-  let t0 = Sys.time () in
+let mine ?run ?(max_edges = 3) ~graph ~sigma () =
+  let run = match run with Some r -> r | None -> Run.create () in
+  let t0 = Clock.now () in
   let s = summary graph in
   let summary_edges =
     Hashtbl.fold (fun k w acc -> (k, w) :: acc) s [] |> List.sort compare
@@ -51,6 +54,8 @@ let mine ?(max_edges = 3) ~graph ~sigma () =
   let rec extend p =
     if Canon.Set.add visited p then extend_fresh p
   and extend_fresh p =
+    Run.check run;
+    Run.tick run;
     incr candidates;
     if estimate p >= sigma then begin
       verify p;
@@ -78,7 +83,11 @@ let mine ?(max_edges = 3) ~graph ~sigma () =
       end
     end
   in
-  List.iter (fun ((a, b), _) -> extend (Pattern.singleton_edge a b)) summary_edges;
+  (try
+     List.iter
+       (fun ((a, b), _) -> extend (Pattern.singleton_edge a b))
+       summary_edges
+   with Run.Cancelled _ -> ());
   {
     patterns =
       List.sort
@@ -86,5 +95,5 @@ let mine ?(max_edges = 3) ~graph ~sigma () =
         !out;
     candidates = !candidates;
     verified = !verified;
-    elapsed = Sys.time () -. t0;
+    elapsed = Clock.now () -. t0;
   }

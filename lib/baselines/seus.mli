@@ -21,10 +21,13 @@ val summary :
 (** Edge counts between label classes ([la <= lb]). *)
 
 val mine :
+  ?run:Spm_engine.Run.t ->
   ?max_edges:int ->
   graph:Spm_graph.Graph.t ->
   sigma:int ->
   unit ->
   result
 (** Defaults: [max_edges = 3] (the summary blows up quickly beyond that,
-    matching the published behaviour of |V| <= 3 outputs). *)
+    matching the published behaviour of |V| <= 3 outputs). [run] is polled
+    per summary candidate; an interrupted run returns the patterns verified
+    so far. *)

@@ -1,5 +1,7 @@
 open Spm_graph
 open Spm_pattern
+module Run = Spm_engine.Run
+module Clock = Spm_engine.Clock
 
 type result = {
   patterns : (Pattern.t * int) list;
@@ -10,7 +12,7 @@ type result = {
 
 (* Frequent r-spiders: grow patterns keeping every vertex within distance r
    of vertex 0 (the head), pruning by embedding-count support. *)
-let mine_spiders g ~sigma ~r ~max_edges =
+let mine_spiders ~run g ~sigma ~r ~max_edges =
   let out = ref [] in
   let seen = Hashtbl.create 256 in
   (* A pattern is an r-spider if some vertex (the head) reaches every other
@@ -27,6 +29,8 @@ let mine_spiders g ~sigma ~r ~max_edges =
   let rec walk st =
     Grow_util.extensions g st
     |> List.iter (fun st' ->
+           Run.check run;
+           Run.tick run;
            let key = Grow_util.key st' in
            if
              (not (Hashtbl.mem seen key))
@@ -40,17 +44,21 @@ let mine_spiders g ~sigma ~r ~max_edges =
              end
            end)
   in
-  List.iter
-    (fun st ->
-      if Grow_util.support g st >= sigma then begin
-        let key = Grow_util.key st in
-        if not (Hashtbl.mem seen key) then begin
-          Hashtbl.replace seen key ();
-          out := st :: !out;
-          walk st
-        end
-      end)
-    (Grow_util.edge_seeds g);
+  (* An interrupted run keeps the spiders found so far — the caller decides
+     whether a partial spider set is still worth merging. *)
+  (try
+     List.iter
+       (fun st ->
+         if Grow_util.support g st >= sigma then begin
+           let key = Grow_util.key st in
+           if not (Hashtbl.mem seen key) then begin
+             Hashtbl.replace seen key ();
+             out := st :: !out;
+             walk st
+           end
+         end)
+       (Grow_util.edge_seeds g)
+   with Run.Cancelled _ -> ());
   !out
 
 (* Merge two spiders along overlapping data embeddings: take the union of
@@ -97,15 +105,17 @@ let merge_states g (a : Grow_util.state) (b : Grow_util.state) =
     let pattern = Graph.of_edges ~labels (List.sort_uniq compare !es) in
     if Bfs.is_connected pattern then Some pattern else None
 
-let mine ?rng ?(r = 1) ?(d_max = 4) ?(seeds = 200) ?(rounds = 3)
+let mine ?run ?rng ?(r = 1) ?(d_max = 4) ?(seeds = 200) ?(rounds = 3)
     ?(max_spider_edges = 8) ~graph ~sigma ~k () =
-  let t0 = Sys.time () in
+  let run = match run with Some r -> r | None -> Run.create () in
+  let t0 = Clock.now () in
   let st = match rng with Some r -> r | None -> Gen.rng 0xdeed in
-  let spiders = mine_spiders graph ~sigma ~r ~max_edges:max_spider_edges in
+  let spiders = mine_spiders ~run graph ~sigma ~r ~max_edges:max_spider_edges in
   let spiders_arr = Array.of_list spiders in
   let merges = ref 0 in
   let best : (string, Pattern.t * int) Hashtbl.t = Hashtbl.create 64 in
   let consider pattern =
+    Run.tick run;
     let key = Canon.key pattern in
     if not (Hashtbl.mem best key) then begin
       let support = Support.single_graph ~limit:(max sigma 2) pattern graph in
@@ -113,38 +123,40 @@ let mine ?rng ?(r = 1) ?(d_max = 4) ?(seeds = 200) ?(rounds = 3)
         Hashtbl.replace best key (pattern, support)
     end
   in
-  if Array.length spiders_arr > 0 then begin
-    (* Random seed draws. *)
-    let picked =
-      Array.init (min seeds (4 * Array.length spiders_arr)) (fun _ ->
-          Gen.pick st spiders_arr)
-    in
-    Array.iter (fun s -> consider s.Grow_util.pattern) picked;
-    (* Merge rounds: current pool of states, pairwise overlap merges. *)
-    let pool = ref (Array.to_list picked) in
-    for _ = 1 to rounds do
-      let additions = ref [] in
-      let arr = Array.of_list !pool in
-      let n = Array.length arr in
-      let tries = min 400 (n * 4) in
-      for _ = 1 to tries do
-        let a = arr.(Random.State.int st n) in
-        let b = arr.(Random.State.int st n) in
-        if a != b then
-          match merge_states graph a b with
-          | None -> ()
-          | Some pattern ->
-            if Bfs.diameter pattern <= d_max then begin
-              incr merges;
-              consider pattern;
-              let maps = Subiso.mappings ~pattern ~target:graph in
-              if maps <> [] then
-                additions := { Grow_util.pattern; maps } :: !additions
-            end
-      done;
-      pool := !additions @ !pool
-    done
-  end;
+  (if Array.length spiders_arr > 0 then
+     try
+       (* Random seed draws. *)
+       let picked =
+         Array.init (min seeds (4 * Array.length spiders_arr)) (fun _ ->
+             Gen.pick st spiders_arr)
+       in
+       Array.iter (fun s -> consider s.Grow_util.pattern) picked;
+       (* Merge rounds: current pool of states, pairwise overlap merges. *)
+       let pool = ref (Array.to_list picked) in
+       for _ = 1 to rounds do
+         let additions = ref [] in
+         let arr = Array.of_list !pool in
+         let n = Array.length arr in
+         let tries = min 400 (n * 4) in
+         for _ = 1 to tries do
+           Run.check run;
+           let a = arr.(Random.State.int st n) in
+           let b = arr.(Random.State.int st n) in
+           if a != b then
+             match merge_states graph a b with
+             | None -> ()
+             | Some pattern ->
+               if Bfs.diameter pattern <= d_max then begin
+                 incr merges;
+                 consider pattern;
+                 let maps = Subiso.mappings ~pattern ~target:graph in
+                 if maps <> [] then
+                   additions := { Grow_util.pattern; maps } :: !additions
+               end
+         done;
+         pool := !additions @ !pool
+       done
+     with Run.Cancelled _ -> ());
   let patterns =
     Hashtbl.fold (fun _ pv acc -> pv :: acc) best []
     |> List.sort (fun (p1, _) (p2, _) ->
@@ -155,5 +167,5 @@ let mine ?rng ?(r = 1) ?(d_max = 4) ?(seeds = 200) ?(rounds = 3)
     patterns;
     spiders_mined = List.length spiders;
     merges_done = !merges;
-    elapsed = Sys.time () -. t0;
+    elapsed = Clock.now () -. t0;
   }

@@ -22,6 +22,7 @@ type result = {
 }
 
 val mine :
+  ?run:Spm_engine.Run.t ->
   ?rng:Spm_graph.Gen.rng ->
   ?r:int ->
   ?d_max:int ->
@@ -34,4 +35,6 @@ val mine :
   unit ->
   result
 (** Defaults follow the paper's experiments: [r = 1], [d_max = 4],
-    [seeds = 200] candidate draws, [rounds = 3] merge rounds. *)
+    [seeds = 200] candidate draws, [rounds = 3] merge rounds.
+    [run] is polled per spider extension and per merge try; an interrupted
+    run reports the top-K among patterns found so far. *)

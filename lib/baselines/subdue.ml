@@ -1,4 +1,6 @@
 open Spm_pattern
+module Run = Spm_engine.Run
+module Clock = Spm_engine.Clock
 
 type scored = { pattern : Pattern.t; instances : int; compression : float }
 
@@ -29,9 +31,10 @@ let score g (st : Grow_util.state) =
         ~instances;
   }
 
-let mine ?(beam = 4) ?(max_edges = 10) ?(limit_best = 10) ?(iterations = 30)
-    ~graph () =
-  let t0 = Sys.time () in
+let mine ?run ?(beam = 4) ?(max_edges = 10) ?(limit_best = 10)
+    ?(iterations = 30) ~graph () =
+  let run = match run with Some r -> r | None -> Run.create () in
+  let t0 = Clock.now () in
   let expanded = ref 0 in
   let seen = Hashtbl.create 256 in
   let best : scored list ref = ref [] in
@@ -49,7 +52,10 @@ let mine ?(beam = 4) ?(max_edges = 10) ?(limit_best = 10) ?(iterations = 30)
   in
   List.iter (fun (_, s) -> push_best s) !frontier;
   let round = ref 0 in
-  while !round < iterations && !frontier <> [] do
+  (* The beam loop polls between rounds and per expansion; the best-list is
+     monotone, so an interrupted run simply reports what the completed
+     rounds scored. *)
+  while !round < iterations && !frontier <> [] && not (Run.interrupted run) do
     incr round;
     (* Keep the [beam] best frontier states by compression. *)
     let top =
@@ -61,7 +67,10 @@ let mine ?(beam = 4) ?(max_edges = 10) ?(limit_best = 10) ?(iterations = 30)
       List.concat_map
         (fun (st, _) ->
           incr expanded;
-          Grow_util.extensions graph st
+          Run.tick run;
+          if Run.interrupted run then []
+          else
+            Grow_util.extensions graph st
           |> List.filter_map (fun st' ->
                  let key = Grow_util.key st' in
                  if
@@ -81,4 +90,4 @@ let mine ?(beam = 4) ?(max_edges = 10) ?(limit_best = 10) ?(iterations = 30)
     in
     frontier := children
   done;
-  { best = !best; expanded = !expanded; elapsed = Sys.time () -. t0 }
+  { best = !best; expanded = !expanded; elapsed = Clock.now () -. t0 }

@@ -18,6 +18,7 @@ type scored = {
 type result = { best : scored list; expanded : int; elapsed : float }
 
 val mine :
+  ?run:Spm_engine.Run.t ->
   ?beam:int ->
   ?max_edges:int ->
   ?limit_best:int ->
@@ -26,4 +27,6 @@ val mine :
   unit ->
   result
 (** Defaults: [beam = 4], [limit_best = 10], [iterations = 30]. There is no
-    support threshold — SUBDUE ranks by compression alone, as published. *)
+    support threshold — SUBDUE ranks by compression alone, as published.
+    [run] is polled per round and per expansion; an interrupted run reports
+    the best list from the completed rounds. *)

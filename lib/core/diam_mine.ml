@@ -1,6 +1,12 @@
 open Spm_graph
 module Pool = Spm_engine.Pool
 module Clock = Spm_engine.Clock
+module Run = Spm_engine.Run
+
+(* Cooperative cancellation: [guard] is the per-extension polling point and
+   [note n] the progress counter; both are no-ops without a run context. *)
+let guard = function Some r -> Run.check r | None -> ()
+let note run n = match run with Some r -> Run.tick ~n r | None -> ()
 
 type entry = { labels : Path_pattern.t; embeddings : int array list }
 
@@ -59,12 +65,17 @@ let merge_into (dst : dir_set) (src : dir_set) =
       | Some d -> Hashtbl.iter (fun e () -> Hashtbl.replace d e ()) tbl)
     src
 
-let fan_out pool work body =
+let fan_out ?run pool work body =
   let parts =
-    Pool.map pool
+    Pool.map ?run pool
       (fun slice ->
         let out : dir_set = Hashtbl.create 64 in
-        Array.iter (body out) slice;
+        Array.iter
+          (fun item ->
+            guard run;
+            body out item)
+          slice;
+        note run (Array.length slice);
         out)
       (Pool.slices work ~pieces:(oversplit pool))
   in
@@ -83,16 +94,18 @@ let canonical_support ~support (set : dir_set) c =
 
 (* Keep only paths whose undirected pattern meets sigma. [set] is only read,
    so the per-sequence support checks run on the pool. *)
-let frequency_filter ?(pool = Pool.serial) ~support (set : dir_set) ~sigma =
+let frequency_filter ?run ?(pool = Pool.serial) ~support (set : dir_set)
+    ~sigma =
   let work =
     Array.of_list (Hashtbl.fold (fun labels tbl acc -> (labels, tbl) :: acc) set [])
   in
   let parts =
-    Pool.map pool
+    Pool.map ?run pool
       (fun slice ->
         let out : dir_set = Hashtbl.create 64 in
         Array.iter
           (fun (labels, tbl) ->
+            guard run;
             let c = Path_pattern.canonical labels in
             if canonical_support ~support set c >= sigma then
               Hashtbl.replace out labels tbl)
@@ -132,7 +145,7 @@ let disjoint_from ~except_first emb (vs : (int, unit) Hashtbl.t) =
 (* Concatenate two directed paths of equal length at a shared junction
    vertex (CheckConcat of Algorithm 2, embedding-level). The head index is
    built once, then candidate paths are partitioned across the pool. *)
-let concat_step ?(pool = Pool.serial) (set : dir_set) =
+let concat_step ?run ?(pool = Pool.serial) (set : dir_set) =
   (* Index every directed embedding by its head vertex; the junction label
      condition is implied by vertex equality. *)
   let by_head : (int, (Label.t array * int array) list ref) Hashtbl.t =
@@ -148,7 +161,7 @@ let concat_step ?(pool = Pool.serial) (set : dir_set) =
           | None -> Hashtbl.add by_head h (ref [ (labels, emb) ]))
         tbl)
     set;
-  fan_out pool (flatten_paths set) (fun out (a_labels, a) ->
+  fan_out ?run pool (flatten_paths set) (fun out (a_labels, a) ->
       let la = Array.length a in
       let tail = a.(la - 1) in
       match Hashtbl.find_opt by_head tail with
@@ -171,7 +184,7 @@ let concat_step ?(pool = Pool.serial) (set : dir_set) =
 (* Merge two directed paths of length 2^k overlapping in [ov] edges to form a
    path of length 2^{k+1} - ov (CheckMergeHead/CheckMergeTail, over all
    ordered pairs). *)
-let merge_step ?(pool = Pool.serial) (set : dir_set) ~ov =
+let merge_step ?run ?(pool = Pool.serial) (set : dir_set) ~ov =
   let ov_verts = ov + 1 in
   (* Index embeddings by their first ov+1 vertices. *)
   let by_prefix : (int list, (Label.t array * int array) list ref) Hashtbl.t =
@@ -187,7 +200,7 @@ let merge_step ?(pool = Pool.serial) (set : dir_set) ~ov =
           | None -> Hashtbl.add by_prefix key (ref [ (labels, emb) ]))
         tbl)
     set;
-  fan_out pool (flatten_paths set) (fun out (a_labels, a) ->
+  fan_out ?run pool (flatten_paths set) (fun out (a_labels, a) ->
       let la = Array.length a in
       let key = Array.to_list (Array.sub a (la - ov_verts) ov_verts) in
       match Hashtbl.find_opt by_prefix key with
@@ -254,19 +267,21 @@ module Powers = struct
     build_seconds : float;
   }
 
-  let build ?(prune_intermediate = true) ?(support = List.length) ?pool g
-      ~sigma ~up_to =
+  let build ?(prune_intermediate = true) ?(support = List.length) ?run ?pool
+      g ~sigma ~up_to =
     let t0 = Clock.now () in
     let stats = ref [] in
+    let level l = match run with Some r -> Run.set_level r l | None -> () in
     let rec grow set len acc =
       let acc = (len, set) :: acc in
       if 2 * len > up_to then List.rev acc
       else begin
         let t = Clock.now () in
-        let next = concat_step ?pool set in
+        level (2 * len);
+        let next = concat_step ?run ?pool set in
         let next =
           if prune_intermediate then
-            frequency_filter ?pool ~support next ~sigma
+            frequency_filter ?run ?pool ~support next ~sigma
           else next
         in
         stats := (2 * len, count_canonical next, Clock.now () -. t) :: !stats;
@@ -277,9 +292,11 @@ module Powers = struct
       if up_to < 1 then []
       else begin
         let t = Clock.now () in
+        level 1;
         let s1 = edges_set g in
         let s1 =
-          if prune_intermediate then frequency_filter ?pool ~support s1 ~sigma
+          if prune_intermediate then
+            frequency_filter ?run ?pool ~support s1 ~sigma
           else s1
         in
         stats := (1, count_canonical s1, Clock.now () -. t) :: !stats;
@@ -300,7 +317,7 @@ module Powers = struct
 
   let set_of_length t len = List.assoc_opt len t.levels
 
-  let paths_of_length ?pool t ~l ~sigma =
+  let paths_of_length ?run ?pool t ~l ~sigma =
     if l < 1 then invalid_arg "Diam_mine: l must be >= 1";
     let support = t.support in
     match set_of_length t l with
@@ -321,7 +338,7 @@ module Powers = struct
              l p);
       let set = Option.get (set_of_length t p) in
       let ov = (2 * p) - l in
-      let merged = merge_step ?pool set ~ov in
+      let merged = merge_step ?run ?pool set ~ov in
       entries_of_set ~support merged ~sigma
 
   let stats t =
@@ -332,12 +349,14 @@ module Powers = struct
     }
 end
 
-let mine ?(prune_intermediate = true) ?support ?pool g ~l ~sigma =
+let mine ?(prune_intermediate = true) ?support ?run ?pool g ~l ~sigma =
   if l < 1 then invalid_arg "Diam_mine.mine: l must be >= 1";
   let t0 = Clock.now () in
-  let powers = Powers.build ~prune_intermediate ?support ?pool g ~sigma ~up_to:l in
+  let powers =
+    Powers.build ~prune_intermediate ?support ?run ?pool g ~sigma ~up_to:l
+  in
   let tm = Clock.now () in
-  let entries = Powers.paths_of_length ?pool powers ~l ~sigma in
+  let entries = Powers.paths_of_length ?run ?pool powers ~l ~sigma in
   let merge_seconds = Clock.now () -. tm in
   {
     entries;

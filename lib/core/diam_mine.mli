@@ -37,6 +37,7 @@ type result = { entries : entry list; stats : stats }
 val mine :
   ?prune_intermediate:bool ->
   ?support:(int array list -> int) ->
+  ?run:Spm_engine.Run.t ->
   ?pool:Spm_engine.Pool.t ->
   Spm_graph.Graph.t ->
   l:int ->
@@ -51,7 +52,13 @@ val mine :
     extension loops: each concat/merge/frequency step partitions the
     directed-path table across the pool's domains. Entries are returned in
     canonical order (sorted labels, sorted embeddings), so the result is
-    bit-identical whatever the pool size. *)
+    bit-identical whatever the pool size.
+
+    [run] is polled once per directed path examined (and between pool task
+    claims); an interrupted run raises {!Spm_engine.Run.Cancelled} out of
+    this function — Stage I has no useful partial result, so the caller
+    decides what to salvage. Progress ticks count directed paths examined
+    and the level tracks the current power-of-2 length. *)
 
 (** The reusable power-of-2 table, for serving many values of l from one
     precomputation (the direct-mining index of Figure 2). *)
@@ -61,6 +68,7 @@ module Powers : sig
   val build :
     ?prune_intermediate:bool ->
     ?support:(int array list -> int) ->
+    ?run:Spm_engine.Run.t ->
     ?pool:Spm_engine.Pool.t ->
     Spm_graph.Graph.t ->
     sigma:int ->
@@ -68,12 +76,13 @@ module Powers : sig
     t
   (** Frequent paths of lengths 1, 2, 4, …, up to the largest power of 2 that
       is <= [up_to] (or, if [up_to] < 1, nothing). [pool] parallelizes each
-      power-of-2 extension step. *)
+      power-of-2 extension step; [run] is polled as in {!mine}. *)
 
   val max_power : t -> int
   (** Largest power length materialized. *)
 
   val paths_of_length :
+    ?run:Spm_engine.Run.t ->
     ?pool:Spm_engine.Pool.t -> t -> l:int -> sigma:int -> entry list
   (** Frequent paths of length exactly [l] ([l] <= 2 * max_power is required
       unless [l] is itself a materialized power). *)

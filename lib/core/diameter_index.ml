@@ -120,6 +120,13 @@ let request_range ?config t ~l_min ~l_max ~delta =
             0 results;
         grow_seconds = Clock.now () -. t0;
         grow_stats;
+        status =
+          (* First non-Ok wins: later lengths ran after the interruption. *)
+          List.fold_left
+            (fun acc r ->
+              if acc <> Spm_engine.Run.Ok then acc
+              else r.Skinny_mine.stats.Skinny_mine.status)
+            Spm_engine.Run.Ok results;
         total_seconds = Clock.now () -. t0;
       };
   }

@@ -13,6 +13,7 @@ type stats = {
   constraint_rejected : int;
   infrequent : int;
   emitted : int;
+  interrupted : bool;
   seconds : float;
 }
 
@@ -80,7 +81,7 @@ let relax_levels scratch pattern' levels u v =
    leaves room under delta; closing edges may join any non-adjacent pair
    whose images are adjacent in the data graph. Twig labels arrive sorted
    per host vertex thanks to the CSR's (label, id) neighbor order. *)
-let candidates scratch data st ~delta =
+let candidates run scratch data st ~delta =
   let by_desc : (desc, int array list ref) Hashtbl.t = Hashtbl.create 32 in
   let add desc m =
     match Hashtbl.find_opt by_desc desc with
@@ -90,6 +91,7 @@ let candidates scratch data st ~delta =
   let np = Graph.n st.pattern in
   List.iter
     (fun m ->
+      Spm_engine.Run.check run;
       scratch.stamp <- scratch.stamp + 1;
       let s = scratch.stamp in
       Array.iter (fun tv -> scratch.mark.(tv) <- s) m;
@@ -146,8 +148,11 @@ let universal_descs st cands =
         Hashtbl.length parents = total)
     cands
 
-let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
-    ?max_patterns ~data ~sigma ~delta ~(entry : Diam_mine.entry) () =
+let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support ?run
+    ~data ~sigma ~delta ~(entry : Diam_mine.entry) () =
+  let run =
+    match run with Some r -> r | None -> Spm_engine.Run.create ()
+  in
   let t0 = Spm_engine.Clock.now () in
   let support_fn =
     match support with Some f -> f | None -> default_support data
@@ -180,8 +185,10 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
      derivation-independent, so re-derivations are skipped. *)
   let decided : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let out = ref [] in
-  let emitted_count = ref 0 in
-  let full = ref false in
+  let interrupted = ref false in
+  (* [full] = this run's emission budget is spent: stop exploring but finish
+     normally (status Ok — a budget is an output cap, not an interruption). *)
+  let full = ref (Spm_engine.Run.budget_exhausted run) in
   let emit st =
     if not !full then begin
       out :=
@@ -192,16 +199,15 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
           diameter_labels = entry.Diam_mine.labels;
         }
         :: !out;
-      incr emitted_count;
-      match max_patterns with
-      | Some cap when !emitted_count >= cap -> full := true
-      | Some _ | None -> ()
+      Spm_engine.Run.emit run;
+      if Spm_engine.Run.budget_exhausted run then full := true
     end
   in
   Hashtbl.replace decided (Canon.key init.pattern) ();
   (* Build one child; [`Dup] = pattern already judged elsewhere. *)
   let build_child st (desc, maps) =
     incr tried;
+    Spm_engine.Run.tick run;
     let pattern', idx', levels', ext = apply_desc scratch st desc in
     (* Constraints first: rejections are by far the most common outcome and
        must not pay for canonicalization. (Verdicts depend on WHICH vertices
@@ -234,7 +240,9 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
     match frontier with
     | [] -> ()
     | st :: rest when not !full ->
-      let cands = candidates scratch data st ~delta in
+      Spm_engine.Run.check run;
+      Spm_engine.Run.set_level run (Graph.m st.pattern);
+      let cands = candidates run scratch data st ~delta in
       if closed_growth then begin
         (* Eager phase: the first applicable support-preserving extension
            replaces the state without emitting it (the parent cannot be
@@ -280,8 +288,14 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
       end
     | _ :: _ -> ()
   in
-  if not closed_growth then emit init;
-  if delta >= 0 then closure [ init ];
+  (* An interrupted run unwinds here via [Run.Cancelled]; [out] survives the
+     unwinding, so the patterns emitted before the interruption are returned
+     as a partial result with [interrupted = true] in the stats. *)
+  (try
+     Spm_engine.Run.check run;
+     if not closed_growth then emit init;
+     if delta >= 0 then closure [ init ]
+   with Spm_engine.Run.Cancelled _ -> interrupted := true);
   let result = List.rev !out in
   ( result,
     {
@@ -289,5 +303,6 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support
       constraint_rejected = !rejected;
       infrequent = !infreq;
       emitted = List.length result;
+      interrupted = !interrupted;
       seconds = Spm_engine.Clock.now () -. t0;
     } )

@@ -21,6 +21,9 @@ type stats = {
   constraint_rejected : int;
   infrequent : int;
   emitted : int;
+  interrupted : bool;
+      (** the run was cancelled or timed out mid-closure; the mined list is
+          the partial prefix emitted before the interruption *)
   seconds : float;
 }
 
@@ -28,7 +31,7 @@ val grow :
   ?mode:Constraints.mode ->
   ?closed_growth:bool ->
   ?support:(Spm_pattern.Pattern.t -> int array list -> int) ->
-  ?max_patterns:int ->
+  ?run:Spm_engine.Run.t ->
   data:Spm_graph.Graph.t ->
   sigma:int ->
   delta:int ->
@@ -54,4 +57,14 @@ val grow :
     extension are reported. This collapses the twig powerset — a cluster
     whose diameter has k always-co-occurring twigs yields one closed pattern
     instead of 2^k — and is how the paper's experiments remain sub-second on
-    40-vertex injected patterns despite Theorem 4's complete-set claim. *)
+    40-vertex injected patterns despite Theorem 4's complete-set claim.
+
+    [run] (default a fresh unbounded context) is polled once per state
+    popped and once per embedding scanned during candidate enumeration;
+    when it is interrupted, [grow] returns the patterns emitted so far with
+    [interrupted = true] instead of raising — the closure's emission order
+    is deterministic, so the partial list is a prefix of the full output.
+    The run's emission budget replaces the old [?max_patterns]: a fork with
+    [~budget:n] makes [grow] stop exploring after its n-th emission and
+    finish with [interrupted = false] (a budget is an output cap, not an
+    interruption). *)

@@ -2,6 +2,7 @@ open Spm_graph
 open Spm_pattern
 module Pool = Spm_engine.Pool
 module Clock = Spm_engine.Clock
+module Run = Spm_engine.Run
 
 type mined = Level_grow.mined = {
   pattern : Pattern.t;
@@ -15,6 +16,7 @@ type stats = {
   num_diameters : int;
   grow_seconds : float;
   grow_stats : Level_grow.stats list;
+  status : Run.status;
   total_seconds : float;
 }
 
@@ -84,6 +86,9 @@ module Stats = struct
       (sum_grow (fun g -> g.Level_grow.constraint_rejected) s.grow_stats)
       (sum_grow (fun g -> g.Level_grow.infrequent) s.grow_stats)
       (sum_grow (fun g -> g.Level_grow.emitted) s.grow_stats);
+    if s.status <> Spm_engine.Run.Ok then
+      Format.fprintf ppf "status: %s (partial results)@,"
+        (Spm_engine.Run.status_to_string s.status);
     Format.fprintf ppf "total: %.3fs@]" s.total_seconds
 
   let to_json s =
@@ -93,7 +98,9 @@ module Stats = struct
       Buffer.add_string b (Printf.sprintf "%S:%s" name v)
     in
     Buffer.add_string b "{";
-    field true "total_seconds" (Printf.sprintf "%.6f" s.total_seconds);
+    field true "status"
+      (Printf.sprintf "%S" (Spm_engine.Run.status_to_string s.status));
+    field false "total_seconds" (Printf.sprintf "%.6f" s.total_seconds);
     field false "num_diameters" (string_of_int s.num_diameters);
     field false "grow_seconds" (Printf.sprintf "%.6f" s.grow_seconds);
     field false "diam_total_seconds"
@@ -154,84 +161,135 @@ let closed_filter patterns =
   List.filter keep patterns
 
 (* Stage II over the diameter clusters. Theorem 4 makes the clusters
-   independent, so without a [max_patterns] budget each cluster is one pool
-   task; per-cluster results and stats are merged back in Stage-I entry
-   order, so the output is bit-identical to the sequential run. With a
-   budget, the per-cluster cap depends on how many patterns earlier clusters
-   emitted — inherently sequential — so the budgeted path stays on one
-   domain. *)
-let grow_all ~(config : Config.t) ~pool data ~entries ~delta ~sigma =
+   independent, so each cluster is one pool task; per-cluster results and
+   stats are merged back in Stage-I entry order, so the output is
+   bit-identical to the sequential run. The tasks are submitted WITHOUT
+   [?run]: every [Level_grow.grow] polls the shared run itself and returns a
+   partial prefix on interruption, so the batch always completes and the
+   partials land in entry order.
+
+   A [max_patterns] budget no longer forces the sequential path. A capped
+   grow emits a deterministic prefix of its uncapped emission order, so
+   giving each cluster its own budget fork of the full cap, concatenating in
+   entry order and truncating to the cap yields exactly the sequential
+   budgeted output: cluster i contributes min(full_i, cap) patterns, a
+   prefix that always covers the min(full_i, remaining) the sequential run
+   would have taken. The parallel path merely over-mines past the global
+   cap (bounded by cap per cluster); the sequential path keeps the exact
+   remaining-budget accounting as a fast path. *)
+let grow_all ~(config : Config.t) ~pool ~run data ~entries ~delta ~sigma =
   let t0 = Clock.now () in
   let mode = config.Config.mode
   and closed_growth = config.Config.closed_growth
   and support = config.Config.support in
+  let grow_entry ~run entry =
+    Level_grow.grow ~mode ~closed_growth ?support ~run ~data ~sigma ~delta
+      ~entry ()
+  in
   let patterns, stats =
     match config.Config.max_patterns with
     | None ->
       let per_cluster =
-        Pool.map pool
-          (fun entry ->
-            Level_grow.grow ~mode ~closed_growth ?support ~data ~sigma ~delta
-              ~entry ())
+        Pool.map pool (fun entry -> grow_entry ~run entry)
           (Array.of_list entries)
       in
       ( List.concat_map fst (Array.to_list per_cluster),
         List.map snd (Array.to_list per_cluster) )
-    | Some cap ->
+    | Some cap when Pool.jobs pool <= 1 ->
       let patterns = ref [] and stats = ref [] in
       let count = ref 0 in
       (try
          List.iter
            (fun entry ->
              let left = cap - !count in
-             if left <= 0 then raise Exit;
-             let mined, st =
-               Level_grow.grow ~mode ~closed_growth ?support ~max_patterns:left
-                 ~data ~sigma ~delta ~entry ()
-             in
+             if left <= 0 || Run.interrupted run then raise Exit;
+             let mined, st = grow_entry ~run:(Run.fork ~budget:left run) entry in
              count := !count + List.length mined;
              patterns := List.rev_append mined !patterns;
              stats := st :: !stats)
            entries
        with Exit -> ());
       (List.rev !patterns, List.rev !stats)
+    | Some cap ->
+      let per_cluster =
+        Pool.map pool
+          (fun entry -> grow_entry ~run:(Run.fork ~budget:cap run) entry)
+          (Array.of_list entries)
+      in
+      let all = List.concat_map fst (Array.to_list per_cluster) in
+      ( List.filteri (fun i _ -> i < cap) all,
+        List.map snd (Array.to_list per_cluster) )
   in
   let patterns =
     if config.Config.closed_only then closed_filter patterns else patterns
   in
-  (patterns, stats, Clock.now () -. t0)
+  let interrupted =
+    List.exists (fun (g : Level_grow.stats) -> g.Level_grow.interrupted) stats
+  in
+  (patterns, stats, interrupted, Clock.now () -. t0)
 
 let with_config_pool (config : Config.t) f =
   if config.Config.jobs <= 1 then f Pool.serial
   else Pool.with_pool ~jobs:config.Config.jobs f
 
-let mine ?(config = Config.default) g ~l ~delta ~sigma =
-  let t0 = Clock.now () in
-  with_config_pool config (fun pool ->
-      let diam =
-        Diam_mine.mine ~prune_intermediate:config.Config.prune_intermediate
-          ~pool g ~l ~sigma
-      in
-      let patterns, grow_stats, grow_seconds =
-        grow_all ~config ~pool g ~entries:diam.Diam_mine.entries ~delta ~sigma
-      in
-      {
-        patterns;
-        stats =
-          {
-            diam_stats = diam.Diam_mine.stats;
-            num_diameters = List.length diam.Diam_mine.entries;
-            grow_seconds;
-            grow_stats;
-            total_seconds = Clock.now () -. t0;
-          };
-      })
+let fresh_run run = match run with Some r -> r | None -> Run.create ()
 
-let mine_with_entries ?(config = Config.default) g ~entries ~delta ~sigma =
+(* An engine that finished naturally reports [Ok] even if the deadline
+   expired an instant later; only a run that actually cut Stage II short
+   consults [Run.status]. *)
+let final_status ~run ~interrupted =
+  if interrupted then Run.status run else Run.Ok
+
+(* Stage I raised [Run.Cancelled]: nothing grown yet, return the empty
+   partial carrying why. *)
+let cancelled_result ~t0 status =
+  {
+    patterns = [];
+    stats =
+      {
+        diam_stats = empty_diam_stats;
+        num_diameters = 0;
+        grow_seconds = 0.0;
+        grow_stats = [];
+        status;
+        total_seconds = Clock.now () -. t0;
+      };
+  }
+
+let mine ?run ?(config = Config.default) g ~l ~delta ~sigma =
+  let run = fresh_run run in
   let t0 = Clock.now () in
   with_config_pool config (fun pool ->
-      let patterns, grow_stats, grow_seconds =
-        grow_all ~config ~pool g ~entries ~delta ~sigma
+      match
+        Diam_mine.mine ~prune_intermediate:config.Config.prune_intermediate
+          ~run ~pool g ~l ~sigma
+      with
+      | exception Run.Cancelled (status, _) -> cancelled_result ~t0 status
+      | diam ->
+        let patterns, grow_stats, interrupted, grow_seconds =
+          grow_all ~config ~pool ~run g ~entries:diam.Diam_mine.entries ~delta
+            ~sigma
+        in
+        {
+          patterns;
+          stats =
+            {
+              diam_stats = diam.Diam_mine.stats;
+              num_diameters = List.length diam.Diam_mine.entries;
+              grow_seconds;
+              grow_stats;
+              status = final_status ~run ~interrupted;
+              total_seconds = Clock.now () -. t0;
+            };
+        })
+
+let mine_with_entries ?run ?(config = Config.default) g ~entries ~delta
+    ~sigma =
+  let run = fresh_run run in
+  let t0 = Clock.now () in
+  with_config_pool config (fun pool ->
+      let patterns, grow_stats, interrupted, grow_seconds =
+        grow_all ~config ~pool ~run g ~entries ~delta ~sigma
       in
       {
         patterns;
@@ -241,6 +299,7 @@ let mine_with_entries ?(config = Config.default) g ~entries ~delta ~sigma =
             num_diameters = List.length entries;
             grow_seconds;
             grow_stats;
+            status = final_status ~run ~interrupted;
             total_seconds = Clock.now () -. t0;
           };
       })
@@ -263,7 +322,8 @@ let disjoint_union gs =
   let tx = Array.of_list (List.rev !tx_of) in
   (Graph.Builder.freeze b, tx)
 
-let mine_transactions ?(config = Config.default) gs ~l ~delta ~sigma =
+let mine_transactions ?run ?(config = Config.default) gs ~l ~delta ~sigma =
+  let run = fresh_run run in
   let t0 = Clock.now () in
   let union, tx = disjoint_union gs in
   (* Transaction support: distinct transactions among embedding images. *)
@@ -279,24 +339,27 @@ let mine_transactions ?(config = Config.default) gs ~l ~delta ~sigma =
   in
   let config = { config with Config.support = Some tx_support_maps } in
   with_config_pool config (fun pool ->
-      let diam =
+      match
         Diam_mine.mine ~prune_intermediate:config.Config.prune_intermediate
-          ~support:tx_support_paths ~pool union ~l ~sigma
-      in
-      let patterns, grow_stats, grow_seconds =
-        grow_all ~config ~pool union ~entries:diam.Diam_mine.entries ~delta
-          ~sigma
-      in
-      {
-        patterns;
-        stats =
-          {
-            diam_stats = diam.Diam_mine.stats;
-            num_diameters = List.length diam.Diam_mine.entries;
-            grow_seconds;
-            grow_stats;
-            total_seconds = Clock.now () -. t0;
-          };
-      })
+          ~support:tx_support_paths ~run ~pool union ~l ~sigma
+      with
+      | exception Run.Cancelled (status, _) -> cancelled_result ~t0 status
+      | diam ->
+        let patterns, grow_stats, interrupted, grow_seconds =
+          grow_all ~config ~pool ~run union ~entries:diam.Diam_mine.entries
+            ~delta ~sigma
+        in
+        {
+          patterns;
+          stats =
+            {
+              diam_stats = diam.Diam_mine.stats;
+              num_diameters = List.length diam.Diam_mine.entries;
+              grow_seconds;
+              grow_stats;
+              status = final_status ~run ~interrupted;
+              total_seconds = Clock.now () -. t0;
+            };
+        })
 
 let is_target p ~l ~delta = Canonical_diameter.is_l_long_delta_skinny p ~l ~delta

@@ -26,6 +26,10 @@ type stats = {
   num_diameters : int;
   grow_seconds : float;
   grow_stats : Level_grow.stats list;  (** one per diameter cluster *)
+  status : Spm_engine.Run.status;
+      (** [Ok] for a natural finish (including a filled [max_patterns]
+          budget); [Timeout] / [Cancelled] when the run was interrupted —
+          [patterns] then holds the partial results gathered so far *)
   total_seconds : float;  (** wall clock, not CPU time *)
 }
 
@@ -48,8 +52,15 @@ module Config : sig
         (** Post-filter to patterns with no reported super-pattern of equal
             support (Algorithm 3 line 12; default [false]). *)
     max_patterns : int option;
-        (** Stop after this many patterns. Budget accounting is inherently
-            sequential, so a budgeted run ignores [jobs] (default [None]). *)
+        (** Stop after this many patterns (default [None]). Works with any
+            [jobs] value and yields the same patterns either way: a capped
+            cluster emits a deterministic prefix of its uncapped emission
+            order, so the parallel path gives every cluster the full cap as
+            its private budget ({!Spm_engine.Run.fork}), concatenates the
+            per-cluster results in Stage-I entry order and truncates to the
+            cap — exactly the sequential budgeted output. (Before runs
+            carried budgets this was a sequential-only special case that
+            silently ignored [jobs].) *)
     support : (Spm_pattern.Pattern.t -> int array list -> int) option;
         (** Stage-II support override, e.g. a distinct-transaction counter.
             [None] = |E[P]|, distinct embedding subgraphs.
@@ -93,6 +104,7 @@ module Stats : sig
 end
 
 val mine :
+  ?run:Spm_engine.Run.t ->
   ?config:Config.t ->
   Spm_graph.Graph.t ->
   l:int ->
@@ -100,9 +112,17 @@ val mine :
   sigma:int ->
   result
 (** All l-long δ-skinny patterns P of the graph with |E[P]| >= sigma,
-    mined under [config] (default {!Config.default}). *)
+    mined under [config] (default {!Config.default}).
+
+    [run] (default a fresh unbounded context) bounds and observes the whole
+    mine: a deadline or {!Spm_engine.Run.cancel} stops both stages
+    cooperatively, [stats.status] reports how the run ended, and [patterns]
+    holds whatever was mined before the interruption (Stage-II clusters
+    return their emitted prefixes; a Stage-I interruption yields no
+    patterns). {!Spm_engine.Run.Cancelled} never escapes this function. *)
 
 val mine_with_entries :
+  ?run:Spm_engine.Run.t ->
   ?config:Config.t ->
   Spm_graph.Graph.t ->
   entries:Diam_mine.entry list ->
@@ -113,6 +133,7 @@ val mine_with_entries :
     path: entries come from {!Diameter_index}). [diam_stats] is zeroed. *)
 
 val mine_transactions :
+  ?run:Spm_engine.Run.t ->
   ?config:Config.t ->
   Spm_graph.Graph.t list ->
   l:int ->

@@ -78,10 +78,16 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map t f arr =
+let map ?run t f arr =
   let n = Array.length arr in
+  let guard () = match run with Some r -> Run.check r | None -> () in
   if n = 0 then [||]
-  else if t.workers = [] || n = 1 then Array.map f arr
+  else if t.workers = [] || n = 1 then
+    Array.map
+      (fun x ->
+        guard ();
+        f x)
+      arr
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -92,9 +98,14 @@ let map t f arr =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
           (* After a failure the batch is drained without running the
-             remaining tasks, so [completed] still reaches [n]. *)
+             remaining tasks, so [completed] still reaches [n]. A cancelled
+             run rides the same path: the [Run.check] between task claims
+             raises, the first raiser records the exception, and everyone
+             else drains. *)
           (if Atomic.get error = None then
-             try results.(i) <- Some (f arr.(i))
+             try
+               guard ();
+               results.(i) <- Some (f arr.(i))
              with e ->
                let bt = Printexc.get_raw_backtrace () in
                ignore (Atomic.compare_and_set error None (Some (e, bt))));
@@ -122,10 +133,10 @@ let map t f arr =
       Array.map (function Some v -> v | None -> assert false) results
   end
 
-let map_list t f l = Array.to_list (map t f (Array.of_list l))
+let map_list ?run t f l = Array.to_list (map ?run t f (Array.of_list l))
 
-let map_reduce t ~map:f ~combine ~init arr =
-  Array.fold_left combine init (map t f arr)
+let map_reduce ?run t ~map:f ~combine ~init arr =
+  Array.fold_left combine init (map ?run t f arr)
 
 let slices arr ~pieces =
   let n = Array.length arr in

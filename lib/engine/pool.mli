@@ -40,15 +40,21 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
     also on exceptions. *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Parallel, order-preserving map with dynamic scheduling. *)
+val map : ?run:Run.t -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel, order-preserving map with dynamic scheduling. With [?run],
+    every participant calls {!Run.check} between task claims: once the run
+    is interrupted no further task starts, already-raised {!Run.Cancelled}
+    rides the normal failed-batch drain, and the first such exception is
+    re-raised in the caller — the pool stays reusable afterwards. Tasks
+    that should survive interruption and return partial results must
+    handle the run themselves and be submitted without [?run]. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?run:Run.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)
 
 val map_reduce :
-  t -> map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc ->
-  'a array -> 'acc
+  ?run:Run.t -> t -> map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) ->
+  init:'acc -> 'a array -> 'acc
 (** Parallel map followed by a {e deterministic} sequential fold in task
     index order — the combine order never depends on [jobs]. *)
 

@@ -1,0 +1,102 @@
+(* Run contexts: cancellation token + deadline + budget + progress counters.
+   All state is a handful of atomics, so a context can be polled from every
+   pool worker and snapshotted from the server's accept threads without
+   locks. The [status] type is declared before the [Cancelled] exception on
+   purpose: both want the [Cancelled] name, and declaration order lets the
+   status-producing functions below bind the variant constructor while
+   everything after the exception declaration gets the exception. *)
+
+type status = Ok | Timeout | Cancelled
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
+
+type progress = { candidates : int; emitted : int; level : int }
+
+type t = {
+  parent : t option;
+  token : bool Atomic.t;
+  deadline : float option;
+  budget : int option;
+  candidates : int Atomic.t;
+  emitted : int Atomic.t;
+  level : int Atomic.t;
+  started : float;
+}
+
+let make ~parent ~deadline ~budget =
+  {
+    parent;
+    token = Atomic.make false;
+    deadline;
+    budget;
+    candidates = Atomic.make 0;
+    emitted = Atomic.make 0;
+    level = Atomic.make 0;
+    started = Clock.now ();
+  }
+
+let min_deadline a b =
+  match (a, b) with
+  | None, d | d, None -> d
+  | Some x, Some y -> Some (Float.min x y)
+
+let create ?deadline ?timeout ?budget () =
+  let relative = Option.map (fun s -> Clock.now () +. s) timeout in
+  make ~parent:None ~deadline:(min_deadline deadline relative) ~budget
+
+let fork ?timeout ?budget t =
+  let relative = Option.map (fun s -> Clock.now () +. s) timeout in
+  make ~parent:(Some t) ~deadline:(min_deadline t.deadline relative) ~budget
+
+let cancel t = Atomic.set t.token true
+
+let rec cancel_requested t =
+  Atomic.get t.token
+  || match t.parent with Some p -> cancel_requested p | None -> false
+
+let past_deadline t =
+  match t.deadline with None -> false | Some d -> Clock.now () >= d
+
+let interrupted t = cancel_requested t || past_deadline t
+
+let rec tick ?(n = 1) t =
+  ignore (Atomic.fetch_and_add t.candidates n);
+  match t.parent with Some p -> tick ~n p | None -> ()
+
+let rec emit ?(n = 1) t =
+  ignore (Atomic.fetch_and_add t.emitted n);
+  match t.parent with Some p -> emit ~n p | None -> ()
+
+let budget_exhausted t =
+  match t.budget with Some b -> Atomic.get t.emitted >= b | None -> false
+
+let should_stop t = interrupted t || budget_exhausted t
+
+let rec set_level t k =
+  let rec bump () =
+    let cur = Atomic.get t.level in
+    if k > cur && not (Atomic.compare_and_set t.level cur k) then bump ()
+  in
+  bump ();
+  match t.parent with Some p -> set_level p k | None -> ()
+
+let progress t =
+  {
+    candidates = Atomic.get t.candidates;
+    emitted = Atomic.get t.emitted;
+    level = Atomic.get t.level;
+  }
+
+let elapsed t = Clock.now () -. t.started
+
+let status t =
+  if cancel_requested t then Cancelled
+  else if past_deadline t then Timeout
+  else Ok
+
+exception Cancelled of status * progress
+
+let check t = if interrupted t then raise (Cancelled (status t, progress t))

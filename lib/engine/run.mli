@@ -1,0 +1,102 @@
+(** Run contexts: one value threaded through a whole mining run carrying a
+    cooperative cancellation token, an absolute wall-clock deadline, an
+    optional emission budget, and monotonic progress counters.
+
+    Every engine entry point ([Skinny_mine.mine], [Spm_gspan.Engine.mine],
+    the baselines) accepts [?run] and polls it at pattern-extension
+    granularity: cheap enough to keep cancellation latency in the
+    milliseconds, coarse enough that the polling cost disappears into the
+    work of a single extension. Cancellation is {e cooperative} — a single
+    [Atomic.t] flag that running code tests via {!check} / {!interrupted} —
+    never preemptive: workers are plain domains sharing the heap, and
+    killing one mid-extension would leak the batch protocol's invariants
+    (claimed-but-unfinished cursor slots, half-built hash tables).
+
+    Contexts form a tree: {!fork} makes a child whose token and counters are
+    fresh but which still observes the parent's token and deadline, and
+    whose counter increments propagate upward. [Skinny_mine] uses forks to
+    give each diameter cluster a private budget slice while the server's
+    per-request deadline keeps acting on all of them. *)
+
+type status = Ok | Timeout | Cancelled
+(** How a run ended: [Ok] means it ran to natural completion (a filled
+    emission budget still counts as [Ok] — the budget is an output size
+    limit, not an interruption), [Timeout] means the deadline passed, and
+    [Cancelled] means {!cancel} was called on the run or an ancestor. *)
+
+val status_to_string : status -> string
+(** Lowercase rendering: ["ok"], ["timeout"], ["cancelled"]. *)
+
+type progress = {
+  candidates : int;  (** candidate patterns examined so far ({!tick}) *)
+  emitted : int;  (** patterns emitted into the result set ({!emit}) *)
+  level : int;  (** current level: pattern size being grown ({!set_level}) *)
+}
+
+exception Cancelled of status * progress
+(** Raised by {!check} (and thus from inside any engine honoring a run) when
+    the run is interrupted, carrying why and how far the run got. Partial
+    per-engine stats survive in the engine's own accumulators; engines that
+    can return partial results catch this internally and report the status
+    in their stats instead of letting it escape. *)
+
+type t
+
+val create : ?deadline:float -> ?timeout:float -> ?budget:int -> unit -> t
+(** A fresh root context. [deadline] is absolute ({!Clock.now} scale);
+    [timeout] is relative seconds from now — when both are given the
+    earlier one wins. [budget] bounds {!emit} via {!budget_exhausted}. *)
+
+val fork : ?timeout:float -> ?budget:int -> t -> t
+(** A child context with a fresh token, fresh counters, and its own budget.
+    The child is interrupted whenever the parent is (the deadline is the
+    minimum of the parent's and [now + timeout]); {!tick}/{!emit}/
+    {!set_level} on the child also advance the parent's counters, so
+    progress reported from the root reflects all descendants. Cancelling a
+    child does not cancel the parent. *)
+
+val cancel : t -> unit
+(** Request cooperative cancellation: sets the token; running code observes
+    it at its next {!check}. Safe from any domain or thread; idempotent. *)
+
+val interrupted : t -> bool
+(** The token (here or on an ancestor) is set, or the deadline has passed.
+    Budget exhaustion is deliberately {e not} an interruption — see
+    {!status}. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} with the current {!status} and {!progress} if
+    {!interrupted}. This is the polling point engines call once per pattern
+    extension (and pools call between task claims). *)
+
+val should_stop : t -> bool
+(** [interrupted t || budget_exhausted t] — the loop guard for engines that
+    unwind manually instead of raising. *)
+
+val tick : ?n:int -> t -> unit
+(** Count [n] (default 1) candidates examined, propagating to ancestors. *)
+
+val emit : ?n:int -> t -> unit
+(** Count [n] (default 1) patterns emitted, propagating to ancestors. *)
+
+val budget_exhausted : t -> bool
+(** This context's emission count has reached its [budget] (never true
+    without one). Ancestors' budgets are not consulted: a fork with its own
+    budget slice is charged only against that slice. *)
+
+val set_level : t -> int -> unit
+(** Record the current mining level (pattern size); monotone — the stored
+    level only ever increases. Propagates to ancestors. *)
+
+val progress : t -> progress
+(** Snapshot of the counters. Safe to call from another thread while the
+    run is mining (the server's [Progress] request does exactly that). *)
+
+val elapsed : t -> float
+(** Wall-clock seconds since this context was created. *)
+
+val status : t -> status
+(** [Cancelled] if the token (here or on an ancestor) is set, else
+    [Timeout] if the deadline has passed, else [Ok]. An engine that
+    finished naturally should report [Ok] regardless — only code that
+    actually observed an interruption should consult this. *)

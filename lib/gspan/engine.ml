@@ -1,5 +1,7 @@
 open Spm_graph
 open Spm_pattern
+module Run = Spm_engine.Run
+module Clock = Spm_engine.Clock
 
 type support_measure = Transactions | Embedding_count | Mni
 
@@ -84,29 +86,31 @@ let support_of ~measure ~db ~pattern (projs : projected list) =
         + Array.fold_left (fun m h -> min m (Hashtbl.length h)) max_int images)
       per_graph 0
 
-let mine config db_list =
+let mine ?run config db_list =
+  (* The config's deadline/max_patterns become a private fork so an external
+     run (say the server's per-request context) composes with them: the fork
+     observes the external token and deadline, while the budget stays local
+     to this engine invocation. *)
+  let run =
+    match run with
+    | Some r -> Run.fork ?timeout:config.deadline ?budget:config.max_patterns r
+    | None -> Run.create ?timeout:config.deadline ?budget:config.max_patterns ()
+  in
   let db = Array.of_list db_list in
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let results = ref [] in
-  let nresults = ref 0 in
   let visited = ref 0 in
   let complete = ref true in
   let check_budget () =
-    (match config.max_patterns with
-    | Some cap when !nresults >= cap ->
+    if Run.should_stop run then begin
       complete := false;
       raise Stop
-    | Some _ | None -> ());
-    match config.deadline with
-    | Some limit when Sys.time () -. t0 > limit ->
-      complete := false;
-      raise Stop
-    | Some _ | None -> ()
+    end
   in
   let report pattern support =
     if Pattern.size pattern >= config.min_report_edges then begin
       results := { pattern; support } :: !results;
-      incr nresults
+      Run.emit run
     end
   in
   let in_map map w = Array.exists (fun x -> x = w) map in
@@ -159,6 +163,8 @@ let mine config db_list =
   let rec grow code pattern projs =
     check_budget ();
     incr visited;
+    Run.tick run;
+    Run.set_level run (Pattern.size pattern);
     let stop_size =
       (match config.max_edges with
       | Some me -> Pattern.size pattern >= me
@@ -231,6 +237,6 @@ let mine config db_list =
   {
     results = List.rev !results;
     complete = !complete;
-    elapsed = Sys.time () -. t0;
+    elapsed = Clock.now () -. t0;
     visited = !visited;
   }

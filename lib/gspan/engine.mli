@@ -26,7 +26,10 @@ type config = {
   max_edges : int option;  (** stop growing past this pattern size *)
   max_vertices : int option;
   max_patterns : int option;  (** stop after reporting this many *)
-  deadline : float option;  (** wall-clock budget in seconds *)
+  deadline : float option;
+      (** wall-clock budget in seconds, measured by {!Spm_engine.Clock}
+          (earlier versions used process CPU time, which overshoots under
+          parallel callers) *)
   min_report_edges : int;  (** report only patterns with at least this size *)
 }
 
@@ -42,4 +45,10 @@ type outcome = {
   visited : int;  (** number of search-tree nodes expanded *)
 }
 
-val mine : config -> Spm_graph.Graph.t list -> outcome
+val mine : ?run:Spm_engine.Run.t -> config -> Spm_graph.Graph.t list -> outcome
+(** [run] composes external control with the config's own limits: the engine
+    mines under a {!Spm_engine.Run.fork} of it carrying [config.deadline] /
+    [config.max_patterns], so cancelling [run] (or its deadline passing)
+    stops the search at the next extension exactly like a config limit —
+    results gathered so far are returned with [complete = false];
+    {!Spm_engine.Run.Cancelled} never escapes. *)

@@ -1,5 +1,5 @@
-let mine ?max_edges ?max_patterns ?deadline ?(min_report_edges = 1) ~db ~sigma
-    () =
+let mine ?run ?max_edges ?max_patterns ?deadline ?(min_report_edges = 1) ~db
+    ~sigma () =
   let config =
     {
       (Engine.default ~sigma ~measure:Engine.Transactions) with
@@ -9,7 +9,7 @@ let mine ?max_edges ?max_patterns ?deadline ?(min_report_edges = 1) ~db ~sigma
       min_report_edges;
     }
   in
-  Engine.mine config db
+  Engine.mine ?run config db
 
 let frequent_patterns ~db ~sigma =
   (mine ~db ~sigma ()).Engine.results

@@ -2,6 +2,7 @@
     graph-transaction setting, with DFS-code canonical pruning. *)
 
 val mine :
+  ?run:Spm_engine.Run.t ->
   ?max_edges:int ->
   ?max_patterns:int ->
   ?deadline:float ->

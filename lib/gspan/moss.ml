@@ -1,4 +1,4 @@
-let mine ?(measure = Engine.Embedding_count) ?max_edges ?max_vertices
+let mine ?run ?(measure = Engine.Embedding_count) ?max_edges ?max_vertices
     ?max_patterns ?deadline ?(min_report_edges = 1) ~graph ~sigma () =
   let config =
     {
@@ -10,4 +10,4 @@ let mine ?(measure = Engine.Embedding_count) ?max_edges ?max_vertices
       min_report_edges;
     }
   in
-  Engine.mine config [ graph ]
+  Engine.mine ?run config [ graph ]

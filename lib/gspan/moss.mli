@@ -6,6 +6,7 @@
     the paper's |E[P]| embedding-count support (or MNI on request). *)
 
 val mine :
+  ?run:Spm_engine.Run.t ->
   ?measure:Engine.support_measure ->
   ?max_edges:int ->
   ?max_vertices:int ->

@@ -1,8 +1,10 @@
 module Codec = Spm_store.Codec
+module Run = Spm_engine.Run
 
 type t = {
   fd : Unix.file_descr;
   mutable meta : (bool * float) option;
+  mutable status : Run.status option;
   mutable closed : bool;
 }
 
@@ -14,7 +16,7 @@ let connect ?(host = "127.0.0.1") ~port () =
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
-  { fd; meta = None; closed = false }
+  { fd; meta = None; status = None; closed = false }
 
 let close t =
   if not t.closed then begin
@@ -29,6 +31,7 @@ let call t req =
   | Some frame ->
     let resp = Protocol.decode_response frame in
     t.meta <- Some (resp.Protocol.cache_hit, resp.Protocol.seconds);
+    t.status <- Some resp.Protocol.status;
     resp
 
 let with_connection ?host ~port f =
@@ -36,6 +39,7 @@ let with_connection ?host ~port f =
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let last_meta t = t.meta
+let last_status t = t.status
 
 exception Server_error of string
 
@@ -78,3 +82,13 @@ let shutdown t =
   match expect_payload t Protocol.Shutdown with
   | Protocol.Bye -> ()
   | _ -> protocol_violation "Shutdown"
+
+let progress t =
+  match expect_payload t Protocol.Progress with
+  | Protocol.Progress_reply p -> p
+  | _ -> protocol_violation "Progress"
+
+let cancel t =
+  match expect_payload t Protocol.Cancel with
+  | Protocol.Cancel_ack was_running -> was_running
+  | _ -> protocol_violation "Cancel"

@@ -40,7 +40,21 @@ val stats : t -> Protocol.server_stats
 
 val shutdown : t -> unit
 
+val progress : t -> Protocol.mine_progress
+(** Counters of the server's in-flight mine ([running = false] if none).
+    Issue it from a second connection: a connection blocked on its own
+    [Mine] cannot interleave another request. *)
+
+val cancel : t -> bool
+(** Ask the server to cancel its in-flight mine; [true] if one was running.
+    The mining client receives [status = Cancelled] plus partial patterns. *)
+
 val last_meta : t -> (bool * float) option
 (** [(cache_hit, server_seconds)] of the most recent response on this
     connection — the per-request observability hook used by the benchmark
     and the CLI. *)
+
+val last_status : t -> Spm_engine.Run.status option
+(** {!Spm_engine.Run.status} of the most recent response: anything other
+    than [Ok] means the answer was truncated by the server's mine deadline
+    or a concurrent [Cancel]. *)

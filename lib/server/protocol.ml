@@ -1,7 +1,11 @@
 module Codec = Spm_store.Codec
 module Store = Spm_store.Store
+module Run = Spm_engine.Run
 
-let handshake = "SKNYSRV1"
+(* v2: response envelopes carry a run status byte, and the Progress/Cancel
+   requests observe and stop a running mine. The version bump is deliberate:
+   a v1 client would mis-decode the widened envelope. *)
+let handshake = "SKNYSRV2"
 let max_frame = 64 * 1024 * 1024
 let default_port = 7707
 
@@ -27,6 +31,8 @@ type request =
   | Contains of Spm_graph.Graph.t
   | Stats
   | Shutdown
+  | Progress
+  | Cancel
 
 type server_stats = {
   requests : int;
@@ -37,6 +43,14 @@ type server_stats = {
   service_seconds : float;
 }
 
+type mine_progress = {
+  running : bool;
+  candidates : int;
+  emitted : int;
+  level : int;
+  elapsed_seconds : float;
+}
+
 type payload =
   | Pong
   | Loaded of int
@@ -44,16 +58,19 @@ type payload =
   | Stats_reply of server_stats
   | Bye
   | Error of string
+  | Progress_reply of mine_progress
+  | Cancel_ack of bool
 
 type response = {
   cache_hit : bool;
   seconds : float;
+  status : Run.status;
   payload : payload;
 }
 
 let cacheable = function
   | Mine _ | Lookup _ | Contains _ -> true
-  | Ping | Load_store _ | Stats | Shutdown -> false
+  | Ping | Load_store _ | Stats | Shutdown | Progress | Cancel -> false
 
 (* --- request codec --- *)
 
@@ -80,7 +97,9 @@ let encode_request req =
     Codec.W.byte w 4;
     Store.write_graph w g
   | Stats -> Codec.W.byte w 5
-  | Shutdown -> Codec.W.byte w 6);
+  | Shutdown -> Codec.W.byte w 6
+  | Progress -> Codec.W.byte w 7
+  | Cancel -> Codec.W.byte w 8);
   Codec.W.contents w
 
 let decode_request s =
@@ -103,6 +122,8 @@ let decode_request s =
   | 4 -> Contains (Store.read_graph r)
   | 5 -> Stats
   | 6 -> Shutdown
+  | 7 -> Progress
+  | 8 -> Cancel
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
 
 (* --- response codec --- *)
@@ -127,6 +148,16 @@ let encode_payload w = function
   | Error msg ->
     Codec.W.byte w 5;
     Codec.W.string w msg
+  | Progress_reply p ->
+    Codec.W.byte w 6;
+    Codec.W.bool w p.running;
+    Codec.W.uint w p.candidates;
+    Codec.W.uint w p.emitted;
+    Codec.W.uint w p.level;
+    Codec.W.float w p.elapsed_seconds
+  | Cancel_ack was_running ->
+    Codec.W.byte w 7;
+    Codec.W.bool w was_running
 
 let decode_payload r =
   match Codec.R.byte r with
@@ -145,12 +176,29 @@ let decode_payload r =
         service_seconds }
   | 4 -> Bye
   | 5 -> Error (Codec.R.string r)
+  | 6 ->
+    let running = Codec.R.bool r in
+    let candidates = Codec.R.uint r in
+    let emitted = Codec.R.uint r in
+    let level = Codec.R.uint r in
+    let elapsed_seconds = Codec.R.float r in
+    Progress_reply { running; candidates; emitted; level; elapsed_seconds }
+  | 7 -> Cancel_ack (Codec.R.bool r)
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown payload tag %d" t))
+
+let status_byte = function Run.Ok -> 0 | Run.Timeout -> 1 | Run.Cancelled -> 2
+
+let status_of_byte = function
+  | 0 -> Run.Ok
+  | 1 -> Run.Timeout
+  | 2 -> Run.Cancelled
+  | b -> raise (Codec.Corrupt (Printf.sprintf "unknown status byte %d" b))
 
 let encode_response resp =
   let w = Codec.W.create () in
   Codec.W.bool w resp.cache_hit;
   Codec.W.float w resp.seconds;
+  Codec.W.byte w (status_byte resp.status);
   encode_payload w resp.payload;
   Codec.W.contents w
 
@@ -158,8 +206,9 @@ let decode_response s =
   let r = Codec.R.of_string s in
   let cache_hit = Codec.R.bool r in
   let seconds = Codec.R.float r in
+  let status = status_of_byte (Codec.R.byte r) in
   let payload = decode_payload r in
-  { cache_hit; seconds; payload }
+  { cache_hit; seconds; status; payload }
 
 (* --- framing --- *)
 

@@ -10,11 +10,14 @@
     above {!max_frame} are rejected without allocation.
 
     Responses carry a small envelope (cache hit flag, server-side service
-    seconds) so clients and benchmarks can observe per-request latency and
-    LRU effectiveness without a separate stats round trip. *)
+    seconds, run {!Spm_engine.Run.status}) so clients and benchmarks can
+    observe per-request latency, LRU effectiveness and deadline truncation
+    without a separate stats round trip. *)
 
 val handshake : string
-(** ["SKNYSRV1"] — protocol version is the trailing digit. *)
+(** ["SKNYSRV2"] — protocol version is the trailing digit. v2 widened the
+    response envelope with a status byte and added [Progress]/[Cancel], so
+    v1 peers are refused at the handshake rather than mis-decoded. *)
 
 val max_frame : int
 (** Upper bound on accepted payload sizes (64 MiB). *)
@@ -49,6 +52,13 @@ type request =
       (** Which resident patterns embed in this submitted graph? *)
   | Stats
   | Shutdown
+  | Progress
+      (** Counters of the mine currently executing, if any. Answered
+          immediately even while a [Mine] request is running. *)
+  | Cancel
+      (** Request cooperative cancellation of the running mine (if any); it
+          answers its own client with [status = Cancelled] and whatever
+          partial patterns it had. Acknowledged with [Cancel_ack]. *)
 
 type server_stats = {
   requests : int;
@@ -59,6 +69,14 @@ type server_stats = {
   service_seconds : float;  (** total time spent inside request handling *)
 }
 
+type mine_progress = {
+  running : bool;  (** false = no mine in flight (counters are zero) *)
+  candidates : int;  (** candidate patterns examined so far *)
+  emitted : int;  (** patterns emitted so far *)
+  level : int;  (** current level (pattern size being grown) *)
+  elapsed_seconds : float;
+}
+
 type payload =
   | Pong
   | Loaded of int  (** pattern count of the newly resident store *)
@@ -66,10 +84,16 @@ type payload =
   | Stats_reply of server_stats
   | Bye
   | Error of string
+  | Progress_reply of mine_progress
+  | Cancel_ack of bool  (** was a mine actually running? *)
 
 type response = {
   cache_hit : bool;
   seconds : float;  (** server-side service time for this request *)
+  status : Spm_engine.Run.status;
+      (** [Ok] unless this response was truncated by the server's
+          per-request mine deadline ([Timeout]) or a [Cancel] ([Cancelled]);
+          [Patterns] then holds the partial results *)
   payload : payload;
 }
 

@@ -4,10 +4,18 @@ module Store = Spm_store.Store
 module Codec = Spm_store.Codec
 module Pool = Spm_engine.Pool
 module Clock = Spm_engine.Clock
+module Run = Spm_engine.Run
 
 type t = {
   jobs : int;
+  mine_timeout : float option;
   lock : Mutex.t;
+  mine_lock : Mutex.t;
+      (* Serializes actual mining, which is the only long-running request.
+         Held WITHOUT [lock], so Progress/Cancel (and the planner queries)
+         stay responsive while a mine is in flight. Lock order: a thread
+         holding [mine_lock] may take [lock]; never the reverse. *)
+  mutable current : Run.t option;  (* the in-flight mine, if any; under [lock] *)
   cache : (string, Protocol.payload) Lru.t;
   mutable graph : Graph.t option;
   mutable index : Sig_index.t;
@@ -21,10 +29,13 @@ type t = {
   mutable listen_addr : Unix.sockaddr option;
 }
 
-let create ?(jobs = 1) ?(cache_capacity = 128) () =
+let create ?(jobs = 1) ?(cache_capacity = 128) ?mine_timeout () =
   {
     jobs = max 1 jobs;
+    mine_timeout;
     lock = Mutex.create ();
+    mine_lock = Mutex.create ();
+    current = None;
     cache = Lru.create ~capacity:cache_capacity;
     graph = None;
     index = Sig_index.build [];
@@ -39,6 +50,7 @@ let create ?(jobs = 1) ?(cache_capacity = 128) () =
   }
 
 let jobs t = t.jobs
+let mine_timeout t = t.mine_timeout
 
 let locked t f =
   Mutex.lock t.lock;
@@ -88,83 +100,188 @@ let wake_listener t =
     | () -> Unix.close fd
     | exception Unix.Unix_error _ -> ( try Unix.close fd with _ -> ()))
 
-let run_request t req : Protocol.payload =
+(* Dispatch outcome of the state-locked phase: everything except an actual
+   mine completes in there. *)
+type dispatch =
+  | Done of Run.status * Protocol.payload
+  | Need_mine of Protocol.mine_params * Graph.t
+
+let dispatch_unlocked t req : dispatch =
   match (req : Protocol.request) with
-  | Ping -> Pong
+  | Ping -> Done (Run.Ok, Pong)
   | Load_store path ->
     let s = Store.load path in
     install_store t s;
-    Loaded (List.length s.Store.patterns)
+    Done (Run.Ok, Loaded (List.length s.Store.patterns))
   | Mine { l; delta; sigma; closed_growth } -> (
     let matches_store =
       match t.store with
       | Some s ->
-        if s.Store.l = l && s.Store.delta = delta && s.Store.sigma = sigma
+        (* An incomplete store (flushed from a timed-out mine) is a prefix,
+           not the answer set — never let it satisfy a Mine request. *)
+        if s.Store.complete && s.Store.l = l && s.Store.delta = delta
+           && s.Store.sigma = sigma
            && s.Store.closed_growth = closed_growth
         then Some s.Store.patterns
         else None
       | None -> None
     in
     match matches_store with
-    | Some patterns -> Patterns patterns (* resident store: no re-mining *)
+    | Some patterns ->
+      Done (Run.Ok, Patterns patterns) (* resident store: no re-mining *)
     | None -> (
       match t.graph with
-      | None -> Error "no graph loaded (send Load_store first)"
-      | Some g ->
+      | None -> Done (Run.Ok, Error "no graph loaded (send Load_store first)")
+      | Some g -> Need_mine ({ l; delta; sigma; closed_growth }, g)))
+  | Lookup { min_support; max_support; length; labels } ->
+    Done
+      ( Run.Ok,
+        Patterns
+          (Sig_index.lookup ?min_support ?max_support ?length ?labels t.index)
+      )
+  | Contains g ->
+    Done
+      ( Run.Ok,
+        Patterns
+          (with_jobs_pool t.jobs (fun pool ->
+               Sig_index.contained_in ~pool t.index g)) )
+  | Stats -> Done (Run.Ok, Stats_reply (stats_unlocked t))
+  | Shutdown ->
+    t.stop <- true;
+    (* Stop an in-flight mine too, so [serve] can join its connection
+       thread promptly instead of waiting out the full search. *)
+    Option.iter Run.cancel t.current;
+    wake_listener t;
+    Done (Run.Ok, Bye)
+  | Progress -> (
+    match t.current with
+    | None ->
+      Done
+        ( Run.Ok,
+          Progress_reply
+            {
+              running = false;
+              candidates = 0;
+              emitted = 0;
+              level = 0;
+              elapsed_seconds = 0.0;
+            } )
+    | Some run ->
+      let p = Run.progress run in
+      Done
+        ( Run.Ok,
+          Progress_reply
+            {
+              running = true;
+              candidates = p.Run.candidates;
+              emitted = p.Run.emitted;
+              level = p.Run.level;
+              elapsed_seconds = Run.elapsed run;
+            } ))
+  | Cancel -> (
+    match t.current with
+    | None -> Done (Run.Ok, Cancel_ack false)
+    | Some run ->
+      Run.cancel run;
+      Done (Run.Ok, Cancel_ack true))
+
+(* The mine itself, outside the state lock. Serialized by [mine_lock]
+   (mining already fans out across domains; parallel mines would
+   oversubscribe the cores). *)
+let run_mine t { Protocol.l; delta; sigma; closed_growth } g =
+  let run = Run.create ?timeout:t.mine_timeout () in
+  locked t (fun () -> t.current <- Some run);
+  let r =
+    Fun.protect
+      ~finally:(fun () -> locked t (fun () -> t.current <- None))
+      (fun () ->
         let config =
           { Skinny_mine.Config.default with closed_growth; jobs = t.jobs }
         in
-        let r = Skinny_mine.mine ~config g ~l ~delta ~sigma in
-        Patterns r.Skinny_mine.patterns))
-  | Lookup { min_support; max_support; length; labels } ->
-    Patterns
-      (Sig_index.lookup ?min_support ?max_support ?length ?labels t.index)
-  | Contains g ->
-    Patterns
-      (with_jobs_pool t.jobs (fun pool ->
-           Sig_index.contained_in ~pool t.index g))
-  | Stats -> Stats_reply (stats_unlocked t)
-  | Shutdown ->
-    t.stop <- true;
-    wake_listener t;
-    Bye
+        Skinny_mine.mine ~config ~run g ~l ~delta ~sigma)
+  in
+  (r.Skinny_mine.stats.Skinny_mine.status, Protocol.Patterns r.Skinny_mine.patterns)
+
+(* Request failures become [Error] payloads ({!handle} never raises for
+   these); anything else is a server bug and propagates. *)
+let classify_error = function
+  | Codec.Corrupt msg | Failure msg | Sys_error msg -> Some msg
+  | Invalid_argument msg -> Some ("invalid request: " ^ msg)
+  | Unix.Unix_error (e, fn, _) ->
+    Some (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | _ -> None
 
 let handle t req : Protocol.response =
   let t0 = Clock.now () in
-  locked t (fun () ->
-      t.requests <- t.requests + 1;
-      let key =
-        if Protocol.cacheable req then Some (Protocol.encode_request req)
-        else None
-      in
-      let cached = Option.bind key (Lru.find t.cache) in
-      let cache_hit, payload =
-        match cached with
+  let key =
+    if Protocol.cacheable req then Some (Protocol.encode_request req) else None
+  in
+  let finish ~cache_hit (status, payload) =
+    locked t (fun () ->
+        (match (key, payload) with
+        | ( Some k,
+            Protocol.(Pong | Loaded _ | Patterns _ | Stats_reply _ | Bye) )
+          when (not cache_hit) && status = Run.Ok ->
+          (* Only complete answers are cacheable: a Timeout/Cancelled
+             [Patterns] is a prefix, and a retry deserves a fresh attempt. *)
+          Lru.add t.cache k payload
+        | _, _ -> ());
+        let seconds = Clock.now () -. t0 in
+        t.service_seconds <- t.service_seconds +. seconds;
+        { Protocol.cache_hit; seconds; status; payload })
+  in
+  (* Phase 1, under the state lock: cache probe plus every request except an
+     actual mine. *)
+  let phase1 =
+    locked t (fun () ->
+        t.requests <- t.requests + 1;
+        match Option.bind key (Lru.find t.cache) with
         | Some payload ->
           t.cache_hits <- t.cache_hits + 1;
-          (true, payload)
+          `Hit payload
+        | None -> (
+          match dispatch_unlocked t req with
+          | Done (status, payload) -> `Done (status, payload)
+          | Need_mine (params, g) -> `Mine (params, g)
+          | exception e -> (
+            match classify_error e with
+            | Some msg ->
+              t.errors <- t.errors + 1;
+              `Done (Run.Ok, Protocol.Error msg)
+            | None -> raise e)))
+  in
+  match phase1 with
+  | `Hit payload -> finish ~cache_hit:true (Run.Ok, payload)
+  | `Done result -> finish ~cache_hit:false result
+  | `Mine (params, g) ->
+    Mutex.lock t.mine_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mine_lock)
+      (fun () ->
+        (* Another request may have mined and cached the same parameters
+           while we waited for the mine lock. *)
+        let recheck =
+          locked t (fun () ->
+              match Option.bind key (Lru.find t.cache) with
+              | Some payload ->
+                t.cache_hits <- t.cache_hits + 1;
+                Some payload
+              | None -> None)
+        in
+        match recheck with
+        | Some payload -> finish ~cache_hit:true (Run.Ok, payload)
         | None ->
-          let payload =
-            try run_request t req with
-            | Codec.Corrupt msg | Failure msg | Sys_error msg ->
-              t.errors <- t.errors + 1;
-              Protocol.Error msg
-            | Invalid_argument msg ->
-              t.errors <- t.errors + 1;
-              Protocol.Error ("invalid request: " ^ msg)
-            | Unix.Unix_error (e, fn, _) ->
-              t.errors <- t.errors + 1;
-              Protocol.Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+          let result =
+            match run_mine t params g with
+            | result -> result
+            | exception e -> (
+              match classify_error e with
+              | Some msg ->
+                locked t (fun () -> t.errors <- t.errors + 1);
+                (Run.Ok, Protocol.Error msg)
+              | None -> raise e)
           in
-          (match (key, payload) with
-          | Some k, (Pong | Loaded _ | Patterns _ | Stats_reply _ | Bye) ->
-            Lru.add t.cache k payload
-          | _, Protocol.Error _ | None, _ -> ());
-          (false, payload)
-      in
-      let seconds = Clock.now () -. t0 in
-      t.service_seconds <- t.service_seconds +. seconds;
-      { Protocol.cache_hit; seconds; payload })
+          finish ~cache_hit:false result)
 
 (* --- the socket surface --- *)
 
@@ -202,7 +319,12 @@ let handle_connection t conn =
                  stream offset can no longer be trusted. *)
               Protocol.write_frame conn
                 (Protocol.encode_response
-                   { cache_hit = false; seconds = 0.0; payload = Error msg })
+                   {
+                     cache_hit = false;
+                     seconds = 0.0;
+                     status = Run.Ok;
+                     payload = Error msg;
+                   })
             | Ok req ->
               let resp = handle t req in
               Protocol.write_frame conn (Protocol.encode_response resp);
@@ -214,6 +336,10 @@ let handle_connection t conn =
         | Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ())
 
 let serve t fd =
+  (* A client that disconnects mid-reply must not kill the process: turn
+     SIGPIPE into EPIPE from [write], which [handle_connection] absorbs. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   t.listen_addr <- Some (Unix.getsockname fd);
   let threads = ref [] in
   let rec accept_loop () =
@@ -222,9 +348,11 @@ let serve t fd =
       | conn, _ ->
         if t.stop then (try Unix.close conn with Unix.Unix_error _ -> ())
         else
-          threads := Thread.create (fun () -> handle_connection t conn) () :: !threads;
+          threads :=
+            Thread.create (fun () -> handle_connection t conn) () :: !threads;
         accept_loop ()
-      | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> accept_loop ()
+      | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
+        accept_loop ()
       | exception Unix.Unix_error _ when t.stop -> ()
   in
   Fun.protect

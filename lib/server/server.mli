@@ -3,10 +3,19 @@
     One server owns a resident pattern store (graph + mined set + the
     {!Sig_index} planner index over it), an LRU response cache keyed by the
     encoded request bytes, and running counters. The accept loop handles
-    each connection on its own thread; request dispatch is serialized by an
-    internal lock (mining already fans out across domains via
-    {!Spm_engine.Pool}, so cross-request parallelism would oversubscribe the
-    cores — concurrency buys connection pipelining, not parallel mining).
+    each connection on its own thread. Short requests are serialized by a
+    state lock; actual mining runs outside it under a separate mine lock
+    (mining already fans out across domains via {!Spm_engine.Pool}, so
+    parallel mines would oversubscribe the cores), which keeps
+    [Progress]/[Cancel] and planner queries responsive while a mine is in
+    flight.
+
+    Each mine executes under a fresh {!Spm_engine.Run} context. When the
+    server was created with [?mine_timeout], the run carries that deadline:
+    an overrunning mine stops cooperatively and its client receives
+    [status = Timeout] with the partial patterns mined so far. A [Cancel]
+    request trips the same mechanism ([status = Cancelled]). Non-[Ok]
+    responses are never cached, so a retry gets a fresh attempt.
 
     {!handle} is the full dispatch path minus the socket, so tests and
     benchmarks can drive the server in-process and get byte-identical
@@ -14,12 +23,17 @@
 
 type t
 
-val create : ?jobs:int -> ?cache_capacity:int -> unit -> t
+val create :
+  ?jobs:int -> ?cache_capacity:int -> ?mine_timeout:float -> unit -> t
 (** [jobs] (default 1) is the domain-pool width used for mining and
     containment requests; [cache_capacity] (default 128) bounds the LRU
-    response cache. *)
+    response cache; [mine_timeout] (default: none) is the wall-clock budget
+    in seconds granted to each [Mine] request that actually mines — cache
+    and resident-store answers are exempt. *)
 
 val jobs : t -> int
+
+val mine_timeout : t -> float option
 
 val set_store : t -> Spm_store.Store.pattern_store -> unit
 (** Install a pattern store as the resident set: its graph becomes the mine
@@ -46,6 +60,9 @@ val listen : ?host:string -> port:int -> unit -> Unix.file_descr * int
 
 val serve : t -> Unix.file_descr -> unit
 (** Accept loop: one thread per connection, each running
-    handshake/read/dispatch/reply until EOF. Returns after a [Shutdown]
-    request, once every connection thread has finished; the listening
-    socket is closed on exit. *)
+    handshake/read/dispatch/reply until EOF. Ignores [SIGPIPE] for the
+    process, so a client that disconnects mid-reply surfaces as [EPIPE] on
+    that connection's thread instead of killing the server. Returns after a
+    [Shutdown] request (which also cancels any in-flight mine), once every
+    connection thread has finished; the listening socket is closed on
+    exit. *)

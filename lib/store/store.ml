@@ -101,11 +101,20 @@ type pattern_store = {
   delta : int;
   sigma : int;
   closed_growth : bool;
+  complete : bool;
   patterns : Skinny_mine.mined list;
 }
 
 let of_result ~graph ~l ~delta ~sigma ~closed_growth (r : Skinny_mine.result) =
-  { graph; l; delta; sigma; closed_growth; patterns = r.patterns }
+  {
+    graph;
+    l;
+    delta;
+    sigma;
+    closed_growth;
+    complete = r.stats.Skinny_mine.status = Spm_engine.Run.Ok;
+    patterns = r.patterns;
+  }
 
 let encode s =
   let w = Codec.W.create ~size:4096 () in
@@ -115,7 +124,11 @@ let encode s =
       Codec.W.uint w s.l;
       Codec.W.uint w s.delta;
       Codec.W.uint w s.sigma;
-      Codec.W.bool w s.closed_growth);
+      Codec.W.bool w s.closed_growth;
+      (* Trailing completeness flag: readers of files written before it
+         existed treat its absence as [true] (those mines always ran to
+         completion), which keeps the format version stable. *)
+      Codec.W.bool w s.complete);
   Codec.W.section w ~tag:'M' (fun w -> Codec.W.list w write_mined s.patterns);
   Codec.W.contents w
 
@@ -128,8 +141,9 @@ let decode s =
   let delta = Codec.R.uint p in
   let sigma = Codec.R.uint p in
   let closed_growth = Codec.R.bool p in
+  let complete = if Codec.R.left p > 0 then Codec.R.bool p else true in
   let patterns = Codec.R.list (find_section 'M' secs) read_mined in
-  { graph; l; delta; sigma; closed_growth; patterns }
+  { graph; l; delta; sigma; closed_growth; complete; patterns }
 
 let write_file path data =
   let oc = open_out_bin path in

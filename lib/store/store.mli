@@ -41,6 +41,11 @@ type pattern_store = {
   delta : int;
   sigma : int;
   closed_growth : bool;
+  complete : bool;
+      (** [false] when the producing mine was cut short (deadline or
+          cancellation): [patterns] is then a prefix of the full answer set.
+          Files written before this flag existed decode as [complete = true]
+          — those mines always ran to completion. *)
   patterns : Spm_core.Skinny_mine.mined list;
 }
 
@@ -52,6 +57,7 @@ val of_result :
   closed_growth:bool ->
   Spm_core.Skinny_mine.result ->
   pattern_store
+(** [complete] is derived from the result's run status. *)
 
 val encode : pattern_store -> string
 

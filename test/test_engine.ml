@@ -7,6 +7,7 @@ open Spm_graph
 open Spm_pattern
 open Spm_core
 module Pool = Spm_engine.Pool
+module Run = Spm_engine.Run
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -71,6 +72,77 @@ let test_pool_slices () =
   let s1 = Pool.slices [| 1; 2 |] ~pieces:8 in
   check "short input" 2 (Array.length s1);
   check "empty input" 0 (Array.length (Pool.slices [||] ~pieces:4))
+
+(* --- Run contexts --- *)
+
+let test_run_basics () =
+  let r = Run.create () in
+  check_bool "fresh run not interrupted" false (Run.interrupted r);
+  Alcotest.(check bool) "status ok" true (Run.status r = Run.Ok);
+  Run.check r;
+  (* never raises on a live run *)
+  Run.tick r;
+  Run.emit ~n:2 r;
+  Run.set_level r 3;
+  let p = Run.progress r in
+  check "candidates" 1 p.Run.candidates;
+  check "emitted" 2 p.Run.emitted;
+  check "level" 3 p.Run.level;
+  Run.cancel r;
+  check_bool "cancelled" true (Run.interrupted r);
+  Alcotest.(check bool) "status cancelled" true (Run.status r = Run.Cancelled);
+  (match Run.check r with
+  | () -> Alcotest.fail "expected Cancelled"
+  | exception Run.Cancelled (Run.Cancelled, p) ->
+    check "progress in exception" 1 p.Run.candidates
+  | exception Run.Cancelled _ -> Alcotest.fail "wrong status in exception")
+
+let test_run_budget_is_not_interruption () =
+  let r = Run.create ~budget:2 () in
+  Run.emit r;
+  check_bool "under budget" false (Run.budget_exhausted r);
+  Run.emit r;
+  check_bool "at budget" true (Run.budget_exhausted r);
+  check_bool "should stop" true (Run.should_stop r);
+  (* A full budget is a natural finish, not an interruption. *)
+  check_bool "not interrupted" false (Run.interrupted r);
+  Alcotest.(check bool) "status still ok" true (Run.status r = Run.Ok);
+  Run.check r (* must not raise *)
+
+let test_run_fork () =
+  let parent = Run.create () in
+  let child = Run.fork ~budget:1 parent in
+  (* Counters propagate upward; budgets do not. *)
+  Run.tick child;
+  Run.emit child;
+  check "parent sees child ticks" 1 (Run.progress parent).Run.candidates;
+  check "parent sees child emits" 1 (Run.progress parent).Run.emitted;
+  check_bool "child budget local" true (Run.budget_exhausted child);
+  check_bool "parent unbudgeted" false (Run.budget_exhausted parent);
+  (* Cancellation flows downward through the parent chain. *)
+  Run.cancel parent;
+  check_bool "child observes parent cancel" true (Run.interrupted child);
+  (* A deadline in the past interrupts immediately. *)
+  let expired = Run.create ~timeout:0.0 () in
+  check_bool "expired deadline" true (Run.interrupted expired);
+  Alcotest.(check bool) "timeout status" true (Run.status expired = Run.Timeout)
+
+let test_pool_run_cancellation () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let run = Run.create () in
+      Run.cancel run;
+      (match Pool.map ~run pool succ (Array.init 100 Fun.id) with
+      | _ -> Alcotest.fail "expected Run.Cancelled"
+      | exception Run.Cancelled (Run.Cancelled, _) -> ());
+      (* The pool survives a cancelled batch and serves the next one. *)
+      let out = Pool.map pool succ (Array.init 50 Fun.id) in
+      Alcotest.(check (array int)) "reused after cancellation"
+        (Array.init 50 succ) out;
+      (* A live run does not perturb results. *)
+      let live = Run.create () in
+      Alcotest.(check (array int)) "live run transparent"
+        (Array.init 50 succ)
+        (Pool.map ~run:live pool succ (Array.init 50 Fun.id)))
 
 let test_pool_shutdown_idempotent () =
   let pool = Pool.create ~jobs:3 () in
@@ -180,6 +252,102 @@ let test_jobs_byte_equal () =
   check_bool "sequential output nonempty" true (String.length s1 > 0);
   Alcotest.(check string) "jobs=4 byte-equal to jobs=1" s1 (render 4)
 
+(* Threading an explicit (no-deadline) run through the miner must be
+   invisible in the output, for any jobs value. *)
+let test_run_threading_byte_equal () =
+  let g = determinism_graph 46 in
+  let baseline = render_result (mine_jobs g ~l:4 ~delta:2 ~sigma:2 1) in
+  check_bool "baseline nonempty" true (String.length baseline > 0);
+  List.iter
+    (fun jobs ->
+      let r =
+        Skinny_mine.mine
+          ~config:{ Skinny_mine.Config.default with jobs }
+          ~run:(Run.create ()) g ~l:4 ~delta:2 ~sigma:2
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "status ok, jobs=%d" jobs)
+        true
+        (r.Skinny_mine.stats.Skinny_mine.status = Run.Ok);
+      Alcotest.(check string)
+        (Printf.sprintf "run-threaded jobs=%d byte-equal" jobs)
+        baseline (render_result r))
+    [ 1; 4 ]
+
+(* max_patterns now composes with jobs: the budgeted parallel mine returns
+   the identical prefix the budgeted sequential mine does. *)
+let test_budget_jobs_identical () =
+  let g = determinism_graph 47 in
+  let uncapped = mine_jobs g ~l:4 ~delta:2 ~sigma:2 1 in
+  let total = List.length uncapped.Skinny_mine.patterns in
+  check_bool "enough patterns to cap" true (total > 3);
+  let cap = total - 2 in
+  let capped jobs =
+    Skinny_mine.mine
+      ~config:
+        { Skinny_mine.Config.default with max_patterns = Some cap; jobs }
+      g ~l:4 ~delta:2 ~sigma:2
+  in
+  let seq = capped 1 in
+  check "cap respected" cap (List.length seq.Skinny_mine.patterns);
+  (* The budgeted output is a prefix of the unbudgeted emission order. *)
+  let prefix =
+    List.filteri (fun i _ -> i < cap) uncapped.Skinny_mine.patterns
+  in
+  Alcotest.(check string) "budget = prefix of uncapped"
+    (render_result { uncapped with patterns = prefix })
+    (render_result seq);
+  Alcotest.(check string) "jobs=4 budget byte-equal to jobs=1"
+    (render_result seq)
+    (render_result (capped 4));
+  check_bool "budget fill is a natural finish" true
+    (seq.Skinny_mine.stats.Skinny_mine.status = Run.Ok)
+
+(* An already-expired deadline: the miner returns Timeout immediately (well
+   under a second), and the same process can mine again to completion. *)
+let test_zero_deadline_times_out () =
+  let st = Gen.rng 48 in
+  let g = Gen.erdos_renyi st ~n:4000 ~avg_degree:3.0 ~num_labels:4 in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Skinny_mine.mine
+          ~config:{ Skinny_mine.Config.default with jobs }
+          ~run:(Run.create ~timeout:0.0 ()) g ~l:4 ~delta:2 ~sigma:2
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "timeout status, jobs=%d" jobs)
+        true
+        (r.Skinny_mine.stats.Skinny_mine.status = Run.Timeout);
+      check_bool
+        (Printf.sprintf "returned within 1s of the deadline (took %.3fs)" wall)
+        true (wall < 1.0))
+    [ 1; 4 ];
+  (* Follow-up mine in the same process, no deadline: completes normally. *)
+  let g2 = determinism_graph 49 in
+  let r2 = mine_jobs g2 ~l:4 ~delta:2 ~sigma:2 4 in
+  check_bool "follow-up mine ok" true
+    (r2.Skinny_mine.stats.Skinny_mine.status = Run.Ok)
+
+let prop_run_threading_transparent =
+  QCheck.Test.make
+    ~name:"no-deadline run threading never changes the mined output"
+    ~count:10
+    QCheck.(triple (int_range 8 20) (int_range 2 4) (oneofl [ 1; 4 ]))
+    (fun (n, l, jobs) ->
+      let st = Gen.rng ((n * 977) + (l * 7) + jobs) in
+      let g = Gen.erdos_renyi st ~n ~avg_degree:2.3 ~num_labels:3 in
+      let plain = signature (mine_jobs g ~l ~delta:2 ~sigma:1 1) in
+      let threaded =
+        signature
+          (Skinny_mine.mine
+             ~config:{ Skinny_mine.Config.default with jobs }
+             ~run:(Run.create ()) g ~l ~delta:2 ~sigma:1)
+      in
+      plain = threaded)
+
 let prop_parallel_equals_sequential =
   QCheck.Test.make
     ~name:"jobs=3 mines the identical (pattern, support) list as jobs=1"
@@ -209,6 +377,17 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
         ] );
+      ( "run",
+        [
+          Alcotest.test_case "basics" `Quick test_run_basics;
+          Alcotest.test_case "budget is not interruption" `Quick
+            test_run_budget_is_not_interruption;
+          Alcotest.test_case "fork and deadlines" `Quick test_run_fork;
+          Alcotest.test_case "pool cancellation" `Quick
+            test_pool_run_cancellation;
+          Alcotest.test_case "zero deadline times out" `Quick
+            test_zero_deadline_times_out;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "jobs sweep" `Quick test_jobs_identical;
@@ -218,6 +397,11 @@ let () =
             test_jobs_identical_transactions;
           Alcotest.test_case "jobs 1 vs 4 byte-equal render" `Quick
             test_jobs_byte_equal;
+          Alcotest.test_case "run threading byte-equal" `Quick
+            test_run_threading_byte_equal;
+          Alcotest.test_case "budget composes with jobs" `Quick
+            test_budget_jobs_identical;
         ] );
-      qsuite "props" [ prop_parallel_equals_sequential ];
+      qsuite "props"
+        [ prop_parallel_equals_sequential; prop_run_threading_transparent ];
     ]

@@ -169,7 +169,8 @@ let test_protocol_roundtrip () =
       Protocol.Lookup
         { min_support = Some 3; max_support = None; length = Some 4;
           labels = Some [ 1; 1; 2 ] };
-      Protocol.Contains g; Protocol.Stats; Protocol.Shutdown ]
+      Protocol.Contains g; Protocol.Stats; Protocol.Shutdown;
+      Protocol.Progress; Protocol.Cancel ]
   in
   List.iter
     (fun req ->
@@ -181,19 +182,33 @@ let test_protocol_roundtrip () =
       | a, b -> check_bool "request round trip" true (a = b))
     reqs;
   let s = corpus_store () in
+  let ok = Spm_engine.Run.Ok in
   let resps =
-    [ { Protocol.cache_hit = false; seconds = 0.25; payload = Protocol.Pong };
-      { Protocol.cache_hit = true; seconds = 0.0;
+    [ { Protocol.cache_hit = false; seconds = 0.25; status = ok;
+        payload = Protocol.Pong };
+      { Protocol.cache_hit = true; seconds = 0.0; status = ok;
         payload = Protocol.Patterns s.Store.patterns };
-      { Protocol.cache_hit = false; seconds = 1e-6;
+      { Protocol.cache_hit = false; seconds = 1e-6; status = ok;
         payload = Protocol.Loaded 17 };
-      { Protocol.cache_hit = false; seconds = 0.0;
+      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
         payload =
           Protocol.Stats_reply
             { requests = 5; cache_hits = 2; errors = 1; store_patterns = 17;
               uptime_seconds = 1.5; service_seconds = 0.125 } };
-      { Protocol.cache_hit = false; seconds = 0.0; payload = Protocol.Bye };
+      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
+        payload = Protocol.Bye };
       { Protocol.cache_hit = false; seconds = 0.0;
+        status = Spm_engine.Run.Timeout;
+        payload = Protocol.Patterns s.Store.patterns };
+      { Protocol.cache_hit = false; seconds = 0.5;
+        status = Spm_engine.Run.Cancelled;
+        payload =
+          Protocol.Progress_reply
+            { running = true; candidates = 12; emitted = 3; level = 5;
+              elapsed_seconds = 0.25 } };
+      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
+        payload = Protocol.Cancel_ack true };
+      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
         payload = Protocol.Error "boom" } ]
   in
   List.iter
@@ -201,7 +216,8 @@ let test_protocol_roundtrip () =
       let resp' = Protocol.decode_response (Protocol.encode_response resp) in
       check_bool "envelope" true
         (resp.Protocol.cache_hit = resp'.Protocol.cache_hit
-        && resp.Protocol.seconds = resp'.Protocol.seconds);
+        && resp.Protocol.seconds = resp'.Protocol.seconds
+        && resp.Protocol.status = resp'.Protocol.status);
       match (resp.Protocol.payload, resp'.Protocol.payload) with
       | Protocol.Patterns a, Protocol.Patterns b ->
         Alcotest.(check string) "patterns payload" (render a) (render b)
@@ -357,6 +373,124 @@ let test_end_to_end_from_saved_store () =
                 (render served));
           Client.with_connection ~port Client.shutdown))
 
+(* --- deadlines, cancellation, rude clients --- *)
+
+(* A graph whose full mine takes minutes: deadline/cancel tests interrupt
+   it rather than racing its completion. *)
+let long_mine_graph =
+  lazy (Gen.erdos_renyi (Gen.rng 48) ~n:4000 ~avg_degree:3.0 ~num_labels:4)
+
+let long_mine_params =
+  { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+
+let test_mine_timeout_in_process () =
+  let srv = Server.create ~jobs:2 ~mine_timeout:0.2 () in
+  Server.set_graph srv (Lazy.force long_mine_graph);
+  let t0 = Unix.gettimeofday () in
+  let resp = Server.handle srv (Protocol.Mine long_mine_params) in
+  let wall = Unix.gettimeofday () -. t0 in
+  check_bool "timeout status" true
+    (resp.Protocol.status = Spm_engine.Run.Timeout);
+  check_bool
+    (Printf.sprintf "within 1s of the 0.2s deadline (took %.3fs)" wall)
+    true (wall < 1.2);
+  (match resp.Protocol.payload with
+  | Protocol.Patterns _ -> ()
+  | _ -> Alcotest.fail "expected Patterns (possibly empty prefix)");
+  (* Truncated answers are never cached: the retry mines afresh. *)
+  let again = Server.handle srv (Protocol.Mine long_mine_params) in
+  check_bool "retry is not a cache hit" false again.Protocol.cache_hit;
+  check_bool "retry times out too" true
+    (again.Protocol.status = Spm_engine.Run.Timeout);
+  (* The same server still answers: no restart needed after a timeout. *)
+  match (Server.handle srv Protocol.Stats).Protocol.payload with
+  | Protocol.Stats_reply s -> check "requests counted" 3 s.Protocol.requests
+  | _ -> Alcotest.fail "expected Stats_reply"
+
+let test_wire_progress_and_cancel () =
+  let srv = Server.create ~jobs:2 () in
+  Server.set_graph srv (Lazy.force long_mine_graph);
+  let fd, port = Server.listen ~port:0 () in
+  let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+  Fun.protect
+    ~finally:(fun () -> Thread.join server_thread)
+    (fun () ->
+      let miner_result = ref None in
+      let miner =
+        Thread.create
+          (fun () ->
+            Client.with_connection ~port (fun c ->
+                let resp = Client.call c (Protocol.Mine long_mine_params) in
+                miner_result := Some resp))
+          ()
+      in
+      (* From a second connection, wait until the mine is observably in
+         flight, then cancel it. *)
+      Client.with_connection ~port (fun c ->
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec wait_running () =
+            let p = Client.progress c in
+            if p.Protocol.running then p
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "mine never became observable via Progress"
+            else begin
+              Thread.delay 0.01;
+              wait_running ()
+            end
+          in
+          let p = wait_running () in
+          check_bool "progress counters advance" true
+            (p.Protocol.candidates >= 0 && p.Protocol.elapsed_seconds >= 0.0);
+          check_bool "cancel acknowledged" true (Client.cancel c);
+          (* The miner's connection gets its answer promptly. *)
+          Thread.join miner;
+          (match !miner_result with
+          | Some resp ->
+            check_bool "mine reply is Cancelled" true
+              (resp.Protocol.status = Spm_engine.Run.Cancelled);
+            (match resp.Protocol.payload with
+            | Protocol.Patterns _ -> ()
+            | _ -> Alcotest.fail "expected Patterns from cancelled mine")
+          | None -> Alcotest.fail "mining client never got a reply");
+          (* Same server, same connection: still fully in service. *)
+          Client.ping c;
+          check_bool "no mine in flight anymore" false
+            (Client.progress c).Protocol.running);
+      Client.with_connection ~port Client.shutdown)
+
+(* A client that sends a mine request and vanishes must not take the server
+   down (SIGPIPE) — the next client gets served as if nothing happened. *)
+let test_disconnect_mid_mine () =
+  let srv = Server.create ~jobs:2 ~mine_timeout:0.3 () in
+  Server.set_graph srv (Lazy.force long_mine_graph);
+  let fd, port = Server.listen ~port:0 () in
+  let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+  Fun.protect
+    ~finally:(fun () -> Thread.join server_thread)
+    (fun () ->
+      (* Raw socket: handshake, fire the mine request, slam the door. *)
+      let raw = Unix.socket PF_INET SOCK_STREAM 0 in
+      Unix.connect raw (ADDR_INET (Unix.inet_addr_loopback, port));
+      Protocol.client_handshake raw;
+      Protocol.write_frame raw
+        (Protocol.encode_request (Protocol.Mine long_mine_params));
+      Thread.delay 0.05;
+      (* the server is now mining for a dead client *)
+      Unix.close raw;
+      (* The mine runs out its 0.3s budget, the reply write hits EPIPE, and
+         the connection thread absorbs it. A fresh client must see a fully
+         functional server. *)
+      Client.with_connection ~port (fun c ->
+          Client.ping c;
+          let resp = Client.call c (Protocol.Mine long_mine_params) in
+          check_bool "fresh mine after disconnect answered" true
+            (resp.Protocol.status = Spm_engine.Run.Timeout);
+          let s = Client.stats c in
+          check_bool "server counted both mine requests" true
+            (s.Protocol.requests >= 3));
+      Client.with_connection ~port Client.shutdown;
+      check_bool "server stopping" true (Server.stopping srv))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let prop_lru_never_overflows =
@@ -399,5 +533,14 @@ let () =
             test_end_to_end;
           Alcotest.test_case "saved store serves without re-mining" `Quick
             test_end_to_end_from_saved_store;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "mine timeout bounds service" `Quick
+            test_mine_timeout_in_process;
+          Alcotest.test_case "progress and cancel over the wire" `Quick
+            test_wire_progress_and_cancel;
+          Alcotest.test_case "client disconnect mid-mine" `Quick
+            test_disconnect_mid_mine;
         ] );
     ]
