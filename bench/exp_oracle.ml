@@ -1,0 +1,33 @@
+(* Oracle cost report: how expensive the correctness machinery itself is.
+
+   Runs the differential harness (brute-force reference miner, SkinnyMine at
+   jobs=1 and jobs=4, gSpan + skinny filter) over the committed corpus and
+   reports per-item wall clock plus the aggregate mismatch count, which must
+   be zero on a healthy tree. The point of benching this at all: the oracle
+   gates CI, so its runtime budget (< 2 min) is itself a contract worth
+   tracking. *)
+
+open Spm_oracle
+
+(* Returns a JSON fragment for the harness summary file. *)
+let run () =
+  Util.section "Oracle: differential harness over the committed corpus";
+  let items = Corpus.builtin () in
+  let rows =
+    List.map
+      (fun it ->
+        let r, dt = Util.time (fun () -> Differential.run_item it) in
+        let mismatches = List.length r.Differential.mismatches in
+        Printf.printf "  %-22s %s in %6.3fs (%d oracle targets)\n%!"
+          it.Corpus.name
+          (if Differential.ok r then "clean" else "DIVERGED")
+          dt r.Differential.oracle_targets;
+        (it.Corpus.name, dt, mismatches))
+      items
+  in
+  let total = List.fold_left (fun acc (_, dt, _) -> acc +. dt) 0.0 rows in
+  let mismatches = List.fold_left (fun acc (_, _, m) -> acc + m) 0 rows in
+  Printf.printf "  total: %.3fs over %d corpus items, %d mismatches\n%!" total
+    (List.length rows) mismatches;
+  Printf.sprintf "{\"items\": %d, \"mismatches\": %d, \"seconds\": %.3f}"
+    (List.length rows) mismatches total

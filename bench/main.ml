@@ -6,7 +6,7 @@
 let usage =
   "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation parallel serving cancel micro\n\
+   ablation parallel serving cancel oracle micro\n\
    a per-section timing summary is written to BENCH_run.json"
 
 type config = {
@@ -185,6 +185,7 @@ let () =
   timed "serving"
     (plain (fun () -> Exp_serving.run ~seed:cfg.seed ~n:(cfg.parallel_n / 10) ()));
   timed "cancel" (fun () -> Some (Exp_cancel.run ~seed:cfg.seed ()));
+  timed "oracle" (fun () -> Some (Exp_oracle.run ()));
   timed "micro" (plain (fun () -> Micro.run ~scale:cfg.scale ()));
   write_summary cfg;
   Printf.printf "\nAll requested experiment sections completed.\n%!"

@@ -76,6 +76,29 @@ let generate_cmd =
       const run $ n $ deg $ labels $ inject_l $ inject_delta $ inject_copies
       $ inject_count $ seed $ out)
 
+(* --- corpus --- *)
+
+let corpus_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "examples/corpus"
+      & info [ "o"; "output" ] ~doc:"Directory to write the corpus into.")
+  in
+  let run out =
+    Spm_oracle.Corpus.write_dir out;
+    let items = Spm_oracle.Corpus.builtin () in
+    Printf.printf "wrote %d corpus graphs to %s\n" (List.length items) out
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Write the built-in differential-testing corpus (seeded graphs + \
+          mining parameters) to a directory. The files under \
+          examples/corpus/ are this command's committed output; the test \
+          suite pins them byte-for-byte.")
+    Term.(const run $ out)
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -500,8 +523,8 @@ let () =
   in
   let group =
     Cmd.group info
-      [ generate_cmd; stats_cmd; paths_cmd; mine_cmd; baseline_cmd; serve_cmd;
-        query_cmd ]
+      [ generate_cmd; corpus_cmd; stats_cmd; paths_cmd; mine_cmd;
+        baseline_cmd; serve_cmd; query_cmd ]
   in
   (* [~catch:false] so runtime failures reach us: they exit 1, while
      cmdliner's own parse errors map to 2 — scripts can tell "you called it

@@ -11,3 +11,9 @@ let mine ?run ?(measure = Engine.Embedding_count) ?max_edges ?max_vertices
     }
   in
   Engine.mine ?run config [ graph ]
+
+let enumerate ?max_vertices ?max_edges ~graph () =
+  (* sigma = 1: every pattern with an embedding is frequent, so the
+     embedding-count pruning caveat (not anti-monotone) never bites and the
+     DFS-code growth visits every connected pattern within the caps. *)
+  mine ?max_vertices ?max_edges ~graph ~sigma:1 ()

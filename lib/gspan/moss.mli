@@ -18,3 +18,17 @@ val mine :
   unit ->
   Engine.outcome
 (** Default measure is [Embedding_count], matching Definition 8. *)
+
+val enumerate :
+  ?max_vertices:int ->
+  ?max_edges:int ->
+  graph:Spm_graph.Graph.t ->
+  unit ->
+  Engine.outcome
+(** The complete bounded pattern universe of one graph: every connected
+    pattern with at least one embedding, with its |E[P]| embedding-count
+    support. Runs the engine at [sigma = 1], where embedding-count pruning
+    never fires, so (unlike higher thresholds — see {!Engine}) the
+    enumeration is exhaustively complete up to the caps. This is the
+    gSpan-side pipeline of the differential oracle
+    ([Spm_oracle.Differential]). *)

@@ -1,0 +1,453 @@
+(* The brute-force reference miner. Everything is reimplemented naively on
+   purpose: this module is the fixed point the optimized miners are diffed
+   against, so it must not share their code paths. See brute.mli. *)
+
+type pat = { labels : int array; edges : (int * int) list }
+
+exception Too_large of string
+
+let order p = Array.length p.labels
+let size p = List.length p.edges
+
+let norm_edge u v = if u < v then (u, v) else (v, u)
+
+let of_pattern (g : Spm_pattern.Pattern.t) =
+  {
+    labels = Array.copy (Spm_graph.Graph.labels g);
+    edges = List.sort compare (Spm_graph.Graph.edges g);
+  }
+
+let to_pattern p = Spm_graph.Graph.of_edges ~labels:p.labels p.edges
+
+(* Plain adjacency lists, rebuilt on every call — naive by design. *)
+let adj_of p =
+  let a = Array.make (order p) [] in
+  List.iter
+    (fun (u, v) ->
+      a.(u) <- v :: a.(u);
+      a.(v) <- u :: a.(v))
+    p.edges;
+  a
+
+let bfs_dist adj n src =
+  let d = Array.make n (-1) in
+  d.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if d.(v) < 0 then begin
+          d.(v) <- d.(u) + 1;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  d
+
+let connected p =
+  let n = order p in
+  n = 0 || Array.for_all (fun d -> d >= 0) (bfs_dist (adj_of p) n 0)
+
+let dist_matrix p =
+  let n = order p in
+  let adj = adj_of p in
+  Array.init n (fun v -> bfs_dist adj n v)
+
+let diameter p =
+  let dm = dist_matrix p in
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc d ->
+          if d < 0 then invalid_arg "Brute.diameter: disconnected pattern"
+          else max acc d)
+        acc row)
+    0 dm
+
+(* All directed simple paths of exactly [len] edges, by exhaustive DFS. *)
+let simple_paths p ~len =
+  let adj = adj_of p in
+  let n = order p in
+  let out = ref [] in
+  let path = Array.make (len + 1) (-1) in
+  let on_path = Array.make n false in
+  let rec go depth u =
+    path.(depth) <- u;
+    on_path.(u) <- true;
+    if depth = len then out := Array.copy path :: !out
+    else
+      List.iter (fun v -> if not on_path.(v) then go (depth + 1) v) adj.(u);
+    on_path.(u) <- false
+  in
+  for v = 0 to n - 1 do
+    go 0 v
+  done;
+  !out
+
+(* Definition 3's total order restricted to equal-length paths: label
+   sequence first, then the vertex-id sequence. *)
+let compare_path p a b =
+  let la = Array.map (fun v -> p.labels.(v)) a
+  and lb = Array.map (fun v -> p.labels.(v)) b in
+  let c = compare la lb in
+  if c <> 0 then c else compare a b
+
+let canonical_diameter p =
+  if order p = 0 then invalid_arg "Brute.canonical_diameter: empty pattern";
+  let dm = dist_matrix p in
+  let d = diameter p in
+  let realizing =
+    simple_paths p ~len:d
+    |> List.filter (fun path -> dm.(path.(0)).(path.(d)) = d)
+  in
+  match realizing with
+  | [] -> assert false (* a shortest path of length D always realizes D *)
+  | first :: rest ->
+    List.fold_left
+      (fun best c -> if compare_path p c best < 0 then c else best)
+      first rest
+
+(* Levels w.r.t. one path: distance of every vertex to the path — min over
+   path vertices of a plain BFS distance, naive multi-source. *)
+let levels_within p path ~delta =
+  let adj = adj_of p in
+  let n = order p in
+  let dists = Array.map (fun v -> bfs_dist adj n v) path in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let lvl = Array.fold_left (fun acc d -> min acc d.(v)) max_int dists in
+    if lvl > delta then ok := false
+  done;
+  !ok
+
+(* Whether the isomorphism CLASS of [p] is an (l, delta) target.
+
+   The canonical diameter breaks label ties by physical vertex ids
+   (Definition 3), so which realizing path is canonical — and hence whether
+   every vertex sits within delta of it — can differ between two numberings
+   of the same abstract pattern. Renumbering can promote any label-minimal
+   realizing path to canonical, so the class-level predicate is: some
+   realizing path with the minimal label sequence has all levels <= delta.
+   This is the representation the production miner grows (its backbone
+   carries ids 0..l), so mined patterns satisfy it by construction. *)
+let is_target p ~l ~delta =
+  order p > 0 && connected p
+  && diameter p = l
+  &&
+  let dm = dist_matrix p in
+  let realizing =
+    simple_paths p ~len:l
+    |> List.filter (fun path -> dm.(path.(0)).(path.(l)) = l)
+  in
+  let labels_of path = Array.map (fun v -> p.labels.(v)) path in
+  match realizing with
+  | [] -> false
+  | first :: rest ->
+    let minlab =
+      List.fold_left
+        (fun acc path -> min acc (labels_of path))
+        (labels_of first) rest
+    in
+    List.exists
+      (fun path -> labels_of path = minlab && levels_within p path ~delta)
+      realizing
+
+(* --- Naive isomorphism: backtracking over label-preserving bijections. --- *)
+
+let degrees p =
+  let d = Array.make (order p) 0 in
+  List.iter
+    (fun (u, v) ->
+      d.(u) <- d.(u) + 1;
+      d.(v) <- d.(v) + 1)
+    p.edges;
+  d
+
+let iso p q =
+  let n = order p in
+  if n <> order q || size p <> size q then false
+  else if
+    List.sort compare (Array.to_list p.labels)
+    <> List.sort compare (Array.to_list q.labels)
+  then false
+  else begin
+    let dp = degrees p and dq = degrees q in
+    let has_edge_q =
+      let t = Hashtbl.create (2 * size q) in
+      List.iter (fun (u, v) -> Hashtbl.replace t (norm_edge u v) ()) q.edges;
+      fun u v -> Hashtbl.mem t (norm_edge u v)
+    in
+    let adj_p = adj_of p in
+    let map = Array.make n (-1) in
+    let used = Array.make n false in
+    let rec go v =
+      if v = n then true
+      else
+        let rec try_target w =
+          if w = n then false
+          else if
+            (not used.(w))
+            && p.labels.(v) = q.labels.(w)
+            && dp.(v) = dq.(w)
+            && List.for_all
+                 (fun u -> map.(u) < 0 || has_edge_q map.(u) w)
+                 adj_p.(v)
+          then begin
+            map.(v) <- w;
+            used.(w) <- true;
+            if go (v + 1) then true
+            else begin
+              map.(v) <- -1;
+              used.(w) <- false;
+              try_target (w + 1)
+            end
+          end
+          else try_target (w + 1)
+        in
+        try_target 0
+    in
+    (* Equal vertex count, edge count, injective and edge-preserving: the
+       image of the edge set is the whole edge set, so this is a full
+       isomorphism, not just an embedding. *)
+    go 0
+  end
+
+(* --- One-edge deletions (with >= 1 edge), up to iso. --- *)
+
+let normalize labels edges =
+  (* Keep only vertices that carry an edge; renumber densely. *)
+  let n = Array.length labels in
+  let keep = Array.make n false in
+  List.iter
+    (fun (u, v) ->
+      keep.(u) <- true;
+      keep.(v) <- true)
+    edges;
+  let idx = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if keep.(v) then begin
+      idx.(v) <- !next;
+      incr next
+    end
+  done;
+  {
+    labels =
+      Array.of_list
+        (List.filteri (fun v _ -> keep.(v)) (Array.to_list labels));
+    edges =
+      List.sort compare (List.map (fun (u, v) -> (idx.(u), idx.(v))) edges);
+  }
+
+let immediate_subs p =
+  let subs =
+    List.filter_map
+      (fun e ->
+        let edges = List.filter (fun e' -> e' <> e) p.edges in
+        if edges = [] then None
+        else
+          let q = normalize p.labels edges in
+          if connected q then Some q else None)
+      p.edges
+  in
+  List.fold_left
+    (fun acc q -> if List.exists (iso q) acc then acc else q :: acc)
+    [] subs
+  |> List.rev
+
+(* --- Embedding counting: exhaustive injective mapping enumeration. --- *)
+
+let count_embeddings ?(max_subsets = 2_000_000) p (g : Spm_graph.Graph.t) =
+  let np = order p in
+  if np = 0 then 0
+  else begin
+    let ng = Spm_graph.Graph.n g in
+    let adj_p = adj_of p in
+    (* A connected visit order so each new vertex has a mapped neighbor. *)
+    let ord = Array.make np (-1) in
+    let seen = Array.make np false in
+    let k = ref 0 in
+    let rec visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        ord.(!k) <- v;
+        incr k;
+        List.iter visit adj_p.(v)
+      end
+    in
+    visit 0;
+    if !k < np then invalid_arg "Brute.count_embeddings: disconnected pattern";
+    let images = Hashtbl.create 64 in
+    let map = Array.make np (-1) in
+    let used = Hashtbl.create 16 in
+    let record () =
+      let img =
+        List.sort compare
+          (List.map (fun (u, v) -> norm_edge map.(u) map.(v)) p.edges)
+      in
+      Hashtbl.replace images img ();
+      if Hashtbl.length images > max_subsets then
+        raise (Too_large "count_embeddings: too many embeddings")
+    in
+    let rec go i =
+      if i = np then record ()
+      else
+        let v = ord.(i) in
+        for w = 0 to ng - 1 do
+          if
+            (not (Hashtbl.mem used w))
+            && Spm_graph.Graph.label g w = p.labels.(v)
+            && List.for_all
+                 (fun u ->
+                   map.(u) < 0 || Spm_graph.Graph.has_edge g map.(u) w)
+                 adj_p.(v)
+          then begin
+            map.(v) <- w;
+            Hashtbl.replace used w ();
+            go (i + 1);
+            Hashtbl.remove used w;
+            map.(v) <- -1
+          end
+        done
+    in
+    go 0;
+    Hashtbl.length images
+  end
+
+(* --- Enumeration of connected edge subsets + classification. --- *)
+
+type found = {
+  rep : pat;
+  support : int;
+  occurrences : (int * int) list list;
+}
+
+type result = { found : found list; enumerated : int; classes : int }
+
+(* The pattern of a connected data-edge subset, with its data vertices
+   renumbered in ascending order. *)
+let pat_of_subset (g : Spm_graph.Graph.t) edges =
+  let vs =
+    List.sort_uniq compare (List.concat_map (fun (u, v) -> [ u; v ]) edges)
+  in
+  let idx = Hashtbl.create (List.length vs) in
+  List.iteri (fun i v -> Hashtbl.add idx v i) vs;
+  {
+    labels =
+      Array.of_list (List.map (fun v -> Spm_graph.Graph.label g v) vs);
+    edges =
+      List.sort compare
+        (List.map
+           (fun (u, v) -> norm_edge (Hashtbl.find idx u) (Hashtbl.find idx v))
+           edges);
+  }
+
+(* A cheap iso-invariant bucket key: vertex/edge counts plus the sorted
+   multiset of (label, degree, sorted neighbor labels) signatures. *)
+let bucket_key p =
+  let adj = adj_of p in
+  let sigs =
+    Array.to_list
+      (Array.mapi
+         (fun v l ->
+           ( l,
+             List.length adj.(v),
+             List.sort compare (List.map (fun w -> p.labels.(w)) adj.(v)) ))
+         p.labels)
+  in
+  (order p, size p, List.sort compare sigs)
+
+let mine ?(max_vertices = 10) ?(max_edges = 12) ?(max_subsets = 2_000_000)
+    (g : Spm_graph.Graph.t) ~l ~delta ~sigma =
+  let edges = Array.of_list (Spm_graph.Graph.edges g) in
+  let m = Array.length edges in
+  let incident = Array.make (Spm_graph.Graph.n g) [] in
+  Array.iteri
+    (fun i (u, v) ->
+      incident.(u) <- i :: incident.(u);
+      incident.(v) <- i :: incident.(v))
+    edges;
+  (* Breadth-first closure over connected edge subsets: every connected
+     subset within the caps is reached (adding one incident edge at a time
+     keeps connectivity), and the visited table makes each unique. *)
+  let visited = Hashtbl.create 4096 in
+  let key subset = String.concat "," (List.map string_of_int subset) in
+  let frontier = Queue.create () in
+  let all = ref [] in
+  let enumerated = ref 0 in
+  let push subset =
+    let k = key subset in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.add visited k ();
+      incr enumerated;
+      if !enumerated > max_subsets then
+        raise
+          (Too_large
+             (Printf.sprintf "enumeration passed %d connected subsets"
+                max_subsets));
+      Queue.add subset frontier;
+      all := subset :: !all
+    end
+  in
+  for i = 0 to m - 1 do
+    push [ i ]
+  done;
+  while not (Queue.is_empty frontier) do
+    let subset = Queue.pop frontier in
+    if List.length subset < max_edges then begin
+      let vs =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun i ->
+               let u, v = edges.(i) in
+               [ u; v ])
+             subset)
+      in
+      let nv = List.length vs in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun e ->
+              if not (List.mem e subset) then begin
+                let u', v' = edges.(e) in
+                let fresh w = if List.mem w vs then 0 else 1 in
+                if nv + fresh u' + fresh v' <= max_vertices then
+                  push (List.sort compare (e :: subset))
+              end)
+            incident.(v))
+        vs
+    end
+  done;
+  (* Classify up to isomorphism; each subset in a class is one embedding
+     subgraph of the class representative, so |class| = |E[P]|. *)
+  let buckets = Hashtbl.create 1024 in
+  let classes = ref [] in
+  List.iter
+    (fun subset ->
+      let data_edges =
+        List.sort compare (List.map (fun i -> edges.(i)) subset)
+      in
+      let p = pat_of_subset g data_edges in
+      let bk = bucket_key p in
+      let candidates = Hashtbl.find_all buckets bk in
+      match List.find_opt (fun (q, _) -> iso p q) candidates with
+      | Some (_, cell) -> cell := data_edges :: !cell
+      | None ->
+        let cell = ref [ data_edges ] in
+        Hashtbl.add buckets bk (p, cell);
+        classes := (p, cell) :: !classes)
+    (List.rev !all);
+  let classes = List.rev !classes in
+  let found =
+    List.filter_map
+      (fun (p, cell) ->
+        let occurrences = List.rev !cell in
+        let support = List.length occurrences in
+        if support >= sigma && is_target p ~l ~delta then
+          Some { rep = p; support; occurrences }
+        else None)
+      classes
+  in
+  { found; enumerated = !enumerated; classes = List.length classes }

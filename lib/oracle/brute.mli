@@ -1,0 +1,100 @@
+(** The brute-force reference miner — correct by construction.
+
+    Everything here deliberately reimplements, with the most naive correct
+    algorithm available, the machinery the optimized miners are built on:
+    subgraph enumeration (breadth-first closure over connected edge subsets,
+    deduplicated by edge-set identity), isomorphism (plain backtracking over
+    vertex bijections), support (an embedding subgraph of P {e is} a
+    connected edge subset of G isomorphic to P, so |E[P]| is a count over the
+    enumeration — no matcher involved), and the (l,δ)-skinny predicate
+    (all-pairs BFS, exhaustive realizing-path enumeration, the Definition 3
+    path order spelled out). No code is shared with [lib/core], [lib/pattern]
+    or [lib/gspan] beyond reading the input {!Spm_graph.Graph.t} and
+    converting representatives at the reporting boundary.
+
+    Exponential everywhere: intended for data graphs of a few dozen edges
+    and patterns up to ~10 vertices, which is what the differential corpus
+    uses ({!Corpus}). *)
+
+type pat = {
+  labels : int array;  (** label of local vertex i *)
+  edges : (int * int) list;  (** u < v, sorted; no duplicates *)
+}
+(** A pattern with dense local vertex ids [0..n-1]. *)
+
+val of_pattern : Spm_pattern.Pattern.t -> pat
+
+val to_pattern : pat -> Spm_pattern.Pattern.t
+
+val order : pat -> int
+(** Vertices. *)
+
+val size : pat -> int
+(** Edges. *)
+
+val iso : pat -> pat -> bool
+(** Naive backtracking isomorphism (label-preserving vertex bijection that
+    maps the edge set onto the edge set). *)
+
+val connected : pat -> bool
+
+val diameter : pat -> int
+(** Max pairwise BFS distance. The pattern must be connected. *)
+
+val canonical_diameter : pat -> int array
+(** The minimum, under (label sequence, then vertex-id sequence), of all
+    directed simple paths of length D whose endpoints are at distance D —
+    the reference rendering of Definitions 2–3, independent of
+    {!Spm_core.Canonical_diameter}. *)
+
+val is_target : pat -> l:int -> delta:int -> bool
+(** The isomorphism-class reading of Definitions 6–7: diameter exactly [l]
+    and {e some} realizing path carrying the minimal label sequence has all
+    vertices within [delta]. The per-representation predicate (levels w.r.t.
+    the id-tiebroken {!canonical_diameter}) is not invariant under vertex
+    renumbering when label ties pick structurally different paths; since a
+    renumbering can make any label-minimal realizing path canonical, the
+    class is a target exactly when one such path works. The production miner
+    grows patterns whose backbone owns ids [0..l], so its outputs satisfy
+    this predicate by construction. *)
+
+val immediate_subs : pat -> pat list
+(** Connected one-edge-deletion subpatterns with at least one edge (an
+    isolated endpoint is dropped), deduplicated up to {!iso}. *)
+
+val count_embeddings :
+  ?max_subsets:int -> pat -> Spm_graph.Graph.t -> int
+(** |E[P]| by exhaustive enumeration of injective label/edge-preserving
+    mappings, counting distinct image edge sets. *)
+
+type found = {
+  rep : pat;  (** class representative, as first enumerated *)
+  support : int;  (** number of connected subsets of G in the class *)
+  occurrences : (int * int) list list;
+      (** every embedding subgraph, as a sorted data-graph edge list *)
+}
+
+type result = {
+  found : found list;  (** target classes with [support >= sigma] *)
+  enumerated : int;  (** connected edge subsets visited *)
+  classes : int;  (** isomorphism classes among them *)
+}
+
+exception Too_large of string
+(** Raised when the enumeration exceeds [max_subsets] — the instance is out
+    of the oracle's league and the caller should shrink it, not trust a
+    truncated answer. *)
+
+val mine :
+  ?max_vertices:int ->
+  ?max_edges:int ->
+  ?max_subsets:int ->
+  Spm_graph.Graph.t ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  result
+(** All l-long δ-skinny patterns of the graph with at least [sigma] distinct
+    embedding subgraphs, restricted to patterns with at most [max_vertices]
+    (default 10) vertices and [max_edges] (default 12) edges.
+    @raise Too_large past [max_subsets] (default 2_000_000) subsets. *)

@@ -1,0 +1,197 @@
+(* The seeded differential corpus. See corpus.mli. *)
+
+open Spm_graph
+
+type item = {
+  name : string;
+  seed : int;
+  l : int;
+  delta : int;
+  sigma : int;
+  graph : Graph.t;
+}
+
+let clique labels =
+  let n = Array.length labels in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~labels !edges
+
+let bipartite left right =
+  let nl = Array.length left in
+  let labels = Array.append left right in
+  let edges = ref [] in
+  Array.iteri
+    (fun i _ ->
+      Array.iteri (fun j _ -> edges := (i, nl + j) :: !edges) right)
+    left;
+  Graph.of_edges ~labels !edges
+
+(* A 2 x k grid (ladder): rung i is vertices (2i, 2i+1). *)
+let ladder k labels =
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    edges := (2 * i, (2 * i) + 1) :: !edges;
+    if i < k - 1 then begin
+      edges := (2 * i, 2 * (i + 1)) :: !edges;
+      edges := ((2 * i) + 1, (2 * (i + 1)) + 1) :: !edges
+    end
+  done;
+  Graph.of_edges ~labels !edges
+
+let injected ~seed ~n ~num_labels ~backbone ~twigs ~copies =
+  let st = Gen.rng seed in
+  let bg = Gen.erdos_renyi st ~n ~avg_degree:1.8 ~num_labels in
+  let b = Graph.Builder.of_graph bg in
+  let pat =
+    Gen.random_skinny_pattern st ~backbone ~delta:1 ~twigs ~num_labels
+  in
+  ignore (Gen.inject st b ~pattern:pat ~copies ());
+  Graph.Builder.freeze b
+
+let er ~seed ~n ~avg_degree ~num_labels =
+  Gen.erdos_renyi (Gen.rng seed) ~n ~avg_degree ~num_labels
+
+let cyc k = Array.init k (fun i -> i mod 3)
+
+let builtin () =
+  [
+    {
+      name = "path8";
+      seed = 101;
+      l = 3;
+      delta = 1;
+      sigma = 1;
+      graph = Gen.path_graph (cyc 9);
+    }
+    (* Two label-2 vertices at distance 6: paths and their sub-paths only. *);
+    {
+      name = "path12_sparse_labels";
+      seed = 102;
+      l = 4;
+      delta = 1;
+      sigma = 2;
+      graph =
+        Gen.path_graph
+          (Array.init 13 (fun i -> if i = 3 || i = 9 then 2 else i mod 2));
+    };
+    {
+      name = "star6";
+      seed = 103;
+      l = 2;
+      delta = 1;
+      sigma = 2;
+      graph = Gen.star_graph ~center:9 [| 1; 2; 1; 2; 1; 2 |];
+    };
+    {
+      name = "clique4";
+      seed = 104;
+      l = 2;
+      delta = 1;
+      sigma = 1;
+      graph = clique [| 0; 1; 0; 1 |];
+    };
+    {
+      name = "clique5";
+      seed = 105;
+      l = 2;
+      delta = 2;
+      sigma = 2;
+      graph = clique [| 0; 1; 2; 0; 1 |];
+    };
+    {
+      name = "bipartite23";
+      seed = 106;
+      l = 2;
+      delta = 1;
+      sigma = 1;
+      graph = bipartite [| 0; 0 |] [| 1; 1; 1 |];
+    };
+    {
+      name = "bipartite33";
+      seed = 107;
+      l = 3;
+      delta = 1;
+      sigma = 2;
+      graph = bipartite [| 0; 1; 0 |] [| 2; 2; 2 |];
+    }
+    (* The documented paradigm-gap shape: C4 itself plus its relatives. *);
+    {
+      name = "cycle6";
+      seed = 108;
+      l = 2;
+      delta = 1;
+      sigma = 1;
+      graph = Gen.cycle_graph (cyc 6);
+    };
+    {
+      name = "cycle8";
+      seed = 109;
+      l = 4;
+      delta = 1;
+      sigma = 1;
+      graph = Gen.cycle_graph (cyc 8);
+    };
+    {
+      name = "ladder4";
+      seed = 110;
+      l = 3;
+      delta = 1;
+      sigma = 1;
+      graph = ladder 4 [| 0; 1; 0; 1; 0; 1; 0; 1 |];
+    };
+    {
+      name = "er14_sparse";
+      seed = 111;
+      l = 3;
+      delta = 2;
+      sigma = 1;
+      graph = er ~seed:111 ~n:14 ~avg_degree:2.0 ~num_labels:2;
+    };
+    {
+      name = "er10_dense";
+      seed = 112;
+      l = 2;
+      delta = 2;
+      sigma = 2;
+      graph = er ~seed:112 ~n:10 ~avg_degree:3.0 ~num_labels:2;
+    };
+    {
+      name = "er12_3labels";
+      seed = 113;
+      l = 4;
+      delta = 2;
+      sigma = 1;
+      graph = er ~seed:113 ~n:12 ~avg_degree:2.2 ~num_labels:3;
+    };
+    {
+      name = "inject_skinny2";
+      seed = 114;
+      l = 3;
+      delta = 1;
+      sigma = 2;
+      graph =
+        injected ~seed:114 ~n:10 ~num_labels:4 ~backbone:3 ~twigs:1 ~copies:2;
+    };
+  ]
+
+let find name = List.find (fun it -> String.equal it.name name) (builtin ())
+let filename it = it.name ^ ".graph"
+
+let render it =
+  Printf.sprintf "# corpus %s seed=%d l=%d delta=%d sigma=%d\n%s" it.name
+    it.seed it.l it.delta it.sigma
+    (Io.to_string it.graph)
+
+let write_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun it ->
+      let oc = open_out_bin (Filename.concat dir (filename it)) in
+      output_string oc (render it);
+      close_out oc)
+    (builtin ())

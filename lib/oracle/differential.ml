@@ -1,0 +1,360 @@
+(* The differential harness. See differential.mli. *)
+
+open Spm_core
+
+type kind =
+  | Unsound
+  | Missing
+  | Support_mismatch of { miner : int; oracle : int }
+  | Jobs_divergence
+  | Harness of string
+
+type mismatch = {
+  side : string;
+  kind : kind;
+  pattern : Spm_pattern.Pattern.t;
+  occurrences : (int * int) list list;
+}
+
+type report = {
+  name : string;
+  seed : int;
+  l : int;
+  delta : int;
+  sigma : int;
+  oracle_targets : int;
+  mined_patterns : int;
+  gspan_patterns : int;
+  paradigm_gaps : int;
+  mismatches : mismatch list;
+}
+
+(* Serialized mined stream — the store codec is deterministic, so byte
+   equality here is the miner's cross-jobs identity contract. *)
+let mined_bytes patterns =
+  let w = Spm_store.Codec.W.create () in
+  List.iter (Spm_store.Store.write_mined w) patterns;
+  Spm_store.Codec.W.contents w
+
+let find_class ofound bp =
+  let idx = ref (-1) in
+  Array.iteri
+    (fun i (f : Brute.found) ->
+      if !idx < 0 && Brute.iso bp f.Brute.rep then idx := i)
+    ofound;
+  !idx
+
+let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
+    graph ~l ~delta ~sigma =
+  let mismatches = ref [] in
+  let add side kind pattern occurrences =
+    mismatches := { side; kind; pattern; occurrences } :: !mismatches
+  in
+  let gaps = ref 0 in
+  let oracle_targets = ref 0 in
+  let mined_patterns = ref 0 in
+  let gspan_patterns = ref 0 in
+  (try
+     let oracle = Brute.mine ~max_vertices ~max_edges graph ~l ~delta ~sigma in
+     let ofound = Array.of_list oracle.Brute.found in
+     oracle_targets := Array.length ofound;
+     let config j = { Skinny_mine.Config.default with jobs = j } in
+     let r1 = Skinny_mine.mine ~config:(config 1) graph ~l ~delta ~sigma in
+     let rj = Skinny_mine.mine ~config:(config jobs) graph ~l ~delta ~sigma in
+     mined_patterns := List.length r1.Skinny_mine.patterns;
+     (* 1. Determinism across jobs: byte-identical serialized streams. *)
+     (if mined_bytes r1.Skinny_mine.patterns <> mined_bytes rj.Skinny_mine.patterns
+      then
+        let rec first_divergent a b =
+          match (a, b) with
+          | x :: a', y :: b' ->
+            if mined_bytes [ x ] <> mined_bytes [ y ] then
+              x.Skinny_mine.pattern
+            else first_divergent a' b'
+          | x :: _, [] | [], x :: _ -> x.Skinny_mine.pattern
+          | [], [] -> assert false
+        in
+        add
+          (Printf.sprintf "skinnymine-jobs%d" jobs)
+          Jobs_divergence
+          (first_divergent r1.Skinny_mine.patterns rj.Skinny_mine.patterns)
+          []);
+     (* 2. SkinnyMine vs the oracle. *)
+     let mined =
+       List.filter_map
+         (fun (m : Skinny_mine.mined) ->
+           let bp = Brute.of_pattern m.Skinny_mine.pattern in
+           if Brute.order bp <= max_vertices && Brute.size bp <= max_edges
+           then Some (m, bp)
+           else None)
+         r1.Skinny_mine.patterns
+     in
+     let hit = Array.make (Array.length ofound) false in
+     List.iter
+       (fun ((m : Skinny_mine.mined), bp) ->
+         let i = find_class ofound bp in
+         if i < 0 then add "skinnymine" Unsound m.Skinny_mine.pattern []
+         else begin
+           hit.(i) <- true;
+           let f = ofound.(i) in
+           if f.Brute.support <> m.Skinny_mine.support then
+             add "skinnymine"
+               (Support_mismatch
+                  { miner = m.Skinny_mine.support; oracle = f.Brute.support })
+               m.Skinny_mine.pattern f.Brute.occurrences
+         end)
+       mined;
+     (* A miss is a bug only if the growth paradigm reaches the class: some
+        mined pattern extends by ONE edge into a representation of it that
+        the production grower itself accepts — the parent's backbone (ids
+        0..l) must STILL be the canonical diameter of the grown pattern
+        ([identity_preserved], the check the miner performs after every
+        extension), and every level must stay within delta. Plain
+        [is_target] on the grown representation is too weak here: it can
+        certify skinniness via a different realizing path, one no
+        single-edge growth chain passes through. Misses with no accepting
+        step are the documented growth-paradigm gap (the C4 class and
+        relatives) and are counted, not flagged. *)
+     let one_step_extensions (p : Spm_pattern.Pattern.t) ~labels =
+       let n = Spm_pattern.Pattern.order p in
+       let fresh =
+         List.concat_map
+           (fun host ->
+             List.map
+               (fun label -> Spm_pattern.Pattern.extend_new_vertex p ~host ~label)
+               labels)
+           (List.init n (fun v -> v))
+       in
+       let closing = ref [] in
+       for u = 0 to n - 1 do
+         for v = u + 1 to n - 1 do
+           if not (Spm_graph.Graph.has_edge p u v) then
+             closing := Spm_pattern.Pattern.extend_close_edge p u v :: !closing
+         done
+       done;
+       fresh @ !closing
+     in
+     let reachable_one_step (missing : Brute.pat) =
+       let labels =
+         List.sort_uniq compare (Array.to_list missing.Brute.labels)
+       in
+       let mo = Brute.order missing and ms = Brute.size missing in
+       List.exists
+         (fun ((m : Skinny_mine.mined), bp) ->
+           Brute.size bp = ms - 1
+           && Brute.order bp >= mo - 1
+           && List.exists
+                (fun c ->
+                  Spm_pattern.Pattern.order c = mo
+                  && Brute.iso (Brute.of_pattern c) missing
+                  && Canonical_diameter.identity_preserved c ~l
+                  && Skinny_mine.is_target c ~l ~delta)
+                (one_step_extensions m.Skinny_mine.pattern ~labels))
+         mined
+     in
+     Array.iteri
+       (fun i (f : Brute.found) ->
+         if not hit.(i) then
+           if reachable_one_step f.Brute.rep then
+             add "skinnymine" Missing
+               (Brute.to_pattern f.Brute.rep)
+               f.Brute.occurrences
+           else incr gaps)
+       ofound;
+     (* 3. gSpan enumeration + skinny filter vs the oracle: exact equality. *)
+     let outcome = Spm_gspan.Moss.enumerate ~max_vertices ~max_edges ~graph () in
+     if not outcome.Spm_gspan.Engine.complete then
+       add "gspan+filter"
+         (Harness "gspan enumeration incomplete under the corpus caps")
+         (Spm_pattern.Pattern.singleton_edge 0 0)
+         []
+     else begin
+       let gset =
+         List.filter_map
+           (fun (r : Spm_gspan.Engine.result) ->
+             let bp = Brute.of_pattern r.Spm_gspan.Engine.pattern in
+             (* The skinny filter uses the oracle's class-level predicate:
+                [Skinny_mine.is_target] reads the id-tiebroken canonical
+                diameter, which on gSpan's DFS-code numbering can pick a
+                label-tied path the class would not pick under the miner's
+                backbone numbering. *)
+             if
+               Brute.order bp <= max_vertices
+               && Brute.size bp <= max_edges
+               && r.Spm_gspan.Engine.support >= sigma
+               && Brute.is_target bp ~l ~delta
+             then Some (r, bp)
+             else None)
+           outcome.Spm_gspan.Engine.results
+       in
+       gspan_patterns := List.length gset;
+       let hit = Array.make (Array.length ofound) false in
+       List.iter
+         (fun ((r : Spm_gspan.Engine.result), bp) ->
+           let i = find_class ofound bp in
+           if i < 0 then
+             add "gspan+filter" Unsound r.Spm_gspan.Engine.pattern []
+           else begin
+             hit.(i) <- true;
+             let f = ofound.(i) in
+             if f.Brute.support <> r.Spm_gspan.Engine.support then
+               add "gspan+filter"
+                 (Support_mismatch
+                    {
+                      miner = r.Spm_gspan.Engine.support;
+                      oracle = f.Brute.support;
+                    })
+                 r.Spm_gspan.Engine.pattern f.Brute.occurrences
+           end)
+         gset;
+       Array.iteri
+         (fun i (f : Brute.found) ->
+           if not hit.(i) then
+             add "gspan+filter" Missing
+               (Brute.to_pattern f.Brute.rep)
+               f.Brute.occurrences)
+         ofound
+     end
+   with Brute.Too_large msg ->
+     add "oracle" (Harness msg) (Spm_pattern.Pattern.singleton_edge 0 0) []);
+  {
+    name;
+    seed;
+    l;
+    delta;
+    sigma;
+    oracle_targets = !oracle_targets;
+    mined_patterns = !mined_patterns;
+    gspan_patterns = !gspan_patterns;
+    paradigm_gaps = !gaps;
+    mismatches = List.rev !mismatches;
+  }
+
+let run_item ?max_vertices ?max_edges ?jobs (it : Corpus.item) =
+  run_case ?max_vertices ?max_edges ?jobs ~name:it.Corpus.name
+    ~seed:it.Corpus.seed it.Corpus.graph ~l:it.Corpus.l ~delta:it.Corpus.delta
+    ~sigma:it.Corpus.sigma
+
+(* --- Baselines: sound-subset checks (incomplete miners must not lie). --- *)
+
+let within ?(max_vertices = 10) ?(max_edges = 12) bp =
+  Brute.order bp <= max_vertices && Brute.size bp <= max_edges
+
+let check_baselines ?max_vertices ?max_edges ?(seed = 1) ~graph ~sigma () =
+  let mm = ref [] in
+  let add side kind pattern =
+    mm := { side; kind; pattern; occurrences = [] } :: !mm
+  in
+  let oracle_count p = Brute.count_embeddings (Brute.of_pattern p) graph in
+  (* SEuS verifies survivors with the production |E[P]| counter: must agree
+     with the naive one exactly. *)
+  let seus = Spm_baselines.Seus.mine ~graph ~sigma () in
+  List.iter
+    (fun (p, sup) ->
+      if within ?max_vertices ?max_edges (Brute.of_pattern p) then begin
+        let oc = oracle_count p in
+        if oc <> sup then
+          add "seus" (Support_mismatch { miner = sup; oracle = oc }) p
+      end)
+    seus.Spm_baselines.Seus.patterns;
+  (* SUBDUE instance counts are distinct embedding subgraphs. *)
+  let subdue = Spm_baselines.Subdue.mine ~graph () in
+  List.iter
+    (fun (s : Spm_baselines.Subdue.scored) ->
+      let p = s.Spm_baselines.Subdue.pattern in
+      if
+        Spm_pattern.Pattern.size p >= 1
+        && within ?max_vertices ?max_edges (Brute.of_pattern p)
+      then begin
+        let oc = oracle_count p in
+        if oc <> s.Spm_baselines.Subdue.instances then
+          add "subdue"
+            (Support_mismatch
+               { miner = s.Spm_baselines.Subdue.instances; oracle = oc })
+            p
+      end)
+    subdue.Spm_baselines.Subdue.best;
+  (* SpiderMine counts with a limit, so reported <= true; and everything it
+     reports as frequent must actually clear sigma. *)
+  let spider =
+    Spm_baselines.Spider_mine.mine ~rng:(Spm_graph.Gen.rng seed) ~graph ~sigma
+      ~k:5 ()
+  in
+  List.iter
+    (fun (p, sup) ->
+      if within ?max_vertices ?max_edges (Brute.of_pattern p) then begin
+        let oc = oracle_count p in
+        if sup > oc || oc < sigma then
+          add "spidermine" (Support_mismatch { miner = sup; oracle = oc }) p
+      end)
+    spider.Spm_baselines.Spider_mine.patterns;
+  List.rev !mm
+
+let check_origami ?max_vertices ?max_edges ?(seed = 1) ~db ~sigma () =
+  let mm = ref [] in
+  let origami =
+    Spm_baselines.Origami.mine ~rng:(Spm_graph.Gen.rng seed) ~db ~sigma ()
+  in
+  List.iter
+    (fun (p, sup) ->
+      let bp = Brute.of_pattern p in
+      if within ?max_vertices ?max_edges bp then begin
+        let oc =
+          List.length
+            (List.filter (fun g -> Brute.count_embeddings bp g >= 1) db)
+        in
+        if oc <> sup then
+          mm :=
+            {
+              side = "origami";
+              kind = Support_mismatch { miner = sup; oracle = oc };
+              pattern = p;
+              occurrences = [];
+            }
+            :: !mm
+      end)
+    origami.Spm_baselines.Origami.patterns;
+  List.rev !mm
+
+let ok r = r.mismatches = []
+
+let kind_to_string = function
+  | Unsound -> "unsound (mined pattern absent from the oracle set)"
+  | Missing -> "missing (reachable oracle target not mined)"
+  | Support_mismatch { miner; oracle } ->
+    Printf.sprintf "support mismatch (miner %d, oracle %d)" miner oracle
+  | Jobs_divergence -> "jobs divergence (parallel != sequential bytes)"
+  | Harness msg -> "harness: " ^ msg
+
+let pp_occurrence ppf edges =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges))
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>case %s (seed %d, l=%d delta=%d sigma=%d): oracle %d targets, \
+     skinnymine %d, gspan+filter %d, paradigm gaps %d, mismatches %d@,"
+    r.name r.seed r.l r.delta r.sigma r.oracle_targets r.mined_patterns
+    r.gspan_patterns r.paradigm_gaps
+    (List.length r.mismatches);
+  (match r.mismatches with
+  | [] -> Format.fprintf ppf "OK: certified.@,"
+  | first :: rest ->
+    Format.fprintf ppf "FIRST DIVERGENT PATTERN [%s] %s:@,  %a@," first.side
+      (kind_to_string first.kind)
+      Spm_pattern.Pattern.pp first.pattern;
+    (match first.occurrences with
+    | [] -> Format.fprintf ppf "  oracle embeddings: none@,"
+    | occ ->
+      Format.fprintf ppf "  oracle embeddings (%d):@," (List.length occ);
+      List.iter (Format.fprintf ppf "    %a@," pp_occurrence) occ);
+    Format.fprintf ppf
+      "  reproduce: Differential.run_case ~seed:%d ~l:%d ~delta:%d ~sigma:%d \
+       on corpus item %S@,"
+      r.seed r.l r.delta r.sigma r.name;
+    List.iter
+      (fun m ->
+        Format.fprintf ppf "  also: [%s] %s@," m.side (kind_to_string m.kind))
+      rest);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,104 @@
+(** The differential harness: run the production miners and the brute-force
+    oracle over one instance and diff the answer sets.
+
+    Pipelines compared, all restricted to patterns within the oracle's
+    vertex/edge caps:
+
+    - SkinnyMine sequential ([jobs = 1]) against the oracle — soundness
+      (every mined pattern is an oracle target with the same support) and
+      bounded completeness: a target the miner misses is a {e mismatch} only
+      when some mined pattern extends by one edge into a representation of
+      it that the production grower's own acceptance predicate passes
+      (backbone still canonical, levels within δ) — i.e. the miner dropped
+      a growth step it was obliged to take. Misses with no such step are
+      the documented growth-paradigm gap (the C4 class and relatives,
+      DESIGN.md) and are counted, not flagged.
+    - SkinnyMine parallel ([jobs], default 4) against sequential —
+      byte-identical serialized output, the miner's determinism contract.
+    - gSpan growth + skinny filter ({!Spm_gspan.Moss.enumerate} at σ = 1,
+      then the (l,δ) predicate and the σ threshold) against the oracle —
+      exact two-sided equality, no gap allowance: enumerate-and-check has no
+      growth constraint to get stuck on.
+
+    Every mismatch carries the divergent pattern, the oracle's embeddings of
+    it, and the corpus seed, so a failure is reproducible from the report
+    alone. *)
+
+type kind =
+  | Unsound  (** the miner reported a pattern the oracle does not have *)
+  | Missing  (** reachable oracle target absent from the miner's output *)
+  | Support_mismatch of { miner : int; oracle : int }
+  | Jobs_divergence
+      (** parallel and sequential SkinnyMine outputs are not byte-identical *)
+  | Harness of string
+      (** the harness itself could not certify the case (oracle overflow,
+          incomplete gSpan enumeration) — never expected on the corpus *)
+
+type mismatch = {
+  side : string;  (** ["skinnymine"], ["gspan+filter"], a baseline name… *)
+  kind : kind;
+  pattern : Spm_pattern.Pattern.t;
+  occurrences : (int * int) list list;
+      (** the oracle's embedding subgraphs of [pattern] (data-graph edge
+          lists); empty when the oracle has none (unsound patterns) *)
+}
+
+type report = {
+  name : string;
+  seed : int;
+  l : int;
+  delta : int;
+  sigma : int;
+  oracle_targets : int;
+  mined_patterns : int;  (** SkinnyMine output size (uncapped) *)
+  gspan_patterns : int;  (** gSpan+filter output size within caps *)
+  paradigm_gaps : int;  (** informational C4-class misses *)
+  mismatches : mismatch list;  (** empty = the case is certified *)
+}
+
+val run_case :
+  ?max_vertices:int ->
+  ?max_edges:int ->
+  ?jobs:int ->
+  name:string ->
+  seed:int ->
+  Spm_graph.Graph.t ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  report
+
+val run_item : ?max_vertices:int -> ?max_edges:int -> ?jobs:int -> Corpus.item -> report
+
+val check_baselines :
+  ?max_vertices:int ->
+  ?max_edges:int ->
+  ?seed:int ->
+  graph:Spm_graph.Graph.t ->
+  sigma:int ->
+  unit ->
+  mismatch list
+(** Baseline soundness subsets against the oracle's naive embedding counter:
+    SEuS verified supports and SUBDUE instance counts must equal the naive
+    |E[P]|; SpiderMine's (limit-capped) supports must never exceed it and
+    every reported pattern must clear σ. Incomplete miners are not checked
+    for completeness — only for not lying. *)
+
+val check_origami :
+  ?max_vertices:int ->
+  ?max_edges:int ->
+  ?seed:int ->
+  db:Spm_graph.Graph.t list ->
+  sigma:int ->
+  unit ->
+  mismatch list
+(** ORIGAMI (transaction setting): every sampled pattern's reported
+    transaction support must equal the number of database graphs the oracle
+    finds an embedding in. *)
+
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+(** Structured rendering: parameters and counts, then the first divergent
+    pattern in full (side, kind, the pattern, its oracle embeddings, and the
+    seed line to reproduce), then one summary line per further mismatch. *)

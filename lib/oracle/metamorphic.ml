@@ -1,0 +1,164 @@
+(* Metamorphic invariants over the production miner. See metamorphic.mli. *)
+
+open Spm_core
+module Pattern = Spm_pattern.Pattern
+module Canon = Spm_pattern.Canon
+
+type failure = { check : string; detail : string }
+
+let fail check fmt = Printf.ksprintf (fun detail -> { check; detail }) fmt
+
+let mine ?(jobs = 1) ?max_patterns ?run g ~l ~delta ~sigma =
+  Skinny_mine.mine ?run
+    ~config:{ Skinny_mine.Config.default with jobs; max_patterns }
+    g ~l ~delta ~sigma
+
+let mined_bytes patterns =
+  let w = Spm_store.Codec.W.create () in
+  List.iter (Spm_store.Store.write_mined w) patterns;
+  Spm_store.Codec.W.contents w
+
+(* (canonical key, support) multiset — pattern-set identity up to iso. *)
+let keyed patterns =
+  List.map
+    (fun (m : Skinny_mine.mined) ->
+      (Canon.key m.Skinny_mine.pattern, m.Skinny_mine.support))
+    patterns
+  |> List.sort compare
+
+(* Support is |E[P]| — NOT anti-monotone — so raising sigma strengthens the
+   growth pruning: a support-sigma intermediate that carried the chain at
+   sigma is dead at sigma+1, and everything above it goes unreached. The
+   sound direction is containment: every pattern mined at sigma+1 was mined
+   at sigma with the same support (>= sigma+1); equality with the filtered
+   subset does not hold in general. *)
+let sigma_monotone g ~l ~delta ~sigma =
+  let lo = keyed (mine g ~l ~delta ~sigma).Skinny_mine.patterns in
+  let hi = keyed (mine g ~l ~delta ~sigma:(sigma + 1)).Skinny_mine.patterns in
+  let bad_support = List.filter (fun (_, s) -> s < sigma + 1) hi in
+  let escaped = List.filter (fun kv -> not (List.mem kv lo)) hi in
+  if bad_support <> [] then
+    [
+      fail "sigma-monotone"
+        "sigma %d run emitted %d patterns below its own threshold" (sigma + 1)
+        (List.length bad_support);
+    ]
+  else if escaped <> [] then
+    [
+      fail "sigma-monotone"
+        "sigma %d -> %d: %d patterns of the stricter run are not in the \
+         looser run (or changed support)"
+        sigma (sigma + 1) (List.length escaped);
+    ]
+  else []
+
+let permute_graph st (g : Spm_graph.Graph.t) =
+  let n = Spm_graph.Graph.n g in
+  let perm = Array.init n (fun i -> i) in
+  Spm_graph.Gen.shuffle st perm;
+  let labels = Array.make n 0 in
+  Array.iteri
+    (fun v l -> labels.(perm.(v)) <- l)
+    (Spm_graph.Graph.labels g);
+  let edges =
+    List.map (fun (u, v) -> (perm.(u), perm.(v))) (Spm_graph.Graph.edges g)
+  in
+  Spm_graph.Graph.of_edges ~labels edges
+
+let relabel_invariant ~seed g ~l ~delta ~sigma =
+  let g' = permute_graph (Spm_graph.Gen.rng seed) g in
+  let a = keyed (mine g ~l ~delta ~sigma).Skinny_mine.patterns in
+  let b = keyed (mine g' ~l ~delta ~sigma).Skinny_mine.patterns in
+  if a <> b then
+    [
+      fail "relabel-invariant"
+        "vertex permutation (seed %d) changed the answer: %d vs %d keyed \
+         patterns"
+        seed (List.length a) (List.length b);
+    ]
+  else []
+
+let jobs_stable ?(jobs = 4) g ~l ~delta ~sigma =
+  let a = (mine ~jobs:1 g ~l ~delta ~sigma).Skinny_mine.patterns in
+  let b = (mine ~jobs g ~l ~delta ~sigma).Skinny_mine.patterns in
+  if mined_bytes a <> mined_bytes b then
+    [
+      fail "jobs-stable" "jobs 1 vs %d: serialized outputs differ (%d vs %d)"
+        jobs (List.length a) (List.length b);
+    ]
+  else []
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let cancel_resume ~dir g ~l ~delta ~sigma =
+  let failures = ref [] in
+  let add f = failures := f :: !failures in
+  let full = mine g ~l ~delta ~sigma in
+  let full_pats = full.Skinny_mine.patterns in
+  let total = List.length full_pats in
+  (* Budget cap = deterministic prefix of the uncapped emission order. *)
+  let k = max 1 (total / 2) in
+  let capped =
+    (mine ~max_patterns:k g ~l ~delta ~sigma).Skinny_mine.patterns
+  in
+  if total > 0 && mined_bytes capped <> mined_bytes (take k full_pats) then
+    add
+      (fail "cancel-prefix"
+         "max_patterns=%d is not a byte-identical prefix of the full run \
+          (%d patterns)"
+         k total);
+  (* Persist the partial result; the store round trip must preserve it. *)
+  let store =
+    Spm_store.Store.of_result ~graph:g ~l ~delta ~sigma ~closed_growth:false
+      { full with Skinny_mine.patterns = capped }
+  in
+  let path = Filename.concat dir "metamorphic_partial.spm" in
+  Spm_store.Store.save path store;
+  let loaded = Spm_store.Store.load path in
+  if
+    mined_bytes loaded.Spm_store.Store.patterns <> mined_bytes capped
+    || loaded.Spm_store.Store.l <> l
+    || loaded.Spm_store.Store.delta <> delta
+    || loaded.Spm_store.Store.sigma <> sigma
+  then
+    add
+      (fail "cancel-store-roundtrip"
+         "partial store save/load did not round-trip (%d patterns)"
+         (List.length capped));
+  (* Asynchronous cancel: whenever it lands, the partial answer must be a
+     subset of the full one with matching supports — and a fresh full run
+     (the "resume") must still be byte-identical to the first. *)
+  let run = Spm_engine.Run.create () in
+  let result = ref None in
+  let t =
+    Thread.create
+      (fun () -> result := Some (mine ~run g ~l ~delta ~sigma))
+      ()
+  in
+  Thread.delay 0.002;
+  Spm_engine.Run.cancel run;
+  Thread.join t;
+  (match !result with
+  | None -> add (fail "cancel-subset" "cancelled mine returned no result")
+  | Some partial ->
+    let fk = keyed full_pats in
+    List.iter
+      (fun kv ->
+        if not (List.mem kv fk) then
+          add
+            (fail "cancel-subset"
+               "pattern emitted under cancellation is not in the full \
+                answer set"))
+      (keyed partial.Skinny_mine.patterns));
+  let again = mine g ~l ~delta ~sigma in
+  if mined_bytes again.Skinny_mine.patterns <> mined_bytes full_pats then
+    add (fail "cancel-resume" "re-run after cancel is not byte-identical");
+  List.rev !failures
+
+let run_item ~dir (it : Corpus.item) =
+  let g = it.Corpus.graph in
+  let l = it.Corpus.l and delta = it.Corpus.delta and sigma = it.Corpus.sigma in
+  sigma_monotone g ~l ~delta ~sigma
+  @ relabel_invariant ~seed:it.Corpus.seed g ~l ~delta ~sigma
+  @ jobs_stable g ~l ~delta ~sigma
+  @ cancel_resume ~dir g ~l ~delta ~sigma

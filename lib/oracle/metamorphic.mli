@@ -1,0 +1,44 @@
+(** Metamorphic invariants: properties of the miner that need no oracle —
+    they relate two runs of the production pipeline to each other, so they
+    hold at any scale the miner itself can handle, not just oracle-sized
+    instances.
+
+    - {b σ monotonicity}: every pattern mined at σ+1 clears its threshold
+      and appears, with identical support, in the σ answer. (Containment,
+      not equality: support |E[P]| is not anti-monotone, so a higher σ can
+      legitimately starve growth chains and lose patterns whose support
+      would still qualify — the same caveat Theorem 2 sidesteps at σ = 1.)
+    - {b permutation invariance}: permuting data-graph vertex ids must not
+      change the answer set (canonical keys and supports).
+    - {b jobs stability}: [jobs = 1] and [jobs = n] must produce
+      byte-identical serialized outputs.
+    - {b cancel / resume-from-store}: a budget-capped run is byte-identical
+      to a prefix of the full run; persisting the partial result and loading
+      it back round-trips; an asynchronous mid-run cancel yields a subset of
+      the full answer with matching supports, and re-running completes it. *)
+
+type failure = { check : string; detail : string }
+(** One violated invariant, with enough detail to reproduce. *)
+
+val sigma_monotone :
+  Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int -> failure list
+(** Compares the runs at [sigma] and [sigma + 1]. *)
+
+val relabel_invariant :
+  seed:int -> Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int ->
+  failure list
+(** The permutation is drawn from [seed]. *)
+
+val jobs_stable :
+  ?jobs:int -> Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int ->
+  failure list
+(** [jobs] defaults to 4. *)
+
+val cancel_resume :
+  dir:string -> Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int ->
+  failure list
+(** [dir] is a scratch directory for the store file (the caller owns its
+    lifetime — tests pass a per-run temp dir). *)
+
+val run_item : dir:string -> Corpus.item -> failure list
+(** All four invariant families on one corpus item. *)

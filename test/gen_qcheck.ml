@@ -1,0 +1,110 @@
+(* The shared qcheck graph generator. Every suite that property-tests over
+   random graphs draws from here, so failures shrink and reproduce the same
+   way everywhere instead of each file growing its own ad-hoc generator.
+
+   The generated value is a [spec]: the raw (labels, edge list) input of
+   [Graph.of_edges] — duplicates and reversed edges included, so substrate
+   normalization stays under test — plus the integer seed it was derived
+   from. Content is a pure function of the seed, so a printed failure is
+   reproducible from the seed alone; shrinking then edits the spec directly
+   (fewer edges, fewer vertices, smaller labels). *)
+
+open Spm_graph
+
+type spec = {
+  seed : int;
+  num_labels : int;
+  labels : int array;
+  edges : (int * int) list;  (* raw: may repeat and reverse pairs *)
+}
+
+let graph_of_spec s = Graph.of_edges ~labels:s.labels s.edges
+
+(* Deterministic instance from a seed — the one generator body shared by
+   qcheck properties and plain seeded tests. *)
+let spec_of_seed ?(max_n = 25) ?(max_labels = 6) seed =
+  let st = Gen.rng seed in
+  let n = 1 + Random.State.int st max_n in
+  let num_labels = 1 + Random.State.int st max_labels in
+  let labels = Array.init n (fun _ -> Random.State.int st num_labels) in
+  let m = Random.State.int st (3 * n) in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if u <> v then begin
+      edges := (u, v) :: !edges;
+      (* Every third edge also appears reversed and duplicated. *)
+      if Random.State.int st 3 = 0 then edges := (v, u) :: (u, v) :: !edges
+    end
+  done;
+  { seed; num_labels; labels; edges = !edges }
+
+let graph_of_seed ?max_n ?max_labels seed =
+  graph_of_spec (spec_of_seed ?max_n ?max_labels seed)
+
+let print_spec s =
+  Printf.sprintf "seed=%d n=%d labels=[%s] edges=[%s]" s.seed
+    (Array.length s.labels)
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.labels)))
+    (String.concat ";"
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) s.edges))
+
+let shrink_spec s yield =
+  (* Fewer edges first — the cheapest reduction. *)
+  QCheck.Shrink.list_spine s.edges (fun edges -> yield { s with edges });
+  (* Drop the last vertex and everything incident to it. *)
+  let n = Array.length s.labels in
+  if n > 1 then begin
+    let labels = Array.sub s.labels 0 (n - 1) in
+    let edges = List.filter (fun (u, v) -> u < n - 1 && v < n - 1) s.edges in
+    yield { s with labels; edges }
+  end;
+  (* Flatten labels toward 0. *)
+  Array.iteri
+    (fun i l ->
+      if l > 0 then begin
+        let labels = Array.copy s.labels in
+        labels.(i) <- 0;
+        yield { s with labels }
+      end)
+    s.labels
+
+let arb_spec ?max_n ?max_labels () =
+  QCheck.make ~print:print_spec ~shrink:shrink_spec
+    (QCheck.Gen.map
+       (fun seed -> spec_of_seed ?max_n ?max_labels seed)
+       (QCheck.Gen.int_bound 1_000_000))
+
+(* Connected variant: the raw spec's graph restricted to the component of
+   vertex 0 — for suites (mining, patterns) that need a connected input. *)
+let connected_of_spec s =
+  let g = graph_of_spec s in
+  let comp, _ = Bfs.components g in
+  let keep =
+    Array.to_list (Array.init (Graph.n g) (fun v -> v))
+    |> List.filter (fun v -> comp.(v) = comp.(0))
+    |> Array.of_list
+  in
+  Graph.induced g keep
+
+(* Seeded convenience wrappers over the substrate generators, so call sites
+   write one expression instead of threading a [Random.State.t]. *)
+let er ~seed ~n ~avg_degree ~num_labels =
+  Gen.erdos_renyi (Gen.rng seed) ~n ~avg_degree ~num_labels
+
+let tree ~seed ~n ~num_labels = Gen.random_tree (Gen.rng seed) ~n ~num_labels
+
+let connected ~seed ~n ~extra_edges ~num_labels =
+  Gen.random_connected_pattern (Gen.rng seed) ~n ~extra_edges ~num_labels
+
+(* Relabel the vertices of [g] by a seed-drawn permutation; returns the
+   permuted graph and the permutation (old id -> new id). *)
+let permute_graph ~seed g =
+  let st = Gen.rng seed in
+  let n = Graph.n g in
+  let perm = Array.init n (fun i -> i) in
+  Gen.shuffle st perm;
+  let labels = Array.make n 0 in
+  Array.iteri (fun v l -> labels.(perm.(v)) <- l) (Graph.labels g);
+  let edges = List.map (fun (u, v) -> (perm.(u), perm.(v))) (Graph.edges g) in
+  (Graph.of_edges ~labels edges, perm)

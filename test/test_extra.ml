@@ -182,19 +182,17 @@ let test_to_dot () =
   check_bool "named labels" true (contains dot2 "alpha")
 
 let test_write_read_files () =
-  let st = Gen.rng 3 in
-  let g = Gen.erdos_renyi st ~n:20 ~avg_degree:2.0 ~num_labels:3 in
-  let tmp = Filename.temp_file "spm" ".graph" in
-  Io.write_file tmp g;
-  let g' = Io.read_file tmp in
-  Sys.remove tmp;
-  check_bool "file roundtrip" true (Graph.equal_structure g g');
-  let db = [ g; Gen.path_graph [| 0; 1 |] ] in
-  let tmp2 = Filename.temp_file "spm" ".db" in
-  Io.write_db tmp2 db;
-  let db' = Io.read_db tmp2 in
-  Sys.remove tmp2;
-  check "db file roundtrip" 2 (List.length db')
+  let g = Gen_qcheck.er ~seed:3 ~n:20 ~avg_degree:2.0 ~num_labels:3 in
+  Testutil.with_temp_dir (fun dir ->
+      let tmp = Testutil.temp_file_in dir "g.graph" in
+      Io.write_file tmp g;
+      let g' = Io.read_file tmp in
+      check_bool "file roundtrip" true (Graph.equal_structure g g');
+      let db = [ g; Gen.path_graph [| 0; 1 |] ] in
+      let tmp2 = Testutil.temp_file_in dir "g.db" in
+      Io.write_db tmp2 db;
+      let db' = Io.read_db tmp2 in
+      check "db file roundtrip" 2 (List.length db'))
 
 (* --- Stats sanity from the miners --- *)
 

@@ -268,8 +268,7 @@ let prop_er_connected_labels =
   QCheck.Test.make ~name:"generated labels always in range" ~count:50
     QCheck.(pair (int_range 2 60) (int_range 1 8))
     (fun (n, f) ->
-      let st = Gen.rng (n * 131 + f) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:f in
+      let g = Gen_qcheck.er ~seed:((n * 131) + f) ~n ~avg_degree:2.0 ~num_labels:f in
       Array.for_all (fun l -> l >= 0 && l < f) (Graph.labels g))
 
 let prop_bfs_triangle_inequality =
@@ -277,8 +276,7 @@ let prop_bfs_triangle_inequality =
     ~count:40
     QCheck.(int_range 3 40)
     (fun n ->
-      let st = Gen.rng (n * 7) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:3.0 ~num_labels:3 in
+      let g = Gen_qcheck.er ~seed:(n * 7) ~n ~avg_degree:3.0 ~num_labels:3 in
       let d = Bfs.distances g 0 in
       Graph.fold_edges
         (fun u v acc ->
@@ -290,8 +288,9 @@ let prop_simple_paths_are_simple =
   QCheck.Test.make ~name:"enumerated simple paths are simple and unique" ~count:25
     QCheck.(pair (int_range 3 12) (int_range 1 3))
     (fun (n, len) ->
-      let st = Gen.rng (n + (len * 1000)) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.5 ~num_labels:2 in
+      let g =
+        Gen_qcheck.er ~seed:(n + (len * 1000)) ~n ~avg_degree:2.5 ~num_labels:2
+      in
       let ps = Paths.simple_paths_of_length g ~length:len in
       let keys = Hashtbl.create 16 in
       List.for_all
@@ -303,36 +302,59 @@ let prop_simple_paths_are_simple =
           ok && fresh)
         ps)
 
+(* parse . print = id, on arbitrary raw specs (not just ER graphs). *)
 let prop_io_roundtrip =
-  QCheck.Test.make ~name:"io roundtrip preserves structure" ~count:30
-    QCheck.(int_range 1 30)
-    (fun n ->
-      let st = Gen.rng (n * 977) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:4 in
+  QCheck.Test.make ~name:"io roundtrip preserves structure" ~count:60
+    (Gen_qcheck.arb_spec ())
+    (fun s ->
+      let g = Gen_qcheck.graph_of_spec s in
       Graph.equal_structure g (Io.of_string (Io.to_string g)))
+
+(* [to_string] output is the canonical form: parsing it back and reprinting
+   must reproduce it byte-for-byte (print . parse = id on canonical text). *)
+let prop_io_print_parse_fixpoint =
+  QCheck.Test.make ~name:"printed form is a parse/print fixpoint" ~count:60
+    (Gen_qcheck.arb_spec ())
+    (fun s ->
+      let text = Io.to_string (Gen_qcheck.graph_of_spec s) in
+      Io.to_string (Io.of_string text) = text)
+
+(* The parser shrugs off CRLF endings, tabs and trailing blanks; reprinting
+   the mangled text restores the canonical form exactly. *)
+let prop_io_tolerates_crlf_tabs =
+  QCheck.Test.make ~name:"CRLF/tab mangling parses back to the canonical form"
+    ~count:60
+    (QCheck.pair (Gen_qcheck.arb_spec ()) QCheck.small_nat)
+    (fun (s, salt) ->
+      let text = Io.to_string (Gen_qcheck.graph_of_spec s) in
+      let mangled = Buffer.create (String.length text * 2) in
+      String.iteri
+        (fun i c ->
+          match c with
+          | '\n' ->
+            (* Cycle through line-ending and trailing-blank variants. *)
+            (match (i + salt) mod 3 with
+            | 0 -> Buffer.add_string mangled "\r\n"
+            | 1 -> Buffer.add_string mangled " \r\n"
+            | _ -> Buffer.add_char mangled '\n')
+          | ' ' ->
+            if (i + salt) mod 2 = 0 then Buffer.add_char mangled '\t'
+            else Buffer.add_string mangled "  "
+          | c -> Buffer.add_char mangled c)
+        text;
+      let g = Io.of_string (Buffer.contents mangled) in
+      Graph.equal_structure g (Gen_qcheck.graph_of_spec s)
+      && Io.to_string g = text)
 
 (* --- CSR substrate vs a naive edge-set model ---
 
-   Random (labels, edge list) instances — with duplicate and reversed edges
-   thrown in to exercise [of_edges] normalization — checked against a plain
-   Hashtbl edge-set model of the same input. *)
+   Raw {!Gen_qcheck.spec} instances — duplicate and reversed edges included,
+   exercising [of_edges] normalization — checked against a plain Hashtbl
+   edge-set model of the same input. *)
 
 let model_instance seed =
-  let st = Gen.rng seed in
-  let n = 1 + Random.State.int st 25 in
-  let num_labels = 1 + Random.State.int st 6 in
-  let labels = Array.init n (fun _ -> Random.State.int st num_labels) in
-  let m = Random.State.int st (3 * n) in
-  let edges = ref [] in
-  for _ = 1 to m do
-    let u = Random.State.int st n and v = Random.State.int st n in
-    if u <> v then begin
-      edges := (u, v) :: !edges;
-      (* Every third edge also appears reversed and duplicated. *)
-      if Random.State.int st 3 = 0 then edges := (v, u) :: (u, v) :: !edges
-    end
-  done;
-  (num_labels, labels, !edges)
+  let s = Gen_qcheck.spec_of_seed seed in
+  (s.Gen_qcheck.num_labels, s.Gen_qcheck.labels, s.Gen_qcheck.edges)
 
 let edge_set edges =
   let t = Hashtbl.create 64 in
@@ -507,6 +529,8 @@ let () =
           prop_bfs_triangle_inequality;
           prop_simple_paths_are_simple;
           prop_io_roundtrip;
+          prop_io_print_parse_fixpoint;
+          prop_io_tolerates_crlf_tabs;
         ];
       qsuite "csr"
         [

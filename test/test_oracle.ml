@@ -1,0 +1,240 @@
+(* The correctness oracle: brute-force reference miner sanity, the
+   differential harness over the committed corpus, baseline soundness
+   checks, and the metamorphic invariants. *)
+
+open Spm_oracle
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Brute-force reference miner sanity --- *)
+
+let test_brute_path () =
+  (* Path 0-1-2-3, labels 0-1-0-1. Connected subgraphs: 3 single edges,
+     2 two-edge paths, 1 three-edge path. *)
+  let g =
+    Spm_graph.Graph.of_edges ~labels:[| 0; 1; 0; 1 |]
+      [ (0, 1); (1, 2); (2, 3) ]
+  in
+  let r = Brute.mine g ~l:3 ~delta:1 ~sigma:1 in
+  check "enumerated" 6 r.Brute.enumerated;
+  (* Classes: edge 0-1 (two occurrences), paths 0-1-0 and 1-0-1 are... the
+     two 2-edge paths are 0-1-0 and 1-0-1: distinct label sequences = one
+     class each; the 3-edge path once. Single edges 0-1 and 1-0 are the same
+     pattern: one class of support 3? No — labels are 0,1,0,1 so each edge
+     joins a 0 and a 1: one class, support 3. Total classes: 1 + 2 + 1. *)
+  check "classes" 4 r.Brute.classes;
+  (* Only the full path has diameter 3. *)
+  let targets = List.filter (fun f -> Brute.is_target f.Brute.rep ~l:3 ~delta:1) r.Brute.found in
+  check "l=3 targets" 1 (List.length targets);
+  let f = List.hd targets in
+  check "support" 1 f.Brute.support;
+  check "occurrence edges" 3 (List.length (List.hd f.Brute.occurrences))
+
+let test_brute_triangle_support () =
+  (* Triangle with equal labels: the single-edge pattern has support 3, the
+     wedge (2-edge path) support 3, the triangle support 1. *)
+  let g =
+    Spm_graph.Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ]
+  in
+  let r = Brute.mine g ~l:1 ~delta:1 ~sigma:1 in
+  check "classes" 3 r.Brute.classes;
+  List.iter
+    (fun f ->
+      match List.length f.Brute.rep.Brute.edges with
+      | 1 -> check "edge support" 3 f.Brute.support
+      | 2 -> check "wedge support" 3 f.Brute.support
+      | 3 -> check "triangle support" 1 f.Brute.support
+      | _ -> Alcotest.fail "unexpected pattern size")
+    r.Brute.found
+
+let test_brute_iso () =
+  let a = { Brute.labels = [| 0; 1; 0 |]; edges = [ (0, 1); (1, 2) ] } in
+  let b = { Brute.labels = [| 0; 0; 1 |]; edges = [ (2, 0); (1, 2) ] } in
+  let c = { Brute.labels = [| 0; 1; 1 |]; edges = [ (0, 1); (1, 2) ] } in
+  check_bool "iso" true (Brute.iso a b);
+  check_bool "not iso (labels)" false (Brute.iso a c)
+
+let test_brute_canonical_diameter_matches_production () =
+  (* The oracle's from-scratch canonical diameter must agree with the
+     production implementation on random connected patterns. *)
+  for seed = 1 to 40 do
+    let g = Gen_qcheck.connected_of_spec (Gen_qcheck.spec_of_seed ~max_n:8 seed) in
+    if Spm_graph.Graph.n g > 1 && Spm_graph.Graph.m g <= 10 then begin
+      let p = Brute.of_pattern g in
+      let ours = Brute.canonical_diameter p in
+      let theirs = Spm_core.Canonical_diameter.compute g in
+      Alcotest.(check (list int))
+        (Printf.sprintf "canonical diameter path (seed %d)" seed)
+        (Array.to_list theirs) (Array.to_list ours)
+    end
+  done
+
+let test_brute_too_large () =
+  let g = Gen_qcheck.er ~seed:9 ~n:30 ~avg_degree:4.0 ~num_labels:1 in
+  try
+    ignore (Brute.mine ~max_subsets:500 g ~l:2 ~delta:1 ~sigma:1);
+    Alcotest.fail "expected Too_large"
+  with Brute.Too_large _ -> ()
+
+(* --- Differential harness over the committed corpus --- *)
+
+let report_to_string r = Format.asprintf "%a" Differential.pp_report r
+
+let test_differential_corpus () =
+  List.iter
+    (fun it ->
+      let r = Differential.run_item it in
+      if not (Differential.ok r) then
+        Alcotest.failf "corpus case %s diverged:\n%s" it.Corpus.name
+          (report_to_string r))
+    (Corpus.builtin ())
+
+let test_differential_catches_unsound () =
+  (* Sanity that the harness itself can fail: a report with an injected
+     mismatch must not be [ok], and the rendering must carry the repro
+     seed. *)
+  let it = Corpus.find "path8" in
+  let r = Differential.run_item it in
+  check_bool "clean case ok" true (Differential.ok r);
+  let bad =
+    {
+      r with
+      Differential.mismatches =
+        [
+          {
+            Differential.side = "skinnymine";
+            kind = Differential.Unsound;
+            pattern = it.Corpus.graph;
+            occurrences = [];
+          };
+        ];
+    }
+  in
+  check_bool "poisoned case not ok" false (Differential.ok bad);
+  let s = report_to_string bad in
+  check_bool "report names the seed" true
+    (let needle = "~seed:101" in
+     let rec find i =
+       i + String.length needle <= String.length s
+       && (String.sub s i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+(* --- Baselines vs the oracle --- *)
+
+let test_baselines_sound () =
+  let g = Gen_qcheck.er ~seed:77 ~n:12 ~avg_degree:2.0 ~num_labels:2 in
+  match Differential.check_baselines ~graph:g ~sigma:2 () with
+  | [] -> ()
+  | m :: _ ->
+    Alcotest.failf "baseline %s disagrees with the oracle" m.Differential.side
+
+let test_origami_sound () =
+  let db =
+    List.init 4 (fun i ->
+        Gen_qcheck.er ~seed:(300 + i) ~n:8 ~avg_degree:1.8 ~num_labels:2)
+  in
+  match Differential.check_origami ~db ~sigma:2 () with
+  | [] -> ()
+  | m :: _ ->
+    Alcotest.failf "origami: %s disagrees with the oracle" m.Differential.side
+
+(* --- Metamorphic invariants --- *)
+
+let metamorphic_case it () =
+  Testutil.with_temp_dir (fun dir ->
+      match Metamorphic.run_item ~dir it with
+      | [] -> ()
+      | fs ->
+        Alcotest.failf "%s: %s" it.Corpus.name
+          (String.concat "; "
+             (List.map
+                (fun f ->
+                  Printf.sprintf "[%s] %s" f.Metamorphic.check
+                    f.Metamorphic.detail)
+                fs)))
+
+(* --- Corpus pinning ---
+
+   The files under examples/corpus/ are the committed form of
+   [Corpus.builtin]: CI and fresh checkouts must agree byte-for-byte, so a
+   generator change that silently shifts the corpus fails here instead of
+   invalidating every recorded differential run. *)
+
+(* Under `dune runtest` the cwd is _build/default/test; under `dune exec`
+   from the root it is the workspace root. Probe both. *)
+let corpus_dir =
+  List.find_opt Sys.file_exists
+    [
+      Filename.concat (Filename.concat ".." "examples") "corpus";
+      Filename.concat "examples" "corpus";
+    ]
+  |> Option.value ~default:"examples/corpus"
+
+let test_corpus_pinned () =
+  List.iter
+    (fun it ->
+      let path = Filename.concat corpus_dir (Corpus.filename it) in
+      if not (Sys.file_exists path) then
+        Alcotest.failf
+          "missing committed corpus file %s (regenerate with Corpus.write_dir)"
+          path;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let committed = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check string)
+        (Printf.sprintf "%s matches the generator" (Corpus.filename it))
+        (Corpus.render it) committed)
+    (Corpus.builtin ())
+
+let test_corpus_parses_back () =
+  List.iter
+    (fun it ->
+      let g = Spm_graph.Io.of_string (Corpus.render it) in
+      check_bool
+        (Printf.sprintf "%s round-trips" it.Corpus.name)
+        true
+        (Spm_graph.Graph.equal_structure g it.Corpus.graph))
+    (Corpus.builtin ())
+
+let () =
+  let metamorphic_cases =
+    List.map
+      (fun it ->
+        Alcotest.test_case it.Corpus.name `Quick (metamorphic_case it))
+      (Corpus.builtin ())
+  in
+  Alcotest.run "oracle"
+    [
+      ( "brute",
+        [
+          Alcotest.test_case "path counts" `Quick test_brute_path;
+          Alcotest.test_case "triangle supports" `Quick
+            test_brute_triangle_support;
+          Alcotest.test_case "iso" `Quick test_brute_iso;
+          Alcotest.test_case "canonical diameter vs production" `Quick
+            test_brute_canonical_diameter_matches_production;
+          Alcotest.test_case "too large" `Quick test_brute_too_large;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "corpus certifies clean" `Quick
+            test_differential_corpus;
+          Alcotest.test_case "harness can fail" `Quick
+            test_differential_catches_unsound;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "soundness vs oracle" `Quick test_baselines_sound;
+          Alcotest.test_case "origami transaction support" `Quick
+            test_origami_sound;
+        ] );
+      ("metamorphic", metamorphic_cases);
+      ( "corpus",
+        [
+          Alcotest.test_case "committed files pinned" `Quick test_corpus_pinned;
+          Alcotest.test_case "files parse back" `Quick test_corpus_parses_back;
+        ] );
+    ]

@@ -118,9 +118,9 @@ let prop_subiso_matches_brute_force =
     ~count:60
     QCheck.(pair (int_range 2 7) (int_range 4 9))
     (fun (np, nt) ->
-      let st = Gen.rng ((np * 100) + nt) in
-      let pattern = Gen.random_connected_pattern st ~n:np ~extra_edges:1 ~num_labels:2 in
-      let target = Gen.erdos_renyi st ~n:nt ~avg_degree:3.0 ~num_labels:2 in
+      let seed = (np * 100) + nt in
+      let pattern = Gen_qcheck.connected ~seed ~n:np ~extra_edges:1 ~num_labels:2 in
+      let target = Gen_qcheck.er ~seed:(seed + 1) ~n:nt ~avg_degree:3.0 ~num_labels:2 in
       sort_mappings (Subiso.mappings ~pattern ~target)
       = sort_mappings (brute_force_mappings ~pattern ~target))
 
@@ -221,31 +221,24 @@ let test_slots () =
   let pcode = Dfs_code.min_code path in
   check_bool "path has backward slot" true (Dfs_code.backward_slots pcode <> [])
 
-(* Random relabeling/permutation invariance — the crux of canonicalization. *)
-let permute_graph st g =
-  let n = Graph.n g in
-  let perm = Array.init n (fun i -> i) in
-  Gen.shuffle st perm;
-  let labels = Array.make n 0 in
-  Array.iteri (fun v l -> labels.(perm.(v)) <- l) (Graph.labels g);
-  let es = List.map (fun (u, v) -> (perm.(u), perm.(v))) (Graph.edges g) in
-  Graph.of_edges ~labels es
-
+(* Random relabeling/permutation invariance — the crux of canonicalization.
+   Instances and permutations come from the shared seeded generator
+   ([Gen_qcheck]), so a failing (n, extra) pair reproduces byte-identically
+   across suites. *)
 let prop_min_code_permutation_invariant =
   QCheck.Test.make ~name:"min code invariant under vertex permutation" ~count:80
     QCheck.(pair (int_range 2 8) (int_range 0 3))
     (fun (n, extra) ->
-      let st = Gen.rng ((n * 37) + extra) in
-      let g = Gen.random_connected_pattern st ~n ~extra_edges:extra ~num_labels:3 in
-      let g' = permute_graph st g in
+      let seed = (n * 37) + extra in
+      let g = Gen_qcheck.connected ~seed ~n ~extra_edges:extra ~num_labels:3 in
+      let g', _ = Gen_qcheck.permute_graph ~seed:(seed + 1) g in
       Dfs_code.equal (Dfs_code.min_code g) (Dfs_code.min_code g'))
 
 let prop_min_code_distinguishes =
   QCheck.Test.make ~name:"different label multisets give different codes" ~count:40
     QCheck.(int_range 2 7)
     (fun n ->
-      let st = Gen.rng (n * 13) in
-      let g = Gen.random_connected_pattern st ~n ~extra_edges:1 ~num_labels:2 in
+      let g = Gen_qcheck.connected ~seed:(n * 13) ~n ~extra_edges:1 ~num_labels:2 in
       let labels = Array.copy (Graph.labels g) in
       labels.(0) <- labels.(0) + 10;
       let g' = Graph.of_edges ~labels (Graph.edges g) in
@@ -255,8 +248,8 @@ let prop_is_min_of_min =
   QCheck.Test.make ~name:"min_code is accepted by is_min" ~count:50
     QCheck.(pair (int_range 2 7) (int_range 0 4))
     (fun (n, extra) ->
-      let st = Gen.rng ((n * 91) + extra) in
-      let g = Gen.random_connected_pattern st ~n ~extra_edges:extra ~num_labels:3 in
+      let seed = (n * 91) + extra in
+      let g = Gen_qcheck.connected ~seed ~n ~extra_edges:extra ~num_labels:3 in
       Dfs_code.is_min (Dfs_code.min_code g))
 
 (* --- Canon --- *)
@@ -298,9 +291,9 @@ let prop_canon_permutation_stable =
   QCheck.Test.make ~name:"canonical key invariant under permutation" ~count:60
     QCheck.(pair (int_range 2 8) (int_range 0 4))
     (fun (n, extra) ->
-      let st = Gen.rng ((n * 53) + extra + 7) in
-      let g = Gen.random_connected_pattern st ~n ~extra_edges:extra ~num_labels:3 in
-      let g' = permute_graph st g in
+      let seed = (n * 53) + extra + 7 in
+      let g = Gen_qcheck.connected ~seed ~n ~extra_edges:extra ~num_labels:3 in
+      let g', _ = Gen_qcheck.permute_graph ~seed:(seed + 1) g in
       String.equal (Canon.key g) (Canon.key g'))
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)

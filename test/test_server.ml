@@ -350,10 +350,8 @@ let test_end_to_end () =
 let test_end_to_end_from_saved_store () =
   let _, direct = Lazy.force corpus in
   let s = corpus_store () in
-  let path = Filename.temp_file "spmserve" ".spm" in
-  Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-    (fun () ->
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "serve.spm" in
       Store.save path s;
       let srv = Server.create ~jobs:1 () in
       let fd, port = Server.listen ~port:0 () in

@@ -77,8 +77,7 @@ let prop_skinny_mine_sound =
     ~count:20
     QCheck.(pair (int_range 8 14) (int_range 2 4))
     (fun (n, l) ->
-      let st = Gen.rng ((n * 271) + l) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let g = Gen_qcheck.er ~seed:((n * 271) + l) ~n ~avg_degree:2.0 ~num_labels:2 in
       let r = Skinny_mine.mine g ~l ~delta:2 ~sigma:2 in
       List.for_all
         (fun m ->
@@ -92,8 +91,7 @@ let prop_skinny_mine_unique_generation =
   QCheck.Test.make ~name:"no two mined patterns are isomorphic" ~count:20
     QCheck.(pair (int_range 8 14) (int_range 2 4))
     (fun (n, l) ->
-      let st = Gen.rng ((n * 17) + (l * 5)) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.2 ~num_labels:2 in
+      let g = Gen_qcheck.er ~seed:((n * 17) + (l * 5)) ~n ~avg_degree:2.2 ~num_labels:2 in
       let r = Skinny_mine.mine g ~l ~delta:2 ~sigma:1 in
       let keys = List.map (fun m -> Canon.key m.Skinny_mine.pattern) r.Skinny_mine.patterns in
       List.length keys = List.length (List.sort_uniq String.compare keys))
@@ -103,8 +101,7 @@ let prop_skinny_clusters_canonical =
     ~name:"each pattern's canonical diameter matches its cluster" ~count:20
     QCheck.(pair (int_range 8 13) (int_range 2 4))
     (fun (n, l) ->
-      let st = Gen.rng ((n * 37) + (l * 11)) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let g = Gen_qcheck.er ~seed:((n * 37) + (l * 11)) ~n ~avg_degree:2.0 ~num_labels:2 in
       let r = Skinny_mine.mine g ~l ~delta:2 ~sigma:1 in
       List.for_all
         (fun m ->
@@ -122,8 +119,7 @@ let prop_modes_agree =
     ~count:15
     QCheck.(pair (int_range 8 13) (int_range 2 4))
     (fun (n, l) ->
-      let st = Gen.rng ((n * 301) + l) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.2 ~num_labels:2 in
+      let g = Gen_qcheck.er ~seed:((n * 301) + l) ~n ~avg_degree:2.2 ~num_labels:2 in
       let run mode =
         keys_of
           (Skinny_mine.mine
@@ -140,8 +136,7 @@ let prop_modes_agree =
    that is no longer canonical — an over-acceptance that breaks cluster
    disjointness. We document it on an instance where it shows. *)
 let test_paper_trigger_gap_documented () =
-  let st = Gen.rng ((13 * 301) + 4) in
-  let g = Gen.erdos_renyi st ~n:13 ~avg_degree:2.2 ~num_labels:2 in
+  let g = Gen_qcheck.er ~seed:((13 * 301) + 4) ~n:13 ~avg_degree:2.2 ~num_labels:2 in
   let run mode =
     keys_of
       (Skinny_mine.mine
@@ -183,8 +178,7 @@ let test_paper_trigger_gap_documented () =
 let test_spec_equivalence () =
   List.iteri
     (fun i (n, l) ->
-      let st = Gen.rng (1000 + (i * 31)) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let g = Gen_qcheck.er ~seed:(1000 + (i * 31)) ~n ~avg_degree:2.0 ~num_labels:2 in
       let optimized =
         keys_of
           (Skinny_mine.mine
@@ -251,8 +245,7 @@ let test_c4_gap_documented () =
 let test_completeness_vs_brute_force () =
   List.iteri
     (fun i (n, l) ->
-      let st = Gen.rng (4000 + (i * 13)) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let g = Gen_qcheck.er ~seed:(4000 + (i * 13)) ~n ~avg_degree:2.0 ~num_labels:2 in
       let delta = 2 in
       let mined =
         keys_of
@@ -372,8 +365,7 @@ let prop_closed_growth_sound_and_subset =
     ~name:"closed-growth output is a subset of complete output" ~count:15
     QCheck.(pair (int_range 8 13) (int_range 2 4))
     (fun (n, l) ->
-      let st = Gen.rng ((n * 83) + l) in
-      let g = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:2 in
+      let g = Gen_qcheck.er ~seed:((n * 83) + l) ~n ~avg_degree:2.0 ~num_labels:2 in
       let complete = keys_of (Skinny_mine.mine g ~l ~delta:2 ~sigma:1).Skinny_mine.patterns in
       let closed =
         (Skinny_mine.mine
@@ -420,8 +412,7 @@ let test_closed_only_filter () =
     (Pattern.size (List.hd closed.Skinny_mine.patterns).Skinny_mine.pattern)
 
 let test_max_patterns_cap () =
-  let st = Gen.rng 17 in
-  let g = Gen.erdos_renyi st ~n:30 ~avg_degree:3.0 ~num_labels:1 in
+  let g = Gen_qcheck.er ~seed:17 ~n:30 ~avg_degree:3.0 ~num_labels:1 in
   let r =
     Skinny_mine.mine
       ~config:{ Skinny_mine.Config.default with max_patterns = Some 5 }
@@ -461,8 +452,7 @@ let test_transaction_setting () =
 (* --- Diameter index --- *)
 
 let test_diameter_index_requests () =
-  let st = Gen.rng 3 in
-  let g = Gen.erdos_renyi st ~n:25 ~avg_degree:2.5 ~num_labels:2 in
+  let g = Gen_qcheck.er ~seed:3 ~n:25 ~avg_degree:2.5 ~num_labels:2 in
   let idx = Diameter_index.build g ~sigma:2 ~l_max:6 in
   List.iter
     (fun l ->
@@ -485,8 +475,7 @@ let test_diameter_index_requests () =
 (* --- Framework --- *)
 
 let test_framework_skinny_agrees () =
-  let st = Gen.rng 19 in
-  let g = Gen.erdos_renyi st ~n:20 ~avg_degree:2.2 ~num_labels:2 in
+  let g = Gen_qcheck.er ~seed:19 ~n:20 ~avg_degree:2.2 ~num_labels:2 in
   let via_framework =
     Framework.Skinny.mine g ~sigma:2 { Framework.Skinny.l = 3; delta = 2 }
     |> List.map (fun (p, _) -> Canon.key p)
@@ -496,8 +485,7 @@ let test_framework_skinny_agrees () =
   Alcotest.(check (list string)) "functor = direct" direct via_framework
 
 let test_framework_properties () =
-  let st = Gen.rng 23 in
-  let g = Gen.erdos_renyi st ~n:8 ~avg_degree:2.5 ~num_labels:2 in
+  let g = Gen_qcheck.er ~seed:23 ~n:8 ~avg_degree:2.5 ~num_labels:2 in
   let universe = Framework.connected_patterns_upto g ~max_edges:4 in
   check_bool "universe non-trivial" true (List.length universe > 5);
   (* MaxDegree <= K satisfies everything downward: not reducible (§5.2). *)
@@ -527,8 +515,7 @@ let test_framework_properties () =
   check_bool "skinny reducible" true
     (Framework.is_reducible ~pred:skinny_pred ~universe);
   (* Continuity holds on cycle-free universes... *)
-  let st2 = Gen.rng 29 in
-  let tree = Gen.random_tree st2 ~n:8 ~num_labels:2 in
+  let tree = Gen_qcheck.tree ~seed:29 ~n:8 ~num_labels:2 in
   let tree_universe = Framework.connected_patterns_upto tree ~max_edges:4 in
   check_bool "skinny continuous on a tree universe" true
     (Framework.is_continuous ~pred:skinny_pred ~universe:tree_universe);

@@ -173,10 +173,8 @@ let test_every_byte_flip_detected () =
 
 let test_save_load_file () =
   let s = mined_store 11 in
-  let path = Filename.temp_file "spmstore" ".spm" in
-  Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-    (fun () ->
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "store.spm" in
       Store.save path s;
       let s' = Store.load path in
       check_bool "file round trip" true (stores_equal s s'))
@@ -227,10 +225,8 @@ let test_index_snapshot () =
 let test_index_snapshot_file () =
   let s = mined_store 17 in
   let idx = Diameter_index.build s.Store.graph ~sigma:2 ~l_max:2 in
-  let path = Filename.temp_file "spmindex" ".spx" in
-  Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-    (fun () ->
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "index.spx" in
       Store.save_index path idx;
       let idx' = Store.load_index path in
       check_bool "file snapshot serves l=2" true

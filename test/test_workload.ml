@@ -123,6 +123,37 @@ let test_weibo_motif_frequency () =
   let with_motif = List.filter (fun c -> c.Weibo_like.has_motif) convs in
   check "half carry the motif" 5 (List.length with_motif)
 
+(* --- Byte determinism ---
+
+   A fixed seed must reproduce each workload byte-for-byte (via the
+   canonical Io text form): recorded experiment configs and the committed
+   corpus both rely on generator output being a pure function of the
+   seed. *)
+
+let test_byte_determinism () =
+  let gid_bytes () =
+    let d = Settings.gid ~scale:0.15 ~seed:21 3 in
+    Io.to_string d.Settings.graph
+  in
+  Alcotest.(check string) "gid bytes stable" (gid_bytes ()) (gid_bytes ());
+  let dblp_bytes () =
+    Dblp_like.generate ~num_authors:8 ~seed:22 ()
+    |> List.map (fun a -> Io.to_string a.Dblp_like.graph)
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "dblp bytes stable" (dblp_bytes ()) (dblp_bytes ());
+  let weibo_bytes () =
+    Weibo_like.generate ~num_conversations:4 ~size:40 ~seed:23 ()
+    |> List.map (fun c -> Io.to_string c.Weibo_like.graph)
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "weibo bytes stable" (weibo_bytes ()) (weibo_bytes ());
+  let tx_bytes () =
+    let t = Settings.transaction_setting ~scale:0.1 ~extra_small:3 ~seed:24 () in
+    t.Settings.transactions |> List.map Io.to_string |> String.concat "\n"
+  in
+  Alcotest.(check string) "transaction bytes stable" (tx_bytes ()) (tx_bytes ())
+
 let () =
   Alcotest.run "workload"
     [
@@ -132,6 +163,7 @@ let () =
           Alcotest.test_case "gid differences" `Quick test_gid_differences;
           Alcotest.test_case "skinniness probe" `Quick test_skinniness_probe;
           Alcotest.test_case "transaction setting" `Quick test_transaction_setting;
+          Alcotest.test_case "byte determinism" `Quick test_byte_determinism;
         ] );
       ( "dblp",
         [
