@@ -1,0 +1,190 @@
+(* Incremental repair vs full re-mine on an evolving graph.
+
+   The claim under measurement (DESIGN.md §15): after a small edit batch,
+   Incremental.update re-runs Stage II only on the diameter clusters whose
+   δ-neighborhoods the edits touched, so update latency should sit far
+   below a from-scratch Skinny_mine.mine of the edited graph — while
+   producing the byte-identical pattern set (asserted here on every trial,
+   not just in the test suite).
+
+   Two workloads: single-edge updates (the latency-critical path a live
+   server sees) and 1%-of-m batches. For each trial we time the repair,
+   time the full re-mine of the same edited snapshot, and record the
+   pattern-set diff the repair reported. Medians plus the speedup ratio go
+   to BENCH_incremental.json. *)
+
+open Spm_graph
+open Spm_core
+module Incremental = Spm_core.Incremental
+module Run = Spm_engine.Run
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  if Array.length a = 0 then 0.0 else a.(Array.length a / 2)
+
+let render (ms : Skinny_mine.mined list) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (m : Skinny_mine.mined) ->
+      Buffer.add_string b (Io.to_string m.pattern);
+      Buffer.add_string b
+        (Printf.sprintf "s%d l%s d%s\n" m.support
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int m.levels)))
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int m.diameter_labels)))))
+    ms;
+  Buffer.contents b
+
+(* An edit batch over the current merged view: mostly fresh edges, some
+   deletions of existing ones — the mix a drifting data graph produces. *)
+let random_batch st dg size =
+  List.init size (fun _ ->
+      let n = Delta.n dg in
+      if Random.State.int st 3 = 0 && Delta.m dg > 0 then begin
+        let es = Array.of_list (Delta.edges dg) in
+        let u, v = es.(Random.State.int st (Array.length es)) in
+        Delta.Remove_edge (u, v)
+      end
+      else
+        let rec fresh tries =
+          let u = Random.State.int st n in
+          let v = Random.State.int st n in
+          if u <> v && (tries = 0 || not (Delta.has_edge dg u v)) then (u, v)
+          else fresh (max 0 (tries - 1))
+        in
+        let u, v = fresh 20 in
+        Delta.Add_edge (u, v))
+
+type trial = {
+  inc_s : float;
+  full_s : float;
+  added : int;
+  removed : int;
+  repaired : int;
+  clusters : int;
+}
+
+let run_trials ~name ~config ~l ~delta ~sigma ~st ~trials ~batch_size inc0 =
+  let inc = ref inc0 in
+  let results = ref [] in
+  for t = 1 to trials do
+    let edits = random_batch st (Incremental.graph !inc) batch_size in
+    let (inc', diff), inc_s =
+      Util.time (fun () -> Incremental.update !inc edits)
+    in
+    inc := inc';
+    let g = Delta.snapshot (Incremental.graph inc') in
+    let full, full_s =
+      Util.time (fun () -> Skinny_mine.mine ~config g ~l ~delta ~sigma)
+    in
+    if render full.Skinny_mine.patterns <> render (Incremental.patterns inc')
+    then
+      failwith
+        (Printf.sprintf "%s trial %d: repair diverged from full re-mine" name
+           t);
+    results :=
+      {
+        inc_s;
+        full_s;
+        added = List.length diff.Incremental.added;
+        removed = List.length diff.Incremental.removed;
+        repaired = diff.Incremental.repaired_clusters;
+        clusters = diff.Incremental.total_clusters;
+      }
+      :: !results
+  done;
+  List.rev !results
+
+let summarize ~name ~batch_size trials =
+  let inc_ms = median (List.map (fun t -> 1000.0 *. t.inc_s) trials) in
+  let full_ms = median (List.map (fun t -> 1000.0 *. t.full_s) trials) in
+  let speedup = if inc_ms > 0.0 then full_ms /. inc_ms else 0.0 in
+  let avg f =
+    float_of_int (List.fold_left (fun a t -> a + f t) 0 trials)
+    /. float_of_int (max 1 (List.length trials))
+  in
+  Printf.printf
+    "  %-12s (batch %3d): repair p50 %7.1f ms vs full re-mine p50 %7.1f ms \
+     — %.1fx; avg diff +%.1f/-%.1f patterns, %.1f of %.0f clusters \
+     re-grown\n\
+     %!"
+    name batch_size inc_ms full_ms speedup
+    (avg (fun t -> t.added))
+    (avg (fun t -> t.removed))
+    (avg (fun t -> t.repaired))
+    (avg (fun t -> t.clusters));
+  ( speedup,
+    Printf.sprintf
+      "{\"batch_size\": %d, \"trials\": %d, \"repair_ms_p50\": %.2f, \
+       \"full_ms_p50\": %.2f, \"speedup\": %.2f, \"avg_added\": %.2f, \
+       \"avg_removed\": %.2f, \"avg_repaired_clusters\": %.2f, \
+       \"avg_clusters\": %.2f}"
+      batch_size (List.length trials) inc_ms full_ms speedup
+      (avg (fun t -> t.added))
+      (avg (fun t -> t.removed))
+      (avg (fun t -> t.repaired))
+      (avg (fun t -> t.clusters)) )
+
+(* Returns a JSON fragment for the harness summary file. *)
+let run ~seed ?(n = 1500) ?(num_labels = 30) ?(single_trials = 6)
+    ?(batch_trials = 3) ?(jobs = 1) () =
+  Util.section "Incremental: delta-scoped repair vs full re-mine";
+  let st = Random.State.make [| seed; 0x1ec2 |] in
+  (* Label diversity scales with n so each frequent entry keeps a bounded
+     embedding count: clusters stay LOCAL, which is the regime where
+     delta-scoped repair pays — a single edit's δ-ball then intersects few
+     clusters. (With few labels every entry has embeddings everywhere and
+     any edit touches a constant fraction of clusters, no matter how the
+     repair is scoped.) Closed growth keeps the twig powerset collapsed and
+     Stage II dominant. *)
+  let g =
+    Gen.erdos_renyi (Gen.rng (seed + 17)) ~n ~avg_degree:2.2 ~num_labels
+  in
+  let l, delta, sigma = (4, 2, 2) in
+  let config =
+    { Skinny_mine.Config.default with closed_growth = true; jobs }
+  in
+  let inc0, create_s =
+    Util.time (fun () ->
+        Incremental.create ~config (Delta.of_graph g) ~l ~delta ~sigma)
+  in
+  Printf.printf
+    "  graph: %d vertices, %d edges; initial mine (l=%d, delta=%d, \
+     sigma=%d, jobs=%d): %d patterns in %.2fs\n\
+     %!"
+    (Graph.n g) (Graph.m g) l delta sigma jobs
+    (List.length (Incremental.patterns inc0))
+    create_s;
+  let single =
+    run_trials ~name:"single-edge" ~config ~l ~delta ~sigma ~st
+      ~trials:single_trials ~batch_size:1 inc0
+  in
+  let batch_size = max 1 (Graph.m g / 100) in
+  let batch =
+    run_trials ~name:"1%-batch" ~config ~l ~delta ~sigma ~st
+      ~trials:batch_trials ~batch_size inc0
+  in
+  let single_speedup, single_json =
+    summarize ~name:"single-edge" ~batch_size:1 single
+  in
+  let _, batch_json = summarize ~name:"1%-batch" ~batch_size batch in
+  if single_speedup < 5.0 then
+    Printf.printf
+      "  WARNING: single-edge speedup %.1fx below the 5x acceptance target\n%!"
+      single_speedup;
+  let json =
+    Printf.sprintf
+      "{\"n\": %d, \"m\": %d, \"initial_mine_s\": %.3f, \"single\": %s, \
+       \"batch\": %s}"
+      (Graph.n g) (Graph.m g) create_s single_json batch_json
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "  details written to BENCH_incremental.json\n%!";
+  json

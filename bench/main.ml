@@ -6,7 +6,7 @@
 let usage =
   "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation parallel serving cancel oracle micro\n\
+   ablation parallel serving cancel incremental oracle micro\n\
    a per-section timing summary is written to BENCH_run.json"
 
 type config = {
@@ -185,6 +185,8 @@ let () =
   timed "serving"
     (plain (fun () -> Exp_serving.run ~seed:cfg.seed ~n:(cfg.parallel_n / 10) ()));
   timed "cancel" (fun () -> Some (Exp_cancel.run ~seed:cfg.seed ()));
+  timed "incremental"
+    (fun () -> Some (Exp_incremental.run ~seed:cfg.seed ~jobs:cfg.jobs ()));
   timed "oracle" (fun () -> Some (Exp_oracle.run ()));
   timed "micro" (plain (fun () -> Micro.run ~scale:cfg.scale ()));
   write_summary cfg;

@@ -333,13 +333,18 @@ let serve_cmd =
     (match store with
     | Some path ->
       let s = Spm_store.Store.load path in
-      Spm_server.Server.set_store t s;
+      (* Committed updates journal back to the same file, so a restart of
+         this command resumes at the latest version. *)
+      Spm_server.Server.set_store t ~path s;
       Printf.printf
-        "loaded store %s: %d patterns (l = %d, delta = %d, sigma = %d%s)\n%!"
+        "loaded store %s: %d patterns (l = %d, delta = %d, sigma = %d%s), \
+         version %d\n\
+         %!"
         path
         (List.length s.Spm_store.Store.patterns)
         s.Spm_store.Store.l s.Spm_store.Store.delta s.Spm_store.Store.sigma
         (if s.Spm_store.Store.closed_growth then ", closed" else "")
+        (Spm_store.Store.latest_version s)
     | None -> (
       match graph with
       | Some path ->
@@ -376,7 +381,8 @@ let query_cmd =
     let actions =
       [ ("ping", `Ping); ("mine", `Mine); ("lookup", `Lookup);
         ("contains", `Contains); ("load", `Load); ("stats", `Stats);
-        ("progress", `Progress); ("cancel", `Cancel); ("shutdown", `Shutdown) ]
+        ("progress", `Progress); ("cancel", `Cancel); ("shutdown", `Shutdown);
+        ("update", `Update); ("subscribe", `Subscribe) ]
     in
     Arg.(
       required
@@ -385,7 +391,7 @@ let query_cmd =
           ~doc:
             "One of $(b,ping), $(b,mine), $(b,lookup), $(b,contains), \
              $(b,load), $(b,stats), $(b,progress), $(b,cancel), \
-             $(b,shutdown).")
+             $(b,shutdown), $(b,update), $(b,subscribe).")
   in
   let file =
     Arg.(
@@ -394,7 +400,16 @@ let query_cmd =
       & info [] ~docv:"FILE"
           ~doc:
             "Graph file for $(b,contains); server-side store path for \
-             $(b,load).")
+             $(b,load); edit script (av/ae/re format) for $(b,update).")
+  in
+  let updates =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "updates" ] ~docv:"N"
+          ~doc:
+            "$(b,subscribe): exit after N pushed diffs (default: until the \
+             server shuts down).")
   in
   let l = Arg.(value & opt int 4 & info [ "l"; "length" ] ~doc:"Diameter length (mine, lookup filter).") in
   let delta = Arg.(value & opt int 2 & info [ "d"; "delta" ] ~doc:"Skinniness bound (mine).") in
@@ -446,8 +461,16 @@ let query_cmd =
     | Some f -> f
     | None -> failwith (Printf.sprintf "query %s requires a FILE argument" action)
   in
+  let print_diff (u : Spm_server.Protocol.update_reply) =
+    Printf.printf
+      "version %d: +%d -%d patterns (%d of %d clusters repaired)\n%!"
+      u.Spm_server.Protocol.new_version
+      (List.length u.Spm_server.Protocol.added)
+      (List.length u.Spm_server.Protocol.removed)
+      u.Spm_server.Protocol.repaired u.Spm_server.Protocol.clusters
+  in
   let run host port action file l delta sigma closed min_support max_support
-      length_filter labels =
+      length_filter labels updates =
     Spm_server.Client.with_connection ~host ~port (fun c ->
         (match action with
         | `Ping ->
@@ -459,16 +482,32 @@ let query_cmd =
         | `Mine ->
           let ms =
             Spm_server.Client.mine c
-              { Spm_server.Protocol.l; delta; sigma; closed_growth = closed }
+              (Spm_server.Protocol.mine_params ~closed_growth:closed ~l ~delta
+                 ~sigma ())
           in
           print_patterns ms
         | `Lookup ->
           let ms =
             Spm_server.Client.lookup c
-              { Spm_server.Protocol.min_support; max_support;
-                length = length_filter; labels }
+              (Spm_server.Protocol.lookup_params ?min_support ?max_support
+                 ?length:length_filter ?labels ())
           in
           print_patterns ms
+        | `Update ->
+          let edits = Io.read_edits (need_file "update" file) in
+          print_diff (Spm_server.Client.update c edits)
+        | `Subscribe ->
+          let v = Spm_server.Client.subscribe c in
+          Printf.printf "subscribed at version %d\n%!" v;
+          let rec watch seen =
+            if updates <> Some seen then
+              match Spm_server.Client.next_diff c with
+              | None -> print_endline "server closed the diff stream"
+              | Some u ->
+                print_diff u;
+                watch (seen + 1)
+          in
+          watch 0
         | `Contains ->
           let g = Io.read_file (need_file "contains" file) in
           let ms = Spm_server.Client.contains c g in
@@ -510,7 +549,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Send one query to a running SkinnyServe server.")
     Term.(
       const run $ host_arg $ port_arg $ action $ file $ l $ delta $ sigma
-      $ closed $ min_support $ max_support $ length_filter $ labels)
+      $ closed $ min_support $ max_support $ length_filter $ labels $ updates)
 
 let () =
   let doc = "SkinnyMine: direct mining of l-long delta-skinny graph patterns" in

@@ -65,7 +65,7 @@ module Triangle_anchored = struct
               (* triangle u < v < w *)
               let labels = [| Graph.label g u; Graph.label g v; Graph.label g w |] in
               let pattern =
-                Graph.of_edges ~labels [ (0, 1); (1, 2); (0, 2) ]
+                Graph.Builder.of_edges ~labels [ (0, 1); (1, 2); (0, 2) ]
               in
               let key = Canon.key pattern in
               let maps =
@@ -110,7 +110,7 @@ let () =
   let bg = Gen.erdos_renyi st ~n:60 ~avg_degree:1.5 ~num_labels:5 in
   let b = Graph.Builder.of_graph bg in
   let motif =
-    Graph.of_edges ~labels:[| 1; 2; 3; 4 |] [ (0, 1); (1, 2); (0, 2); (2, 3) ]
+    Graph.Builder.of_edges ~labels:[| 1; 2; 3; 4 |] [ (0, 1); (1, 2); (0, 2); (2, 3) ]
   in
   ignore (Gen.inject st b ~pattern:motif ~copies:3 ());
   let g = Graph.Builder.freeze b in

@@ -19,7 +19,7 @@ let () =
       (1, 7);                          (* a cafe cluster *)
     ]
   in
-  let g = Graph.of_edges ~labels edges in
+  let g = Graph.Builder.of_edges ~labels edges in
   Printf.printf "Data graph: %d vertices, %d edges\n" (Graph.n g) (Graph.m g);
 
   (* Mine every 4-long 1-skinny pattern appearing at least once. *)

@@ -15,7 +15,7 @@ let vertex_seeds g =
     g;
   Hashtbl.fold
     (fun l maps acc ->
-      (l, { pattern = Graph.of_edges ~labels:[| l |] []; maps }) :: acc)
+      (l, { pattern = Graph.Builder.of_edges ~labels:[| l |] []; maps }) :: acc)
     by_label []
   |> List.sort compare
 

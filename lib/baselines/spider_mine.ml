@@ -102,7 +102,7 @@ let merge_states g (a : Grow_util.state) (b : Grow_util.state) =
     in
     add_edges a ma;
     add_edges b mb;
-    let pattern = Graph.of_edges ~labels (List.sort_uniq compare !es) in
+    let pattern = Graph.Builder.of_edges ~labels (List.sort_uniq compare !es) in
     if Bfs.is_connected pattern then Some pattern else None
 
 let mine ?run ?rng ?(r = 1) ?(d_max = 4) ?(seeds = 200) ?(rounds = 3)

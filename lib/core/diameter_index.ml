@@ -17,14 +17,15 @@ type t = {
 let with_jobs_pool jobs f =
   if jobs <= 1 then f Pool.serial else Pool.with_pool ~jobs f
 
-let build ?(prune_intermediate = true) ?path_support ?(jobs = 1) g ~sigma ~l_max =
+let build ?(prune_intermediate = true) ?path_support ?run ?(jobs = 1) g ~sigma
+    ~l_max =
   let t0 = Clock.now () in
   (* Materialize powers up to l_max; a non-power l <= l_max is served by
      merging from the largest power below it. *)
   let powers =
     with_jobs_pool jobs (fun pool ->
-        Diam_mine.Powers.build ~prune_intermediate ?support:path_support ~pool
-          g ~sigma ~up_to:l_max)
+        Diam_mine.Powers.build ~prune_intermediate ?support:path_support ?run
+          ~pool g ~sigma ~up_to:l_max)
   in
   {
     graph = g;
@@ -42,14 +43,14 @@ let sigma t = t.sigma
 let l_max t = t.l_max
 let build_seconds t = t.build_seconds
 
-let entries t ~l =
+let entries ?run t ~l =
   match Hashtbl.find_opt t.cache l with
   | Some e -> e
   | None ->
     let powers = Lazy.force t.powers in
     let e =
       with_jobs_pool t.jobs (fun pool ->
-          Diam_mine.Powers.paths_of_length ~pool powers ~l ~sigma:t.sigma)
+          Diam_mine.Powers.paths_of_length ?run ~pool powers ~l ~sigma:t.sigma)
     in
     Hashtbl.add t.cache l e;
     e

@@ -11,6 +11,7 @@ type t
 val build :
   ?prune_intermediate:bool ->
   ?path_support:(int array list -> int) ->
+  ?run:Spm_engine.Run.t ->
   ?jobs:int ->
   Spm_graph.Graph.t ->
   sigma:int ->
@@ -21,7 +22,9 @@ val build :
     for every l <= l_max by construction). [jobs] (default 1) parallelizes
     the power-of-2 construction and later on-demand merges; request-time
     Stage-II parallelism is configured per request via
-    [config.Skinny_mine.Config.jobs]. *)
+    [config.Skinny_mine.Config.jobs]. [run] bounds the eager power-of-2
+    construction ({!Spm_engine.Run.Cancelled} escapes as from
+    [Diam_mine.mine]). *)
 
 val graph : t -> Spm_graph.Graph.t
 
@@ -49,8 +52,10 @@ val of_snapshot :
     (under [prune_intermediate], default [true], with the default |E[P]|
     path support — custom path-support functions are not serializable). *)
 
-val entries : t -> l:int -> Diam_mine.entry list
-(** Frequent length-l paths with embeddings; cached after the first call. *)
+val entries : ?run:Spm_engine.Run.t -> t -> l:int -> Diam_mine.entry list
+(** Frequent length-l paths with embeddings; cached after the first call.
+    [run] bounds the on-demand merge (and the lazy Stage-I rebuild of a
+    restored index) — a cached length never consults it. *)
 
 val request :
   ?config:Skinny_mine.Config.t ->

@@ -70,9 +70,9 @@ let pattern_minus_edge p (u, v) =
   Array.iteri (fun i w -> Hashtbl.add idx w i) keep;
   let labels = Array.map (fun w -> Graph.label p w) keep in
   let es' = List.map (fun (a, b) -> (Hashtbl.find idx a, Hashtbl.find idx b)) es in
-  Graph.of_edges ~labels es'
+  Graph.Builder.of_edges ~labels es'
 
-let single_vertex p w = Graph.of_edges ~labels:[| Graph.label p w |] []
+let single_vertex p w = Graph.Builder.of_edges ~labels:[| Graph.label p w |] []
 
 let immediate_subpatterns p =
   let seen = Canon.Set.create () in
@@ -131,7 +131,7 @@ let connected_patterns_upto g ~max_edges =
     Array.iteri (fun i v -> Hashtbl.add idx v i) vs;
     let labels = Array.map (fun v -> Graph.label g v) vs in
     let es' = List.map (fun (u, v) -> (Hashtbl.find idx u, Hashtbl.find idx v)) es in
-    let p = Graph.of_edges ~labels es' in
+    let p = Graph.Builder.of_edges ~labels es' in
     if Bfs.is_connected p then add p
   in
   let rec choose i chosen size =

@@ -1,0 +1,332 @@
+open Spm_graph
+module Pool = Spm_engine.Pool
+module Clock = Spm_engine.Clock
+module Run = Spm_engine.Run
+
+type cluster = { entry : Diam_mine.entry; mined : Skinny_mine.mined list }
+
+type t = {
+  dgraph : Delta.t;
+  l : int;
+  delta : int;
+  sigma : int;
+  config : Skinny_mine.Config.t;
+  clusters : cluster list; (* Stage-I entry order *)
+  complete : bool;
+}
+
+type diff = {
+  version : int;
+  added : Skinny_mine.mined list;
+  removed : Skinny_mine.mined list;
+  repaired_clusters : int;
+  reused_clusters : int;
+  total_clusters : int;
+  seconds : float;
+  status : Run.status;
+}
+
+let graph t = t.dgraph
+let version t = Delta.version t.dgraph
+let params t = (t.l, t.delta, t.sigma)
+let config t = t.config
+let complete t = t.complete
+let clusters t = t.clusters
+let patterns t = List.concat_map (fun c -> c.mined) t.clusters
+
+let check_config (config : Skinny_mine.Config.t) =
+  if config.max_patterns <> None then
+    invalid_arg "Incremental: max_patterns is a global budget; unsupported";
+  if config.support <> None then
+    invalid_arg "Incremental: custom support functions are unsupported"
+
+let with_jobs_pool jobs f =
+  if jobs <= 1 then f Pool.serial else Pool.with_pool ~jobs f
+
+(* Stage I for one graph version: route through Diameter_index so the entry
+   list is the exact list Skinny_mine.mine would grow (Diam_mine.mine is the
+   same Powers.build + paths_of_length composition). *)
+let stage1 ~run ~(config : Skinny_mine.Config.t) g ~l ~sigma =
+  let idx =
+    Diameter_index.build ~prune_intermediate:config.prune_intermediate ~run
+      ~jobs:config.jobs g ~sigma ~l_max:l
+  in
+  Diameter_index.entries ~run idx ~l
+
+(* One cluster's Stage II, mirroring Skinny_mine.grow_all's uncapped path
+   (per-cluster closedness equals the global filter: comparisons never cross
+   diameter_labels). *)
+let grow_entry ~run ~(config : Skinny_mine.Config.t) ~data ~delta ~sigma entry
+    =
+  let mined, st =
+    Level_grow.grow ~mode:config.mode ~closed_growth:config.closed_growth ~run
+      ~data ~sigma ~delta ~entry ()
+  in
+  let mined =
+    if config.closed_only then Skinny_mine.closed_filter mined else mined
+  in
+  (mined, st)
+
+let grow_entries ~run ~config ~data ~delta ~sigma entries =
+  let per_cluster =
+    with_jobs_pool config.Skinny_mine.Config.jobs (fun pool ->
+        Pool.map pool
+          (fun entry -> grow_entry ~run ~config ~data ~delta ~sigma entry)
+          (Array.of_list entries))
+  in
+  let interrupted =
+    Array.exists
+      (fun (_, (st : Level_grow.stats)) -> st.Level_grow.interrupted)
+      per_cluster
+  in
+  (Array.to_list (Array.map fst per_cluster), interrupted)
+
+let mine_clusters ~run ~config dg ~l ~delta ~sigma =
+  let g = Delta.snapshot dg in
+  match stage1 ~run ~config g ~l ~sigma with
+  | exception Run.Cancelled _ -> ([], false)
+  | entries ->
+    let mined_lists, interrupted =
+      grow_entries ~run ~config ~data:g ~delta ~sigma entries
+    in
+    (List.map2 (fun entry mined -> { entry; mined }) entries mined_lists,
+     not interrupted)
+
+let fresh_run run = match run with Some r -> r | None -> Run.create ()
+
+let create ?run ?(config = Skinny_mine.Config.default) dg ~l ~delta ~sigma =
+  check_config config;
+  let run = fresh_run run in
+  let clusters, complete = mine_clusters ~run ~config dg ~l ~delta ~sigma in
+  { dgraph = dg; l; delta; sigma; config; clusters; complete }
+
+let restore ?run ?(config = Skinny_mine.Config.default) dg ~l ~delta ~sigma
+    ~patterns =
+  check_config config;
+  let run = fresh_run run in
+  match stage1 ~run ~config (Delta.snapshot dg) ~l ~sigma with
+  | exception Run.Cancelled _ -> None
+  | entries ->
+    (* Partition the flat stored list by diameter labels; preserving input
+       order inside each bucket reproduces the per-cluster grow order the
+       store was written in. *)
+    let buckets : (Path_pattern.t, Skinny_mine.mined list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter
+      (fun e -> Hashtbl.replace buckets e.Diam_mine.labels (ref []))
+      entries;
+    let orphan =
+      List.exists
+        (fun (m : Skinny_mine.mined) ->
+          match Hashtbl.find_opt buckets m.diameter_labels with
+          | Some b ->
+            b := m :: !b;
+            false
+          | None -> true)
+        patterns
+    in
+    if orphan then None
+    else
+      let clusters =
+        List.map
+          (fun e ->
+            {
+              entry = e;
+              mined = List.rev !(Hashtbl.find buckets e.Diam_mine.labels);
+            })
+          entries
+      in
+      (* Every cluster emits at least its diameter pattern; an empty bucket
+         means the stored set does not match this (l, δ, σ, config). *)
+      if List.exists (fun c -> c.mined = []) clusters then None
+      else Some { dgraph = dg; l; delta; sigma; config; clusters; complete = true }
+
+(* Byte-level identity key for diffing: pattern text + support + levels +
+   diameter labels — the same rendering the oracle suite compares. *)
+let key_of_mined (m : Skinny_mine.mined) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Io.to_string m.pattern);
+  Buffer.add_string b (Printf.sprintf "|%d|" m.support);
+  Array.iter (fun x -> Buffer.add_string b (Printf.sprintf "%d," x)) m.levels;
+  Buffer.add_char b '|';
+  Array.iter
+    (fun x -> Buffer.add_string b (Printf.sprintf "%d," x))
+    m.diameter_labels;
+  Buffer.contents b
+
+let diff_patterns ~old_patterns ~new_patterns =
+  let keys ms =
+    let h = Hashtbl.create 256 in
+    List.iter (fun m -> Hashtbl.replace h (key_of_mined m) ()) ms;
+    h
+  in
+  let old_keys = keys old_patterns and new_keys = keys new_patterns in
+  let added =
+    List.filter (fun m -> not (Hashtbl.mem old_keys (key_of_mined m))) new_patterns
+  in
+  let removed =
+    List.filter (fun m -> not (Hashtbl.mem new_keys (key_of_mined m))) old_patterns
+  in
+  (added, removed)
+
+(* Bounded BFS: mark every vertex within [depth] of [src]. Patterns are
+   repaired per cluster, so this is the only whole-graph work scoping does;
+   it touches O(ball) vertices, not O(n). *)
+let mark_ball g src depth marks =
+  if src < Graph.n g then begin
+    let dist = Hashtbl.create 64 in
+    Hashtbl.replace dist src 0;
+    marks.(src) <- true;
+    let q = Queue.create () in
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      let d = Hashtbl.find dist v in
+      if d < depth then
+        Graph.iter_adj g v (fun w ->
+            if not (Hashtbl.mem dist w) then begin
+              Hashtbl.replace dist w (d + 1);
+              marks.(w) <- true;
+              Queue.push w q
+            end)
+    done
+  end
+
+let touched_endpoints edits =
+  List.concat_map
+    (function
+      | Delta.Add_vertex _ -> []
+      | Delta.Add_edge (u, v) | Delta.Remove_edge (u, v) -> [ u; v ])
+    edits
+  |> List.sort_uniq Int.compare
+
+let empty_diff ~version ~t0 ~status =
+  {
+    version;
+    added = [];
+    removed = [];
+    repaired_clusters = 0;
+    reused_clusters = 0;
+    total_clusters = 0;
+    seconds = Clock.now () -. t0;
+    status;
+  }
+
+(* Only reached when the run was observed interrupted, so [Run.status] is
+   necessarily Timeout or Cancelled here. *)
+let abort ~t ~t0 ~run = (t, empty_diff ~version:(version t) ~t0 ~status:(Run.status run))
+
+let update ?run t edits =
+  let run = fresh_run run in
+  let t0 = Clock.now () in
+  let dg' = Delta.apply_all t.dgraph edits in
+  let touched = touched_endpoints edits in
+  if touched = [] && t.complete then
+    (* Pure vertex additions: no edge flips, so neither Stage I (paths need
+       edges) nor any δ-ball changes — splice everything through. *)
+    ( { t with dgraph = dg' },
+      {
+        (empty_diff ~version:(Delta.version dg') ~t0 ~status:Run.Ok) with
+        reused_clusters = List.length t.clusters;
+        total_clusters = List.length t.clusters;
+      } )
+  else if not t.complete then
+    (* Nothing trustworthy to splice: full rebuild at the new version. *)
+    let clusters, ok = mine_clusters ~run ~config:t.config dg' ~l:t.l
+        ~delta:t.delta ~sigma:t.sigma
+    in
+    if not ok then abort ~t ~t0 ~run
+    else
+      let t' = { t with dgraph = dg'; clusters; complete = true } in
+      let added, removed =
+        diff_patterns ~old_patterns:(patterns t) ~new_patterns:(patterns t')
+      in
+      ( t',
+        {
+          version = Delta.version dg';
+          added;
+          removed;
+          repaired_clusters = List.length clusters;
+          reused_clusters = 0;
+          total_clusters = List.length clusters;
+          seconds = Clock.now () -. t0;
+          status = Run.Ok;
+        } )
+  else begin
+    let g0 = Delta.snapshot t.dgraph and g1 = Delta.snapshot dg' in
+    (* δ-balls around every touched endpoint, in both versions: a cluster
+       whose embeddings avoid the marks has an identical δ-neighborhood
+       before and after, hence an identical grow. *)
+    let marks = Array.make (max (Graph.n g0) (Graph.n g1)) false in
+    List.iter
+      (fun v ->
+        mark_ball g0 v t.delta marks;
+        mark_ball g1 v t.delta marks)
+      touched;
+    match stage1 ~run ~config:t.config g1 ~l:t.l ~sigma:t.sigma with
+    | exception Run.Cancelled _ -> abort ~t ~t0 ~run
+    | entries ->
+      let old_by_labels : (Path_pattern.t, cluster) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (fun c -> Hashtbl.replace old_by_labels c.entry.Diam_mine.labels c)
+        t.clusters;
+      let embeddings_marked (e : Diam_mine.entry) =
+        List.exists
+          (fun emb -> Array.exists (fun v -> marks.(v)) emb)
+          e.embeddings
+      in
+      let decisions =
+        List.map
+          (fun (e : Diam_mine.entry) ->
+            match Hashtbl.find_opt old_by_labels e.Diam_mine.labels with
+            | Some c
+              when c.entry.Diam_mine.embeddings = e.Diam_mine.embeddings
+                   && not (embeddings_marked e) ->
+              `Reuse c
+            | Some _ | None -> `Grow e)
+          entries
+      in
+      let to_grow =
+        List.filter_map
+          (function `Grow e -> Some e | `Reuse _ -> None)
+          decisions
+      in
+      let grown, interrupted =
+        grow_entries ~run ~config:t.config ~data:g1 ~delta:t.delta
+          ~sigma:t.sigma to_grow
+      in
+      if interrupted then abort ~t ~t0 ~run
+      else begin
+        let grown = ref grown in
+        let clusters =
+          List.map2
+            (fun decision (e : Diam_mine.entry) ->
+              match decision with
+              | `Reuse c -> c
+              | `Grow _ ->
+                let mined = List.hd !grown in
+                grown := List.tl !grown;
+                { entry = e; mined })
+            decisions entries
+        in
+        let t' = { t with dgraph = dg'; clusters } in
+        let added, removed =
+          diff_patterns ~old_patterns:(patterns t) ~new_patterns:(patterns t')
+        in
+        let repaired = List.length to_grow in
+        ( t',
+          {
+            version = Delta.version dg';
+            added;
+            removed;
+            repaired_clusters = repaired;
+            reused_clusters = List.length entries - repaired;
+            total_clusters = List.length entries;
+            seconds = Clock.now () -. t0;
+            status = Run.Ok;
+          } )
+      end
+  end

@@ -1,0 +1,104 @@
+(** Incremental (l,δ)-SPM over an evolving graph: keep a mined pattern set
+    in sync with a {!Spm_graph.Delta} under edit batches, re-growing only
+    the diameter clusters an edit can actually reach.
+
+    The δ-level bound that makes direct mining efficient also localizes
+    change. Stage II grows a cluster by consulting only vertices within
+    data-graph distance δ of the diameter entry's embedding vertices, so an
+    edge flip (u,v) can alter a cluster's output only if u or v lies inside
+    that δ-ball — in the pre-edit or post-edit graph. {!update} therefore:
+
+    + re-runs Stage I (cheap relative to growth; its σ filter is global
+      under [prune_intermediate], so it cannot be localized soundly),
+    + marks every vertex within δ of a touched endpoint by bounded BFS in
+      both graph versions,
+    + reuses each cluster whose Stage-I entry is unchanged and whose
+      embeddings avoid the marks, re-growing the rest via
+      {!Level_grow.grow}, and
+    + splices results back in Stage-I entry order.
+
+    Because clusters are independent (Theorem 4), emission order within a
+    cluster is deterministic, and [closed_only] filtering never crosses
+    clusters, the spliced result is byte-identical to a from-scratch
+    {!Skinny_mine.mine} at the new version — the oracle suite checks
+    exactly that.
+
+    Interrupted repairs abort: {!update} returns the {e old} state with a
+    non-[Ok] {!diff.status} and the graph unmodified, so a deadline-bounded
+    server never commits a half-repaired pattern set. *)
+
+type cluster = {
+  entry : Diam_mine.entry;
+  mined : Skinny_mine.mined list;  (** grow output, [closed_only]-filtered *)
+}
+
+type t
+
+type diff = {
+  version : int;  (** graph version the diff leads to (or stays at) *)
+  added : Skinny_mine.mined list;  (** in new output, not in old *)
+  removed : Skinny_mine.mined list;  (** in old output, not in new *)
+  repaired_clusters : int;  (** clusters re-grown *)
+  reused_clusters : int;  (** clusters spliced through untouched *)
+  total_clusters : int;
+  seconds : float;
+  status : Spm_engine.Run.status;
+      (** non-[Ok] means the update aborted: the returned state is the old
+          one and [added]/[removed] are empty *)
+}
+
+val create :
+  ?run:Spm_engine.Run.t ->
+  ?config:Skinny_mine.Config.t ->
+  Spm_graph.Delta.t ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  t
+(** Full mine at the delta's current version, retaining per-cluster state
+    for later {!update}s. An interrupted create yields an incomplete state
+    (see {!complete}); its first successful update rebuilds from scratch.
+    @raise Invalid_argument if [config] carries [max_patterns] or a custom
+    [support] — both are global accounting that cluster-local repair cannot
+    reproduce. *)
+
+val restore :
+  ?run:Spm_engine.Run.t ->
+  ?config:Skinny_mine.Config.t ->
+  Spm_graph.Delta.t ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  patterns:Skinny_mine.mined list ->
+  t option
+(** Rebuild incremental state from a complete stored pattern set without
+    re-growing: Stage I runs on the snapshot and [patterns] are partitioned
+    by [diameter_labels]. [None] if the partition does not line up with the
+    Stage-I entries (wrong parameters, incomplete store) — fall back to
+    {!create}. *)
+
+val update : ?run:Spm_engine.Run.t -> t -> Spm_graph.Delta.edit list -> t * diff
+(** Apply one edit batch (one graph version) and repair the pattern set.
+    [run] bounds the repair; on interruption the old state returns with
+    [diff.status] ≠ [Ok]. @raise Invalid_argument on invalid edits (the
+    state is unchanged). *)
+
+val graph : t -> Spm_graph.Delta.t
+
+val version : t -> int
+
+val params : t -> int * int * int
+(** [(l, delta, sigma)]. *)
+
+val config : t -> Skinny_mine.Config.t
+
+val complete : t -> bool
+(** Whether the held pattern set is a complete mine of the current version
+    (false only after an interrupted {!create}/{!restore} Stage I). *)
+
+val clusters : t -> cluster list
+(** Stage-I entry order. *)
+
+val patterns : t -> Skinny_mine.mined list
+(** Flat pattern list, identical to [ (Skinny_mine.mine g).patterns ] at
+    the current version when {!complete}. *)

@@ -30,7 +30,7 @@ let is_palindrome p = compare_labels p (rev p) = 0
 
 let to_pattern p =
   let n = Array.length p in
-  Graph.of_edges ~labels:p (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+  Graph.Builder.of_edges ~labels:p (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
 
 let of_vertex_path g path = Array.map (fun v -> Graph.label g v) path
 

@@ -103,6 +103,13 @@ module Stats : sig
   (** One JSON object; per-cluster Stage-II stats under ["clusters"]. *)
 end
 
+val closed_filter : mined list -> mined list
+(** The [closed_only] post-filter (Algorithm 3 line 12): drop every pattern
+    with a reported super-pattern of equal support. Comparisons stay within
+    one diameter cluster (equal [diameter_labels]), so filtering a single
+    cluster's output equals filtering it inside the full result — which is
+    what lets [Incremental] repair clusters independently. *)
+
 val mine :
   ?run:Spm_engine.Run.t ->
   ?config:Config.t ->

@@ -1,0 +1,291 @@
+(* CSR snapshot + edit overlay.
+
+   The overlay is two symmetric adjacency maps: [added] holds edges present
+   in the merged view but not in the base, [removed] masks base edges out.
+   An edge is never in both. Vertices created since the last rebuild live in
+   [extra] (their ids are all >= Graph.n base, assigned densely). Records
+   are immutable; [apply_all] returns a new version and, once the overlay
+   crosses the rebuild threshold, freezes the merged view into a fresh base
+   so reads degrade back to plain CSR. *)
+
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+type edit =
+  | Add_vertex of Label.t
+  | Add_edge of int * int
+  | Remove_edge of int * int
+
+let pp_edit ppf = function
+  | Add_vertex l -> Format.fprintf ppf "av %a" Label.pp l
+  | Add_edge (u, v) -> Format.fprintf ppf "ae %d %d" u v
+  | Remove_edge (u, v) -> Format.fprintf ppf "re %d %d" u v
+
+type t = {
+  base : Graph.t;
+  version : int;
+  rebuild_every : int;
+  pending : int;
+  nv : int; (* current vertex count *)
+  extra : Label.t IntMap.t; (* labels of vertices >= Graph.n base *)
+  max_extra_label : Label.t; (* -1 when [extra] is empty *)
+  added : IntSet.t IntMap.t; (* symmetric overlay adjacency *)
+  removed : IntSet.t IntMap.t; (* symmetric mask over base edges *)
+  added_m : int;
+  removed_m : int;
+  snap : Graph.t option ref; (* memoized merged snapshot, per version *)
+}
+
+let default_rebuild_every g = max 64 (Graph.m g / 8)
+
+let of_graph ?rebuild_every g =
+  let rebuild_every =
+    match rebuild_every with
+    | Some k ->
+      if k < 1 then invalid_arg "Graph.Delta: rebuild_every must be positive";
+      k
+    | None -> default_rebuild_every g
+  in
+  {
+    base = g;
+    version = 0;
+    rebuild_every;
+    pending = 0;
+    nv = Graph.n g;
+    extra = IntMap.empty;
+    max_extra_label = -1;
+    added = IntMap.empty;
+    removed = IntMap.empty;
+    added_m = 0;
+    removed_m = 0;
+    snap = ref (Some g);
+  }
+
+let version t = t.version
+let base t = t.base
+let pending t = t.pending
+let n t = t.nv
+let m t = Graph.m t.base + t.added_m - t.removed_m
+
+let check_v t v =
+  if v < 0 || v >= t.nv then invalid_arg "Graph.Delta: vertex out of range"
+
+let label t v =
+  check_v t v;
+  if v < Graph.n t.base then Graph.label t.base v else IntMap.find v t.extra
+
+let neighbors_in map v =
+  match IntMap.find_opt v map with Some s -> s | None -> IntSet.empty
+
+let has_edge t u v =
+  check_v t u;
+  check_v t v;
+  u <> v
+  &&
+  if IntSet.mem v (neighbors_in t.added u) then true
+  else if IntSet.mem v (neighbors_in t.removed u) then false
+  else
+    let bn = Graph.n t.base in
+    u < bn && v < bn && Graph.has_edge t.base u v
+
+let degree t v =
+  check_v t v;
+  let base_deg = if v < Graph.n t.base then Graph.degree t.base v else 0 in
+  base_deg
+  + IntSet.cardinal (neighbors_in t.added v)
+  - IntSet.cardinal (neighbors_in t.removed v)
+
+(* Neighbor order is (label, id), matching the CSR run contract. *)
+let nbr_compare t a b =
+  let c = Label.compare (label t a) (label t b) in
+  if c <> 0 then c else Int.compare a b
+
+let iter_adj t v f =
+  check_v t v;
+  let removed_v = neighbors_in t.removed v in
+  let added_v = neighbors_in t.added v in
+  if
+    IntSet.is_empty removed_v && IntSet.is_empty added_v
+    && v < Graph.n t.base
+  then Graph.iter_adj t.base v f
+  else begin
+    (* Materialize the filtered base run (already in (label, id) order) and
+       two-way merge it with the sorted overlay neighbors. *)
+    let base_run =
+      if v >= Graph.n t.base then [||]
+      else begin
+        let buf = Vec.create ~capacity:(Graph.degree t.base v) () in
+        Graph.iter_adj t.base v (fun w ->
+            if not (IntSet.mem w removed_v) then Vec.push buf w);
+        Vec.to_array buf
+      end
+    in
+    let extra_run = Array.of_list (IntSet.elements added_v) in
+    Array.sort (nbr_compare t) extra_run;
+    let nb = Array.length base_run and ne = Array.length extra_run in
+    let i = ref 0 and j = ref 0 in
+    while !i < nb || !j < ne do
+      if !j >= ne then begin
+        f base_run.(!i);
+        incr i
+      end
+      else if !i >= nb then begin
+        f extra_run.(!j);
+        incr j
+      end
+      else if nbr_compare t base_run.(!i) extra_run.(!j) <= 0 then begin
+        f base_run.(!i);
+        incr i
+      end
+      else begin
+        f extra_run.(!j);
+        incr j
+      end
+    done
+  end
+
+let fold_adj t v f acc =
+  let acc = ref acc in
+  iter_adj t v (fun w -> acc := f w !acc);
+  !acc
+
+(* O(deg) filtered scan: the merged view gives up the per-vertex label
+   directory until the next rebuild restores it. *)
+let adj_with_label t v l f =
+  iter_adj t v (fun w -> if Label.compare (label t w) l = 0 then f w)
+
+let num_labels t = max (Graph.num_labels t.base) (t.max_extra_label + 1)
+let max_label t = num_labels t - 1
+
+let extra_with_label t l f =
+  IntMap.iter (fun v lv -> if Label.compare lv l = 0 then f v) t.extra
+
+let label_freq t l =
+  let extra = ref 0 in
+  extra_with_label t l (fun _ -> incr extra);
+  Graph.label_freq t.base l + !extra
+
+(* Overlay vertex ids all exceed base ids and IntMap iterates in ascending
+   key order, so base-then-extra preserves the ascending-id contract. *)
+let iter_vertices_with_label t l f =
+  Graph.iter_vertices_with_label t.base l f;
+  extra_with_label t l f
+
+let vertices_with_label t l =
+  let buf = Vec.create () in
+  iter_vertices_with_label t l (Vec.push buf);
+  Vec.to_array buf
+
+let edges t =
+  let keep u v = not (IntSet.mem v (neighbors_in t.removed u)) in
+  let base_edges =
+    Graph.fold_edges
+      (fun u v acc -> if keep u v then (u, v) :: acc else acc)
+      t.base []
+  in
+  let all =
+    IntMap.fold
+      (fun u s acc ->
+        IntSet.fold (fun v acc -> if u < v then (u, v) :: acc else acc) s acc)
+      t.added base_edges
+  in
+  List.sort compare all
+
+let snapshot t =
+  match !(t.snap) with
+  | Some g -> g
+  | None ->
+    let labels = Array.init t.nv (label t) in
+    let g = Graph.Builder.of_edges ~labels (edges t) in
+    t.snap := Some g;
+    g
+
+(* --- mutation --- *)
+
+let adj_add map u v =
+  IntMap.update u
+    (function
+      | Some s -> Some (IntSet.add v s) | None -> Some (IntSet.singleton v))
+    map
+
+let adj_remove map u v =
+  IntMap.update u
+    (function
+      | Some s ->
+        let s = IntSet.remove v s in
+        if IntSet.is_empty s then None else Some s
+      | None -> None)
+    map
+
+let apply_edit t = function
+  | Add_vertex l ->
+    if l < 0 then invalid_arg "Graph.Delta: negative label";
+    {
+      t with
+      nv = t.nv + 1;
+      extra = IntMap.add t.nv l t.extra;
+      max_extra_label = max t.max_extra_label l;
+    }
+  | Add_edge (u, v) ->
+    check_v t u;
+    check_v t v;
+    if u = v then invalid_arg "Graph.Delta: self-loop";
+    if has_edge t u v then t (* idempotent, like Builder.add_edge *)
+    else if IntSet.mem v (neighbors_in t.removed u) then
+      {
+        t with
+        removed = adj_remove (adj_remove t.removed u v) v u;
+        removed_m = t.removed_m - 1;
+      }
+    else
+      {
+        t with
+        added = adj_add (adj_add t.added u v) v u;
+        added_m = t.added_m + 1;
+      }
+  | Remove_edge (u, v) ->
+    check_v t u;
+    check_v t v;
+    if not (u <> v && has_edge t u v) then t (* no-op, like Builder *)
+    else if IntSet.mem v (neighbors_in t.added u) then
+      {
+        t with
+        added = adj_remove (adj_remove t.added u v) v u;
+        added_m = t.added_m - 1;
+      }
+    else
+      {
+        t with
+        removed = adj_add (adj_add t.removed u v) v u;
+        removed_m = t.removed_m + 1;
+      }
+
+let apply_all t es =
+  let t' = List.fold_left apply_edit t es in
+  let t' =
+    {
+      t' with
+      version = t.version + 1;
+      pending = t.pending + List.length es;
+      snap = ref None;
+    }
+  in
+  if t'.pending < t'.rebuild_every then t'
+  else
+    let g = snapshot t' in
+    {
+      base = g;
+      version = t'.version;
+      rebuild_every = t'.rebuild_every;
+      pending = 0;
+      nv = Graph.n g;
+      extra = IntMap.empty;
+      max_extra_label = -1;
+      added = IntMap.empty;
+      removed = IntMap.empty;
+      added_m = 0;
+      removed_m = 0;
+      snap = ref (Some g);
+    }
+
+let apply t e = apply_all t [e]

@@ -1,0 +1,87 @@
+(** Versioned evolving graphs: a frozen CSR snapshot plus a small edit
+    overlay, rebuilt into a fresh snapshot past a threshold.
+
+    A {!t} is a persistent value — applying a batch returns a new version
+    and leaves every older version readable, which is what lets a server
+    answer in-flight queries against the version they started on while a
+    mutation commits. Reads answer against the merged view (base minus
+    masked edges plus overlay edges); between rebuilds they cost at most a
+    filtered scan plus an ordered merge of the per-vertex overlay, and the
+    moment the overlay grows past [rebuild_every] edits the base is
+    re-frozen and reads are plain CSR again.
+
+    Iteration order contracts match {!Graph}: neighbor enumeration is in
+    [(label, id)] order and label-directory enumeration is in ascending id
+    order, so code written against the {!Graph} read API can run unchanged
+    against a merged view. {!snapshot} freezes the merged view into a
+    {!Graph.t}; because CSR arrays are canonical per (labels, edge set),
+    the snapshot is byte-identical to building the same graph from
+    scratch — the property the incremental miner's byte-stability proof
+    leans on. *)
+
+type edit =
+  | Add_vertex of Label.t  (** fresh vertex, id = current vertex count *)
+  | Add_edge of int * int  (** idempotent, may touch overlay vertices *)
+  | Remove_edge of int * int  (** removing an absent edge is a no-op *)
+
+val pp_edit : Format.formatter -> edit -> unit
+
+type t
+
+val of_graph : ?rebuild_every:int -> Graph.t -> t
+(** Version 0, empty overlay. [rebuild_every] caps the overlay size before
+    the base is re-frozen; the default scales with the base edge count
+    ([max 64 (m/8)]) so rebuild cost stays amortized O(1) per edit. *)
+
+val apply : t -> edit -> t
+(** [apply t e] is [apply_all t [e]]: a batch of one. *)
+
+val apply_all : t -> edit list -> t
+(** Apply an edit batch left to right and bump the version by exactly one —
+    a batch is the unit of versioning, matching one server [Update].
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or a
+    negative label; the input [t] is unchanged (persistence). *)
+
+val version : t -> int
+
+val base : t -> Graph.t
+(** The frozen snapshot under the overlay (advances on rebuild). *)
+
+val pending : t -> int
+(** Edits applied since the last rebuild. *)
+
+val snapshot : t -> Graph.t
+(** The merged view frozen to an immutable CSR graph; memoized per
+    version. O(n + m) on first call, O(1) after. *)
+
+(** {1 Merged-view reads}
+
+    Same contracts as the corresponding {!Graph} functions. *)
+
+val n : t -> int
+
+val m : t -> int
+
+val label : t -> int -> Label.t
+
+val degree : t -> int -> int
+
+val iter_adj : t -> int -> (int -> unit) -> unit
+
+val fold_adj : t -> int -> (int -> 'a -> 'a) -> 'a -> 'a
+
+val adj_with_label : t -> int -> Label.t -> (int -> unit) -> unit
+
+val has_edge : t -> int -> int -> bool
+
+val label_freq : t -> Label.t -> int
+
+val vertices_with_label : t -> Label.t -> int array
+
+val iter_vertices_with_label : t -> Label.t -> (int -> unit) -> unit
+
+val edges : t -> (int * int) list
+
+val num_labels : t -> int
+
+val max_label : t -> Label.t

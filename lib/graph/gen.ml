@@ -26,10 +26,10 @@ let erdos_renyi_gnp st ~n ~p ~num_labels =
       if Random.State.float st 1.0 < p then es := (u, v) :: !es
     done
   done;
-  Graph.of_edges ~labels !es
+  Graph.Builder.of_edges ~labels !es
 
 let erdos_renyi st ~n ~avg_degree ~num_labels =
-  if n < 2 then Graph.of_edges ~labels:(random_labels st ~n ~num_labels) []
+  if n < 2 then Graph.Builder.of_edges ~labels:(random_labels st ~n ~num_labels) []
   else begin
     let labels = random_labels st ~n ~num_labels in
     let target = int_of_float (float_of_int n *. avg_degree /. 2.0) in
@@ -48,24 +48,24 @@ let erdos_renyi st ~n ~avg_degree ~num_labels =
         end
       end
     done;
-    Graph.of_edges ~labels !es
+    Graph.Builder.of_edges ~labels !es
   end
 
 let path_graph labels =
   let n = Array.length labels in
   let es = List.init (max 0 (n - 1)) (fun i -> (i, i + 1)) in
-  Graph.of_edges ~labels es
+  Graph.Builder.of_edges ~labels es
 
 let cycle_graph labels =
   let n = Array.length labels in
   if n < 3 then invalid_arg "Gen.cycle_graph: need >= 3 vertices";
   let es = (0, n - 1) :: List.init (n - 1) (fun i -> (i, i + 1)) in
-  Graph.of_edges ~labels es
+  Graph.Builder.of_edges ~labels es
 
 let star_graph ~center leaves =
   let labels = Array.append [| center |] leaves in
   let es = List.init (Array.length leaves) (fun i -> (0, i + 1)) in
-  Graph.of_edges ~labels es
+  Graph.Builder.of_edges ~labels es
 
 let random_tree st ~n ~num_labels =
   let labels = random_labels st ~n ~num_labels in
@@ -73,7 +73,7 @@ let random_tree st ~n ~num_labels =
       let v = i + 1 in
       (Random.State.int st v, v))
   in
-  Graph.of_edges ~labels es
+  Graph.Builder.of_edges ~labels es
 
 (* Rejection-sampled twig attachment: tentatively attach a new leaf, keep the
    candidate only if [accept] holds. The default acceptance keeps the diameter
@@ -102,7 +102,7 @@ let random_skinny_pattern ?accept st ~backbone ~delta ~twigs ~num_labels =
     let lbl = Random.State.int st num_labels in
     let v = Graph.n g in
     let labels = Array.append (Graph.labels g) [| lbl |] in
-    let candidate = Graph.of_edges ~labels ((host, v) :: Graph.edges g) in
+    let candidate = Graph.Builder.of_edges ~labels ((host, v) :: Graph.edges g) in
     if accept candidate then Some candidate else None
   in
   let rec loop g attached attempts =

@@ -296,6 +296,14 @@ module Builder = struct
       Vec.push (Vec.get b.nbrs v) u
     end
 
+  let remove_edge b u v =
+    check b u;
+    check b v;
+    let removed = Vec.remove_first (fun w -> w = v) (Vec.get b.nbrs u) in
+    if removed then
+      ignore (Vec.remove_first (fun w -> w = u) (Vec.get b.nbrs v));
+    removed
+
   let freeze b =
     let nv = n b in
     let labels = Vec.to_array b.bl in
@@ -307,4 +315,8 @@ module Builder = struct
     Array.iter (fun l -> ignore (add_vertex b l)) g.labels;
     iter_edges (fun u v -> add_edge b u v) g;
     b
+
+  (* One-shot batch construction; shares the presized scratch path with the
+     legacy top-level constructor so migrated call sites pay nothing. *)
+  let of_edges = of_edges
 end

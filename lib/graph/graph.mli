@@ -11,7 +11,8 @@
     index gives the vertices and frequency of every label in O(1) lookups
     ({!vertices_with_label}, {!label_freq}) — matchers no longer recount
     label frequencies per query. All indices are built once at construction
-    ([of_edges] / [Builder.freeze]). *)
+    ([Builder.of_edges] / [Builder.freeze]). Evolving graphs layer edits on
+    top of a frozen snapshot via the [Delta] module in this library. *)
 
 type t
 
@@ -79,9 +80,14 @@ val num_labels : t -> int
 (** [max_label g + 1] — the size of a dense label universe. *)
 
 val of_edges : labels:Label.t array -> (int * int) list -> t
+[@@ocaml.deprecated
+  "use Graph.Builder.of_edges (batch) or Graph.Builder / Delta (mutation)"]
 (** Build from a label array (index = vertex id) and an edge list. Duplicate
     edges are merged; self-loops are rejected. O(n + m log deg_max).
-    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+    @raise Invalid_argument on self-loops or out-of-range endpoints.
+    @deprecated Shim kept for one release: construction now goes through
+    {!Builder.of_edges} (same behavior and cost), {!Builder} for piecewise
+    assembly, or [Delta] for evolving graphs. *)
 
 val induced : t -> int array -> t
 (** [induced g vs] is the subgraph induced by the distinct vertices [vs];
@@ -109,6 +115,10 @@ module Builder : sig
   (** Idempotent; rejects self-loops and unknown endpoints.
       @raise Invalid_argument on self-loop or out-of-range endpoint. *)
 
+  val remove_edge : t -> int -> int -> bool
+  (** Remove an edge; [false] (and no change) when it was absent.
+      O(deg). @raise Invalid_argument on out-of-range endpoint. *)
+
   val has_edge : t -> int -> int -> bool
   (** O(deg) membership test on the partially built graph. *)
 
@@ -123,4 +133,11 @@ module Builder : sig
   val of_graph : graph -> t
   (** Builder pre-seeded with an existing graph (used for pattern
       injection). *)
+
+  val of_edges : labels:Label.t array -> (int * int) list -> graph
+  (** One-shot batch construction from a label array (index = vertex id)
+      and an edge list — the replacement for the deprecated top-level
+      [of_edges], with identical behavior: duplicate edges merged,
+      self-loops rejected. O(n + m log deg_max).
+      @raise Invalid_argument on self-loops or out-of-range endpoints. *)
 end

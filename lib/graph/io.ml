@@ -59,7 +59,7 @@ let finish acc =
         (u, v))
       acc.es
   in
-  Graph.of_edges ~labels es
+  Graph.Builder.of_edges ~labels es
 
 let parse_lines lines =
   let graphs = ref [] in
@@ -149,6 +149,70 @@ let read_db path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
       db_of_string (In_channel.input_all ic))
+
+(* --- edit scripts ---
+
+   One edit per line, same lexical conventions as the graph format
+   (comments, CRLF, tabs): [av <label>] adds a vertex, [ae <u> <v>] adds an
+   edge, [re <u> <v>] removes one. Endpoint validity is checked by
+   [Delta.apply_all] against the graph the script is applied to, not
+   here. *)
+
+let edits_to_string es =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun e ->
+      (match e with
+      | Delta.Add_vertex l -> Buffer.add_string buf (Printf.sprintf "av %d" l)
+      | Delta.Add_edge (u, v) ->
+        Buffer.add_string buf (Printf.sprintf "ae %d %d" u v)
+      | Delta.Remove_edge (u, v) ->
+        Buffer.add_string buf (Printf.sprintf "re %d %d" u v));
+      Buffer.add_char buf '\n')
+    es;
+  Buffer.contents buf
+
+let edits_of_string s =
+  let edits = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        let len = String.length line in
+        if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+        else line
+      in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' '
+          (String.trim (String.map (fun c -> if c = '\t' then ' ' else c) line))
+        |> List.filter (fun w -> w <> "")
+      in
+      let int w =
+        match int_of_string_opt w with
+        | Some i -> i
+        | None -> fail_at lineno "bad integer %S" w
+      in
+      match words with
+      | [] -> ()
+      | [ "av"; l ] -> edits := Delta.Add_vertex (int l) :: !edits
+      | [ "ae"; u; v ] -> edits := Delta.Add_edge (int u, int v) :: !edits
+      | [ "re"; u; v ] -> edits := Delta.Remove_edge (int u, int v) :: !edits
+      | "av" :: _ -> fail_at lineno "malformed edit (expected: av <label>)"
+      | "ae" :: _ -> fail_at lineno "malformed edit (expected: ae <u> <v>)"
+      | "re" :: _ -> fail_at lineno "malformed edit (expected: re <u> <v>)"
+      | w :: _ -> fail_at lineno "unknown edit %S" w)
+    (String.split_on_char '\n' s);
+  List.rev !edits
+
+let read_edits path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      edits_of_string (In_channel.input_all ic))
 
 let to_dot ?names ?(highlight = []) g =
   let name l =

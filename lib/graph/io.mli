@@ -24,5 +24,16 @@ val write_db : string -> Graph.t list -> unit
 
 val read_db : string -> Graph.t list
 
+val edits_to_string : Delta.edit list -> string
+(** Textual edit script, one edit per line: [av <label>] / [ae <u> <v>] /
+    [re <u> <v>]. Same comment and whitespace conventions as the graph
+    format. *)
+
+val edits_of_string : string -> Delta.edit list
+(** @raise Failure on malformed input, naming the 1-based line. Endpoint
+    validity is only checked when the script is applied. *)
+
+val read_edits : string -> Delta.edit list
+
 val to_dot : ?names:Label.Table.t -> ?highlight:int list -> Graph.t -> string
 (** Graphviz rendering; [highlight] vertices are drawn filled. *)

@@ -65,3 +65,15 @@ let of_list xs =
 let exists p v =
   let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
   loop 0
+
+(* Swap-with-last removal: order is not preserved, which is fine for the
+   graph builder's neighbor scratch (freeze sorts every run anyway). *)
+let remove_first p v =
+  let rec find i = if i >= v.len then -1 else if p v.data.(i) then i else find (i + 1) in
+  let i = find 0 in
+  i >= 0
+  && begin
+       v.data.(i) <- v.data.(v.len - 1);
+       v.len <- v.len - 1;
+       true
+     end

@@ -35,3 +35,8 @@ val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val of_list : 'a list -> 'a t
 
 val exists : ('a -> bool) -> 'a t -> bool
+
+val remove_first : ('a -> bool) -> 'a t -> bool
+(** Remove the first element satisfying the predicate by swapping the last
+    element into its slot (element order is not preserved). Returns whether
+    anything was removed. O(n) search, O(1) removal. *)

@@ -17,7 +17,7 @@ let of_pattern (g : Spm_pattern.Pattern.t) =
     edges = List.sort compare (Spm_graph.Graph.edges g);
   }
 
-let to_pattern p = Spm_graph.Graph.of_edges ~labels:p.labels p.edges
+let to_pattern p = Spm_graph.Graph.Builder.of_edges ~labels:p.labels p.edges
 
 (* Plain adjacency lists, rebuilt on every call — naive by design. *)
 let adj_of p =

@@ -19,7 +19,7 @@ let clique labels =
       edges := (u, v) :: !edges
     done
   done;
-  Graph.of_edges ~labels !edges
+  Graph.Builder.of_edges ~labels !edges
 
 let bipartite left right =
   let nl = Array.length left in
@@ -29,7 +29,7 @@ let bipartite left right =
     (fun i _ ->
       Array.iteri (fun j _ -> edges := (i, nl + j) :: !edges) right)
     left;
-  Graph.of_edges ~labels !edges
+  Graph.Builder.of_edges ~labels !edges
 
 (* A 2 x k grid (ladder): rung i is vertices (2i, 2i+1). *)
 let ladder k labels =
@@ -41,7 +41,7 @@ let ladder k labels =
       edges := ((2 * i) + 1, (2 * (i + 1)) + 1) :: !edges
     end
   done;
-  Graph.of_edges ~labels !edges
+  Graph.Builder.of_edges ~labels !edges
 
 let injected ~seed ~n ~num_labels ~backbone ~twigs ~copies =
   let st = Gen.rng seed in

@@ -63,7 +63,7 @@ let permute_graph st (g : Spm_graph.Graph.t) =
   let edges =
     List.map (fun (u, v) -> (perm.(u), perm.(v))) (Spm_graph.Graph.edges g)
   in
-  Spm_graph.Graph.of_edges ~labels edges
+  Spm_graph.Graph.Builder.of_edges ~labels edges
 
 let relabel_invariant ~seed g ~l ~delta ~sigma =
   let g' = permute_graph (Spm_graph.Gen.rng seed) g in

@@ -250,7 +250,7 @@ let graph_of_code (code : t) =
   in
   if Array.exists (fun l -> l < 0) labels then
     invalid_arg "Dfs_code.graph_of_code: unlabeled vertex";
-  Graph.of_edges ~labels es
+  Graph.Builder.of_edges ~labels es
 
 let is_min code =
   Array.length code > 0 && equal code (min_code (graph_of_code code))

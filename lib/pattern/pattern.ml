@@ -2,23 +2,23 @@ open Spm_graph
 
 type t = Graph.t
 
-let singleton_edge la lb = Graph.of_edges ~labels:[| la; lb |] [ (0, 1) ]
+let singleton_edge la lb = Graph.Builder.of_edges ~labels:[| la; lb |] [ (0, 1) ]
 
 let of_path_labels labels =
   let n = Array.length labels in
-  Graph.of_edges ~labels (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+  Graph.Builder.of_edges ~labels (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
 
 let extend_new_vertex p ~host ~label =
   let n = Graph.n p in
   if host < 0 || host >= n then invalid_arg "Pattern.extend_new_vertex: host";
   let labels = Array.append (Graph.labels p) [| label |] in
-  Graph.of_edges ~labels ((host, n) :: Graph.edges p)
+  Graph.Builder.of_edges ~labels ((host, n) :: Graph.edges p)
 
 let extend_close_edge p u v =
   if u = v then invalid_arg "Pattern.extend_close_edge: self-loop";
   if Graph.has_edge p u v then
     invalid_arg "Pattern.extend_close_edge: edge exists";
-  Graph.of_edges ~labels:(Graph.labels p) ((min u v, max u v) :: Graph.edges p)
+  Graph.Builder.of_edges ~labels:(Graph.labels p) ((min u v, max u v) :: Graph.edges p)
 
 let size = Graph.m
 let order = Graph.n

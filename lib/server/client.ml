@@ -3,20 +3,36 @@ module Run = Spm_engine.Run
 
 type t = {
   fd : Unix.file_descr;
+  version : int;
   mutable meta : (bool * float) option;
   mutable status : Run.status option;
   mutable closed : bool;
 }
 
-let connect ?(host = "127.0.0.1") ~port () =
+let connect_version ~host ~port v =
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-  (try
-     Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
-     Protocol.client_handshake fd
-   with e ->
-     (try Unix.close fd with _ -> ());
-     raise e);
-  { fd; meta = None; status = None; closed = false }
+  try
+    Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+    Protocol.client_handshake ~version:v fd;
+    fd
+  with e ->
+    (try Unix.close fd with _ -> ());
+    raise e
+
+let connect ?(host = "127.0.0.1") ~port () =
+  (* Greet with the newest version; a pre-v3 server closes instead of
+     echoing, so fall back to the oldest supported greeting on a fresh
+     connection. *)
+  let fd, version =
+    match connect_version ~host ~port Protocol.version with
+    | fd -> (fd, Protocol.version)
+    | exception Codec.Corrupt _ when Protocol.min_version < Protocol.version
+      ->
+      (connect_version ~host ~port Protocol.min_version, Protocol.min_version)
+  in
+  { fd; version; meta = None; status = None; closed = false }
+
+let version t = t.version
 
 let close t =
   if not t.closed then begin
@@ -92,3 +108,21 @@ let cancel t =
   match expect_payload t Protocol.Cancel with
   | Protocol.Cancel_ack was_running -> was_running
   | _ -> protocol_violation "Cancel"
+
+let update t edits =
+  match expect_payload t (Protocol.Update (Protocol.update_params edits)) with
+  | Protocol.Update_reply u -> u
+  | _ -> protocol_violation "Update"
+
+let subscribe t =
+  match expect_payload t Protocol.Subscribe with
+  | Protocol.Subscribed v -> v
+  | _ -> protocol_violation "Subscribe"
+
+let next_diff t =
+  match Protocol.read_frame t.fd with
+  | None -> None
+  | Some frame -> (
+    match (Protocol.decode_response frame).Protocol.payload with
+    | Protocol.Update_reply u -> Some u
+    | _ -> protocol_violation "Subscribe push")

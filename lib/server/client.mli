@@ -5,9 +5,16 @@
 type t
 
 val connect : ?host:string -> port:int -> unit -> t
-(** TCP connect + protocol handshake.
+(** TCP connect + protocol handshake. Greets with {!Protocol.version}; if
+    the server closes instead of echoing (a pre-v3 server refusing an
+    unknown greeting), reconnects and greets with {!Protocol.min_version},
+    so new clients keep working against old servers.
     @raise Unix.Unix_error on connection failure.
     @raise Spm_store.Codec.Corrupt if the peer is not a SkinnyServe server. *)
+
+val version : t -> int
+(** Protocol version this connection negotiated. v3-only calls ([update],
+    [subscribe]) against a v2 connection earn a server [Error]. *)
 
 val close : t -> unit
 
@@ -48,6 +55,19 @@ val progress : t -> Protocol.mine_progress
 val cancel : t -> bool
 (** Ask the server to cancel its in-flight mine; [true] if one was running.
     The mining client receives [status = Cancelled] plus partial patterns. *)
+
+val update : t -> Spm_graph.Delta.edit list -> Protocol.update_reply
+(** Apply an edit batch as one new graph version and get back the
+    pattern-set diff the incremental repair produced (v3). *)
+
+val subscribe : t -> int
+(** Enter subscriber mode: returns the current graph version; from then on
+    this connection only receives pushed diffs — read them with
+    {!next_diff} and send nothing further (v3). *)
+
+val next_diff : t -> Protocol.update_reply option
+(** Block for the next pushed diff on a subscribed connection. [None] on
+    orderly EOF — the server shut down and the stream of diffs is over. *)
 
 val last_meta : t -> (bool * float) option
 (** [(cache_hit, server_seconds)] of the most recent response on this

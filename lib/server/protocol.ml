@@ -3,9 +3,17 @@ module Store = Spm_store.Store
 module Run = Spm_engine.Run
 
 (* v2: response envelopes carry a run status byte, and the Progress/Cancel
-   requests observe and stop a running mine. The version bump is deliberate:
-   a v1 client would mis-decode the widened envelope. *)
-let handshake = "SKNYSRV2"
+   requests observe and stop a running mine. The version bump was
+   deliberate: a v1 client would mis-decode the widened envelope.
+
+   v3: Update/Subscribe for evolving graphs. Every v2 frame layout is
+   unchanged, so v3 is negotiated (the server accepts both greetings and
+   echoes the one it got) rather than gated: a v2 client keeps working,
+   it just cannot send the v3-only verbs. *)
+let version = 3
+let min_version = 2
+let handshake_of_version v = Printf.sprintf "SKNYSRV%d" v
+let handshake = handshake_of_version version
 let max_frame = 64 * 1024 * 1024
 let default_port = 7707
 
@@ -23,6 +31,8 @@ type lookup_params = {
   labels : Spm_graph.Label.t list option;
 }
 
+type update_params = { edits : Spm_graph.Delta.edit list }
+
 type request =
   | Ping
   | Load_store of string
@@ -33,6 +43,25 @@ type request =
   | Shutdown
   | Progress
   | Cancel
+  | Update of update_params
+  | Subscribe
+
+(* Versioned request records with defaults: the one construction surface
+   for params records, so future fields extend these constructors instead
+   of every call site. *)
+let mine_params ?(closed_growth = false) ~l ~delta ~sigma () =
+  { l; delta; sigma; closed_growth }
+
+let lookup_params ?min_support ?max_support ?length ?labels () =
+  { min_support; max_support; length; labels }
+
+let update_params edits = { edits }
+
+let request_version = function
+  | Ping | Load_store _ | Mine _ | Lookup _ | Contains _ | Stats | Shutdown
+  | Progress | Cancel ->
+    2
+  | Update _ | Subscribe -> 3
 
 type server_stats = {
   requests : int;
@@ -51,6 +80,14 @@ type mine_progress = {
   elapsed_seconds : float;
 }
 
+type update_reply = {
+  new_version : int;
+  added : Spm_core.Skinny_mine.mined list;
+  removed : Spm_core.Skinny_mine.mined list;
+  repaired : int;
+  clusters : int;
+}
+
 type payload =
   | Pong
   | Loaded of int
@@ -60,6 +97,8 @@ type payload =
   | Error of string
   | Progress_reply of mine_progress
   | Cancel_ack of bool
+  | Update_reply of update_reply
+  | Subscribed of int
 
 type response = {
   cache_hit : bool;
@@ -70,7 +109,9 @@ type response = {
 
 let cacheable = function
   | Mine _ | Lookup _ | Contains _ -> true
-  | Ping | Load_store _ | Stats | Shutdown | Progress | Cancel -> false
+  | Ping | Load_store _ | Stats | Shutdown | Progress | Cancel | Update _
+  | Subscribe ->
+    false
 
 (* --- request codec --- *)
 
@@ -99,7 +140,11 @@ let encode_request req =
   | Stats -> Codec.W.byte w 5
   | Shutdown -> Codec.W.byte w 6
   | Progress -> Codec.W.byte w 7
-  | Cancel -> Codec.W.byte w 8);
+  | Cancel -> Codec.W.byte w 8
+  | Update { edits } ->
+    Codec.W.byte w 9;
+    Codec.W.list w Store.write_edit edits
+  | Subscribe -> Codec.W.byte w 10);
   Codec.W.contents w
 
 let decode_request s =
@@ -124,6 +169,8 @@ let decode_request s =
   | 6 -> Shutdown
   | 7 -> Progress
   | 8 -> Cancel
+  | 9 -> Update { edits = Codec.R.list r Store.read_edit }
+  | 10 -> Subscribe
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
 
 (* --- response codec --- *)
@@ -158,6 +205,16 @@ let encode_payload w = function
   | Cancel_ack was_running ->
     Codec.W.byte w 7;
     Codec.W.bool w was_running
+  | Update_reply u ->
+    Codec.W.byte w 8;
+    Codec.W.uint w u.new_version;
+    Codec.W.list w Store.write_mined u.added;
+    Codec.W.list w Store.write_mined u.removed;
+    Codec.W.uint w u.repaired;
+    Codec.W.uint w u.clusters
+  | Subscribed v ->
+    Codec.W.byte w 9;
+    Codec.W.uint w v
 
 let decode_payload r =
   match Codec.R.byte r with
@@ -184,6 +241,14 @@ let decode_payload r =
     let elapsed_seconds = Codec.R.float r in
     Progress_reply { running; candidates; emitted; level; elapsed_seconds }
   | 7 -> Cancel_ack (Codec.R.bool r)
+  | 8 ->
+    let new_version = Codec.R.uint r in
+    let added = Codec.R.list r Store.read_mined in
+    let removed = Codec.R.list r Store.read_mined in
+    let repaired = Codec.R.uint r in
+    let clusters = Codec.R.uint r in
+    Update_reply { new_version; added; removed; repaired; clusters }
+  | 9 -> Subscribed (Codec.R.uint r)
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown payload tag %d" t))
 
 let status_byte = function Run.Ok -> 0 | Run.Timeout -> 1 | Run.Cancelled -> 2
@@ -238,18 +303,39 @@ let really_read fd n =
   in
   go 0
 
+(* Negotiation: the client greets with the newest version it speaks; the
+   server echoes any greeting in [min_version, version] verbatim and
+   remembers the agreed version for the connection. An old server closes on
+   an unknown greeting, so a v3 client that gets no echo reconnects and
+   greets with v2 ({!Client.connect} does this). *)
 let accept_handshake fd =
+  let rec find v =
+    if v < min_version then None
+    else Some (v, handshake_of_version v)
+  and accept got v =
+    match find v with
+    | None -> None
+    | Some (v, hs) ->
+      if String.equal got hs then begin
+        really_write fd hs;
+        Some v
+      end
+      else accept got (v - 1)
+  in
   match really_read fd (String.length handshake) with
-  | Some got when String.equal got handshake ->
-    really_write fd handshake;
-    true
-  | Some _ | None -> false
-  | exception Codec.Corrupt _ -> false
+  | Some got -> accept got version
+  | None -> None
+  | exception Codec.Corrupt _ -> None
 
-let client_handshake fd =
-  really_write fd handshake;
-  match really_read fd (String.length handshake) with
-  | Some got when String.equal got handshake -> ()
+let client_handshake ?(version = version) fd =
+  if version < min_version then
+    invalid_arg
+      (Printf.sprintf "Protocol.client_handshake: version %d below %d" version
+         min_version);
+  let hs = handshake_of_version version in
+  really_write fd hs;
+  match really_read fd (String.length hs) with
+  | Some got when String.equal got hs -> ()
   | Some got -> raise (Codec.Corrupt (Printf.sprintf "bad handshake echo %S" got))
   | None -> raise (Codec.Corrupt "server closed the connection during handshake")
 

@@ -1,9 +1,13 @@
 (** The SkinnyServe wire protocol: length-prefixed binary frames over TCP.
 
-    Connection: after connect, the client sends the 8-byte handshake
-    {!handshake} and the server echoes it; a mismatch (old client, stray
+    Connection: after connect, the client sends an 8-byte greeting naming
+    the newest protocol version it speaks ({!handshake_of_version}); the
+    server echoes any greeting it supports and the trailing digit becomes
+    the connection's negotiated version. A mismatch (v1 client, stray
     scanner) closes the connection. Then each request is one frame and earns
-    exactly one response frame.
+    exactly one response frame — except [Subscribe], after which the server
+    additionally pushes one unsolicited [Update_reply] frame per committed
+    graph version.
 
     Frame: 4-byte big-endian payload length, then the payload — a
     {!Spm_store.Codec} encoding of a {!request} or {!response}. Payloads
@@ -14,10 +18,21 @@
     observe per-request latency, LRU effectiveness and deadline truncation
     without a separate stats round trip. *)
 
+val version : int
+(** Newest protocol version this build speaks (3). v2 widened the response
+    envelope with a status byte and added [Progress]/[Cancel]; v3 added
+    [Update]/[Subscribe] for evolving graphs. Every v2 frame layout is
+    unchanged in v3, so v3 is negotiated rather than gated. *)
+
+val min_version : int
+(** Oldest version still accepted at the handshake (2). v1 peers would
+    mis-decode the widened envelope and are refused. *)
+
+val handshake_of_version : int -> string
+(** ["SKNYSRV<v>"] — the 8-byte greeting for version [v]. *)
+
 val handshake : string
-(** ["SKNYSRV2"] — protocol version is the trailing digit. v2 widened the
-    response envelope with a status byte and added [Progress]/[Cancel], so
-    v1 peers are refused at the handshake rather than mis-decoded. *)
+(** [handshake_of_version version]. *)
 
 val max_frame : int
 (** Upper bound on accepted payload sizes (64 MiB). *)
@@ -40,6 +55,8 @@ type lookup_params = {
   labels : Spm_graph.Label.t list option;  (** exact label multiset *)
 }
 
+type update_params = { edits : Spm_graph.Delta.edit list }
+
 type request =
   | Ping
   | Load_store of string
@@ -59,6 +76,40 @@ type request =
       (** Request cooperative cancellation of the running mine (if any); it
           answers its own client with [status = Cancelled] and whatever
           partial patterns it had. Acknowledged with [Cancel_ack]. *)
+  | Update of update_params
+      (** v3. Apply an edit batch to the resident graph as one new version
+          and repair the resident pattern set incrementally
+          ({!Spm_core.Incremental}). Answered with [Update_reply]; the same
+          diff is pushed to every subscriber. *)
+  | Subscribe
+      (** v3. Answered with [Subscribed current_version]; the connection
+          then receives one pushed [Update_reply] frame per subsequent
+          committed version and must not send further requests. *)
+
+(** {1 Request constructors}
+
+    The one construction surface for params records: future fields extend
+    these (with defaults) instead of every call site. *)
+
+val mine_params :
+  ?closed_growth:bool -> l:int -> delta:int -> sigma:int -> unit -> mine_params
+(** [closed_growth] defaults to [false]. *)
+
+val lookup_params :
+  ?min_support:int ->
+  ?max_support:int ->
+  ?length:int ->
+  ?labels:Spm_graph.Label.t list ->
+  unit ->
+  lookup_params
+(** Omitted filters match everything. *)
+
+val update_params : Spm_graph.Delta.edit list -> update_params
+
+val request_version : request -> int
+(** Oldest protocol version that can carry this request — [Update] and
+    [Subscribe] need 3, everything else 2. Servers reject requests whose
+    [request_version] exceeds the connection's negotiated version. *)
 
 type server_stats = {
   requests : int;
@@ -77,6 +128,14 @@ type mine_progress = {
   elapsed_seconds : float;
 }
 
+type update_reply = {
+  new_version : int;  (** graph version after the batch committed *)
+  added : Spm_core.Skinny_mine.mined list;
+  removed : Spm_core.Skinny_mine.mined list;
+  repaired : int;  (** diameter clusters re-grown *)
+  clusters : int;  (** total diameter clusters at the new version *)
+}
+
 type payload =
   | Pong
   | Loaded of int  (** pattern count of the newly resident store *)
@@ -86,6 +145,8 @@ type payload =
   | Error of string
   | Progress_reply of mine_progress
   | Cancel_ack of bool  (** was a mine actually running? *)
+  | Update_reply of update_reply  (** v3 *)
+  | Subscribed of int  (** v3; current graph version *)
 
 type response = {
   cache_hit : bool;
@@ -110,17 +171,24 @@ val decode_response : string -> response
 
 val cacheable : request -> bool
 (** Deterministic read-only requests ([Mine], [Lookup], [Contains]) whose
-    responses the server may serve from its LRU cache. *)
+    responses the server may serve from its LRU cache. The cache key must
+    also include the graph version — an [Update] invalidates every cached
+    answer. *)
 
 (** {1 Handshake} *)
 
-val accept_handshake : Unix.file_descr -> bool
-(** Server side: read 8 bytes, compare with {!handshake}, echo it back on a
-    match. [false] (no echo) on mismatch or early EOF. *)
+val accept_handshake : Unix.file_descr -> int option
+(** Server side: read 8 bytes, match against every supported greeting
+    ([min_version] … [version]), echo the matched greeting back and return
+    the negotiated version. [None] (no echo) on mismatch or early EOF. *)
 
-val client_handshake : Unix.file_descr -> unit
-(** Client side: send {!handshake}, read the echo.
-    @raise Spm_store.Codec.Corrupt if the server does not echo it. *)
+val client_handshake : ?version:int -> Unix.file_descr -> unit
+(** Client side: send [handshake_of_version version] (default {!version}),
+    read the echo. A pre-v3 server closes instead of echoing an unknown
+    greeting, so clients retry the handshake with an older [version] on a
+    fresh connection ({!Client.connect} automates this).
+    @raise Spm_store.Codec.Corrupt if the server does not echo it.
+    @raise Invalid_argument if [version < min_version]. *)
 
 (** {1 Framing} *)
 

@@ -1,5 +1,7 @@
 module Graph = Spm_graph.Graph
+module Delta = Spm_graph.Delta
 module Skinny_mine = Spm_core.Skinny_mine
+module Incremental = Spm_core.Incremental
 module Store = Spm_store.Store
 module Codec = Spm_store.Codec
 module Pool = Spm_engine.Pool
@@ -11,15 +13,31 @@ type t = {
   mine_timeout : float option;
   lock : Mutex.t;
   mine_lock : Mutex.t;
-      (* Serializes actual mining, which is the only long-running request.
-         Held WITHOUT [lock], so Progress/Cancel (and the planner queries)
-         stay responsive while a mine is in flight. Lock order: a thread
-         holding [mine_lock] may take [lock]; never the reverse. *)
+      (* Serializes actual mining — full [Mine]s and incremental [Update]
+         repairs, the only long-running requests. Held WITHOUT [lock], so
+         Progress/Cancel (and the planner queries) stay responsive while
+         one is in flight. Lock order: a thread holding [mine_lock] may
+         take [lock]; never the reverse. *)
   mutable current : Run.t option;  (* the in-flight mine, if any; under [lock] *)
   cache : (string, Protocol.payload) Lru.t;
   mutable graph : Graph.t option;
   mutable index : Sig_index.t;
   mutable store : Store.pattern_store option;
+  mutable store_path : string option;
+      (* Where committed updates are persisted (journal appended); set by
+         [Load_store] and [set_store ~path]. *)
+  mutable version : int;
+      (* Current graph version: [Store.latest_version] of the resident
+         store at install, +1 per committed [Update]. Part of every LRU
+         cache key, so an update can never serve a pre-update answer. *)
+  mutable live : Incremental.t option;
+      (* Incremental mining state at [version]; built lazily on the first
+         [Update] (eagerly when the loaded store carries a journal). *)
+  sub_lock : Mutex.t;
+  mutable subscribers : Unix.file_descr list;
+      (* Connections handed off by [Subscribe]; each gets one pushed
+         [Update_reply] frame per committed version. Under [sub_lock] only
+         — pushes write to sockets and must not hold [lock]. *)
   mutable requests : int;
   mutable cache_hits : int;
   mutable errors : int;
@@ -40,6 +58,11 @@ let create ?(jobs = 1) ?(cache_capacity = 128) ?mine_timeout () =
     graph = None;
     index = Sig_index.build [];
     store = None;
+    store_path = None;
+    version = 0;
+    live = None;
+    sub_lock = Mutex.create ();
+    subscribers = [];
     requests = 0;
     cache_hits = 0;
     errors = 0;
@@ -56,17 +79,63 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let install_store t s =
+let version t = locked t (fun () -> t.version)
+
+let incr_config t (s : Store.pattern_store) =
+  {
+    Skinny_mine.Config.default with
+    closed_growth = s.Store.closed_growth;
+    jobs = t.jobs;
+  }
+
+(* Incremental state for the resident store: restore from its pattern set
+   (no re-mining) when it partitions cleanly, re-mine from scratch if not
+   (a store from a foreign producer), then replay the journal batch by
+   batch to reach [latest_version]. *)
+let build_live t (s : Store.pattern_store) =
+  if not s.Store.complete then
+    failwith "resident store is incomplete (truncated mine); cannot update";
+  let config = incr_config t s in
+  let dg = Delta.of_graph s.Store.graph in
+  let inc =
+    match
+      Incremental.restore ~config dg ~l:s.Store.l ~delta:s.Store.delta
+        ~sigma:s.Store.sigma ~patterns:s.Store.patterns
+    with
+    | Some inc -> inc
+    | None ->
+      Incremental.create ~config dg ~l:s.Store.l ~delta:s.Store.delta
+        ~sigma:s.Store.sigma
+  in
+  List.fold_left
+    (fun inc batch -> fst (Incremental.update inc batch))
+    inc s.Store.journal
+
+let install_store t ?path s =
+  (* A journal means graph+patterns as stored are behind the latest
+     version: replay through the incremental miner before serving. *)
+  let live = if s.Store.journal = [] then None else Some (build_live t s) in
   t.store <- Some s;
-  t.graph <- Some s.Store.graph;
-  t.index <- Sig_index.build s.Store.patterns;
+  t.store_path <- path;
+  t.version <- Store.latest_version s;
+  t.live <- live;
+  (match live with
+  | Some inc ->
+    t.graph <- Some (Delta.snapshot (Incremental.graph inc));
+    t.index <- Sig_index.build (Incremental.patterns inc)
+  | None ->
+    t.graph <- Some s.Store.graph;
+    t.index <- Sig_index.build s.Store.patterns);
   Lru.clear t.cache
 
-let set_store t s = locked t (fun () -> install_store t s)
+let set_store t ?path s = locked t (fun () -> install_store t ?path s)
 
 let set_graph t g =
   locked t (fun () ->
       t.store <- None;
+      t.store_path <- None;
+      t.version <- 0;
+      t.live <- None;
       t.graph <- Some g;
       t.index <- Sig_index.build [];
       Lru.clear t.cache)
@@ -101,26 +170,29 @@ let wake_listener t =
     | exception Unix.Unix_error _ -> ( try Unix.close fd with _ -> ()))
 
 (* Dispatch outcome of the state-locked phase: everything except an actual
-   mine completes in there. *)
+   mine or an incremental update completes in there. *)
 type dispatch =
   | Done of Run.status * Protocol.payload
   | Need_mine of Protocol.mine_params * Graph.t
+  | Need_update of Spm_graph.Delta.edit list
 
 let dispatch_unlocked t req : dispatch =
   match (req : Protocol.request) with
   | Ping -> Done (Run.Ok, Pong)
   | Load_store path ->
     let s = Store.load path in
-    install_store t s;
+    install_store t ~path s;
     Done (Run.Ok, Loaded (List.length s.Store.patterns))
   | Mine { l; delta; sigma; closed_growth } -> (
     let matches_store =
       match t.store with
       | Some s ->
         (* An incomplete store (flushed from a timed-out mine) is a prefix,
-           not the answer set — never let it satisfy a Mine request. *)
-        if s.Store.complete && s.Store.l = l && s.Store.delta = delta
-           && s.Store.sigma = sigma
+           not the answer set — never let it satisfy a Mine request. Only
+           an update-free store short-circuits: after updates the resident
+           patterns live in [live], and [t.graph] tracks them. *)
+        if s.Store.complete && t.live = None && s.Store.l = l
+           && s.Store.delta = delta && s.Store.sigma = sigma
            && s.Store.closed_growth = closed_growth
         then Some s.Store.patterns
         else None
@@ -184,6 +256,18 @@ let dispatch_unlocked t req : dispatch =
     | Some run ->
       Run.cancel run;
       Done (Run.Ok, Cancel_ack true))
+  | Update { edits } -> (
+    match t.store with
+    | None ->
+      Done (Run.Ok, Error "no store loaded (send Load_store first)")
+    | Some s ->
+      if not s.Store.complete then
+        Done
+          ( Run.Ok,
+            Error "resident store is incomplete (truncated mine); cannot update"
+          )
+      else Need_update edits)
+  | Subscribe -> Done (Run.Ok, Subscribed t.version)
 
 (* The mine itself, outside the state lock. Serialized by [mine_lock]
    (mining already fans out across domains; parallel mines would
@@ -202,6 +286,91 @@ let run_mine t { Protocol.l; delta; sigma; closed_growth } g =
   in
   (r.Skinny_mine.stats.Skinny_mine.status, Protocol.Patterns r.Skinny_mine.patterns)
 
+let push_to_subscribers t (u : Protocol.update_reply) ~seconds =
+  let frame =
+    Protocol.encode_response
+      {
+        Protocol.cache_hit = false;
+        seconds;
+        status = Run.Ok;
+        payload = Protocol.Update_reply u;
+      }
+  in
+  Mutex.lock t.sub_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.sub_lock)
+    (fun () ->
+      t.subscribers <-
+        List.filter
+          (fun fd ->
+            match Protocol.write_frame fd frame with
+            | () -> true
+            | exception (Unix.Unix_error _ | Codec.Corrupt _) ->
+              (* Subscriber gone: drop it; the rest still get the push. *)
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              false)
+          t.subscribers)
+
+(* An incremental update, outside the state lock and serialized with mines
+   by [mine_lock]: cluster repair fans out across the same domain pool. *)
+let run_update t edits =
+  let live, store = locked t (fun () -> (t.live, t.store)) in
+  match store with
+  | None -> (Run.Ok, Protocol.Error "no store loaded (send Load_store first)")
+  | Some s ->
+    let inc =
+      match live with Some inc -> inc | None -> build_live t s
+    in
+    let run = Run.create ?timeout:t.mine_timeout () in
+    locked t (fun () -> t.current <- Some run);
+    let inc', diff =
+      Fun.protect
+        ~finally:(fun () -> locked t (fun () -> t.current <- None))
+        (fun () -> Incremental.update ~run inc edits)
+    in
+    if diff.Incremental.status <> Run.Ok then
+      (* Interrupted repair: nothing was committed — the resident set and
+         version are exactly as before, and a retry starts fresh. *)
+      ( diff.Incremental.status,
+        Protocol.Error "update interrupted; no version committed" )
+    else begin
+      let store', new_version =
+        locked t (fun () ->
+            let s' =
+              { s with Store.journal = s.Store.journal @ [ edits ] }
+            in
+            t.store <- Some s';
+            t.live <- Some inc';
+            t.graph <- Some (Delta.snapshot (Incremental.graph inc'));
+            t.index <- Sig_index.build (Incremental.patterns inc');
+            t.version <- t.version + 1;
+            (* No cache flush: keys carry the version, so every cached
+               answer is now unreachable by construction. *)
+            (s', t.version))
+      in
+      let reply =
+        {
+          Protocol.new_version;
+          added = diff.Incremental.added;
+          removed = diff.Incremental.removed;
+          repaired = diff.Incremental.repaired_clusters;
+          clusters = diff.Incremental.total_clusters;
+        }
+      in
+      push_to_subscribers t reply ~seconds:diff.Incremental.seconds;
+      match t.store_path with
+      | None -> (Run.Ok, Protocol.Update_reply reply)
+      | Some path -> (
+        match Store.save path store' with
+        | () -> (Run.Ok, Protocol.Update_reply reply)
+        | exception Sys_error msg ->
+          ( Run.Ok,
+            Protocol.Error
+              (Printf.sprintf
+                 "update committed as v%d but not persisted to %s: %s"
+                 new_version path msg) ))
+    end
+
 (* Request failures become [Error] payloads ({!handle} never raises for
    these); anything else is a server bug and propagates. *)
 let classify_error = function
@@ -211,68 +380,82 @@ let classify_error = function
     Some (Printf.sprintf "%s: %s" fn (Unix.error_message e))
   | _ -> None
 
-let handle t req : Protocol.response =
+let handle ?(client_version = Protocol.version) t req : Protocol.response =
   let t0 = Clock.now () in
-  let key =
-    if Protocol.cacheable req then Some (Protocol.encode_request req) else None
-  in
-  let finish ~cache_hit (status, payload) =
-    locked t (fun () ->
-        (match (key, payload) with
-        | ( Some k,
-            Protocol.(Pong | Loaded _ | Patterns _ | Stats_reply _ | Bye) )
-          when (not cache_hit) && status = Run.Ok ->
-          (* Only complete answers are cacheable: a Timeout/Cancelled
-             [Patterns] is a prefix, and a retry deserves a fresh attempt. *)
-          Lru.add t.cache k payload
-        | _, _ -> ());
-        let seconds = Clock.now () -. t0 in
-        t.service_seconds <- t.service_seconds +. seconds;
-        { Protocol.cache_hit; seconds; status; payload })
-  in
-  (* Phase 1, under the state lock: cache probe plus every request except an
-     actual mine. *)
-  let phase1 =
+  if Protocol.request_version req > client_version then begin
+    (* v3-only verb on a v2 connection: refuse without dispatching. *)
     locked t (fun () ->
         t.requests <- t.requests + 1;
-        match Option.bind key (Lru.find t.cache) with
-        | Some payload ->
-          t.cache_hits <- t.cache_hits + 1;
-          `Hit payload
-        | None -> (
-          match dispatch_unlocked t req with
-          | Done (status, payload) -> `Done (status, payload)
-          | Need_mine (params, g) -> `Mine (params, g)
-          | exception e -> (
-            match classify_error e with
-            | Some msg ->
-              t.errors <- t.errors + 1;
-              `Done (Run.Ok, Protocol.Error msg)
-            | None -> raise e)))
-  in
-  match phase1 with
-  | `Hit payload -> finish ~cache_hit:true (Run.Ok, payload)
-  | `Done result -> finish ~cache_hit:false result
-  | `Mine (params, g) ->
-    Mutex.lock t.mine_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.mine_lock)
-      (fun () ->
-        (* Another request may have mined and cached the same parameters
-           while we waited for the mine lock. *)
-        let recheck =
-          locked t (fun () ->
-              match Option.bind key (Lru.find t.cache) with
-              | Some payload ->
-                t.cache_hits <- t.cache_hits + 1;
-                Some payload
-              | None -> None)
-        in
-        match recheck with
-        | Some payload -> finish ~cache_hit:true (Run.Ok, payload)
-        | None ->
+        t.errors <- t.errors + 1);
+    {
+      Protocol.cache_hit = false;
+      seconds = Clock.now () -. t0;
+      status = Run.Ok;
+      payload =
+        Protocol.Error
+          (Printf.sprintf
+             "request requires protocol v%d (connection negotiated v%d)"
+             (Protocol.request_version req)
+             client_version);
+    }
+  end
+  else begin
+    let req_bytes =
+      if Protocol.cacheable req then Some (Protocol.encode_request req)
+      else None
+    in
+    let finish ~key ~cache_hit (status, payload) =
+      locked t (fun () ->
+          (match (key, payload) with
+          | ( Some k,
+              Protocol.(Pong | Loaded _ | Patterns _ | Stats_reply _ | Bye) )
+            when (not cache_hit) && status = Run.Ok ->
+            (* Only complete answers are cacheable: a Timeout/Cancelled
+               [Patterns] is a prefix, and a retry deserves a fresh
+               attempt. *)
+            Lru.add t.cache k payload
+          | _, _ -> ());
+          let seconds = Clock.now () -. t0 in
+          t.service_seconds <- t.service_seconds +. seconds;
+          { Protocol.cache_hit; seconds; status; payload })
+    in
+    (* Phase 1, under the state lock: cache probe plus every request except
+       an actual mine or update. The cache key is the graph version plus
+       the request bytes — version-keying is what makes an [Update] safe
+       against the cache: an answer computed at version v is only ever
+       findable at version v (the stale entries just age out of the
+       LRU). *)
+    let phase1 =
+      locked t (fun () ->
+          t.requests <- t.requests + 1;
+          let key =
+            Option.map
+              (fun k -> Printf.sprintf "v%d:%s" t.version k)
+              req_bytes
+          in
+          match Option.bind key (Lru.find t.cache) with
+          | Some payload ->
+            t.cache_hits <- t.cache_hits + 1;
+            `Hit payload
+          | None -> (
+            match dispatch_unlocked t req with
+            | Done (status, payload) -> `Done (key, (status, payload))
+            | Need_mine (params, g) -> `Mine (key, params, g)
+            | Need_update edits -> `Update edits
+            | exception e -> (
+              match classify_error e with
+              | Some msg ->
+                t.errors <- t.errors + 1;
+                `Done (key, (Run.Ok, Protocol.Error msg))
+              | None -> raise e)))
+    in
+    let guarded ~key f =
+      Mutex.lock t.mine_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.mine_lock)
+        (fun () ->
           let result =
-            match run_mine t params g with
+            match f () with
             | result -> result
             | exception e -> (
               match classify_error e with
@@ -281,7 +464,42 @@ let handle t req : Protocol.response =
                 (Run.Ok, Protocol.Error msg)
               | None -> raise e)
           in
-          finish ~cache_hit:false result)
+          finish ~key ~cache_hit:false result)
+    in
+    match phase1 with
+    | `Hit payload -> finish ~key:None ~cache_hit:true (Run.Ok, payload)
+    | `Done (key, result) -> finish ~key ~cache_hit:false result
+    | `Mine (key, params, g) ->
+      Mutex.lock t.mine_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.mine_lock)
+        (fun () ->
+          (* Another request may have mined and cached the same parameters
+             while we waited for the mine lock. *)
+          let recheck =
+            locked t (fun () ->
+                match Option.bind key (Lru.find t.cache) with
+                | Some payload ->
+                  t.cache_hits <- t.cache_hits + 1;
+                  Some payload
+                | None -> None)
+          in
+          match recheck with
+          | Some payload -> finish ~key:None ~cache_hit:true (Run.Ok, payload)
+          | None ->
+            let result =
+              match run_mine t params g with
+              | result -> result
+              | exception e -> (
+                match classify_error e with
+                | Some msg ->
+                  locked t (fun () -> t.errors <- t.errors + 1);
+                  (Run.Ok, Protocol.Error msg)
+                | None -> raise e)
+            in
+            finish ~key ~cache_hit:false result)
+    | `Update edits -> guarded ~key:None (fun () -> run_update t edits)
+  end
 
 (* --- the socket surface --- *)
 
@@ -301,10 +519,18 @@ let listen ?(host = "127.0.0.1") ~port () =
   (fd, actual_port)
 
 let handle_connection t conn =
+  (* A [Subscribe] hands the socket over to the push registry: this thread
+     exits without closing it, and the fd dies with the registry (push
+     failure or shutdown). *)
+  let handed_off = ref false in
   Fun.protect
-    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      if not !handed_off then
+        try Unix.close conn with Unix.Unix_error _ -> ())
     (fun () ->
-      if Protocol.accept_handshake conn then
+      match Protocol.accept_handshake conn with
+      | None -> ()
+      | Some client_version ->
         let rec loop () =
           match Protocol.read_frame conn with
           | None -> ()
@@ -325,11 +551,18 @@ let handle_connection t conn =
                      status = Run.Ok;
                      payload = Error msg;
                    })
-            | Ok req ->
-              let resp = handle t req in
+            | Ok req -> (
+              let resp = handle ~client_version t req in
               Protocol.write_frame conn (Protocol.encode_response resp);
-              (* A served [Shutdown] ends this connection too. *)
-              if req <> Protocol.Shutdown then loop ())
+              match (req, resp.Protocol.payload) with
+              | Protocol.Subscribe, Protocol.Subscribed _ ->
+                Mutex.lock t.sub_lock;
+                t.subscribers <- conn :: t.subscribers;
+                Mutex.unlock t.sub_lock;
+                handed_off := true
+              | _ ->
+                (* A served [Shutdown] ends this connection too. *)
+                if req <> Protocol.Shutdown then loop ()))
         in
         try loop () with
         | Codec.Corrupt _ -> ()
@@ -359,5 +592,13 @@ let serve t fd =
     ~finally:(fun () ->
       t.listen_addr <- None;
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      List.iter Thread.join !threads)
+      List.iter Thread.join !threads;
+      (* Orderly close of every subscriber: they read EOF and know the
+         stream of diffs is over. *)
+      Mutex.lock t.sub_lock;
+      List.iter
+        (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+        t.subscribers;
+      t.subscribers <- [];
+      Mutex.unlock t.sub_lock)
     accept_loop

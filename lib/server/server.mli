@@ -2,20 +2,33 @@
 
     One server owns a resident pattern store (graph + mined set + the
     {!Sig_index} planner index over it), an LRU response cache keyed by the
-    encoded request bytes, and running counters. The accept loop handles
-    each connection on its own thread. Short requests are serialized by a
-    state lock; actual mining runs outside it under a separate mine lock
-    (mining already fans out across domains via {!Spm_engine.Pool}, so
+    graph version plus the encoded request bytes, and running counters. The
+    accept loop handles each connection on its own thread. Short requests
+    are serialized by a state lock; actual mining — full [Mine]s and
+    incremental [Update] repairs — runs outside it under a separate mine
+    lock (mining already fans out across domains via {!Spm_engine.Pool}, so
     parallel mines would oversubscribe the cores), which keeps
-    [Progress]/[Cancel] and planner queries responsive while a mine is in
+    [Progress]/[Cancel] and planner queries responsive while one is in
     flight.
 
-    Each mine executes under a fresh {!Spm_engine.Run} context. When the
-    server was created with [?mine_timeout], the run carries that deadline:
-    an overrunning mine stops cooperatively and its client receives
-    [status = Timeout] with the partial patterns mined so far. A [Cancel]
-    request trips the same mechanism ([status = Cancelled]). Non-[Ok]
-    responses are never cached, so a retry gets a fresh attempt.
+    {b Evolving graphs} (protocol v3): an [Update] request applies an edit
+    batch as one new graph version, repairs the resident pattern set with
+    {!Spm_core.Incremental} (only the diameter clusters whose
+    δ-neighborhoods the edits touched are re-grown), rebuilds the planner
+    index, and appends the batch to the resident store's mutation journal —
+    persisted back to the store's path when there is one, so a restarted
+    server replays the journal and resumes at the latest version.
+    [Subscribe] hands its connection to a push registry that receives one
+    [Update_reply] frame per committed version. Cache entries are keyed by
+    version, so an update can never serve a pre-update answer.
+
+    Each mine or update executes under a fresh {!Spm_engine.Run} context.
+    When the server was created with [?mine_timeout], the run carries that
+    deadline: an overrunning mine stops cooperatively and its client
+    receives [status = Timeout] with the partial patterns mined so far; an
+    overrunning update commits {e nothing} and reports the interruption. A
+    [Cancel] request trips the same mechanism ([status = Cancelled]).
+    Non-[Ok] responses are never cached, so a retry gets a fresh attempt.
 
     {!handle} is the full dispatch path minus the socket, so tests and
     benchmarks can drive the server in-process and get byte-identical
@@ -25,29 +38,42 @@ type t
 
 val create :
   ?jobs:int -> ?cache_capacity:int -> ?mine_timeout:float -> unit -> t
-(** [jobs] (default 1) is the domain-pool width used for mining and
-    containment requests; [cache_capacity] (default 128) bounds the LRU
-    response cache; [mine_timeout] (default: none) is the wall-clock budget
-    in seconds granted to each [Mine] request that actually mines — cache
-    and resident-store answers are exempt. *)
+(** [jobs] (default 1) is the domain-pool width used for mining, update
+    repair and containment requests; [cache_capacity] (default 128) bounds
+    the LRU response cache; [mine_timeout] (default: none) is the
+    wall-clock budget in seconds granted to each [Mine]/[Update] request
+    that actually mines — cache and resident-store answers are exempt. *)
 
 val jobs : t -> int
 
 val mine_timeout : t -> float option
 
-val set_store : t -> Spm_store.Store.pattern_store -> unit
+val set_store : t -> ?path:string -> Spm_store.Store.pattern_store -> unit
 (** Install a pattern store as the resident set: its graph becomes the mine
-    target, its patterns the lookup/containment corpus. Clears the response
+    target, its patterns the lookup/containment corpus. A store carrying a
+    mutation journal is replayed through the incremental miner first, so
+    the resident set reflects {!Spm_store.Store.latest_version}. When
+    [path] is given, committed updates persist the journal back to it
+    (as does the path of a [Load_store] request). Clears the response
     cache. *)
 
 val set_graph : t -> Spm_graph.Graph.t -> unit
-(** Install a bare data graph (mine requests only; empty resident set).
-    Clears the response cache. *)
+(** Install a bare data graph (mine requests only; empty resident set, no
+    updates). Clears the response cache. *)
 
-val handle : t -> Protocol.request -> Protocol.response
+val version : t -> int
+(** Current graph version: the loaded store's latest version, +1 per
+    committed [Update]. *)
+
+val handle : ?client_version:int -> t -> Protocol.request -> Protocol.response
 (** Dispatch one request: LRU lookup for {!Protocol.cacheable} requests,
-    then the query planner ({!Sig_index}) or the miner. Never raises —
-    failures become [Error] payloads and count in [stats.errors]. *)
+    then the query planner ({!Sig_index}), the miner, or the incremental
+    repairer. Never raises — failures become [Error] payloads and count in
+    [stats.errors]. [client_version] (default {!Protocol.version}) is the
+    connection's negotiated protocol version; requests whose
+    {!Protocol.request_version} exceeds it are refused with an [Error].
+    An in-process [Subscribe] returns [Subscribed] but registers nothing —
+    push delivery needs the socket surface ({!serve}). *)
 
 val stats : t -> Protocol.server_stats
 
@@ -60,9 +86,10 @@ val listen : ?host:string -> port:int -> unit -> Unix.file_descr * int
 
 val serve : t -> Unix.file_descr -> unit
 (** Accept loop: one thread per connection, each running
-    handshake/read/dispatch/reply until EOF. Ignores [SIGPIPE] for the
-    process, so a client that disconnects mid-reply surfaces as [EPIPE] on
-    that connection's thread instead of killing the server. Returns after a
-    [Shutdown] request (which also cancels any in-flight mine), once every
-    connection thread has finished; the listening socket is closed on
-    exit. *)
+    handshake/read/dispatch/reply until EOF — except subscribers, whose
+    sockets move to the push registry and receive one frame per committed
+    update. Ignores [SIGPIPE] for the process, so a client that disconnects
+    mid-reply surfaces as [EPIPE] on that connection's thread instead of
+    killing the server. Returns after a [Shutdown] request (which also
+    cancels any in-flight mine), once every connection thread has finished;
+    subscriber sockets are closed on exit (subscribers read EOF). *)

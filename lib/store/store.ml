@@ -34,7 +34,7 @@ let read_graph r =
       let v = Codec.R.uint r in
       (u, v))
   in
-  match Graph.of_edges ~labels edges with
+  match Graph.Builder.of_edges ~labels edges with
   | g -> g
   | exception Invalid_argument msg ->
     raise (Codec.Corrupt ("invalid graph in store: " ^ msg))
@@ -60,6 +60,33 @@ let read_entry r : Diam_mine.entry =
   let labels = Codec.R.int_array r in
   let embeddings = Codec.R.list r Codec.R.int_array in
   { labels; embeddings }
+
+let write_edit w (e : Spm_graph.Delta.edit) =
+  match e with
+  | Spm_graph.Delta.Add_vertex l ->
+    Codec.W.byte w 0;
+    Codec.W.uint w l
+  | Spm_graph.Delta.Add_edge (u, v) ->
+    Codec.W.byte w 1;
+    Codec.W.uint w u;
+    Codec.W.uint w v
+  | Spm_graph.Delta.Remove_edge (u, v) ->
+    Codec.W.byte w 2;
+    Codec.W.uint w u;
+    Codec.W.uint w v
+
+let read_edit r : Spm_graph.Delta.edit =
+  match Codec.R.byte r with
+  | 0 -> Spm_graph.Delta.Add_vertex (Codec.R.uint r)
+  | 1 ->
+    let u = Codec.R.uint r in
+    let v = Codec.R.uint r in
+    Spm_graph.Delta.Add_edge (u, v)
+  | 2 ->
+    let u = Codec.R.uint r in
+    let v = Codec.R.uint r in
+    Spm_graph.Delta.Remove_edge (u, v)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown edit tag %d" t))
 
 (* --- file framing --- *)
 
@@ -103,6 +130,8 @@ type pattern_store = {
   closed_growth : bool;
   complete : bool;
   patterns : Skinny_mine.mined list;
+  base_version : int;
+  journal : Spm_graph.Delta.edit list list;
 }
 
 let of_result ~graph ~l ~delta ~sigma ~closed_growth (r : Skinny_mine.result) =
@@ -114,7 +143,11 @@ let of_result ~graph ~l ~delta ~sigma ~closed_growth (r : Skinny_mine.result) =
     closed_growth;
     complete = r.stats.Skinny_mine.status = Spm_engine.Run.Ok;
     patterns = r.patterns;
+    base_version = 0;
+    journal = [];
   }
+
+let latest_version s = s.base_version + List.length s.journal
 
 let encode s =
   let w = Codec.W.create ~size:4096 () in
@@ -130,6 +163,14 @@ let encode s =
          completion), which keeps the format version stable. *)
       Codec.W.bool w s.complete);
   Codec.W.section w ~tag:'M' (fun w -> Codec.W.list w write_mined s.patterns);
+  (* Mutation journal. Written only when non-trivial so every pre-journal
+     store re-encodes to its original bytes (same back-compat contract as
+     the trailing completeness flag). *)
+  if s.base_version <> 0 || s.journal <> [] then
+    Codec.W.section w ~tag:'J' (fun w ->
+        Codec.W.uint w s.base_version;
+        Codec.W.list w (fun w batch -> Codec.W.list w write_edit batch)
+          s.journal);
   Codec.W.contents w
 
 let decode s =
@@ -143,7 +184,25 @@ let decode s =
   let closed_growth = Codec.R.bool p in
   let complete = if Codec.R.left p > 0 then Codec.R.bool p else true in
   let patterns = Codec.R.list (find_section 'M' secs) read_mined in
-  { graph; l; delta; sigma; closed_growth; complete; patterns }
+  let base_version, journal =
+    match List.assoc_opt 'J' secs with
+    | None -> (0, [])
+    | Some j ->
+      let base_version = Codec.R.uint j in
+      let journal = Codec.R.list j (fun r -> Codec.R.list r read_edit) in
+      (base_version, journal)
+  in
+  {
+    graph;
+    l;
+    delta;
+    sigma;
+    closed_growth;
+    complete;
+    patterns;
+    base_version;
+    journal;
+  }
 
 let write_file path data =
   let oc = open_out_bin path in

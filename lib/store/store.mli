@@ -31,6 +31,11 @@ val write_entry : Codec.W.t -> Spm_core.Diam_mine.entry -> unit
 
 val read_entry : Codec.R.t -> Spm_core.Diam_mine.entry
 
+val write_edit : Codec.W.t -> Spm_graph.Delta.edit -> unit
+
+val read_edit : Codec.R.t -> Spm_graph.Delta.edit
+(** @raise Codec.Corrupt on an unknown edit tag. *)
+
 (** {1 Pattern stores} *)
 
 (** A mined result set together with everything needed to serve queries
@@ -47,7 +52,19 @@ type pattern_store = {
           Files written before this flag existed decode as [complete = true]
           — those mines always ran to completion. *)
   patterns : Spm_core.Skinny_mine.mined list;
+  base_version : int;
+      (** {!Spm_graph.Delta} version [graph] and [patterns] were captured
+          at (0 for stores that never served updates). *)
+  journal : Spm_graph.Delta.edit list list;
+      (** Mutation journal: one edit batch per committed graph version
+          after [base_version], oldest first. A restarted server replays
+          these through the incremental miner to reach version
+          [base_version + length journal]. Pre-journal files decode with an
+          empty journal and re-encode byte-identically. *)
 }
+
+val latest_version : pattern_store -> int
+(** [base_version + List.length journal] — the version replay reaches. *)
 
 val of_result :
   graph:Spm_graph.Graph.t ->

@@ -3,7 +3,7 @@
    way everywhere instead of each file growing its own ad-hoc generator.
 
    The generated value is a [spec]: the raw (labels, edge list) input of
-   [Graph.of_edges] — duplicates and reversed edges included, so substrate
+   [Graph.Builder.of_edges] — duplicates and reversed edges included, so substrate
    normalization stays under test — plus the integer seed it was derived
    from. Content is a pure function of the seed, so a printed failure is
    reproducible from the seed alone; shrinking then edits the spec directly
@@ -18,7 +18,7 @@ type spec = {
   edges : (int * int) list;  (* raw: may repeat and reverse pairs *)
 }
 
-let graph_of_spec s = Graph.of_edges ~labels:s.labels s.edges
+let graph_of_spec s = Graph.Builder.of_edges ~labels:s.labels s.edges
 
 (* Deterministic instance from a seed — the one generator body shared by
    qcheck properties and plain seeded tests. *)
@@ -107,4 +107,4 @@ let permute_graph ~seed g =
   let labels = Array.make n 0 in
   Array.iteri (fun v l -> labels.(perm.(v)) <- l) (Graph.labels g);
   let edges = List.map (fun (u, v) -> (perm.(u), perm.(v))) (Graph.edges g) in
-  (Graph.of_edges ~labels edges, perm)
+  (Graph.Builder.of_edges ~labels edges, perm)

@@ -14,7 +14,7 @@ let check_bool = Alcotest.(check bool)
 (* --- Grow_util --- *)
 
 let test_vertex_seeds () =
-  let g = Graph.of_edges ~labels:[| 0; 0; 1 |] [ (0, 1); (1, 2) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 0; 1 |] [ (0, 1); (1, 2) ] in
   let seeds = Grow_util.vertex_seeds g in
   check "two labels" 2 (List.length seeds);
   let l0 = List.assoc 0 (List.map (fun (l, s) -> (l, s)) seeds) in
@@ -22,7 +22,7 @@ let test_vertex_seeds () =
   check "vertex support" 2 (Grow_util.support g l0)
 
 let test_edge_seeds () =
-  let g = Graph.of_edges ~labels:[| 0; 0; 1 |] [ (0, 1); (1, 2) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 0; 1 |] [ (0, 1); (1, 2) ] in
   let seeds = Grow_util.edge_seeds g in
   check "two edge patterns" 2 (List.length seeds);
   List.iter
@@ -36,7 +36,7 @@ let test_edge_seeds () =
     seeds
 
 let test_extensions_complete () =
-  let g = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
   let edge = List.hd (Grow_util.edge_seeds g) in
   let exts = Grow_util.extensions g edge in
   (* From an edge in a triangle: one forward desc per endpoint + no closing
@@ -124,7 +124,7 @@ let test_subdue_scores_are_sorted () =
 (* --- SEuS --- *)
 
 let test_seus_summary () =
-  let g = Graph.of_edges ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (2, 3); (1, 2) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (2, 3); (1, 2) ] in
   let s = Seus.summary g in
   check "label pair (0,1)" 3 (Hashtbl.find s (0, 1));
   check_bool "no (0,0)" true (not (Hashtbl.mem s (0, 0)))

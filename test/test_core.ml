@@ -67,7 +67,7 @@ let test_canonical_diameter_cycle () =
 let test_levels_and_skinny () =
   (* Path 0-1-2-3-4 with a twig on vertex 2. *)
   let p =
-    Graph.of_edges ~labels:[| 0; 0; 0; 0; 0; 7 |]
+    Graph.Builder.of_edges ~labels:[| 0; 0; 0; 0; 0; 7 |]
       [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 5) ]
   in
   let l = Canonical_diameter.compute p in
@@ -167,7 +167,7 @@ let diam_mine_summary result =
   |> List.sort compare
 
 let test_diam_mine_single_edge () =
-  let g = Graph.of_edges ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (2, 3); (1, 2) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (2, 3); (1, 2) ] in
   let r = Diam_mine.mine g ~l:1 ~sigma:2 in
   (* All three edges carry labels (0,1); (0,0)/(1,1) never occur. *)
   Alcotest.(check (list (pair (array int) int)))

@@ -87,7 +87,7 @@ let test_identity_preserved_diameter_changes () =
 
 let test_identity_preserved_missing_backbone () =
   (* A graph where vertices 0..l are not even a path. *)
-  let g = Graph.of_edges ~labels:[| 0; 1; 2 |] [ (0, 2); (2, 1) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 1; 2 |] [ (0, 2); (2, 1) ] in
   check_bool "no backbone edges" false
     (Canonical_diameter.identity_preserved g ~l:2)
 
@@ -130,7 +130,7 @@ let test_closed_growth_support_increase_kept () =
      closed growth never drops the bare diameter when its extensions change
      support. *)
   let g =
-    Graph.of_edges ~labels:[| 0; 1; 0; 1; 2 |]
+    Graph.Builder.of_edges ~labels:[| 0; 1; 0; 1; 2 |]
       [ (0, 1); (2, 3); (3, 4) ]
   in
   (* Pattern 0-1 has support 2; extension by label-2 twig has support 1. *)
@@ -198,7 +198,7 @@ let test_write_read_files () =
 
 let test_level_grow_stats () =
   let g =
-    Graph.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
+    Graph.Builder.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
       [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 5) ]
   in
   let r = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in

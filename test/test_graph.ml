@@ -7,7 +7,7 @@ let check_bool = Alcotest.(check bool)
 
 (* Path a-b-c-d plus a chord (0,2). *)
 let small () =
-  Graph.of_edges ~labels:[| 0; 1; 2; 3 |] [ (0, 1); (1, 2); (2, 3); (0, 2) ]
+  Graph.Builder.of_edges ~labels:[| 0; 1; 2; 3 |] [ (0, 1); (1, 2); (2, 3); (0, 2) ]
 
 let test_of_edges () =
   let g = small () in
@@ -21,12 +21,12 @@ let test_of_edges () =
   check "label" 2 (Graph.label g 2)
 
 let test_of_edges_dedup () =
-  let g = Graph.of_edges ~labels:[| 0; 0 |] [ (0, 1); (1, 0); (0, 1) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 0 |] [ (0, 1); (1, 0); (0, 1) ] in
   check "m dedup" 1 (Graph.m g)
 
 let test_self_loop_rejected () =
   Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop")
-    (fun () -> ignore (Graph.of_edges ~labels:[| 0 |] [ (0, 0) ]))
+    (fun () -> ignore (Graph.Builder.of_edges ~labels:[| 0 |] [ (0, 0) ]))
 
 let test_edges_list () =
   let g = small () in
@@ -59,6 +59,117 @@ let test_builder () =
   check "extended m" 2 (Graph.m g2);
   check "first freeze untouched" 2 (Graph.n g)
 
+let test_builder_remove_edge () =
+  let b = Graph.Builder.create () in
+  let u = Graph.Builder.add_vertex b 1 in
+  let v = Graph.Builder.add_vertex b 2 in
+  let w = Graph.Builder.add_vertex b 3 in
+  Graph.Builder.add_edge b u v;
+  Graph.Builder.add_edge b v w;
+  check_bool "present edge removed" true (Graph.Builder.remove_edge b u v);
+  check_bool "absent edge is a no-op" false (Graph.Builder.remove_edge b u v);
+  check_bool "never-added edge is a no-op" false
+    (Graph.Builder.remove_edge b u w);
+  let g = Graph.Builder.freeze b in
+  check "one edge left" 1 (Graph.m g);
+  check_bool "surviving edge intact" true (Graph.has_edge g v w);
+  (* Removing from either endpoint works: undirected storage. *)
+  check_bool "reverse orientation removed" true
+    (Graph.Builder.remove_edge b w v);
+  check "empty after both removals" 0 (Graph.m (Graph.Builder.freeze b))
+
+(* The deprecated top-level constructor must keep working (and keep its
+   original error messages) for out-of-tree callers during the migration. *)
+let test_deprecated_of_edges_shim () =
+  let g =
+    (Graph.of_edges [@alert "-deprecated"])
+      ~labels:[| 0; 1 |]
+      [ (0, 1) ]
+  in
+  check "shim n" 2 (Graph.n g);
+  check "shim m" 1 (Graph.m g);
+  Alcotest.check_raises "shim keeps its message"
+    (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
+      ignore ((Graph.of_edges [@alert "-deprecated"]) ~labels:[| 0 |] [ (0, 0) ]))
+
+let test_delta_basics () =
+  let g = small () in
+  let d0 = Delta.of_graph g in
+  check "v0" 0 (Delta.version d0);
+  check "delta n" (Graph.n g) (Delta.n d0);
+  check "delta m" (Graph.m g) (Delta.m d0);
+  check_bool "no pending" true (Delta.pending d0 = 0);
+  check_bool "snapshot of v0 is base" true
+    (Graph.equal_structure g (Delta.snapshot d0));
+  let d1 =
+    Delta.apply_all d0
+      [ Delta.Add_vertex 9; Delta.Add_edge (0, 4); Delta.Remove_edge (0, 1) ]
+  in
+  check "one batch, one version" 1 (Delta.version d1);
+  check "new vertex visible" (Graph.n g + 1) (Delta.n d1);
+  check "label of new vertex" 9 (Delta.label d1 (Graph.n g));
+  check "m after add+remove" (Graph.m g) (Delta.m d1);
+  check_bool "added edge" true (Delta.has_edge d1 0 4);
+  check_bool "removed edge" false (Delta.has_edge d1 0 1);
+  (* The original overlay is untouched: persistence. *)
+  check "d0 still v0" 0 (Delta.version d0);
+  check_bool "d0 still has 0-1" true (Delta.has_edge d0 0 1);
+  (* Re-adding a removed edge cancels the removal; removing an added edge
+     cancels the addition. *)
+  let d2 = Delta.apply_all d1 [ Delta.Add_edge (0, 1); Delta.Remove_edge (0, 4) ] in
+  check_bool "un-removed" true (Delta.has_edge d2 0 1);
+  check_bool "un-added" false (Delta.has_edge d2 0 4);
+  check_bool "back to base structure" true
+    (Delta.m d2 = Graph.m g && Delta.n d2 = Graph.n g + 1);
+  (* Invalid edits are rejected with the overlay unchanged. *)
+  check_bool "self-loop rejected" true
+    (match Delta.apply_all d2 [ Delta.Add_edge (2, 2) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "out-of-range rejected" true
+    (match Delta.apply_all d2 [ Delta.Add_edge (0, 99) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_delta_rebuild_threshold () =
+  let g = small () in
+  let d = ref (Delta.of_graph ~rebuild_every:2 g) in
+  (* Each batch holds one edit; after crossing the threshold the overlay
+     collapses into a fresh CSR base but the merged view never changes. *)
+  let edits =
+    [ Delta.Add_vertex 5; Delta.Add_edge (0, 4); Delta.Add_vertex 6;
+      Delta.Add_edge (4, 5); Delta.Remove_edge (0, 4) ]
+  in
+  List.iteri
+    (fun i e ->
+      d := Delta.apply !d e;
+      check (Printf.sprintf "version %d" (i + 1)) (i + 1) (Delta.version !d))
+    edits;
+  check "n" 6 (Delta.n !d);
+  check_bool "4-5 present" true (Delta.has_edge !d 4 5);
+  check_bool "0-4 gone" false (Delta.has_edge !d 0 4);
+  check_bool "rebuild collapsed the overlay" true (Delta.pending !d <= 2)
+
+let test_edits_io_roundtrip () =
+  let edits =
+    [ Delta.Add_vertex 4; Delta.Add_edge (0, 3); Delta.Remove_edge (1, 2) ]
+  in
+  let s = Io.edits_to_string edits in
+  check_bool "text round trip" true (Io.edits_of_string s = edits);
+  (* Comments, blank lines, CRLF. *)
+  let noisy = "# touch up\r\n\nav 4\n  ae 0 3\t\nre 1 2\n" in
+  check_bool "noisy parse" true (Io.edits_of_string noisy = edits);
+  check_bool "bad line rejected with its number" true
+    (match Io.edits_of_string "av 1\nzz 3 4\n" with
+    | _ -> false
+    | exception Failure msg ->
+      (* 1-based: the bad directive is on line 2 *)
+      let rec mentions i =
+        i + 6 <= String.length msg
+        && (String.sub msg i 6 = "line 2" || mentions (i + 1))
+      in
+      mentions 0)
+
 let test_bfs_distances () =
   let g = small () in
   let d = Bfs.distances g 3 in
@@ -70,7 +181,7 @@ let test_bfs_distance_pair () =
   check "d(3,3)" 0 (Bfs.distance g 3 3)
 
 let test_bfs_disconnected () =
-  let g = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1) ] in
   let d = Bfs.distances g 0 in
   check "unreachable" (-1) d.(2);
   check_bool "not connected" false (Bfs.is_connected g);
@@ -109,7 +220,7 @@ let test_simple_path_check () =
 
 let test_simple_paths_count () =
   (* Triangle with distinct labels: 3 undirected paths of length 2. *)
-  let tri = Graph.of_edges ~labels:[| 0; 1; 2 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let tri = Graph.Builder.of_edges ~labels:[| 0; 1; 2 |] [ (0, 1); (1, 2); (0, 2) ] in
   check "len2 in triangle" 3 (List.length (Paths.simple_paths_of_length tri ~length:2));
   check "len1 in triangle" 3 (List.length (Paths.simple_paths_of_length tri ~length:1));
   (* Path graph 0-1-2-3: exactly one simple path of length 3. *)
@@ -131,7 +242,7 @@ let test_shortest_paths_between () =
   check "none disconnected" 0
     (List.length
        (Paths.shortest_paths_between
-          (Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1) ])
+          (Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1) ])
           0 2))
 
 (* --- Generators --- *)
@@ -371,7 +482,7 @@ let prop_csr_has_edge_model =
     ~count:80 QCheck.small_nat (fun seed ->
       let _, labels, edges = model_instance seed in
       let n = Array.length labels in
-      let g = Graph.of_edges ~labels edges in
+      let g = Graph.Builder.of_edges ~labels edges in
       let set = edge_set edges in
       let ok = ref (Graph.m g = Hashtbl.length set) in
       for u = 0 to n - 1 do
@@ -389,7 +500,7 @@ let prop_csr_adj_sorted_dupfree =
     QCheck.small_nat (fun seed ->
       let _, labels, edges = model_instance seed in
       let n = Array.length labels in
-      let g = Graph.of_edges ~labels edges in
+      let g = Graph.Builder.of_edges ~labels edges in
       let ok = ref true in
       for v = 0 to n - 1 do
         let a = Array.to_list (Graph.adj g v) in
@@ -406,7 +517,7 @@ let prop_csr_iter_adj_label_order =
     QCheck.small_nat (fun seed ->
       let _, labels, edges = model_instance seed in
       let n = Array.length labels in
-      let g = Graph.of_edges ~labels edges in
+      let g = Graph.Builder.of_edges ~labels edges in
       let ok = ref true in
       for v = 0 to n - 1 do
         let run = ref [] in
@@ -427,7 +538,7 @@ let prop_csr_adj_with_label_filter =
     ~count:80 QCheck.small_nat (fun seed ->
       let num_labels, labels, edges = model_instance seed in
       let n = Array.length labels in
-      let g = Graph.of_edges ~labels edges in
+      let g = Graph.Builder.of_edges ~labels edges in
       let ok = ref true in
       for v = 0 to n - 1 do
         (* Including a label beyond the graph's universe: must yield nothing. *)
@@ -450,7 +561,7 @@ let prop_csr_label_index =
     ~count:80 QCheck.small_nat (fun seed ->
       let num_labels, labels, edges = model_instance seed in
       let n = Array.length labels in
-      let g = Graph.of_edges ~labels edges in
+      let g = Graph.Builder.of_edges ~labels edges in
       let recount l =
         Array.fold_left (fun acc x -> if x = l then acc + 1 else acc) 0 labels
       in
@@ -484,6 +595,17 @@ let () =
           Alcotest.test_case "edges list" `Quick test_edges_list;
           Alcotest.test_case "induced" `Quick test_induced;
           Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "builder remove edge" `Quick
+            test_builder_remove_edge;
+          Alcotest.test_case "deprecated of_edges shim" `Quick
+            test_deprecated_of_edges_shim;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "merged view basics" `Quick test_delta_basics;
+          Alcotest.test_case "rebuild threshold" `Quick
+            test_delta_rebuild_threshold;
+          Alcotest.test_case "edit script io" `Quick test_edits_io_roundtrip;
         ] );
       ( "bfs",
         [

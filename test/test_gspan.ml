@@ -26,7 +26,7 @@ let connected_subgraph_keys g ~max_edges =
     Array.iteri (fun i v -> Hashtbl.add idx v i) vs;
     let labels = Array.map (fun v -> Graph.label g v) vs in
     let es' = List.map (fun (u, v) -> (Hashtbl.find idx u, Hashtbl.find idx v)) es in
-    let p = Graph.of_edges ~labels es' in
+    let p = Graph.Builder.of_edges ~labels es' in
     if Bfs.is_connected p then begin
       let k = Canon.key p in
       if not (Hashtbl.mem keys k) then begin
@@ -107,7 +107,7 @@ let test_gspan_unique_generation () =
 
 let test_gspan_support_values () =
   (* db: triangle(0,0,0) x2, path(0,0,0) x1. Path embeds in triangles too. *)
-  let tri = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let tri = Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
   let path = Pattern.of_path_labels [| 0; 0; 0 |] in
   let db = [ tri; tri; path ] in
   let out = Gspan.mine ~db ~sigma:2 () in

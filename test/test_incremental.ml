@@ -1,0 +1,284 @@
+(* Differential tests for the incremental miner: for random edit scripts
+   over the oracle corpus, repairing with Incremental.update must be
+   byte-identical to a from-scratch Skinny_mine.mine at every intermediate
+   graph version — at jobs 1 and 4 — and the Delta merged view must agree
+   with a naive edge-set model. *)
+
+open Spm_graph
+module Skinny_mine = Spm_core.Skinny_mine
+module Incremental = Spm_core.Incremental
+module Corpus = Spm_oracle.Corpus
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let render (ms : Skinny_mine.mined list) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (m : Skinny_mine.mined) ->
+      Buffer.add_string b (Io.to_string m.pattern);
+      Buffer.add_string b (Printf.sprintf "support %d\n" m.support);
+      Buffer.add_string b
+        (Printf.sprintf "levels %s\n"
+           (String.concat " "
+              (Array.to_list (Array.map string_of_int m.levels))));
+      Buffer.add_string b
+        (Printf.sprintf "diam %s\n\n"
+           (String.concat " "
+              (Array.to_list (Array.map string_of_int m.diameter_labels)))))
+    ms;
+  Buffer.contents b
+
+(* --- random edit scripts --- *)
+
+(* A batch mixes edge insertions (biased toward fresh endpoints), deletions
+   of existing edges, and the occasional new vertex, all drawn from the
+   item's label universe. *)
+let random_batch st dg size =
+  List.init size (fun _ ->
+      let n = Delta.n dg in
+      let roll = Random.State.int st 10 in
+      if roll = 0 then
+        Delta.Add_vertex (Random.State.int st (max 1 (Delta.num_labels dg)))
+      else if roll <= 6 || Delta.m dg = 0 then begin
+        let u = Random.State.int st n in
+        let v = Random.State.int st n in
+        if u = v then Delta.Add_vertex (Random.State.int st (max 1 (Delta.num_labels dg)))
+        else Delta.Add_edge (u, v)
+      end
+      else
+        let es = Array.of_list (Delta.edges dg) in
+        let u, v = es.(Random.State.int st (Array.length es)) in
+        Delta.Remove_edge (u, v))
+
+let differential_item ~jobs ~batches ~batch_size (item : Corpus.item) =
+  let st = Random.State.make [| item.seed; jobs; 0xd1ff |] in
+  let config = { Skinny_mine.Config.default with jobs } in
+  let dg = Delta.of_graph ~rebuild_every:7 item.graph in
+  let inc =
+    Incremental.create ~config dg ~l:item.l ~delta:item.delta
+      ~sigma:item.sigma
+  in
+  check_bool (item.name ^ " create complete") true (Incremental.complete inc);
+  let full0 =
+    Skinny_mine.mine ~config item.graph ~l:item.l ~delta:item.delta
+      ~sigma:item.sigma
+  in
+  check_s (item.name ^ " v0") (render full0.patterns)
+    (render (Incremental.patterns inc));
+  let inc = ref inc in
+  for b = 1 to batches do
+    let edits = random_batch st (Incremental.graph !inc) batch_size in
+    let inc', diff = Incremental.update !inc edits in
+    inc := inc';
+    check (Printf.sprintf "%s version after batch %d" item.name b) b
+      (Incremental.version inc');
+    check (Printf.sprintf "%s diff version %d" item.name b) b diff.version;
+    let g = Delta.snapshot (Incremental.graph inc') in
+    let full =
+      Skinny_mine.mine ~config g ~l:item.l ~delta:item.delta ~sigma:item.sigma
+    in
+    check_s
+      (Printf.sprintf "%s batch %d byte-identical" item.name b)
+      (render full.patterns)
+      (render (Incremental.patterns inc'))
+  done
+
+let test_differential_jobs jobs () =
+  List.iter
+    (differential_item ~jobs ~batches:4 ~batch_size:3)
+    (Corpus.builtin ())
+
+(* Single-edge updates across the corpus: the latency-critical path. *)
+let test_single_edge_updates () =
+  List.iter
+    (differential_item ~jobs:1 ~batches:6 ~batch_size:1)
+    (Corpus.builtin ())
+
+(* closed_only repairs per cluster; make sure the spliced result matches the
+   globally filtered full mine. *)
+let test_closed_only () =
+  let item = Corpus.find "er12_3labels" in
+  let config =
+    { Skinny_mine.Config.default with closed_only = true; jobs = 2 }
+  in
+  let st = Random.State.make [| 77; 0xc105 |] in
+  let inc =
+    ref
+      (Incremental.create ~config
+         (Delta.of_graph item.graph)
+         ~l:item.l ~delta:item.delta ~sigma:item.sigma)
+  in
+  for b = 1 to 3 do
+    let edits = random_batch st (Incremental.graph !inc) 2 in
+    let inc', _ = Incremental.update !inc edits in
+    inc := inc';
+    let g = Delta.snapshot (Incremental.graph inc') in
+    let full =
+      Skinny_mine.mine ~config g ~l:item.l ~delta:item.delta ~sigma:item.sigma
+    in
+    check_s
+      (Printf.sprintf "closed_only batch %d" b)
+      (render full.patterns)
+      (render (Incremental.patterns inc'))
+  done
+
+let test_restore_roundtrip () =
+  let item = Corpus.find "star6" in
+  let config = Skinny_mine.Config.default in
+  let dg = Delta.of_graph item.graph in
+  let inc =
+    Incremental.create ~config dg ~l:item.l ~delta:item.delta
+      ~sigma:item.sigma
+  in
+  match
+    Incremental.restore ~config dg ~l:item.l ~delta:item.delta
+      ~sigma:item.sigma ~patterns:(Incremental.patterns inc)
+  with
+  | None -> Alcotest.fail "restore refused a complete pattern set"
+  | Some inc' ->
+    check_s "restored patterns" (render (Incremental.patterns inc))
+      (render (Incremental.patterns inc'));
+    (* And the restored state repairs correctly. *)
+    let edits = [ Delta.Add_edge (0, 2) ] in
+    let a, _ = Incremental.update inc edits in
+    let b, _ = Incremental.update inc' edits in
+    check_s "restored update" (render (Incremental.patterns a))
+      (render (Incremental.patterns b))
+
+let test_restore_mismatch () =
+  let item = Corpus.find "star6" in
+  let dg = Delta.of_graph item.graph in
+  let inc =
+    Incremental.create dg ~l:item.l ~delta:item.delta ~sigma:item.sigma
+  in
+  (* Wrong sigma: Stage I entries shift, the partition cannot line up. *)
+  match
+    Incremental.restore dg ~l:item.l ~delta:item.delta
+      ~sigma:(item.sigma + 1000) ~patterns:(Incremental.patterns inc)
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "restore accepted a mismatched pattern set"
+
+let test_rejects_global_budgets () =
+  let item = Corpus.find "path8" in
+  let dg = Delta.of_graph item.graph in
+  let bad =
+    { Skinny_mine.Config.default with max_patterns = Some 5 }
+  in
+  check_bool "max_patterns rejected" true
+    (try
+       ignore
+         (Incremental.create ~config:bad dg ~l:item.l ~delta:item.delta
+            ~sigma:item.sigma);
+       false
+     with Invalid_argument _ -> true)
+
+let test_interrupted_update_aborts () =
+  let item = Corpus.find "er14_sparse" in
+  let dg = Delta.of_graph item.graph in
+  let inc =
+    Incremental.create dg ~l:item.l ~delta:item.delta ~sigma:item.sigma
+  in
+  let before = render (Incremental.patterns inc) in
+  let run = Spm_engine.Run.create () in
+  Spm_engine.Run.cancel run;
+  let inc', diff = Incremental.update ~run inc [ Delta.Add_edge (0, 5) ] in
+  check_bool "aborted status" true (diff.status <> Spm_engine.Run.Ok);
+  check "no adds" 0 (List.length diff.added);
+  check "version unchanged" 0 (Incremental.version inc');
+  check_s "state unchanged" before (render (Incremental.patterns inc'))
+
+(* --- Delta merged view vs a naive edge-set model --- *)
+
+module Model = struct
+  type t = { labels : int list; edges : (int * int) list }
+
+  let of_graph g =
+    { labels = Array.to_list (Graph.labels g); edges = Graph.edges g }
+
+  let norm (u, v) = if u < v then (u, v) else (v, u)
+
+  let apply m = function
+    | Delta.Add_vertex l -> { m with labels = m.labels @ [ l ] }
+    | Delta.Add_edge (u, v) ->
+      let e = norm (u, v) in
+      if List.mem e m.edges then m else { m with edges = e :: m.edges }
+    | Delta.Remove_edge (u, v) ->
+      let e = norm (u, v) in
+      { m with edges = List.filter (fun e' -> e' <> e) m.edges }
+
+  let graph m =
+    Graph.Builder.of_edges ~labels:(Array.of_list m.labels) m.edges
+end
+
+let delta_agrees_with_model seed steps =
+  let st = Random.State.make [| seed; 0xde17a |] in
+  let g0 =
+    Gen.erdos_renyi st ~n:(4 + Random.State.int st 8) ~avg_degree:2.0
+      ~num_labels:3
+  in
+  let dg = ref (Delta.of_graph ~rebuild_every:5 g0) in
+  let model = ref (Model.of_graph g0) in
+  let ok = ref true in
+  for _ = 1 to steps do
+    let batch = random_batch st !dg (1 + Random.State.int st 3) in
+    dg := Delta.apply_all !dg batch;
+    List.iter (fun e -> model := Model.apply !model e) batch;
+    let want = Model.graph !model in
+    let got = Delta.snapshot !dg in
+    ok := !ok && Graph.equal_structure want got;
+    (* Merged-view reads, not just the snapshot. *)
+    ok := !ok && Delta.n !dg = Graph.n want && Delta.m !dg = Graph.m want;
+    ok :=
+      !ok
+      && List.for_all
+           (fun v ->
+             Delta.label !dg v = Graph.label want v
+             && Delta.degree !dg v = Graph.degree want v
+             && Delta.fold_adj !dg v (fun w acc -> w :: acc) []
+                = Graph.fold_adj want v (fun w acc -> w :: acc) [])
+           (List.init (Delta.n !dg) Fun.id);
+    let nl = Delta.num_labels !dg in
+    ok := !ok && nl = Graph.num_labels want;
+    ok :=
+      !ok
+      && List.for_all
+           (fun l ->
+             Delta.label_freq !dg l = Graph.label_freq want l
+             && Delta.vertices_with_label !dg l
+                = Graph.vertices_with_label want l)
+           (List.init nl Fun.id);
+    ok := !ok && Delta.edges !dg = Graph.edges want
+  done;
+  !ok
+
+let qcheck_delta_model =
+  QCheck.Test.make ~count:60 ~name:"Delta merged view = naive edge-set model"
+    QCheck.(pair (int_bound 10_000) (int_range 1 12))
+    (fun (seed, steps) -> delta_agrees_with_model seed steps)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "corpus jobs=1" `Slow (test_differential_jobs 1);
+          Alcotest.test_case "corpus jobs=4" `Slow (test_differential_jobs 4);
+          Alcotest.test_case "single-edge updates" `Slow
+            test_single_edge_updates;
+          Alcotest.test_case "closed_only" `Quick test_closed_only;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "restore roundtrip" `Quick test_restore_roundtrip;
+          Alcotest.test_case "restore mismatch" `Quick test_restore_mismatch;
+          Alcotest.test_case "rejects global budgets" `Quick
+            test_rejects_global_budgets;
+          Alcotest.test_case "interrupted update aborts" `Quick
+            test_interrupted_update_aborts;
+        ] );
+      ( "delta-model",
+        [ QCheck_alcotest.to_alcotest qcheck_delta_model ] );
+    ]

@@ -13,7 +13,7 @@ let test_brute_path () =
   (* Path 0-1-2-3, labels 0-1-0-1. Connected subgraphs: 3 single edges,
      2 two-edge paths, 1 three-edge path. *)
   let g =
-    Spm_graph.Graph.of_edges ~labels:[| 0; 1; 0; 1 |]
+    Spm_graph.Graph.Builder.of_edges ~labels:[| 0; 1; 0; 1 |]
       [ (0, 1); (1, 2); (2, 3) ]
   in
   let r = Brute.mine g ~l:3 ~delta:1 ~sigma:1 in
@@ -35,7 +35,7 @@ let test_brute_triangle_support () =
   (* Triangle with equal labels: the single-edge pattern has support 3, the
      wedge (2-edge path) support 3, the triangle support 1. *)
   let g =
-    Spm_graph.Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ]
+    Spm_graph.Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ]
   in
   let r = Brute.mine g ~l:1 ~delta:1 ~sigma:1 in
   check "classes" 3 r.Brute.classes;

@@ -8,7 +8,7 @@ let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let triangle la lb lc =
-  Graph.of_edges ~labels:[| la; lb; lc |] [ (0, 1); (1, 2); (0, 2) ]
+  Graph.Builder.of_edges ~labels:[| la; lb; lc |] [ (0, 1); (1, 2); (0, 2) ]
 
 (* --- Pattern building --- *)
 
@@ -35,7 +35,7 @@ let test_extensions () =
 let test_subiso_triangle_in_k4 () =
   (* K4 uniform label contains C(4,3) = 4 triangles, 6 mappings each. *)
   let k4 =
-    Graph.of_edges ~labels:[| 0; 0; 0; 0 |]
+    Graph.Builder.of_edges ~labels:[| 0; 0; 0; 0 |]
       [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
   in
   let tri = triangle 0 0 0 in
@@ -59,7 +59,7 @@ let test_subiso_non_induced () =
 
 let test_subiso_anchored () =
   let path = Pattern.of_path_labels [| 0; 1 |] in
-  let g = Graph.of_edges ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (2, 3); (1, 2) ] in
+  let g = Graph.Builder.of_edges ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (2, 3); (1, 2) ] in
   (* Vertex 2 (label 0) has two label-1 neighbors: 1 and 3. *)
   let hits = ref 0 in
   Subiso.iter_mappings_anchored ~pattern:path ~target:g ~anchor:(0, 2)
@@ -77,7 +77,7 @@ let test_subiso_anchored () =
 
 let test_count_limit () =
   let k4 =
-    Graph.of_edges ~labels:[| 0; 0; 0; 0 |]
+    Graph.Builder.of_edges ~labels:[| 0; 0; 0; 0 |]
       [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
   in
   let tri = triangle 0 0 0 in
@@ -150,8 +150,8 @@ let test_key_set () =
 
 let test_transaction_support () =
   let p = Pattern.of_path_labels [| 0; 1 |] in
-  let has = Graph.of_edges ~labels:[| 0; 1 |] [ (0, 1) ] in
-  let hasnot = Graph.of_edges ~labels:[| 0; 0 |] [ (0, 1) ] in
+  let has = Graph.Builder.of_edges ~labels:[| 0; 1 |] [ (0, 1) ] in
+  let hasnot = Graph.Builder.of_edges ~labels:[| 0; 0 |] [ (0, 1) ] in
   check "support" 2 (Support.transaction p [ has; hasnot; has ]);
   check_bool "frequent at 2" true
     (Support.is_frequent_transaction p [ has; hasnot; has ] ~sigma:2);
@@ -193,7 +193,7 @@ let test_min_code_path_orientation () =
 let test_min_code_invariance_small () =
   let p = triangle 0 1 2 in
   (* Same triangle, different vertex numbering. *)
-  let q = Graph.of_edges ~labels:[| 2; 0; 1 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let q = Graph.Builder.of_edges ~labels:[| 2; 0; 1 |] [ (0, 1); (1, 2); (0, 2) ] in
   check_bool "codes equal" true (Dfs_code.equal (Dfs_code.min_code p) (Dfs_code.min_code q))
 
 let test_graph_of_code_roundtrip () =
@@ -241,7 +241,7 @@ let prop_min_code_distinguishes =
       let g = Gen_qcheck.connected ~seed:(n * 13) ~n ~extra_edges:1 ~num_labels:2 in
       let labels = Array.copy (Graph.labels g) in
       labels.(0) <- labels.(0) + 10;
-      let g' = Graph.of_edges ~labels (Graph.edges g) in
+      let g' = Graph.Builder.of_edges ~labels (Graph.edges g) in
       not (Dfs_code.equal (Dfs_code.min_code g) (Dfs_code.min_code g')))
 
 let prop_is_min_of_min =
@@ -256,7 +256,7 @@ let prop_is_min_of_min =
 
 let test_canon_iso_positive () =
   let p = triangle 0 1 2 in
-  let q = Graph.of_edges ~labels:[| 1; 2; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let q = Graph.Builder.of_edges ~labels:[| 1; 2; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
   check_bool "triangles iso" true (Canon.iso p q)
 
 let test_canon_iso_negative () =
@@ -265,15 +265,15 @@ let test_canon_iso_negative () =
   check_bool "triangle vs path" false (Canon.iso tri path)
 
 let test_canon_single_vertex () =
-  let v0 = Graph.of_edges ~labels:[| 4 |] [] in
-  let v0' = Graph.of_edges ~labels:[| 4 |] [] in
-  let v1 = Graph.of_edges ~labels:[| 5 |] [] in
+  let v0 = Graph.Builder.of_edges ~labels:[| 4 |] [] in
+  let v0' = Graph.Builder.of_edges ~labels:[| 4 |] [] in
+  let v1 = Graph.Builder.of_edges ~labels:[| 5 |] [] in
   check_bool "same" true (Canon.iso v0 v0');
   check_bool "diff" false (Canon.iso v0 v1)
 
 let test_canon_disconnected () =
   let two_edges a b =
-    Graph.of_edges ~labels:[| a; a; b; b |] [ (0, 1); (2, 3) ]
+    Graph.Builder.of_edges ~labels:[| a; a; b; b |] [ (0, 1); (2, 3) ]
   in
   check_bool "disconnected iso" true (Canon.iso (two_edges 0 1) (two_edges 1 0));
   check_bool "disconnected not iso" false (Canon.iso (two_edges 0 0) (two_edges 0 1))
@@ -282,7 +282,7 @@ let test_canon_set () =
   let s = Canon.Set.create () in
   check_bool "add tri" true (Canon.Set.add s (triangle 0 1 2));
   check_bool "iso rejected" false
-    (Canon.Set.add s (Graph.of_edges ~labels:[| 2; 0; 1 |] [ (0, 1); (1, 2); (0, 2) ]));
+    (Canon.Set.add s (Graph.Builder.of_edges ~labels:[| 2; 0; 1 |] [ (0, 1); (1, 2); (0, 2) ]));
   check_bool "path added" true (Canon.Set.add s (Pattern.of_path_labels [| 0; 1; 2 |]));
   check "cardinal" 2 (Canon.Set.cardinal s);
   check "to_list" 2 (List.length (Canon.Set.to_list s))

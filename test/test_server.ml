@@ -489,6 +489,264 @@ let test_disconnect_mid_mine () =
       Client.with_connection ~port Client.shutdown;
       check_bool "server stopping" true (Server.stopping srv))
 
+(* --- evolving graphs: protocol v3 --- *)
+
+let test_protocol_v3_roundtrip () =
+  let edits =
+    [ Delta.Add_vertex 3; Delta.Add_edge (0, 7); Delta.Remove_edge (2, 5) ]
+  in
+  let reqs = [ Protocol.Update (Protocol.update_params edits); Protocol.Subscribe ] in
+  List.iter
+    (fun req ->
+      check_bool "v3 request round trip" true
+        (Protocol.decode_request (Protocol.encode_request req) = req);
+      check "v3 verbs need v3" 3 (Protocol.request_version req);
+      check_bool "v3 verbs not cacheable" false (Protocol.cacheable req))
+    reqs;
+  check "v2 verbs stay v2" 2 (Protocol.request_version Protocol.Ping);
+  let s = corpus_store () in
+  let u =
+    {
+      Protocol.new_version = 7;
+      added = [ List.hd s.Store.patterns ];
+      removed = [];
+      repaired = 2;
+      clusters = 9;
+    }
+  in
+  let resp =
+    {
+      Protocol.cache_hit = false;
+      seconds = 0.125;
+      status = Spm_engine.Run.Ok;
+      payload = Protocol.Update_reply u;
+    }
+  in
+  (match (Protocol.decode_response (Protocol.encode_response resp)).payload with
+  | Protocol.Update_reply u' ->
+    check "new_version" u.Protocol.new_version u'.Protocol.new_version;
+    check "repaired" u.Protocol.repaired u'.Protocol.repaired;
+    check "clusters" u.Protocol.clusters u'.Protocol.clusters;
+    Alcotest.(check string)
+      "added patterns" (render u.Protocol.added) (render u'.Protocol.added);
+    check "removed" 0 (List.length u'.Protocol.removed)
+  | _ -> Alcotest.fail "expected Update_reply");
+  let sub =
+    {
+      resp with
+      Protocol.payload = Protocol.Subscribed 4;
+    }
+  in
+  check_bool "Subscribed round trip" true
+    ((Protocol.decode_response (Protocol.encode_response sub)).payload
+    = Protocol.Subscribed 4)
+
+(* An edit batch the corpus graph definitely accepts: one fresh edge. *)
+let fresh_edge g =
+  let n = Graph.n g in
+  let rec go u v =
+    if u >= n then Alcotest.fail "no fresh edge in corpus graph"
+    else if v >= n then go (u + 1) (u + 2)
+    else if not (Graph.has_edge g u v) then (u, v)
+    else go u (v + 1)
+  in
+  go 0 1
+
+(* Update over the wire: the subscriber sees the same diff the updater got,
+   lookups serve the repaired set (byte-identical to a full re-mine of the
+   edited graph), the LRU never leaks a pre-update answer, and a restarted
+   server replays the journal from disk back to the latest version. *)
+let test_update_subscribe_e2e () =
+  let g, _ = Lazy.force corpus in
+  let s = corpus_store () in
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "evolving.spm" in
+      Store.save path s;
+      let srv = Server.create ~jobs:2 () in
+      Server.set_store srv ~path (Store.load path);
+      check "fresh store at version 0" 0 (Server.version srv);
+      let fd, port = Server.listen ~port:0 () in
+      let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+      let u, v = fresh_edge g in
+      let edits = [ Delta.Add_edge (u, v) ] in
+      let expected =
+        let dg = Delta.apply_all (Delta.of_graph g) edits in
+        (Skinny_mine.mine
+           ~config:{ Skinny_mine.Config.default with jobs = 2 }
+           (Delta.snapshot dg) ~l:4 ~delta:2 ~sigma:2)
+          .Skinny_mine.patterns
+      in
+      let subscriber = Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close subscriber)
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () -> Thread.join server_thread)
+            (fun () ->
+              check "subscribed at v0" 0 (Client.subscribe subscriber);
+              Client.with_connection ~port (fun c ->
+                  check "negotiated v3" 3 (Client.version c);
+                  (* Prime the LRU with a pre-update answer. *)
+                  let before =
+                    Client.mine c
+                      (Protocol.mine_params ~l:4 ~delta:2 ~sigma:2 ())
+                  in
+                  Alcotest.(check string) "pre-update mine = resident store"
+                    (render s.Store.patterns) (render before);
+                  let reply = Client.update c edits in
+                  check "committed as v1" 1 reply.Protocol.new_version;
+                  check "server at v1" 1 (Server.version srv);
+                  check_bool "some clusters reused" true
+                    (reply.Protocol.repaired < reply.Protocol.clusters);
+                  (* The exact same Mine bytes must NOT hit the stale cache
+                     entry: version-keying makes it a miss that re-mines the
+                     edited graph. *)
+                  let after =
+                    Client.mine c
+                      (Protocol.mine_params ~l:4 ~delta:2 ~sigma:2 ())
+                  in
+                  (match Client.last_meta c with
+                  | Some (hit, _) ->
+                    check_bool "post-update mine is not a cache hit" false hit
+                  | None -> Alcotest.fail "no meta");
+                  Alcotest.(check string) "post-update mine = edited graph"
+                    (render expected) (render after);
+                  (* Lookup serves the repaired resident set. *)
+                  Alcotest.(check string) "lookup serves repaired patterns"
+                    (render expected)
+                    (render (Client.lookup c (Protocol.lookup_params ())));
+                  (* The pushed diff is the one the updater saw. *)
+                  match Client.next_diff subscriber with
+                  | None -> Alcotest.fail "no pushed diff"
+                  | Some pushed ->
+                    check "pushed version" 1 pushed.Protocol.new_version;
+                    Alcotest.(check string) "pushed added"
+                      (render reply.Protocol.added)
+                      (render pushed.Protocol.added);
+                    Alcotest.(check string) "pushed removed"
+                      (render reply.Protocol.removed)
+                      (render pushed.Protocol.removed));
+              Client.with_connection ~port Client.shutdown);
+          (* Server gone: the subscriber reads EOF, not garbage. *)
+          check_bool "diff stream closed on shutdown" true
+            (Client.next_diff subscriber = None));
+      (* The journal hit the disk: a fresh server replays it and resumes at
+         v1 with the repaired pattern set. *)
+      let reloaded = Store.load path in
+      check "journal on disk" 1 (Store.latest_version reloaded);
+      let srv2 = Server.create ~jobs:2 () in
+      Server.set_store srv2 ~path reloaded;
+      check "replayed to v1" 1 (Server.version srv2);
+      match
+        (Server.handle srv2 (Protocol.Lookup (Protocol.lookup_params ())))
+          .Protocol.payload
+      with
+      | Protocol.Patterns ms ->
+        Alcotest.(check string) "restart = edited-graph mine" (render expected)
+          (render ms)
+      | _ -> Alcotest.fail "expected Patterns")
+
+(* A v2 greeting still works end to end, and v3-only verbs on that
+   connection are refused rather than half-served. *)
+let test_v2_connection_compat () =
+  let s = corpus_store () in
+  let srv = Server.create ~jobs:1 () in
+  Server.set_store srv s;
+  let fd, port = Server.listen ~port:0 () in
+  let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.with_connection ~port Client.shutdown;
+      Thread.join server_thread)
+    (fun () ->
+      let raw = Unix.socket PF_INET SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close raw with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect raw (ADDR_INET (Unix.inet_addr_loopback, port));
+          Protocol.client_handshake ~version:2 raw;
+          let round req =
+            Protocol.write_frame raw (Protocol.encode_request req);
+            match Protocol.read_frame raw with
+            | Some frame -> Protocol.decode_response frame
+            | None -> Alcotest.fail "no reply on v2 connection"
+          in
+          check_bool "v2 ping answered" true
+            ((round Protocol.Ping).Protocol.payload = Protocol.Pong);
+          (match
+             (round (Protocol.Update (Protocol.update_params [])))
+               .Protocol.payload
+           with
+          | Protocol.Error msg ->
+            let mentions_v3 =
+              let n = String.length msg in
+              let rec scan i =
+                i + 2 <= n && (String.sub msg i 2 = "v3" || scan (i + 1))
+              in
+              scan 0
+            in
+            check_bool "refusal names the version gap" true mentions_v3
+          | _ -> Alcotest.fail "v3 verb served on a v2 connection");
+          (* The refusal is per-request: the connection keeps working. *)
+          check_bool "v2 connection survives the refusal" true
+            ((round Protocol.Ping).Protocol.payload = Protocol.Pong)))
+
+(* New client against an old (pre-v3) server: the fallback reconnect
+   negotiates v2. Simulated with a minimal greeter that only knows
+   "SKNYSRV2" and answers one Ping. *)
+let test_client_falls_back_to_v2 () =
+  let lfd, port = Server.listen ~port:0 () in
+  let old_server () =
+    let serve_one () =
+      let conn, _ = Unix.accept lfd in
+      let finish () = try Unix.close conn with Unix.Unix_error _ -> () in
+      match
+        let b = Bytes.create 8 in
+        let rec fill off =
+          if off < 8 then
+            match Unix.read conn b off (8 - off) with
+            | 0 -> raise Exit
+            | k -> fill (off + k)
+        in
+        fill 0;
+        Bytes.to_string b
+      with
+      | "SKNYSRV2" ->
+        (* the one greeting an old build knows *)
+        let rec all s off =
+          if off < String.length s then
+            all s (off + Unix.write_substring conn s off (String.length s - off))
+        in
+        all "SKNYSRV2" 0;
+        (match Protocol.read_frame conn with
+        | Some _ ->
+          Protocol.write_frame conn
+            (Protocol.encode_response
+               {
+                 Protocol.cache_hit = false;
+                 seconds = 0.0;
+                 status = Spm_engine.Run.Ok;
+                 payload = Protocol.Pong;
+               })
+        | None -> ());
+        finish ()
+      | _ | (exception Exit) -> finish ()
+    in
+    (* First connection is the v3 attempt (closed unanswered), second is
+       the v2 fallback. *)
+    serve_one ();
+    serve_one ()
+  in
+  let th = Thread.create old_server () in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join th;
+      try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Client.with_connection ~port (fun c ->
+          check "fell back to v2" 2 (Client.version c);
+          Client.ping c))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let prop_lru_never_overflows =
@@ -540,5 +798,16 @@ let () =
             test_wire_progress_and_cancel;
           Alcotest.test_case "client disconnect mid-mine" `Quick
             test_disconnect_mid_mine;
+        ] );
+      ( "evolving",
+        [
+          Alcotest.test_case "v3 codec round trips" `Quick
+            test_protocol_v3_roundtrip;
+          Alcotest.test_case "update + subscribe + journal replay" `Quick
+            test_update_subscribe_e2e;
+          Alcotest.test_case "v2 connection compat" `Quick
+            test_v2_connection_compat;
+          Alcotest.test_case "client falls back to v2 server" `Quick
+            test_client_falls_back_to_v2;
         ] );
     ]

@@ -38,7 +38,7 @@ let test_level_grow_bare_path () =
 let test_level_grow_with_twig () =
   (* Path 0-1-2-3-4 plus twig on middle vertex; delta=1, sigma=1. *)
   let g =
-    Graph.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
+    Graph.Builder.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
       [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 5) ]
   in
   let r = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in
@@ -57,7 +57,7 @@ let test_level_grow_multi_edge_twig () =
   (* Twig vertex 5 connected to diameter positions 1 and 2: reachable via a
      leaf extension plus a closing edge in the same level iteration. *)
   let g =
-    Graph.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
+    Graph.Builder.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
       [ (0, 1); (1, 2); (2, 3); (3, 4); (1, 5); (2, 5) ]
   in
   let r = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in
@@ -309,7 +309,7 @@ let test_closed_growth_collapses_powerset () =
      semantics enumerates the 2^k twig subsets; closed growth reports only
      the maximal pattern. *)
   let pat =
-    Graph.of_edges ~labels:[| 0; 1; 2; 3; 4; 5; 6; 7 |]
+    Graph.Builder.of_edges ~labels:[| 0; 1; 2; 3; 4; 5; 6; 7 |]
       [ (0, 1); (1, 2); (2, 3); (3, 4); (1, 5); (2, 6); (3, 7) ]
   in
   let b = Graph.Builder.create () in
@@ -397,7 +397,7 @@ let test_injection_recovery () =
 let test_closed_only_filter () =
   (* Path + twig with equal support: the bare path is not closed. *)
   let g =
-    Graph.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
+    Graph.Builder.of_edges ~labels:[| 0; 1; 1; 1; 2; 3 |]
       [ (0, 1); (1, 2); (2, 3); (3, 4); (2, 5) ]
   in
   let all = Skinny_mine.mine g ~l:4 ~delta:1 ~sigma:1 in
@@ -498,7 +498,7 @@ let test_framework_properties () =
     (Framework.is_reducible ~pred:max_degree_pred ~universe);
   (* "All degrees equal" is not continuous (§5.3): a triangle qualifies but
      no 2-edge subpattern does... include a triangle in the universe. *)
-  let tri = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let tri = Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
   let universe_t = tri :: universe in
   let equal_degree_pred p =
     Graph.n p > 0
@@ -528,7 +528,7 @@ let test_framework_properties () =
     (Framework.is_continuous ~pred:skinny_pred ~universe:(c4 :: universe))
 
 let test_immediate_subpatterns () =
-  let tri = Graph.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
+  let tri = Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
   (* Removing any triangle edge leaves the same 2-edge path. *)
   check "triangle subs" 1 (List.length (Framework.immediate_subpatterns tri));
   let edge = Pattern.singleton_edge 0 1 in
