@@ -6,7 +6,10 @@
 let usage =
   "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation parallel serving cancel incremental oracle micro\n\
+   ablation parallel serving cancel incremental oracle outofcore micro\n\
+   standalone modes: --bench-outofcore [SCALE] (just the out-of-core \
+   measurements), --smoke-outofcore [SCALE] (CI smoke with wall-clock/RSS \
+   ceilings)\n\
    a per-section timing summary is written to BENCH_run.json"
 
 type config = {
@@ -19,6 +22,7 @@ type config = {
   deltas : int list;
   constraint_n : int;
   parallel_n : int;
+  outofcore_scale : int;
   moss_cap : float;
   seed : int;
   jobs : int;
@@ -36,6 +40,7 @@ let quick =
     deltas = [ 0; 1; 2; 3 ];
     constraint_n = 800;
     parallel_n = 3000;
+    outofcore_scale = 15;
     moss_cap = 5.0;
     seed = 2013;
     jobs = Spm_engine.Pool.default_jobs ();
@@ -54,6 +59,7 @@ let full =
     deltas = [ 0; 1; 2; 3; 4; 5; 6 ];
     constraint_n = 10000;
     parallel_n = 50000;
+    outofcore_scale = 20;
     moss_cap = 60.0;
   }
 
@@ -117,6 +123,21 @@ let write_summary cfg =
   Printf.printf "\nsection timing summary written to BENCH_run.json\n%!"
 
 let () =
+  (* Standalone modes dispatch before argument parsing: forked out-of-core
+     children must not re-enter the harness, and the CI smoke runs alone. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "--outofcore-child" :: mode :: path :: _ ->
+    Exp_outofcore.child ~mode ~path;
+    exit 0
+  | _ :: "--smoke-outofcore" :: rest ->
+    let scale = match rest with s :: _ -> int_of_string s | [] -> 20 in
+    Exp_outofcore.smoke ~seed:2013 ~scale ();
+    exit 0
+  | _ :: "--bench-outofcore" :: rest ->
+    let scale = match rest with s :: _ -> int_of_string s | [] -> 20 in
+    ignore (Exp_outofcore.run ~seed:2013 ~scale ());
+    exit 0
+  | _ -> ());
   let cfg = parse_args () in
   let enabled name = not (List.mem name cfg.skip) in
   let timed name f =
@@ -188,6 +209,8 @@ let () =
   timed "incremental"
     (fun () -> Some (Exp_incremental.run ~seed:cfg.seed ~jobs:cfg.jobs ()));
   timed "oracle" (fun () -> Some (Exp_oracle.run ()));
+  timed "outofcore"
+    (fun () -> Some (Exp_outofcore.run ~seed:cfg.seed ~scale:cfg.outofcore_scale ()));
   timed "micro" (plain (fun () -> Micro.run ~scale:cfg.scale ()));
   write_summary cfg;
   Printf.printf "\nAll requested experiment sections completed.\n%!"

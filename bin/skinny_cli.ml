@@ -54,9 +54,36 @@ let generate_cmd =
   let inject_copies = Arg.(value & opt int 2 & info [ "copies" ] ~doc:"Copies per injected pattern.") in
   let inject_count = Arg.(value & opt int 3 & info [ "count" ] ~doc:"Number of distinct injected patterns.") in
   let out = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.") in
-  let run n deg labels inject_l inject_delta inject_copies inject_count seed out =
+  let model =
+    let models = [ ("er", `Er); ("rmat", `Rmat); ("ba", `Ba) ] in
+    Arg.(
+      value
+      & opt (enum models) `Er
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Background model: $(b,er) (Erdős–Rényi, uniform degrees), \
+             $(b,rmat) (R-MAT, heavy-tailed degrees; $(b,--n) is rounded up \
+             to a power of two), or $(b,ba) (Barabási–Albert preferential \
+             attachment). $(b,--deg) sets the average degree for all \
+             three.")
+  in
+  let run n deg labels model inject_l inject_delta inject_copies inject_count
+      seed out =
     let st = Gen.rng seed in
-    let bg = Gen.erdos_renyi st ~n ~avg_degree:deg ~num_labels:labels in
+    let bg =
+      match model with
+      | `Er -> Gen.erdos_renyi st ~n ~avg_degree:deg ~num_labels:labels
+      | `Rmat ->
+        let scale =
+          let rec go s = if 1 lsl s >= n || s >= 30 then s else go (s + 1) in
+          go 1
+        in
+        let edge_factor = max 1 (int_of_float (deg /. 2.0)) in
+        Gen.rmat st ~scale ~edge_factor ~num_labels:labels
+      | `Ba ->
+        let m_per = max 1 (int_of_float (deg /. 2.0)) in
+        Gen.barabasi_albert st ~n ~m_per ~num_labels:labels
+    in
     let b = Graph.Builder.of_graph bg in
     if inject_l > 0 then
       for _ = 1 to inject_count do
@@ -73,8 +100,8 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesize a data graph.")
     Term.(
-      const run $ n $ deg $ labels $ inject_l $ inject_delta $ inject_copies
-      $ inject_count $ seed $ out)
+      const run $ n $ deg $ labels $ model $ inject_l $ inject_delta
+      $ inject_copies $ inject_count $ seed $ out)
 
 (* --- corpus --- *)
 
@@ -155,9 +182,10 @@ let mine_cmd =
       & opt (some string) None
       & info [ "store" ] ~docv:"FILE"
           ~doc:
-            "Persist the mined result as a binary pattern store; \
-             $(b,skinnymine serve --store) FILE later answers queries \
-             against it without re-mining.")
+            "Persist the mined result as a binary pattern store (G2 layout: \
+             the graph payload is mmap-compatible); $(b,skinnymine serve \
+             --store) FILE later answers queries against it without \
+             re-mining, and $(b,serve --mmap) opens it without copying.")
   in
   let timeout =
     Arg.(
@@ -311,6 +339,16 @@ let serve_cmd =
             "Data graph (v/e format) to serve mine queries against when no \
              store is preloaded.")
   in
+  let mmap =
+    Arg.(
+      value & flag
+      & info [ "mmap" ]
+          ~doc:
+            "Open $(b,--store) by memory-mapping its graph payload instead \
+             of decoding a copy: near-instant restarts, RSS bounded by the \
+             pages actually touched. Requires a G2 store (the $(b,mine \
+             --store) default); version-1 files fall back to a full load.")
+  in
   let cache =
     Arg.(
       value & opt int 128
@@ -326,20 +364,26 @@ let serve_cmd =
              mines stop cooperatively and answer with status timeout plus \
              the patterns found so far; the server stays up.")
   in
-  let run host port store graph cache mine_timeout jobs =
+  let run host port store mmap graph cache mine_timeout jobs =
     let t =
-      Spm_server.Server.create ~jobs ~cache_capacity:cache ?mine_timeout ()
+      Spm_server.Server.create ~jobs ~cache_capacity:cache ?mine_timeout
+        ~mmap_stores:mmap ()
     in
     (match store with
     | Some path ->
-      let s = Spm_store.Store.load path in
+      let s =
+        if mmap then Spm_store.Store.load_mapped path
+        else Spm_store.Store.load path
+      in
       (* Committed updates journal back to the same file, so a restart of
-         this command resumes at the latest version. *)
+         this command resumes at the latest version. Saves go through a
+         temp file + rename, which leaves a mapped graph's pages intact. *)
       Spm_server.Server.set_store t ~path s;
       Printf.printf
-        "loaded store %s: %d patterns (l = %d, delta = %d, sigma = %d%s), \
+        "%s store %s: %d patterns (l = %d, delta = %d, sigma = %d%s), \
          version %d\n\
          %!"
+        (if mmap then "mapped" else "loaded")
         path
         (List.length s.Spm_store.Store.patterns)
         s.Spm_store.Store.l s.Spm_store.Store.delta s.Spm_store.Store.sigma
@@ -371,8 +415,8 @@ let serve_cmd =
          "Run the SkinnyServe query service: a TCP server answering mine, \
           lookup and containment queries over a mined pattern store.")
     Term.(
-      const run $ host_arg $ port_arg $ store $ graph $ cache $ mine_timeout
-      $ jobs)
+      const run $ host_arg $ port_arg $ store $ mmap $ graph $ cache
+      $ mine_timeout $ jobs)
 
 (* --- query --- *)
 

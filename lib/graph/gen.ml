@@ -51,6 +51,98 @@ let erdos_renyi st ~n ~avg_degree ~num_labels =
     Graph.Builder.of_edges ~labels !es
   end
 
+(* R-MAT (Chakrabarti et al.): each edge picks one of four quadrants per
+   recursion level with probabilities a, b, c, d = 1-a-b-c, accumulating one
+   endpoint bit per pick. Skewed quadrant weights yield the heavy-tailed
+   degree distributions real graphs show; self-loops are resampled so the
+   edge count is exact. Pure streaming: edges go straight to [emit], nothing
+   is materialized — and the whole sequence is a deterministic function of
+   the RNG state, so a caller holding a [Random.State.copy] can replay it
+   (what {!rmat} does to drive [Graph.Builder.of_edge_stream]). *)
+let rmat_edges ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) st ~scale ~edges emit =
+  if scale < 1 || scale > 30 then invalid_arg "Gen.rmat_edges: scale out of [1,30]";
+  if a < 0.0 || b < 0.0 || c < 0.0 || a +. b +. c > 1.0 then
+    invalid_arg "Gen.rmat_edges: bad quadrant probabilities";
+  let ab = a +. b and abc = a +. b +. c in
+  for _ = 1 to edges do
+    let rec sample () =
+      let u = ref 0 and v = ref 0 in
+      for _ = 1 to scale do
+        let r = Random.State.float st 1.0 in
+        let ubit, vbit =
+          if r < a then (0, 0)
+          else if r < ab then (0, 1)
+          else if r < abc then (1, 0)
+          else (1, 1)
+        in
+        u := (!u lsl 1) lor ubit;
+        v := (!v lsl 1) lor vbit
+      done;
+      if !u = !v then sample () else (!u, !v)
+    in
+    let u, v = sample () in
+    emit u v
+  done
+
+let rmat ?a ?b ?c st ~scale ~edge_factor ~num_labels =
+  if edge_factor < 1 then invalid_arg "Gen.rmat: edge_factor < 1";
+  let n = 1 lsl scale in
+  let labels = random_labels st ~n ~num_labels in
+  let edges = edge_factor * n in
+  (* The stream is invoked twice (degree pass, fill pass); each invocation
+     replays from a snapshot of the RNG so the sequences are identical. *)
+  let base = Random.State.copy st in
+  Graph.Builder.of_edge_stream ~labels (fun emit ->
+      rmat_edges ?a ?b ?c (Random.State.copy base) ~scale ~edges emit)
+
+(* Barabási–Albert preferential attachment via the endpoint-array trick:
+   picking a uniform entry of the flat endpoint list selects a vertex with
+   probability proportional to its degree. Seed is a star on the first
+   [m_per + 1] vertices; every later vertex attaches to [m_per] distinct
+   degree-weighted targets. *)
+let barabasi_albert st ~n ~m_per ~num_labels =
+  if m_per < 1 then invalid_arg "Gen.barabasi_albert: m_per < 1";
+  if n <= m_per then invalid_arg "Gen.barabasi_albert: n <= m_per";
+  let labels = random_labels st ~n ~num_labels in
+  let max_edges = m_per + ((n - m_per - 1) * m_per) in
+  let us = Array.make max_edges 0 in
+  let vs = Array.make max_edges 0 in
+  let ends = Array.make (2 * max_edges) 0 in
+  let ne = ref 0 in
+  let add_edge u v =
+    us.(!ne) <- u;
+    vs.(!ne) <- v;
+    ends.(2 * !ne) <- u;
+    ends.((2 * !ne) + 1) <- v;
+    incr ne
+  in
+  for i = 0 to m_per - 1 do
+    add_edge i m_per
+  done;
+  let targets = Array.make m_per 0 in
+  for v = m_per + 1 to n - 1 do
+    let picked = ref 0 in
+    while !picked < m_per do
+      let t = ends.(Random.State.int st (2 * !ne)) in
+      let dup = ref false in
+      for j = 0 to !picked - 1 do
+        if targets.(j) = t then dup := true
+      done;
+      if not !dup then begin
+        targets.(!picked) <- t;
+        incr picked
+      end
+    done;
+    for j = 0 to m_per - 1 do
+      add_edge targets.(j) v
+    done
+  done;
+  let total = !ne in
+  Graph.Builder.of_edge_stream ~labels (fun emit ->
+      for i = 0 to total - 1 do
+        emit us.(i) vs.(i)
+      done)
+
 let path_graph labels =
   let n = Array.length labels in
   let es = List.init (max 0 (n - 1)) (fun i -> (i, i + 1)) in

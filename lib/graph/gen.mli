@@ -20,6 +20,46 @@ val erdos_renyi : rng -> n:int -> avg_degree:float -> num_labels:int -> Graph.t
 (** G(n, m)-style: [n * avg_degree / 2] distinct random edges. Matches the
     paper's "|V| vertices, average degree deg" parameterization. *)
 
+val rmat_edges :
+  ?a:float ->
+  ?b:float ->
+  ?c:float ->
+  rng ->
+  scale:int ->
+  edges:int ->
+  (int -> int -> unit) ->
+  unit
+(** Stream [edges] R-MAT edges over [2^scale] vertices to the callback,
+    materializing nothing. Quadrant probabilities default to the Graph500
+    mix (a = 0.57, b = 0.19, c = 0.19, d = 0.05), which produces the
+    heavy-tailed degree skew real graphs show. Self-loops are resampled
+    (exact edge count); duplicate edges are emitted as drawn — graph
+    constructors merge them. The sequence is a deterministic function of
+    the RNG state, so replaying a [Random.State.copy] replays the edges.
+    @raise Invalid_argument if [scale] outside [1, 30] or probabilities
+    are malformed. *)
+
+val rmat :
+  ?a:float ->
+  ?b:float ->
+  ?c:float ->
+  rng ->
+  scale:int ->
+  edge_factor:int ->
+  num_labels:int ->
+  Graph.t
+(** R-MAT graph with [2^scale] vertices and [edge_factor * 2^scale] edge
+    draws, uniform labels, built through the two-pass streaming constructor
+    ({!Graph.Builder.of_edge_stream}) — peak memory is the finished CSR,
+    never a per-edge list. *)
+
+val barabasi_albert : rng -> n:int -> m_per:int -> num_labels:int -> Graph.t
+(** Barabási–Albert preferential attachment: a star seed on the first
+    [m_per + 1] vertices, then each new vertex attaches to [m_per] distinct
+    existing vertices with probability proportional to their degree.
+    Scale-free degree distribution, guaranteed connected.
+    @raise Invalid_argument unless [1 <= m_per < n]. *)
+
 val path_graph : Label.t array -> Graph.t
 (** Path whose i-th vertex has the i-th label. *)
 

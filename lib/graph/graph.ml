@@ -1,45 +1,67 @@
 (* Flat CSR substrate with label-indexed adjacency.
 
-   Neighbors live in one flat [nbr] array; vertex v's run is
+   Neighbors live in one flat [nbr] slice; vertex v's run is
    nbr.[xadj.(v) .. xadj.(v+1)) and is sorted by (label of neighbor, id).
    Per-vertex label-range offsets (lab_off / lab_keys / lab_starts) expose
    each label's sub-run without scanning, and a graph-level label index
    (vl_off / vl) lists the vertices carrying each label in ascending id
    order, which doubles as a cached label-frequency table. Everything is
-   built once at construction; the graph is immutable afterwards. *)
+   built once at construction; the graph is immutable afterwards.
+
+   Every index is a {!Storage.t}: ordinarily a plain [int array], but a
+   graph loaded through {!Spm_store.Store.map_graph} carries Bigarray
+   slices mapped straight from the store file. All accessors below read
+   through [Storage.get], so no consumer — miners, matchers, the delta
+   overlay — can tell the backings apart. *)
 
 type t = {
-  labels : Label.t array;
-  xadj : int array; (* n+1 offsets into nbr *)
-  nbr : int array; (* neighbor runs, each sorted by (label, id) *)
-  lab_off : int array; (* n+1 offsets into lab_keys/lab_starts *)
-  lab_keys : Label.t array; (* distinct neighbor labels of v, ascending *)
-  lab_starts : int array; (* start of each label's sub-run in nbr *)
-  vl_off : int array; (* num_labels+1 offsets into vl *)
-  vl : int array; (* vertices grouped by label, ids ascending *)
+  labels : Storage.t;
+  xadj : Storage.t; (* n+1 offsets into nbr *)
+  nbr : Storage.t; (* neighbor runs, each sorted by (label, id) *)
+  lab_off : Storage.t; (* n+1 offsets into lab_keys/lab_starts *)
+  lab_keys : Storage.t; (* distinct neighbor labels of v, ascending *)
+  lab_starts : Storage.t; (* start of each label's sub-run in nbr *)
+  vl_off : Storage.t; (* num_labels+1 offsets into vl *)
+  vl : Storage.t; (* vertices grouped by label, ids ascending *)
   m : int;
 }
 
-let n g = Array.length g.labels
+let get = Storage.get
+
+let n g = Storage.length g.labels
 let m g = g.m
-let label g v = g.labels.(v)
-let labels g = g.labels
-let degree g v = g.xadj.(v + 1) - g.xadj.(v)
+let label g v = get g.labels v
+
+let labels g =
+  (* The array behind an array-backed graph is returned as-is (callers hold
+     the "do not mutate" contract); a mapped graph materializes a copy. *)
+  match g.labels with
+  | Storage.Arr a -> a
+  | Storage.Big _ -> Storage.to_array g.labels
+
+let degree g v = get g.xadj (v + 1) - get g.xadj v
 
 let iter_adj g v f =
-  for i = g.xadj.(v) to g.xadj.(v + 1) - 1 do
-    f g.nbr.(i)
-  done
+  let start = get g.xadj v and stop = get g.xadj (v + 1) in
+  (* Hoist the backing dispatch out of the scan: one match per call, not
+     one per neighbor. *)
+  match g.nbr with
+  | Storage.Arr nbr ->
+    for i = start to stop - 1 do
+      f nbr.(i)
+    done
+  | Storage.Big nbr ->
+    for i = start to stop - 1 do
+      f (Bigarray.Array1.get nbr i)
+    done
 
 let fold_adj g v f acc =
   let acc = ref acc in
-  for i = g.xadj.(v) to g.xadj.(v + 1) - 1 do
-    acc := f g.nbr.(i) !acc
-  done;
+  iter_adj g v (fun w -> acc := f w !acc);
   !acc
 
 let adj g v =
-  let a = Array.sub g.nbr g.xadj.(v) (degree g v) in
+  let a = Storage.sub_array g.nbr (get g.xadj v) (degree g v) in
   Array.sort Int.compare a;
   a
 
@@ -50,29 +72,35 @@ let find_label_slot g v l =
     if lo >= hi then -1
     else
       let mid = (lo + hi) / 2 in
-      let c = Label.compare g.lab_keys.(mid) l in
+      let c = Label.compare (get g.lab_keys mid) l in
       if c = 0 then mid else if c < 0 then loop (mid + 1) hi else loop lo mid
   in
-  loop g.lab_off.(v) g.lab_off.(v + 1)
+  loop (get g.lab_off v) (get g.lab_off (v + 1))
 
 let label_run_bounds g v slot =
   let stop =
-    if slot + 1 < g.lab_off.(v + 1) then g.lab_starts.(slot + 1)
-    else g.xadj.(v + 1)
+    if slot + 1 < get g.lab_off (v + 1) then get g.lab_starts (slot + 1)
+    else get g.xadj (v + 1)
   in
-  (g.lab_starts.(slot), stop)
+  (get g.lab_starts slot, stop)
 
 let adj_with_label g v l f =
   let slot = find_label_slot g v l in
   if slot >= 0 then begin
     let start, stop = label_run_bounds g v slot in
-    for i = start to stop - 1 do
-      f g.nbr.(i)
-    done
+    match g.nbr with
+    | Storage.Arr nbr ->
+      for i = start to stop - 1 do
+        f nbr.(i)
+      done
+    | Storage.Big nbr ->
+      for i = start to stop - 1 do
+        f (Bigarray.Array1.get nbr i)
+      done
   end
 
 let has_edge g u v =
-  let slot = find_label_slot g u g.labels.(v) in
+  let slot = find_label_slot g u (get g.labels v) in
   slot >= 0
   &&
   let start, stop = label_run_bounds g u slot in
@@ -80,31 +108,33 @@ let has_edge g u v =
     if lo >= hi then false
     else
       let mid = (lo + hi) / 2 in
-      let w = g.nbr.(mid) in
+      let w = get g.nbr mid in
       if w = v then true else if w < v then loop (mid + 1) hi else loop lo mid
   in
   loop start stop
 
-let num_labels g = Array.length g.vl_off - 1
+let num_labels g = Storage.length g.vl_off - 1
 let max_label g = num_labels g - 1
 
 let label_freq g l =
-  if l < 0 || l >= num_labels g then 0 else g.vl_off.(l + 1) - g.vl_off.(l)
+  if l < 0 || l >= num_labels g then 0
+  else get g.vl_off (l + 1) - get g.vl_off l
 
 let vertices_with_label g l =
   if l < 0 || l >= num_labels g then [||]
-  else Array.sub g.vl g.vl_off.(l) (g.vl_off.(l + 1) - g.vl_off.(l))
+  else
+    Storage.sub_array g.vl (get g.vl_off l) (get g.vl_off (l + 1) - get g.vl_off l)
 
 let iter_vertices_with_label g l f =
   if l >= 0 && l < num_labels g then
-    for i = g.vl_off.(l) to g.vl_off.(l + 1) - 1 do
-      f g.vl.(i)
+    for i = get g.vl_off l to get g.vl_off (l + 1) - 1 do
+      f (get g.vl i)
     done
 
 let iter_edges f g =
   for u = 0 to n g - 1 do
-    for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
-      let v = g.nbr.(i) in
+    for i = get g.xadj u to get g.xadj (u + 1) - 1 do
+      let v = get g.nbr i in
       if u < v then f u v
     done
   done
@@ -121,6 +151,75 @@ let iter_vertices f g =
   for v = 0 to n g - 1 do
     f v
   done
+
+(* --- storage views --- *)
+
+let backing g = Storage.backing g.nbr
+
+let to_csr g =
+  {
+    Storage.labels = g.labels;
+    xadj = g.xadj;
+    nbr = g.nbr;
+    lab_off = g.lab_off;
+    lab_keys = g.lab_keys;
+    lab_starts = g.lab_starts;
+    vl_off = g.vl_off;
+    vl = g.vl;
+  }
+
+(* Cheap cross-array sanity: O(1) length arithmetic plus a handful of
+   element reads. This is the trust boundary for mapped graphs — deep
+   validation of every offset would touch every page and defeat lazy
+   loading, so beyond these checks a mapped file is trusted to the extent
+   its checksums were verified (see Store's validation policy). *)
+let of_csr (c : Storage.csr) =
+  let nv = Storage.length c.labels in
+  let fail msg = invalid_arg ("Graph.of_csr: " ^ msg) in
+  if Storage.length c.xadj <> nv + 1 then fail "xadj length";
+  if Storage.length c.lab_off <> nv + 1 then fail "lab_off length";
+  if Storage.length c.vl <> nv then fail "vl length";
+  if Storage.length c.lab_keys <> Storage.length c.lab_starts then
+    fail "label directory length";
+  let nl = Storage.length c.vl_off - 1 in
+  if nl < 0 then fail "vl_off empty";
+  let total = Storage.length c.nbr in
+  if total land 1 <> 0 then fail "odd neighbor count";
+  if nv > 0 || total > 0 then begin
+    if Storage.get c.xadj 0 <> 0 then fail "xadj origin";
+    if Storage.get c.xadj nv <> total then fail "xadj total";
+    if Storage.get c.lab_off 0 <> 0 then fail "lab_off origin";
+    if Storage.get c.lab_off nv <> Storage.length c.lab_keys then
+      fail "lab_off total";
+    if Storage.get c.vl_off 0 <> 0 then fail "vl_off origin";
+    if Storage.get c.vl_off nl <> nv then fail "vl_off total"
+  end;
+  {
+    labels = c.labels;
+    xadj = c.xadj;
+    nbr = c.nbr;
+    lab_off = c.lab_off;
+    lab_keys = c.lab_keys;
+    lab_starts = c.lab_starts;
+    vl_off = c.vl_off;
+    vl = c.vl;
+    m = total / 2;
+  }
+
+let with_backing want g =
+  if backing g = want then g
+  else
+    {
+      labels = Storage.convert want g.labels;
+      xadj = Storage.convert want g.xadj;
+      nbr = Storage.convert want g.nbr;
+      lab_off = Storage.convert want g.lab_off;
+      lab_keys = Storage.convert want g.lab_keys;
+      lab_starts = Storage.convert want g.lab_starts;
+      vl_off = Storage.convert want g.vl_off;
+      vl = Storage.convert want g.vl;
+      m = g.m;
+    }
 
 (* Sort a neighbor scratch array by (label, id) and drop duplicate ids
    (equal ids compare equal, so duplicates are adjacent). Returns the
@@ -144,28 +243,12 @@ let sort_dedup_run labels a =
     !w
   end
 
-(* Build the complete CSR from a label array and per-vertex neighbor scratch
-   arrays (unsorted, possibly with duplicates). O(n + m log deg_max) for the
-   runs plus O(n + L) counting sort for the label index. *)
-let build ~labels ~(scratch : int array array) =
+(* Build the directory indices over finished (sorted, deduplicated) CSR runs:
+   per-vertex label ranges by a single scan of each run, then the
+   graph-level label index by counting sort (stable, so ids ascend within
+   each label). *)
+let finish_csr ~labels ~(xadj : int array) ~(nbr : int array) =
   let nv = Array.length labels in
-  let labels = Array.copy labels in
-  (* Sort and dedup each run in place, recording kept lengths. *)
-  let kept = Array.make nv 0 in
-  for v = 0 to nv - 1 do
-    kept.(v) <- sort_dedup_run labels scratch.(v)
-  done;
-  let xadj = Array.make (nv + 1) 0 in
-  for v = 0 to nv - 1 do
-    xadj.(v + 1) <- xadj.(v) + kept.(v)
-  done;
-  let total = xadj.(nv) in
-  let nbr = Array.make total 0 in
-  for v = 0 to nv - 1 do
-    Array.blit scratch.(v) 0 nbr xadj.(v) kept.(v)
-  done;
-  (* Per-vertex label ranges: one (key, start) pair per distinct neighbor
-     label, found by scanning each sorted run once. *)
   let lab_off = Array.make (nv + 1) 0 in
   for v = 0 to nv - 1 do
     let distinct = ref 0 in
@@ -187,8 +270,6 @@ let build ~labels ~(scratch : int array array) =
       end
     done
   done;
-  (* Graph-level label index by counting sort (stable, so ids ascend within
-     each label). *)
   let nl = 1 + Array.fold_left max (-1) labels in
   let vl_off = Array.make (nl + 1) 0 in
   Array.iter (fun l -> vl_off.(l + 1) <- vl_off.(l + 1) + 1) labels;
@@ -202,7 +283,39 @@ let build ~labels ~(scratch : int array array) =
     vl.(cursor.(l)) <- v;
     cursor.(l) <- cursor.(l) + 1
   done;
-  { labels; xadj; nbr; lab_off; lab_keys; lab_starts; vl_off; vl; m = total / 2 }
+  {
+    labels = Storage.Arr labels;
+    xadj = Storage.Arr xadj;
+    nbr = Storage.Arr nbr;
+    lab_off = Storage.Arr lab_off;
+    lab_keys = Storage.Arr lab_keys;
+    lab_starts = Storage.Arr lab_starts;
+    vl_off = Storage.Arr vl_off;
+    vl = Storage.Arr vl;
+    m = Array.length nbr / 2;
+  }
+
+(* Build the complete CSR from a label array and per-vertex neighbor scratch
+   arrays (unsorted, possibly with duplicates). O(n + m log deg_max) for the
+   runs plus O(n + L) counting sort for the label index. *)
+let build ~labels ~(scratch : int array array) =
+  let nv = Array.length labels in
+  let labels = Array.copy labels in
+  (* Sort and dedup each run in place, recording kept lengths. *)
+  let kept = Array.make nv 0 in
+  for v = 0 to nv - 1 do
+    kept.(v) <- sort_dedup_run labels scratch.(v)
+  done;
+  let xadj = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    xadj.(v + 1) <- xadj.(v) + kept.(v)
+  done;
+  let total = xadj.(nv) in
+  let nbr = Array.make total 0 in
+  for v = 0 to nv - 1 do
+    Array.blit scratch.(v) 0 nbr xadj.(v) kept.(v)
+  done;
+  finish_csr ~labels ~xadj ~nbr
 
 let of_edges ~labels es =
   let nv = Array.length labels in
@@ -232,6 +345,61 @@ let of_edges ~labels es =
     es;
   build ~labels ~scratch
 
+(* Two-pass streaming construction: the producer is invoked twice and must
+   replay the identical edge sequence (generators do this by replaying a
+   copied RNG). Pass 1 counts degrees, pass 2 fills the flat runs directly —
+   no per-edge list cells, no per-vertex scratch arrays — so peak memory is
+   the finished CSR plus one cursor array. *)
+let of_edge_stream ~labels stream =
+  let nv = Array.length labels in
+  let labels = Array.copy labels in
+  let check v =
+    if v < 0 || v >= nv then
+      invalid_arg "Graph.of_edge_stream: vertex out of range"
+  in
+  let deg = Array.make nv 0 in
+  stream (fun u v ->
+      check u;
+      check v;
+      if u = v then invalid_arg "Graph.of_edge_stream: self-loop";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1);
+  let xadj = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    xadj.(v + 1) <- xadj.(v) + deg.(v)
+  done;
+  let total = xadj.(nv) in
+  let nbr = Array.make total 0 in
+  let cursor = Array.copy xadj in
+  stream (fun u v ->
+      check u;
+      check v;
+      if cursor.(u) >= xadj.(u + 1) || cursor.(v) >= xadj.(v + 1) then
+        invalid_arg "Graph.of_edge_stream: stream did not replay identically";
+      nbr.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      nbr.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1);
+  for v = 0 to nv - 1 do
+    if cursor.(v) <> xadj.(v + 1) then
+      invalid_arg "Graph.of_edge_stream: stream did not replay identically"
+  done;
+  (* Sort and dedup each run, compacting left in place (the write cursor
+     never passes the read cursor). *)
+  let write = ref 0 in
+  let new_xadj = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    let run = Array.sub nbr xadj.(v) deg.(v) in
+    let kept = sort_dedup_run labels run in
+    Array.blit run 0 nbr !write kept;
+    write := !write + kept;
+    new_xadj.(v + 1) <- !write
+  done;
+  let nbr =
+    if !write = total then nbr else Array.sub nbr 0 !write
+  in
+  finish_csr ~labels ~xadj:new_xadj ~nbr
+
 let induced g vs =
   let nv = Array.length vs in
   let index = Hashtbl.create nv in
@@ -240,7 +408,7 @@ let induced g vs =
       if Hashtbl.mem index v then invalid_arg "Graph.induced: duplicate vertex";
       Hashtbl.add index v i)
     vs;
-  let labels = Array.map (fun v -> g.labels.(v)) vs in
+  let labels = Array.map (fun v -> label g v) vs in
   let es = ref [] in
   Array.iteri
     (fun i v ->
@@ -251,10 +419,12 @@ let induced g vs =
     vs;
   of_edges ~labels !es
 
-(* The CSR arrays are canonical for a given (labels, edge set): plain field
-   equality is structural identity. *)
+(* The CSR arrays are canonical for a given (labels, edge set): element-wise
+   equality is structural identity, whatever the backing. *)
 let equal_structure g1 g2 =
-  g1.labels = g2.labels && g1.xadj = g2.xadj && g1.nbr = g2.nbr
+  Storage.equal g1.labels g2.labels
+  && Storage.equal g1.xadj g2.xadj
+  && Storage.equal g1.nbr g2.nbr
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph: %d vertices, %d edges@," (n g) (m g);
@@ -265,6 +435,10 @@ let pp ppf g =
   Format.fprintf ppf "@]"
 
 module Builder = struct
+  type graph = t
+
+  let graph_label = label
+
   type t = { mutable bl : Label.t Vec.t; nbrs : int Vec.t Vec.t }
 
   let create () = { bl = Vec.create (); nbrs = Vec.create () }
@@ -310,13 +484,15 @@ module Builder = struct
     let scratch = Array.init nv (fun v -> Vec.to_array (Vec.get b.nbrs v)) in
     build ~labels ~scratch
 
-  let of_graph g =
+  let of_graph (g : graph) =
     let b = create () in
-    Array.iter (fun l -> ignore (add_vertex b l)) g.labels;
+    iter_vertices (fun v -> ignore (add_vertex b (graph_label g v))) g;
     iter_edges (fun u v -> add_edge b u v) g;
     b
 
   (* One-shot batch construction; shares the presized scratch path with the
      legacy top-level constructor so migrated call sites pay nothing. *)
   let of_edges = of_edges
+
+  let of_edge_stream = of_edge_stream
 end

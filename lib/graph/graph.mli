@@ -95,7 +95,31 @@ val induced : t -> int array -> t
 
 val equal_structure : t -> t -> bool
 (** Identity on (labels, edge set) with the same vertex numbering — NOT
-    isomorphism (see {!Spm_pattern.Canon} for that). *)
+    isomorphism (see {!Spm_pattern.Canon} for that). Blind to the storage
+    backing: an array-backed and a mapped copy of the same graph are equal. *)
+
+(** {1 Storage backing}
+
+    A frozen graph's indices live in {!Storage.t} slices: plain [int array]s
+    when built in memory, [Bigarray] views when mapped from a store file.
+    Every accessor above works identically on both. *)
+
+val backing : t -> Storage.backing
+
+val with_backing : Storage.backing -> t -> t
+(** Copy the graph's indices into the requested backing; returns the
+    argument unchanged when it already matches. *)
+
+val to_csr : t -> Storage.csr
+(** The graph's eight index slices, shared (not copied) — for
+    serialization. *)
+
+val of_csr : Storage.csr -> t
+(** Re-assemble a graph from index slices. Performs O(1) cross-slice
+    consistency checks (lengths, offset endpoints); it does {e not} deep-walk
+    the arrays, so the slices are otherwise trusted — mapped stores gate this
+    behind checksum validation ({!Spm_store.Store.map_graph}).
+    @raise Invalid_argument when the slices cannot form a CSR graph. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -140,4 +164,16 @@ module Builder : sig
       [of_edges], with identical behavior: duplicate edges merged,
       self-loops rejected. O(n + m log deg_max).
       @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+
+  val of_edge_stream :
+    labels:Label.t array -> ((int -> int -> unit) -> unit) -> graph
+  (** [of_edge_stream ~labels stream] builds a graph from a replayable edge
+      producer: [stream emit] must call [emit u v] once per edge and, when
+      invoked a second time, replay the {e identical} sequence (generators
+      achieve this by copying their RNG state). Two passes — degree count,
+      then direct fill of the flat CSR runs — so peak memory is the finished
+      graph plus one offset array; no per-edge allocation. Duplicate edges
+      merged, self-loops rejected.
+      @raise Invalid_argument on self-loops, out-of-range endpoints, or a
+      stream that does not replay identically. *)
 end

@@ -1,0 +1,83 @@
+type bigints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t =
+  | Arr of int array
+  | Big of bigints
+
+type backing = [ `Array | `Bigarray ]
+
+let of_array a = Arr a
+let of_bigarray b = Big b
+
+let length = function
+  | Arr a -> Array.length a
+  | Big b -> Bigarray.Array1.dim b
+
+(* The one hot accessor: a two-way branch in front of a bounds-checked
+   load. Kept tiny so the inliner removes the call on every CSR scan. *)
+let[@inline always] get s i =
+  match s with Arr a -> a.(i) | Big b -> Bigarray.Array1.get b i
+
+let backing = function Arr _ -> `Array | Big _ -> `Bigarray
+
+let to_array s =
+  match s with
+  | Arr a -> Array.copy a
+  | Big b ->
+    let n = Bigarray.Array1.dim b in
+    Array.init n (fun i -> Bigarray.Array1.get b i)
+
+let sub_array s pos len =
+  match s with
+  | Arr a -> Array.sub a pos len
+  | Big b ->
+    if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim b then
+      invalid_arg "Storage.sub_array";
+    Array.init len (fun i -> Bigarray.Array1.get b (pos + i))
+
+let convert (want : backing) s =
+  match (want, s) with
+  | `Array, Arr _ | `Bigarray, Big _ -> s
+  | `Array, Big _ -> Arr (to_array s)
+  | `Bigarray, Arr a ->
+    let n = Array.length a in
+    let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set b i a.(i)
+    done;
+    Big b
+
+let iter f s =
+  for i = 0 to length s - 1 do
+    f (get s i)
+  done
+
+let equal a b =
+  length a = length b
+  &&
+  let n = length a in
+  let rec go i = i >= n || (get a i = get b i && go (i + 1)) in
+  go 0
+
+type csr = {
+  labels : t;
+  xadj : t;
+  nbr : t;
+  lab_off : t;
+  lab_keys : t;
+  lab_starts : t;
+  vl_off : t;
+  vl : t;
+}
+
+let csr_fields c =
+  [
+    ("labels", c.labels);
+    ("xadj", c.xadj);
+    ("nbr", c.nbr);
+    ("lab_off", c.lab_off);
+    ("lab_keys", c.lab_keys);
+    ("lab_starts", c.lab_starts);
+    ("vl_off", c.vl_off);
+    ("vl", c.vl);
+  ]

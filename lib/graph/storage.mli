@@ -1,0 +1,70 @@
+(** Backing storage for frozen CSR arrays.
+
+    Every flat index a {!Graph.t} is made of — neighbor runs, offsets, label
+    directories — is a {!t}: either a GC-managed OCaml [int array] (the
+    default, built in memory) or a [Bigarray] slice of native 64-bit words,
+    typically memory-mapped straight out of a store file
+    ({!Spm_store.Store.map_graph}). Consumers of the graph API never see the
+    difference; the accessors below are the only read path and both backings
+    honor identical bounds-checked semantics.
+
+    Values are immutable by contract: nothing in this library writes through
+    a [t] after construction, and mapped slices may live on read-only pages
+    where a write would fault. *)
+
+type bigints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Native-word slice: on disk these are 64-bit little-endian words, mapped
+    with kind [Bigarray.int] so each element reads back as an unboxed OCaml
+    [int] with no per-element decoding. *)
+
+type t =
+  | Arr of int array
+  | Big of bigints
+
+type backing = [ `Array | `Bigarray ]
+
+val of_array : int array -> t
+
+val of_bigarray : bigints -> t
+
+val length : t -> int
+
+val get : t -> int -> int
+(** Bounds-checked element read; raises [Invalid_argument] out of range
+    (for either backing — a corrupt mapped file can make indices lie, and
+    the failure mode must be an exception, never a wild read). *)
+
+val backing : t -> backing
+
+val convert : backing -> t -> t
+(** Copy into the requested backing ([`Bigarray] allocates outside the OCaml
+    heap). Returns the argument unchanged when it already matches. *)
+
+val to_array : t -> int array
+(** Fresh array copy ([Arr] included — callers may mutate the result). *)
+
+val sub_array : t -> int -> int -> int array
+(** [sub_array s pos len] is a fresh array of the given range. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val equal : t -> t -> bool
+(** Element-wise equality, blind to the backing. *)
+
+(** The eight arrays of a frozen CSR graph, in their canonical (and on-disk)
+    order. [Graph.of_csr] re-assembles a graph from these; [Graph.to_csr]
+    exposes them for serialization. *)
+type csr = {
+  labels : t;
+  xadj : t;
+  nbr : t;
+  lab_off : t;
+  lab_keys : t;
+  lab_starts : t;
+  vl_off : t;
+  vl : t;
+}
+
+val csr_fields : csr -> (string * t) list
+(** [(name, slice)] pairs in canonical order — the single source of truth
+    for serialization layout. *)

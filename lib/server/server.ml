@@ -11,6 +11,9 @@ module Run = Spm_engine.Run
 type t = {
   jobs : int;
   mine_timeout : float option;
+  mmap_stores : bool;
+      (* [Load_store] requests map the store's G2 graph payload instead of
+         decoding a copy (v1 files still decode). *)
   lock : Mutex.t;
   mine_lock : Mutex.t;
       (* Serializes actual mining — full [Mine]s and incremental [Update]
@@ -47,10 +50,12 @@ type t = {
   mutable listen_addr : Unix.sockaddr option;
 }
 
-let create ?(jobs = 1) ?(cache_capacity = 128) ?mine_timeout () =
+let create ?(jobs = 1) ?(cache_capacity = 128) ?mine_timeout
+    ?(mmap_stores = false) () =
   {
     jobs = max 1 jobs;
     mine_timeout;
+    mmap_stores;
     lock = Mutex.create ();
     mine_lock = Mutex.create ();
     current = None;
@@ -180,7 +185,9 @@ let dispatch_unlocked t req : dispatch =
   match (req : Protocol.request) with
   | Ping -> Done (Run.Ok, Pong)
   | Load_store path ->
-    let s = Store.load path in
+    let s =
+      if t.mmap_stores then Store.load_mapped path else Store.load path
+    in
     install_store t ~path s;
     Done (Run.Ok, Loaded (List.length s.Store.patterns))
   | Mine { l; delta; sigma; closed_growth } -> (

@@ -37,12 +37,20 @@
 type t
 
 val create :
-  ?jobs:int -> ?cache_capacity:int -> ?mine_timeout:float -> unit -> t
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?mine_timeout:float ->
+  ?mmap_stores:bool ->
+  unit ->
+  t
 (** [jobs] (default 1) is the domain-pool width used for mining, update
     repair and containment requests; [cache_capacity] (default 128) bounds
     the LRU response cache; [mine_timeout] (default: none) is the
     wall-clock budget in seconds granted to each [Mine]/[Update] request
-    that actually mines — cache and resident-store answers are exempt. *)
+    that actually mines — cache and resident-store answers are exempt.
+    With [mmap_stores] (default false), [Load_store] requests open stores
+    via {!Spm_store.Store.load_mapped} — G2 graph payloads are served
+    straight from the mapped file instead of a decoded copy. *)
 
 val jobs : t -> int
 

@@ -15,23 +15,45 @@ let crc_table =
          done;
          !c))
 
-let crc32 ?(pos = 0) ?len s =
+let crc32_seed = 0xFFFFFFFFl
+
+let crc32_update c ?(pos = 0) ?len s =
   let len = match len with Some l -> l | None -> String.length s - pos in
   let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
+  let c = ref c in
   for i = pos to pos + len - 1 do
     let idx =
       Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
     in
     c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
   done;
-  Int32.logxor !c 0xFFFFFFFFl
+  !c
+
+let crc32_value c = Int32.logxor c 0xFFFFFFFFl
+
+let crc32 ?pos ?len s = crc32_value (crc32_update crc32_seed ?pos ?len s)
 
 module W = struct
-  type t = Buffer.t
+  (* One writer type over two sinks, so the store's encoders produce either
+     an in-memory string (wire protocol, tests) or stream straight to a file
+     (large saves) from the same code path. [written] counts bytes emitted
+     since creation — channel sinks have no [Buffer.length] to consult. *)
+  type sink = Buf of Buffer.t | Chan of out_channel
 
-  let create ?(size = 256) () = Buffer.create size
-  let byte w b = Buffer.add_char w (Char.chr (b land 0xFF))
+  type t = { sink : sink; mutable written : int }
+
+  let create ?(size = 256) () =
+    { sink = Buf (Buffer.create size); written = 0 }
+
+  let to_channel oc = { sink = Chan oc; written = 0 }
+
+  let add_char w c =
+    (match w.sink with
+    | Buf b -> Buffer.add_char b c
+    | Chan oc -> output_char oc c);
+    w.written <- w.written + 1
+
+  let byte w b = add_char w (Char.chr (b land 0xFF))
 
   let uint w n =
     if n < 0 then invalid_arg "Codec.W.uint: negative";
@@ -65,11 +87,15 @@ module W = struct
       byte w (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
     done
 
+  let raw w s =
+    (match w.sink with
+    | Buf b -> Buffer.add_string b s
+    | Chan oc -> output_string oc s);
+    w.written <- w.written + String.length s
+
   let string w s =
     uint w (String.length s);
-    Buffer.add_string w s
-
-  let raw = Buffer.add_string
+    raw w s
 
   let int_array w a =
     uint w (Array.length a);
@@ -85,22 +111,29 @@ module W = struct
       bool w true;
       f w x
 
-  let length = Buffer.length
-  let contents = Buffer.contents
+  let length w = w.written
+
+  let contents w =
+    match w.sink with
+    | Buf b -> Buffer.contents b
+    | Chan _ -> invalid_arg "Codec.W.contents: channel-backed writer"
 
   let add_crc w (c : int32) =
     for i = 0 to 3 do
       byte w (Int32.to_int (Int32.shift_right_logical c (8 * i)) land 0xFF)
     done
 
+  (* Each section's payload is staged in its own buffer (the frame needs the
+     length and CRC up front), then flushed to the parent sink. Peak memory
+     while saving is therefore one section, not the whole encoded file. *)
   let section w ~tag f =
     let payload = create () in
     f payload;
     let payload = contents payload in
-    Buffer.add_char w tag;
+    add_char w tag;
     uint w (String.length payload);
     add_crc w (crc32 payload);
-    Buffer.add_string w payload
+    raw w payload
 end
 
 module R = struct

@@ -14,11 +14,28 @@ exception Corrupt of string
 val crc32 : ?pos:int -> ?len:int -> string -> int32
 (** Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a substring. *)
 
-(** Append-only encoder over a growing buffer. *)
+(** {2 Streaming CRC}
+
+    For checksumming data that is produced or read in chunks (the store's
+    G2 payload, file verification):
+    [crc32_value (crc32_update (crc32_update crc32_seed a) b)] equals
+    [crc32 (a ^ b)]. *)
+
+val crc32_seed : int32
+
+val crc32_update : int32 -> ?pos:int -> ?len:int -> string -> int32
+
+val crc32_value : int32 -> int32
+
+(** Append-only encoder over a growing buffer or an output channel. *)
 module W : sig
   type t
 
   val create : ?size:int -> unit -> t
+
+  val to_channel : out_channel -> t
+  (** Writer that streams to a channel instead of accumulating in memory
+      ({!contents} is unavailable; {!length} counts bytes written). *)
 
   val byte : t -> int -> unit
   (** Low 8 bits of the argument. *)
@@ -51,8 +68,10 @@ module W : sig
   val option : t -> (t -> 'a -> unit) -> 'a option -> unit
 
   val length : t -> int
+  (** Bytes emitted so far (both sinks). *)
 
   val contents : t -> string
+  (** @raise Invalid_argument on a channel-backed writer. *)
 
   val section : t -> tag:char -> (t -> unit) -> unit
   (** [section w ~tag f] runs [f] on a fresh writer and appends one framed

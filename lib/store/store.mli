@@ -7,11 +7,27 @@
     carrying its own CRC-32 ({!Codec.W.section}). Readers reject bad magic,
     unknown versions, and checksum mismatches with {!Codec.Corrupt}.
 
+    Two graph layouts coexist. {e Legacy} (version 1) carries the data graph
+    as a varint-encoded edge list inside a framed 'G' section. {e G2}
+    (version 2) instead appends a raw, 8-byte-aligned block of fixed-width
+    64-bit little-endian words whose layout is bit-compatible with the
+    in-memory CSR arrays, plus a 24-byte trailer locating it — so
+    {!map_graph} / {!load_mapped} can [Unix.map_file] the payload and serve
+    it with zero per-element copying. Version-1 files remain fully readable
+    and re-encode byte-identically.
+
     Encoding is deterministic ({!Codec}): [encode (decode (encode s))] is
     byte-identical to [encode s], so stores can be compared and cached by
     content. *)
 
 val format_version : int
+(** Highest store version this build writes and reads (readers accept
+    [1..format_version]). *)
+
+(** On-disk layout for the data graph of a pattern store. The format
+    travels with the store value, so re-saving (journal persistence, server
+    restarts) preserves whichever layout the file already had. *)
+type graph_format = Legacy | G2
 
 (** {1 Value codecs}
 
@@ -61,12 +77,16 @@ type pattern_store = {
           these through the incremental miner to reach version
           [base_version + length journal]. Pre-journal files decode with an
           empty journal and re-encode byte-identically. *)
+  graph_format : graph_format;
+      (** Layout {!encode} / {!save} will use; set from the file version on
+          decode. *)
 }
 
 val latest_version : pattern_store -> int
 (** [base_version + List.length journal] — the version replay reaches. *)
 
 val of_result :
+  ?graph_format:graph_format ->
   graph:Spm_graph.Graph.t ->
   l:int ->
   delta:int ->
@@ -74,18 +94,63 @@ val of_result :
   closed_growth:bool ->
   Spm_core.Skinny_mine.result ->
   pattern_store
-(** [complete] is derived from the result's run status. *)
+(** [complete] is derived from the result's run status. New stores default
+    to [G2]; pass [~graph_format:Legacy] to write version-1 files. *)
+
+val of_graph : ?graph_format:graph_format -> Spm_graph.Graph.t -> pattern_store
+(** A pattern-less store wrapping just a data graph (no mining parameters,
+    empty pattern set) — the storage vehicle for out-of-core graphs that
+    will be mined after loading. *)
 
 val encode : pattern_store -> string
 
 val decode : string -> pattern_store
 (** @raise Codec.Corrupt on bad magic, unsupported version, wrong kind,
-    missing section, or checksum mismatch. *)
+    missing section, or checksum mismatch. For G2 stores the full graph
+    payload CRC is verified eagerly (this path copies every byte anyway). *)
 
 val save : string -> pattern_store -> unit
+(** Streams to [path ^ ".tmp"] then renames into place: peak memory is one
+    framed section (or one 4 KiB payload chunk), a crash never corrupts the
+    previous file, and rewriting a store that another process has mapped
+    leaves that mapping intact (the old inode survives the rename). *)
 
 val load : string -> pattern_store
-(** @raise Codec.Corrupt as {!decode}; [Sys_error] on IO failure. *)
+(** Decodes a full in-memory copy (array-backed graph).
+    @raise Codec.Corrupt as {!decode}; [Sys_error] on IO failure. *)
+
+(** {1 Mapped loads}
+
+    Zero-copy opens of G2 stores. Validation policy: the trailer, padding,
+    G2 header (self-checksummed) and up to 16 {e sampled} payload pages —
+    always including the first and last — are verified eagerly; the full
+    payload CRC is deferred to {!verify_file}. A mapped graph's arrays live
+    on file-backed pages, so the OS pages them in on first touch and may
+    evict them under pressure; peak RSS is bounded by the pages actually
+    touched. *)
+
+val load_mapped : string -> pattern_store
+(** Like {!load}, but the data graph's CSR arrays are [Bigarray] slices
+    mapped directly from the file ([`Bigarray] backing). Sections (params,
+    patterns, journal) are still decoded into memory — they are small.
+    Version-1 files fall back to {!load} transparently.
+    @raise Codec.Corrupt on any framing, header, or sampled-page mismatch;
+    [Unix.Unix_error] on IO failure. *)
+
+val map_graph : string -> Spm_graph.Graph.t
+(** Just the mapped data graph of a G2 store file (decoded copy for
+    version-1 files). Same validation as {!load_mapped}. *)
+
+val verify_file : string -> unit
+(** Full-strength offline check: section CRCs, G2 header, and the complete
+    payload CRC (streamed, constant memory).
+    @raise Codec.Corrupt on any mismatch. *)
+
+val g2_checked_byte_ranges : string -> (int * int) list
+(** [(pos, len)] ranges of an encoded G2 store that a mapped open is
+    guaranteed to validate (sections, padding, G2 header, sampled pages,
+    trailer) — corruption anywhere in these must be detected without
+    reading the whole payload. Exposed for the byte-flip fuzzer. *)
 
 (** {1 Diameter-index snapshots}
 

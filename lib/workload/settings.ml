@@ -88,6 +88,33 @@ let gid ?(scale = 1.0) ~seed g =
     name = Printf.sprintf "GID %d (%s)" g (gid_description g);
   }
 
+(* Scale-free variant of the Table-1 settings: an R-MAT background (so the
+   degree distribution is heavy-tailed, unlike the ER settings above) with
+   the usual skinny injections. [scale] here is the R-MAT scale exponent —
+   2^scale background vertices — because out-of-core experiments size these
+   in powers of two. *)
+let scale_free ?(rmat_scale = 12) ?(edge_factor = 8) ?(num_labels = 80) ~seed
+    () =
+  let st = Gen.rng (seed + 0x5caf) in
+  let background = Gen.rmat st ~scale:rmat_scale ~edge_factor ~num_labels in
+  let b = Graph.Builder.of_graph background in
+  let longs =
+    List.init 5 (fun _ ->
+        make_skinny st ~order:40 ~diameter:18 ~delta:2 ~num_labels)
+  in
+  let shorts =
+    List.init 5 (fun _ ->
+        make_skinny st ~order:4 ~diameter:2 ~delta:1 ~num_labels)
+  in
+  let long_patterns = inject_patterns st b longs ~copies:2 in
+  let short_patterns = inject_patterns st b shorts ~copies:2 in
+  {
+    graph = Graph.Builder.freeze b;
+    long_patterns;
+    short_patterns;
+    name = Printf.sprintf "scale-free (R-MAT 2^%d x %d)" rmat_scale edge_factor;
+  }
+
 type probe = { dataset : dataset; pids : (int * int * int) list }
 
 let skinniness_probe ?(scale = 1.0) ~seed () =

@@ -34,6 +34,19 @@ val gid : ?scale:float -> seed:int -> int -> dataset
 val gid_description : int -> string
 (** Table 2's "difference in setting" text. *)
 
+val scale_free :
+  ?rmat_scale:int ->
+  ?edge_factor:int ->
+  ?num_labels:int ->
+  seed:int ->
+  unit ->
+  dataset
+(** Scale-free counterpart of the Table-1 settings: an R-MAT background
+    with [2^rmat_scale] vertices (default 12) and [edge_factor] (default 8)
+    edge draws per vertex — heavy-tailed degrees, unlike the ER settings —
+    plus the usual five long and five short skinny injections (support 2).
+    Sized in powers of two because the out-of-core experiments scale it. *)
+
 type probe = { dataset : dataset; pids : (int * int * int) list }
 (** [(pid, target_order, diameter)] for the ten Table 3 patterns. *)
 

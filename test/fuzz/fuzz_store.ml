@@ -102,6 +102,123 @@ let test_store_random_soak () =
   random_mutations ~what:"pattern store" ~seed:4242 ~rounds:400
     Spm_store.Store.decode encoded
 
+(* --- mapped (G2) opens: fuzzing through the file system --- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "fuzz_store" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let g2_encoded () = Spm_store.Store.encode (mine_store "star6")
+
+(* Every byte inside the ranges the mapped open claims to validate (header,
+   sections, padding, sampled payload pages, trailer) must, when flipped,
+   make [load_mapped] refuse the file with Corrupt. *)
+let test_mapped_checked_byte_flips () =
+  let encoded = g2_encoded () in
+  with_temp_dir (fun dir ->
+      let ranges = Spm_store.Store.g2_checked_byte_ranges encoded in
+      Alcotest.(check bool) "checked ranges exist" true (ranges <> []);
+      let mut = Filename.concat dir "mut.spm" in
+      List.iter
+        (fun mask ->
+          List.iter
+            (fun (pos, len) ->
+              for i = pos to pos + len - 1 do
+                write_file mut (flip_byte encoded i mask);
+                expect_corrupt
+                  ~what:
+                    (Printf.sprintf "mapped open: byte %d xor 0x%02x" i mask)
+                  Spm_store.Store.load_mapped mut
+              done)
+            ranges)
+        [ 0xFF; 0x01; 0x80 ])
+
+(* Bytes outside the checked ranges are trusted at open time (that is the
+   documented mmap trust model) — flipping them must never escape as a crash
+   or a foreign exception: the open either succeeds or raises Corrupt. The
+   full-file verifier, which streams the whole payload CRC, must still catch
+   every one of them. Uses a store whose payload spans more pages than the
+   sample budget so trusted bytes exist; seeded sample (an exhaustive sweep
+   would rewrite a ~300 KB file per trusted byte). *)
+let big_graph_encoded () =
+  let st = Spm_graph.Gen.rng 9091 in
+  let g =
+    Spm_graph.Gen.erdos_renyi st ~n:3000 ~avg_degree:4.0 ~num_labels:20
+  in
+  Spm_store.Store.encode (Spm_store.Store.of_graph g)
+
+let test_mapped_unchecked_flips_never_crash () =
+  let encoded = big_graph_encoded () in
+  let len = String.length encoded in
+  let checked = Array.make len false in
+  List.iter
+    (fun (pos, l) ->
+      for i = pos to pos + l - 1 do
+        checked.(i) <- true
+      done)
+    (Spm_store.Store.g2_checked_byte_ranges encoded);
+  let unchecked = ref [] in
+  for i = len - 1 downto 0 do
+    if not checked.(i) then unchecked := i :: !unchecked
+  done;
+  let unchecked = Array.of_list !unchecked in
+  Alcotest.(check bool) "some bytes are trusted at open" true
+    (Array.length unchecked > 0);
+  let st = Spm_graph.Gen.rng 777 in
+  with_temp_dir (fun dir ->
+      let mut = Filename.concat dir "mut.spm" in
+      for _ = 1 to 200 do
+        let i = unchecked.(Random.State.int st (Array.length unchecked)) in
+        write_file mut (flip_byte encoded i 0xFF);
+        (match Spm_store.Store.load_mapped mut with
+        | _ -> ()
+        | exception Spm_store.Codec.Corrupt _ -> ()
+        | exception e ->
+          Alcotest.failf "unchecked byte %d: raised %s" i
+            (Printexc.to_string e));
+        expect_corrupt
+          ~what:(Printf.sprintf "verify_file: trusted byte %d" i)
+          Spm_store.Store.verify_file mut
+      done)
+
+(* [verify_file] reads everything (section CRCs plus the full payload CRC),
+   so it must catch the flips the sampled open is allowed to miss. *)
+let test_verify_file_catches_every_flip () =
+  let encoded = g2_encoded () in
+  with_temp_dir (fun dir ->
+      let mut = Filename.concat dir "mut.spm" in
+      String.iteri
+        (fun i _ ->
+          write_file mut (flip_byte encoded i 0xFF);
+          expect_corrupt
+            ~what:(Printf.sprintf "verify_file: byte %d xor 0xff" i)
+            Spm_store.Store.verify_file mut)
+        encoded)
+
+(* Truncation can never segfault a mapped open or hand back a partial
+   graph: every prefix must be refused outright. *)
+let test_mapped_truncations () =
+  let encoded = g2_encoded () in
+  with_temp_dir (fun dir ->
+      let mut = Filename.concat dir "trunc.spm" in
+      for len = 0 to String.length encoded - 1 do
+        write_file mut (String.sub encoded 0 len);
+        expect_corrupt
+          ~what:(Printf.sprintf "mapped open: truncated to %d bytes" len)
+          Spm_store.Store.load_mapped mut
+      done)
+
 let index_bytes () =
   let it = Corpus.find "path8" in
   let idx =
@@ -134,6 +251,17 @@ let () =
             test_store_truncations;
           Alcotest.test_case "seeded random mutation soak" `Quick
             test_store_random_soak;
+        ] );
+      ( "mapped",
+        [
+          Alcotest.test_case "checked-range byte flips refused" `Quick
+            test_mapped_checked_byte_flips;
+          Alcotest.test_case "unchecked byte flips never crash" `Quick
+            test_mapped_unchecked_flips_never_crash;
+          Alcotest.test_case "verify_file catches every flip" `Quick
+            test_verify_file_catches_every_flip;
+          Alcotest.test_case "every truncation refused" `Quick
+            test_mapped_truncations;
         ] );
       ( "index",
         [

@@ -582,6 +582,152 @@ let prop_csr_label_index =
       done;
       !ok && !total = n)
 
+(* --- storage backing equivalence --- *)
+
+(* Every accessor must be blind to whether the CSR arrays are OCaml arrays
+   or Bigarray slices (the mmap substrate). *)
+let prop_backing_equivalence =
+  QCheck.Test.make
+    ~name:"every accessor agrees between array and bigarray backings"
+    ~count:120 QCheck.small_nat (fun seed ->
+      let num_labels, labels, edges = model_instance seed in
+      let g = Graph.Builder.of_edges ~labels edges in
+      let h = Graph.with_backing `Bigarray g in
+      let ok = ref (Graph.backing g = `Array && Graph.backing h = `Bigarray) in
+      let n = Graph.n g in
+      if Graph.n h <> n || Graph.m h <> Graph.m g then ok := false;
+      if Graph.labels h <> Graph.labels g then ok := false;
+      if Graph.num_labels h <> Graph.num_labels g then ok := false;
+      if Graph.max_label h <> Graph.max_label g then ok := false;
+      if Graph.edges h <> Graph.edges g then ok := false;
+      if not (Graph.equal_structure g h) then ok := false;
+      for v = 0 to n - 1 do
+        if Graph.label h v <> Graph.label g v then ok := false;
+        if Graph.degree h v <> Graph.degree g v then ok := false;
+        if Graph.adj h v <> Graph.adj g v then ok := false;
+        let via_iter g =
+          let acc = ref [] in
+          Graph.iter_adj g v (fun w -> acc := w :: !acc);
+          List.rev !acc
+        in
+        if via_iter h <> via_iter g then ok := false;
+        if Graph.fold_adj h v (fun w acc -> w :: acc) []
+           <> Graph.fold_adj g v (fun w acc -> w :: acc) []
+        then ok := false;
+        for w = 0 to n - 1 do
+          if Graph.has_edge h v w <> Graph.has_edge g v w then ok := false
+        done;
+        for l = -1 to num_labels + 1 do
+          let via_label g =
+            let acc = ref [] in
+            Graph.adj_with_label g v l (fun w -> acc := w :: !acc);
+            List.rev !acc
+          in
+          if via_label h <> via_label g then ok := false
+        done
+      done;
+      for l = -1 to num_labels + 1 do
+        if Graph.label_freq h l <> Graph.label_freq g l then ok := false;
+        if Graph.vertices_with_label h l <> Graph.vertices_with_label g l then
+          ok := false;
+        let via_iter g =
+          let acc = ref [] in
+          Graph.iter_vertices_with_label g l (fun v -> acc := v :: !acc);
+          List.rev !acc
+        in
+        if via_iter h <> via_iter g then ok := false
+      done;
+      !ok)
+
+let prop_csr_roundtrip =
+  QCheck.Test.make ~name:"of_csr (to_csr g) preserves structure" ~count:120
+    QCheck.small_nat (fun seed ->
+      let _, labels, edges = model_instance seed in
+      let g = Graph.Builder.of_edges ~labels edges in
+      let g' = Graph.of_csr (Graph.to_csr g) in
+      let h = Graph.with_backing `Bigarray g in
+      let h' = Graph.of_csr (Graph.to_csr h) in
+      Graph.equal_structure g g'
+      && Graph.equal_structure g h'
+      && Graph.with_backing `Array h' |> Graph.equal_structure g)
+
+let prop_edge_stream_equals_batch =
+  QCheck.Test.make
+    ~name:"of_edge_stream builds the same graph as of_edges" ~count:120
+    QCheck.small_nat (fun seed ->
+      let _, labels, edges = model_instance seed in
+      let batch = Graph.Builder.of_edges ~labels edges in
+      let streamed =
+        Graph.Builder.of_edge_stream ~labels (fun emit ->
+            List.iter (fun (u, v) -> emit u v) edges)
+      in
+      Graph.equal_structure batch streamed
+      && Graph.labels batch = Graph.labels streamed)
+
+let test_of_csr_rejects_inconsistency () =
+  let g = small () in
+  let c = Graph.to_csr g in
+  let broken = { c with Spm_graph.Storage.xadj = Spm_graph.Storage.Arr [| 0 |] } in
+  (match Graph.of_csr broken with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inconsistent CSR accepted");
+  let dangling =
+    { c with Spm_graph.Storage.vl = Spm_graph.Storage.Arr [| 0; 1 |] }
+  in
+  match Graph.of_csr dangling with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong vl length accepted"
+
+let test_edge_stream_replay_mismatch () =
+  let calls = ref 0 in
+  let stream emit =
+    incr calls;
+    (* Second invocation emits a different sequence. *)
+    if !calls = 1 then begin
+      emit 0 1;
+      emit 1 2
+    end
+    else begin
+      emit 0 1;
+      emit 0 2
+    end
+  in
+  match Graph.Builder.of_edge_stream ~labels:[| 0; 1; 2 |] stream with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-replaying stream accepted"
+
+(* --- scale-free generators --- *)
+
+let test_rmat () =
+  let st = Gen.rng 42 in
+  let g = Gen.rmat st ~scale:8 ~edge_factor:4 ~num_labels:10 in
+  check "rmat n" 256 (Graph.n g);
+  check_bool "rmat has edges" true (Graph.m g > 0);
+  (* Duplicate draws merge, so m is at most the draw count. *)
+  check_bool "rmat m bounded" true (Graph.m g <= 4 * 256);
+  Graph.iter_vertices (fun v -> assert (Graph.label g v < 10)) g;
+  Graph.iter_edges (fun u v -> assert (u <> v)) g;
+  (* Same seed, same graph. *)
+  let g' = Gen.rmat (Gen.rng 42) ~scale:8 ~edge_factor:4 ~num_labels:10 in
+  check_bool "rmat deterministic" true (Graph.equal_structure g g');
+  (* Heavy tail: some vertex far exceeds the average degree. *)
+  let maxdeg = ref 0 in
+  Graph.iter_vertices (fun v -> maxdeg := max !maxdeg (Graph.degree g v)) g;
+  check_bool "rmat skewed" true
+    (!maxdeg > 3 * (2 * Graph.m g) / Graph.n g)
+
+let test_barabasi_albert () =
+  let st = Gen.rng 43 in
+  let n = 300 and m_per = 3 in
+  let g = Gen.barabasi_albert st ~n ~m_per ~num_labels:7 in
+  check "ba n" n (Graph.n g);
+  (* Exact when no duplicate multi-target draws collide after dedup. *)
+  check_bool "ba m" true (Graph.m g = m_per + ((n - m_per - 1) * m_per));
+  let dist = Bfs.distances g 0 in
+  check_bool "ba connected" true (Array.for_all (fun d -> d >= 0) dist);
+  let g' = Gen.barabasi_albert (Gen.rng 43) ~n ~m_per ~num_labels:7 in
+  check_bool "ba deterministic" true (Graph.equal_structure g g')
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -623,6 +769,19 @@ let () =
           Alcotest.test_case "canonical orientation" `Quick test_paths_canonical_orientation;
           Alcotest.test_case "shortest paths between" `Quick test_shortest_paths_between;
         ] );
+      ( "storage",
+        [
+          Alcotest.test_case "of_csr rejects inconsistency" `Quick
+            test_of_csr_rejects_inconsistency;
+          Alcotest.test_case "edge stream replay mismatch" `Quick
+            test_edge_stream_replay_mismatch;
+        ] );
+      qsuite "storage-props"
+        [
+          prop_backing_equivalence;
+          prop_csr_roundtrip;
+          prop_edge_stream_equals_batch;
+        ];
       ( "gen",
         [
           Alcotest.test_case "erdos renyi" `Quick test_erdos_renyi;
@@ -631,6 +790,8 @@ let () =
           Alcotest.test_case "skinny pattern" `Quick test_random_skinny_pattern;
           Alcotest.test_case "inject" `Quick test_inject;
           Alcotest.test_case "star and cycle" `Quick test_star_and_cycle;
+          Alcotest.test_case "rmat" `Quick test_rmat;
+          Alcotest.test_case "barabasi albert" `Quick test_barabasi_albert;
         ] );
       ( "io",
         [

@@ -156,8 +156,7 @@ let test_mined_roundtrip () =
 
 (* --- corruption: every single-byte flip must be rejected --- *)
 
-let test_every_byte_flip_detected () =
-  let s = mined_store 7 in
+let assert_all_flips_detected s =
   let bytes = Store.encode s in
   check_bool "store is non-trivial" true (String.length bytes > 100);
   let undetected = ref [] in
@@ -171,6 +170,12 @@ let test_every_byte_flip_detected () =
     bytes;
   Alcotest.(check (list int)) "flips that slipped through" [] !undetected
 
+let test_every_byte_flip_detected () = assert_all_flips_detected (mined_store 7)
+
+let test_legacy_byte_flip_detected () =
+  assert_all_flips_detected
+    { (mined_store 7) with Store.graph_format = Store.Legacy }
+
 let test_save_load_file () =
   let s = mined_store 11 in
   Testutil.with_temp_dir (fun dir ->
@@ -178,6 +183,140 @@ let test_save_load_file () =
       Store.save path s;
       let s' = Store.load path in
       check_bool "file round trip" true (stores_equal s s'))
+
+(* --- G2 layout and mapped loads --- *)
+
+let mined_bytes patterns =
+  let w = Codec.W.create () in
+  List.iter (Store.write_mined w) patterns;
+  Codec.W.contents w
+
+(* Both layouts pin down: version byte, decode inverting encode, re-encode
+   byte-stability, and format conversion landing byte-for-byte on what a
+   store born in the target format writes. *)
+let test_format_pins () =
+  let s = mined_store 23 in
+  let legacy = { s with Store.graph_format = Store.Legacy } in
+  let g2 = { s with Store.graph_format = Store.G2 } in
+  let bl = Store.encode legacy in
+  let bg = Store.encode g2 in
+  (* The version varint follows the 8-byte magic; both fit one byte. *)
+  check "legacy writes version 1" 1 (Char.code bl.[8]);
+  check "g2 writes version 2" 2 (Char.code bg.[8]);
+  check_bool "layouts differ" false (String.equal bl bg);
+  let ll = Store.decode bl in
+  let gg = Store.decode bg in
+  check_bool "legacy decode keeps Legacy" true
+    (ll.Store.graph_format = Store.Legacy);
+  check_bool "g2 decode keeps G2" true (gg.Store.graph_format = Store.G2);
+  check_bool "legacy content preserved" true (stores_equal s ll);
+  check_bool "g2 content preserved" true (stores_equal s gg);
+  check_bool "legacy re-encode byte-stable" true
+    (String.equal bl (Store.encode ll));
+  check_bool "g2 re-encode byte-stable" true (String.equal bg (Store.encode gg));
+  (* Converting a decoded store across formats is byte-identical to a store
+     born in that format. *)
+  check_bool "legacy -> g2 conversion pins bytes" true
+    (String.equal bg (Store.encode { ll with Store.graph_format = Store.G2 }));
+  check_bool "g2 -> legacy conversion pins bytes" true
+    (String.equal bl
+       (Store.encode { gg with Store.graph_format = Store.Legacy }))
+
+let test_load_mapped () =
+  let s = mined_store 29 in
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "store.spm" in
+      Store.save path s;
+      Store.verify_file path;
+      let s' = Store.load_mapped path in
+      check_bool "mapped round trip" true (stores_equal s s');
+      check_bool "mapped graph is Bigarray-backed" true
+        (Graph.backing s'.Store.graph = `Bigarray);
+      let mg = Store.map_graph path in
+      check_bool "map_graph is Bigarray-backed" true
+        (Graph.backing mg = `Bigarray);
+      check_bool "map_graph equals decoded graph" true
+        (graphs_equal s.Store.graph mg);
+      (* Version-1 files take the in-memory fallback. *)
+      let lpath = Testutil.temp_file_in dir "legacy.spm" in
+      Store.save lpath { s with Store.graph_format = Store.Legacy };
+      let l' = Store.load_mapped lpath in
+      check_bool "legacy fallback round trip" true (stores_equal s l');
+      check_bool "legacy fallback is array-backed" true
+        (Graph.backing l'.Store.graph = `Array))
+
+let test_mapped_truncation_rejected () =
+  let s = mined_store 41 in
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "store.spm" in
+      Store.save path s;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let len = String.length full in
+      List.iter
+        (fun keep ->
+          let tpath = Testutil.temp_file_in dir "trunc.spm" in
+          Out_channel.with_open_bin tpath (fun oc ->
+              Out_channel.output_string oc (String.sub full 0 keep));
+          check_bool
+            (Printf.sprintf "truncation to %d/%d bytes rejected" keep len)
+            true
+            (match Store.load_mapped tpath with
+            | _ -> false
+            | exception Codec.Corrupt _ -> true))
+        [ 0; 1; 8; len / 4; len / 2; len - 9; len - 1 ])
+
+(* The acceptance bar: mining a mapped graph is byte-identical to mining the
+   array-backed original, sequentially and with a worker pool. *)
+let test_mapped_mine_byte_identical () =
+  let st = Gen.rng 101 in
+  let bg = Gen.erdos_renyi st ~n:80 ~avg_degree:2.0 ~num_labels:10 in
+  let b = Graph.Builder.of_graph bg in
+  let p =
+    Gen.random_skinny_pattern st ~backbone:4 ~delta:1 ~twigs:2 ~num_labels:10
+  in
+  ignore (Gen.inject st b ~pattern:p ~copies:3 ());
+  let g = Graph.Builder.freeze b in
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "graph.spm" in
+      Store.save path (Store.of_graph g);
+      let mg = Store.map_graph path in
+      List.iter
+        (fun jobs ->
+          let config = { Skinny_mine.Config.default with jobs } in
+          let r1 = Skinny_mine.mine ~config g ~l:4 ~delta:1 ~sigma:2 in
+          let r2 = Skinny_mine.mine ~config mg ~l:4 ~delta:1 ~sigma:2 in
+          check_bool
+            (Printf.sprintf "mined bytes identical (jobs=%d)" jobs)
+            true
+            (String.equal
+               (mined_bytes r1.Skinny_mine.patterns)
+               (mined_bytes r2.Skinny_mine.patterns)))
+        [ 1; 4 ])
+
+(* Delta overlays and snapshots work over a mapped base exactly as over an
+   array-backed one — the incremental path never notices the backing. *)
+let test_delta_over_mapped () =
+  let g = random_graph 37 in
+  Testutil.with_temp_dir (fun dir ->
+      let path = Testutil.temp_file_in dir "graph.spm" in
+      Store.save path (Store.of_graph g);
+      let mg = Store.map_graph path in
+      let n = Graph.n g in
+      let edits =
+        [
+          Delta.Add_vertex 0;
+          Delta.Add_edge (0, n);
+          Delta.Remove_edge (0, n);
+          Delta.Add_edge (1, n);
+        ]
+      in
+      let snap base = Delta.snapshot (Delta.apply_all (Delta.of_graph base) edits) in
+      let from_array = snap g in
+      let from_mapped = snap mg in
+      check_bool "snapshots agree across backings" true
+        (graphs_equal from_array from_mapped);
+      check_bool "snapshot is array-backed" true
+        (Graph.backing from_mapped = `Array))
 
 (* --- diameter-index snapshots --- *)
 
@@ -266,9 +405,23 @@ let () =
             test_mined_roundtrip;
           Alcotest.test_case "every byte flip detected" `Quick
             test_every_byte_flip_detected;
+          Alcotest.test_case "every byte flip detected (legacy)" `Quick
+            test_legacy_byte_flip_detected;
           Alcotest.test_case "file save/load" `Quick test_save_load_file;
           Alcotest.test_case "kind mismatch rejected" `Quick
             test_store_kind_mismatch;
+        ] );
+      ( "g2-mapped",
+        [
+          Alcotest.test_case "format pins (legacy vs G2)" `Quick
+            test_format_pins;
+          Alcotest.test_case "load_mapped / map_graph" `Quick test_load_mapped;
+          Alcotest.test_case "mapped truncation rejected" `Quick
+            test_mapped_truncation_rejected;
+          Alcotest.test_case "mapped mine byte-identical (jobs 1,4)" `Quick
+            test_mapped_mine_byte_identical;
+          Alcotest.test_case "delta over mapped base" `Quick
+            test_delta_over_mapped;
         ] );
       ( "index-snapshot",
         [
