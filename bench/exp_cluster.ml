@@ -1,0 +1,335 @@
+(* The sharded serving tier under load: an open-loop, zipf-keyed query
+   stream against the same mined corpus partitioned into 1/2/4/8 shards,
+   each layout fronted by a router on an ephemeral port with one worker
+   per shard. Reports client-observed throughput, p50/p95/p99 latency and
+   the planner's pruning effectiveness (fraction of shards contacted per
+   plannable query) into BENCH_cluster.json.
+
+   Open-loop means arrivals are scheduled on a fixed clock, not gated on
+   completions: each request's latency is measured from its {e scheduled}
+   arrival to its response, so queueing delay behind a slow layout counts
+   against that layout instead of silently thinning the offered load. *)
+
+open Spm_graph
+open Spm_core
+module Store = Spm_store.Store
+module Protocol = Spm_server.Protocol
+module Server = Spm_server.Server
+module Client = Spm_server.Client
+module Partition = Spm_cluster.Partition
+module Worker = Spm_cluster.Worker
+module Router = Spm_cluster.Router
+module Sampler = Spm_workload.Sampler
+
+let serving_graph ~seed ~n ~f =
+  let st = Gen.rng (seed + n) in
+  let bg = Gen.erdos_renyi st ~n ~avg_degree:2.0 ~num_labels:f in
+  let b = Graph.Builder.of_graph bg in
+  for _ = 1 to 4 do
+    let pat =
+      Gen.random_skinny_pattern st ~backbone:4 ~delta:1 ~twigs:2 ~num_labels:f
+    in
+    ignore (Gen.inject st b ~pattern:pat ~copies:4 ())
+  done;
+  Graph.Builder.freeze b
+
+let mined_store ~seed ~n ~f =
+  let g = serving_graph ~seed ~n ~f in
+  let r = Skinny_mine.mine g ~l:4 ~delta:2 ~sigma:2 in
+  Store.of_result ~graph:g ~l:4 ~delta:2 ~sigma:2 ~closed_growth:false r
+
+(* The key space: distinct label multisets of resident patterns. A zipf
+   draw picks a key; the query is the Lookup with that exact multiset —
+   the planner only contacts shards whose summaries carry it. *)
+let lookup_keys (s : Store.pattern_store) ~cap =
+  let tbl = Hashtbl.create 64 in
+  let keys = ref [] in
+  List.iter
+    (fun (m : Skinny_mine.mined) ->
+      let labels =
+        List.sort compare (Array.to_list (Graph.labels m.Skinny_mine.pattern))
+      in
+      if not (Hashtbl.mem tbl labels) then begin
+        Hashtbl.add tbl labels ();
+        keys := labels :: !keys
+      end)
+    s.Store.patterns;
+  let arr = Array.of_list (List.rev !keys) in
+  Array.sub arr 0 (min cap (Array.length arr))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+type layout_result = {
+  shards : int;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  contacted_fraction : float;
+  errors : int;
+}
+
+let with_sharded_cluster ~store ~shards f =
+  let dir =
+    Filename.temp_file "spm_cluster_bench" "" |> fun p ->
+    Sys.remove p;
+    Unix.mkdir p 0o700;
+    p
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+    (fun () ->
+      let base = Filename.concat dir "corpus" in
+      let manifest = Partition.write ~base ~shards store in
+      let workers =
+        Array.init shards (fun i ->
+            (* Shard workers open their stores through the mmap path: at
+               serving scale the shard file is the working set, not a
+               buffer to copy. *)
+            Worker.start ~jobs:1
+              (Store.load_mapped (Partition.shard_file ~base ~shard:i ~shards)))
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Worker.stop workers)
+        (fun () ->
+          let endpoints =
+            Array.map (fun w -> ("127.0.0.1", Worker.port w)) workers
+          in
+          let router =
+            Router.create ~deadline:30.0 ~manifest ~endpoints ()
+          in
+          let fd, port = Server.listen ~port:0 () in
+          let th = Thread.create (fun () -> Router.serve router fd) () in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Client.with_connection ~port Client.shutdown
+               with _ -> ());
+              Thread.join th)
+            (fun () -> f ~router ~port)))
+
+(* One open-loop run: [requests] arrivals at [rate]/s, keys pre-drawn from
+   the zipf sampler, served by [clients] connections racing down the shared
+   schedule. *)
+let drive ~port ~keys ~sampler ~requests ~rate ~clients =
+  let schedule =
+    Array.init requests (fun i ->
+        (float_of_int i /. rate, keys.(Sampler.next sampler)))
+  in
+  let latencies = Array.make requests 0.0 in
+  let errors = ref 0 in
+  let next = ref 0 in
+  let lock = Mutex.create () in
+  let claim () =
+    Mutex.lock lock;
+    let i = !next in
+    if i < requests then incr next;
+    Mutex.unlock lock;
+    if i < requests then Some i else None
+  in
+  let t0 = Unix.gettimeofday () +. 0.05 in
+  let worker () =
+    Client.with_connection ~port (fun c ->
+        let rec loop () =
+          match claim () with
+          | None -> ()
+          | Some i ->
+            let arrival, labels = schedule.(i) in
+            let wait = t0 +. arrival -. Unix.gettimeofday () in
+            if wait > 0.0 then Thread.delay wait;
+            (match
+               Client.lookup c (Protocol.lookup_params ~labels ())
+             with
+            | _ -> ()
+            | exception _ ->
+              Mutex.lock lock;
+              incr errors;
+              Mutex.unlock lock);
+            latencies.(i) <- Unix.gettimeofday () -. (t0 +. arrival);
+            loop ()
+        in
+        loop ())
+  in
+  let threads = Array.init clients (fun _ -> Thread.create worker ()) in
+  Array.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (latencies, elapsed, !errors)
+
+let run_layout ~store ~keys ~requests ~rate ~clients ~zipf_seed ~shards =
+  with_sharded_cluster ~store ~shards (fun ~router ~port ->
+      (* Same seed per layout: every shard count faces the identical
+         arrival sequence. *)
+      let sampler =
+        Sampler.zipf ~s:1.2 ~seed:zipf_seed ~n:(Array.length keys) ()
+      in
+      let latencies, elapsed, errors =
+        drive ~port ~keys ~sampler ~requests ~rate ~clients
+      in
+      let contacted, pruned = Router.pruning router in
+      let sorted = Array.copy latencies in
+      Array.sort compare sorted;
+      let ms p = 1000.0 *. percentile sorted p in
+      {
+        shards;
+        throughput_rps = float_of_int requests /. elapsed;
+        p50_ms = ms 0.50;
+        p95_ms = ms 0.95;
+        p99_ms = ms 0.99;
+        contacted_fraction =
+          (let total = contacted + pruned in
+           if total = 0 then 1.0
+           else float_of_int contacted /. float_of_int total);
+        errors;
+      })
+
+let layout_json r =
+  Printf.sprintf
+    "{\"shards\": %d, \"throughput_rps\": %.1f, \"p50_ms\": %.3f, \
+     \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"contacted_fraction\": %.3f, \
+     \"errors\": %d}"
+    r.shards r.throughput_rps r.p50_ms r.p95_ms r.p99_ms r.contacted_fraction
+    r.errors
+
+let run ~seed ?(n = 300) ?(shard_counts = [ 1; 2; 4; 8 ])
+    ?(requests = 4000) ?(rate = 2000.0) ?(clients = 16) () =
+  Util.section
+    (Printf.sprintf
+       "Cluster: open-loop zipf lookups against 1/2/4/8-shard layouts \
+        (%d req at %.0f/s)"
+       requests rate);
+  let f = 30 in
+  let store, mine_seconds =
+    Util.time (fun () -> mined_store ~seed ~n ~f)
+  in
+  let keys = lookup_keys store ~cap:64 in
+  Printf.printf
+    "  corpus: %d patterns (%d distinct lookup keys) mined in %s\n%!"
+    (List.length store.Store.patterns)
+    (Array.length keys)
+    (String.trim (Util.fmt_time mine_seconds));
+  Util.print_row_header
+    [ (8, "shards"); (9, "req/s"); (10, "p50 ms"); (10, "p95 ms");
+      (10, "p99 ms"); (12, "contacted"); (8, "errors") ];
+  let results =
+    List.map
+      (fun shards ->
+        let r =
+          run_layout ~store ~keys ~requests ~rate ~clients
+            ~zipf_seed:(seed + 31) ~shards
+        in
+        Printf.printf "%-8d%9.1f%10.3f%10.3f%10.3f%11.0f%%%8d\n%!" r.shards
+          r.throughput_rps r.p50_ms r.p95_ms r.p99_ms
+          (100.0 *. r.contacted_fraction)
+          r.errors;
+        r)
+      shard_counts
+  in
+  let json =
+    Printf.sprintf
+      "{\"seed\": %d, \"n\": %d, \"requests\": %d, \"rate\": %.1f, \
+       \"clients\": %d, \"zipf_s\": 1.2, \"keys\": %d, \"layouts\": [%s]}"
+      seed n requests rate clients (Array.length keys)
+      (String.concat ", " (List.map layout_json results))
+  in
+  let oc = open_out "BENCH_cluster.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  cluster measurements written to BENCH_cluster.json\n%!";
+  json
+
+(* CI smoke: partition a small corpus into 2 shards, serve it, and assert
+   the router's answers — planner-pruned lookup, full-scatter lookup, the
+   resident mine, and one Update — byte-identical to a single-process
+   server over the unsharded store, under a wall-clock ceiling. Exits
+   nonzero on any violation. *)
+
+let render (ms : Skinny_mine.mined list) =
+  String.concat "\n"
+    (List.map
+       (fun (m : Skinny_mine.mined) ->
+         Printf.sprintf "%s support %d diam %s"
+           (Io.to_string m.Skinny_mine.pattern)
+           m.Skinny_mine.support
+           (String.concat " "
+              (Array.to_list
+                 (Array.map string_of_int m.Skinny_mine.diameter_labels))))
+       ms)
+
+let smoke ~seed () =
+  let t0 = Unix.gettimeofday () in
+  let store = mined_store ~seed ~n:150 ~f:20 in
+  let keys = lookup_keys store ~cap:8 in
+  let reference = Server.create ~jobs:1 () in
+  Server.set_store reference store;
+  let failures = ref [] in
+  let ensure what ok = if not ok then failures := what :: !failures in
+  with_sharded_cluster ~store ~shards:2 (fun ~router ~port ->
+      let identical what req =
+        let single =
+          match (Server.handle reference req).Protocol.payload with
+          | Protocol.Patterns ms -> render ms
+          | _ -> "single-process error"
+        in
+        let routed =
+          Client.with_connection ~port (fun c ->
+              match (Client.call c req).Protocol.payload with
+              | Protocol.Patterns ms -> render ms
+              | _ -> "router error")
+        in
+        ensure (what ^ " byte-identical") (single = routed)
+      in
+      identical "planner-pruned lookup"
+        (Protocol.Lookup
+           (Protocol.lookup_params ~labels:keys.(0) ()));
+      identical "full-scatter lookup"
+        (Protocol.Lookup (Protocol.lookup_params ()));
+      identical "resident mine"
+        (Protocol.Mine
+           { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false });
+      let contacted, pruned = Router.pruning router in
+      ensure "planner pruned at least one shard" (pruned > 0);
+      ensure "scatter contacted at least one shard" (contacted > 0);
+      (* One committed update, then byte-identity again at the new
+         version. *)
+      let g = store.Store.graph in
+      let n = Graph.n g in
+      let rec fresh u v =
+        if v >= n then fresh (u + 1) (u + 2)
+        else if not (Graph.has_edge g u v) then (u, v)
+        else fresh u (v + 1)
+      in
+      let u, v = fresh 0 1 in
+      let edits = [ Delta.Add_edge (u, v) ] in
+      let single_diff =
+        match
+          (Server.handle reference (Protocol.Update { Protocol.edits }))
+            .Protocol.payload
+        with
+        | Protocol.Update_reply r -> r
+        | _ -> failwith "single-process update failed"
+      in
+      let routed_diff =
+        Client.with_connection ~port (fun c -> Client.update c edits)
+      in
+      ensure "update version agrees"
+        (single_diff.Protocol.new_version = routed_diff.Protocol.new_version);
+      ensure "update diff byte-identical"
+        (render single_diff.Protocol.added = render routed_diff.Protocol.added
+        && render single_diff.Protocol.removed
+           = render routed_diff.Protocol.removed);
+      identical "post-update lookup"
+        (Protocol.Lookup (Protocol.lookup_params ())));
+  let total = Unix.gettimeofday () -. t0 in
+  ensure "whole smoke under 300s" (total < 300.0);
+  match !failures with
+  | [] -> Printf.printf "cluster smoke PASS in %.1fs\n%!" total
+  | fs ->
+    List.iter (Printf.eprintf "cluster smoke FAIL: %s\n%!") fs;
+    exit 1

@@ -6,10 +6,13 @@
 let usage =
   "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation parallel serving cancel incremental oracle outofcore micro\n\
+   ablation parallel serving cancel incremental oracle outofcore cluster \
+   micro\n\
    standalone modes: --bench-outofcore [SCALE] (just the out-of-core \
    measurements), --smoke-outofcore [SCALE] (CI smoke with wall-clock/RSS \
-   ceilings)\n\
+   ceilings), --bench-cluster (just the sharded-serving load run), \
+   --smoke-cluster (CI smoke: 2-shard byte-identity under a wall-clock \
+   ceiling)\n\
    a per-section timing summary is written to BENCH_run.json"
 
 type config = {
@@ -137,6 +140,12 @@ let () =
     let scale = match rest with s :: _ -> int_of_string s | [] -> 20 in
     ignore (Exp_outofcore.run ~seed:2013 ~scale ());
     exit 0
+  | _ :: "--smoke-cluster" :: _ ->
+    Exp_cluster.smoke ~seed:2013 ();
+    exit 0
+  | _ :: "--bench-cluster" :: _ ->
+    ignore (Exp_cluster.run ~seed:2013 ());
+    exit 0
   | _ -> ());
   let cfg = parse_args () in
   let enabled name = not (List.mem name cfg.skip) in
@@ -211,6 +220,7 @@ let () =
   timed "oracle" (fun () -> Some (Exp_oracle.run ()));
   timed "outofcore"
     (fun () -> Some (Exp_outofcore.run ~seed:cfg.seed ~scale:cfg.outofcore_scale ()));
+  timed "cluster" (fun () -> Some (Exp_cluster.run ~seed:cfg.seed ()));
   timed "micro" (plain (fun () -> Micro.run ~scale:cfg.scale ()));
   write_summary cfg;
   Printf.printf "\nAll requested experiment sections completed.\n%!"

@@ -8,9 +8,12 @@
      baseline   run one of the reimplemented baselines
      serve      run the SkinnyServe TCP query service
      query      talk to a running server
+     verify     full-strength offline check of a store file
+     shard      partition a store into N shard stores + manifest
+     route      run the scatter-gather router over a shard layout
 
    Exit codes: 0 success, 1 runtime failure (IO, protocol, server error),
-   2 usage error. *)
+   2 usage error, 3 corrupt store (verify). *)
 
 open Cmdliner
 open Spm_graph
@@ -21,6 +24,7 @@ let version = "1.1.0"
 (* Scripting (bench drivers, CI) relies on these being distinct. *)
 let exit_runtime_error = 1
 let exit_usage_error = 2
+let exit_corrupt_store = 3
 
 (* --- common args --- *)
 
@@ -489,6 +493,10 @@ let query_cmd =
       Printf.printf "  ... (%d more)\n" (List.length ms - 20)
   in
   let print_meta c =
+    (match Spm_server.Client.last_unreachable c with
+    | [] -> ()
+    | shards ->
+      Printf.printf "[partial: unreachable %s]\n" (String.concat ", " shards));
     (match Spm_server.Client.last_status c with
     | Some status when status <> Spm_engine.Run.Ok ->
       Printf.printf "[truncated: %s — partial results]\n"
@@ -595,6 +603,150 @@ let query_cmd =
       const run $ host_arg $ port_arg $ action $ file $ l $ delta $ sigma
       $ closed $ min_support $ max_support $ length_filter $ labels $ updates)
 
+(* --- verify --- *)
+
+let verify_cmd =
+  let store =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"STORE" ~doc:"Pattern-store file to check.")
+  in
+  let run path =
+    match Spm_store.Store.verify_file path with
+    | () -> Printf.printf "%s: ok\n" path
+    | exception Spm_store.Codec.Corrupt msg ->
+      (* Distinct exit code: scripts tell "file is damaged" from other
+         runtime failures (which exit 1). *)
+      Printf.eprintf "%s: corrupt: %s\n" path msg;
+      exit exit_corrupt_store
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Full-strength offline check of a store file: every section CRC \
+          and the complete graph payload checksum (streamed, constant \
+          memory). Exits 3 if the file is corrupt."
+       ~exits:
+         (Cmd.Exit.info exit_corrupt_store ~doc:"when the store is corrupt."
+         :: Cmd.Exit.defaults))
+    Term.(const run $ store)
+
+(* --- shard --- *)
+
+let shard_cmd =
+  let store =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"STORE" ~doc:"Pattern-store file to partition.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shards.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"BASE"
+          ~doc:
+            "Base path for the shard stores and manifest (default: STORE \
+             minus its extension).")
+  in
+  let run path shards out =
+    let s = Spm_store.Store.load path in
+    let base =
+      match out with Some b -> b | None -> Filename.remove_extension path
+    in
+    let m = Spm_cluster.Partition.write ~base ~shards s in
+    Printf.printf "manifest %s (graph version %d):\n"
+      (Spm_cluster.Partition.manifest_file ~base)
+      m.Spm_cluster.Partition.version;
+    List.iteri
+      (fun i (e : Spm_cluster.Partition.entry) ->
+        Printf.printf "  %s  %s  %d patterns\n"
+          (Spm_cluster.Partition.shard_name i)
+          e.Spm_cluster.Partition.file
+          (List.length e.Spm_cluster.Partition.patterns))
+      m.Spm_cluster.Partition.entries
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Partition a mined pattern store into N shard stores by diameter \
+          cluster, plus a manifest the router plans from. Deterministic: \
+          the same store always splits into the same bytes. Serve each \
+          shard store with $(b,skinnymine serve --store), then front them \
+          with $(b,skinnymine route).")
+    Term.(const run $ store $ shards $ out)
+
+(* --- route --- *)
+
+let route_cmd =
+  let manifest =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:"Manifest written by $(b,skinnymine shard).")
+  in
+  let workers =
+    Arg.(
+      value & opt_all string []
+      & info [ "worker" ] ~docv:"[HOST:]PORT"
+          ~doc:
+            "Shard worker endpoint, once per shard in manifest order \
+             (host defaults to 127.0.0.1).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Per-request budget: scatter legs carve their timeouts from \
+             it, and shards that miss it are reported as unreachable in a \
+             partial response instead of stalling the answer.")
+  in
+  let parse_endpoint spec =
+    match String.rindex_opt spec ':' with
+    | Some i ->
+      ( String.sub spec 0 i,
+        int_of_string (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    | None -> ("127.0.0.1", int_of_string spec)
+  in
+  let run host port manifest workers deadline =
+    let m = Spm_cluster.Partition.load_manifest manifest in
+    let endpoints =
+      try Array.of_list (List.map parse_endpoint workers)
+      with Failure _ -> failwith "bad --worker endpoint (want [HOST:]PORT)"
+    in
+    let r = Spm_cluster.Router.create ?deadline ~manifest:m ~endpoints () in
+    let fd, actual_port = Spm_server.Server.listen ~host ~port () in
+    Printf.printf "skinnyroute: %d shards, listening on %s:%d\n%!"
+      m.Spm_cluster.Partition.shards host actual_port;
+    Spm_cluster.Router.serve r fd;
+    let s = Spm_cluster.Router.stats r in
+    let contacted, pruned = Spm_cluster.Router.pruning r in
+    Printf.printf
+      "skinnyroute: shut down after %d requests (%d errors, %d shard calls, \
+       %d pruned)\n"
+      s.Spm_server.Protocol.requests s.Spm_server.Protocol.errors contacted
+      pruned
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the scatter-gather router: one SkinnyServe endpoint fronting \
+          the shard workers of a partitioned layout, with signature-summary \
+          pushdown, ordered merge (responses byte-identical to a \
+          single-process server) and partial-answer degradation when a \
+          worker is down.")
+    Term.(
+      const run $ host_arg $ port_arg $ manifest $ workers $ deadline)
+
 let () =
   let doc = "SkinnyMine: direct mining of l-long delta-skinny graph patterns" in
   let info =
@@ -607,7 +759,7 @@ let () =
   let group =
     Cmd.group info
       [ generate_cmd; corpus_cmd; stats_cmd; paths_cmd; mine_cmd;
-        baseline_cmd; serve_cmd; query_cmd ]
+        baseline_cmd; serve_cmd; query_cmd; verify_cmd; shard_cmd; route_cmd ]
   in
   (* [~catch:false] so runtime failures reach us: they exit 1, while
      cmdliner's own parse errors map to 2 — scripts can tell "you called it

@@ -1,0 +1,193 @@
+module Codec = Spm_store.Codec
+module Store = Spm_store.Store
+module Path_pattern = Spm_core.Path_pattern
+module Skinny_mine = Spm_core.Skinny_mine
+module Sig_index = Spm_server.Sig_index
+
+type pattern_summary = {
+  counts : (int * int) array;
+  diam_len : int;
+  support : int;
+}
+
+type entry = { file : string; patterns : pattern_summary list }
+
+type manifest = {
+  shards : int;
+  l : int;
+  delta : int;
+  sigma : int;
+  closed_growth : bool;
+  version : int;
+  entries : entry list;
+}
+
+let shard_name i = Printf.sprintf "shard%d" i
+
+let check_source ~shards (s : Store.pattern_store) =
+  if shards < 1 then invalid_arg "Partition: shards must be >= 1";
+  if not s.Store.complete then
+    invalid_arg "Partition: refusing to shard an incomplete (truncated) store";
+  if s.Store.journal <> [] then
+    invalid_arg
+      "Partition: store carries an unreplayed journal; load and re-save it \
+       first (partition a quiesced store)"
+
+let split ~shards (s : Store.pattern_store) =
+  check_source ~shards s;
+  Array.init shards (fun i ->
+      {
+        s with
+        Store.patterns =
+          List.filter
+            (fun (m : Skinny_mine.mined) ->
+              Path_pattern.shard_of ~shards m.diameter_labels = i)
+            s.Store.patterns;
+        shard = Some (i, shards);
+      })
+
+let summary_of_mined (m : Skinny_mine.mined) =
+  {
+    counts = Sig_index.label_counts m.pattern;
+    diam_len = Path_pattern.length m.diameter_labels;
+    support = m.support;
+  }
+
+let manifest_of ~shards ~files (s : Store.pattern_store) =
+  check_source ~shards s;
+  if List.length files <> shards then
+    invalid_arg "Partition.manifest_of: one file name per shard";
+  let pieces = split ~shards s in
+  {
+    shards;
+    l = s.Store.l;
+    delta = s.Store.delta;
+    sigma = s.Store.sigma;
+    closed_growth = s.Store.closed_growth;
+    version = Store.latest_version s;
+    entries =
+      List.mapi
+        (fun i file ->
+          { file; patterns = List.map summary_of_mined pieces.(i).Store.patterns })
+        files;
+  }
+
+let shard_file ~base ~shard ~shards =
+  Printf.sprintf "%s.shard%dof%d.spm" base shard shards
+
+let manifest_file ~base = base ^ ".manifest"
+
+(* --- manifest codec: magic, format varint, CRC-framed sections --- *)
+
+let magic = "SPMCLSTR"
+let format_version = 1
+
+let write_summary w { counts; diam_len; support } =
+  Codec.W.list w
+    (fun w (l, c) ->
+      Codec.W.uint w l;
+      Codec.W.uint w c)
+    (Array.to_list counts);
+  Codec.W.uint w diam_len;
+  Codec.W.uint w support
+
+let read_summary r =
+  let counts =
+    Array.of_list
+      (Codec.R.list r (fun r ->
+           let l = Codec.R.uint r in
+           let c = Codec.R.uint r in
+           (l, c)))
+  in
+  let diam_len = Codec.R.uint r in
+  let support = Codec.R.uint r in
+  { counts; diam_len; support }
+
+let encode_manifest m =
+  let w = Codec.W.create () in
+  Codec.W.raw w magic;
+  Codec.W.uint w format_version;
+  Codec.W.section w ~tag:'C' (fun w ->
+      Codec.W.uint w m.shards;
+      Codec.W.uint w m.l;
+      Codec.W.uint w m.delta;
+      Codec.W.uint w m.sigma;
+      Codec.W.bool w m.closed_growth;
+      Codec.W.uint w m.version);
+  Codec.W.section w ~tag:'S' (fun w ->
+      Codec.W.list w
+        (fun w e ->
+          Codec.W.string w e.file;
+          Codec.W.list w write_summary e.patterns)
+        m.entries);
+  Codec.W.contents w
+
+let decode_manifest s =
+  let r = Codec.R.of_string s in
+  Codec.R.expect_magic r magic;
+  let v = Codec.R.uint r in
+  if v <> format_version then
+    raise (Codec.Corrupt (Printf.sprintf "unsupported manifest version %d" v));
+  let rec sections acc =
+    match Codec.R.section r with
+    | None -> List.rev acc
+    | Some (tag, payload) -> sections ((tag, payload) :: acc)
+  in
+  let secs = sections [] in
+  let find tag =
+    match List.assoc_opt tag secs with
+    | Some p -> p
+    | None ->
+      raise (Codec.Corrupt (Printf.sprintf "missing manifest section %C" tag))
+  in
+  let c = find 'C' in
+  let shards = Codec.R.uint c in
+  let l = Codec.R.uint c in
+  let delta = Codec.R.uint c in
+  let sigma = Codec.R.uint c in
+  let closed_growth = Codec.R.bool c in
+  let version = Codec.R.uint c in
+  let entries =
+    Codec.R.list (find 'S') (fun r ->
+        let file = Codec.R.string r in
+        let patterns = Codec.R.list r read_summary in
+        { file; patterns })
+  in
+  if List.length entries <> shards then
+    raise
+      (Codec.Corrupt
+         (Printf.sprintf "manifest lists %d entries for %d shards"
+            (List.length entries) shards));
+  { shards; l; delta; sigma; closed_growth; version; entries }
+
+let atomic_write path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match output_string oc contents with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+let save_manifest path m = atomic_write path (encode_manifest m)
+
+let load_manifest path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> decode_manifest (really_input_string ic (in_channel_length ic)))
+
+let write ~base ~shards s =
+  let pieces = split ~shards s in
+  let files =
+    List.init shards (fun i ->
+        Filename.basename (shard_file ~base ~shard:i ~shards))
+  in
+  Array.iteri
+    (fun i piece -> Store.save (shard_file ~base ~shard:i ~shards) piece)
+    pieces;
+  let m = manifest_of ~shards ~files s in
+  save_manifest (manifest_file ~base) m;
+  m

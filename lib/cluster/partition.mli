@@ -1,0 +1,91 @@
+(** Partitioning a mined pattern store into shard stores.
+
+    The unit of placement is the {e diameter cluster}: every mined pattern
+    carries the canonical label sequence of the diameter it grew from
+    ([diameter_labels]), clusters are independent (Theorem 4), and the
+    global pattern list is cluster-contiguous in sorted canonical-label
+    order — so assigning each cluster key to a shard splits the pattern set
+    without ever cutting a cluster, and an ordered merge of the shards'
+    answers reproduces the single-process answer byte for byte.
+
+    Placement is [Spm_core.Path_pattern.shard_of ~shards], a byte-stable
+    FNV-1a of the canonical labels: the same store partitions to the same
+    bytes on every build, so shard files can be compared and cached by
+    content.
+
+    Every shard store keeps the {e full} data graph (updates repair against
+    it, containment queries match inside it) and the owned subset of the
+    patterns, and carries its shard identity in the store file
+    ({!Spm_store.Store.pattern_store.shard}) — loading one into
+    {!Spm_server.Server.set_store} yields a fully configured shard worker.
+
+    The committed {e manifest} records the layout (shard count, mining
+    parameters, version) plus a per-shard signature summary — one
+    (label-multiset, diameter length, support) triple per pattern — from
+    which the router builds its pushdown planner without opening any shard
+    store. *)
+
+(** One pattern's planning footprint: everything the router needs to decide
+    whether a query can touch it. *)
+type pattern_summary = {
+  counts : (int * int) array;
+      (** sorted (label, count) vertex multiset ({!Spm_server.Sig_index}) *)
+  diam_len : int;  (** diameter length (the l of the cluster) *)
+  support : int;
+}
+
+type entry = {
+  file : string;  (** shard store file name (relative to the manifest) *)
+  patterns : pattern_summary list;  (** in shard store order *)
+}
+
+type manifest = {
+  shards : int;
+  l : int;
+  delta : int;
+  sigma : int;
+  closed_growth : bool;
+  version : int;  (** graph version the shard stores were cut at *)
+  entries : entry list;  (** length [shards], shard order *)
+}
+
+val shard_name : int -> string
+(** ["shard<i>"] — the name unreachable shards are reported under in
+    [Partial] responses. *)
+
+val summary_of_mined : Spm_core.Skinny_mine.mined -> pattern_summary
+(** The planning footprint of one mined pattern — what {!manifest_of}
+    records and what the router computes from [Update] diffs to keep its
+    pushdown tables current. *)
+
+val split : shards:int -> Spm_store.Store.pattern_store -> Spm_store.Store.pattern_store array
+(** The shard stores: full graph, owned pattern subset (source order), and
+    shard identity [(i, shards)]. Deterministic and byte-stable.
+    @raise Invalid_argument if [shards < 1], if the store is incomplete (a
+    truncated mine is not a servable corpus), or if it carries an
+    unreplayed journal (partition a quiesced store). *)
+
+val manifest_of :
+  shards:int -> files:string list -> Spm_store.Store.pattern_store -> manifest
+(** The manifest describing {!split} of the same store, with [files] naming
+    the shard stores in shard order. *)
+
+val shard_file : base:string -> shard:int -> shards:int -> string
+(** ["<base>.shard<i>of<n>.spm"]. *)
+
+val manifest_file : base:string -> string
+(** ["<base>.manifest"]. *)
+
+val write : base:string -> shards:int -> Spm_store.Store.pattern_store -> manifest
+(** {!split} + save every shard store and the manifest under [base]
+    (atomically, via temp-and-rename), returning the manifest. *)
+
+val encode_manifest : manifest -> string
+
+val decode_manifest : string -> manifest
+(** @raise Spm_store.Codec.Corrupt on bad magic, unknown version, checksum
+    mismatch, or a shard-count/entry-count disagreement. *)
+
+val save_manifest : string -> manifest -> unit
+
+val load_manifest : string -> manifest

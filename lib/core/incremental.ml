@@ -11,6 +11,11 @@ type t = {
   delta : int;
   sigma : int;
   config : Skinny_mine.Config.t;
+  scope : Path_pattern.t -> bool;
+      (* Cluster-ownership predicate over canonical diameter labels. The
+         default accepts everything; a shard worker passes the predicate of
+         its shard so Stage-I entries outside it are dropped before any
+         growth — repairs then stay inside the owned cluster set. *)
   clusters : cluster list; (* Stage-I entry order *)
   complete : bool;
 }
@@ -46,12 +51,17 @@ let with_jobs_pool jobs f =
 (* Stage I for one graph version: route through Diameter_index so the entry
    list is the exact list Skinny_mine.mine would grow (Diam_mine.mine is the
    same Powers.build + paths_of_length composition). *)
-let stage1 ~run ~(config : Skinny_mine.Config.t) g ~l ~sigma =
+let stage1 ~run ~(config : Skinny_mine.Config.t) ~scope g ~l ~sigma =
   let idx =
     Diameter_index.build ~prune_intermediate:config.prune_intermediate ~run
       ~jobs:config.jobs g ~sigma ~l_max:l
   in
-  Diameter_index.entries ~run idx ~l
+  (* Scoping happens after the full Stage I: the σ filter is global, so the
+     frequent-path set must be computed over the whole graph; ownership then
+     drops entire clusters (a cluster is never split across shards). *)
+  List.filter
+    (fun (e : Diam_mine.entry) -> scope e.Diam_mine.labels)
+    (Diameter_index.entries ~run idx ~l)
 
 (* One cluster's Stage II, mirroring Skinny_mine.grow_all's uncapped path
    (per-cluster closedness equals the global filter: comparisons never cross
@@ -81,9 +91,9 @@ let grow_entries ~run ~config ~data ~delta ~sigma entries =
   in
   (Array.to_list (Array.map fst per_cluster), interrupted)
 
-let mine_clusters ~run ~config dg ~l ~delta ~sigma =
+let mine_clusters ~run ~config ~scope dg ~l ~delta ~sigma =
   let g = Delta.snapshot dg in
-  match stage1 ~run ~config g ~l ~sigma with
+  match stage1 ~run ~config ~scope g ~l ~sigma with
   | exception Run.Cancelled _ -> ([], false)
   | entries ->
     let mined_lists, interrupted =
@@ -93,18 +103,22 @@ let mine_clusters ~run ~config dg ~l ~delta ~sigma =
      not interrupted)
 
 let fresh_run run = match run with Some r -> r | None -> Run.create ()
+let unscoped = fun _ -> true
 
-let create ?run ?(config = Skinny_mine.Config.default) dg ~l ~delta ~sigma =
+let create ?run ?(config = Skinny_mine.Config.default) ?(scope = unscoped) dg
+    ~l ~delta ~sigma =
   check_config config;
   let run = fresh_run run in
-  let clusters, complete = mine_clusters ~run ~config dg ~l ~delta ~sigma in
-  { dgraph = dg; l; delta; sigma; config; clusters; complete }
+  let clusters, complete =
+    mine_clusters ~run ~config ~scope dg ~l ~delta ~sigma
+  in
+  { dgraph = dg; l; delta; sigma; config; scope; clusters; complete }
 
-let restore ?run ?(config = Skinny_mine.Config.default) dg ~l ~delta ~sigma
-    ~patterns =
+let restore ?run ?(config = Skinny_mine.Config.default) ?(scope = unscoped) dg
+    ~l ~delta ~sigma ~patterns =
   check_config config;
   let run = fresh_run run in
-  match stage1 ~run ~config (Delta.snapshot dg) ~l ~sigma with
+  match stage1 ~run ~config ~scope (Delta.snapshot dg) ~l ~sigma with
   | exception Run.Cancelled _ -> None
   | entries ->
     (* Partition the flat stored list by diameter labels; preserving input
@@ -140,7 +154,10 @@ let restore ?run ?(config = Skinny_mine.Config.default) dg ~l ~delta ~sigma
       (* Every cluster emits at least its diameter pattern; an empty bucket
          means the stored set does not match this (l, δ, σ, config). *)
       if List.exists (fun c -> c.mined = []) clusters then None
-      else Some { dgraph = dg; l; delta; sigma; config; clusters; complete = true }
+      else
+        Some
+          { dgraph = dg; l; delta; sigma; config; scope; clusters;
+            complete = true }
 
 (* Byte-level identity key for diffing: pattern text + support + levels +
    diameter labels — the same rendering the oracle suite compares. *)
@@ -233,7 +250,8 @@ let update ?run t edits =
       } )
   else if not t.complete then
     (* Nothing trustworthy to splice: full rebuild at the new version. *)
-    let clusters, ok = mine_clusters ~run ~config:t.config dg' ~l:t.l
+    let clusters, ok =
+      mine_clusters ~run ~config:t.config ~scope:t.scope dg' ~l:t.l
         ~delta:t.delta ~sigma:t.sigma
     in
     if not ok then abort ~t ~t0 ~run
@@ -264,7 +282,8 @@ let update ?run t edits =
         mark_ball g0 v t.delta marks;
         mark_ball g1 v t.delta marks)
       touched;
-    match stage1 ~run ~config:t.config g1 ~l:t.l ~sigma:t.sigma with
+    match stage1 ~run ~config:t.config ~scope:t.scope g1 ~l:t.l ~sigma:t.sigma
+    with
     | exception Run.Cancelled _ -> abort ~t ~t0 ~run
     | entries ->
       let old_by_labels : (Path_pattern.t, cluster) Hashtbl.t =

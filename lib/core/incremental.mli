@@ -50,6 +50,7 @@ type diff = {
 val create :
   ?run:Spm_engine.Run.t ->
   ?config:Skinny_mine.Config.t ->
+  ?scope:(Path_pattern.t -> bool) ->
   Spm_graph.Delta.t ->
   l:int ->
   delta:int ->
@@ -58,6 +59,14 @@ val create :
 (** Full mine at the delta's current version, retaining per-cluster state
     for later {!update}s. An interrupted create yields an incomplete state
     (see {!complete}); its first successful update rebuilds from scratch.
+
+    [scope] (default: accept everything) is a cluster-ownership predicate
+    over canonical diameter labels: Stage I still runs over the whole graph
+    (the σ filter is global), but entries outside the scope are dropped
+    before growth, and every later {!update} repairs only in-scope
+    clusters. This is how a shard worker of the serving tier keeps the full
+    data graph while owning just its partition of the pattern set — results
+    and diffs are then the in-scope restriction of the unsharded answer.
     @raise Invalid_argument if [config] carries [max_patterns] or a custom
     [support] — both are global accounting that cluster-local repair cannot
     reproduce. *)
@@ -65,6 +74,7 @@ val create :
 val restore :
   ?run:Spm_engine.Run.t ->
   ?config:Skinny_mine.Config.t ->
+  ?scope:(Path_pattern.t -> bool) ->
   Spm_graph.Delta.t ->
   l:int ->
   delta:int ->
@@ -74,8 +84,9 @@ val restore :
 (** Rebuild incremental state from a complete stored pattern set without
     re-growing: Stage I runs on the snapshot and [patterns] are partitioned
     by [diameter_labels]. [None] if the partition does not line up with the
-    Stage-I entries (wrong parameters, incomplete store) — fall back to
-    {!create}. *)
+    ([scope]-filtered) Stage-I entries (wrong parameters, incomplete store,
+    patterns outside the scope) — fall back to {!create}. A shard store
+    restored with its own shard's [scope] lines up exactly. *)
 
 val update : ?run:Spm_engine.Run.t -> t -> Spm_graph.Delta.edit list -> t * diff
 (** Apply one edit batch (one graph version) and repair the pattern set.

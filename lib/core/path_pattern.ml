@@ -28,6 +28,29 @@ let is_canonical p = compare_labels p (rev p) <= 0
 
 let is_palindrome p = compare_labels p (rev p) = 0
 
+(* FNV-1a over the canonical label sequence, folded to 62 bits so the value
+   is identical on every OCaml int width (the offset basis is the FNV-64
+   one with its top two bits dropped). Orientation-insensitive (both
+   orientations name the same diameter cluster) and independent of
+   Hashtbl.hash internals, so a shard layout computed today opens
+   unchanged by any future build. *)
+let shard_key p =
+  let c = canonical p in
+  let h = ref 0x0bf29ce484222325 in
+  let mix byte = h := (!h lxor byte) * 0x100000001b3 land 0x3FFFFFFFFFFFFFFF in
+  Array.iter
+    (fun l ->
+      mix (l land 0xFF);
+      mix ((l lsr 8) land 0xFF);
+      mix ((l lsr 16) land 0xFF);
+      mix ((l lsr 24) land 0xFF))
+    c;
+  !h
+
+let shard_of ~shards p =
+  if shards <= 0 then invalid_arg "Path_pattern.shard_of: shards must be > 0";
+  shard_key p mod shards
+
 let to_pattern p =
   let n = Array.length p in
   Graph.Builder.of_edges ~labels:p (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))

@@ -28,6 +28,17 @@ val is_canonical : t -> bool
 
 val is_palindrome : t -> bool
 
+val shard_key : t -> int
+(** Deterministic, byte-stable hash of the {!canonical} label sequence
+    (FNV-1a folded to 62 bits): the cluster-partitioning key of the sharded
+    serving tier. Identical for a path and its reverse, identical across
+    builds and platforms — shard layouts computed with it remain valid
+    forever. *)
+
+val shard_of : shards:int -> t -> int
+(** [shard_key p mod shards] — which of [shards] shards owns the diameter
+    cluster keyed by [p]. @raise Invalid_argument if [shards <= 0]. *)
+
 val to_pattern : t -> Spm_pattern.Pattern.t
 (** The path graph with these labels (vertex i = position i). *)
 

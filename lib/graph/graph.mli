@@ -79,16 +79,6 @@ val max_label : t -> Label.t
 val num_labels : t -> int
 (** [max_label g + 1] — the size of a dense label universe. *)
 
-val of_edges : labels:Label.t array -> (int * int) list -> t
-[@@ocaml.deprecated
-  "use Graph.Builder.of_edges (batch) or Graph.Builder / Delta (mutation)"]
-(** Build from a label array (index = vertex id) and an edge list. Duplicate
-    edges are merged; self-loops are rejected. O(n + m log deg_max).
-    @raise Invalid_argument on self-loops or out-of-range endpoints.
-    @deprecated Shim kept for one release: construction now goes through
-    {!Builder.of_edges} (same behavior and cost), {!Builder} for piecewise
-    assembly, or [Delta] for evolving graphs. *)
-
 val induced : t -> int array -> t
 (** [induced g vs] is the subgraph induced by the distinct vertices [vs];
     vertex [i] of the result corresponds to [vs.(i)]. *)

@@ -6,6 +6,7 @@ type t = {
   version : int;
   mutable meta : (bool * float) option;
   mutable status : Run.status option;
+  mutable unreachable : string list;
   mutable closed : bool;
 }
 
@@ -13,6 +14,7 @@ let connect_version ~host ~port v =
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
   try
     Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+    (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
     Protocol.client_handshake ~version:v fd;
     fd
   with e ->
@@ -20,17 +22,17 @@ let connect_version ~host ~port v =
     raise e
 
 let connect ?(host = "127.0.0.1") ~port () =
-  (* Greet with the newest version; a pre-v3 server closes instead of
-     echoing, so fall back to the oldest supported greeting on a fresh
-     connection. *)
-  let fd, version =
-    match connect_version ~host ~port Protocol.version with
-    | fd -> (fd, Protocol.version)
-    | exception Codec.Corrupt _ when Protocol.min_version < Protocol.version
-      ->
-      (connect_version ~host ~port Protocol.min_version, Protocol.min_version)
+  (* Greet with the newest version; an older server closes instead of
+     echoing an unknown greeting, so walk down one version per fresh
+     connection until one is echoed. *)
+  let rec try_version v =
+    match connect_version ~host ~port v with
+    | fd -> (fd, v)
+    | exception Codec.Corrupt _ when v > Protocol.min_version ->
+      try_version (v - 1)
   in
-  { fd; version; meta = None; status = None; closed = false }
+  let fd, version = try_version Protocol.version in
+  { fd; version; meta = None; status = None; unreachable = []; closed = false }
 
 let version t = t.version
 
@@ -48,6 +50,7 @@ let call t req =
     let resp = Protocol.decode_response frame in
     t.meta <- Some (resp.Protocol.cache_hit, resp.Protocol.seconds);
     t.status <- Some resp.Protocol.status;
+    t.unreachable <- resp.Protocol.unreachable;
     resp
 
 let with_connection ?host ~port f =
@@ -56,6 +59,7 @@ let with_connection ?host ~port f =
 
 let last_meta t = t.meta
 let last_status t = t.status
+let last_unreachable t = t.unreachable
 
 exception Server_error of string
 

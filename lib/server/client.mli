@@ -6,9 +6,10 @@ type t
 
 val connect : ?host:string -> port:int -> unit -> t
 (** TCP connect + protocol handshake. Greets with {!Protocol.version}; if
-    the server closes instead of echoing (a pre-v3 server refusing an
-    unknown greeting), reconnects and greets with {!Protocol.min_version},
-    so new clients keep working against old servers.
+    the server closes instead of echoing (an older server refusing an
+    unknown greeting), reconnects and greets one version lower, down to
+    {!Protocol.min_version} — so new clients keep working against old
+    servers at the newest version both sides speak.
     @raise Unix.Unix_error on connection failure.
     @raise Spm_store.Codec.Corrupt if the peer is not a SkinnyServe server. *)
 
@@ -78,3 +79,10 @@ val last_status : t -> Spm_engine.Run.status option
 (** {!Spm_engine.Run.status} of the most recent response: anything other
     than [Ok] means the answer was truncated by the server's mine deadline
     or a concurrent [Cancel]. *)
+
+val last_unreachable : t -> string list
+(** Shards the most recent response is missing (the router's v4 [Partial]
+    status) — empty for complete answers and for every response from a
+    single-process server. The typed wrappers deliver partial answers
+    normally; callers that must distinguish degraded responses check
+    here. *)

@@ -9,8 +9,14 @@ module Run = Spm_engine.Run
    v3: Update/Subscribe for evolving graphs. Every v2 frame layout is
    unchanged, so v3 is negotiated (the server accepts both greetings and
    echoes the one it got) rather than gated: a v2 client keeps working,
-   it just cannot send the v3-only verbs. *)
-let version = 3
+   it just cannot send the v3-only verbs.
+
+   v4: the Partial response status of the sharded serving tier — status
+   byte 3 followed by the names of the unreachable shards. Requests are
+   untouched and every pre-v4 response byte sequence is unchanged, so v4 is
+   negotiated like v3 was; a router only emits Partial envelopes on
+   connections that greeted with v4 (older clients get a plain Error). *)
+let version = 4
 let min_version = 2
 let handshake_of_version v = Printf.sprintf "SKNYSRV%d" v
 let handshake = handshake_of_version version
@@ -104,8 +110,17 @@ type response = {
   cache_hit : bool;
   seconds : float;
   status : Run.status;
+  unreachable : string list;
+      (* v4: shards that could not contribute to this answer (the router's
+         Partial status). Empty everywhere else — and the empty list encodes
+         to the plain pre-v4 status byte, so full answers are byte-identical
+         to a single-process server's. *)
   payload : payload;
 }
+
+let response ?(cache_hit = false) ?(seconds = 0.0) ?(status = Run.Ok)
+    ?(unreachable = []) payload =
+  { cache_hit; seconds; status; unreachable; payload }
 
 let cacheable = function
   | Mine _ | Lookup _ | Contains _ -> true
@@ -253,17 +268,19 @@ let decode_payload r =
 
 let status_byte = function Run.Ok -> 0 | Run.Timeout -> 1 | Run.Cancelled -> 2
 
-let status_of_byte = function
-  | 0 -> Run.Ok
-  | 1 -> Run.Timeout
-  | 2 -> Run.Cancelled
-  | b -> raise (Codec.Corrupt (Printf.sprintf "unknown status byte %d" b))
-
 let encode_response resp =
   let w = Codec.W.create () in
   Codec.W.bool w resp.cache_hit;
   Codec.W.float w resp.seconds;
-  Codec.W.byte w (status_byte resp.status);
+  (* Status byte 3 (v4) is "Partial": an Ok answer missing the named
+     shards' contributions, the shard list spliced in before the payload.
+     An empty list uses the plain status byte, keeping every pre-v4
+     response encoding unchanged. *)
+  (match resp.unreachable with
+  | [] -> Codec.W.byte w (status_byte resp.status)
+  | shards ->
+    Codec.W.byte w 3;
+    Codec.W.list w Codec.W.string shards);
   encode_payload w resp.payload;
   Codec.W.contents w
 
@@ -271,9 +288,16 @@ let decode_response s =
   let r = Codec.R.of_string s in
   let cache_hit = Codec.R.bool r in
   let seconds = Codec.R.float r in
-  let status = status_of_byte (Codec.R.byte r) in
+  let status, unreachable =
+    match Codec.R.byte r with
+    | 0 -> (Run.Ok, [])
+    | 1 -> (Run.Timeout, [])
+    | 2 -> (Run.Cancelled, [])
+    | 3 -> (Run.Ok, Codec.R.list r Codec.R.string)
+    | b -> raise (Codec.Corrupt (Printf.sprintf "unknown status byte %d" b))
+  in
   let payload = decode_payload r in
-  { cache_hit; seconds; status; payload }
+  { cache_hit; seconds; status; unreachable; payload }
 
 (* --- framing --- *)
 
@@ -343,13 +367,17 @@ let write_frame fd payload =
   let len = String.length payload in
   if len > max_frame then
     raise (Codec.Corrupt (Printf.sprintf "frame too large to send: %d bytes" len));
-  let hdr = Bytes.create 4 in
-  Bytes.set_uint8 hdr 0 ((len lsr 24) land 0xFF);
-  Bytes.set_uint8 hdr 1 ((len lsr 16) land 0xFF);
-  Bytes.set_uint8 hdr 2 ((len lsr 8) land 0xFF);
-  Bytes.set_uint8 hdr 3 (len land 0xFF);
-  really_write fd (Bytes.unsafe_to_string hdr);
-  really_write fd payload
+  (* Header and payload go out in ONE write: a separate 4-byte header
+     write leaves a small unacked segment in flight, and Nagle then holds
+     the payload back for the peer's delayed ACK — a ~40ms stall per frame
+     on loopback request-response traffic. *)
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_uint8 frame 0 ((len lsr 24) land 0xFF);
+  Bytes.set_uint8 frame 1 ((len lsr 16) land 0xFF);
+  Bytes.set_uint8 frame 2 ((len lsr 8) land 0xFF);
+  Bytes.set_uint8 frame 3 (len land 0xFF);
+  Bytes.blit_string payload 0 frame 4 len;
+  really_write fd (Bytes.unsafe_to_string frame)
 
 let read_frame fd =
   match really_read fd 4 with

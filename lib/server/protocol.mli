@@ -19,10 +19,12 @@
     without a separate stats round trip. *)
 
 val version : int
-(** Newest protocol version this build speaks (3). v2 widened the response
+(** Newest protocol version this build speaks (4). v2 widened the response
     envelope with a status byte and added [Progress]/[Cancel]; v3 added
-    [Update]/[Subscribe] for evolving graphs. Every v2 frame layout is
-    unchanged in v3, so v3 is negotiated rather than gated. *)
+    [Update]/[Subscribe] for evolving graphs; v4 added the [Partial]
+    response status of the sharded serving tier (status byte 3 followed by
+    the unreachable shard names). Each extension leaves every earlier frame
+    layout unchanged, so newer versions are negotiated rather than gated. *)
 
 val min_version : int
 (** Oldest version still accepted at the handshake (2). v1 peers would
@@ -155,8 +157,26 @@ type response = {
       (** [Ok] unless this response was truncated by the server's
           per-request mine deadline ([Timeout]) or a [Cancel] ([Cancelled]);
           [Patterns] then holds the partial results *)
+  unreachable : string list;
+      (** v4 [Partial] status: shards that could not contribute to this
+          answer (worker down or past its deadline) — the router's degraded
+          -but-well-formed response. Always empty from a single-process
+          server, and an empty list encodes to the plain status byte, so
+          full answers are byte-identical across the two tiers. Only sent
+          on connections that negotiated v4. *)
   payload : payload;
 }
+
+val response :
+  ?cache_hit:bool ->
+  ?seconds:float ->
+  ?status:Spm_engine.Run.status ->
+  ?unreachable:string list ->
+  payload ->
+  response
+(** Envelope constructor with neutral defaults ([false], [0.0], [Ok],
+    [[]]) — the construction surface that lets future envelope fields
+    extend here instead of at every call site. *)
 
 (** {1 Codec} *)
 

@@ -2,6 +2,7 @@ module Graph = Spm_graph.Graph
 module Delta = Spm_graph.Delta
 module Skinny_mine = Spm_core.Skinny_mine
 module Incremental = Spm_core.Incremental
+module Path_pattern = Spm_core.Path_pattern
 module Store = Spm_store.Store
 module Codec = Spm_store.Codec
 module Pool = Spm_engine.Pool
@@ -36,6 +37,11 @@ type t = {
   mutable live : Incremental.t option;
       (* Incremental mining state at [version]; built lazily on the first
          [Update] (eagerly when the loaded store carries a journal). *)
+  mutable scope : (Path_pattern.t -> bool) option;
+      (* Cluster-ownership predicate, derived from the resident store's
+         shard identity: a shard worker serves (and repairs, and mines)
+         only the diameter clusters its shard owns. [None] for ordinary
+         stores — behaviour is then exactly the unsharded server's. *)
   sub_lock : Mutex.t;
   mutable subscribers : Unix.file_descr list;
       (* Connections handed off by [Subscribe]; each gets one pushed
@@ -66,6 +72,7 @@ let create ?(jobs = 1) ?(cache_capacity = 128) ?mine_timeout
     store_path = None;
     version = 0;
     live = None;
+    scope = None;
     sub_lock = Mutex.create ();
     subscribers = [];
     requests = 0;
@@ -93,23 +100,34 @@ let incr_config t (s : Store.pattern_store) =
     jobs = t.jobs;
   }
 
+(* A shard store's ownership predicate: the diameter clusters whose
+   byte-stable key maps to its shard index. *)
+let scope_of_store (s : Store.pattern_store) =
+  Option.map
+    (fun (index, count) ->
+      fun labels -> Path_pattern.shard_of ~shards:count labels = index)
+    s.Store.shard
+
 (* Incremental state for the resident store: restore from its pattern set
    (no re-mining) when it partitions cleanly, re-mine from scratch if not
    (a store from a foreign producer), then replay the journal batch by
-   batch to reach [latest_version]. *)
+   batch to reach [latest_version]. Shard stores restore/create/update
+   under their ownership scope, so repairs never grow clusters the shard
+   does not own. *)
 let build_live t (s : Store.pattern_store) =
   if not s.Store.complete then
     failwith "resident store is incomplete (truncated mine); cannot update";
   let config = incr_config t s in
+  let scope = scope_of_store s in
   let dg = Delta.of_graph s.Store.graph in
   let inc =
     match
-      Incremental.restore ~config dg ~l:s.Store.l ~delta:s.Store.delta
+      Incremental.restore ~config ?scope dg ~l:s.Store.l ~delta:s.Store.delta
         ~sigma:s.Store.sigma ~patterns:s.Store.patterns
     with
     | Some inc -> inc
     | None ->
-      Incremental.create ~config dg ~l:s.Store.l ~delta:s.Store.delta
+      Incremental.create ~config ?scope dg ~l:s.Store.l ~delta:s.Store.delta
         ~sigma:s.Store.sigma
   in
   List.fold_left
@@ -124,6 +142,7 @@ let install_store t ?path s =
   t.store_path <- path;
   t.version <- Store.latest_version s;
   t.live <- live;
+  t.scope <- scope_of_store s;
   (match live with
   | Some inc ->
     t.graph <- Some (Delta.snapshot (Incremental.graph inc));
@@ -141,6 +160,7 @@ let set_graph t g =
       t.store_path <- None;
       t.version <- 0;
       t.live <- None;
+      t.scope <- None;
       t.graph <- Some g;
       t.index <- Sig_index.build [];
       Lru.clear t.cache)
@@ -193,17 +213,23 @@ let dispatch_unlocked t req : dispatch =
   | Mine { l; delta; sigma; closed_growth } -> (
     let matches_store =
       match t.store with
-      | Some s ->
+      | Some s
+        when s.Store.complete && s.Store.l = l && s.Store.delta = delta
+             && s.Store.sigma = sigma
+             && s.Store.closed_growth = closed_growth -> (
         (* An incomplete store (flushed from a timed-out mine) is a prefix,
            not the answer set — never let it satisfy a Mine request. Only
            an update-free store short-circuits: after updates the resident
            patterns live in [live], and [t.graph] tracks them. *)
-        if s.Store.complete && t.live = None && s.Store.l = l
-           && s.Store.delta = delta && s.Store.sigma = sigma
-           && s.Store.closed_growth = closed_growth
-        then Some s.Store.patterns
-        else None
-      | None -> None
+        match t.live with
+        | None -> Some s.Store.patterns
+        | Some inc when Option.is_some t.scope && Incremental.complete inc ->
+          (* A shard worker past an update: serve the scoped incremental
+             state — the owned restriction of the current version's answer.
+             (A full re-mine would leak clusters the shard does not own.) *)
+          Some (Incremental.patterns inc)
+        | Some _ -> None)
+      | Some _ | None -> None
     in
     match matches_store with
     | Some patterns ->
@@ -291,17 +317,22 @@ let run_mine t { Protocol.l; delta; sigma; closed_growth } g =
         in
         Skinny_mine.mine ~config ~run g ~l ~delta ~sigma)
   in
-  (r.Skinny_mine.stats.Skinny_mine.status, Protocol.Patterns r.Skinny_mine.patterns)
+  (* A shard worker answers any Mine with the owned restriction of the full
+     answer: the router's merge of all shards is then the complete set. *)
+  let patterns =
+    match t.scope with
+    | None -> r.Skinny_mine.patterns
+    | Some owned ->
+      List.filter
+        (fun (m : Skinny_mine.mined) -> owned m.Skinny_mine.diameter_labels)
+        r.Skinny_mine.patterns
+  in
+  (r.Skinny_mine.stats.Skinny_mine.status, Protocol.Patterns patterns)
 
 let push_to_subscribers t (u : Protocol.update_reply) ~seconds =
   let frame =
     Protocol.encode_response
-      {
-        Protocol.cache_hit = false;
-        seconds;
-        status = Run.Ok;
-        payload = Protocol.Update_reply u;
-      }
+      (Protocol.response ~seconds (Protocol.Update_reply u))
   in
   Mutex.lock t.sub_lock;
   Fun.protect
@@ -394,17 +425,13 @@ let handle ?(client_version = Protocol.version) t req : Protocol.response =
     locked t (fun () ->
         t.requests <- t.requests + 1;
         t.errors <- t.errors + 1);
-    {
-      Protocol.cache_hit = false;
-      seconds = Clock.now () -. t0;
-      status = Run.Ok;
-      payload =
-        Protocol.Error
-          (Printf.sprintf
-             "request requires protocol v%d (connection negotiated v%d)"
-             (Protocol.request_version req)
-             client_version);
-    }
+    Protocol.response
+      ~seconds:(Clock.now () -. t0)
+      (Protocol.Error
+         (Printf.sprintf
+            "request requires protocol v%d (connection negotiated v%d)"
+            (Protocol.request_version req)
+            client_version))
   end
   else begin
     let req_bytes =
@@ -424,7 +451,7 @@ let handle ?(client_version = Protocol.version) t req : Protocol.response =
           | _, _ -> ());
           let seconds = Clock.now () -. t0 in
           t.service_seconds <- t.service_seconds +. seconds;
-          { Protocol.cache_hit; seconds; status; payload })
+          Protocol.response ~cache_hit ~seconds ~status payload)
     in
     (* Phase 1, under the state lock: cache probe plus every request except
        an actual mine or update. The cache key is the graph version plus
@@ -526,6 +553,7 @@ let listen ?(host = "127.0.0.1") ~port () =
   (fd, actual_port)
 
 let handle_connection t conn =
+  (try Unix.setsockopt conn TCP_NODELAY true with Unix.Unix_error _ -> ());
   (* A [Subscribe] hands the socket over to the push registry: this thread
      exits without closing it, and the fd dies with the registry (push
      failure or shutdown). *)
@@ -551,13 +579,7 @@ let handle_connection t conn =
               (* Undecodable request: report and drop the connection — the
                  stream offset can no longer be trusted. *)
               Protocol.write_frame conn
-                (Protocol.encode_response
-                   {
-                     cache_hit = false;
-                     seconds = 0.0;
-                     status = Run.Ok;
-                     payload = Error msg;
-                   })
+                (Protocol.encode_response (Protocol.response (Error msg)))
             | Ok req -> (
               let resp = handle ~client_version t req in
               Protocol.write_frame conn (Protocol.encode_response resp);

@@ -63,7 +63,14 @@ val set_store : t -> ?path:string -> Spm_store.Store.pattern_store -> unit
     the resident set reflects {!Spm_store.Store.latest_version}. When
     [path] is given, committed updates persist the journal back to it
     (as does the path of a [Load_store] request). Clears the response
-    cache. *)
+    cache.
+
+    A {e shard} store (one with [shard = Some (i, n)], produced by
+    {!Spm_cluster.Partition}) automatically scopes the server to the
+    diameter clusters shard [i] of [n] owns: [Mine] answers are the owned
+    restriction of the full answer (a router merges the shards back into
+    the complete set), and [Update] repairs only owned clusters — the
+    server becomes a shard worker with no further configuration. *)
 
 val set_graph : t -> Spm_graph.Graph.t -> unit
 (** Install a bare data graph (mine requests only; empty resident set, no

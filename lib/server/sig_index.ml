@@ -33,6 +33,7 @@ let signature_of_counts counts =
     (Array.to_list (Array.map (fun (l, c) -> Printf.sprintf "%d:%d" l c) counts))
 
 let signature p = signature_of_counts (label_counts_of p)
+let label_counts = label_counts_of
 
 let push tbl key idx =
   Hashtbl.replace tbl key (idx :: Option.value ~default:[] (Hashtbl.find_opt tbl key))

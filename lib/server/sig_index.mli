@@ -26,6 +26,21 @@ val signature : Spm_pattern.Pattern.t -> string
 (** The label-signature key itself: sorted ["label:count"] pairs. Exposed
     for tests and for client-side signature computation. *)
 
+val label_counts : Spm_pattern.Pattern.t -> (int * int) array
+(** The sorted (label, count) multiset behind {!signature} — the raw form
+    the cluster router's shard summaries aggregate and compare. *)
+
+val normalize_multiset : Spm_graph.Label.t list -> (int * int) array
+(** A query's label multiset in the same sorted (label, count) form. *)
+
+val signature_of_counts : (int * int) array -> string
+(** Interned string key of a sorted (label, count) multiset. *)
+
+val dominated : (int * int) array -> Spm_graph.Graph.t -> bool
+(** Whether the target graph's label frequencies dominate the multiset — the
+    necessary condition for any pattern with that signature to embed, shared
+    by {!containment_candidates} and the router's shard pruning. *)
+
 val lookup :
   ?min_support:int ->
   ?max_support:int ->

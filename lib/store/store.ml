@@ -404,6 +404,7 @@ type pattern_store = {
   patterns : Skinny_mine.mined list;
   base_version : int;
   journal : Spm_graph.Delta.edit list list;
+  shard : (int * int) option;
   graph_format : graph_format;
 }
 
@@ -419,6 +420,7 @@ let of_result ?(graph_format = G2) ~graph ~l ~delta ~sigma ~closed_growth
     patterns = r.patterns;
     base_version = 0;
     journal = [];
+    shard = None;
     graph_format;
   }
 
@@ -433,6 +435,7 @@ let of_graph ?(graph_format = G2) graph =
     patterns = [];
     base_version = 0;
     journal = [];
+    shard = None;
     graph_format;
   }
 
@@ -463,6 +466,14 @@ let emit_store w s =
         Codec.W.uint w s.base_version;
         Codec.W.list w (fun w batch -> Codec.W.list w write_edit batch)
           s.journal);
+  (* Shard identity of a partitioned store (index, total). Same conditional
+     emission contract as 'J': unsharded stores keep their original bytes. *)
+  (match s.shard with
+  | None -> ()
+  | Some (index, count) ->
+    Codec.W.section w ~tag:'H' (fun w ->
+        Codec.W.uint w index;
+        Codec.W.uint w count));
   match s.graph_format with
   | Legacy -> ()
   | G2 ->
@@ -496,6 +507,18 @@ let store_of_sections ~graph ~graph_format secs =
       let journal = Codec.R.list j (fun r -> Codec.R.list r read_edit) in
       (base_version, journal)
   in
+  let shard =
+    match List.assoc_opt 'H' secs with
+    | None -> None
+    | Some h ->
+      let index = Codec.R.uint h in
+      let count = Codec.R.uint h in
+      if count <= 0 || index < 0 || index >= count then
+        raise
+          (Codec.Corrupt
+             (Printf.sprintf "invalid shard identity %d of %d" index count));
+      Some (index, count)
+  in
   {
     graph;
     l;
@@ -506,6 +529,7 @@ let store_of_sections ~graph ~graph_format secs =
     patterns;
     base_version;
     journal;
+    shard;
     graph_format;
   }
 

@@ -77,6 +77,14 @@ type pattern_store = {
           these through the incremental miner to reach version
           [base_version + length journal]. Pre-journal files decode with an
           empty journal and re-encode byte-identically. *)
+  shard : (int * int) option;
+      (** [(index, count)] when this store is one shard of a partitioned
+          layout ({!Spm_cluster.Partition}): [patterns] is then the subset
+          of the source store's patterns whose diameter-cluster key maps to
+          [index] under [Spm_core.Path_pattern.shard_of ~shards:count],
+          while [graph] stays the full data graph (updates and containment
+          need it). [None] for ordinary stores; pre-shard files decode as
+          [None] and re-encode byte-identically. *)
   graph_format : graph_format;
       (** Layout {!encode} / {!save} will use; set from the file version on
           decode. *)

@@ -1,0 +1,39 @@
+type dist =
+  | Uniform
+  | Cdf of float array  (* cdf.(k) = P(key <= k); last entry is 1.0 *)
+
+type t = { n : int; state : Random.State.t; dist : dist }
+
+let uniform ~seed ~n =
+  if n < 1 then invalid_arg "Sampler.uniform: n must be >= 1";
+  { n; state = Random.State.make [| seed |]; dist = Uniform }
+
+let zipf ?(s = 1.0) ~seed ~n () =
+  if n < 1 then invalid_arg "Sampler.zipf: n must be >= 1";
+  if s < 0. then invalid_arg "Sampler.zipf: s must be >= 0";
+  let weights = Array.init n (fun k -> 1. /. Float.pow (float_of_int (k + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. (w /. total);
+      cdf.(k) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { n; state = Random.State.make [| seed |]; dist = Cdf cdf }
+
+let next t =
+  match t.dist with
+  | Uniform -> Random.State.int t.state t.n
+  | Cdf cdf ->
+    let u = Random.State.float t.state 1.0 in
+    (* smallest k with cdf.(k) >= u *)
+    let lo = ref 0 and hi = ref (t.n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let n t = t.n

@@ -1,0 +1,30 @@
+(** Seeded key samplers for synthetic serving workloads.
+
+    The cluster load generator draws query keys from these: [uniform]
+    spreads load evenly, [zipf] concentrates it on a few hot keys the way
+    real query logs do — rank [k] (1-based) is drawn with probability
+    proportional to [1 / k^s], so [s = 0] degenerates to uniform and
+    larger [s] skews harder (web-style workloads sit near [s = 1]).
+
+    Sampling is inverse-CDF over a precomputed table (O(n) setup, O(log n)
+    per draw) from a private [Random.State], so a given [(seed, n, s)]
+    yields the same key sequence on every run — benchmark workloads are
+    reproducible by construction. *)
+
+type t
+
+val uniform : seed:int -> n:int -> t
+(** Each key in [0 .. n-1] equally likely.
+    @raise Invalid_argument if [n < 1]. *)
+
+val zipf : ?s:float -> seed:int -> n:int -> unit -> t
+(** Key [k] (0-based) drawn with probability proportional to
+    [1 / (k+1)^s]; [s] defaults to [1.0]. Keys are hotness-ranked: key 0
+    is the hottest.
+    @raise Invalid_argument if [n < 1] or [s < 0]. *)
+
+val next : t -> int
+(** The next key, in [0 .. n-1]. Advances the sampler's private state. *)
+
+val n : t -> int
+(** The key-space size. *)

@@ -1,19 +1,28 @@
-(* Frame-level fuzzing of the SKNYSRV2 protocol.
+(* Frame-level fuzzing of the SKNYSRV protocol.
 
-   The contract under attack: whatever bytes a peer throws at the server —
-   wrong handshakes, oversized or truncated frames, undecodable payloads,
-   mutated valid requests — the server answers with an [Error] response or
-   drops that one connection, and ALWAYS stays alive for the next client.
-   Every attack round is followed by a liveness probe (fresh connection,
-   handshake, Ping) so a hung or dead server fails the very round that
-   killed it.
+   The contract under attack: whatever bytes a peer throws at the serving
+   endpoint — wrong handshakes, oversized or truncated frames, undecodable
+   payloads, mutated valid requests — it answers with an [Error] response
+   or drops that one connection, and ALWAYS stays alive for the next
+   client. Every attack round is followed by a liveness probe (fresh
+   connection, handshake, Ping) so a hung or dead endpoint fails the very
+   round that killed it.
 
-   All randomness is drawn from fixed seeds; the server runs in-process on
-   an ephemeral port. *)
+   Both serving tiers speak the same wire protocol, so every attack runs
+   twice: once against a single-process {!Server}, once against a
+   {!Spm_cluster.Router} fronting two shard workers — a fuzz-crashed
+   router (or a router wedged by a confused worker leg) fails the same
+   liveness probe.
+
+   All randomness is drawn from fixed seeds; everything runs in-process on
+   ephemeral ports. *)
 
 module Protocol = Spm_server.Protocol
 module Server = Spm_server.Server
 module Client = Spm_server.Client
+module Partition = Spm_cluster.Partition
+module Worker = Spm_cluster.Worker
+module Router = Spm_cluster.Router
 
 let graph () =
   (Spm_oracle.Corpus.find "star6").Spm_oracle.Corpus.graph
@@ -29,6 +38,45 @@ let with_server f =
        with _ -> ());
       Thread.join th)
     (fun () -> f port)
+
+(* The same wire surface served by a router over two shard workers: the
+   corpus graph mined at toy parameters, partitioned, one worker per
+   shard, router on an ephemeral port. *)
+let with_router f =
+  let dir = Filename.temp_file "spm_fuzz_cluster_" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let g = graph () in
+  let r = Spm_core.Skinny_mine.mine g ~l:2 ~delta:1 ~sigma:1 in
+  let s =
+    Spm_store.Store.of_result ~graph:g ~l:2 ~delta:1 ~sigma:1
+      ~closed_growth:false r
+  in
+  let base = Filename.concat dir "corpus" in
+  let shards = 2 in
+  let manifest = Partition.write ~base ~shards s in
+  let workers =
+    Array.init shards (fun i ->
+        Worker.start ~jobs:1
+          (Spm_store.Store.load (Partition.shard_file ~base ~shard:i ~shards)))
+  in
+  let endpoints = Array.map (fun w -> ("127.0.0.1", Worker.port w)) workers in
+  let router = Router.create ~deadline:30.0 ~manifest ~endpoints () in
+  let fd, port = Server.listen ~port:0 () in
+  let th = Thread.create (fun () -> Router.serve router fd) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Client.with_connection ~port Client.shutdown with _ -> ());
+      Thread.join th;
+      Array.iter Worker.stop workers;
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f port)
+
+(* Every attack suite runs against both serving tiers. *)
+let targets = [ ("server", with_server); ("router", with_router) ]
 
 let connect port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -74,8 +122,8 @@ let bad_handshakes =
     ("empty close", "");
   ]
 
-let test_bad_handshakes () =
-  with_server (fun port ->
+let test_bad_handshakes with_target () =
+  with_target (fun port ->
       List.iter
         (fun (name, hs) ->
           let fd = connect port in
@@ -115,8 +163,8 @@ let handshaken port =
     (Bytes.sub_string echo 0 got);
   fd
 
-let test_frame_attacks () =
-  with_server (fun port ->
+let test_frame_attacks with_target () =
+  with_target (fun port ->
       let attacks =
         [
           ("oversized length prefix", raw_frame_header (Protocol.max_frame + 1));
@@ -137,7 +185,7 @@ let test_frame_attacks () =
 
 (* --- mutated valid requests --- *)
 
-let test_mutated_requests () =
+let test_mutated_requests with_target () =
   let requests =
     [
       Protocol.Ping;
@@ -153,8 +201,10 @@ let test_mutated_requests () =
       Protocol.Contains (graph ());
     ]
   in
+  (* A fresh stream per target: both tiers face the identical mutation
+     sequence. *)
   let st = Spm_graph.Gen.rng 777 in
-  with_server (fun port ->
+  with_target (fun port ->
       List.iter
         (fun req ->
           let payload = Protocol.encode_request req in
@@ -198,16 +248,26 @@ let test_decode_request_total () =
 
 let () =
   Alcotest.run "fuzz_protocol"
-    [
-      ( "protocol",
-        [
-          Alcotest.test_case "bad handshakes never kill the server" `Quick
-            test_bad_handshakes;
-          Alcotest.test_case "malformed frames never kill the server" `Quick
-            test_frame_attacks;
-          Alcotest.test_case "mutated requests earn error responses" `Quick
-            test_mutated_requests;
-          Alcotest.test_case "request decoder is total" `Quick
-            test_decode_request_total;
-        ] );
-    ]
+    (List.map
+       (fun (tname, with_target) ->
+         ( tname,
+           [
+             Alcotest.test_case
+               (Printf.sprintf "bad handshakes never kill the %s" tname)
+               `Quick
+               (test_bad_handshakes with_target);
+             Alcotest.test_case
+               (Printf.sprintf "malformed frames never kill the %s" tname)
+               `Quick
+               (test_frame_attacks with_target);
+             Alcotest.test_case "mutated requests earn error responses" `Quick
+               (test_mutated_requests with_target);
+           ] ))
+       targets
+    @ [
+        ( "decoder",
+          [
+            Alcotest.test_case "request decoder is total" `Quick
+              test_decode_request_total;
+          ] );
+      ])

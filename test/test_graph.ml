@@ -78,20 +78,6 @@ let test_builder_remove_edge () =
     (Graph.Builder.remove_edge b w v);
   check "empty after both removals" 0 (Graph.m (Graph.Builder.freeze b))
 
-(* The deprecated top-level constructor must keep working (and keep its
-   original error messages) for out-of-tree callers during the migration. *)
-let test_deprecated_of_edges_shim () =
-  let g =
-    (Graph.of_edges [@alert "-deprecated"])
-      ~labels:[| 0; 1 |]
-      [ (0, 1) ]
-  in
-  check "shim n" 2 (Graph.n g);
-  check "shim m" 1 (Graph.m g);
-  Alcotest.check_raises "shim keeps its message"
-    (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
-      ignore ((Graph.of_edges [@alert "-deprecated"]) ~labels:[| 0 |] [ (0, 0) ]))
-
 let test_delta_basics () =
   let g = small () in
   let d0 = Delta.of_graph g in
@@ -743,8 +729,6 @@ let () =
           Alcotest.test_case "builder" `Quick test_builder;
           Alcotest.test_case "builder remove edge" `Quick
             test_builder_remove_edge;
-          Alcotest.test_case "deprecated of_edges shim" `Quick
-            test_deprecated_of_edges_shim;
         ] );
       ( "delta",
         [

@@ -184,32 +184,26 @@ let test_protocol_roundtrip () =
   let s = corpus_store () in
   let ok = Spm_engine.Run.Ok in
   let resps =
-    [ { Protocol.cache_hit = false; seconds = 0.25; status = ok;
-        payload = Protocol.Pong };
-      { Protocol.cache_hit = true; seconds = 0.0; status = ok;
-        payload = Protocol.Patterns s.Store.patterns };
-      { Protocol.cache_hit = false; seconds = 1e-6; status = ok;
-        payload = Protocol.Loaded 17 };
-      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
-        payload =
-          Protocol.Stats_reply
-            { requests = 5; cache_hits = 2; errors = 1; store_patterns = 17;
-              uptime_seconds = 1.5; service_seconds = 0.125 } };
-      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
-        payload = Protocol.Bye };
-      { Protocol.cache_hit = false; seconds = 0.0;
-        status = Spm_engine.Run.Timeout;
-        payload = Protocol.Patterns s.Store.patterns };
-      { Protocol.cache_hit = false; seconds = 0.5;
-        status = Spm_engine.Run.Cancelled;
-        payload =
-          Protocol.Progress_reply
-            { running = true; candidates = 12; emitted = 3; level = 5;
-              elapsed_seconds = 0.25 } };
-      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
-        payload = Protocol.Cancel_ack true };
-      { Protocol.cache_hit = false; seconds = 0.0; status = ok;
-        payload = Protocol.Error "boom" } ]
+    [ Protocol.response ~seconds:0.25 ~status:ok Protocol.Pong;
+      Protocol.response ~cache_hit:true
+        (Protocol.Patterns s.Store.patterns);
+      Protocol.response ~seconds:1e-6 (Protocol.Loaded 17);
+      Protocol.response
+        (Protocol.Stats_reply
+           { requests = 5; cache_hits = 2; errors = 1; store_patterns = 17;
+             uptime_seconds = 1.5; service_seconds = 0.125 });
+      Protocol.response Protocol.Bye;
+      Protocol.response ~status:Spm_engine.Run.Timeout
+        (Protocol.Patterns s.Store.patterns);
+      Protocol.response ~seconds:0.5 ~status:Spm_engine.Run.Cancelled
+        (Protocol.Progress_reply
+           { running = true; candidates = 12; emitted = 3; level = 5;
+             elapsed_seconds = 0.25 });
+      Protocol.response (Protocol.Cancel_ack true);
+      Protocol.response (Protocol.Error "boom");
+      (* v4 Partial envelope: degraded answer naming its missing shards. *)
+      Protocol.response ~unreachable:[ "shard1"; "shard3" ]
+        (Protocol.Patterns s.Store.patterns) ]
   in
   List.iter
     (fun resp ->
@@ -217,7 +211,8 @@ let test_protocol_roundtrip () =
       check_bool "envelope" true
         (resp.Protocol.cache_hit = resp'.Protocol.cache_hit
         && resp.Protocol.seconds = resp'.Protocol.seconds
-        && resp.Protocol.status = resp'.Protocol.status);
+        && resp.Protocol.status = resp'.Protocol.status
+        && resp.Protocol.unreachable = resp'.Protocol.unreachable);
       match (resp.Protocol.payload, resp'.Protocol.payload) with
       | Protocol.Patterns a, Protocol.Patterns b ->
         Alcotest.(check string) "patterns payload" (render a) (render b)
@@ -514,14 +509,7 @@ let test_protocol_v3_roundtrip () =
       clusters = 9;
     }
   in
-  let resp =
-    {
-      Protocol.cache_hit = false;
-      seconds = 0.125;
-      status = Spm_engine.Run.Ok;
-      payload = Protocol.Update_reply u;
-    }
-  in
+  let resp = Protocol.response ~seconds:0.125 (Protocol.Update_reply u) in
   (match (Protocol.decode_response (Protocol.encode_response resp)).payload with
   | Protocol.Update_reply u' ->
     check "new_version" u.Protocol.new_version u'.Protocol.new_version;
@@ -585,7 +573,8 @@ let test_update_subscribe_e2e () =
             (fun () ->
               check "subscribed at v0" 0 (Client.subscribe subscriber);
               Client.with_connection ~port (fun c ->
-                  check "negotiated v3" 3 (Client.version c);
+                  check "negotiated newest" Protocol.version
+                    (Client.version c);
                   (* Prime the LRU with a pre-update answer. *)
                   let before =
                     Client.mine c
@@ -721,19 +710,14 @@ let test_client_falls_back_to_v2 () =
         (match Protocol.read_frame conn with
         | Some _ ->
           Protocol.write_frame conn
-            (Protocol.encode_response
-               {
-                 Protocol.cache_hit = false;
-                 seconds = 0.0;
-                 status = Spm_engine.Run.Ok;
-                 payload = Protocol.Pong;
-               })
+            (Protocol.encode_response (Protocol.response Protocol.Pong))
         | None -> ());
         finish ()
       | _ | (exception Exit) -> finish ()
     in
-    (* First connection is the v3 attempt (closed unanswered), second is
-       the v2 fallback. *)
+    (* The client walks down one version per connection: v4 and v3
+       attempts (closed unanswered), then the v2 fallback. *)
+    serve_one ();
     serve_one ();
     serve_one ()
   in

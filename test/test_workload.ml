@@ -154,6 +154,66 @@ let test_byte_determinism () =
   in
   Alcotest.(check string) "transaction bytes stable" (tx_bytes ()) (tx_bytes ())
 
+(* --- key samplers (cluster load generator) --- *)
+
+let draw_freqs sampler ~draws =
+  let freqs = Array.make (Sampler.n sampler) 0 in
+  for _ = 1 to draws do
+    let k = Sampler.next sampler in
+    check_bool "key in range" true (k >= 0 && k < Sampler.n sampler);
+    freqs.(k) <- freqs.(k) + 1
+  done;
+  freqs
+
+let test_sampler_determinism () =
+  let seq s = List.init 200 (fun _ -> Sampler.next s) in
+  Alcotest.(check (list int))
+    "uniform sequence is a function of the seed"
+    (seq (Sampler.uniform ~seed:42 ~n:100))
+    (seq (Sampler.uniform ~seed:42 ~n:100));
+  Alcotest.(check (list int))
+    "zipf sequence is a function of the seed"
+    (seq (Sampler.zipf ~s:1.1 ~seed:42 ~n:100 ()))
+    (seq (Sampler.zipf ~s:1.1 ~seed:42 ~n:100 ()));
+  check_bool "different seeds diverge" true
+    (seq (Sampler.zipf ~seed:1 ~n:100 ()) <> seq (Sampler.zipf ~seed:2 ~n:100 ()))
+
+let test_sampler_uniform_shape () =
+  let freqs = draw_freqs (Sampler.uniform ~seed:9 ~n:10) ~draws:10_000 in
+  (* Expected 1000 per key; 3-sigma is about +-95. Loose bounds: no key
+     should stray past 25%. *)
+  Array.iter
+    (fun f -> check_bool "uniform bucket near expectation" true (f > 750 && f < 1250))
+    freqs
+
+let test_sampler_zipf_shape () =
+  let n = 50 in
+  let freqs = draw_freqs (Sampler.zipf ~s:1.2 ~seed:11 ~n ()) ~draws:20_000 in
+  (* Hotness-ranked: the head dominates, frequencies decay down the ranks,
+     and the top decile carries most of the mass. *)
+  check_bool "rank 0 beats rank 9" true (freqs.(0) > 2 * freqs.(9));
+  check_bool "rank 9 beats rank 49" true (freqs.(9) > freqs.(49));
+  let top5 = Array.fold_left ( + ) 0 (Array.sub freqs 0 5) in
+  check_bool "top 10% of keys draw > 40% of load" true (top5 * 5 > 20_000 * 2)
+
+let prop_zipf_head_dominates =
+  QCheck.Test.make ~name:"zipf head outdraws tail for every seed" ~count:30
+    QCheck.(pair small_nat (int_range 10 80))
+    (fun (seed, n) ->
+      let freqs = draw_freqs (Sampler.zipf ~s:1.2 ~seed ~n ()) ~draws:4_000 in
+      freqs.(0) > freqs.(n - 1)
+      && Array.fold_left ( + ) 0 freqs = 4_000)
+
+let prop_uniform_in_range =
+  QCheck.Test.make ~name:"uniform keys always in range" ~count:50
+    QCheck.(pair small_nat (int_range 1 64))
+    (fun (seed, n) ->
+      let s = Sampler.uniform ~seed ~n in
+      List.for_all (fun _ -> let k = Sampler.next s in k >= 0 && k < n)
+        (List.init 500 Fun.id))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
 let () =
   Alcotest.run "workload"
     [
@@ -175,4 +235,11 @@ let () =
           Alcotest.test_case "conversations" `Quick test_weibo_like;
           Alcotest.test_case "motif frequency" `Quick test_weibo_motif_frequency;
         ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "determinism" `Quick test_sampler_determinism;
+          Alcotest.test_case "uniform shape" `Quick test_sampler_uniform_shape;
+          Alcotest.test_case "zipf shape" `Quick test_sampler_zipf_shape;
+        ] );
+      qsuite "sampler-props" [ prop_zipf_head_dominates; prop_uniform_in_range ];
     ]
