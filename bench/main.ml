@@ -6,8 +6,8 @@
 let usage =
   "usage: main.exe [--quick|--full] [--seed N] [--jobs N] [--skip SECTION]...\n\
    sections: effectiveness table3 transaction scalability constraints real \
-   ablation parallel serving cancel incremental oracle outofcore cluster \
-   micro\n\
+   ablation parallel serving plan cancel incremental oracle outofcore \
+   cluster micro\n\
    standalone modes: --bench-outofcore [SCALE] (just the out-of-core \
    measurements), --smoke-outofcore [SCALE] (CI smoke with wall-clock/RSS \
    ceilings), --bench-cluster (just the sharded-serving load run), \
@@ -214,6 +214,9 @@ let () =
   timed "parallel" (plain (fun () -> Exp_parallel.run ~seed:cfg.seed ~n:cfg.parallel_n ()));
   timed "serving"
     (plain (fun () -> Exp_serving.run ~seed:cfg.seed ~n:(cfg.parallel_n / 10) ()));
+  timed "plan"
+    (fun () ->
+      Some (Exp_plan.run ~seed:cfg.seed ~scale:cfg.probe_scale ()));
   timed "cancel" (fun () -> Some (Exp_cancel.run ~seed:cfg.seed ()));
   timed "incremental"
     (fun () -> Some (Exp_incremental.run ~seed:cfg.seed ~jobs:cfg.jobs ()));

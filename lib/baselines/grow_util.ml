@@ -77,10 +77,15 @@ let extensions g st =
       { pattern; maps = !maps } :: acc)
     by_desc []
 
-let support g st =
+let support _g st =
   if Pattern.size st.pattern = 0 then
     List.length (List.sort_uniq compare (List.map (fun m -> m.(0)) st.maps))
   else
-    Embedding.count_distinct ~data_n:(Graph.n g) ~pattern:st.pattern st.maps
+    match st.maps with
+    | [] -> 0
+    | _ ->
+      (* The state's maps are the complete mapping set, so the distinct
+         image-subgraph count is |maps| / |Aut| — no dedup hashing. *)
+      List.length st.maps / Plan.automorphism_count st.pattern
 
 let key st = Canon.key st.pattern

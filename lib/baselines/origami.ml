@@ -40,6 +40,7 @@ let similarity p q =
 let frequent_extensions db ~sigma p =
   let candidates = Canon.Set.create () in
   let out = ref [] in
+  let plan = Plan.compile p in
   List.iter
     (fun g ->
       let mark = Array.make (max 1 (Graph.n g)) 0 in
@@ -69,7 +70,7 @@ let frequent_extensions db ~sigma p =
               end
             done
           done)
-        (Subiso.mappings ~pattern:p ~target:g))
+        (Plan.all_mappings plan ~target:g))
     db;
   List.filter (fun p' -> Support.is_frequent_transaction p' db ~sigma) !out
 

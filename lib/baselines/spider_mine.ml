@@ -149,7 +149,13 @@ let mine ?run ?rng ?(r = 1) ?(d_max = 4) ?(seeds = 200) ?(rounds = 3)
                if Bfs.diameter pattern <= d_max then begin
                  incr merges;
                  consider pattern;
-                 let maps = Subiso.mappings ~pattern ~target:graph in
+                 let maps =
+                   Plan.all_mappings
+                     (Plan.compile
+                        ~freq:(fun l -> Graph.label_freq graph l)
+                        pattern)
+                     ~target:graph
+                 in
                  if maps <> [] then
                    additions := { Grow_util.pattern; maps } :: !additions
                end

@@ -36,8 +36,18 @@ type pstate = {
   support : int;
 }
 
-let default_support data pattern maps =
-  Embedding.count_distinct ~data_n:(Graph.n data) ~pattern maps
+(* |E[P]| from the complete mapping list: for a connected pattern every
+   image subgraph accounts for exactly |Aut(P)| mappings, so the
+   distinct-subgraph count is a division — no per-mapping dedup hashing.
+   The plans carrying the automorphism groups are cached per grow call,
+   keyed by canonical code. *)
+let default_support data =
+  let plans = Plan.Cache.create () in
+  let freq l = Graph.label_freq data l in
+  fun pattern maps ->
+    match maps with
+    | [] -> 0
+    | _ -> List.length maps / Plan.Cache.aut_count plans ~freq pattern
 
 (* Per-grow scratch: the relaxation queue and the embedding-image mark array
    are allocated once per [grow] call and reused across every state and

@@ -148,6 +148,9 @@ let empty_diam_stats =
 let closed_filter patterns =
   let arr = Array.of_list patterns in
   let keep p =
+    (* One plan per kept candidate, compiled only if some super-pattern
+       passes the cheap filters. *)
+    let plan = lazy (Plan.compile p.pattern) in
     not
       (Array.exists
          (fun q ->
@@ -155,7 +158,7 @@ let closed_filter patterns =
            && q.support = p.support
            && Pattern.size q.pattern > Pattern.size p.pattern
            && q.diameter_labels = p.diameter_labels
-           && Subiso.exists ~pattern:p.pattern ~target:q.pattern)
+           && Plan.exists (Lazy.force plan) ~target:q.pattern)
          arr)
   in
   List.filter keep patterns

@@ -46,23 +46,19 @@ exception Stop
    carries (rightmost id, ancestor id). *)
 type ext = B of int * int | F of int * int
 
-let support_of ~measure ~db ~pattern (projs : projected list) =
+let support_of ~measure ~pattern (projs : projected list) =
   match measure with
   | Transactions ->
     let seen = Hashtbl.create 8 in
     List.iter (fun p -> Hashtbl.replace seen p.gid ()) projs;
     Hashtbl.length seen
-  | Embedding_count ->
-    let seen = Hashtbl.create 64 in
-    List.iter
-      (fun p ->
-        let g = db.(p.gid) in
-        let key =
-          Embedding.key_of_mapping ~data_n:(Graph.n g) ~pattern p.map
-        in
-        Hashtbl.replace seen (p.gid, key) ())
-      projs;
-    Hashtbl.length seen
+  | Embedding_count -> (
+    (* The projections are the complete mapping set of the code's pattern
+       (dfs id -> data vertex, across all graphs), so the distinct
+       image-subgraph total is |projs| / |Aut(pattern)|. *)
+    match projs with
+    | [] -> 0
+    | _ -> List.length projs / Plan.automorphism_count pattern)
   | Mni ->
     (* Per graph, min over pattern vertices of distinct images; summed over
        graphs that contain the pattern at all. *)
@@ -187,7 +183,7 @@ let mine ?run config db_list =
           if Dfs_code.is_min code' then begin
             let pattern' = Dfs_code.graph_of_code code' in
             let support =
-              support_of ~measure:config.measure ~db ~pattern:pattern' projs'
+              support_of ~measure:config.measure ~pattern:pattern' projs'
             in
             if support >= config.sigma then begin
               report pattern' support;
@@ -227,7 +223,7 @@ let mine ?run config db_list =
          check_budget ();
          let code = [| { Dfs_code.i = 0; j = 1; li = a; le = 0; lj = b } |] in
          let pattern = Dfs_code.graph_of_code code in
-         let support = support_of ~measure:config.measure ~db ~pattern projs in
+         let support = support_of ~measure:config.measure ~pattern projs in
          if support >= config.sigma then begin
            report pattern support;
            grow code pattern projs

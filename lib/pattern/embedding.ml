@@ -19,29 +19,3 @@ let key_of_mapping ~data_n ~pattern m =
 let compare_key (a : key) (b : key) = compare a b
 let equal_key (a : key) (b : key) = a = b
 let hash_key (k : key) = Hashtbl.hash k
-
-module Key_set = struct
-  type t = (key, unit) Hashtbl.t
-
-  let create () = Hashtbl.create 64
-
-  let mem t k = Hashtbl.mem t k
-
-  let add t k =
-    if mem t k then false
-    else begin
-      Hashtbl.add t k ();
-      true
-    end
-
-  let cardinal = Hashtbl.length
-end
-
-let dedup_mappings ~data_n ~pattern ms =
-  let seen = Key_set.create () in
-  List.filter (fun m -> Key_set.add seen (key_of_mapping ~data_n ~pattern m)) ms
-
-let count_distinct ~data_n ~pattern ms =
-  let seen = Key_set.create () in
-  List.iter (fun m -> ignore (Key_set.add seen (key_of_mapping ~data_n ~pattern m))) ms;
-  Key_set.cardinal seen

@@ -1,9 +1,11 @@
-(** Embeddings as subgraphs.
+(** Embedding identity as image subgraphs.
 
     The paper defines E[P] as the set of *subgraphs* of G isomorphic to P
     (§2), so two mappings whose images are the same edge set count once.
-    This module normalizes mappings to canonical subgraph keys and
-    deduplicates. *)
+    This module gives mappings a canonical image key, used by tests and
+    cross-checks to compare enumerations; production counting no longer
+    deduplicates — {!Plan}'s symmetry-broken executor visits each image
+    subgraph exactly once, so the old key-set/dedup machinery is gone. *)
 
 type key
 (** Canonical identity of an embedding's image subgraph. *)
@@ -18,24 +20,3 @@ val compare_key : key -> key -> int
 val equal_key : key -> key -> bool
 
 val hash_key : key -> int
-
-module Key_set : sig
-  type t
-
-  val create : unit -> t
-
-  val add : t -> key -> bool
-  (** [true] if the key was new. *)
-
-  val mem : t -> key -> bool
-
-  val cardinal : t -> int
-end
-
-val dedup_mappings :
-  data_n:int -> pattern:Pattern.t -> int array list -> int array list
-(** Keep one mapping per distinct image subgraph, preserving first-seen
-    order. *)
-
-val count_distinct :
-  data_n:int -> pattern:Pattern.t -> int array list -> int

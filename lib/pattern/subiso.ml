@@ -1,115 +1,22 @@
 open Spm_graph
 
-(* Connected search order: a queue BFS from [root], so every vertex after
-   the first has an already-placed neighbor when its turn comes.
-   @raise Invalid_argument if the pattern is not connected. *)
-let bfs_order pattern root =
-  let np = Graph.n pattern in
-  let order = Array.make np (-1) in
-  let placed = Array.make np false in
-  let queue = Queue.create () in
-  Queue.add root queue;
-  placed.(root) <- true;
-  let k = ref 0 in
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
-    order.(!k) <- v;
-    incr k;
-    Graph.iter_adj pattern v (fun w ->
-        if not placed.(w) then begin
-          placed.(w) <- true;
-          Queue.add w queue
-        end)
-  done;
-  if !k <> np then invalid_arg "Subiso: pattern must be connected";
-  order
+(* Compatibility veneer over {!Plan}: compile a plan against the target's
+   label frequencies and run it. One-shot callers (tests, examples,
+   cross-checks) get the legacy entry points; the miners and the server
+   compile/cache plans themselves. *)
 
-(* Root at a vertex whose label is rarest in the target; the target's label
-   frequencies are cached in the graph's label index, so no per-call
-   recount. *)
-let search_order pattern target =
-  if Graph.n pattern = 0 then invalid_arg "Subiso: empty pattern";
-  let rarity v = Graph.label_freq target (Graph.label pattern v) in
-  let root = ref 0 in
-  Graph.iter_vertices
-    (fun v -> if rarity v < rarity !root then root := v)
-    pattern;
-  bfs_order pattern !root
-
-let run ?anchor ~pattern ~target ~stop f =
-  let np = Graph.n pattern in
-  let order =
-    match anchor with
-    | None -> search_order pattern target
-    | Some (pv, _) ->
-      (* Anchored: the anchored pattern vertex is the root, so the anchor
-         pins depth 0 and connectivity of every prefix is preserved. *)
-      if np = 0 then invalid_arg "Subiso: empty pattern";
-      bfs_order pattern pv
-  in
-  let map = Array.make np (-1) in
-  let used = Hashtbl.create 64 in
-  let stopped = ref false in
-  let rec place depth =
-    if !stopped then ()
-    else if depth = np then begin
-      f map;
-      if stop () then stopped := true
-    end
-    else begin
-      let pv = order.(depth) in
-      let lbl = Graph.label pattern pv in
-      let mapped_nbrs =
-        Graph.fold_adj pattern pv
-          (fun w acc -> if map.(w) >= 0 then w :: acc else acc)
-          []
-      in
-      (* Candidates arrive pre-filtered by label (via the label-range runs
-         of the CSR), so only injectivity, degree, and adjacency to the
-         mapped pattern neighbors remain to check. *)
-      let try_candidate tv =
-        if
-          (not (Hashtbl.mem used tv))
-          && Graph.degree target tv >= Graph.degree pattern pv
-          && List.for_all (fun w -> Graph.has_edge target map.(w) tv) mapped_nbrs
-        then begin
-          map.(pv) <- tv;
-          Hashtbl.add used tv ();
-          place (depth + 1);
-          Hashtbl.remove used tv;
-          map.(pv) <- -1
-        end
-      in
-      match (anchor, mapped_nbrs) with
-      | Some (apv, atv), _ when apv = pv ->
-        if Graph.label target atv = lbl then try_candidate atv
-      | _, w :: _ ->
-        (* Candidates restricted to the label-matching neighbors of one
-           mapped image. *)
-        Graph.adj_with_label target map.(w) lbl try_candidate
-      | _, [] -> Graph.iter_vertices_with_label target lbl try_candidate
-    end
-  in
-  place 0
+let plan_for pattern target =
+  Plan.compile ~freq:(fun l -> Graph.label_freq target l) pattern
 
 let iter_mappings ~pattern ~target f =
-  run ~pattern ~target ~stop:(fun () -> false) f
+  Plan.iter_all (plan_for pattern target) ~target f
 
-let mappings ~pattern ~target =
-  let acc = ref [] in
-  iter_mappings ~pattern ~target (fun m -> acc := Array.copy m :: !acc);
-  List.rev !acc
+let mappings ~pattern ~target = Plan.all_mappings (plan_for pattern target) ~target
 
-let exists ~pattern ~target =
-  let found = ref false in
-  run ~pattern ~target ~stop:(fun () -> true) (fun _ -> found := true);
-  !found
+let exists ~pattern ~target = Plan.exists (plan_for pattern target) ~target
 
 let count_mappings ?limit ~pattern ~target () =
-  let count = ref 0 in
-  let stop () = match limit with Some l -> !count >= l | None -> false in
-  run ~pattern ~target ~stop (fun _ -> incr count);
-  !count
+  Plan.count_mappings ?limit (plan_for pattern target) ~target
 
 let iter_mappings_anchored ~pattern ~target ~anchor f =
-  run ~anchor ~pattern ~target ~stop:(fun () -> false) f
+  Plan.iter_anchored (plan_for pattern target) ~target ~anchor f

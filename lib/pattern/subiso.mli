@@ -1,18 +1,14 @@
-(** Subgraph-isomorphism search (VF2-flavored backtracking).
+(** Subgraph-isomorphism search — legacy entry points over {!Plan}.
 
     An embedding of a pattern P in a data graph G is, per the paper (§2), a
     subgraph G' of G isomorphic to P — i.e. the *image* of an injective,
-    label-preserving, edge-preserving (non-induced) mapping. This module
-    enumerates the mappings; {!Embedding} normalizes mappings to subgraphs.
-
-    The matcher orders pattern vertices by a connected queue-BFS search
-    order rooted at the vertex whose label is rarest in the target (cached
-    label frequencies — no per-call recount). Candidates are drawn directly
-    from the target's label-filtered structures: the label-range run of a
-    mapped neighbor's image ({!Spm_graph.Graph.adj_with_label}) once any
-    pattern neighbor is mapped, or the graph-level label index for the root.
-    Only injectivity, degree, and adjacency to the mapped pattern neighbors
-    remain to check per candidate. *)
+    label-preserving, edge-preserving (non-induced) mapping. Since the
+    plan refactor every call here compiles a {!Plan} against the target's
+    label frequencies and runs its executor; the mapping-level functions
+    expand each symmetry-broken representative through the automorphism
+    group, so the full mapping set is produced without any backtracking
+    redundancy. Callers on hot paths (miners, server) should compile and
+    reuse plans directly. *)
 
 val iter_mappings :
   pattern:Pattern.t -> target:Spm_graph.Graph.t -> (int array -> unit) -> unit

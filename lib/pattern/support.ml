@@ -1,26 +1,24 @@
 open Spm_graph
 
-let single_graph ?limit p g =
-  let data_n = Graph.n g in
-  let seen = Embedding.Key_set.create () in
-  (try
-     Subiso.iter_mappings ~pattern:p ~target:g (fun m ->
-         ignore
-           (Embedding.Key_set.add seen (Embedding.key_of_mapping ~data_n ~pattern:p m));
-         match limit with
-         | Some l when Embedding.Key_set.cardinal seen >= l -> raise Exit
-         | Some _ | None -> ())
-   with Exit -> ());
-  Embedding.Key_set.cardinal seen
+let plan_for p g = Plan.compile ~freq:(fun l -> Graph.label_freq g l) p
 
-let is_frequent_single p g ~sigma = single_graph ~limit:sigma p g >= sigma
+let single_graph ?run ?limit p g =
+  let plan = plan_for p g in
+  match limit with
+  | Some l -> Plan.count_up_to ?run plan ~target:g l
+  | None -> Plan.count ?run plan ~target:g
 
-let transaction p gs =
+let is_frequent_single ?run p g ~sigma =
+  single_graph ?run ~limit:sigma p g >= sigma
+
+let transaction ?run p gs =
+  let plan = Plan.compile p in
   List.fold_left
-    (fun acc g -> if Subiso.exists ~pattern:p ~target:g then acc + 1 else acc)
+    (fun acc g -> if Plan.exists ?run plan ~target:g then acc + 1 else acc)
     0 gs
 
-let is_frequent_transaction p gs ~sigma =
+let is_frequent_transaction ?run p gs ~sigma =
+  let plan = Plan.compile p in
   let rec loop remaining count gs =
     count >= sigma
     ||
@@ -28,16 +26,36 @@ let is_frequent_transaction p gs ~sigma =
     | [] -> false
     | g :: rest ->
       if count + remaining < sigma then false
-      else if Subiso.exists ~pattern:p ~target:g then
+      else if Plan.exists ?run plan ~target:g then
         loop (remaining - 1) (count + 1) rest
       else loop (remaining - 1) count rest
   in
   loop (List.length gs) 0 gs
 
-let mni p g =
+(* MNI from the exact-once enumeration: every mapping of an image subgraph
+   is one representative composed with one automorphism, so the image sets
+   per pattern vertex are recovered by pushing each representative through
+   the whole group. The per-position sets are one preallocated byte matrix
+   (np x n), not per-call hash tables. *)
+let mni ?run p g =
   let np = Graph.n p in
-  let images = Array.init np (fun _ -> Hashtbl.create 16) in
-  Subiso.iter_mappings ~pattern:p ~target:g (fun m ->
-      Array.iteri (fun pv tv -> Hashtbl.replace images.(pv) tv ()) m);
-  Array.fold_left (fun acc h -> min acc (Hashtbl.length h)) max_int images
-  |> fun x -> if x = max_int then 0 else x
+  if np = 0 then 0
+  else begin
+    let plan = plan_for p g in
+    let auts = Plan.automorphisms plan in
+    let n = Graph.n g in
+    let seen = Bytes.make (np * n) '\000' in
+    let counts = Array.make np 0 in
+    Plan.enumerate ?run plan ~target:g (fun m ->
+        Array.iter
+          (fun a ->
+            for pv = 0 to np - 1 do
+              let idx = (pv * n) + m.(a.(pv)) in
+              if Bytes.get seen idx = '\000' then begin
+                Bytes.set seen idx '\001';
+                counts.(pv) <- counts.(pv) + 1
+              end
+            done)
+          auts);
+    Array.fold_left min max_int counts
+  end

@@ -1,27 +1,40 @@
-(** Support measures.
+(** Support measures, all plan-driven ({!Plan}).
 
     - {!single_graph}: |E[P]| — the number of distinct embedding subgraphs in
-      one data graph, the measure of Definition 8.
+      one data graph, the measure of Definition 8 — counted directly by the
+      symmetry-broken executor, one visit per subgraph.
     - {!transaction}: number of database graphs containing P — the classical
-      graph-transaction support the paper derives as the easy variant.
+      graph-transaction support the paper derives as the easy variant; one
+      plan compiled for the whole database.
     - {!mni}: minimum-image-based support (Bringmann & Nijssen), the standard
       anti-monotone single-graph measure, provided for comparison because
-      embedding-count support is not anti-monotone in general. *)
+      embedding-count support is not anti-monotone in general.
+
+    Every function accepts [?run] and polls it inside the executor at
+    vertex-extension granularity ({!Spm_engine.Run.check} semantics). *)
 
 val single_graph :
-  ?limit:int -> Pattern.t -> Spm_graph.Graph.t -> int
+  ?run:Spm_engine.Run.t -> ?limit:int -> Pattern.t -> Spm_graph.Graph.t -> int
 (** Distinct embedding subgraphs; stops counting at [limit] if given (the
     count may then undershoot the true value but is ≥ [limit] iff the true
     value is). *)
 
-val is_frequent_single : Pattern.t -> Spm_graph.Graph.t -> sigma:int -> bool
+val is_frequent_single :
+  ?run:Spm_engine.Run.t -> Pattern.t -> Spm_graph.Graph.t -> sigma:int -> bool
 (** [single_graph ~limit:sigma p g >= sigma], with early exit. *)
 
-val transaction : Pattern.t -> Spm_graph.Graph.t list -> int
+val transaction :
+  ?run:Spm_engine.Run.t -> Pattern.t -> Spm_graph.Graph.t list -> int
 
 val is_frequent_transaction :
-  Pattern.t -> Spm_graph.Graph.t list -> sigma:int -> bool
+  ?run:Spm_engine.Run.t ->
+  Pattern.t ->
+  Spm_graph.Graph.t list ->
+  sigma:int ->
+  bool
 
-val mni : Pattern.t -> Spm_graph.Graph.t -> int
+val mni : ?run:Spm_engine.Run.t -> Pattern.t -> Spm_graph.Graph.t -> int
 (** Minimum over pattern vertices of the number of distinct data vertices in
-    that position across all mappings. *)
+    that position across all mappings, computed from the exact-once
+    enumeration expanded through the automorphism group into a preallocated
+    image-set matrix. *)

@@ -9,6 +9,8 @@ type entry = {
   n_vertices : int;
   n_edges : int;
   diam_len : int;
+  plan : Spm_pattern.Plan.t;
+      (* compiled once at build; immutable, shared across pool tasks *)
 }
 
 type t = {
@@ -49,6 +51,7 @@ let build mined_list =
              n_vertices = Graph.n m.pattern;
              n_edges = Graph.m m.pattern;
              diam_len = Path_pattern.length m.diameter_labels;
+             plan = Spm_pattern.Plan.compile m.pattern;
            })
          mined_list)
   in
@@ -103,21 +106,21 @@ let lookup ?min_support ?max_support ?length ?labels t =
 let dominated counts g =
   Array.for_all (fun (l, c) -> Graph.label_freq g l >= c) counts
 
-let containment_candidates t g =
+let candidate_entries t g =
   let n = Graph.n g and m = Graph.m g in
   Array.to_list t.entries
-  |> List.filter_map (fun e ->
-         if e.n_vertices <= n && e.n_edges <= m && dominated e.label_counts g
-         then Some e.mined
-         else None)
+  |> List.filter (fun e ->
+         e.n_vertices <= n && e.n_edges <= m && dominated e.label_counts g)
+
+let containment_candidates t g =
+  List.map (fun e -> e.mined) (candidate_entries t g)
 
 let contained_in ?(pool = Pool.serial) t g =
-  let candidates = containment_candidates t g in
+  let candidates = candidate_entries t g in
   let hits =
     Pool.map_list pool
-      (fun (m : Skinny_mine.mined) ->
-        if Spm_pattern.Subiso.exists ~pattern:m.pattern ~target:g then Some m
-        else None)
+      (fun e ->
+        if Spm_pattern.Plan.exists e.plan ~target:g then Some e.mined else None)
       candidates
   in
   List.filter_map Fun.id hits

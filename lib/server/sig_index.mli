@@ -1,6 +1,6 @@
 (** The query planner's index over a mined pattern set: label-signature and
     diameter-key lookup structures that prune candidates cheaply before the
-    server falls back to {!Spm_pattern.Subiso} matching.
+    server falls back to {!Spm_pattern.Plan} matching.
 
     Two access paths:
     - {b label signature}: the sorted (label, count) multiset of a pattern's
@@ -65,5 +65,6 @@ val contained_in :
   Spm_graph.Graph.t ->
   Spm_core.Skinny_mine.mined list
 (** The mined patterns with at least one embedding in the given graph:
-    {!containment_candidates} then a {!Spm_pattern.Subiso.exists} check per
-    survivor, fanned out on [pool] (default serial). *)
+    {!containment_candidates} then a {!Spm_pattern.Plan.exists} check per
+    survivor — each entry's plan is compiled once at {!build} time and
+    shared read-only — fanned out on [pool] (default serial). *)

@@ -331,6 +331,35 @@ let test_zero_deadline_times_out () =
   check_bool "follow-up mine ok" true
     (r2.Skinny_mine.stats.Skinny_mine.status = Run.Ok)
 
+(* Same contract through the plan-driven support path: the matching-plan
+   executor polls the run at vertex-extension granularity, so even the
+   closed-only configuration (plan existence checks in the post-filter on
+   top of plan-counted support) observes an expired deadline immediately. *)
+let test_zero_deadline_plan_driven () =
+  let st = Gen.rng 50 in
+  let g = Gen.erdos_renyi st ~n:4000 ~avg_degree:3.0 ~num_labels:4 in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let config =
+        Skinny_mine.Config.(
+          default |> with_jobs jobs |> with_closed_only true)
+      in
+      let r =
+        Skinny_mine.mine ~config
+          ~run:(Run.create ~timeout:0.0 ())
+          g ~l:4 ~delta:2 ~sigma:2
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "timeout status, jobs=%d" jobs)
+        true
+        (r.Skinny_mine.stats.Skinny_mine.status = Run.Timeout);
+      check_bool
+        (Printf.sprintf "plan path returned within 1s (took %.3fs)" wall)
+        true (wall < 1.0))
+    [ 1; 4 ]
+
 let prop_run_threading_transparent =
   QCheck.Test.make
     ~name:"no-deadline run threading never changes the mined output"
@@ -387,6 +416,8 @@ let () =
             test_pool_run_cancellation;
           Alcotest.test_case "zero deadline times out" `Quick
             test_zero_deadline_times_out;
+          Alcotest.test_case "zero deadline, plan-driven path" `Quick
+            test_zero_deadline_plan_driven;
         ] );
       ( "determinism",
         [

@@ -1,8 +1,10 @@
 (* Tests for the pattern substrate: extension, subgraph isomorphism,
+   matching plans (automorphisms, symmetry-broken enumeration),
    embeddings-as-subgraphs, support measures, DFS codes, canonical keys. *)
 
 open Spm_graph
 open Spm_pattern
+module Run = Spm_engine.Run
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -132,19 +134,169 @@ let test_embedding_key () =
   let g = Pattern.of_path_labels [| 0; 0; 0 |] in
   let ms = Subiso.mappings ~pattern:path ~target:g in
   check "two mappings" 2 (List.length ms);
+  let keys =
+    List.map (Embedding.key_of_mapping ~data_n:(Graph.n g) ~pattern:path) ms
+  in
   check "one subgraph" 1
-    (Embedding.count_distinct ~data_n:(Graph.n g) ~pattern:path ms);
-  check "dedup keeps one" 1
-    (List.length (Embedding.dedup_mappings ~data_n:(Graph.n g) ~pattern:path ms))
+    (List.length (List.sort_uniq Embedding.compare_key keys));
+  (* The plan executor visits that subgraph exactly once, no dedup. *)
+  check "plan count" 1 (Plan.count (Plan.compile path) ~target:g)
 
-let test_key_set () =
-  let s = Embedding.Key_set.create () in
+let test_key_equality () =
   let path = Pattern.of_path_labels [| 0; 0 |] in
   let k1 = Embedding.key_of_mapping ~data_n:10 ~pattern:path [| 1; 2 |] in
   let k2 = Embedding.key_of_mapping ~data_n:10 ~pattern:path [| 2; 1 |] in
-  check_bool "add fresh" true (Embedding.Key_set.add s k1);
-  check_bool "reversed image equal" false (Embedding.Key_set.add s k2);
-  check "cardinal" 1 (Embedding.Key_set.cardinal s)
+  check_bool "reversed image equal" true (Embedding.equal_key k1 k2);
+  check "compare agrees" 0 (Embedding.compare_key k1 k2)
+
+(* --- Plans --- *)
+
+let k_n n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.Builder.of_edges ~labels:(Array.make n 0) !edges
+
+let test_plan_aut_orbits () =
+  let aut p = Plan.aut_count (Plan.compile p) in
+  check "labeled path" 1 (aut (Pattern.of_path_labels [| 0; 1; 2 |]));
+  check "palindrome path" 2 (aut (Pattern.of_path_labels [| 0; 1; 0 |]));
+  check "star K1,3" 6 (aut (Gen.star_graph ~center:5 [| 1; 1; 1 |]));
+  check "triangle" 6 (aut (triangle 0 0 0));
+  check "square C4" 8 (aut (Gen.cycle_graph [| 0; 0; 0; 0 |]));
+  check "count shortcut" 6 (Plan.automorphism_count (triangle 0 0 0));
+  (* Palindrome path: one orbit {0,2}; the chain emits exactly m(0) < m(2). *)
+  Alcotest.(check (list (pair int int)))
+    "palindrome constraints" [ (0, 2) ]
+    (Plan.constraints (Plan.compile (Pattern.of_path_labels [| 0; 1; 0 |])));
+  check_bool "asymmetric pattern has no constraints" true
+    (Plan.constraints (Plan.compile (Pattern.of_path_labels [| 0; 1; 2 |])) = [])
+
+let test_plan_exactly_once () =
+  let k4 = k_n 4 in
+  let tri = triangle 0 0 0 in
+  let plan = Plan.compile tri in
+  let keys = ref [] in
+  Plan.enumerate plan ~target:k4 (fun m ->
+      keys := Embedding.key_of_mapping ~data_n:4 ~pattern:tri m :: !keys);
+  check "4 images" 4 (List.length !keys);
+  check "no image repeated" 4
+    (List.length (List.sort_uniq Embedding.compare_key !keys));
+  check "count" 4 (Plan.count plan ~target:k4);
+  check "count_mappings = count * |Aut|" 24 (Plan.count_mappings plan ~target:k4);
+  check "all_mappings" 24 (List.length (Plan.all_mappings plan ~target:k4))
+
+let test_plan_count_up_to_early_exit () =
+  let k5 = k_n 5 in
+  let tri = triangle 0 0 0 in
+  let plan = Plan.compile tri in
+  let full = ref 0 and early = ref 0 in
+  check "K5 triangles" 10 (Plan.count ~nodes:full plan ~target:k5);
+  check "early count" 1 (Plan.count_up_to ~nodes:early plan ~target:k5 1);
+  check_bool
+    (Printf.sprintf "early exit visits strictly fewer nodes (%d < %d)" !early
+       !full)
+    true (!early < !full)
+
+let test_plan_exists_from () =
+  let path = Pattern.of_path_labels [| 0; 1 |] in
+  let g =
+    Graph.Builder.of_edges ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (2, 3); (1, 2) ]
+  in
+  let plan = Plan.compile path in
+  check_bool "anchored hit" true (Plan.exists_from plan ~target:g ~anchor:(0, 2));
+  check_bool "label mismatch" false
+    (Plan.exists_from plan ~target:g ~anchor:(0, 1));
+  check_bool "anchored other end" true
+    (Plan.exists_from plan ~target:g ~anchor:(1, 3))
+
+(* The executor polls [run] at vertex-extension granularity: an already
+   expired deadline must cancel the very first placement attempt. *)
+let test_plan_zero_deadline () =
+  let st = Gen.rng 77 in
+  let g = Gen.erdos_renyi st ~n:2000 ~avg_degree:3.0 ~num_labels:2 in
+  let p = Pattern.of_path_labels [| 0; 1; 0 |] in
+  let run = Run.create ~timeout:0.0 () in
+  match Support.single_graph ~run p g with
+  | _ -> Alcotest.fail "expected Run.Cancelled"
+  | exception Run.Cancelled (Run.Timeout, _) -> ()
+
+(* Legacy MNI: image sets per pattern vertex over the full mapping set. *)
+let naive_mni p g =
+  let np = Graph.n p in
+  let images = Array.init np (fun _ -> Hashtbl.create 16) in
+  Subiso.iter_mappings ~pattern:p ~target:g (fun m ->
+      Array.iteri (fun pv tv -> Hashtbl.replace images.(pv) tv ()) m);
+  Array.fold_left (fun acc h -> min acc (Hashtbl.length h)) max_int images
+  |> fun x -> if x = max_int then 0 else x
+
+(* Pin: the automorphism-expanded MNI equals the per-call hash-table
+   implementation it replaced, on patterns actually mined from the
+   differential corpus. *)
+let test_mni_corpus_pin () =
+  let items =
+    List.filteri (fun i _ -> i < 4) (Spm_oracle.Corpus.builtin ())
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (item : Spm_oracle.Corpus.item) ->
+      let g = item.graph in
+      let r =
+        Spm_core.Skinny_mine.mine g ~l:item.l ~delta:item.delta
+          ~sigma:item.sigma
+      in
+      List.iteri
+        (fun i (m : Spm_core.Skinny_mine.mined) ->
+          if i < 6 then begin
+            incr checked;
+            check
+              (Printf.sprintf "mni unchanged (%s #%d)" item.name i)
+              (naive_mni m.pattern g) (Support.mni m.pattern g)
+          end)
+        r.Spm_core.Skinny_mine.patterns)
+    items;
+  check_bool "pinned at least one pattern" true (!checked > 0)
+
+let prop_plan_matches_dedup_backtrack =
+  QCheck.Test.make
+    ~name:"plan enumeration equals deduped backtracking and brute count"
+    ~count:60
+    QCheck.(pair (int_range 2 7) (int_range 4 9))
+    (fun (np, nt) ->
+      let seed = (np * 131) + nt in
+      let pattern =
+        Gen_qcheck.connected ~seed ~n:np ~extra_edges:1 ~num_labels:2
+      in
+      let target =
+        Gen_qcheck.er ~seed:(seed + 1) ~n:nt ~avg_degree:3.0 ~num_labels:2
+      in
+      let data_n = Graph.n target in
+      let image_keys ms =
+        List.sort Embedding.compare_key
+          (List.map (Embedding.key_of_mapping ~data_n ~pattern) ms)
+      in
+      let plan =
+        Plan.compile ~freq:(fun l -> Graph.label_freq target l) pattern
+      in
+      let plan_keys =
+        let acc = ref [] in
+        Plan.enumerate plan ~target (fun m -> acc := Array.copy m :: !acc);
+        image_keys !acc
+      in
+      let legacy_keys =
+        List.sort_uniq Embedding.compare_key
+          (List.map
+             (Embedding.key_of_mapping ~data_n ~pattern)
+             (brute_force_mappings ~pattern ~target))
+      in
+      plan_keys = legacy_keys
+      && List.length plan_keys
+         = Spm_oracle.Brute.count_embeddings
+             (Spm_oracle.Brute.of_pattern pattern)
+             target)
 
 (* --- Support --- *)
 
@@ -317,7 +469,20 @@ let () =
       ( "embedding",
         [
           Alcotest.test_case "subgraph identity" `Quick test_embedding_key;
-          Alcotest.test_case "key set" `Quick test_key_set;
+          Alcotest.test_case "key equality" `Quick test_key_equality;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "automorphism orbits" `Quick test_plan_aut_orbits;
+          Alcotest.test_case "exactly-once enumeration" `Quick
+            test_plan_exactly_once;
+          Alcotest.test_case "count_up_to early exit" `Quick
+            test_plan_count_up_to_early_exit;
+          Alcotest.test_case "anchored existence" `Quick test_plan_exists_from;
+          Alcotest.test_case "zero deadline cancels" `Quick
+            test_plan_zero_deadline;
+          Alcotest.test_case "mni corpus pin" `Quick test_mni_corpus_pin;
+          QCheck_alcotest.to_alcotest prop_plan_matches_dedup_backtrack;
         ] );
       ( "support",
         [
