@@ -69,7 +69,7 @@ let run ~seed ?(overhead_n = 500) ?(requests = 8) ?(mine_timeout = 0.25) () =
   Server.set_graph srv big;
   let fd, port = Server.listen ~port:0 () in
   let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
-  let params = { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false } in
+  let params = { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny } in
   let timeouts = ref 0 in
   let lats = ref [] in
   Client.with_connection ~port (fun c ->

@@ -292,7 +292,15 @@ let smoke ~seed () =
         (Protocol.Lookup (Protocol.lookup_params ()));
       identical "resident mine"
         (Protocol.Mine
-           { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false });
+           { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny });
+      (* The second constraint family through the same sharded tier: both
+         sides re-mine (the resident store is skinny), and the router's
+         merge of owned clusters must still match the reference bytes. *)
+      identical "neighborhood mine"
+        (Protocol.Mine
+           (Protocol.mine_params
+              ~family:(Spm_core.Constraints.Neighborhood { center = None })
+              ~l:0 ~delta:1 ~sigma:2 ()));
       let contacted, pruned = Router.pruning router in
       ensure "planner pruned at least one shard" (pruned > 0);
       ensure "scatter contacted at least one shard" (contacted > 0);

@@ -1,7 +1,9 @@
 (* Constraint experiments: Figures 16-17 (DiamMine / LevelGrow runtime and
    pattern counts as the diameter constraint l varies — the reducibility and
-   continuity demonstrations) and Figures 18-19 (LevelGrow runtime and
-   largest pattern size as the skinniness bound delta varies). *)
+   continuity demonstrations), Figures 18-19 (LevelGrow runtime and largest
+   pattern size as the skinniness bound delta varies), and the second
+   constraint family: an r-neighborhood sweep with the Exact-vs-Naive
+   admissibility ablation, written to BENCH_constraints.json. *)
 
 open Spm_graph
 open Spm_core
@@ -108,3 +110,86 @@ let figures_18_19 ~seed ~n ~f ~l ~deltas () =
         (List.length result.Skinny_mine.patterns)
         max_e)
     deltas
+
+(* --- the second constraint family: r-neighborhood sweep + ablation ---
+
+   Per radius r, the same mine runs under [Exact] admissibility (the
+   distance index answers "did the leaf land within r?" in O(1)) and under
+   [Naive] (recompute the center's eccentricity from scratch per extension,
+   the ground-truth baseline) — the two must produce identical answer sets,
+   and the gap between their runtimes is the price of the naive check. *)
+
+let mined_render (r : Skinny_mine.result) =
+  String.concat "|"
+    (List.map
+       (fun (m : Skinny_mine.mined) ->
+         Printf.sprintf "%s:%d"
+           (Spm_pattern.Canon.key m.Skinny_mine.pattern)
+           m.Skinny_mine.support)
+       r.Skinny_mine.patterns)
+
+let neighborhood ~seed ~n ~f ~r_values () =
+  Util.section
+    (Printf.sprintf
+       "Second family: r-neighborhood mining, Exact vs Naive admissibility \
+        (|V| = %d, deg = 2, f = %d, sigma = 2)"
+       n f);
+  (* Plain sparse ER, no injections: overlapping neighborhood clusters make
+     the pattern count grow explosively with density and radius (deg 3 at
+     r = 2 is already intractable), so this section pins its own shape
+     instead of riding the skinny sweeps' [constraint_n]. *)
+  let g =
+    Gen.erdos_renyi (Gen.rng seed) ~n ~avg_degree:2.0 ~num_labels:f
+  in
+  Util.print_row_header
+    [ (5, "r"); (12, "Exact(s)"); (12, "Naive(s)"); (12, "#patterns");
+      (10, "max |E|"); (8, "agree") ];
+  let rows =
+    List.map
+      (fun r ->
+        let mine mode =
+          Util.time (fun () ->
+              Skinny_mine.mine
+                ~config:
+                  {
+                    Skinny_mine.Config.default with
+                    family = Constraints.Neighborhood { center = None };
+                    mode;
+                    max_patterns = Some 20000;
+                  }
+                g ~l:0 ~delta:r ~sigma:2)
+        in
+        let exact, exact_t = mine Constraints.Exact in
+        let naive, naive_t = mine Constraints.Naive in
+        let agree = mined_render exact = mined_render naive in
+        let count = List.length exact.Skinny_mine.patterns in
+        let max_e =
+          List.fold_left
+            (fun acc (m : Skinny_mine.mined) ->
+              max acc (Graph.m m.Skinny_mine.pattern))
+            0 exact.Skinny_mine.patterns
+        in
+        Printf.printf "%-5d%-12s%-12s%-12d%-10d%-8b\n%!" r
+          (Util.fmt_time exact_t) (Util.fmt_time naive_t) count max_e agree;
+        if not agree then
+          failwith
+            (Printf.sprintf
+               "neighborhood ablation: Exact and Naive disagree at r = %d" r);
+        Printf.sprintf
+          "{\"r\": %d, \"exact_s\": %.4f, \"naive_s\": %.4f, \"patterns\": \
+           %d, \"max_edges\": %d, \"agree\": %b}"
+          r exact_t naive_t count max_e agree)
+      r_values
+  in
+  let json =
+    Printf.sprintf
+      "{\"seed\": %d, \"n\": %d, \"f\": %d, \"sigma\": 2, \"family\": \
+       \"neighborhood\", \"sweep\": [%s]}"
+      seed n f
+      (String.concat ", " rows)
+  in
+  let oc = open_out "BENCH_constraints.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  neighborhood measurements written to BENCH_constraints.json\n%!"

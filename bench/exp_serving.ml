@@ -56,7 +56,7 @@ let run ~seed ~n ?(jobs_list = [ 1; 2; 4 ]) () =
     (Graph.n g) (Graph.m g);
   let probe_list = probes ~seed ~count:40 ~f in
   let mine_params =
-    { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = true }
+    { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = true; family = Spm_core.Constraints.Skinny }
   in
   Util.print_row_header
     [ (7, "jobs"); (9, "req/s"); (10, "p50 ms"); (10, "p95 ms");

@@ -199,7 +199,9 @@ let () =
          Exp_constraints.figures_16_17 ~seed:cfg.seed ~n:cfg.constraint_n
            ~f:25 ~l_values:cfg.l_values ();
          Exp_constraints.figures_18_19 ~seed:cfg.seed ~n:cfg.constraint_n
-           ~f:40 ~l:8 ~deltas:cfg.deltas ()));
+           ~f:40 ~l:8 ~deltas:cfg.deltas ();
+         Exp_constraints.neighborhood ~seed:cfg.seed ~n:800 ~f:25
+           ~r_values:[ 1; 2 ] ()));
   timed "real"
     (plain (fun () ->
          Exp_real.dblp ~seed:cfg.seed ~num_authors:60 ~l:10 ~jobs:cfg.jobs ();

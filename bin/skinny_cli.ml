@@ -47,6 +47,36 @@ let jobs =
            (overridable via $(b,SKINNY_JOBS)). Output is identical for \
            every value.")
 
+(* --constraint / --center: the family selector shared by mine and query
+   mine. For the neighborhood family l is forced to 0 (the radius rides in
+   --delta), matching Skinny_mine's contract. *)
+let family_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("skinny", `Skinny); ("neighborhood", `Neighborhood) ])
+        `Skinny
+    & info [ "constraint" ] ~docv:"FAMILY"
+        ~doc:
+          "Constraint family to mine: $(b,skinny) (the default \
+           (l,delta)-skinny family) or $(b,neighborhood) (every frequent \
+           pattern lying within radius $(b,--delta) of some center vertex; \
+           $(b,--length) is ignored).")
+
+let center_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "center" ] ~docv:"LABEL"
+        ~doc:
+          "With $(b,--constraint neighborhood): only vertices carrying this \
+           label may anchor the neighborhood (default: any label).")
+
+let resolve_family family center ~l =
+  match family with
+  | `Skinny -> (Constraints.Skinny, l)
+  | `Neighborhood -> (Constraints.Neighborhood { center }, 0)
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -201,10 +231,12 @@ let mine_cmd =
              far are reported (and flushed to $(b,--store), marked \
              incomplete) and the run exits with status timeout.")
   in
-  let run file l delta sigma closed dot json store_out timeout jobs =
+  let run file l delta sigma closed dot json store_out timeout jobs family
+      center =
     let g = Io.read_file file in
+    let family, l = resolve_family family center ~l in
     let config =
-      { Skinny_mine.Config.default with closed_growth = closed; jobs }
+      { Skinny_mine.Config.default with closed_growth = closed; jobs; family }
     in
     let run_ctx = Spm_engine.Run.create ?timeout () in
     let r = Skinny_mine.mine ~config ~run:run_ctx g ~l ~delta ~sigma in
@@ -213,7 +245,7 @@ let mine_cmd =
     | None -> ()
     | Some path ->
       Spm_store.Store.save path
-        (Spm_store.Store.of_result ~graph:g ~l ~delta ~sigma
+        (Spm_store.Store.of_result ~family ~graph:g ~l ~delta ~sigma
            ~closed_growth:closed r);
       if not json then
         Printf.printf "pattern store written to %s (%d patterns%s)\n" path
@@ -225,10 +257,24 @@ let mine_cmd =
       if status <> Spm_engine.Run.Ok then
         Printf.printf "mine stopped early (%s) — partial results below\n"
           (Spm_engine.Run.status_to_string status);
-      Printf.printf "%d %s%d-long %d-skinny patterns (sigma = %d, jobs = %d)\n"
-        (List.length r.Skinny_mine.patterns)
-        (if closed then "closed " else "")
-        l delta sigma jobs;
+      (match family with
+      | Constraints.Skinny ->
+        Printf.printf
+          "%d %s%d-long %d-skinny patterns (sigma = %d, jobs = %d)\n"
+          (List.length r.Skinny_mine.patterns)
+          (if closed then "closed " else "")
+          l delta sigma jobs
+      | Constraints.Neighborhood { center } ->
+        Printf.printf
+          "%d %sradius-%d neighborhood patterns (centers: %s, sigma = %d, \
+           jobs = %d)\n"
+          (List.length r.Skinny_mine.patterns)
+          (if closed then "closed " else "")
+          delta
+          (match center with
+          | None -> "any label"
+          | Some c -> Printf.sprintf "label %d" c)
+          sigma jobs);
       Format.printf "%a@." Skinny_mine.Stats.pp r.Skinny_mine.stats;
       List.iteri
         (fun i m ->
@@ -259,10 +305,14 @@ let mine_cmd =
         Printf.printf "largest pattern written to %s\n" path)
   in
   Cmd.v
-    (Cmd.info "mine" ~doc:"Mine all l-long delta-skinny frequent patterns.")
+    (Cmd.info "mine"
+       ~doc:
+         "Mine all l-long delta-skinny frequent patterns (or, with \
+          $(b,--constraint neighborhood), all radius-delta neighborhood \
+          patterns).")
     Term.(
       const run $ graph_file $ l $ delta $ sigma $ closed $ dot $ json
-      $ store_out $ timeout $ jobs)
+      $ store_out $ timeout $ jobs $ family_arg $ center_arg)
 
 (* --- baseline --- *)
 
@@ -522,7 +572,7 @@ let query_cmd =
       u.Spm_server.Protocol.repaired u.Spm_server.Protocol.clusters
   in
   let run host port action file l delta sigma closed min_support max_support
-      length_filter labels updates =
+      length_filter labels updates family center =
     Spm_server.Client.with_connection ~host ~port (fun c ->
         (match action with
         | `Ping ->
@@ -532,10 +582,11 @@ let query_cmd =
           let n = Spm_server.Client.load_store c (need_file "load" file) in
           Printf.printf "server loaded %d patterns\n" n
         | `Mine ->
+          let family, l = resolve_family family center ~l in
           let ms =
             Spm_server.Client.mine c
-              (Spm_server.Protocol.mine_params ~closed_growth:closed ~l ~delta
-                 ~sigma ())
+              (Spm_server.Protocol.mine_params ~closed_growth:closed ~family
+                 ~l ~delta ~sigma ())
           in
           print_patterns ms
         | `Lookup ->
@@ -601,7 +652,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Send one query to a running SkinnyServe server.")
     Term.(
       const run $ host_arg $ port_arg $ action $ file $ l $ delta $ sigma
-      $ closed $ min_support $ max_support $ length_filter $ labels $ updates)
+      $ closed $ min_support $ max_support $ length_filter $ labels $ updates
+      $ family_arg $ center_arg)
 
 (* --- verify --- *)
 

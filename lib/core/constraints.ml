@@ -73,3 +73,37 @@ let check ~mode ~pattern' ~idx ~idx' ~l ext =
   | Naive -> check_naive pattern' ~l
   | Paper -> check_paper ~pattern' ~idx ~idx' ~l ext
   | Exact -> check_exact ~pattern' ~idx ~idx' ~l ext
+
+(* --- Constraint families ------------------------------------------------- *)
+
+type family = Skinny | Neighborhood of { center : Label.t option }
+
+let family_name = function
+  | Skinny -> "skinny"
+  | Neighborhood _ -> "neighborhood"
+
+(* r-neighborhood admissibility: the center is pattern vertex 0 (the head of
+   a zero-length "diameter", so the D_H index is exactly distance-to-center).
+   A fresh leaf is admissible iff it lands within radius r; a closing edge
+   can only shrink distances, so it is always admissible. *)
+let check_neighborhood_naive p' ~r = ecc p' 0 <= r
+
+let check_neighborhood ~mode ~pattern' ~idx' ~r ext =
+  match mode with
+  | Naive -> check_neighborhood_naive pattern' ~r
+  | Paper | Exact -> (
+    match ext with
+    | New_leaf _ -> Distance_index.dh idx' (Graph.n pattern' - 1) <= r
+    | Close _ -> true)
+
+let neighborhood_target ?center p ~r =
+  Graph.m p >= 1
+  && Bfs.is_connected p
+  &&
+  let n = Graph.n p in
+  let ok v =
+    (match center with None -> true | Some c -> Graph.label p v = c)
+    && ecc p v <= r
+  in
+  let rec loop v = v < n && (ok v || loop (v + 1)) in
+  loop 0

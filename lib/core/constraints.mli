@@ -42,3 +42,39 @@ val check :
 val check_naive : Spm_pattern.Pattern.t -> l:int -> bool
 (** Ground truth: the canonical diameter of the pattern is exactly the
     identity path [0..l]. *)
+
+(** {1 Constraint families}
+
+    The growth loop is shared between two qualified constraint families; the
+    family selects which admissibility check gates each extension. *)
+
+type family =
+  | Skinny  (** l-long δ-skinny (Definition 7) — the paper's constraint. *)
+  | Neighborhood of { center : Spm_graph.Label.t option }
+      (** r-neighborhood (Han & Wen): every vertex within distance r of a
+          labeled center. [center] restricts Stage-I seeds to one label;
+          [None] seeds every label present in the data graph. *)
+
+val family_name : family -> string
+(** ["skinny"] or ["neighborhood"] — the CLI / protocol spelling. *)
+
+val check_neighborhood :
+  mode:mode ->
+  pattern':Spm_pattern.Pattern.t ->
+  idx':Distance_index.t ->
+  r:int ->
+  extension ->
+  bool
+(** Admissibility for the r-neighborhood family. The center is pattern
+    vertex 0 and the distance index is rooted there (head = tail = 0), so
+    [Distance_index.dh] is exact distance-to-center: a new leaf is admissible
+    iff it lands within radius [r]; a closing edge only shrinks distances and
+    is always admissible. [Naive] recomputes the eccentricity of vertex 0
+    from scratch (the ground-truth ablation, like {!check_naive}). *)
+
+val neighborhood_target :
+  ?center:Spm_graph.Label.t -> Spm_pattern.Pattern.t -> r:int -> bool
+(** The r-neighborhood constraint predicate itself: the pattern has at least
+    one edge, is connected, and some vertex (of label [center] when given)
+    has eccentricity at most [r]. Usable with {!Framework} checkers and
+    enumerate-and-check baselines. *)

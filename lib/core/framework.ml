@@ -54,6 +54,39 @@ module Skinny = struct
     M.mine ?jobs g ~sigma request
 end
 
+module Neighborhood = struct
+  type request = { r : int; center : Label.t option }
+  type seed = Diam_mine.entry
+
+  let name = "r-neighborhood"
+
+  (* No sigma filter on seeds — see [Neighbor_mine.centers]. *)
+  let minimal_patterns g ~sigma:_ { center; _ } = Neighbor_mine.centers ?center g
+
+  let grow g ~sigma { r; center } seed =
+    let mined, _stats =
+      Level_grow.grow
+        ~family:(Constraints.Neighborhood { center })
+        ~data:g ~sigma ~delta:r ~entry:seed ()
+    in
+    List.map (fun m -> (m.Level_grow.pattern, m.Level_grow.support)) mined
+
+  (* Unlike skinny clusters (disjoint by Theorem 4), neighborhood clusters
+     can overlap: a pattern within radius r of both an a-labeled and a
+     b-labeled vertex is grown from both centers. [Make]'s seed-order
+     deduplication makes the overlap harmless. *)
+  let mine ?jobs g ~sigma request =
+    let module M = Make (struct
+      type nonrec request = request
+      type nonrec seed = seed
+
+      let name = name
+      let minimal_patterns = minimal_patterns
+      let grow = grow
+    end) in
+    M.mine ?jobs g ~sigma request
+end
+
 (* --- Property checkers --------------------------------------------------- *)
 
 let pattern_minus_edge p (u, v) =

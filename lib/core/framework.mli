@@ -48,6 +48,24 @@ module Skinny : sig
     (pattern * int) list
 end
 
+(** The r-neighborhood instance (Han & Wen): minimal patterns are single
+    labeled centers ({!Neighbor_mine.centers}), growth preserves "every
+    vertex within distance [r] of the center" via
+    {!Constraints.check_neighborhood}. Qualification (reducibility with the
+    one-edge witnesses, continuity) is demonstrated by the committed
+    property-checker tests. Unlike skinny clusters, neighborhood clusters
+    overlap — a pattern near two differently-labeled centers is grown from
+    both — so {!Make}'s seed-order deduplication is load-bearing here. *)
+module Neighborhood : sig
+  type request = { r : int; center : Spm_graph.Label.t option }
+
+  include CONSTRAINT with type request := request
+
+  val mine :
+    ?jobs:int -> Spm_graph.Graph.t -> sigma:int -> request ->
+    (pattern * int) list
+end
+
 (** {1 Property checkers}
 
     Executable over a finite universe of candidate patterns (e.g. all

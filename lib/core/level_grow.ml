@@ -158,8 +158,9 @@ let universal_descs st cands =
         Hashtbl.length parents = total)
     cands
 
-let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support ?run
-    ~data ~sigma ~delta ~(entry : Diam_mine.entry) () =
+let grow ?(mode = Constraints.Exact) ?(family = Constraints.Skinny)
+    ?(closed_growth = false) ?support ?run ~data ~sigma ~delta
+    ~(entry : Diam_mine.entry) () =
   let run =
     match run with Some r -> r | None -> Spm_engine.Run.create ()
   in
@@ -173,7 +174,10 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support ?run
   let tried = ref 0 and rejected = ref 0 and infreq = ref 0 in
   let init_maps =
     let embs = entry.Diam_mine.embeddings in
-    if Path_pattern.is_palindrome entry.Diam_mine.labels then
+    (* A length-0 path ([l = 0], the neighborhood family's single center) is
+       trivially a palindrome but has only one orientation per embedding —
+       doubling would double-count |maps| against |Aut|. *)
+    if l > 0 && Path_pattern.is_palindrome entry.Diam_mine.labels then
       List.concat_map
         (fun e ->
           let r = Array.init (Array.length e) (fun k -> e.(Array.length e - 1 - k)) in
@@ -199,8 +203,11 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support ?run
   (* [full] = this run's emission budget is spent: stop exploring but finish
      normally (status Ok — a budget is an output cap, not an interruption). *)
   let full = ref (Spm_engine.Run.budget_exhausted run) in
+  (* Edgeless patterns (the neighborhood family's bare center seed) are
+     growth states, never results: every reported pattern has >= 1 edge. A
+     no-op for skinny, whose seeds carry l >= 1 edges. *)
   let emit st =
-    if not !full then begin
+    if (not !full) && Pattern.size st.pattern > 0 then begin
       out :=
         {
           pattern = st.pattern;
@@ -225,9 +232,17 @@ let grow ?(mode = Constraints.Exact) ?(closed_growth = false) ?support ?run
        paw built as triangle-on-the-diameter vs triangle-on-a-twig — so a
        rejection must NOT be memoized; only acceptance and infrequency are
        pattern-intrinsic.) *)
-    if
-      not (Constraints.check ~mode ~pattern':pattern' ~idx:st.idx ~idx':idx' ~l ext)
-    then begin
+    let admissible =
+      match family with
+      | Constraints.Skinny ->
+        Constraints.check ~mode ~pattern':pattern' ~idx:st.idx ~idx':idx' ~l
+          ext
+      | Constraints.Neighborhood _ ->
+        (* [delta] carries the radius r; vertex 0 is the center. *)
+        Constraints.check_neighborhood ~mode ~pattern':pattern' ~idx':idx'
+          ~r:delta ext
+    in
+    if not admissible then begin
       incr rejected;
       `Rejected
     end

@@ -29,6 +29,7 @@ type stats = {
 
 val grow :
   ?mode:Constraints.mode ->
+  ?family:Constraints.family ->
   ?closed_growth:bool ->
   ?support:(Spm_pattern.Pattern.t -> int array list -> int) ->
   ?run:Spm_engine.Run.t ->
@@ -42,6 +43,13 @@ val grow :
     the first element — Observation 1's minimal pattern). [mode] defaults to
     [Constraints.Exact]; [support] maps (pattern, mappings) to a support
     value, by default the number of distinct embedding subgraphs.
+
+    [family] (default [Constraints.Skinny]) selects the admissibility check
+    gating each extension. With [Constraints.Neighborhood], [entry] is a
+    single labeled center (a length-0 path, so [delta] carries the radius r
+    and the per-vertex levels are exact distances to the center); the bare
+    center itself is a growth state, not a result — every reported pattern
+    has at least one edge.
     Unique generation: instead of the paper's Panchor extension-order
     discipline (which we found subtly lossy — constraint verdicts on
     intermediate patterns depend on edge order, and a twig's level can drop

@@ -1,0 +1,26 @@
+open Spm_graph
+
+(* Stage I for the r-neighborhood family: the minimal constraint-satisfying
+   patterns are single labeled centers, so seeding is a label histogram, not
+   a path mine. One entry per label, embeddings in ascending vertex order so
+   the result (and everything grown from it) is deterministic.
+
+   No sigma filter here: a single data vertex can host many distinct
+   embedding subgraphs of the grown patterns, so pruning a center whose
+   vertex count is below sigma would be unsound (|E[P]| is not bounded by
+   the number of center vertices). Frequency is enforced on every grown
+   pattern by Stage II. *)
+let centers ?center g =
+  let tbl : (Label.t, int array list) Hashtbl.t = Hashtbl.create 16 in
+  for v = Graph.n g - 1 downto 0 do
+    let c = Graph.label g v in
+    let keep = match center with None -> true | Some c0 -> c = c0 in
+    if keep then
+      let prev =
+        match Hashtbl.find_opt tbl c with Some l -> l | None -> []
+      in
+      Hashtbl.replace tbl c ([| v |] :: prev)
+  done;
+  Hashtbl.fold (fun c embs acc -> (c, embs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (c, embeddings) -> { Diam_mine.labels = [| c |]; embeddings })

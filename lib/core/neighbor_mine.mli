@@ -1,0 +1,15 @@
+(** Stage I for the r-neighborhood family (Han & Wen): enumerate the minimal
+    constraint-satisfying patterns, which are single labeled centers.
+
+    The analog of {!Diam_mine} for {!Constraints.Neighborhood}: each entry is
+    a length-0 "diameter" — one label, with one single-vertex embedding per
+    data vertex carrying it — ready to be grown by {!Level_grow.grow} with
+    the radius in the [delta] slot. *)
+
+val centers :
+  ?center:Spm_graph.Label.t -> Spm_graph.Graph.t -> Diam_mine.entry list
+(** One entry per distinct vertex label present in the graph (restricted to
+    [center] when given), sorted by label; embeddings are in ascending vertex
+    order. No sigma filter: center-vertex counts do not bound the |E[P]| of
+    grown patterns, so seed-level frequency pruning would be unsound —
+    Stage II enforces sigma on every grown pattern. *)

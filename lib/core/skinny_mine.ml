@@ -25,6 +25,7 @@ type result = { patterns : mined list; stats : stats }
 module Config = struct
   type t = {
     mode : Constraints.mode;
+    family : Constraints.family;
     closed_growth : bool;
     prune_intermediate : bool;
     closed_only : bool;
@@ -36,6 +37,7 @@ module Config = struct
   let default =
     {
       mode = Constraints.Exact;
+      family = Constraints.Skinny;
       closed_growth = false;
       prune_intermediate = true;
       closed_only = false;
@@ -45,6 +47,7 @@ module Config = struct
     }
 
   let with_mode mode t = { t with mode }
+  let with_family family t = { t with family }
   let with_closed_growth closed_growth t = { t with closed_growth }
 
   let with_prune_intermediate prune_intermediate t =
@@ -180,24 +183,44 @@ let closed_filter patterns =
    would have taken. The parallel path merely over-mines past the global
    cap (bounded by cap per cluster); the sequential path keeps the exact
    remaining-budget accounting as a fast path. *)
+(* Neighborhood clusters overlap (a pattern near two differently-labeled
+   centers is grown from both), so the concatenated cluster results are
+   deduplicated in entry order — each pattern keeps the emission (and
+   [diameter_labels] owner) of its first cluster, deterministically. Skinny
+   clusters are disjoint (Theorem 4) and skip the pass.
+
+   Overlap also changes what a [max_patterns] budget may count: a raw
+   per-cluster budget fork would spend cap on emissions that dedup then
+   drops, leaving the capped run shorter than — and not a prefix of — the
+   deduped full run. So the neighborhood path grows uncapped and truncates
+   AFTER dedup: the cap is exact and prefix-stable, at the cost of not
+   short-circuiting growth (deadlines and [Run.cancel] still interrupt). *)
+let dedup_across_clusters patterns =
+  let seen = Canon.Set.create () in
+  List.filter (fun (m : mined) -> Canon.Set.add seen m.pattern) patterns
+
 let grow_all ~(config : Config.t) ~pool ~run data ~entries ~delta ~sigma =
   let t0 = Clock.now () in
   let mode = config.Config.mode
+  and family = config.Config.family
   and closed_growth = config.Config.closed_growth
   and support = config.Config.support in
   let grow_entry ~run entry =
-    Level_grow.grow ~mode ~closed_growth ?support ~run ~data ~sigma ~delta
-      ~entry ()
+    Level_grow.grow ~mode ~family ~closed_growth ?support ~run ~data ~sigma
+      ~delta ~entry ()
+  in
+  let uncapped () =
+    let per_cluster =
+      Pool.map pool (fun entry -> grow_entry ~run entry)
+        (Array.of_list entries)
+    in
+    ( List.concat_map fst (Array.to_list per_cluster),
+      List.map snd (Array.to_list per_cluster) )
   in
   let patterns, stats =
     match config.Config.max_patterns with
-    | None ->
-      let per_cluster =
-        Pool.map pool (fun entry -> grow_entry ~run entry)
-          (Array.of_list entries)
-      in
-      ( List.concat_map fst (Array.to_list per_cluster),
-        List.map snd (Array.to_list per_cluster) )
+    | None -> uncapped ()
+    | Some _ when family <> Constraints.Skinny -> uncapped ()
     | Some cap when Pool.jobs pool <= 1 ->
       let patterns = ref [] and stats = ref [] in
       let count = ref 0 in
@@ -222,6 +245,15 @@ let grow_all ~(config : Config.t) ~pool ~run data ~entries ~delta ~sigma =
       let all = List.concat_map fst (Array.to_list per_cluster) in
       ( List.filteri (fun i _ -> i < cap) all,
         List.map snd (Array.to_list per_cluster) )
+  in
+  let patterns =
+    match family with
+    | Constraints.Skinny -> patterns
+    | Constraints.Neighborhood _ -> (
+      let deduped = dedup_across_clusters patterns in
+      match config.Config.max_patterns with
+      | None -> deduped
+      | Some cap -> List.filteri (fun i _ -> i < cap) deduped)
   in
   let patterns =
     if config.Config.closed_only then closed_filter patterns else patterns
@@ -259,26 +291,41 @@ let cancelled_result ~t0 status =
       };
   }
 
+(* Stage I dispatch: skinny mines frequent length-l paths; neighborhood
+   seeds one single-vertex entry per center label ([l] must be 0 — the
+   radius rides in [delta], and a length-0 "diameter" is exactly a
+   center). *)
+let stage_one ~(config : Config.t) ~run ~pool g ~l ~sigma =
+  match config.Config.family with
+  | Constraints.Skinny ->
+    let diam =
+      Diam_mine.mine ~prune_intermediate:config.Config.prune_intermediate
+        ~run ~pool g ~l ~sigma
+    in
+    (diam.Diam_mine.entries, diam.Diam_mine.stats)
+  | Constraints.Neighborhood { center } ->
+    if l <> 0 then
+      invalid_arg
+        "Skinny_mine.mine: the neighborhood family takes l = 0 (the radius \
+         rides in delta)";
+    (Neighbor_mine.centers ?center g, empty_diam_stats)
+
 let mine ?run ?(config = Config.default) g ~l ~delta ~sigma =
   let run = fresh_run run in
   let t0 = Clock.now () in
   with_config_pool config (fun pool ->
-      match
-        Diam_mine.mine ~prune_intermediate:config.Config.prune_intermediate
-          ~run ~pool g ~l ~sigma
-      with
+      match stage_one ~config ~run ~pool g ~l ~sigma with
       | exception Run.Cancelled (status, _) -> cancelled_result ~t0 status
-      | diam ->
+      | entries, diam_stats ->
         let patterns, grow_stats, interrupted, grow_seconds =
-          grow_all ~config ~pool ~run g ~entries:diam.Diam_mine.entries ~delta
-            ~sigma
+          grow_all ~config ~pool ~run g ~entries ~delta ~sigma
         in
         {
           patterns;
           stats =
             {
-              diam_stats = diam.Diam_mine.stats;
-              num_diameters = List.length diam.Diam_mine.entries;
+              diam_stats;
+              num_diameters = List.length entries;
               grow_seconds;
               grow_stats;
               status = final_status ~run ~interrupted;
@@ -326,6 +373,10 @@ let disjoint_union gs =
   (Graph.Builder.freeze b, tx)
 
 let mine_transactions ?run ?(config = Config.default) gs ~l ~delta ~sigma =
+  (match config.Config.family with
+  | Constraints.Skinny -> ()
+  | Constraints.Neighborhood _ ->
+    invalid_arg "Skinny_mine.mine_transactions: skinny family only");
   let run = fresh_run run in
   let t0 = Clock.now () in
   let union, tx = disjoint_union gs in
@@ -366,3 +417,6 @@ let mine_transactions ?run ?(config = Config.default) gs ~l ~delta ~sigma =
         })
 
 let is_target p ~l ~delta = Canonical_diameter.is_l_long_delta_skinny p ~l ~delta
+
+let is_neighborhood_target ?center p ~r =
+  Constraints.neighborhood_target ?center p ~r

@@ -42,6 +42,14 @@ module Config : sig
   type t = {
     mode : Constraints.mode;
         (** Constraint-maintenance mode (default [Exact]). *)
+    family : Constraints.family;
+        (** Which constraint family to mine (default [Skinny]). With
+            [Neighborhood], {!mine} takes [l = 0] and reads the radius r from
+            [delta]: Stage I seeds one single-vertex entry per center label
+            ({!Neighbor_mine.centers}) and Stage II grows each center under
+            {!Constraints.check_neighborhood}. Overlapping clusters are
+            deduplicated in entry order, so the output is still
+            bit-identical for every [jobs] value. *)
     closed_growth : bool;
         (** Closed-pattern semantics: apply support-preserving extensions
             eagerly, collapsing the twig powerset (default [false]). *)
@@ -60,7 +68,12 @@ module Config : sig
             per-cluster results in Stage-I entry order and truncates to the
             cap — exactly the sequential budgeted output. (Before runs
             carried budgets this was a sequential-only special case that
-            silently ignored [jobs].) *)
+            silently ignored [jobs].)
+
+            Under the neighborhood family the cap is applied only after
+            every cluster has grown in full and duplicates across
+            overlapping clusters have been removed, so it bounds the size
+            of the answer, not the mining work (see DESIGN.md §19). *)
     support : (Spm_pattern.Pattern.t -> int array list -> int) option;
         (** Stage-II support override, e.g. a distinct-transaction counter.
             [None] = |E[P]|, distinct embedding subgraphs.
@@ -78,6 +91,7 @@ module Config : sig
       [SKINNY_JOBS] environment variable, or every available core). *)
 
   val with_mode : Constraints.mode -> t -> t
+  val with_family : Constraints.family -> t -> t
   val with_closed_growth : bool -> t -> t
   val with_prune_intermediate : bool -> t -> t
   val with_closed_only : bool -> t -> t
@@ -155,3 +169,9 @@ val mine_transactions :
 val is_target : Spm_pattern.Pattern.t -> l:int -> delta:int -> bool
 (** The (l,δ) constraint predicate itself (Definition 7), usable with
     {!Framework} checkers and enumerate-and-check baselines. *)
+
+val is_neighborhood_target :
+  ?center:Spm_graph.Label.t -> Spm_pattern.Pattern.t -> r:int -> bool
+(** The r-neighborhood constraint predicate
+    ({!Constraints.neighborhood_target}): at least one edge, connected, and
+    some vertex (of label [center] when given) has eccentricity <= [r]. *)

@@ -50,6 +50,12 @@ let connected p =
   let n = order p in
   n = 0 || Array.for_all (fun d -> d >= 0) (bfs_dist (adj_of p) n 0)
 
+let ecc p v =
+  let d = bfs_dist (adj_of p) (order p) v in
+  Array.fold_left
+    (fun acc x -> if x < 0 then max_int else max acc x)
+    0 d
+
 let dist_matrix p =
   let n = order p in
   let adj = adj_of p in
@@ -153,6 +159,21 @@ let is_target p ~l ~delta =
     List.exists
       (fun path -> labels_of path = minlab && levels_within p path ~delta)
       realizing
+
+(* The r-neighborhood predicate, class-level: some admissible center sees
+   every vertex within r. Unlike [is_target] there is no representation
+   subtlety — eccentricity is renumbering-invariant. *)
+let is_neighborhood ?center p ~r =
+  order p > 0 && connected p
+  &&
+  let n = order p in
+  let rec loop v =
+    v < n
+    && (((match center with None -> true | Some c -> p.labels.(v) = c)
+        && ecc p v <= r)
+       || loop (v + 1))
+  in
+  loop 0
 
 (* --- Naive isomorphism: backtracking over label-preserving bijections. --- *)
 
@@ -359,8 +380,8 @@ let bucket_key p =
   in
   (order p, size p, List.sort compare sigs)
 
-let mine ?(max_vertices = 10) ?(max_edges = 12) ?(max_subsets = 2_000_000)
-    (g : Spm_graph.Graph.t) ~l ~delta ~sigma =
+let mine_pred ?(max_vertices = 10) ?(max_edges = 12) ?(max_subsets = 2_000_000)
+    (g : Spm_graph.Graph.t) ~sigma ~pred =
   let edges = Array.of_list (Spm_graph.Graph.edges g) in
   let m = Array.length edges in
   let incident = Array.make (Spm_graph.Graph.n g) [] in
@@ -445,9 +466,17 @@ let mine ?(max_vertices = 10) ?(max_edges = 12) ?(max_subsets = 2_000_000)
       (fun (p, cell) ->
         let occurrences = List.rev !cell in
         let support = List.length occurrences in
-        if support >= sigma && is_target p ~l ~delta then
-          Some { rep = p; support; occurrences }
+        if support >= sigma && pred p then Some { rep = p; support; occurrences }
         else None)
       classes
   in
   { found; enumerated = !enumerated; classes = List.length classes }
+
+let mine ?max_vertices ?max_edges ?max_subsets g ~l ~delta ~sigma =
+  mine_pred ?max_vertices ?max_edges ?max_subsets g ~sigma
+    ~pred:(fun p -> is_target p ~l ~delta)
+
+let mine_neighborhood ?max_vertices ?max_edges ?max_subsets ?center g ~r ~sigma
+    =
+  mine_pred ?max_vertices ?max_edges ?max_subsets g ~sigma
+    ~pred:(fun p -> is_neighborhood ?center p ~r)

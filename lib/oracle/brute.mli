@@ -38,6 +38,10 @@ val iso : pat -> pat -> bool
 
 val connected : pat -> bool
 
+val ecc : pat -> int -> int
+(** [ecc p v] — max BFS distance from local vertex [v]; [max_int] when some
+    vertex is unreachable from [v]. *)
+
 val diameter : pat -> int
 (** Max pairwise BFS distance. The pattern must be connected. *)
 
@@ -57,6 +61,13 @@ val is_target : pat -> l:int -> delta:int -> bool
     class is a target exactly when one such path works. The production miner
     grows patterns whose backbone owns ids [0..l], so its outputs satisfy
     this predicate by construction. *)
+
+val is_neighborhood : ?center:int -> pat -> r:int -> bool
+(** The r-neighborhood family's predicate, naively: connected, at least one
+    edge, and some vertex — any vertex, or one labeled [center] when given —
+    has eccentricity at most [r]. Eccentricity is invariant under vertex
+    renumbering, so unlike {!is_target} the class-level and
+    per-representation readings coincide. *)
 
 val immediate_subs : pat -> pat list
 (** Connected one-edge-deletion subpatterns with at least one edge (an
@@ -85,6 +96,19 @@ exception Too_large of string
     of the oracle's league and the caller should shrink it, not trust a
     truncated answer. *)
 
+val mine_pred :
+  ?max_vertices:int ->
+  ?max_edges:int ->
+  ?max_subsets:int ->
+  Spm_graph.Graph.t ->
+  sigma:int ->
+  pred:(pat -> bool) ->
+  result
+(** The constraint-generic oracle: every isomorphism class of connected edge
+    subsets with at least [sigma] distinct embedding subgraphs that satisfies
+    [pred] (a property of the class — it is evaluated on one representative).
+    {!mine} and {!mine_neighborhood} are its two instantiations. *)
+
 val mine :
   ?max_vertices:int ->
   ?max_edges:int ->
@@ -98,3 +122,15 @@ val mine :
     embedding subgraphs, restricted to patterns with at most [max_vertices]
     (default 10) vertices and [max_edges] (default 12) edges.
     @raise Too_large past [max_subsets] (default 2_000_000) subsets. *)
+
+val mine_neighborhood :
+  ?max_vertices:int ->
+  ?max_edges:int ->
+  ?max_subsets:int ->
+  ?center:int ->
+  Spm_graph.Graph.t ->
+  r:int ->
+  sigma:int ->
+  result
+(** [mine_pred] at {!is_neighborhood}: all frequent patterns lying within
+    radius [r] of some (optionally [center]-labeled) vertex. *)

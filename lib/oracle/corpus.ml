@@ -1,10 +1,12 @@
 (* The seeded differential corpus. See corpus.mli. *)
 
 open Spm_graph
+module Constraints = Spm_core.Constraints
 
 type item = {
   name : string;
   seed : int;
+  family : Constraints.family;
   l : int;
   delta : int;
   sigma : int;
@@ -63,6 +65,7 @@ let builtin () =
     {
       name = "path8";
       seed = 101;
+      family = Constraints.Skinny;
       l = 3;
       delta = 1;
       sigma = 1;
@@ -72,6 +75,7 @@ let builtin () =
     {
       name = "path12_sparse_labels";
       seed = 102;
+      family = Constraints.Skinny;
       l = 4;
       delta = 1;
       sigma = 2;
@@ -82,6 +86,7 @@ let builtin () =
     {
       name = "star6";
       seed = 103;
+      family = Constraints.Skinny;
       l = 2;
       delta = 1;
       sigma = 2;
@@ -90,6 +95,7 @@ let builtin () =
     {
       name = "clique4";
       seed = 104;
+      family = Constraints.Skinny;
       l = 2;
       delta = 1;
       sigma = 1;
@@ -98,6 +104,7 @@ let builtin () =
     {
       name = "clique5";
       seed = 105;
+      family = Constraints.Skinny;
       l = 2;
       delta = 2;
       sigma = 2;
@@ -106,6 +113,7 @@ let builtin () =
     {
       name = "bipartite23";
       seed = 106;
+      family = Constraints.Skinny;
       l = 2;
       delta = 1;
       sigma = 1;
@@ -114,6 +122,7 @@ let builtin () =
     {
       name = "bipartite33";
       seed = 107;
+      family = Constraints.Skinny;
       l = 3;
       delta = 1;
       sigma = 2;
@@ -123,6 +132,7 @@ let builtin () =
     {
       name = "cycle6";
       seed = 108;
+      family = Constraints.Skinny;
       l = 2;
       delta = 1;
       sigma = 1;
@@ -131,6 +141,7 @@ let builtin () =
     {
       name = "cycle8";
       seed = 109;
+      family = Constraints.Skinny;
       l = 4;
       delta = 1;
       sigma = 1;
@@ -139,6 +150,7 @@ let builtin () =
     {
       name = "ladder4";
       seed = 110;
+      family = Constraints.Skinny;
       l = 3;
       delta = 1;
       sigma = 1;
@@ -147,6 +159,7 @@ let builtin () =
     {
       name = "er14_sparse";
       seed = 111;
+      family = Constraints.Skinny;
       l = 3;
       delta = 2;
       sigma = 1;
@@ -155,6 +168,7 @@ let builtin () =
     {
       name = "er10_dense";
       seed = 112;
+      family = Constraints.Skinny;
       l = 2;
       delta = 2;
       sigma = 2;
@@ -163,6 +177,7 @@ let builtin () =
     {
       name = "er12_3labels";
       seed = 113;
+      family = Constraints.Skinny;
       l = 4;
       delta = 2;
       sigma = 1;
@@ -171,21 +186,94 @@ let builtin () =
     {
       name = "inject_skinny2";
       seed = 114;
+      family = Constraints.Skinny;
       l = 3;
       delta = 1;
       sigma = 2;
       graph =
         injected ~seed:114 ~n:10 ~num_labels:4 ~backbone:3 ~twigs:1 ~copies:2;
+    }
+    (* --- r-neighborhood items: l = 0, the radius rides in [delta]. --- *);
+    {
+      name = "nbr_star6";
+      seed = 201;
+      family = Constraints.Neighborhood { center = None };
+      l = 0;
+      delta = 1;
+      sigma = 1;
+      graph = Gen.star_graph ~center:9 [| 1; 2; 1; 2; 1; 2 |];
+    };
+    {
+      name = "nbr_path8";
+      seed = 202;
+      family = Constraints.Neighborhood { center = None };
+      l = 0;
+      delta = 2;
+      sigma = 1;
+      graph = Gen.path_graph (cyc 9);
+    };
+    {
+      name = "nbr_clique5";
+      seed = 203;
+      family = Constraints.Neighborhood { center = None };
+      l = 0;
+      delta = 1;
+      sigma = 2;
+      graph = clique [| 0; 1; 2; 0; 1 |];
+    };
+    {
+      name = "nbr_cycle6";
+      seed = 204;
+      family = Constraints.Neighborhood { center = None };
+      l = 0;
+      delta = 2;
+      sigma = 1;
+      graph = Gen.cycle_graph (cyc 6);
+    };
+    {
+      name = "nbr_er12";
+      seed = 205;
+      family = Constraints.Neighborhood { center = None };
+      l = 0;
+      delta = 2;
+      sigma = 2;
+      graph = er ~seed:205 ~n:12 ~avg_degree:2.2 ~num_labels:3;
+    }
+    (* Centered variant: only label-2 vertices may anchor the ball. *);
+    {
+      name = "nbr_center2";
+      seed = 206;
+      family = Constraints.Neighborhood { center = Some 2 };
+      l = 0;
+      delta = 2;
+      sigma = 1;
+      graph =
+        Gen.path_graph
+          (Array.init 13 (fun i -> if i = 3 || i = 9 then 2 else i mod 2));
     };
   ]
+
+let skinny_items () =
+  List.filter (fun it -> it.family = Constraints.Skinny) (builtin ())
+
+let neighborhood_items () =
+  List.filter (fun it -> it.family <> Constraints.Skinny) (builtin ())
 
 let find name = List.find (fun it -> String.equal it.name name) (builtin ())
 let filename it = it.name ^ ".graph"
 
 let render it =
-  Printf.sprintf "# corpus %s seed=%d l=%d delta=%d sigma=%d\n%s" it.name
-    it.seed it.l it.delta it.sigma
-    (Io.to_string it.graph)
+  match it.family with
+  | Constraints.Skinny ->
+    Printf.sprintf "# corpus %s seed=%d l=%d delta=%d sigma=%d\n%s" it.name
+      it.seed it.l it.delta it.sigma
+      (Io.to_string it.graph)
+  | Constraints.Neighborhood { center } ->
+    Printf.sprintf "# corpus %s seed=%d family=neighborhood r=%d sigma=%d \
+                    center=%s\n%s"
+      it.name it.seed it.delta it.sigma
+      (match center with None -> "any" | Some c -> string_of_int c)
+      (Io.to_string it.graph)
 
 let write_dir dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

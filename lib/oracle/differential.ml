@@ -44,21 +44,35 @@ let find_class ofound bp =
     ofound;
   !idx
 
-let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
-    graph ~l ~delta ~sigma =
+let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4)
+    ?(family = Constraints.Skinny) ~name ~seed graph ~l ~delta ~sigma =
   let mismatches = ref [] in
   let add side kind pattern occurrences =
     mismatches := { side; kind; pattern; occurrences } :: !mismatches
+  in
+  (* Both families funnel through the same harness; only the class
+     predicate, the production config, and the one-step acceptance check
+     (below) differ. For [Neighborhood], [l] is 0 and [delta] is r. *)
+  let pred bp =
+    match family with
+    | Constraints.Skinny -> Brute.is_target bp ~l ~delta
+    | Constraints.Neighborhood { center } ->
+      Brute.is_neighborhood ?center bp ~r:delta
+  in
+  let miner_side =
+    match family with
+    | Constraints.Skinny -> "skinnymine"
+    | Constraints.Neighborhood _ -> "nbrmine"
   in
   let gaps = ref 0 in
   let oracle_targets = ref 0 in
   let mined_patterns = ref 0 in
   let gspan_patterns = ref 0 in
   (try
-     let oracle = Brute.mine ~max_vertices ~max_edges graph ~l ~delta ~sigma in
+     let oracle = Brute.mine_pred ~max_vertices ~max_edges graph ~sigma ~pred in
      let ofound = Array.of_list oracle.Brute.found in
      oracle_targets := Array.length ofound;
-     let config j = { Skinny_mine.Config.default with jobs = j } in
+     let config j = { Skinny_mine.Config.default with jobs = j; family } in
      let r1 = Skinny_mine.mine ~config:(config 1) graph ~l ~delta ~sigma in
      let rj = Skinny_mine.mine ~config:(config jobs) graph ~l ~delta ~sigma in
      mined_patterns := List.length r1.Skinny_mine.patterns;
@@ -75,7 +89,7 @@ let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
           | [], [] -> assert false
         in
         add
-          (Printf.sprintf "skinnymine-jobs%d" jobs)
+          (Printf.sprintf "%s-jobs%d" miner_side jobs)
           Jobs_divergence
           (first_divergent r1.Skinny_mine.patterns rj.Skinny_mine.patterns)
           []);
@@ -93,12 +107,12 @@ let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
      List.iter
        (fun ((m : Skinny_mine.mined), bp) ->
          let i = find_class ofound bp in
-         if i < 0 then add "skinnymine" Unsound m.Skinny_mine.pattern []
+         if i < 0 then add miner_side Unsound m.Skinny_mine.pattern []
          else begin
            hit.(i) <- true;
            let f = ofound.(i) in
            if f.Brute.support <> m.Skinny_mine.support then
-             add "skinnymine"
+             add miner_side
                (Support_mismatch
                   { miner = m.Skinny_mine.support; oracle = f.Brute.support })
                m.Skinny_mine.pattern f.Brute.occurrences
@@ -134,6 +148,18 @@ let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
        done;
        fresh @ !closing
      in
+     let accepts_grown c =
+       match family with
+       | Constraints.Skinny ->
+         Canonical_diameter.identity_preserved c ~l
+         && Skinny_mine.is_target c ~l ~delta
+       | Constraints.Neighborhood _ ->
+         (* The neighborhood grower keeps vertex 0 as the cluster's center
+            and accepts an extension exactly when every vertex still sits
+            within r of it. The mined parent's vertex 0 already carries an
+            admissible center label, which extensions preserve. *)
+         Brute.ecc (Brute.of_pattern c) 0 <= delta
+     in
      let reachable_one_step (missing : Brute.pat) =
        let labels =
          List.sort_uniq compare (Array.to_list missing.Brute.labels)
@@ -147,8 +173,7 @@ let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
                 (fun c ->
                   Spm_pattern.Pattern.order c = mo
                   && Brute.iso (Brute.of_pattern c) missing
-                  && Canonical_diameter.identity_preserved c ~l
-                  && Skinny_mine.is_target c ~l ~delta)
+                  && accepts_grown c)
                 (one_step_extensions m.Skinny_mine.pattern ~labels))
          mined
      in
@@ -156,7 +181,7 @@ let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
        (fun i (f : Brute.found) ->
          if not hit.(i) then
            if reachable_one_step f.Brute.rep then
-             add "skinnymine" Missing
+             add miner_side Missing
                (Brute.to_pattern f.Brute.rep)
                f.Brute.occurrences
            else incr gaps)
@@ -182,7 +207,7 @@ let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
                Brute.order bp <= max_vertices
                && Brute.size bp <= max_edges
                && r.Spm_gspan.Engine.support >= sigma
-               && Brute.is_target bp ~l ~delta
+               && pred bp
              then Some (r, bp)
              else None)
            outcome.Spm_gspan.Engine.results
@@ -231,9 +256,9 @@ let run_case ?(max_vertices = 10) ?(max_edges = 12) ?(jobs = 4) ~name ~seed
   }
 
 let run_item ?max_vertices ?max_edges ?jobs (it : Corpus.item) =
-  run_case ?max_vertices ?max_edges ?jobs ~name:it.Corpus.name
-    ~seed:it.Corpus.seed it.Corpus.graph ~l:it.Corpus.l ~delta:it.Corpus.delta
-    ~sigma:it.Corpus.sigma
+  run_case ?max_vertices ?max_edges ?jobs ~family:it.Corpus.family
+    ~name:it.Corpus.name ~seed:it.Corpus.seed it.Corpus.graph ~l:it.Corpus.l
+    ~delta:it.Corpus.delta ~sigma:it.Corpus.sigma
 
 (* --- Baselines: sound-subset checks (incomplete miners must not lie). --- *)
 

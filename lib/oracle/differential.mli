@@ -60,6 +60,7 @@ val run_case :
   ?max_vertices:int ->
   ?max_edges:int ->
   ?jobs:int ->
+  ?family:Spm_core.Constraints.family ->
   name:string ->
   seed:int ->
   Spm_graph.Graph.t ->
@@ -67,6 +68,13 @@ val run_case :
   delta:int ->
   sigma:int ->
   report
+(** [family] (default [Skinny]) selects the constraint family the whole
+    harness runs under: the oracle predicate ({!Brute.is_target} or
+    {!Brute.is_neighborhood}), the production miner's config, the gSpan
+    filter, and the one-step acceptance check that separates [Missing]
+    mismatches from counted paradigm gaps. A [Neighborhood] case takes
+    [l = 0] and the radius r in [delta], mirroring
+    {!Spm_core.Skinny_mine.mine}. *)
 
 val run_item : ?max_vertices:int -> ?max_edges:int -> ?jobs:int -> Corpus.item -> report
 

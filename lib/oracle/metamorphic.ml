@@ -8,9 +8,10 @@ type failure = { check : string; detail : string }
 
 let fail check fmt = Printf.ksprintf (fun detail -> { check; detail }) fmt
 
-let mine ?(jobs = 1) ?max_patterns ?run g ~l ~delta ~sigma =
+let mine ?(jobs = 1) ?max_patterns ?run ?(family = Constraints.Skinny) g ~l
+    ~delta ~sigma =
   Skinny_mine.mine ?run
-    ~config:{ Skinny_mine.Config.default with jobs; max_patterns }
+    ~config:{ Skinny_mine.Config.default with jobs; max_patterns; family }
     g ~l ~delta ~sigma
 
 let mined_bytes patterns =
@@ -32,9 +33,11 @@ let keyed patterns =
    sound direction is containment: every pattern mined at sigma+1 was mined
    at sigma with the same support (>= sigma+1); equality with the filtered
    subset does not hold in general. *)
-let sigma_monotone g ~l ~delta ~sigma =
-  let lo = keyed (mine g ~l ~delta ~sigma).Skinny_mine.patterns in
-  let hi = keyed (mine g ~l ~delta ~sigma:(sigma + 1)).Skinny_mine.patterns in
+let sigma_monotone ?family g ~l ~delta ~sigma =
+  let lo = keyed (mine ?family g ~l ~delta ~sigma).Skinny_mine.patterns in
+  let hi =
+    keyed (mine ?family g ~l ~delta ~sigma:(sigma + 1)).Skinny_mine.patterns
+  in
   let bad_support = List.filter (fun (_, s) -> s < sigma + 1) hi in
   let escaped = List.filter (fun kv -> not (List.mem kv lo)) hi in
   if bad_support <> [] then
@@ -65,10 +68,10 @@ let permute_graph st (g : Spm_graph.Graph.t) =
   in
   Spm_graph.Graph.Builder.of_edges ~labels edges
 
-let relabel_invariant ~seed g ~l ~delta ~sigma =
+let relabel_invariant ?family ~seed g ~l ~delta ~sigma =
   let g' = permute_graph (Spm_graph.Gen.rng seed) g in
-  let a = keyed (mine g ~l ~delta ~sigma).Skinny_mine.patterns in
-  let b = keyed (mine g' ~l ~delta ~sigma).Skinny_mine.patterns in
+  let a = keyed (mine ?family g ~l ~delta ~sigma).Skinny_mine.patterns in
+  let b = keyed (mine ?family g' ~l ~delta ~sigma).Skinny_mine.patterns in
   if a <> b then
     [
       fail "relabel-invariant"
@@ -78,9 +81,9 @@ let relabel_invariant ~seed g ~l ~delta ~sigma =
     ]
   else []
 
-let jobs_stable ?(jobs = 4) g ~l ~delta ~sigma =
-  let a = (mine ~jobs:1 g ~l ~delta ~sigma).Skinny_mine.patterns in
-  let b = (mine ~jobs g ~l ~delta ~sigma).Skinny_mine.patterns in
+let jobs_stable ?(jobs = 4) ?family g ~l ~delta ~sigma =
+  let a = (mine ~jobs:1 ?family g ~l ~delta ~sigma).Skinny_mine.patterns in
+  let b = (mine ~jobs ?family g ~l ~delta ~sigma).Skinny_mine.patterns in
   if mined_bytes a <> mined_bytes b then
     [
       fail "jobs-stable" "jobs 1 vs %d: serialized outputs differ (%d vs %d)"
@@ -90,16 +93,16 @@ let jobs_stable ?(jobs = 4) g ~l ~delta ~sigma =
 
 let take k l = List.filteri (fun i _ -> i < k) l
 
-let cancel_resume ~dir g ~l ~delta ~sigma =
+let cancel_resume ?(family = Constraints.Skinny) ~dir g ~l ~delta ~sigma =
   let failures = ref [] in
   let add f = failures := f :: !failures in
-  let full = mine g ~l ~delta ~sigma in
+  let full = mine ~family g ~l ~delta ~sigma in
   let full_pats = full.Skinny_mine.patterns in
   let total = List.length full_pats in
   (* Budget cap = deterministic prefix of the uncapped emission order. *)
   let k = max 1 (total / 2) in
   let capped =
-    (mine ~max_patterns:k g ~l ~delta ~sigma).Skinny_mine.patterns
+    (mine ~max_patterns:k ~family g ~l ~delta ~sigma).Skinny_mine.patterns
   in
   if total > 0 && mined_bytes capped <> mined_bytes (take k full_pats) then
     add
@@ -109,7 +112,8 @@ let cancel_resume ~dir g ~l ~delta ~sigma =
          k total);
   (* Persist the partial result; the store round trip must preserve it. *)
   let store =
-    Spm_store.Store.of_result ~graph:g ~l ~delta ~sigma ~closed_growth:false
+    Spm_store.Store.of_result ~family ~graph:g ~l ~delta ~sigma
+      ~closed_growth:false
       { full with Skinny_mine.patterns = capped }
   in
   let path = Filename.concat dir "metamorphic_partial.spm" in
@@ -132,7 +136,7 @@ let cancel_resume ~dir g ~l ~delta ~sigma =
   let result = ref None in
   let t =
     Thread.create
-      (fun () -> result := Some (mine ~run g ~l ~delta ~sigma))
+      (fun () -> result := Some (mine ~run ~family g ~l ~delta ~sigma))
       ()
   in
   Thread.delay 0.002;
@@ -150,7 +154,7 @@ let cancel_resume ~dir g ~l ~delta ~sigma =
                "pattern emitted under cancellation is not in the full \
                 answer set"))
       (keyed partial.Skinny_mine.patterns));
-  let again = mine g ~l ~delta ~sigma in
+  let again = mine ~family g ~l ~delta ~sigma in
   if mined_bytes again.Skinny_mine.patterns <> mined_bytes full_pats then
     add (fail "cancel-resume" "re-run after cancel is not byte-identical");
   List.rev !failures
@@ -158,7 +162,8 @@ let cancel_resume ~dir g ~l ~delta ~sigma =
 let run_item ~dir (it : Corpus.item) =
   let g = it.Corpus.graph in
   let l = it.Corpus.l and delta = it.Corpus.delta and sigma = it.Corpus.sigma in
-  sigma_monotone g ~l ~delta ~sigma
-  @ relabel_invariant ~seed:it.Corpus.seed g ~l ~delta ~sigma
-  @ jobs_stable g ~l ~delta ~sigma
-  @ cancel_resume ~dir g ~l ~delta ~sigma
+  let family = it.Corpus.family in
+  sigma_monotone ~family g ~l ~delta ~sigma
+  @ relabel_invariant ~family ~seed:it.Corpus.seed g ~l ~delta ~sigma
+  @ jobs_stable ~family g ~l ~delta ~sigma
+  @ cancel_resume ~family ~dir g ~l ~delta ~sigma

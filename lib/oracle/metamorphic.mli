@@ -20,25 +20,36 @@
 type failure = { check : string; detail : string }
 (** One violated invariant, with enough detail to reproduce. *)
 
+(** Every invariant is constraint-generic: [family] (default [Skinny])
+    selects the production config, and the invariants hold for any family
+    the miner supports — they never mention the constraint predicate itself.
+    Neighborhood runs take [l = 0] with the radius in [delta]. *)
+
 val sigma_monotone :
+  ?family:Spm_core.Constraints.family ->
   Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int -> failure list
 (** Compares the runs at [sigma] and [sigma + 1]. *)
 
 val relabel_invariant :
+  ?family:Spm_core.Constraints.family ->
   seed:int -> Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int ->
   failure list
 (** The permutation is drawn from [seed]. *)
 
 val jobs_stable :
-  ?jobs:int -> Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int ->
+  ?jobs:int ->
+  ?family:Spm_core.Constraints.family ->
+  Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int ->
   failure list
 (** [jobs] defaults to 4. *)
 
 val cancel_resume :
+  ?family:Spm_core.Constraints.family ->
   dir:string -> Spm_graph.Graph.t -> l:int -> delta:int -> sigma:int ->
   failure list
 (** [dir] is a scratch directory for the store file (the caller owns its
     lifetime — tests pass a per-run temp dir). *)
 
 val run_item : dir:string -> Corpus.item -> failure list
-(** All four invariant families on one corpus item. *)
+(** All four invariant families on one corpus item, under the item's own
+    constraint family. *)

@@ -15,8 +15,14 @@ module Run = Spm_engine.Run
    byte 3 followed by the names of the unreachable shards. Requests are
    untouched and every pre-v4 response byte sequence is unchanged, so v4 is
    negotiated like v3 was; a router only emits Partial envelopes on
-   connections that greeted with v4 (older clients get a plain Error). *)
-let version = 4
+   connections that greeted with v4 (older clients get a plain Error).
+
+   v5: the constraint-family field of Mine. A skinny Mine still encodes to
+   the v2 tag-2 bytes (so every pre-v5 request byte sequence is unchanged
+   and cache keys survive); a neighborhood Mine uses the new tag 11, which
+   only a v5 connection may carry — older servers answer it with a clean
+   protocol error rather than a mis-decode. *)
+let version = 5
 let min_version = 2
 let handshake_of_version v = Printf.sprintf "SKNYSRV%d" v
 let handshake = handshake_of_version version
@@ -28,6 +34,7 @@ type mine_params = {
   delta : int;
   sigma : int;
   closed_growth : bool;
+  family : Spm_core.Constraints.family;
 }
 
 type lookup_params = {
@@ -55,8 +62,9 @@ type request =
 (* Versioned request records with defaults: the one construction surface
    for params records, so future fields extend these constructors instead
    of every call site. *)
-let mine_params ?(closed_growth = false) ~l ~delta ~sigma () =
-  { l; delta; sigma; closed_growth }
+let mine_params ?(closed_growth = false)
+    ?(family = Spm_core.Constraints.Skinny) ~l ~delta ~sigma () =
+  { l; delta; sigma; closed_growth; family }
 
 let lookup_params ?min_support ?max_support ?length ?labels () =
   { min_support; max_support; length; labels }
@@ -64,6 +72,7 @@ let lookup_params ?min_support ?max_support ?length ?labels () =
 let update_params edits = { edits }
 
 let request_version = function
+  | Mine { family = Spm_core.Constraints.Neighborhood _; _ } -> 5
   | Ping | Load_store _ | Mine _ | Lookup _ | Contains _ | Stats | Shutdown
   | Progress | Cancel ->
     2
@@ -137,12 +146,29 @@ let encode_request req =
   | Load_store path ->
     Codec.W.byte w 1;
     Codec.W.string w path
-  | Mine { l; delta; sigma; closed_growth } ->
+  | Mine { l; delta; sigma; closed_growth; family = Spm_core.Constraints.Skinny }
+    ->
     Codec.W.byte w 2;
     Codec.W.uint w l;
     Codec.W.uint w delta;
     Codec.W.uint w sigma;
     Codec.W.bool w closed_growth
+  | Mine
+      {
+        l;
+        delta;
+        sigma;
+        closed_growth;
+        family = Spm_core.Constraints.Neighborhood { center };
+      } ->
+    (* v5: the neighborhood Mine. [delta] carries the radius r and [l] is 0
+       by construction; both still travel so the codec stays symmetric. *)
+    Codec.W.byte w 11;
+    Codec.W.uint w l;
+    Codec.W.uint w delta;
+    Codec.W.uint w sigma;
+    Codec.W.bool w closed_growth;
+    Codec.W.option w Codec.W.uint center
   | Lookup { min_support; max_support; length; labels } ->
     Codec.W.byte w 3;
     Codec.W.option w Codec.W.uint min_support;
@@ -172,7 +198,7 @@ let decode_request s =
     let delta = Codec.R.uint r in
     let sigma = Codec.R.uint r in
     let closed_growth = Codec.R.bool r in
-    Mine { l; delta; sigma; closed_growth }
+    Mine { l; delta; sigma; closed_growth; family = Spm_core.Constraints.Skinny }
   | 3 ->
     let min_support = Codec.R.option r Codec.R.uint in
     let max_support = Codec.R.option r Codec.R.uint in
@@ -186,6 +212,20 @@ let decode_request s =
   | 8 -> Cancel
   | 9 -> Update { edits = Codec.R.list r Store.read_edit }
   | 10 -> Subscribe
+  | 11 ->
+    let l = Codec.R.uint r in
+    let delta = Codec.R.uint r in
+    let sigma = Codec.R.uint r in
+    let closed_growth = Codec.R.bool r in
+    let center = Codec.R.option r Codec.R.uint in
+    Mine
+      {
+        l;
+        delta;
+        sigma;
+        closed_growth;
+        family = Spm_core.Constraints.Neighborhood { center };
+      }
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
 
 (* --- response codec --- *)

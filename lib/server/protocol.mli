@@ -19,12 +19,14 @@
     without a separate stats round trip. *)
 
 val version : int
-(** Newest protocol version this build speaks (4). v2 widened the response
+(** Newest protocol version this build speaks (5). v2 widened the response
     envelope with a status byte and added [Progress]/[Cancel]; v3 added
     [Update]/[Subscribe] for evolving graphs; v4 added the [Partial]
     response status of the sharded serving tier (status byte 3 followed by
-    the unreachable shard names). Each extension leaves every earlier frame
-    layout unchanged, so newer versions are negotiated rather than gated. *)
+    the unreachable shard names); v5 added the constraint-family field of
+    [Mine] (skinny Mines keep the v2 tag-2 bytes, neighborhood Mines use a
+    new tag). Each extension leaves every earlier frame layout unchanged, so
+    newer versions are negotiated rather than gated. *)
 
 val min_version : int
 (** Oldest version still accepted at the handshake (2). v1 peers would
@@ -48,6 +50,10 @@ type mine_params = {
   delta : int;
   sigma : int;
   closed_growth : bool;
+  family : Spm_core.Constraints.family;
+      (** v5. Which constraint family to mine; [Skinny] requests encode to
+          the exact pre-v5 bytes, [Neighborhood] requests need a v5
+          connection ([l] must be 0, [delta] carries the radius r). *)
 }
 
 type lookup_params = {
@@ -94,8 +100,14 @@ type request =
     these (with defaults) instead of every call site. *)
 
 val mine_params :
-  ?closed_growth:bool -> l:int -> delta:int -> sigma:int -> unit -> mine_params
-(** [closed_growth] defaults to [false]. *)
+  ?closed_growth:bool ->
+  ?family:Spm_core.Constraints.family ->
+  l:int ->
+  delta:int ->
+  sigma:int ->
+  unit ->
+  mine_params
+(** [closed_growth] defaults to [false]; [family] to [Skinny]. *)
 
 val lookup_params :
   ?min_support:int ->
@@ -109,9 +121,10 @@ val lookup_params :
 val update_params : Spm_graph.Delta.edit list -> update_params
 
 val request_version : request -> int
-(** Oldest protocol version that can carry this request — [Update] and
-    [Subscribe] need 3, everything else 2. Servers reject requests whose
-    [request_version] exceeds the connection's negotiated version. *)
+(** Oldest protocol version that can carry this request — a neighborhood
+    [Mine] needs 5, [Update] and [Subscribe] need 3, everything else 2.
+    Servers reject requests whose [request_version] exceeds the connection's
+    negotiated version. *)
 
 type server_stats = {
   requests : int;

@@ -1,6 +1,7 @@
 module Graph = Spm_graph.Graph
 module Delta = Spm_graph.Delta
 module Skinny_mine = Spm_core.Skinny_mine
+module Constraints = Spm_core.Constraints
 module Incremental = Spm_core.Incremental
 module Path_pattern = Spm_core.Path_pattern
 module Store = Spm_store.Store
@@ -117,6 +118,14 @@ let scope_of_store (s : Store.pattern_store) =
 let build_live t (s : Store.pattern_store) =
   if not s.Store.complete then
     failwith "resident store is incomplete (truncated mine); cannot update";
+  (match s.Store.family with
+  | Constraints.Skinny -> ()
+  | Constraints.Neighborhood _ ->
+    (* The incremental repair machinery is diameter-cluster-shaped; the
+       neighborhood family re-mines from scratch instead of updating. *)
+    failwith
+      "resident store mines the neighborhood family; incremental updates \
+       are skinny-only");
   let config = incr_config t s in
   let scope = scope_of_store s in
   let dg = Delta.of_graph s.Store.graph in
@@ -210,13 +219,14 @@ let dispatch_unlocked t req : dispatch =
     in
     install_store t ~path s;
     Done (Run.Ok, Loaded (List.length s.Store.patterns))
-  | Mine { l; delta; sigma; closed_growth } -> (
+  | Mine { l; delta; sigma; closed_growth; family } -> (
     let matches_store =
       match t.store with
       | Some s
         when s.Store.complete && s.Store.l = l && s.Store.delta = delta
              && s.Store.sigma = sigma
-             && s.Store.closed_growth = closed_growth -> (
+             && s.Store.closed_growth = closed_growth
+             && s.Store.family = family -> (
         (* An incomplete store (flushed from a timed-out mine) is a prefix,
            not the answer set — never let it satisfy a Mine request. Only
            an update-free store short-circuits: after updates the resident
@@ -237,7 +247,7 @@ let dispatch_unlocked t req : dispatch =
     | None -> (
       match t.graph with
       | None -> Done (Run.Ok, Error "no graph loaded (send Load_store first)")
-      | Some g -> Need_mine ({ l; delta; sigma; closed_growth }, g)))
+      | Some g -> Need_mine ({ l; delta; sigma; closed_growth; family }, g)))
   | Lookup { min_support; max_support; length; labels } ->
     Done
       ( Run.Ok,
@@ -299,13 +309,21 @@ let dispatch_unlocked t req : dispatch =
           ( Run.Ok,
             Error "resident store is incomplete (truncated mine); cannot update"
           )
-      else Need_update edits)
+      else (
+        match s.Store.family with
+        | Constraints.Neighborhood _ ->
+          Done
+            ( Run.Ok,
+              Error
+                "resident store mines the neighborhood family; incremental \
+                 updates are skinny-only" )
+        | Constraints.Skinny -> Need_update edits))
   | Subscribe -> Done (Run.Ok, Subscribed t.version)
 
 (* The mine itself, outside the state lock. Serialized by [mine_lock]
    (mining already fans out across domains; parallel mines would
    oversubscribe the cores). *)
-let run_mine t { Protocol.l; delta; sigma; closed_growth } g =
+let run_mine t { Protocol.l; delta; sigma; closed_growth; family } g =
   let run = Run.create ?timeout:t.mine_timeout () in
   locked t (fun () -> t.current <- Some run);
   let r =
@@ -313,7 +331,7 @@ let run_mine t { Protocol.l; delta; sigma; closed_growth } g =
       ~finally:(fun () -> locked t (fun () -> t.current <- None))
       (fun () ->
         let config =
-          { Skinny_mine.Config.default with closed_growth; jobs = t.jobs }
+          { Skinny_mine.Config.default with closed_growth; family; jobs = t.jobs }
         in
         Skinny_mine.mine ~config ~run g ~l ~delta ~sigma)
   in

@@ -1,6 +1,7 @@
 module Graph = Spm_graph.Graph
 module Storage = Spm_graph.Storage
 module Skinny_mine = Spm_core.Skinny_mine
+module Constraints = Spm_core.Constraints
 module Diam_mine = Spm_core.Diam_mine
 module Diameter_index = Spm_core.Diameter_index
 
@@ -400,6 +401,7 @@ type pattern_store = {
   delta : int;
   sigma : int;
   closed_growth : bool;
+  family : Constraints.family;
   complete : bool;
   patterns : Skinny_mine.mined list;
   base_version : int;
@@ -408,14 +410,15 @@ type pattern_store = {
   graph_format : graph_format;
 }
 
-let of_result ?(graph_format = G2) ~graph ~l ~delta ~sigma ~closed_growth
-    (r : Skinny_mine.result) =
+let of_result ?(graph_format = G2) ?(family = Constraints.Skinny) ~graph ~l
+    ~delta ~sigma ~closed_growth (r : Skinny_mine.result) =
   {
     graph;
     l;
     delta;
     sigma;
     closed_growth;
+    family;
     complete = r.stats.Skinny_mine.status = Spm_engine.Run.Ok;
     patterns = r.patterns;
     base_version = 0;
@@ -431,6 +434,7 @@ let of_graph ?(graph_format = G2) graph =
     delta = 0;
     sigma = 0;
     closed_growth = false;
+    family = Constraints.Skinny;
     complete = true;
     patterns = [];
     base_version = 0;
@@ -474,6 +478,19 @@ let emit_store w s =
     Codec.W.section w ~tag:'H' (fun w ->
         Codec.W.uint w index;
         Codec.W.uint w count));
+  (* Constraint family. Conditional like 'J'/'H': skinny stores — the only
+     kind older builds ever wrote — carry no 'C' section and keep their
+     original bytes. *)
+  (match s.family with
+  | Constraints.Skinny -> ()
+  | Constraints.Neighborhood { center } ->
+    Codec.W.section w ~tag:'C' (fun w ->
+        Codec.W.byte w 1;
+        match center with
+        | None -> Codec.W.bool w false
+        | Some c ->
+          Codec.W.bool w true;
+          Codec.W.uint w c));
   match s.graph_format with
   | Legacy -> ()
   | G2 ->
@@ -491,7 +508,30 @@ let encode s =
   emit_store w s;
   Codec.W.contents w
 
+(* Section grammar of a pattern store: the canonical emission order with no
+   strangers and no duplicates. A section's tag byte sits outside its CRC,
+   so without this check a single tag-byte flip could silently drop a
+   conditional section — e.g. demote a neighborhood store ('C') to a skinny
+   one — instead of raising [Corrupt]. *)
+let check_pattern_sections ~graph_format secs =
+  let canonical =
+    (match graph_format with Legacy -> [ 'G' ] | G2 -> [])
+    @ [ 'P'; 'M'; 'J'; 'H'; 'C' ]
+  in
+  let tags = List.map fst secs in
+  let rec subsequence canon tags =
+    match (canon, tags) with
+    | _, [] -> true
+    | [], _ :: _ -> false
+    | c :: canon', t :: tags' ->
+      if Char.equal c t then subsequence canon' tags'
+      else subsequence canon' tags
+  in
+  if not (subsequence canonical tags) then
+    corrupt "unexpected or out-of-order store section"
+
 let store_of_sections ~graph ~graph_format secs =
+  check_pattern_sections ~graph_format secs;
   let p = find_section 'P' secs in
   let l = Codec.R.uint p in
   let delta = Codec.R.uint p in
@@ -519,12 +559,28 @@ let store_of_sections ~graph ~graph_format secs =
              (Printf.sprintf "invalid shard identity %d of %d" index count));
       Some (index, count)
   in
+  let family =
+    match List.assoc_opt 'C' secs with
+    | None -> Constraints.Skinny
+    | Some c -> (
+      match Codec.R.byte c with
+      | 1 ->
+        let center =
+          if Codec.R.bool c then Some (Codec.R.uint c) else None
+        in
+        Constraints.Neighborhood { center }
+      | t ->
+        raise
+          (Codec.Corrupt (Printf.sprintf "unknown constraint family tag %d" t))
+      )
+  in
   {
     graph;
     l;
     delta;
     sigma;
     closed_growth;
+    family;
     complete;
     patterns;
     base_version;

@@ -62,6 +62,12 @@ type pattern_store = {
   delta : int;
   sigma : int;
   closed_growth : bool;
+  family : Spm_core.Constraints.family;
+      (** Which constraint family produced [patterns]. Serialized as a
+          conditional 'C' section: skinny stores — the only kind older
+          builds ever wrote — carry no 'C' section, decode as [Skinny], and
+          re-encode byte-identically. For [Neighborhood], [l] is 0 and
+          [delta] carries the radius r. *)
   complete : bool;
       (** [false] when the producing mine was cut short (deadline or
           cancellation): [patterns] is then a prefix of the full answer set.
@@ -95,6 +101,7 @@ val latest_version : pattern_store -> int
 
 val of_result :
   ?graph_format:graph_format ->
+  ?family:Spm_core.Constraints.family ->
   graph:Spm_graph.Graph.t ->
   l:int ->
   delta:int ->
@@ -103,7 +110,9 @@ val of_result :
   Spm_core.Skinny_mine.result ->
   pattern_store
 (** [complete] is derived from the result's run status. New stores default
-    to [G2]; pass [~graph_format:Legacy] to write version-1 files. *)
+    to [G2]; pass [~graph_format:Legacy] to write version-1 files.
+    [family] defaults to [Skinny]; pass the mining config's family so the
+    store round-trips it (neighborhood stores write the 'C' section). *)
 
 val of_graph : ?graph_format:graph_format -> Spm_graph.Graph.t -> pattern_store
 (** A pattern-less store wrapping just a data graph (no mining parameters,

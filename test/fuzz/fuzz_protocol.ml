@@ -199,6 +199,18 @@ let test_mutated_requests with_target () =
           labels = None;
         };
       Protocol.Contains (graph ());
+      (* Skinny Mine keeps the v2 tag-2 encoding; neighborhood Mine is the
+         v5 tag-11 request — mutate both so the versioned decode path and
+         the router's family dispatch face damaged bytes too. *)
+      Protocol.Mine (Protocol.mine_params ~l:2 ~delta:1 ~sigma:1 ());
+      Protocol.Mine
+        (Protocol.mine_params
+           ~family:(Spm_core.Constraints.Neighborhood { center = None })
+           ~l:0 ~delta:1 ~sigma:1 ());
+      Protocol.Mine
+        (Protocol.mine_params
+           ~family:(Spm_core.Constraints.Neighborhood { center = Some 1 })
+           ~l:0 ~delta:2 ~sigma:1 ());
     ]
   in
   (* A fresh stream per target: both tiers face the identical mutation

@@ -13,16 +13,23 @@
 
 open Spm_oracle
 
+(* Mines the item under its own constraint family, so neighborhood corpus
+   items produce stores carrying the 'C' constraint section. *)
 let mine_store name =
   let it = Corpus.find name in
   let g = it.Corpus.graph in
   let r =
     Spm_core.Skinny_mine.mine
-      ~config:{ Spm_core.Skinny_mine.Config.default with jobs = 1 }
+      ~config:
+        {
+          Spm_core.Skinny_mine.Config.default with
+          jobs = 1;
+          family = it.Corpus.family;
+        }
       g ~l:it.Corpus.l ~delta:it.Corpus.delta ~sigma:it.Corpus.sigma
   in
-  Spm_store.Store.of_result ~graph:g ~l:it.Corpus.l ~delta:it.Corpus.delta
-    ~sigma:it.Corpus.sigma ~closed_growth:false r
+  Spm_store.Store.of_result ~family:it.Corpus.family ~graph:g ~l:it.Corpus.l
+    ~delta:it.Corpus.delta ~sigma:it.Corpus.sigma ~closed_growth:false r
 
 (* [decode] must refuse [bytes] with Corrupt — anything else is a verdict:
    success = wrong decode (the bytes differ from a valid encoding), another
@@ -100,6 +107,43 @@ let test_store_truncations () =
 let test_store_random_soak () =
   let encoded = Spm_store.Store.encode (mine_store "er10_dense") in
   random_mutations ~what:"pattern store" ~seed:4242 ~rounds:400
+    Spm_store.Store.decode encoded
+
+(* Neighborhood stores add the 'C' constraint section: its payload is
+   CRC-framed like every other section and its tag byte is covered by the
+   section-grammar check, so the same exhaustive guarantees must hold. The
+   centered item additionally exercises the Some-center encoding. *)
+
+let test_nbr_store_roundtrip_baseline () =
+  List.iter
+    (fun name ->
+      let store = mine_store name in
+      Alcotest.(check bool)
+        (name ^ " mined something") true
+        (store.Spm_store.Store.patterns <> []);
+      let encoded = Spm_store.Store.encode store in
+      let decoded = Spm_store.Store.decode encoded in
+      Alcotest.(check bool)
+        (name ^ " family preserved") true
+        (decoded.Spm_store.Store.family = store.Spm_store.Store.family);
+      Alcotest.(check string)
+        (name ^ ": encode . decode = id on bytes")
+        encoded
+        (Spm_store.Store.encode decoded))
+    [ "nbr_star6"; "nbr_center2" ]
+
+let test_nbr_store_flips () =
+  let encoded = Spm_store.Store.encode (mine_store "nbr_star6") in
+  exhaustive_flips ~what:"neighborhood store" Spm_store.Store.decode encoded
+
+let test_nbr_store_truncations () =
+  let encoded = Spm_store.Store.encode (mine_store "nbr_star6") in
+  exhaustive_truncations ~what:"neighborhood store" Spm_store.Store.decode
+    encoded
+
+let test_nbr_store_random_soak () =
+  let encoded = Spm_store.Store.encode (mine_store "nbr_er12") in
+  random_mutations ~what:"neighborhood store" ~seed:4243 ~rounds:400
     Spm_store.Store.decode encoded
 
 (* --- mapped (G2) opens: fuzzing through the file system --- *)
@@ -251,6 +295,17 @@ let () =
             test_store_truncations;
           Alcotest.test_case "seeded random mutation soak" `Quick
             test_store_random_soak;
+        ] );
+      ( "neighborhood-store",
+        [
+          Alcotest.test_case "roundtrip baseline" `Quick
+            test_nbr_store_roundtrip_baseline;
+          Alcotest.test_case "every single-byte flip detected" `Quick
+            test_nbr_store_flips;
+          Alcotest.test_case "every truncation detected" `Quick
+            test_nbr_store_truncations;
+          Alcotest.test_case "seeded random mutation soak" `Quick
+            test_nbr_store_random_soak;
         ] );
       ( "mapped",
         [

@@ -237,7 +237,7 @@ let assert_identical c req label =
 let query_suite (s : Store.pattern_store) =
   let first = List.hd s.Store.patterns in
   [ ("mine (store params)",
-     Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = false });
+     Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny });
     ("lookup all", Protocol.Lookup (Protocol.lookup_params ()));
     ("lookup min_support",
      Protocol.Lookup (Protocol.lookup_params ~min_support:3 ()));
@@ -270,9 +270,29 @@ let test_router_byte_identity () =
           if shards = 2 then
             assert_identical c
               (Protocol.Mine
-                 { l = 4; delta = 2; sigma = 3; closed_growth = false })
+                 { l = 4; delta = 2; sigma = 3; closed_growth = false; family = Spm_core.Constraints.Skinny })
               "2 shards, mine (fresh params)"))
     [ 1; 2; 4 ]
+
+(* The second constraint family across the sharded tier: workers re-mine
+   their full resident graph under the neighborhood config and keep only
+   owned clusters (a neighborhood pattern's singleton diameter_labels key
+   shards like any other), so the router's merge must be byte-identical to
+   the single-process answer — the ISSUE-10 acceptance drill. *)
+let test_router_neighborhood_byte_identity () =
+  with_cluster ~shards:2 (fun c ->
+      List.iter
+        (fun (label, family) ->
+          (* r = 1: at r = 2 the corpus graph's overlapping clusters yield
+             tens of thousands of patterns (σ = 2) — minutes per tier. *)
+          assert_identical c
+            (Protocol.Mine
+               (Protocol.mine_params ~family ~l:0 ~delta:1 ~sigma:2 ()))
+            label)
+        [ ( "2 shards, neighborhood mine",
+            Spm_core.Constraints.Neighborhood { center = None } );
+          ( "2 shards, centered neighborhood mine",
+            Spm_core.Constraints.Neighborhood { center = Some 3 } ) ])
 
 (* An edit batch the corpus graph definitely accepts: one fresh edge. *)
 let fresh_edge g =
@@ -320,7 +340,7 @@ let test_update_byte_identity () =
               assert_identical c q
                 (Printf.sprintf "post-update %d, %s" i label))
             [ ("mine", Protocol.Mine
-                 { l = 4; delta = 2; sigma = 2; closed_growth = false });
+                 { l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny });
               ("lookup", Protocol.Lookup (Protocol.lookup_params ()));
               ("lookup min_support",
                Protocol.Lookup (Protocol.lookup_params ~min_support:3 ())) ])
@@ -481,7 +501,7 @@ let test_router_over_the_wire () =
                       (Server.handle c.reference
                          (Protocol.Mine
                             { l = 4; delta = 2; sigma = 2;
-                              closed_growth = false }))))
+                              closed_growth = false; family = Spm_core.Constraints.Skinny }))))
                 (render routed);
               Alcotest.(check (list string))
                 "complete answer" [] (Client.last_unreachable cl);
@@ -524,6 +544,8 @@ let () =
             test_router_byte_identity;
           Alcotest.test_case "post-update byte identity" `Quick
             test_update_byte_identity;
+          Alcotest.test_case "neighborhood byte identity at 2 shards" `Quick
+            test_router_neighborhood_byte_identity;
           Alcotest.test_case "planner prunes" `Quick test_planner_prunes;
         ] );
       ( "failure",

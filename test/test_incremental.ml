@@ -85,16 +85,18 @@ let differential_item ~jobs ~batches ~batch_size (item : Corpus.item) =
       (render (Incremental.patterns inc'))
   done
 
+(* Incremental repair is skinny-only (the serving tier refuses Update on
+   neighborhood stores), so the drills skip the corpus's nbr_* items. *)
 let test_differential_jobs jobs () =
   List.iter
     (differential_item ~jobs ~batches:4 ~batch_size:3)
-    (Corpus.builtin ())
+    (Corpus.skinny_items ())
 
 (* Single-edge updates across the corpus: the latency-critical path. *)
 let test_single_edge_updates () =
   List.iter
     (differential_item ~jobs:1 ~batches:6 ~batch_size:1)
-    (Corpus.builtin ())
+    (Corpus.skinny_items ())
 
 (* closed_only repairs per cluster; make sure the spliced result matches the
    globally filtered full mine. *)

@@ -90,6 +90,20 @@ let test_differential_corpus () =
           (report_to_string r))
     (Corpus.builtin ())
 
+(* The second family alone, so CI can name a neighborhood-only differential
+   step: every committed neighborhood item must certify clean against the
+   brute oracle and the filtered gSpan baseline at jobs 1 and 4. *)
+let test_differential_neighborhood () =
+  let items = Corpus.neighborhood_items () in
+  check_bool "neighborhood corpus is non-empty" true (items <> []);
+  List.iter
+    (fun it ->
+      let r = Differential.run_item it in
+      if not (Differential.ok r) then
+        Alcotest.failf "neighborhood case %s diverged:\n%s" it.Corpus.name
+          (report_to_string r))
+    items
+
 let test_differential_catches_unsound () =
   (* Sanity that the harness itself can fail: a report with an injected
      mismatch must not be [ok], and the rendering must carry the repro
@@ -222,6 +236,8 @@ let () =
         [
           Alcotest.test_case "corpus certifies clean" `Quick
             test_differential_corpus;
+          Alcotest.test_case "neighborhood corpus certifies clean" `Quick
+            test_differential_neighborhood;
           Alcotest.test_case "harness can fail" `Quick
             test_differential_catches_unsound;
         ] );

@@ -165,7 +165,14 @@ let test_protocol_roundtrip () =
   let g, _ = Lazy.force corpus in
   let reqs =
     [ Protocol.Ping; Protocol.Load_store "/tmp/x.spm";
-      Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = true };
+      Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = true; family = Spm_core.Constraints.Skinny };
+      (* v5 tag-11 requests: the neighborhood family, any and fixed center. *)
+      Protocol.Mine
+        { l = 0; delta = 2; sigma = 1; closed_growth = false;
+          family = Spm_core.Constraints.Neighborhood { center = None } };
+      Protocol.Mine
+        { l = 0; delta = 1; sigma = 2; closed_growth = true;
+          family = Spm_core.Constraints.Neighborhood { center = Some 3 } };
       Protocol.Lookup
         { min_support = Some 3; max_support = None; length = Some 4;
           labels = Some [ 1; 1; 2 ] };
@@ -237,7 +244,7 @@ let test_handle_dispatch () =
   Server.set_store srv s;
   (* Mine with the store's own parameters: answered from the resident set. *)
   let mine_req =
-    Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = false }
+    Protocol.Mine { l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny }
   in
   (match (Server.handle srv mine_req).Protocol.payload with
   | Protocol.Patterns ms ->
@@ -272,7 +279,7 @@ let test_end_to_end () =
           Client.ping c;
           (* Mine over the wire = direct library call, byte for byte. *)
           let served =
-            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny }
           in
           Alcotest.(check string) "wire mine = direct mine"
             (render direct.Skinny_mine.patterns)
@@ -282,7 +289,7 @@ let test_end_to_end () =
           | None -> Alcotest.fail "no meta");
           (* The identical query again: served from the LRU. *)
           let served2 =
-            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny }
           in
           Alcotest.(check string) "cached answer identical"
             (render served) (render served2);
@@ -327,7 +334,7 @@ let test_end_to_end () =
       (* Second connection: the cache survives across connections. *)
       Client.with_connection ~port (fun c ->
           let served =
-            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+            Client.mine c { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny }
           in
           Alcotest.(check string) "hit from a fresh connection"
             (render direct.Skinny_mine.patterns)
@@ -359,12 +366,104 @@ let test_end_to_end_from_saved_store () =
               check "loaded pattern count" (List.length s.Store.patterns) n;
               let served =
                 Client.mine c
-                  { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+                  { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny }
               in
               Alcotest.(check string) "saved store serves the mined set"
                 (render direct.Skinny_mine.patterns)
                 (render served));
           Client.with_connection ~port Client.shutdown))
+
+(* --- the neighborhood family over the wire (protocol v5) --- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let nbr_family = Spm_core.Constraints.Neighborhood { center = None }
+
+(* Label diversity keeps supports — and with them the overlapping-cluster
+   pattern count — small; few labels at r = 2 blows up fast. *)
+let nbr_graph =
+  lazy (Gen.erdos_renyi (Gen.rng 4100) ~n:24 ~avg_degree:2.2 ~num_labels:8)
+
+let nbr_mine g =
+  Skinny_mine.mine
+    ~config:{ Skinny_mine.Config.default with family = nbr_family }
+    g ~l:0 ~delta:2 ~sigma:2
+
+(* Old-protocol fallback: a skinny Mine still travels as the pre-v5 tag-2
+   bytes, so v2 servers keep answering it; only the neighborhood Mine needs
+   the v5 tag-11 request. *)
+let test_neighborhood_wire_pins () =
+  let skinny = Protocol.Mine (Protocol.mine_params ~l:3 ~delta:1 ~sigma:2 ()) in
+  let nbr =
+    Protocol.Mine
+      (Protocol.mine_params ~family:nbr_family ~l:0 ~delta:2 ~sigma:2 ())
+  in
+  check "skinny Mine keeps tag 2" 2 (Char.code (Protocol.encode_request skinny).[0]);
+  check "skinny Mine stays v2" 2 (Protocol.request_version skinny);
+  check "neighborhood Mine is tag 11" 11
+    (Char.code (Protocol.encode_request nbr).[0]);
+  check "neighborhood Mine needs v5" 5 (Protocol.request_version nbr)
+
+let test_neighborhood_end_to_end () =
+  let g = Lazy.force nbr_graph in
+  let direct = nbr_mine g in
+  check_bool "direct mine is non-trivial" true
+    (direct.Skinny_mine.patterns <> []);
+  let srv = Server.create ~jobs:2 () in
+  Server.set_graph srv g;
+  let fd, port = Server.listen ~port:0 () in
+  let server_thread = Thread.create (fun () -> Server.serve srv fd) () in
+  Fun.protect
+    ~finally:(fun () -> Thread.join server_thread)
+    (fun () ->
+      Client.with_connection ~port (fun c ->
+          let params =
+            Protocol.mine_params ~family:nbr_family ~l:0 ~delta:2 ~sigma:2 ()
+          in
+          let served = Client.mine c params in
+          Alcotest.(check string) "wire neighborhood mine = direct mine"
+            (render direct.Skinny_mine.patterns)
+            (render served);
+          (* Identical repeat: the LRU keys on the family too. *)
+          ignore (Client.mine c params);
+          (match Client.last_meta c with
+          | Some (hit, _) -> check_bool "repeat is a cache hit" true hit
+          | None -> Alcotest.fail "no meta"));
+      Client.with_connection ~port Client.shutdown)
+
+let test_neighborhood_update_refused () =
+  let g = Lazy.force nbr_graph in
+  let r = nbr_mine g in
+  let s =
+    Store.of_result ~family:nbr_family ~graph:g ~l:0 ~delta:2 ~sigma:2
+      ~closed_growth:false r
+  in
+  let srv = Server.create ~jobs:1 () in
+  Server.set_store srv s;
+  (* Incremental repair is diameter-cluster-shaped: a neighborhood store
+     refuses Update with a clean Error instead of repairing wrongly. *)
+  (match
+     (Server.handle srv (Protocol.Update (Protocol.update_params [])))
+       .Protocol.payload
+   with
+  | Protocol.Error msg ->
+    check_bool "error names the restriction" true
+      (contains_sub msg "skinny-only")
+  | _ -> Alcotest.fail "expected Error for Update on a neighborhood store");
+  (* A malformed neighborhood request (l <> 0) earns an Error payload, not
+     a dead connection or a crash. *)
+  match
+    (Server.handle srv
+       (Protocol.Mine
+          (Protocol.mine_params ~family:nbr_family ~l:2 ~delta:1 ~sigma:1 ())))
+      .Protocol.payload
+  with
+  | Protocol.Error msg ->
+    check_bool "error says l = 0" true (contains_sub msg "l = 0")
+  | _ -> Alcotest.fail "expected Error for l <> 0 neighborhood Mine"
 
 (* --- deadlines, cancellation, rude clients --- *)
 
@@ -374,7 +473,7 @@ let long_mine_graph =
   lazy (Gen.erdos_renyi (Gen.rng 48) ~n:4000 ~avg_degree:3.0 ~num_labels:4)
 
 let long_mine_params =
-  { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false }
+  { Protocol.l = 4; delta = 2; sigma = 2; closed_growth = false; family = Spm_core.Constraints.Skinny }
 
 let test_mine_timeout_in_process () =
   let srv = Server.create ~jobs:2 ~mine_timeout:0.2 () in
@@ -715,8 +814,9 @@ let test_client_falls_back_to_v2 () =
         finish ()
       | _ | (exception Exit) -> finish ()
     in
-    (* The client walks down one version per connection: v4 and v3
+    (* The client walks down one version per connection: v5, v4 and v3
        attempts (closed unanswered), then the v2 fallback. *)
+    serve_one ();
     serve_one ();
     serve_one ();
     serve_one ()
@@ -773,6 +873,15 @@ let () =
             test_end_to_end;
           Alcotest.test_case "saved store serves without re-mining" `Quick
             test_end_to_end_from_saved_store;
+        ] );
+      ( "neighborhood",
+        [
+          Alcotest.test_case "wire pins (tags and versions)" `Quick
+            test_neighborhood_wire_pins;
+          Alcotest.test_case "neighborhood mine over the wire = library"
+            `Quick test_neighborhood_end_to_end;
+          Alcotest.test_case "update refused; l <> 0 rejected" `Quick
+            test_neighborhood_update_refused;
         ] );
       ( "deadlines",
         [

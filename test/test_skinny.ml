@@ -527,6 +527,63 @@ let test_framework_properties () =
   check_bool "skinny NOT continuous once C4 is in the universe" false
     (Framework.is_continuous ~pred:skinny_pred ~universe:(c4 :: universe))
 
+let test_framework_neighborhood_agrees () =
+  let g = Gen_qcheck.er ~seed:31 ~n:16 ~avg_degree:2.2 ~num_labels:2 in
+  let via_framework =
+    Framework.Neighborhood.mine g ~sigma:2
+      { Framework.Neighborhood.r = 2; center = None }
+    |> List.map (fun (p, _) -> Canon.key p)
+    |> List.sort_uniq String.compare
+  in
+  let config =
+    {
+      Skinny_mine.Config.default with
+      family = Constraints.Neighborhood { center = None };
+    }
+  in
+  let direct =
+    keys_of (Skinny_mine.mine ~config g ~l:0 ~delta:2 ~sigma:2).Skinny_mine.patterns
+  in
+  Alcotest.(check (list string)) "functor = direct" direct via_framework
+
+(* The r-neighborhood family QUALIFIES for the direct-mining framework —
+   the committed counterpart to the §5.2/§5.3 negative controls above
+   (MaxDegree <= K is not reducible, all-degrees-equal is not continuous).
+   Reducibility: a lone edge lies within radius r of either endpoint and
+   its immediate subpatterns are edgeless, so single edges are the minimal
+   witnesses. Continuity: deleting a non-BFS-tree edge only shrinks
+   distances to the center, and a tree sheds a deepest leaf edge — so it
+   holds even on universes with cycles, where the skinny family's
+   continuity breaks (C4). *)
+let test_framework_neighborhood_qualifies () =
+  let g = Gen_qcheck.er ~seed:23 ~n:8 ~avg_degree:2.5 ~num_labels:2 in
+  let c4 = Gen.cycle_graph [| 0; 0; 0; 0 |] in
+  let tri =
+    Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ]
+  in
+  let universe =
+    c4 :: tri :: Framework.connected_patterns_upto g ~max_edges:4
+  in
+  let pred r p = Skinny_mine.is_neighborhood_target p ~r in
+  check_bool "neighborhood reducible (r=1)" true
+    (Framework.is_reducible ~pred:(pred 1) ~universe);
+  check_bool "neighborhood reducible (r=2)" true
+    (Framework.is_reducible ~pred:(pred 2) ~universe);
+  List.iter
+    (fun w -> check "every minimal witness is a single edge" 1 (Pattern.size w))
+    (Framework.reducible_witnesses ~pred:(pred 2) ~universe);
+  check_bool "neighborhood continuous (r=1), cycles included" true
+    (Framework.is_continuous ~pred:(pred 1) ~universe);
+  check_bool "neighborhood continuous (r=2), cycles included" true
+    (Framework.is_continuous ~pred:(pred 2) ~universe);
+  (* The centered variant stays qualified: the same arguments run through
+     any fixed admissible center. *)
+  let cpred p = Skinny_mine.is_neighborhood_target ~center:0 p ~r:1 in
+  check_bool "centered reducible" true
+    (Framework.is_reducible ~pred:cpred ~universe);
+  check_bool "centered continuous" true
+    (Framework.is_continuous ~pred:cpred ~universe)
+
 let test_immediate_subpatterns () =
   let tri = Graph.Builder.of_edges ~labels:[| 0; 0; 0 |] [ (0, 1); (1, 2); (0, 2) ] in
   (* Removing any triangle edge leaves the same 2-edge path. *)
@@ -568,6 +625,10 @@ let () =
         [
           Alcotest.test_case "skinny functor" `Quick test_framework_skinny_agrees;
           Alcotest.test_case "property checkers" `Quick test_framework_properties;
+          Alcotest.test_case "neighborhood functor" `Quick
+            test_framework_neighborhood_agrees;
+          Alcotest.test_case "neighborhood qualifies" `Quick
+            test_framework_neighborhood_qualifies;
           Alcotest.test_case "immediate subpatterns" `Quick test_immediate_subpatterns;
         ] );
       qsuite "props"

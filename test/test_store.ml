@@ -130,6 +130,7 @@ let stores_equal (a : Store.pattern_store) (b : Store.pattern_store) =
   graphs_equal a.graph b.graph
   && a.l = b.l && a.delta = b.delta && a.sigma = b.sigma
   && a.closed_growth = b.closed_growth
+  && a.family = b.family
   && List.length a.patterns = List.length b.patterns
   && List.for_all2 mined_equal a.patterns b.patterns
 
@@ -175,6 +176,66 @@ let test_every_byte_flip_detected () = assert_all_flips_detected (mined_store 7)
 let test_legacy_byte_flip_detected () =
   assert_all_flips_detected
     { (mined_store 7) with Store.graph_format = Store.Legacy }
+
+(* --- constraint-family section ('C') --- *)
+
+(* Small on purpose: the flip sweep below decodes the whole store once per
+   byte, and the neighborhood family's overlapping clusters make pattern
+   counts blow up fast with n and r. *)
+let nbr_mined_store ?center seed =
+  let st = Gen.rng seed in
+  let g = Gen.erdos_renyi st ~n:16 ~avg_degree:2.2 ~num_labels:5 in
+  let family = Constraints.Neighborhood { center } in
+  let r =
+    Skinny_mine.mine
+      ~config:{ Skinny_mine.Config.default with family }
+      g ~l:0 ~delta:2 ~sigma:2
+  in
+  Store.of_result ~family ~graph:g ~l:0 ~delta:2 ~sigma:2
+    ~closed_growth:false r
+
+(* Tags of the framed sections of a Legacy encoding (Legacy ends at the last
+   section, so the scan terminates cleanly at EOF). *)
+let section_tags s =
+  let bytes = Store.encode { s with Store.graph_format = Store.Legacy } in
+  (* 8-byte magic + 1-byte version varint + 1-byte kind varint. *)
+  let r = Codec.R.of_string ~pos:10 ~len:(String.length bytes - 10) bytes in
+  let rec loop acc =
+    match Codec.R.section r with
+    | None -> List.rev acc
+    | Some (tag, _) -> loop (tag :: acc)
+  in
+  loop []
+
+(* Back-compat: skinny stores — the only kind older builds ever wrote or can
+   read — must not grow a 'C' section; neighborhood stores must carry one
+   and round-trip their family. *)
+let test_constraint_section_presence () =
+  check_bool "skinny store has no 'C' section" false
+    (List.mem 'C' (section_tags (mined_store 7)));
+  check_bool "neighborhood store has a 'C' section" true
+    (List.mem 'C' (section_tags (nbr_mined_store 7)))
+
+let test_neighborhood_roundtrip () =
+  List.iter
+    (fun center ->
+      let s = nbr_mined_store ?center 7 in
+      check_bool "mined something" true (s.Store.patterns <> []);
+      let bytes1 = Store.encode s in
+      let s' = Store.decode bytes1 in
+      check_bool "family preserved" true
+        (s'.Store.family = Constraints.Neighborhood { center });
+      check_bool "round trip" true (stores_equal s s');
+      check_bool "re-encode byte-stable" true
+        (String.equal bytes1 (Store.encode s')))
+    [ None; Some 1 ]
+
+let test_neighborhood_byte_flip_detected () =
+  (* Covers the 'C' payload bytes and — via the section-grammar check — the
+     'C' tag byte, which sits outside its own CRC. *)
+  assert_all_flips_detected (nbr_mined_store 7);
+  assert_all_flips_detected
+    { (nbr_mined_store ~center:1 7) with Store.graph_format = Store.Legacy }
 
 let test_save_load_file () =
   let s = mined_store 11 in
@@ -407,6 +468,12 @@ let () =
             test_every_byte_flip_detected;
           Alcotest.test_case "every byte flip detected (legacy)" `Quick
             test_legacy_byte_flip_detected;
+          Alcotest.test_case "constraint section presence" `Quick
+            test_constraint_section_presence;
+          Alcotest.test_case "neighborhood store round trip" `Quick
+            test_neighborhood_roundtrip;
+          Alcotest.test_case "every byte flip detected (neighborhood)" `Quick
+            test_neighborhood_byte_flip_detected;
           Alcotest.test_case "file save/load" `Quick test_save_load_file;
           Alcotest.test_case "kind mismatch rejected" `Quick
             test_store_kind_mismatch;
